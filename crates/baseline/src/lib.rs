@@ -1,0 +1,375 @@
+//! TAO-style two-tier baseline (paper §1, §5).
+//!
+//! The architecture A1 replaces: a durable store with a memcached-like
+//! lookaside cache in front, exposing a primitive object/association API.
+//! Query logic lives in the *client*, which issues one round trip per
+//! lookup. The paper's criticisms, all reproducible here:
+//!
+//! 1. **Primitive KV API** — multi-hop queries become sequential client-side
+//!    loops of point lookups (vs A1's shipped operators), so a 2-hop query
+//!    pays `O(vertices)` client round trips.
+//! 2. **Eventual consistency** — cache entries go stale for up to their TTL
+//!    after writes (invalidation is asynchronous).
+//! 3. **No atomicity** — an edge is two association-list writes; a crash
+//!    between them leaves a *partial edge* (forward link without the
+//!    backward link), which is impossible in A1.
+//!
+//! Latency is tracked in simulated microseconds with the same style of cost
+//! model as the A1 fabric, so the §5 "3.6× average latency" comparison can
+//! be regenerated.
+
+use a1_json::Json;
+use a1_objectstore::{ObjectStore, StoreConfig};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cost model for the two-tier stack (typical datacenter numbers: client↔
+/// cache on TCP, cache↔DB on TCP + storage stack).
+#[derive(Debug, Clone)]
+pub struct TwoTierConfig {
+    pub cache_servers: usize,
+    pub cache_ttl: Duration,
+    /// Client → cache server round trip (TCP/kernel stack, ~200 µs).
+    pub client_rtt_us: u64,
+    /// Cache miss penalty: cache → durable store round trip (~800 µs).
+    pub db_rtt_us: u64,
+    /// Cache-server processing per request.
+    pub cache_cpu_us: u64,
+}
+
+impl Default for TwoTierConfig {
+    fn default() -> Self {
+        TwoTierConfig {
+            cache_servers: 4,
+            cache_ttl: Duration::from_secs(30),
+            client_rtt_us: 200,
+            db_rtt_us: 800,
+            cache_cpu_us: 5,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct TwoTierMetrics {
+    pub lookups: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub sim_us: AtomicU64,
+}
+
+struct CacheServer {
+    entries: Mutex<HashMap<Vec<u8>, (Instant, Option<Vec<u8>>)>>,
+}
+
+/// The two-tier graph store: durable tables + lookaside caches.
+pub struct TwoTierGraph {
+    cfg: TwoTierConfig,
+    db: Arc<ObjectStore>,
+    caches: Vec<CacheServer>,
+    metrics: TwoTierMetrics,
+    clock: AtomicU64,
+    /// Crash injection: when set, the next `assoc_add` stops after the
+    /// forward write (the partial-edge anomaly).
+    crash_after_forward: AtomicU64,
+}
+
+const OBJ: &str = "objects";
+const ASSOC: &str = "assoc";
+
+impl TwoTierGraph {
+    pub fn new(cfg: TwoTierConfig) -> TwoTierGraph {
+        let caches = (0..cfg.cache_servers.max(1))
+            .map(|_| CacheServer { entries: Mutex::new(HashMap::new()) })
+            .collect();
+        TwoTierGraph {
+            cfg,
+            db: ObjectStore::new(StoreConfig::default()),
+            caches,
+            metrics: TwoTierMetrics::default(),
+            clock: AtomicU64::new(1),
+            crash_after_forward: AtomicU64::new(0),
+        }
+    }
+
+    pub fn metrics(&self) -> &TwoTierMetrics {
+        &self.metrics
+    }
+
+    /// Simulated time spent so far, in microseconds.
+    pub fn sim_us(&self) -> u64 {
+        self.metrics.sim_us.load(Ordering::Relaxed)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn charge(&self, us: u64) {
+        self.metrics.sim_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    fn cache_for(&self, key: &[u8]) -> &CacheServer {
+        // Static key partitioning across cache servers.
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        &self.caches[(h as usize) % self.caches.len()]
+    }
+
+    // ------------------------------------------------------------- objects
+
+    /// Insert or replace an object (vertex analog).
+    pub fn object_put(&self, id: &str, data: &Json) {
+        let ts = self.tick();
+        self.charge(self.cfg.client_rtt_us + self.cfg.db_rtt_us);
+        let _ = self.db.put_if_newer(OBJ, id.as_bytes(), data.to_string().into_bytes(), ts);
+        // Asynchronous cache invalidation — stale reads possible until then.
+        self.invalidate(id.as_bytes());
+    }
+
+    pub fn object_delete(&self, id: &str) {
+        let ts = self.tick();
+        self.charge(self.cfg.client_rtt_us + self.cfg.db_rtt_us);
+        let _ = self.db.delete_if_newer(OBJ, id.as_bytes(), ts);
+        self.invalidate(id.as_bytes());
+    }
+
+    /// Point lookup through the lookaside cache — one client round trip, plus
+    /// a DB round trip on miss.
+    pub fn object_get(&self, id: &str) -> Option<Json> {
+        self.lookaside(OBJ, id.as_bytes())
+            .and_then(|bytes| Json::parse(std::str::from_utf8(&bytes).ok()?).ok())
+    }
+
+    // -------------------------------------------------------------- assocs
+
+    fn assoc_key(src: &str, ty: &str) -> Vec<u8> {
+        format!("{src}\u{0}{ty}").into_bytes()
+    }
+
+    /// Add a directed association src→dst and its inverse — as **two
+    /// separate writes**. A crash between them (injectable) leaves the
+    /// paper's partial edge.
+    pub fn assoc_add(&self, src: &str, ty: &str, dst: &str) {
+        self.assoc_insert(&Self::assoc_key(src, ty), dst);
+        if self.crash_after_forward.swap(0, Ordering::Relaxed) == 1 {
+            return; // crashed before the inverse write
+        }
+        self.assoc_insert(&Self::assoc_key(dst, &format!("~{ty}")), src);
+    }
+
+    /// Arm the crash injection for the next `assoc_add`.
+    pub fn inject_crash_after_forward(&self) {
+        self.crash_after_forward.store(1, Ordering::Relaxed);
+    }
+
+    fn assoc_insert(&self, key: &[u8], member: &str) {
+        let ts = self.tick();
+        self.charge(self.cfg.client_rtt_us + self.cfg.db_rtt_us);
+        // Read-modify-write of the adjacency list (non-transactional).
+        let mut list: Vec<String> = self
+            .db
+            .table(ASSOC)
+            .get(key)
+            .and_then(|row| {
+                Json::parse(std::str::from_utf8(&row.value).ok()?).ok().and_then(|j| {
+                    j.as_arr().map(|a| {
+                        a.iter().filter_map(|v| v.as_str().map(String::from)).collect()
+                    })
+                })
+            })
+            .unwrap_or_default();
+        if !list.iter().any(|m| m == member) {
+            list.push(member.to_string());
+        }
+        let json = Json::Arr(list.into_iter().map(Json::Str).collect());
+        let _ = self.db.put_if_newer(ASSOC, key, json.to_string().into_bytes(), ts);
+        self.invalidate(key);
+    }
+
+    /// The members of (src, ty) — forward adjacency.
+    pub fn assoc_range(&self, src: &str, ty: &str) -> Vec<String> {
+        let key = Self::assoc_key(src, ty);
+        self.lookaside(ASSOC, &key)
+            .and_then(|bytes| {
+                Json::parse(std::str::from_utf8(&bytes).ok()?).ok().and_then(|j| {
+                    j.as_arr().map(|a| {
+                        a.iter().filter_map(|v| v.as_str().map(String::from)).collect()
+                    })
+                })
+            })
+            .unwrap_or_default()
+    }
+
+    /// Inverse adjacency (who points at `dst`).
+    pub fn assoc_range_inverse(&self, dst: &str, ty: &str) -> Vec<String> {
+        self.assoc_range(dst, &format!("~{ty}"))
+    }
+
+    // ---------------------------------------------------- client-side query
+
+    /// Client-side 2-hop traversal with counting — what a TAO client does in
+    /// place of A1's Q1. Every association fetch is a client round trip.
+    pub fn two_hop_count(&self, start: &str, t1: &str, t2: &str) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for mid in self.assoc_range(start, t1) {
+            for end in self.assoc_range(&mid, t2) {
+                seen.insert(end);
+            }
+        }
+        seen.len()
+    }
+
+    /// 2-hop returning the final objects (fetches each one).
+    pub fn two_hop_objects(&self, start: &str, t1: &str, t2: &str) -> Vec<Json> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for mid in self.assoc_range(start, t1) {
+            for end in self.assoc_range(&mid, t2) {
+                if seen.insert(end.clone()) {
+                    if let Some(obj) = self.object_get(&end) {
+                        out.push(obj);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------ internals
+
+    fn lookaside(&self, table: &str, key: &[u8]) -> Option<Vec<u8>> {
+        self.metrics.lookups.fetch_add(1, Ordering::Relaxed);
+        self.charge(self.cfg.client_rtt_us + self.cfg.cache_cpu_us);
+        let mut cache_key = table.as_bytes().to_vec();
+        cache_key.push(0xFE);
+        cache_key.extend_from_slice(key);
+        let server = self.cache_for(&cache_key);
+        {
+            let entries = server.entries.lock();
+            if let Some((at, value)) = entries.get(&cache_key) {
+                if at.elapsed() < self.cfg.cache_ttl {
+                    self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return value.clone();
+                }
+            }
+        }
+        // Miss: go to the durable store and fill.
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.charge(self.cfg.db_rtt_us);
+        let value = self.db.table(table).get(key).map(|row| row.value);
+        server
+            .entries
+            .lock()
+            .insert(cache_key, (Instant::now(), value.clone()));
+        value
+    }
+
+    fn invalidate(&self, key: &[u8]) {
+        for table in [OBJ, ASSOC] {
+            let mut cache_key = table.as_bytes().to_vec();
+            cache_key.push(0xFE);
+            cache_key.extend_from_slice(key);
+            self.cache_for(&cache_key).entries.lock().remove(&cache_key);
+        }
+    }
+
+    /// Make a cache entry stale on purpose (for the consistency demo): plant
+    /// an outdated value that the TTL has not yet expired.
+    pub fn poison_cache(&self, table: &str, key: &str, stale: &[u8]) {
+        let mut cache_key = table.as_bytes().to_vec();
+        cache_key.push(0xFE);
+        cache_key.extend_from_slice(key.as_bytes());
+        self.cache_for(&cache_key)
+            .entries
+            .lock()
+            .insert(cache_key, (Instant::now(), Some(stale.to_vec())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> TwoTierGraph {
+        TwoTierGraph::new(TwoTierConfig::default())
+    }
+
+    #[test]
+    fn objects_and_assocs() {
+        let g = graph();
+        g.object_put("a", &Json::obj(vec![("name", Json::str("A"))]));
+        g.object_put("b", &Json::obj(vec![("name", Json::str("B"))]));
+        g.assoc_add("a", "likes", "b");
+        assert_eq!(g.object_get("a").unwrap().get("name").unwrap().as_str(), Some("A"));
+        assert_eq!(g.assoc_range("a", "likes"), vec!["b".to_string()]);
+        assert_eq!(g.assoc_range_inverse("b", "likes"), vec!["a".to_string()]);
+        assert!(g.object_get("zz").is_none());
+        // Duplicate assoc adds are idempotent.
+        g.assoc_add("a", "likes", "b");
+        assert_eq!(g.assoc_range("a", "likes").len(), 1);
+    }
+
+    #[test]
+    fn two_hop() {
+        let g = graph();
+        for id in ["d", "f1", "f2", "a1", "a2"] {
+            g.object_put(id, &Json::obj(vec![("id", Json::str(id))]));
+        }
+        g.assoc_add("d", "film", "f1");
+        g.assoc_add("d", "film", "f2");
+        g.assoc_add("f1", "actor", "a1");
+        g.assoc_add("f2", "actor", "a1");
+        g.assoc_add("f2", "actor", "a2");
+        assert_eq!(g.two_hop_count("d", "film", "actor"), 2);
+        assert_eq!(g.two_hop_objects("d", "film", "actor").len(), 2);
+    }
+
+    #[test]
+    fn partial_edge_anomaly() {
+        // The §1 motivating example: a crash between the forward and inverse
+        // writes leaves a one-sided edge — impossible in A1's transactions.
+        let g = graph();
+        g.object_put("x", &Json::obj(vec![]));
+        g.object_put("y", &Json::obj(vec![]));
+        g.inject_crash_after_forward();
+        g.assoc_add("x", "knows", "y");
+        assert_eq!(g.assoc_range("x", "knows"), vec!["y".to_string()], "forward link exists");
+        assert!(g.assoc_range_inverse("y", "knows").is_empty(), "backward link missing!");
+    }
+
+    #[test]
+    fn stale_cache_reads() {
+        let g = graph();
+        g.object_put("v", &Json::obj(vec![("n", Json::Num(1.0))]));
+        let _ = g.object_get("v"); // warm the cache
+        // Plant a stale value to simulate a lost/pending invalidation, then
+        // update the durable store directly (another client's write whose
+        // invalidation hasn't reached this cache).
+        g.poison_cache("objects", "v", br#"{"n":1}"#);
+        let ts = g.tick();
+        let _ = g.db.put_if_newer("objects", b"v", br#"{"n":2}"#.to_vec(), ts);
+        let read = g.object_get("v").unwrap();
+        assert_eq!(read.get("n").unwrap().as_f64(), Some(1.0), "eventual consistency: stale");
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let g = graph();
+        g.object_put("a", &Json::obj(vec![]));
+        let before = g.sim_us();
+        let _ = g.object_get("a"); // miss
+        let miss_cost = g.sim_us() - before;
+        let before = g.sim_us();
+        let _ = g.object_get("a"); // hit
+        let hit_cost = g.sim_us() - before;
+        assert!(miss_cost > hit_cost, "miss {miss_cost} > hit {hit_cost}");
+        assert!(hit_cost >= 200, "every lookup pays the client RTT");
+        assert_eq!(g.metrics().cache_hits.load(Ordering::Relaxed), 1);
+    }
+}

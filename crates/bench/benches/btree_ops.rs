@@ -1,0 +1,50 @@
+//! Microbenchmarks of the distributed B+-tree (§3.1): inserts, cached
+//! lookups, range scans.
+
+use a1_farm::{BTree, BTreeConfig, FarmCluster, FarmConfig, Hint, MachineId};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_btree(c: &mut Criterion) {
+    let farm = FarmCluster::start(FarmConfig::small(3));
+    let tree = farm
+        .run(MachineId(0), |tx| BTree::create(tx, BTreeConfig::default(), Hint::Local))
+        .unwrap();
+    for i in 0..1000u32 {
+        let key = format!("key{i:06}");
+        farm.run(MachineId(0), |tx| tree.insert(tx, key.as_bytes(), b"value").map(|_| ()))
+            .unwrap();
+    }
+
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("get_1k_entries", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let key = format!("key{:06}", i % 1000);
+            i += 1;
+            let mut tx = farm.begin_read_only(MachineId(1));
+            std::hint::black_box(tree.get(&mut tx, key.as_bytes()).unwrap());
+        })
+    });
+    g.bench_function("insert_then_remove", |b| {
+        b.iter(|| {
+            farm.run(MachineId(0), |tx| tree.insert(tx, b"zz-temp", b"v").map(|_| ()))
+                .unwrap();
+            farm.run(MachineId(0), |tx| tree.remove(tx, b"zz-temp").map(|_| ()))
+                .unwrap();
+        })
+    });
+    g.bench_function("scan_100", |b| {
+        b.iter(|| {
+            let mut tx = farm.begin_read_only(MachineId(1));
+            std::hint::black_box(tree.scan(&mut tx, b"key000100", b"key000200", 100).unwrap());
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_btree
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Microbenchmarks of the FaRM storage layer: reads (local vs remote via the
+//! simulated fabric), transactional commits, allocation — the primitives
+//! behind every paper number.
+
+use a1_farm::{FarmCluster, FarmConfig, Hint, MachineId};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_farm(c: &mut Criterion) {
+    let farm = FarmCluster::start(FarmConfig::small(3));
+    let local = farm
+        .run(MachineId(0), |tx| tx.alloc(220, Hint::Machine(MachineId(0)), &[1; 220]))
+        .unwrap();
+    let remote = farm
+        .run(MachineId(0), |tx| tx.alloc(220, Hint::Machine(MachineId(1)), &[1; 220]))
+        .unwrap();
+
+    let mut g = c.benchmark_group("farm");
+    g.bench_function("read_local_220B", |b| {
+        b.iter(|| {
+            let mut tx = farm.begin_read_only(MachineId(0));
+            std::hint::black_box(tx.read(local).unwrap());
+        })
+    });
+    g.bench_function("read_remote_220B", |b| {
+        b.iter(|| {
+            let mut tx = farm.begin_read_only(MachineId(0));
+            std::hint::black_box(tx.read(remote).unwrap());
+        })
+    });
+    g.bench_function("rw_txn_counter_increment", |b| {
+        let ptr = farm
+            .run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &0u64.to_le_bytes()))
+            .unwrap();
+        b.iter(|| {
+            farm.run(MachineId(0), |tx| {
+                let buf = tx.read(ptr)?;
+                let v = u64::from_le_bytes(buf.data()[..8].try_into().unwrap());
+                tx.update(&buf, (v + 1).to_le_bytes().to_vec())
+            })
+            .unwrap();
+        })
+    });
+    g.bench_function("alloc_free_220B", |b| {
+        b.iter(|| {
+            let ptr = farm
+                .run(MachineId(0), |tx| tx.alloc(220, Hint::Local, &[7; 220]))
+                .unwrap();
+            farm.run(MachineId(0), |tx| {
+                let buf = tx.read(ptr)?;
+                tx.free(&buf)
+            })
+            .unwrap();
+            farm.gc();
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_farm
+}
+criterion_main!(benches);

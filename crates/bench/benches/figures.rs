@@ -1,0 +1,68 @@
+//! One bench target per paper table/figure, as cargo-runnable entry points.
+//! Each regenerates its artifact at a reduced scale so `cargo bench`
+//! completes quickly; the `experiments` binary produces the full versions.
+//!
+//! * Fig. 10/12/13 — DES latency-vs-throughput points over measured profiles.
+//! * Fig. 11 — RDMA read latency linearity.
+//! * Fig. 14 — cluster-size scaling point.
+//! * Q4 — vertex-read throughput point.
+//! * §5 baseline — A1 vs two-tier latency.
+//! * Ablations — MVCC mode and edge-list representation.
+
+use a1_bench::costmodel::{CostModel, QueryProfile};
+use a1_bench::des::{simulate, DesConfig};
+use a1_bench::workload::{KnowledgeGraph, KnowledgeGraphSpec, GRAPH, TENANT};
+use a1_core::{A1Config, MachineId};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn profile_of(kg: &KnowledgeGraph, text: &str) -> QueryProfile {
+    let outcome = kg
+        .cluster
+        .inner()
+        .coordinate_query(MachineId(0), TENANT, GRAPH, text)
+        .unwrap();
+    QueryProfile::from_outcome("q", &outcome, &CostModel::default())
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let kg = KnowledgeGraph::load(A1Config::small(4), KnowledgeGraphSpec::tiny());
+    let q1 = profile_of(&kg, &kg.q1());
+    let q2 = profile_of(&kg, &kg.q2());
+    let q3 = profile_of(&kg, &kg.q3());
+    let q4 = profile_of(&kg, &kg.q4());
+
+    let mut g = c.benchmark_group("figures");
+    let des = |profile: &QueryProfile, machines: usize, qps: f64| {
+        simulate(
+            profile,
+            &DesConfig { machines, qps, duration_s: 0.3, warmup_s: 0.1, ..DesConfig::default() },
+        )
+    };
+    g.bench_function("fig10_q1_des_point", |b| {
+        b.iter(|| std::hint::black_box(des(&q1, 245, 5_000.0)))
+    });
+    g.bench_function("fig12_q2_des_point", |b| {
+        b.iter(|| std::hint::black_box(des(&q2, 245, 5_000.0)))
+    });
+    g.bench_function("fig13_q3_des_point", |b| {
+        b.iter(|| std::hint::black_box(des(&q3, 245, 5_000.0)))
+    });
+    g.bench_function("q4_stress_des_point", |b| {
+        b.iter(|| std::hint::black_box(des(&q4, 245, 1_000.0)))
+    });
+    g.bench_function("fig14_scaling_des_point", |b| {
+        b.iter(|| std::hint::black_box(des(&q1, 10, 2_000.0)))
+    });
+    g.bench_function("fig11_rdma_reads", |b| {
+        // Re-measure the Fig. 11 latency accounting path.
+        b.iter(|| std::hint::black_box(a1_bench::figures::fig11()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

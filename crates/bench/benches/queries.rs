@@ -1,0 +1,38 @@
+//! End-to-end query benchmarks: the Table 2 queries (Q1–Q4) through the
+//! full client → coordinator → worker path on a compact knowledge graph.
+
+use a1_bench::workload::{KnowledgeGraph, KnowledgeGraphSpec, GRAPH, TENANT};
+use a1_core::A1Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_queries(c: &mut Criterion) {
+    let kg = KnowledgeGraph::load(A1Config::small(4), KnowledgeGraphSpec::tiny());
+    let queries = [
+        ("q1_two_hop_count", kg.q1()),
+        ("q2_three_hop_map_filter", kg.q2()),
+        ("q3_star_match", kg.q3()),
+        ("q4_fanout", kg.q4()),
+    ];
+    let mut g = c.benchmark_group("table2_queries");
+    for (name, text) in &queries {
+        g.bench_function(*name, |b| {
+            b.iter(|| std::hint::black_box(kg.client.query(TENANT, GRAPH, text).unwrap()))
+        });
+    }
+    g.bench_function("point_get_vertex", |b| {
+        let id = a1_core::Json::str(&kg.director_id);
+        b.iter(|| {
+            std::hint::black_box(
+                kg.client.get_vertex(TENANT, GRAPH, "entity", &id).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queries
+}
+criterion_main!(benches);

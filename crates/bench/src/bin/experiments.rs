@@ -1,0 +1,58 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p a1-bench --bin experiments -- all
+//! cargo run --release -p a1-bench --bin experiments -- fig10
+//! ```
+//!
+//! Targets: table2, fig10, fig11, fig12, fig13, fig14, q4, locality,
+//! baseline, ablation-mvcc, ablation-edges, fast-restart, all.
+
+use a1_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(String::as_str).unwrap_or("all");
+    let fig14_scale: usize = args
+        .iter()
+        .position(|a| a == "--fig14-scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+
+    let run = |name: &str| -> Option<String> {
+        match name {
+            "table2" => Some(figures::table2()),
+            "fig10" => Some(figures::latency_vs_throughput("fig10")),
+            "fig11" => Some(figures::fig11()),
+            "fig12" => Some(figures::latency_vs_throughput("fig12")),
+            "fig13" => Some(figures::latency_vs_throughput("fig13")),
+            "fig14" => Some(figures::fig14(fig14_scale)),
+            "q4" => Some(figures::q4_stress()),
+            "locality" => Some(figures::locality()),
+            "baseline" => Some(figures::baseline_compare()),
+            "ablation-mvcc" => Some(figures::ablation_mvcc()),
+            "ablation-edges" => Some(figures::ablation_edges()),
+            "fast-restart" => Some(figures::fast_restart()),
+            _ => None,
+        }
+    };
+
+    let all = [
+        "table2", "fig10", "fig11", "fig12", "fig13", "fig14", "q4", "locality", "baseline",
+        "ablation-mvcc", "ablation-edges", "fast-restart",
+    ];
+    if target == "all" {
+        for name in all {
+            println!("{}", run(name).expect("known target"));
+        }
+    } else {
+        match run(target) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!("unknown target '{target}'. Targets: {}", all.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

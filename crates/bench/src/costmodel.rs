@@ -1,0 +1,168 @@
+//! From measured query execution to service-time demands.
+//!
+//! The latency/throughput figures (10, 12–14) are queueing phenomena. We
+//! refuse to invent the workload: the per-hop, per-machine demands come from
+//! *instrumented real executions* of the actual engine
+//! ([`a1_core::query::exec::HopStats`]); this module only attaches a cost
+//! model (microseconds per local read, remote read, per-vertex CPU, RPC) so
+//! the discrete-event simulator can replay thousands of instances under an
+//! arrival process. See DESIGN.md ("DES is trace-driven").
+
+use a1_core::query::exec::{HopStats, QueryOutcome};
+
+/// Cost constants, loosely calibrated to the paper's hardware (§6: 17 µs
+/// average RDMA read under load, 2.4 GHz Xeons).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Local memory object read (+ cache effects).
+    pub local_read_us: f64,
+    /// One-sided RDMA read, in-rack/oversubscribed mix (paper avg, Fig. 11).
+    pub remote_read_us: f64,
+    /// Per-vertex operator CPU (predicate eval, dispatch, serialization).
+    pub cpu_per_vertex_us: f64,
+    /// One-way RPC network latency (ship or reply).
+    pub rpc_net_us: f64,
+    /// Fixed coordinator work per query (parse, plan, index lookup).
+    pub coord_base_us: f64,
+    /// Coordinator aggregation per returned vertex/row (dedup, repartition).
+    pub agg_per_vertex_us: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            local_read_us: 0.2,
+            remote_read_us: 17.0,
+            cpu_per_vertex_us: 1.5,
+            rpc_net_us: 15.0,
+            coord_base_us: 60.0,
+            agg_per_vertex_us: 1.0,
+        }
+    }
+}
+
+/// One hop's demands.
+#[derive(Debug, Clone)]
+pub struct HopDemand {
+    /// Worker-side service time, split across `spread` machines.
+    pub worker_total_us: f64,
+    /// How many machines the hop's batches land on (0 = unshipped: all work
+    /// runs at the coordinator, remote reads included).
+    pub spread: usize,
+    /// Coordinator-side aggregation after the hop.
+    pub coord_us: f64,
+    /// Vertices read in this hop (throughput accounting).
+    pub vertices: u64,
+}
+
+/// A replayable query profile.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    pub name: String,
+    pub coord_base_us: f64,
+    pub hops: Vec<HopDemand>,
+    pub rpc_net_us: f64,
+    /// Total vertices a single execution reads (the paper's Q4 metric).
+    pub vertices_per_query: u64,
+}
+
+impl QueryProfile {
+    /// Derive a profile from a measured execution.
+    pub fn from_outcome(name: &str, outcome: &QueryOutcome, cost: &CostModel) -> QueryProfile {
+        let hops = outcome
+            .per_hop
+            .iter()
+            .map(|h| Self::hop_demand(h, cost))
+            .collect::<Vec<_>>();
+        QueryProfile {
+            name: name.to_string(),
+            coord_base_us: cost.coord_base_us,
+            hops,
+            rpc_net_us: cost.rpc_net_us,
+            vertices_per_query: outcome.metrics.vertices_read,
+        }
+    }
+
+    fn hop_demand(h: &HopStats, cost: &CostModel) -> HopDemand {
+        let work = h.local_reads as f64 * cost.local_read_us
+            + h.remote_reads as f64 * cost.remote_read_us
+            + h.vertices_read as f64 * cost.cpu_per_vertex_us;
+        HopDemand {
+            worker_total_us: work,
+            spread: h.rpcs as usize, // 0 = coordinator executed it inline
+            coord_us: h.returned as f64 * cost.agg_per_vertex_us,
+            vertices: h.vertices_read,
+        }
+    }
+
+    /// Closed-form single-query latency at an idle cluster: the sum of hop
+    /// critical paths. Used for the §5 baseline comparison and as the DES
+    /// low-load sanity anchor.
+    pub fn unloaded_latency_us(&self) -> f64 {
+        let mut total = self.coord_base_us;
+        for hop in &self.hops {
+            if hop.spread == 0 {
+                total += hop.worker_total_us + hop.coord_us;
+            } else {
+                total += 2.0 * self.rpc_net_us
+                    + hop.worker_total_us / hop.spread as f64
+                    + hop.coord_us;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(lr: u64, rr: u64, v: u64, rpcs: u64, ret: u64) -> HopStats {
+        HopStats {
+            frontier: v,
+            machines: rpcs.max(1),
+            rpcs,
+            vertices_read: v,
+            edges_visited: 0,
+            local_reads: lr,
+            remote_reads: rr,
+            returned: ret,
+        }
+    }
+
+    #[test]
+    fn demand_derivation() {
+        let cost = CostModel::default();
+        let outcome = QueryOutcome {
+            rows: vec![],
+            count: Some(2),
+            metrics: a1_core::QueryMetrics { vertices_read: 100, ..Default::default() },
+            continuation: None,
+            per_hop: vec![hop(90, 10, 100, 4, 50)],
+        };
+        let p = QueryProfile::from_outcome("t", &outcome, &cost);
+        assert_eq!(p.hops.len(), 1);
+        let d = &p.hops[0];
+        // 90 local × 0.2 + 10 remote × 17 + 100 × 1.5 = 338.
+        assert!((d.worker_total_us - 338.0).abs() < 1e-9);
+        assert_eq!(d.spread, 4);
+        assert!((d.coord_us - 50.0).abs() < 1e-9);
+        assert_eq!(p.vertices_per_query, 100);
+    }
+
+    #[test]
+    fn unloaded_latency_shipped_vs_not() {
+        let cost = CostModel::default();
+        let mk = |rpcs: u64| QueryOutcome {
+            rows: vec![],
+            count: None,
+            metrics: Default::default(),
+            continuation: None,
+            per_hop: vec![hop(0, 100, 100, rpcs, 10)],
+        };
+        let shipped = QueryProfile::from_outcome("s", &mk(10), &cost);
+        let unshipped = QueryProfile::from_outcome("u", &mk(0), &cost);
+        // Shipping divides worker time by the spread.
+        assert!(shipped.unloaded_latency_us() < unshipped.unloaded_latency_us());
+    }
+}

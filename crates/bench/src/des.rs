@@ -1,0 +1,363 @@
+//! Open-loop discrete-event simulation of query latency vs offered load.
+//!
+//! Machines are multi-server FIFO queues (`threads` servers each — FaRM's
+//! pinned thread model, §2.2). A query is an alternating sequence of
+//! coordinator stages and fan-out worker stages (Fig. 9), with demands from
+//! a measured [`QueryProfile`]. Arrivals are Poisson at the configured QPS,
+//! coordinators chosen uniformly (the paper's random frontend routing). The
+//! output is the avg/P50/P99 latency and achieved throughput — the axes of
+//! Figures 10, 12, 13 and 14.
+
+use crate::costmodel::QueryProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+#[derive(Debug, Clone)]
+pub struct DesConfig {
+    pub machines: usize,
+    pub threads_per_machine: usize,
+    /// Offered load (queries per second).
+    pub qps: f64,
+    /// Simulated seconds (after warmup).
+    pub duration_s: f64,
+    pub warmup_s: f64,
+    pub seed: u64,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        DesConfig {
+            machines: 245,
+            threads_per_machine: 4,
+            qps: 2000.0,
+            duration_s: 2.0,
+            warmup_s: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+/// Simulation output.
+#[derive(Debug, Clone)]
+pub struct DesResult {
+    pub offered_qps: f64,
+    pub completed: usize,
+    pub achieved_qps: f64,
+    pub avg_ms: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    /// Cluster-wide vertex reads per second (the paper's Q4 headline).
+    pub vertex_reads_per_s: f64,
+    /// Mean server utilization in [0, 1].
+    pub utilization: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Task {
+    /// Coordinator stage `hop` for query `q` (hop = 0 is the base stage).
+    Coord { q: usize, stage: usize },
+    /// One worker batch of query `q`'s hop `stage`.
+    Worker { q: usize, stage: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    Arrival(usize),
+    Done { machine: usize, task: Task },
+    /// Network delivery: enqueue `task` at `machine` with service `us`.
+    Deliver { machine: usize, task: Task, us: f64 },
+}
+
+struct QueryState {
+    arrival_us: f64,
+    coordinator: usize,
+    /// Next hop index to launch.
+    next_hop: usize,
+    /// Outstanding worker batches in the current hop.
+    outstanding: usize,
+    done: bool,
+}
+
+struct Machine {
+    busy: usize,
+    queue: VecDeque<(Task, f64)>,
+    busy_us: f64,
+}
+
+/// Run the simulation for one (profile, load) point.
+pub fn simulate(profile: &QueryProfile, cfg: &DesConfig) -> DesResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let total_us = (cfg.warmup_s + cfg.duration_s) * 1e6;
+    let mut machines: Vec<Machine> = (0..cfg.machines)
+        .map(|_| Machine { busy: 0, queue: VecDeque::new(), busy_us: 0.0 })
+        .collect();
+    let mut queries: Vec<QueryState> = Vec::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut completed_in_window = 0usize;
+    let mut vertices_in_window = 0u64;
+
+    // Event heap keyed by time (ns-resolution integer to keep Ord).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut events: Vec<Event> = Vec::new();
+    let push = |heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+                    events: &mut Vec<Event>,
+                    t_us: f64,
+                    e: Event| {
+        let idx = events.len();
+        events.push(e);
+        heap.push(Reverse(((t_us * 1000.0) as u64, idx)));
+    };
+
+    // Seed the arrival process.
+    let mut t_arrival = 0.0f64;
+    let inter = 1e6 / cfg.qps;
+    t_arrival += -inter * (1.0 - rng.gen::<f64>()).ln();
+    push(&mut heap, &mut events, t_arrival, Event::Arrival(0));
+
+    // Service times carry multiplicative jitter (mean 1): cache misses,
+    // degree skew, allocator variance. This produces the avg-vs-P99 spread
+    // the paper plots.
+    let mut jitter_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
+    let mut service = move |task: &Task, profile: &QueryProfile| -> f64 {
+        let base = match task {
+            Task::Coord { stage: 0, .. } => profile.coord_base_us,
+            Task::Coord { stage, .. } => profile.hops[stage - 1].coord_us.max(0.1),
+            Task::Worker { stage, .. } => {
+                let hop = &profile.hops[*stage];
+                let spread = hop.spread.max(1) as f64;
+                (hop.worker_total_us / spread).max(0.1)
+            }
+        };
+        // 0.5 + Exp(mean 0.5): mean 1.0, long right tail.
+        let e: f64 = -(1.0f64 - jitter_rng.gen::<f64>()).ln() * 0.5;
+        base * (0.5 + e)
+    };
+
+    while let Some(Reverse((t_ns, idx))) = heap.pop() {
+        let now = t_ns as f64 / 1000.0;
+        if now > total_us + 2e6 {
+            break; // drain cap
+        }
+        let event = events[idx];
+        match event {
+            Event::Arrival(_) => {
+                if now <= total_us {
+                    // Admit this query.
+                    let q = queries.len();
+                    let coordinator = rng.gen_range(0..cfg.machines);
+                    queries.push(QueryState {
+                        arrival_us: now,
+                        coordinator,
+                        next_hop: 0,
+                        outstanding: 0,
+                        done: false,
+                    });
+                    let task = Task::Coord { q, stage: 0 };
+                    push(&mut heap, &mut events, now, Event::Deliver {
+                        machine: coordinator,
+                        task,
+                        us: service(&task, profile),
+                    });
+                    // Schedule the next arrival.
+                    let dt = -inter * (1.0 - rng.gen::<f64>()).ln();
+                    push(&mut heap, &mut events, now + dt, Event::Arrival(0));
+                }
+            }
+            Event::Deliver { machine, task, us } => {
+                let m = &mut machines[machine];
+                if m.busy < cfg.threads_per_machine {
+                    m.busy += 1;
+                    m.busy_us += us;
+                    push(&mut heap, &mut events, now + us, Event::Done { machine, task });
+                } else {
+                    m.queue.push_back((task, us));
+                }
+            }
+            Event::Done { machine, task } => {
+                // Free the server, start the next queued task.
+                {
+                    let m = &mut machines[machine];
+                    if let Some((next_task, us)) = m.queue.pop_front() {
+                        m.busy_us += us;
+                        push(&mut heap, &mut events, now + us, Event::Done {
+                            machine,
+                            task: next_task,
+                        });
+                    } else {
+                        m.busy -= 1;
+                    }
+                }
+                // Advance the query's state machine.
+                match task {
+                    Task::Coord { q, stage } => {
+                        let hop_idx = stage; // coord stage N precedes hop N
+                        if hop_idx >= profile.hops.len() {
+                            // Query complete.
+                            let qs = &mut queries[q];
+                            if !qs.done {
+                                qs.done = true;
+                                let latency = now - qs.arrival_us;
+                                if qs.arrival_us >= cfg.warmup_s * 1e6 && qs.arrival_us <= total_us
+                                {
+                                    latencies.push(latency);
+                                    completed_in_window += 1;
+                                    vertices_in_window += profile.vertices_per_query;
+                                }
+                            }
+                            continue;
+                        }
+                        let hop = &profile.hops[hop_idx];
+                        let coordinator = queries[q].coordinator;
+                        if hop.spread == 0 {
+                            // Unshipped hop: runs at the coordinator.
+                            let t = Task::Worker { q, stage: hop_idx };
+                            queries[q].outstanding = 1;
+                            queries[q].next_hop = hop_idx + 1;
+                            push(&mut heap, &mut events, now, Event::Deliver {
+                                machine: coordinator,
+                                task: t,
+                                us: service(&t, profile),
+                            });
+                        } else {
+                            queries[q].outstanding = hop.spread;
+                            queries[q].next_hop = hop_idx + 1;
+                            for _ in 0..hop.spread {
+                                let worker = rng.gen_range(0..cfg.machines);
+                                let t = Task::Worker { q, stage: hop_idx };
+                                // One-way ship latency before service.
+                                push(
+                                    &mut heap,
+                                    &mut events,
+                                    now + profile.rpc_net_us,
+                                    Event::Deliver { machine: worker, task: t, us: service(&t, profile) },
+                                );
+                            }
+                        }
+                    }
+                    Task::Worker { q, stage } => {
+                        let qs = &mut queries[q];
+                        qs.outstanding -= 1;
+                        if qs.outstanding == 0 {
+                            // Barrier done → coordinator aggregation stage.
+                            let hop = &profile.hops[stage];
+                            let reply_net =
+                                if hop.spread == 0 { 0.0 } else { profile.rpc_net_us };
+                            let t = Task::Coord { q, stage: stage + 1 };
+                            let coordinator = qs.coordinator;
+                            push(&mut heap, &mut events, now + reply_net, Event::Deliver {
+                                machine: coordinator,
+                                task: t,
+                                us: service(&t, profile),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let n = latencies.len().max(1);
+    let pct = |p: f64| latencies.get(((n as f64 * p) as usize).min(n - 1)).copied().unwrap_or(0.0);
+    let avg = latencies.iter().sum::<f64>() / n as f64;
+    let busy_total: f64 = machines.iter().map(|m| m.busy_us).sum();
+    DesResult {
+        offered_qps: cfg.qps,
+        completed: completed_in_window,
+        achieved_qps: completed_in_window as f64 / cfg.duration_s,
+        avg_ms: avg / 1000.0,
+        p50_ms: pct(0.50) / 1000.0,
+        p99_ms: pct(0.99) / 1000.0,
+        vertex_reads_per_s: vertices_in_window as f64 / cfg.duration_s,
+        utilization: busy_total
+            / ((cfg.machines * cfg.threads_per_machine) as f64 * total_us),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::HopDemand;
+
+    fn profile() -> QueryProfile {
+        QueryProfile {
+            name: "t".into(),
+            coord_base_us: 50.0,
+            hops: vec![
+                HopDemand { worker_total_us: 200.0, spread: 4, coord_us: 20.0, vertices: 50 },
+                HopDemand { worker_total_us: 2000.0, spread: 20, coord_us: 400.0, vertices: 1600 },
+            ],
+            rpc_net_us: 15.0,
+            vertices_per_query: 1650,
+        }
+    }
+
+    #[test]
+    fn low_load_latency_near_unloaded() {
+        let p = profile();
+        let cfg = DesConfig { machines: 50, qps: 100.0, duration_s: 1.0, ..Default::default() };
+        let r = simulate(&p, &cfg);
+        assert!(r.completed > 40, "completed {}", r.completed);
+        let unloaded_ms = p.unloaded_latency_us() / 1000.0;
+        assert!(
+            r.avg_ms < unloaded_ms * 3.0,
+            "low-load avg {} should be near unloaded {}",
+            r.avg_ms,
+            unloaded_ms
+        );
+        assert!(r.utilization < 0.2);
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let p = profile();
+        let lo = simulate(
+            &p,
+            &DesConfig { machines: 20, qps: 500.0, duration_s: 1.0, ..Default::default() },
+        );
+        let hi = simulate(
+            &p,
+            &DesConfig { machines: 20, qps: 20_000.0, duration_s: 1.0, ..Default::default() },
+        );
+        assert!(
+            hi.p99_ms > lo.p99_ms,
+            "p99 must rise with load: {} vs {}",
+            hi.p99_ms,
+            lo.p99_ms
+        );
+        assert!(hi.utilization > lo.utilization);
+    }
+
+    #[test]
+    fn bigger_cluster_more_capacity() {
+        let p = profile();
+        let small = simulate(
+            &p,
+            &DesConfig { machines: 10, qps: 8000.0, duration_s: 1.0, ..Default::default() },
+        );
+        let big = simulate(
+            &p,
+            &DesConfig { machines: 55, qps: 8000.0, duration_s: 1.0, ..Default::default() },
+        );
+        assert!(
+            big.p99_ms <= small.p99_ms,
+            "55 machines should beat 10 at the same load: {} vs {}",
+            big.p99_ms,
+            small.p99_ms
+        );
+        // Throughput accounting.
+        assert!(big.vertex_reads_per_s > 0.0);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let p = profile();
+        let cfg = DesConfig { machines: 10, qps: 1000.0, duration_s: 0.5, ..Default::default() };
+        let a = simulate(&p, &cfg);
+        let b = simulate(&p, &cfg);
+        assert_eq!(a.completed, b.completed);
+        assert!((a.avg_ms - b.avg_ms).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,588 @@
+//! Runners that regenerate every table and figure of the paper's evaluation
+//! (§6). Each returns a formatted text block; the `experiments` binary
+//! prints them, and EXPERIMENTS.md records paper-vs-measured values.
+
+use crate::costmodel::{CostModel, QueryProfile};
+use crate::des::{simulate, DesConfig};
+use crate::workload::{
+    KnowledgeGraph, KnowledgeGraphSpec, UniformGraphSpec, ENTITY_SCHEMA, GRAPH, TENANT,
+};
+use a1_baseline::{TwoTierConfig, TwoTierGraph};
+use a1_core::{A1Cluster, A1Config, Json, MachineId};
+use a1_farm::{FarmCluster, FarmConfig, Hint, Ptr, TxnMode};
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn kg_cluster_config() -> A1Config {
+    // 8 simulated machines: enough spread for shipping to matter, small
+    // enough to load quickly.
+    A1Config::small(8)
+}
+
+/// Measure a query through the coordinator directly (per-hop stats needed
+/// for the DES profiles).
+fn measure(kg: &KnowledgeGraph, name: &str, text: &str) -> (QueryProfile, a1_core::QueryOutcome) {
+    let inner = kg.cluster.inner();
+    let outcome = inner
+        .coordinate_query(MachineId(0), TENANT, GRAPH, text)
+        .expect("query");
+    let profile = QueryProfile::from_outcome(name, &outcome, &CostModel::default());
+    (profile, outcome)
+}
+
+/// Table 2 + §6 query footprints: run Q1–Q4 and report what they touch.
+pub fn table2() -> String {
+    let kg = KnowledgeGraph::load(kg_cluster_config(), KnowledgeGraphSpec::default());
+    let mut out = String::new();
+    writeln!(out, "== Table 2: evaluation queries (measured on the synthetic KG) ==").unwrap();
+    writeln!(
+        out,
+        "{:<4} {:>8} {:>10} {:>9} {:>9} {:>8} {:>7} {:>7}",
+        "Q", "result", "vertices", "edges", "objects", "local%", "rpcs", "hops"
+    )
+    .unwrap();
+    for (name, text) in [
+        ("Q1", kg.q1()),
+        ("Q2", kg.q2()),
+        ("Q3", kg.q3()),
+        ("Q4", kg.q4()),
+    ] {
+        let (_, o) = measure(&kg, name, &text);
+        let result = o
+            .count
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| format!("{} rows", o.rows.len()));
+        writeln!(
+            out,
+            "{:<4} {:>8} {:>10} {:>9} {:>9} {:>7.1}% {:>7} {:>7}",
+            name,
+            result,
+            o.metrics.vertices_read,
+            o.metrics.edges_visited,
+            o.metrics.objects_read(),
+            o.metrics.local_read_fraction() * 100.0,
+            o.metrics.rpcs,
+            o.metrics.hops,
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(paper Q1 footprint: 49 + 1639 vertices, 1785 edges, 3443 objects, ≥95% local)"
+    )
+    .unwrap();
+    out
+}
+
+/// Figures 10/12/13: avg & P99 latency vs offered QPS at paper cluster size.
+pub fn latency_vs_throughput(which: &str) -> String {
+    let kg = KnowledgeGraph::load(kg_cluster_config(), KnowledgeGraphSpec::default());
+    let (name, text, paper_note) = match which {
+        "fig10" => ("Q1", kg.q1(), "paper: ~8 ms avg / 14 ms P99 at 20k qps, tight spread"),
+        "fig12" => ("Q2", kg.q2(), "paper: low-ms avg, rising P99 near saturation (log scale)"),
+        "fig13" => ("Q3", kg.q3(), "paper: <10 ms avg up to 20k qps"),
+        _ => panic!("unknown figure"),
+    };
+    let (profile, outcome) = measure(&kg, name, &text);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== {which}: {name} latency vs throughput (DES over measured profile; 245 machines) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "profile: {} vertices/query, unloaded latency {:.2} ms, result={:?}",
+        outcome.metrics.vertices_read,
+        profile.unloaded_latency_us() / 1000.0,
+        outcome.count
+    )
+    .unwrap();
+    writeln!(out, "{:>10} {:>10} {:>10} {:>10} {:>8}", "qps", "avg ms", "p50 ms", "p99 ms", "util").unwrap();
+    for qps in [2_000.0, 5_000.0, 10_000.0, 20_000.0] {
+        let r = simulate(&profile, &DesConfig { qps, ..DesConfig::default() });
+        writeln!(
+            out,
+            "{:>10} {:>10.2} {:>10.2} {:>10.2} {:>7.1}%",
+            qps as u64,
+            r.avg_ms,
+            r.p50_ms,
+            r.p99_ms,
+            r.utilization * 100.0
+        )
+        .unwrap();
+    }
+    writeln!(out, "({paper_note})").unwrap();
+    out
+}
+
+/// Figure 11: total RDMA read time vs number of reads (measured on the
+/// simulated fabric's latency accounting — the linear trend with ~17 µs per
+/// read).
+pub fn fig11() -> String {
+    let farm = FarmCluster::start(FarmConfig::small(4));
+    // Allocate ten remote objects (on machines other than the reader's).
+    let ptrs: Vec<Ptr> = (0..10)
+        .map(|i| {
+            farm.run(MachineId(0), |tx| {
+                tx.alloc(220, Hint::Machine(MachineId(1 + (i % 3))), &[7; 220])
+            })
+            .unwrap()
+        })
+        .collect();
+    let fabric = farm.fabric();
+    let mut out = String::new();
+    writeln!(out, "== Figure 11: total RDMA read latency vs number of reads ==").unwrap();
+    writeln!(out, "{:>7} {:>12}", "reads", "total µs").unwrap();
+    for n in 0..=10usize {
+        let before = fabric.metrics().snapshot().sim_ns;
+        let mut tx = farm.begin_read_only(MachineId(0));
+        for ptr in ptrs.iter().take(n) {
+            let _ = tx.read(*ptr).unwrap();
+        }
+        drop(tx);
+        let total_ns = fabric.metrics().snapshot().sim_ns - before;
+        writeln!(out, "{:>7} {:>12.1}", n, total_ns as f64 / 1000.0).unwrap();
+    }
+    writeln!(out, "(paper: linear, ≈17 µs average per read)").unwrap();
+    out
+}
+
+/// §6 Q4 stress: vertex reads/second at high load.
+pub fn q4_stress() -> String {
+    let kg = KnowledgeGraph::load(kg_cluster_config(), KnowledgeGraphSpec::default());
+    let (profile, outcome) = measure(&kg, "Q4", &kg.q4());
+    let mut out = String::new();
+    writeln!(out, "== §6 Q4 stress: throughput of vertex reads (DES; 245 machines) ==").unwrap();
+    writeln!(
+        out,
+        "profile: {} vertices/query ({} at paper scale)",
+        outcome.metrics.vertices_read, "24,312"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>16} {:>12}",
+        "qps", "avg ms", "p99 ms", "vertex reads/s", "per machine"
+    )
+    .unwrap();
+    for qps in [1_000.0, 5_000.0, 15_000.0] {
+        let r = simulate(
+            &profile,
+            &DesConfig { qps, duration_s: 1.0, ..DesConfig::default() },
+        );
+        writeln!(
+            out,
+            "{:>10} {:>10.2} {:>10.2} {:>16.0} {:>12.0}",
+            qps as u64,
+            r.avg_ms,
+            r.p99_ms,
+            r.vertex_reads_per_s,
+            r.vertex_reads_per_s / 245.0
+        )
+        .unwrap();
+    }
+    writeln!(out, "(paper: 33 ms at 1k qps; 365M vertex reads/s = 1.49M/machine at 15k qps)")
+        .unwrap();
+    out
+}
+
+/// Figure 14: latency vs throughput for cluster sizes 10/15/35/55.
+pub fn fig14(scale_divisor: usize) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== Figure 14: latency vs throughput by cluster size (uniform graph, 1/{scale_divisor} of paper scale) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>9} {:>10} {:>10} {:>10} {:>10}",
+        "machines", "qps", "avg ms", "p99 ms", "util"
+    )
+    .unwrap();
+    for machines in [10u32, 15, 35, 55] {
+        // Real cluster of that size: measure the 2-hop profile.
+        let cluster = A1Cluster::start(A1Config::small(machines)).unwrap();
+        let spec = UniformGraphSpec::paper_scaled(scale_divisor);
+        let starts = spec.load(&cluster);
+        let inner = cluster.inner();
+        // Average the profile across several starts.
+        let mut profiles = Vec::new();
+        for s in starts.iter().take(8) {
+            let o = inner
+                .coordinate_query(MachineId(0), TENANT, GRAPH, &UniformGraphSpec::two_hop_query(s))
+                .unwrap();
+            profiles.push(QueryProfile::from_outcome("2hop", &o, &CostModel::default()));
+        }
+        let profile = average_profiles(&profiles);
+        for qps in [5_000.0, 20_000.0, 80_000.0, 160_000.0, 320_000.0] {
+            let r = simulate(
+                &profile,
+                &DesConfig {
+                    machines: machines as usize,
+                    qps,
+                    duration_s: 1.0,
+                    ..DesConfig::default()
+                },
+            );
+            writeln!(
+                out,
+                "{:>9} {:>10} {:>10.2} {:>10.2} {:>9.1}%",
+                machines,
+                qps as u64,
+                r.avg_ms,
+                r.p99_ms,
+                r.utilization * 100.0
+            )
+            .unwrap();
+        }
+    }
+    writeln!(
+        out,
+        "(paper: flat latency below capacity; usable throughput grows with cluster size)"
+    )
+    .unwrap();
+    out
+}
+
+fn average_profiles(profiles: &[QueryProfile]) -> QueryProfile {
+    let max_hops = profiles.iter().map(|p| p.hops.len()).max().unwrap_or(0);
+    let mut hops = Vec::new();
+    for h in 0..max_hops {
+        let with = profiles.iter().filter_map(|p| p.hops.get(h)).collect::<Vec<_>>();
+        let n = with.len().max(1) as f64;
+        hops.push(crate::costmodel::HopDemand {
+            worker_total_us: with.iter().map(|d| d.worker_total_us).sum::<f64>() / n,
+            spread: (with.iter().map(|d| d.spread).sum::<usize>() as f64 / n).round() as usize,
+            coord_us: with.iter().map(|d| d.coord_us).sum::<f64>() / n,
+            vertices: (with.iter().map(|d| d.vertices).sum::<u64>() as f64 / n) as u64,
+        });
+    }
+    QueryProfile {
+        name: profiles.first().map(|p| p.name.clone()).unwrap_or_default(),
+        coord_base_us: profiles.first().map(|p| p.coord_base_us).unwrap_or(50.0),
+        hops,
+        rpc_net_us: profiles.first().map(|p| p.rpc_net_us).unwrap_or(15.0),
+        vertices_per_query: (profiles.iter().map(|p| p.vertices_per_query).sum::<u64>() as f64
+            / profiles.len().max(1) as f64) as u64,
+    }
+}
+
+/// §6 locality: object reads per query and the local fraction under
+/// operator shipping.
+pub fn locality() -> String {
+    let kg = KnowledgeGraph::load(kg_cluster_config(), KnowledgeGraphSpec::default());
+    let (_, o) = measure(&kg, "Q1", &kg.q1());
+    let mut out = String::new();
+    writeln!(out, "== §6 locality: query shipping effectiveness (Q1) ==").unwrap();
+    writeln!(out, "objects read per query: {}", o.metrics.objects_read()).unwrap();
+    writeln!(out, "remote objects:         {}", o.metrics.remote_reads).unwrap();
+    writeln!(
+        out,
+        "local read fraction:    {:.1}%",
+        o.metrics.local_read_fraction() * 100.0
+    )
+    .unwrap();
+    writeln!(out, "(paper: 3443 objects, 163 remote → 95% local)").unwrap();
+    out
+}
+
+/// §5 baseline comparison: A1 vs the TAO-style two-tier stack on the same
+/// 2-hop query shape (the paper reports a 3.6× average latency win).
+pub fn baseline_compare() -> String {
+    // A1 side.
+    let kg = KnowledgeGraph::load(kg_cluster_config(), KnowledgeGraphSpec::default());
+    let (profile, outcome) = measure(&kg, "Q1", &kg.q1());
+    let a1_ms = profile.unloaded_latency_us() / 1000.0;
+
+    // Two-tier side, same topology and workload shape.
+    let tt = TwoTierGraph::new(TwoTierConfig::default());
+    let spec = &kg.spec;
+    for f in 0..spec.hub_films {
+        tt.object_put(&format!("film{f:04}"), &Json::obj(vec![]));
+        tt.assoc_add("director", "film", &format!("film{f:04}"));
+    }
+    // Mirror the film→actor edges measured in A1 (same counts).
+    let mut edges = 0u64;
+    'outer: for f in 0..spec.hub_films {
+        for a in 0..spec.actors_per_film {
+            tt.assoc_add(
+                &format!("film{f:04}"),
+                "actor",
+                &format!("actor{:05}", (f * spec.actors_per_film + a) % spec.actor_pool),
+            );
+            edges += 1;
+            if edges >= outcome.metrics.edges_visited {
+                break 'outer;
+            }
+        }
+    }
+    // Warm pass, then the measured pass (cache-hot, the favorable case).
+    let _ = tt.two_hop_count("director", "film", "actor");
+    let before = tt.sim_us();
+    let count = tt.two_hop_count("director", "film", "actor");
+    let tt_ms = (tt.sim_us() - before) as f64 / 1000.0;
+
+    let mut out = String::new();
+    writeln!(out, "== §5: A1 vs TAO-style two-tier cache (2-hop query) ==").unwrap();
+    writeln!(out, "A1 (operator shipping):        {a1_ms:>8.2} ms").unwrap();
+    writeln!(out, "two-tier (client-side, warm):  {tt_ms:>8.2} ms  ({count} results)").unwrap();
+    writeln!(out, "speedup:                        {:>8.1}x", tt_ms / a1_ms).unwrap();
+    writeln!(out, "(paper: A1 improves average serving latency 3.6x)").unwrap();
+    out
+}
+
+/// §5.2 ablation: FaRMv1 (no MVCC) vs FaRMv2 — abort rate of large
+/// read-only queries under concurrent updates. Real execution, no model.
+pub fn ablation_mvcc() -> String {
+    let run = |mode: TxnMode| -> (u64, u64, u64) {
+        let mut cfg = FarmConfig::small(3);
+        cfg.mode = mode;
+        let farm = FarmCluster::start(cfg);
+        // 64 objects, updated continuously by a writer thread.
+        let ptrs: Arc<Vec<Ptr>> = Arc::new(
+            (0..64)
+                .map(|i| {
+                    farm.run(MachineId(0), |tx| {
+                        tx.alloc(8, Hint::Machine(MachineId(i % 3)), &[0; 8])
+                    })
+                    .unwrap()
+                })
+                .collect(),
+        );
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let farm = farm.clone();
+            let ptrs = ptrs.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let ptr = ptrs[i % ptrs.len()];
+                    let _ = farm.run(MachineId(1), |tx| {
+                        let buf = tx.read(ptr)?;
+                        tx.update(&buf, vec![(i % 256) as u8; 8])
+                    });
+                    i += 1;
+                }
+            })
+        };
+        // 200 "large read-only queries", each reading all 64 objects.
+        let mut aborted = 0u64;
+        let mut committed = 0u64;
+        for _ in 0..200 {
+            let mut tx = farm.begin_read_only(MachineId(2));
+            let mut ok = true;
+            for ptr in ptrs.iter() {
+                if tx.read(*ptr).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            match (ok, tx.commit()) {
+                (true, Ok(_)) => committed += 1,
+                _ => aborted += 1,
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        let risks = farm.stats().opacity_risks.load(Ordering::Relaxed);
+        (committed, aborted, risks)
+    };
+
+    let (v1_ok, v1_abort, v1_risks) = run(TxnMode::V1Occ);
+    let (v2_ok, v2_abort, v2_risks) = run(TxnMode::V2Mvcc);
+    let mut out = String::new();
+    writeln!(out, "== §5.2 ablation: opacity + MVCC (200 large read-only queries under churn) ==").unwrap();
+    writeln!(out, "{:<10} {:>10} {:>10} {:>12} {:>16}", "mode", "committed", "aborted", "abort rate", "opacity risks").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>10} {:>10} {:>11.1}% {:>16}",
+        "FaRMv1",
+        v1_ok,
+        v1_abort,
+        v1_abort as f64 / 2.0,
+        v1_risks
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>10} {:>10} {:>11.1}% {:>16}",
+        "FaRMv2",
+        v2_ok,
+        v2_abort,
+        v2_abort as f64 / 2.0,
+        v2_risks
+    )
+    .unwrap();
+    writeln!(out, "(paper: v1's OCC aborts large queries frequently; v2's MVCC read-only txns never abort)").unwrap();
+    out
+}
+
+/// §3.2 ablation: inline edge lists vs the global edge B-tree across the
+/// spill threshold. Real measurements of enumeration cost.
+pub fn ablation_edges() -> String {
+    let mut out = String::new();
+    writeln!(out, "== §3.2 ablation: inline edge list vs global edge B-tree ==").unwrap();
+    writeln!(
+        out,
+        "{:>8} {:>14} {:>16} {:>14}",
+        "degree", "representation", "enum objects", "enum sim µs"
+    )
+    .unwrap();
+    for &degree in &[4usize, 16, 64, 256, 1024, 2048] {
+        let cluster = A1Cluster::start(A1Config {
+            inline_edge_threshold: 1024,
+            ..A1Config::small(3)
+        })
+        .unwrap();
+        let client = cluster.client();
+        client.create_tenant(TENANT).unwrap();
+        client.create_graph(TENANT, GRAPH).unwrap();
+        client
+            .create_vertex_type(TENANT, GRAPH, ENTITY_SCHEMA, "id", &[])
+            .unwrap();
+        client
+            .create_edge_type(TENANT, GRAPH, r#"{"name": "has", "fields": []}"#)
+            .unwrap();
+        client.create_vertex(TENANT, GRAPH, "entity", r#"{"id": "hub"}"#).unwrap();
+        for i in 0..degree {
+            client
+                .create_vertex(TENANT, GRAPH, "entity", &format!(r#"{{"id": "l{i:05}"}}"#))
+                .unwrap();
+            client
+                .create_edge(
+                    TENANT,
+                    GRAPH,
+                    "entity",
+                    &Json::str("hub"),
+                    "has",
+                    "entity",
+                    &Json::str(&format!("l{i:05}")),
+                    None,
+                )
+                .unwrap();
+        }
+        let fabric = cluster.farm().fabric();
+        let before = fabric.metrics().snapshot();
+        let out_q = cluster
+            .inner()
+            .coordinate_query(
+                MachineId(0),
+                TENANT,
+                GRAPH,
+                &format!(
+                    r#"{{"id": "hub", "_out_edge": {{"_type": "has",
+                        "_vertex": {{"_select": ["_count(*)"]}}}}}}"#
+                ),
+            )
+            .unwrap();
+        assert_eq!(out_q.count, Some(degree as u64));
+        let delta = fabric.metrics().snapshot().delta_since(&before);
+        let repr = if degree > 1024 { "B-tree" } else { "inline" };
+        writeln!(
+            out,
+            "{:>8} {:>14} {:>16} {:>14.1}",
+            degree,
+            repr,
+            delta.total_reads(),
+            delta.sim_ns as f64 / 1000.0
+        )
+        .unwrap();
+    }
+    writeln!(out, "(paper: inline lists to ~1000 edges — one extra read; spill to B-tree beyond)").unwrap();
+    out
+}
+
+/// §5.3: fast restart vs full re-replication.
+pub fn fast_restart() -> String {
+    let mut out = String::new();
+    writeln!(out, "== §5.3: fast restart (PyCo) vs reboot re-replication ==").unwrap();
+
+    // Fast restart: process crash preserves region memory.
+    let farm = FarmCluster::start(FarmConfig::small(3));
+    for i in 0..200u32 {
+        farm.run(MachineId(0), |tx| {
+            tx.alloc(200, Hint::Machine(MachineId(1)), &i.to_le_bytes())
+        })
+        .unwrap();
+    }
+    let before = farm.fabric().metrics().snapshot();
+    let t0 = std::time::Instant::now();
+    farm.crash_process(MachineId(1));
+    farm.restart_process(MachineId(1));
+    let fast_us = t0.elapsed().as_micros();
+    let fast_bytes = farm.fabric().metrics().snapshot().delta_since(&before).bytes_read;
+
+    // Reboot: memory gone; CM re-replicates whole regions.
+    let farm2 = FarmCluster::start(FarmConfig::small(4));
+    for i in 0..200u32 {
+        farm2
+            .run(MachineId(0), |tx| {
+                tx.alloc(200, Hint::Machine(MachineId(1)), &i.to_le_bytes())
+            })
+            .unwrap();
+    }
+    let before = farm2.fabric().metrics().snapshot();
+    let t0 = std::time::Instant::now();
+    farm2.reboot_machine(MachineId(1));
+    let reboot_us = t0.elapsed().as_micros();
+    let delta = farm2.fabric().metrics().snapshot().delta_since(&before);
+
+    writeln!(out, "fast restart:  {:>8} µs wall, {:>12} bytes copied", fast_us, fast_bytes).unwrap();
+    writeln!(
+        out,
+        "reboot:        {:>8} µs wall, {:>12} simulated-ns of re-replication traffic",
+        reboot_us, delta.sim_ns
+    )
+    .unwrap();
+    writeln!(out, "(paper: fast restart cut downtime by an order of magnitude)").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_is_linear() {
+        let text = fig11();
+        assert!(text.contains("reads"));
+        // 10 reads should cost roughly 10× one read (±50%).
+        let lines: Vec<&str> = text.lines().collect();
+        let parse = |line: &str| -> f64 {
+            line.split_whitespace().nth(1).unwrap().parse().unwrap()
+        };
+        let one = parse(lines[3]); // n=1
+        let ten = parse(lines[12]); // n=10
+        assert!(ten > one * 5.0 && ten < one * 15.0, "one={one} ten={ten}");
+        // Paper's ~17µs per read.
+        assert!(one > 4.0 && one < 30.0, "per-read {one}µs");
+    }
+
+    #[test]
+    fn ablation_mvcc_shows_v1_pathology() {
+        let text = ablation_mvcc();
+        assert!(text.contains("FaRMv1"));
+        // v2 line must show zero aborts.
+        let v2_line = text.lines().find(|l| l.starts_with("FaRMv2")).unwrap();
+        let aborted: u64 = v2_line.split_whitespace().nth(2).unwrap().parse().unwrap();
+        assert_eq!(aborted, 0, "MVCC read-only queries never abort");
+    }
+
+    #[test]
+    fn locality_exceeds_90_percent() {
+        let text = locality();
+        let line = text.lines().find(|l| l.contains("local read fraction")).unwrap();
+        let pct: f64 = line
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(pct >= 90.0, "measured locality {pct}%");
+    }
+}

@@ -1,0 +1,15 @@
+//! Benchmark harness for the A1 reproduction: workload generators, the
+//! trace-driven discrete-event throughput simulator, and runners that
+//! regenerate every table and figure in the paper's evaluation (§6).
+//!
+//! See DESIGN.md §3 for the experiment ↔ module map and EXPERIMENTS.md for
+//! recorded paper-vs-measured results.
+
+pub mod costmodel;
+pub mod des;
+pub mod figures;
+pub mod workload;
+
+pub use costmodel::{CostModel, HopDemand, QueryProfile};
+pub use des::{DesConfig, DesResult};
+pub use workload::{KnowledgeGraph, KnowledgeGraphSpec, UniformGraphSpec};

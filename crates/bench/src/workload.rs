@@ -1,0 +1,385 @@
+//! Workload generators.
+//!
+//! The paper evaluates on a film/entertainment knowledge graph (§6): 3.7 B
+//! vertices, heavy-tailed degrees (hubs beyond 10 M edges), ~220-byte
+//! payloads. These generators produce the same *shape* at configurable
+//! scale: the default spec gives "Spielberg" exactly 49 films whose casts
+//! union to ~1639 distinct actors, matching the paper's reported Q1
+//! footprint. A uniform random graph backs the Figure 14 scaling study
+//! (23 M vertices / 63 M edges in the paper, scaled down here).
+
+use a1_core::{A1Client, A1Cluster, A1Config, Json};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub const TENANT: &str = "bing";
+pub const GRAPH: &str = "kg";
+
+/// The weakly-typed `entity` vertex schema of §5: every entity is one type;
+/// attributes live in lists/maps.
+pub const ENTITY_SCHEMA: &str = r#"{
+    "name": "entity",
+    "fields": [
+        {"id": 0, "name": "id", "type": "string", "required": true},
+        {"id": 1, "name": "name", "type": "list<string>"},
+        {"id": 2, "name": "str_str_map", "type": "map<string,string>"},
+        {"id": 3, "name": "rank", "type": "int64"},
+        {"id": 4, "name": "payload", "type": "string"}
+    ]
+}"#;
+
+pub const EDGE_TYPES: &[&str] = &[
+    "director.film",
+    "film.actor",
+    "actor.film",
+    "film.genre",
+    "character.film",
+    "film.performance",
+    "performance.actor",
+];
+
+/// Knowledge-graph shape parameters.
+#[derive(Debug, Clone)]
+pub struct KnowledgeGraphSpec {
+    /// Films by the "hub" director (paper Q1: 49).
+    pub hub_films: usize,
+    /// Actors credited per film (paper Q1 reads 1785 edges over 49 films).
+    pub actors_per_film: usize,
+    /// Total actor pool (overlap between casts creates the dedup the paper
+    /// reports: 1785 edges → 1639 distinct actors).
+    pub actor_pool: usize,
+    /// Films per non-hub actor (drives Q4 fan-out).
+    pub films_per_actor: usize,
+    /// Batman-style character film count (Q2).
+    pub character_films: usize,
+    /// Average vertex payload bytes (paper: 220).
+    pub payload_bytes: usize,
+    pub seed: u64,
+}
+
+impl Default for KnowledgeGraphSpec {
+    fn default() -> Self {
+        KnowledgeGraphSpec {
+            hub_films: 49,
+            actors_per_film: 37,
+            actor_pool: 1800,
+            films_per_actor: 2,
+            character_films: 8,
+            payload_bytes: 220,
+            seed: 0xA1,
+        }
+    }
+}
+
+impl KnowledgeGraphSpec {
+    /// A small variant for quick tests and CI-speed benches.
+    pub fn tiny() -> KnowledgeGraphSpec {
+        KnowledgeGraphSpec {
+            hub_films: 6,
+            actors_per_film: 5,
+            actor_pool: 20,
+            films_per_actor: 1,
+            character_films: 3,
+            payload_bytes: 64,
+            seed: 0xA1,
+        }
+    }
+}
+
+/// A loaded knowledge graph plus the ids the evaluation queries start from.
+pub struct KnowledgeGraph {
+    pub cluster: A1Cluster,
+    pub client: A1Client,
+    pub spec: KnowledgeGraphSpec,
+    pub director_id: String,
+    pub character_id: String,
+    pub hub_actor_id: String,
+}
+
+impl KnowledgeGraph {
+    /// Build the schema and load the synthetic knowledge graph.
+    pub fn load(cfg: A1Config, spec: KnowledgeGraphSpec) -> KnowledgeGraph {
+        let cluster = A1Cluster::start(cfg).expect("cluster");
+        let client = cluster.client();
+        client.create_tenant(TENANT).unwrap();
+        client.create_graph(TENANT, GRAPH).unwrap();
+        client
+            .create_vertex_type(TENANT, GRAPH, ENTITY_SCHEMA, "id", &["rank"])
+            .unwrap();
+        for et in EDGE_TYPES {
+            client
+                .create_edge_type(TENANT, GRAPH, &format!(r#"{{"name": "{et}", "fields": []}}"#))
+                .unwrap();
+        }
+
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let payload: String = (0..spec.payload_bytes).map(|i| ((i % 26) as u8 + b'a') as char).collect();
+        let mk_vertex = |client: &A1Client, id: &str, name: &str, extra: &str| {
+            client
+                .create_vertex(
+                    TENANT,
+                    GRAPH,
+                    "entity",
+                    &format!(
+                        r#"{{"id": "{id}", "name": ["{name}"], "payload": "{payload}"{extra}}}"#
+                    ),
+                )
+                .unwrap();
+        };
+        let mk_edge = |client: &A1Client, src: &str, et: &str, dst: &str| {
+            client
+                .create_edge(
+                    TENANT,
+                    GRAPH,
+                    "entity",
+                    &Json::str(src),
+                    et,
+                    "entity",
+                    &Json::str(dst),
+                    None,
+                )
+                .unwrap();
+        };
+
+        // The hub director and their films (Q1's first hop).
+        let director_id = "steven.spielberg".to_string();
+        mk_vertex(&client, &director_id, "Steven Spielberg", "");
+        // Actor pool.
+        for a in 0..spec.actor_pool {
+            mk_vertex(&client, &format!("actor{a:05}"), &format!("Actor {a}"), "");
+        }
+        // Genres.
+        for g in ["war", "action", "comedy", "drama"] {
+            mk_vertex(&client, &format!("genre.{g}"), g, "");
+        }
+        // The hub actor (Q4 start) is actor00000.
+        let hub_actor_id = "actor00000".to_string();
+
+        for f in 0..spec.hub_films {
+            let fid = format!("film{f:04}");
+            mk_vertex(&client, &fid, &format!("Film {f}"), "");
+            mk_edge(&client, &director_id, "director.film", &fid);
+            let genre = if f % 2 == 0 { "genre.war" } else { "genre.drama" };
+            mk_edge(&client, &fid, "film.genre", genre);
+            // Cast: random actors from the pool; the hub actor is in every
+            // other film (Q3's match pattern needs director+actor overlap).
+            let mut cast = std::collections::HashSet::new();
+            if f % 2 == 0 {
+                cast.insert(0usize);
+            }
+            while cast.len() < spec.actors_per_film {
+                cast.insert(rng.gen_range(0..spec.actor_pool));
+            }
+            for a in cast {
+                let aid = format!("actor{a:05}");
+                mk_edge(&client, &fid, "film.actor", &aid);
+                mk_edge(&client, &aid, "actor.film", &fid);
+            }
+        }
+        // Additional films so every actor has `films_per_actor` credits.
+        let mut extra_film = 0usize;
+        for a in 0..spec.actor_pool {
+            for _ in 0..spec.films_per_actor.saturating_sub(1) {
+                let fid = format!("xfilm{extra_film:05}");
+                extra_film += 1;
+                mk_vertex(&client, &fid, &format!("Extra {extra_film}"), "");
+                let aid = format!("actor{a:05}");
+                mk_edge(&client, &fid, "film.actor", &aid);
+                mk_edge(&client, &aid, "actor.film", &fid);
+            }
+        }
+
+        // The Batman-style subgraph (Q2): character → films → performances →
+        // actors, with the character name in a str_str_map.
+        let character_id = "character.batman".to_string();
+        mk_vertex(&client, &character_id, "Batman", "");
+        for f in 0..spec.character_films {
+            let fid = format!("batfilm{f:02}");
+            mk_vertex(&client, &fid, &format!("Batman Film {f}"), "");
+            mk_edge(&client, &character_id, "character.film", &fid);
+            mk_edge(&client, &fid, "film.genre", "genre.action");
+            // Two performances per film; only one is the Batman role.
+            for (p, character) in [("hero", "Batman"), ("villain", "Joker")] {
+                let pid = format!("perf.{fid}.{p}");
+                client
+                    .create_vertex(
+                        TENANT,
+                        GRAPH,
+                        "entity",
+                        &format!(
+                            r#"{{"id": "{pid}", "str_str_map": {{"character": "{character}"}}}}"#
+                        ),
+                    )
+                    .unwrap();
+                mk_edge(&client, &fid, "film.performance", &pid);
+                let actor = format!("actor{:05}", rng.gen_range(0..spec.actor_pool));
+                mk_edge(&client, &pid, "performance.actor", &actor);
+            }
+        }
+
+        KnowledgeGraph { cluster, client, spec, director_id, character_id, hub_actor_id }
+    }
+
+    /// Paper Table 2 Q1.
+    pub fn q1(&self) -> String {
+        format!(
+            r#"{{ "id" : "{}",
+                "_out_edge" : {{ "_type" : "director.film",
+                "_vertex" : {{
+                "_out_edge" : {{ "_type" : "film.actor",
+                "_vertex" : {{
+                "_select" : ["_count(*)"] }}}}}}}}}}"#,
+            self.director_id
+        )
+    }
+
+    /// Paper Table 2 Q2.
+    pub fn q2(&self) -> String {
+        format!(
+            r#"{{ "id" : "{}",
+                "_out_edge" : {{ "_type" : "character.film",
+                "_vertex" : {{
+                "_out_edge" : {{ "_type" : "film.performance",
+                "_vertex" : {{
+                "str_str_map[character]" : "Batman",
+                "_out_edge" : {{ "_type" : "performance.actor",
+                "_vertex" : {{
+                "_select" : ["_count(*)"] }}}}}}}}}}}}}}"#,
+            self.character_id
+        )
+    }
+
+    /// Paper Table 2 Q3 (star match: war films with the hub actor).
+    pub fn q3(&self) -> String {
+        format!(
+            r#"{{ "id" : "{}",
+                "_out_edge" : {{ "_type" : "director.film",
+                "_vertex" : {{ "_type" : "entity",
+                "_select" : ["name[0]"],
+                "_match" : [{{
+                "_out_edge" : {{ "_type" : "film.actor",
+                "_vertex" : {{ "id" : "{}" }}}}}},
+                {{ "_out_edge" : {{ "_type" : "film.genre",
+                "_vertex" : {{ "id" : "genre.war" }}}}}}] }}}}}}"#,
+            self.director_id, self.hub_actor_id
+        )
+    }
+
+    /// Paper Table 2 Q4 (stress: 3-hop fan-out).
+    pub fn q4(&self) -> String {
+        format!(
+            r#"{{ "id" : "{}",
+                "_out_edge" : {{ "_type" : "actor.film",
+                "_vertex" : {{
+                "_out_edge" : {{ "_type" : "film.actor",
+                "_vertex" : {{
+                "_out_edge" : {{ "_type" : "actor.film",
+                "_vertex" : {{
+                "_select" : ["_count(*)"] }}}}}}}}}}}}}}"#,
+            self.hub_actor_id
+        )
+    }
+}
+
+/// Uniform random graph for the Figure 14 scaling study.
+#[derive(Debug, Clone)]
+pub struct UniformGraphSpec {
+    pub vertices: usize,
+    pub edges: usize,
+    pub seed: u64,
+}
+
+impl UniformGraphSpec {
+    /// The paper's 23 M / 63 M dataset scaled by `factor` (e.g. 1000 → 23 k
+    /// vertices).
+    pub fn paper_scaled(factor: usize) -> UniformGraphSpec {
+        UniformGraphSpec {
+            vertices: (23_000_000 / factor).max(100),
+            edges: (63_000_000 / factor).max(300),
+            seed: 0x14,
+        }
+    }
+
+    /// Load into a cluster; returns query start ids.
+    pub fn load(&self, cluster: &A1Cluster) -> Vec<String> {
+        let client = cluster.client();
+        client.create_tenant(TENANT).unwrap();
+        client.create_graph(TENANT, GRAPH).unwrap();
+        client
+            .create_vertex_type(TENANT, GRAPH, ENTITY_SCHEMA, "id", &[])
+            .unwrap();
+        client
+            .create_edge_type(TENANT, GRAPH, r#"{"name": "link", "fields": []}"#)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for v in 0..self.vertices {
+            client
+                .create_vertex(TENANT, GRAPH, "entity", &format!(r#"{{"id": "v{v:07}"}}"#))
+                .unwrap();
+        }
+        let mut made = 0usize;
+        while made < self.edges {
+            let a = rng.gen_range(0..self.vertices);
+            let b = rng.gen_range(0..self.vertices);
+            if a == b {
+                continue;
+            }
+            let r = client.create_edge(
+                TENANT,
+                GRAPH,
+                "entity",
+                &Json::str(&format!("v{a:07}")),
+                "link",
+                "entity",
+                &Json::str(&format!("v{b:07}")),
+                None,
+            );
+            if r.is_ok() {
+                made += 1;
+            }
+        }
+        (0..32.min(self.vertices))
+            .map(|i| format!("v{:07}", i * (self.vertices / 32).max(1)))
+            .collect()
+    }
+
+    /// The 2-hop query used for Figure 14.
+    pub fn two_hop_query(start: &str) -> String {
+        format!(
+            r#"{{ "id": "{start}", "_out_edge": {{ "_type": "link",
+                "_vertex": {{ "_out_edge": {{ "_type": "link",
+                "_vertex": {{ "_select": ["_count(*)"] }}}}}}}}}}"#
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_kg_loads_and_queries() {
+        let kg = KnowledgeGraph::load(A1Config::small(3), KnowledgeGraphSpec::tiny());
+        let out = kg.client.query(TENANT, GRAPH, &kg.q1()).unwrap();
+        assert!(out.count.unwrap() > 0, "Q1 finds actors");
+        let out = kg.client.query(TENANT, GRAPH, &kg.q2()).unwrap();
+        assert!(out.count.unwrap() > 0, "Q2 finds Batman actors");
+        let out = kg.client.query(TENANT, GRAPH, &kg.q3()).unwrap();
+        assert!(!out.rows.is_empty(), "Q3 finds war films with the hub actor");
+        let out = kg.client.query(TENANT, GRAPH, &kg.q4()).unwrap();
+        assert!(out.count.unwrap() > 0, "Q4 finds co-star films");
+    }
+
+    #[test]
+    fn uniform_graph_loads() {
+        let cluster = A1Cluster::start(A1Config::small(3)).unwrap();
+        let spec = UniformGraphSpec { vertices: 200, edges: 500, seed: 1 };
+        let starts = spec.load(&cluster);
+        assert!(!starts.is_empty());
+        let client = cluster.client();
+        let out = client
+            .query(TENANT, GRAPH, &UniformGraphSpec::two_hop_query(&starts[0]))
+            .unwrap();
+        assert!(out.count.is_some());
+    }
+}

@@ -1,0 +1,169 @@
+//! Order-preserving key encoding for B-tree indexes.
+//!
+//! A1's primary and secondary indexes are sorted B-trees (paper §3); keys may
+//! be composite (secondary key then primary key, or ⟨src, edge type, dst⟩ for
+//! the global edge B-tree). This module encodes tuples of [`Value`]s into
+//! byte strings whose lexicographic order equals the tuple order.
+//!
+//! Per element: a type tag byte, then a payload in an order-preserving form:
+//! * signed integers/dates: 8 bytes big-endian with the sign bit flipped,
+//! * unsigned: 8 bytes big-endian,
+//! * doubles: IEEE-754 total-order transform, big-endian,
+//! * strings/blobs: raw bytes with `0x00` escaped as `0x00 0xFF`, terminated
+//!   by a single `0x00`. Tags are < 0xFF, which keeps composite comparisons
+//!   correct at element boundaries.
+
+use crate::value::Value;
+
+const KTAG_BOOL: u8 = 0x10;
+const KTAG_INT: u8 = 0x11; // Int32/Int64/Date share an encoding
+const KTAG_UINT: u8 = 0x12;
+const KTAG_DOUBLE: u8 = 0x13;
+const KTAG_BYTES: u8 = 0x14; // String/Blob share an encoding
+
+/// Values that cannot be index keys (composites).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotKeyable;
+
+impl std::fmt::Display for NotKeyable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lists and maps cannot be used as index keys")
+    }
+}
+
+impl std::error::Error for NotKeyable {}
+
+/// Encode a single value, appending to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) -> Result<(), NotKeyable> {
+    match v {
+        Value::Bool(b) => {
+            out.push(KTAG_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Int32(n) => encode_int(*n as i64, out),
+        Value::Int64(n) | Value::Date(n) => encode_int(*n, out),
+        Value::UInt64(n) => {
+            out.push(KTAG_UINT);
+            out.extend_from_slice(&n.to_be_bytes());
+        }
+        Value::Double(d) => {
+            out.push(KTAG_DOUBLE);
+            let bits = d.to_bits();
+            // Total-order transform: negatives flip all bits, positives flip
+            // the sign bit, so byte order equals numeric order.
+            let mapped = if bits & (1 << 63) != 0 { !bits } else { bits ^ (1 << 63) };
+            out.extend_from_slice(&mapped.to_be_bytes());
+        }
+        Value::String(s) => encode_bytes(s.as_bytes(), out),
+        Value::Blob(b) => encode_bytes(b, out),
+        Value::List(_) | Value::Map(_) => return Err(NotKeyable),
+    }
+    Ok(())
+}
+
+fn encode_int(n: i64, out: &mut Vec<u8>) {
+    out.push(KTAG_INT);
+    out.extend_from_slice(&((n as u64) ^ (1 << 63)).to_be_bytes());
+}
+
+fn encode_bytes(b: &[u8], out: &mut Vec<u8>) {
+    out.push(KTAG_BYTES);
+    for &byte in b {
+        if byte == 0 {
+            out.push(0x00);
+            out.push(0xFF);
+        } else {
+            out.push(byte);
+        }
+    }
+    out.push(0x00);
+}
+
+/// Encode a tuple of values into one composite key.
+pub fn encode_tuple(values: &[Value]) -> Result<Vec<u8>, NotKeyable> {
+    let mut out = Vec::with_capacity(values.len() * 10);
+    for v in values {
+        encode_value(v, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Encode a single value as a standalone key.
+pub fn encode_key(v: &Value) -> Result<Vec<u8>, NotKeyable> {
+    let mut out = Vec::with_capacity(10);
+    encode_value(v, &mut out)?;
+    Ok(out)
+}
+
+/// The smallest possible key strictly greater than every key with the given
+/// prefix — used for B-tree prefix range scans.
+pub fn prefix_upper_bound(prefix: &[u8]) -> Vec<u8> {
+    let mut out = prefix.to_vec();
+    out.push(0xFF);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: Value) -> Vec<u8> {
+        encode_key(&v).unwrap()
+    }
+
+    #[test]
+    fn integer_order() {
+        let vals = [i64::MIN, -1, 0, 1, 42, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(k(Value::Int64(w[0])) < k(Value::Int64(w[1])), "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn unsigned_order() {
+        assert!(k(Value::UInt64(0)) < k(Value::UInt64(1)));
+        assert!(k(Value::UInt64(u64::MAX - 1)) < k(Value::UInt64(u64::MAX)));
+    }
+
+    #[test]
+    fn double_order() {
+        let vals = [f64::NEG_INFINITY, -1.5, -0.0, 0.0, 1e-9, 2.5, f64::INFINITY];
+        for w in vals.windows(2) {
+            let (a, b) = (k(Value::Double(w[0])), k(Value::Double(w[1])));
+            assert!(a <= b, "{} <= {}", w[0], w[1]);
+        }
+        // -0.0 and 0.0 are distinct in total order but adjacent.
+        assert!(k(Value::Double(-0.0)) < k(Value::Double(0.0)));
+    }
+
+    #[test]
+    fn string_order_and_null_bytes() {
+        assert!(k(Value::String("a".into())) < k(Value::String("ab".into())));
+        assert!(k(Value::String("a".into())) < k(Value::String("a\0".into())));
+        assert!(k(Value::String("a\0".into())) < k(Value::String("a\0\0".into())));
+        assert!(k(Value::String("a\0".into())) < k(Value::String("b".into())));
+    }
+
+    #[test]
+    fn composite_boundaries() {
+        // ("a", big-uint) vs ("a\0", anything): "a" < "a\0" must dominate.
+        let t1 = encode_tuple(&[Value::String("a".into()), Value::UInt64(u64::MAX)]).unwrap();
+        let t2 = encode_tuple(&[Value::String("a\0".into()), Value::UInt64(0)]).unwrap();
+        assert!(t1 < t2);
+    }
+
+    #[test]
+    fn composites_not_keyable() {
+        assert_eq!(encode_key(&Value::List(vec![])), Err(NotKeyable));
+        assert_eq!(encode_key(&Value::Map(vec![])), Err(NotKeyable));
+    }
+
+    #[test]
+    fn prefix_bound() {
+        let p = k(Value::String("abc".into()));
+        let hi = prefix_upper_bound(&p);
+        assert!(p < hi);
+        let longer = encode_tuple(&[Value::String("abc".into()), Value::UInt64(9)]).unwrap();
+        assert!(longer < hi);
+    }
+}

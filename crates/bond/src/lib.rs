@@ -1,0 +1,85 @@
+//! Bond-like schematized serialization.
+//!
+//! The paper (§3) uses Microsoft Bond to schematize vertex and edge payloads:
+//! typed attributes with numeric field ids, compact binary encoding, and a
+//! type system with primitives, lists, maps and nesting. Bond itself is not
+//! reproducible here, so this crate implements the subset A1 relies on:
+//!
+//! * [`Schema`] — named, ordered field definitions with stable field ids.
+//! * [`Value`] / [`Record`] — dynamically-typed values validated against a schema.
+//! * [`wire`] — a compact self-describing binary encoding (varint/zigzag based)
+//!   so that readers can skip unknown fields (schema evolution).
+//! * [`keyenc`] — an order-preserving byte encoding for index keys, used by
+//!   A1's primary and secondary B-tree indexes.
+
+pub mod keyenc;
+pub mod schema;
+pub mod value;
+pub mod wire;
+
+pub use schema::{FieldDef, Schema, SchemaError};
+pub use value::{BondType, Record, Value};
+pub use wire::{decode_record, encode_record, WireError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Actor/Film example from paper §3 (Fig. 5).
+    #[test]
+    fn paper_actor_film_schema() {
+        let actor = Schema::build(
+            "Actor",
+            vec![
+                FieldDef::required(0, "name", BondType::String),
+                FieldDef::optional(1, "origin", BondType::String),
+                FieldDef::optional(2, "birth_date", BondType::Date),
+            ],
+        )
+        .unwrap();
+
+        let mut rec = Record::new();
+        rec.set(0, Value::String("Tom Hanks".into()));
+        rec.set(1, Value::String("USA".into()));
+        rec.set(2, Value::Date(-4930)); // 1956-07-09 in days since epoch
+        actor.validate(&rec).unwrap();
+
+        let bytes = encode_record(&rec);
+        let back = decode_record(&bytes).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.get(0), Some(&Value::String("Tom Hanks".into())));
+        assert_eq!(actor.field_by_name("origin").unwrap().id, 1);
+    }
+
+    /// Knowledge-graph entities use a string→string map attribute (§5, Q2's
+    /// `str_str_map[character]` predicate).
+    #[test]
+    fn weakly_typed_entity() {
+        let entity = Schema::build(
+            "entity",
+            vec![
+                FieldDef::required(0, "id", BondType::String),
+                FieldDef::optional(1, "name", BondType::List(Box::new(BondType::String))),
+                FieldDef::optional(
+                    2,
+                    "str_str_map",
+                    BondType::Map(Box::new(BondType::String), Box::new(BondType::String)),
+                ),
+            ],
+        )
+        .unwrap();
+        let mut rec = Record::new();
+        rec.set(0, Value::String("character.batman".into()));
+        rec.set(1, Value::List(vec![Value::String("Batman".into())]));
+        rec.set(
+            2,
+            Value::Map(vec![(
+                Value::String("universe".into()),
+                Value::String("DC".into()),
+            )]),
+        );
+        entity.validate(&rec).unwrap();
+        let back = decode_record(&encode_record(&rec)).unwrap();
+        assert_eq!(back, rec);
+    }
+}

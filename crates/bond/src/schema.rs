@@ -1,0 +1,202 @@
+//! Schemas: named field definitions with stable numeric ids.
+
+use crate::value::{BondType, Record};
+
+/// One field of a schema, comparable to a column definition (paper Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    pub id: u16,
+    pub name: String,
+    pub ty: BondType,
+    pub required: bool,
+}
+
+impl FieldDef {
+    pub fn required(id: u16, name: &str, ty: BondType) -> FieldDef {
+        FieldDef { id, name: name.to_string(), ty, required: true }
+    }
+
+    pub fn optional(id: u16, name: &str, ty: BondType) -> FieldDef {
+        FieldDef { id, name: name.to_string(), ty, required: false }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    DuplicateFieldId(u16),
+    DuplicateFieldName(String),
+    MissingRequiredField { field: String },
+    TypeMismatch { field: String, expected: String },
+    UnknownField(u16),
+    EmptySchemaName,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::DuplicateFieldId(id) => write!(f, "duplicate field id {id}"),
+            SchemaError::DuplicateFieldName(n) => write!(f, "duplicate field name '{n}'"),
+            SchemaError::MissingRequiredField { field } => {
+                write!(f, "missing required field '{field}'")
+            }
+            SchemaError::TypeMismatch { field, expected } => {
+                write!(f, "field '{field}' does not conform to type {expected}")
+            }
+            SchemaError::UnknownField(id) => write!(f, "unknown field id {id}"),
+            SchemaError::EmptySchemaName => write!(f, "schema name must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A vertex or edge type's attribute schema. Fields are kept sorted by id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    fields: Vec<FieldDef>,
+}
+
+impl Schema {
+    /// Build a schema, validating id/name uniqueness.
+    pub fn build(name: &str, mut fields: Vec<FieldDef>) -> Result<Schema, SchemaError> {
+        if name.is_empty() {
+            return Err(SchemaError::EmptySchemaName);
+        }
+        fields.sort_by_key(|f| f.id);
+        for w in fields.windows(2) {
+            if w[0].id == w[1].id {
+                return Err(SchemaError::DuplicateFieldId(w[0].id));
+            }
+        }
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(SchemaError::DuplicateFieldName(f.name.clone()));
+            }
+        }
+        Ok(Schema { name: name.to_string(), fields })
+    }
+
+    /// An empty schema (edges frequently carry no attributes, §6).
+    pub fn empty(name: &str) -> Schema {
+        Schema::build(name, vec![]).expect("empty schema is valid")
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    pub fn field(&self, id: u16) -> Option<&FieldDef> {
+        self.fields.binary_search_by_key(&id, |f| f.id).ok().map(|i| &self.fields[i])
+    }
+
+    pub fn field_by_name(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Validate a record against this schema: required fields present, all
+    /// present fields known and type-conformant.
+    pub fn validate(&self, rec: &Record) -> Result<(), SchemaError> {
+        for f in &self.fields {
+            match rec.get(f.id) {
+                Some(v) => {
+                    if !v.conforms_to(&f.ty) {
+                        return Err(SchemaError::TypeMismatch {
+                            field: f.name.clone(),
+                            expected: f.ty.to_string(),
+                        });
+                    }
+                }
+                None if f.required => {
+                    return Err(SchemaError::MissingRequiredField { field: f.name.clone() })
+                }
+                None => {}
+            }
+        }
+        for (id, _) in rec.fields() {
+            if self.field(*id).is_none() {
+                return Err(SchemaError::UnknownField(*id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn film() -> Schema {
+        Schema::build(
+            "Film",
+            vec![
+                FieldDef::required(0, "name", BondType::String),
+                FieldDef::optional(1, "genre", BondType::String),
+                FieldDef::optional(2, "release_date", BondType::Date),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_rejects_duplicates() {
+        let e = Schema::build(
+            "T",
+            vec![
+                FieldDef::required(0, "a", BondType::Bool),
+                FieldDef::required(0, "b", BondType::Bool),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(e, SchemaError::DuplicateFieldId(0));
+
+        let e = Schema::build(
+            "T",
+            vec![
+                FieldDef::required(0, "a", BondType::Bool),
+                FieldDef::required(1, "a", BondType::Bool),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(e, SchemaError::DuplicateFieldName("a".into()));
+
+        assert_eq!(Schema::build("", vec![]).unwrap_err(), SchemaError::EmptySchemaName);
+    }
+
+    #[test]
+    fn validation() {
+        let s = film();
+        let ok = Record::new().with(0, Value::String("Jaws".into()));
+        s.validate(&ok).unwrap();
+
+        let missing = Record::new().with(1, Value::String("thriller".into()));
+        assert!(matches!(
+            s.validate(&missing),
+            Err(SchemaError::MissingRequiredField { .. })
+        ));
+
+        let wrong = Record::new().with(0, Value::Int64(3));
+        assert!(matches!(s.validate(&wrong), Err(SchemaError::TypeMismatch { .. })));
+
+        let unknown = Record::new()
+            .with(0, Value::String("Jaws".into()))
+            .with(9, Value::Bool(true));
+        assert_eq!(s.validate(&unknown), Err(SchemaError::UnknownField(9)));
+    }
+
+    #[test]
+    fn lookup() {
+        let s = film();
+        assert_eq!(s.field(1).unwrap().name, "genre");
+        assert_eq!(s.field_by_name("release_date").unwrap().id, 2);
+        assert!(s.field(7).is_none());
+        assert!(s.field_by_name("zzz").is_none());
+        assert_eq!(s.name(), "Film");
+        assert_eq!(s.fields().len(), 3);
+    }
+}

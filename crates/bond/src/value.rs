@@ -1,0 +1,306 @@
+//! Dynamically-typed Bond values and records.
+
+/// The Bond type system supported by A1 (paper §3): primitives plus composite
+/// lists and maps, with nesting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BondType {
+    Bool,
+    Int32,
+    Int64,
+    UInt64,
+    Double,
+    String,
+    /// Days since the Unix epoch (may be negative).
+    Date,
+    Blob,
+    List(Box<BondType>),
+    Map(Box<BondType>, Box<BondType>),
+}
+
+impl BondType {
+    /// Parse a type from its textual form, e.g. `"list<string>"`,
+    /// `"map<string,string>"`. Used by schema declarations in examples/tests.
+    pub fn parse(s: &str) -> Option<BondType> {
+        let s = s.trim();
+        Some(match s {
+            "bool" => BondType::Bool,
+            "int32" => BondType::Int32,
+            "int64" => BondType::Int64,
+            "uint64" => BondType::UInt64,
+            "double" => BondType::Double,
+            "string" => BondType::String,
+            "date" => BondType::Date,
+            "blob" => BondType::Blob,
+            _ => {
+                if let Some(inner) = s.strip_prefix("list<").and_then(|r| r.strip_suffix('>')) {
+                    BondType::List(Box::new(BondType::parse(inner)?))
+                } else if let Some(inner) = s.strip_prefix("map<").and_then(|r| r.strip_suffix('>'))
+                {
+                    let (k, v) = split_top_level(inner)?;
+                    BondType::Map(
+                        Box::new(BondType::parse(k)?),
+                        Box::new(BondType::parse(v)?),
+                    )
+                } else {
+                    return None;
+                }
+            }
+        })
+    }
+}
+
+/// Split `"k,v"` at the top-level comma (ignoring commas inside `<...>`).
+fn split_top_level(s: &str) -> Option<(&str, &str)> {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' => depth = depth.checked_sub(1)?,
+            ',' if depth == 0 => return Some((&s[..i], &s[i + 1..])),
+            _ => {}
+        }
+    }
+    None
+}
+
+impl std::fmt::Display for BondType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BondType::Bool => write!(f, "bool"),
+            BondType::Int32 => write!(f, "int32"),
+            BondType::Int64 => write!(f, "int64"),
+            BondType::UInt64 => write!(f, "uint64"),
+            BondType::Double => write!(f, "double"),
+            BondType::String => write!(f, "string"),
+            BondType::Date => write!(f, "date"),
+            BondType::Blob => write!(f, "blob"),
+            BondType::List(e) => write!(f, "list<{e}>"),
+            BondType::Map(k, v) => write!(f, "map<{k},{v}>"),
+        }
+    }
+}
+
+/// A dynamically-typed Bond value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Bool(bool),
+    Int32(i32),
+    Int64(i64),
+    UInt64(u64),
+    Double(f64),
+    String(String),
+    Date(i64),
+    Blob(Vec<u8>),
+    List(Vec<Value>),
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// Whether this value conforms to `ty` (recursively; empty composites
+    /// conform to any element type).
+    pub fn conforms_to(&self, ty: &BondType) -> bool {
+        match (self, ty) {
+            (Value::Bool(_), BondType::Bool)
+            | (Value::Int32(_), BondType::Int32)
+            | (Value::Int64(_), BondType::Int64)
+            | (Value::UInt64(_), BondType::UInt64)
+            | (Value::Double(_), BondType::Double)
+            | (Value::String(_), BondType::String)
+            | (Value::Date(_), BondType::Date)
+            | (Value::Blob(_), BondType::Blob) => true,
+            (Value::List(items), BondType::List(elem)) => {
+                items.iter().all(|v| v.conforms_to(elem))
+            }
+            (Value::Map(pairs), BondType::Map(k, v)) => {
+                pairs.iter().all(|(pk, pv)| pk.conforms_to(k) && pv.conforms_to(v))
+            }
+            _ => false,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int32(v) => Some(*v as i64),
+            Value::Int64(v) | Value::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            Value::Int32(v) => Some(*v as f64),
+            Value::Int64(v) => Some(*v as f64),
+            Value::UInt64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Map lookup by string key (for `str_str_map[key]` predicates, §6 Q2).
+    pub fn map_get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k.as_str() == Some(key))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Total comparison between two values of the same primitive type; `None`
+    /// for mismatched or composite types. Used by query predicates and key
+    /// ordering. Doubles compare by IEEE total order so the result is total.
+    pub fn compare(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        use Value::*;
+        Some(match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int32(a), Int32(b)) => a.cmp(b),
+            (Int64(a), Int64(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (UInt64(a), UInt64(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (String(a), String(b)) => a.cmp(b),
+            (Blob(a), Blob(b)) => a.cmp(b),
+            _ => return None,
+        })
+    }
+}
+
+/// A set of (field id → value) pairs, sorted by field id.
+///
+/// Records are what get serialized into a vertex or edge data object. They
+/// are validated against the declaring type's [`crate::Schema`] on write.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Record {
+    fields: Vec<(u16, Value)>,
+}
+
+impl Record {
+    pub fn new() -> Record {
+        Record::default()
+    }
+
+    /// Set a field, replacing any existing value for the id.
+    pub fn set(&mut self, id: u16, value: Value) -> &mut Self {
+        match self.fields.binary_search_by_key(&id, |(i, _)| *i) {
+            Ok(pos) => self.fields[pos].1 = value,
+            Err(pos) => self.fields.insert(pos, (id, value)),
+        }
+        self
+    }
+
+    pub fn with(mut self, id: u16, value: Value) -> Self {
+        self.set(id, value);
+        self
+    }
+
+    pub fn get(&self, id: u16) -> Option<&Value> {
+        self.fields
+            .binary_search_by_key(&id, |(i, _)| *i)
+            .ok()
+            .map(|pos| &self.fields[pos].1)
+    }
+
+    pub fn remove(&mut self, id: u16) -> Option<Value> {
+        match self.fields.binary_search_by_key(&id, |(i, _)| *i) {
+            Ok(pos) => Some(self.fields.remove(pos).1),
+            Err(_) => None,
+        }
+    }
+
+    pub fn fields(&self) -> &[(u16, Value)] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_parse_display_roundtrip() {
+        for t in [
+            "bool", "int32", "int64", "uint64", "double", "string", "date", "blob",
+            "list<string>", "map<string,string>", "list<map<string,list<int64>>>",
+        ] {
+            let ty = BondType::parse(t).unwrap();
+            assert_eq!(ty.to_string(), t);
+        }
+        assert!(BondType::parse("float").is_none());
+        assert!(BondType::parse("list<").is_none());
+        assert!(BondType::parse("map<string>").is_none());
+    }
+
+    #[test]
+    fn conformance() {
+        assert!(Value::Int64(3).conforms_to(&BondType::Int64));
+        assert!(!Value::Int64(3).conforms_to(&BondType::Int32));
+        assert!(Value::List(vec![]).conforms_to(&BondType::List(Box::new(BondType::Bool))));
+        assert!(Value::List(vec![Value::Bool(true)])
+            .conforms_to(&BondType::List(Box::new(BondType::Bool))));
+        assert!(!Value::List(vec![Value::Int32(1)])
+            .conforms_to(&BondType::List(Box::new(BondType::Bool))));
+        let m = Value::Map(vec![(Value::String("a".into()), Value::Int64(1))]);
+        assert!(m.conforms_to(&BondType::Map(
+            Box::new(BondType::String),
+            Box::new(BondType::Int64)
+        )));
+        assert!(!m.conforms_to(&BondType::Map(
+            Box::new(BondType::Int64),
+            Box::new(BondType::Int64)
+        )));
+    }
+
+    #[test]
+    fn record_set_get_sorted() {
+        let mut r = Record::new();
+        r.set(5, Value::Bool(true));
+        r.set(1, Value::Int32(7));
+        r.set(5, Value::Bool(false)); // overwrite
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.fields()[0].0, 1);
+        assert_eq!(r.get(5), Some(&Value::Bool(false)));
+        assert_eq!(r.remove(1), Some(Value::Int32(7)));
+        assert_eq!(r.get(1), None);
+    }
+
+    #[test]
+    fn compare_totals() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int64(1).compare(&Value::Int64(2)), Some(Less));
+        assert_eq!(
+            Value::Double(f64::NAN).compare(&Value::Double(f64::NAN)),
+            Some(Equal)
+        );
+        assert_eq!(Value::Int64(1).compare(&Value::String("x".into())), None);
+        assert_eq!(
+            Value::String("a".into()).compare(&Value::String("b".into())),
+            Some(Less)
+        );
+    }
+
+    #[test]
+    fn map_get() {
+        let m = Value::Map(vec![
+            (Value::String("character".into()), Value::String("Batman".into())),
+        ]);
+        assert_eq!(m.map_get("character").unwrap().as_str(), Some("Batman"));
+        assert!(m.map_get("other").is_none());
+        assert!(Value::Int64(1).map_get("x").is_none());
+    }
+}

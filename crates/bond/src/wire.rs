@@ -1,0 +1,334 @@
+//! Compact self-describing binary encoding.
+//!
+//! Layout: `varint(field_count)` then, per field sorted by id,
+//! `varint(field_id) tag payload`. Every value carries its tag so readers can
+//! skip fields whose ids they do not know (schema evolution), mirroring
+//! Bond's compact binary protocol. Integers use LEB128 varints; signed values
+//! are zigzag-encoded; doubles are 8 little-endian bytes.
+
+use crate::value::{Record, Value};
+
+const TAG_BOOL_FALSE: u8 = 0x01;
+const TAG_BOOL_TRUE: u8 = 0x02;
+const TAG_INT32: u8 = 0x03;
+const TAG_INT64: u8 = 0x04;
+const TAG_UINT64: u8 = 0x05;
+const TAG_DOUBLE: u8 = 0x06;
+const TAG_STRING: u8 = 0x07;
+const TAG_DATE: u8 = 0x08;
+const TAG_BLOB: u8 = 0x09;
+const TAG_LIST: u8 = 0x0A;
+const TAG_MAP: u8 = 0x0B;
+
+/// Decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    Truncated,
+    InvalidTag(u8),
+    InvalidUtf8,
+    VarintOverflow,
+    /// Field ids must be strictly increasing within a record.
+    UnsortedFields,
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated input"),
+            WireError::InvalidTag(t) => write!(f, "invalid wire tag {t:#x}"),
+            WireError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            WireError::VarintOverflow => write!(f, "varint overflow"),
+            WireError::UnsortedFields => write!(f, "field ids not strictly increasing"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after record"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(WireError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::VarintOverflow);
+        }
+    }
+}
+
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encode a record to bytes.
+pub fn encode_record(rec: &Record) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + rec.len() * 8);
+    write_varint(&mut out, rec.len() as u64);
+    for (id, v) in rec.fields() {
+        write_varint(&mut out, *id as u64);
+        write_value(&mut out, v);
+    }
+    out
+}
+
+/// Decode a record. The whole buffer must be consumed.
+pub fn decode_record(buf: &[u8]) -> Result<Record, WireError> {
+    let mut pos = 0usize;
+    let n = read_varint(buf, &mut pos)?;
+    let mut rec = Record::new();
+    let mut last_id: Option<u16> = None;
+    for _ in 0..n {
+        let id = read_varint(buf, &mut pos)? as u16;
+        if let Some(prev) = last_id {
+            if id <= prev {
+                return Err(WireError::UnsortedFields);
+            }
+        }
+        last_id = Some(id);
+        let v = read_value(buf, &mut pos)?;
+        rec.set(id, v);
+    }
+    if pos != buf.len() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(rec)
+}
+
+fn write_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Bool(false) => out.push(TAG_BOOL_FALSE),
+        Value::Bool(true) => out.push(TAG_BOOL_TRUE),
+        Value::Int32(v) => {
+            out.push(TAG_INT32);
+            write_varint(out, zigzag(*v as i64));
+        }
+        Value::Int64(v) => {
+            out.push(TAG_INT64);
+            write_varint(out, zigzag(*v));
+        }
+        Value::UInt64(v) => {
+            out.push(TAG_UINT64);
+            write_varint(out, *v);
+        }
+        Value::Double(v) => {
+            out.push(TAG_DOUBLE);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(TAG_STRING);
+            write_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Date(v) => {
+            out.push(TAG_DATE);
+            write_varint(out, zigzag(*v));
+        }
+        Value::Blob(b) => {
+            out.push(TAG_BLOB);
+            write_varint(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        Value::List(items) => {
+            out.push(TAG_LIST);
+            write_varint(out, items.len() as u64);
+            for item in items {
+                write_value(out, item);
+            }
+        }
+        Value::Map(pairs) => {
+            out.push(TAG_MAP);
+            write_varint(out, pairs.len() as u64);
+            for (k, v) in pairs {
+                write_value(out, k);
+                write_value(out, v);
+            }
+        }
+    }
+}
+
+fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value, WireError> {
+    let tag = *buf.get(*pos).ok_or(WireError::Truncated)?;
+    *pos += 1;
+    Ok(match tag {
+        TAG_BOOL_FALSE => Value::Bool(false),
+        TAG_BOOL_TRUE => Value::Bool(true),
+        TAG_INT32 => Value::Int32(unzigzag(read_varint(buf, pos)?) as i32),
+        TAG_INT64 => Value::Int64(unzigzag(read_varint(buf, pos)?)),
+        TAG_UINT64 => Value::UInt64(read_varint(buf, pos)?),
+        TAG_DOUBLE => {
+            let end = pos.checked_add(8).ok_or(WireError::Truncated)?;
+            let bytes = buf.get(*pos..end).ok_or(WireError::Truncated)?;
+            *pos = end;
+            Value::Double(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        }
+        TAG_STRING => {
+            let len = read_varint(buf, pos)? as usize;
+            let end = pos.checked_add(len).ok_or(WireError::Truncated)?;
+            let bytes = buf.get(*pos..end).ok_or(WireError::Truncated)?;
+            *pos = end;
+            Value::String(std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)?.into())
+        }
+        TAG_DATE => Value::Date(unzigzag(read_varint(buf, pos)?)),
+        TAG_BLOB => {
+            let len = read_varint(buf, pos)? as usize;
+            let end = pos.checked_add(len).ok_or(WireError::Truncated)?;
+            let bytes = buf.get(*pos..end).ok_or(WireError::Truncated)?;
+            *pos = end;
+            Value::Blob(bytes.to_vec())
+        }
+        TAG_LIST => {
+            let n = read_varint(buf, pos)? as usize;
+            // Guard against hostile lengths: each element takes ≥1 byte.
+            if n > buf.len().saturating_sub(*pos) {
+                return Err(WireError::Truncated);
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(read_value(buf, pos)?);
+            }
+            Value::List(items)
+        }
+        TAG_MAP => {
+            let n = read_varint(buf, pos)? as usize;
+            if n > buf.len().saturating_sub(*pos) / 2 {
+                return Err(WireError::Truncated);
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = read_value(buf, pos)?;
+                let v = read_value(buf, pos)?;
+                pairs.push((k, v));
+            }
+            Value::Map(pairs)
+        }
+        other => return Err(WireError::InvalidTag(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            write_varint(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn record_roundtrip_all_types() {
+        let rec = Record::new()
+            .with(0, Value::Bool(true))
+            .with(1, Value::Int32(-5))
+            .with(2, Value::Int64(1 << 40))
+            .with(3, Value::UInt64(u64::MAX))
+            .with(4, Value::Double(-2.5))
+            .with(5, Value::String("héllo".into()))
+            .with(6, Value::Date(-4930))
+            .with(7, Value::Blob(vec![0, 255, 3]))
+            .with(8, Value::List(vec![Value::Int64(1), Value::Int64(2)]))
+            .with(
+                9,
+                Value::Map(vec![(Value::String("k".into()), Value::List(vec![]))]),
+            );
+        let bytes = encode_record(&rec);
+        assert_eq!(decode_record(&bytes).unwrap(), rec);
+    }
+
+    #[test]
+    fn empty_record() {
+        let rec = Record::new();
+        let bytes = encode_record(&rec);
+        assert_eq!(bytes, vec![0]);
+        assert_eq!(decode_record(&bytes).unwrap(), rec);
+    }
+
+    #[test]
+    fn compactness() {
+        // A small record should be a handful of bytes — the paper stresses
+        // compact schematized payloads (§3.2).
+        let rec = Record::new().with(0, Value::Int32(1)).with(1, Value::Bool(true));
+        assert!(encode_record(&rec).len() <= 8);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode_record(&[]), Err(WireError::Truncated));
+        assert_eq!(decode_record(&[1]), Err(WireError::Truncated)); // 1 field, no data
+        assert_eq!(decode_record(&[1, 0, 0xFF]), Err(WireError::InvalidTag(0xFF)));
+        // trailing bytes
+        assert_eq!(decode_record(&[0, 9]), Err(WireError::TrailingBytes));
+        // unsorted ids: two fields with id 1 then 0
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 2);
+        write_varint(&mut buf, 1);
+        buf.push(TAG_BOOL_TRUE);
+        write_varint(&mut buf, 0);
+        buf.push(TAG_BOOL_TRUE);
+        assert_eq!(decode_record(&buf), Err(WireError::UnsortedFields));
+        // invalid utf-8
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1);
+        write_varint(&mut buf, 0);
+        buf.push(TAG_STRING);
+        write_varint(&mut buf, 1);
+        buf.push(0xFF);
+        assert_eq!(decode_record(&buf), Err(WireError::InvalidUtf8));
+        // hostile list length
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1);
+        write_varint(&mut buf, 0);
+        buf.push(TAG_LIST);
+        write_varint(&mut buf, u32::MAX as u64);
+        assert_eq!(decode_record(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let buf = [0xFF; 11];
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), Err(WireError::VarintOverflow));
+    }
+}

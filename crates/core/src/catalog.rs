@@ -1,0 +1,367 @@
+//! The catalog: the root of all A1 data structures (paper §3.1).
+//!
+//! A key-value store (a FaRM B-tree) mapping object names to the metadata
+//! needed to access them — for a B-tree that is the FaRM address of its
+//! header. The catalog itself is anchored in the FaRM cluster's well-known
+//! root object.
+//!
+//! Catalog lookups are expensive (multiple reads), so materialized handles
+//! ("proxies") are cached per backend with a TTL; on expiry the proxy is
+//! re-materialized if the underlying entry changed (§3.1).
+
+use crate::error::{A1Error, A1Result};
+use crate::model::{type_kind, EdgeTypeDef, GraphMeta, VertexTypeDef};
+use a1_farm::{BTree, BTreeConfig, FarmCluster, Hint, MachineId, Ptr, Txn};
+use a1_json::Json;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ROOT_MAGIC: u32 = 0xA1A1_0001;
+
+/// Namespace prefixes for catalog keys.
+fn tenant_key(tenant: &str) -> Vec<u8> {
+    format!("t/{tenant}").into_bytes()
+}
+
+pub fn graph_key(tenant: &str, graph: &str) -> Vec<u8> {
+    format!("g/{tenant}/{graph}").into_bytes()
+}
+
+pub fn type_key(tenant: &str, graph: &str, ty: &str) -> Vec<u8> {
+    format!("y/{tenant}/{graph}/{ty}").into_bytes()
+}
+
+pub fn types_prefix(tenant: &str, graph: &str) -> Vec<u8> {
+    format!("y/{tenant}/{graph}/").into_bytes()
+}
+
+/// The catalog handle: the catalog B-tree plus the id-counter object.
+#[derive(Clone)]
+pub struct Catalog {
+    tree: BTree,
+    counter: Ptr,
+}
+
+impl Catalog {
+    /// B-tree shape for the catalog: few, fat nodes (values are JSON blobs).
+    fn tree_config() -> BTreeConfig {
+        BTreeConfig { max_keys: 16, max_key_len: 200, max_val_len: 4096 }
+    }
+
+    /// Create the catalog during cluster bootstrap and anchor it in the
+    /// FaRM root object: `[magic][catalog tree ptr][id counter ptr]`.
+    pub fn bootstrap(farm: &Arc<FarmCluster>) -> A1Result<Catalog> {
+        let root = farm.root_ptr();
+        let origin = MachineId(0);
+        let catalog = farm.run(origin, |tx| {
+            let tree = BTree::create(tx, Self::tree_config(), Hint::Machine(origin))?;
+            let counter = tx.alloc(8, Hint::Machine(origin), &1u64.to_le_bytes())?;
+            let root_buf = tx.read(root)?;
+            let mut payload = vec![0u8; root_buf.len()];
+            payload[0..4].copy_from_slice(&ROOT_MAGIC.to_le_bytes());
+            let mut cursor = Vec::new();
+            tree.header.encode_to(&mut cursor);
+            counter.encode_to(&mut cursor);
+            payload[4..4 + cursor.len()].copy_from_slice(&cursor);
+            tx.update(&root_buf, payload)?;
+            Ok(Catalog { tree: tree.clone(), counter })
+        })?;
+        Ok(catalog)
+    }
+
+    /// Open an existing catalog from the root object (e.g. after restart).
+    pub fn open(farm: &Arc<FarmCluster>, origin: MachineId) -> A1Result<Catalog> {
+        let root = farm.root_ptr();
+        let mut tx = farm.begin_read_only(origin);
+        let buf = tx.read(root)?;
+        let data = buf.data();
+        if data.len() < 4 + 2 * Ptr::ENCODED_LEN
+            || u32::from_le_bytes(data[0..4].try_into().unwrap()) != ROOT_MAGIC
+        {
+            return Err(A1Error::Internal("cluster has no catalog".into()));
+        }
+        let tree_ptr = Ptr::decode(&data[4..16]).ok_or_else(|| A1Error::Internal("bad root".into()))?;
+        let counter = Ptr::decode(&data[16..28]).ok_or_else(|| A1Error::Internal("bad root".into()))?;
+        drop(tx);
+        let mut tx = farm.begin_read_only(origin);
+        let tree = BTree::open(&mut tx, tree_ptr)?;
+        Ok(Catalog { tree, counter })
+    }
+
+    /// Allocate a cluster-unique id (graph ids, task sequence numbers).
+    pub fn next_id(&self, tx: &mut Txn) -> A1Result<u64> {
+        let buf = tx.read(self.counter)?;
+        let v = u64::from_le_bytes(
+            buf.data()[..8].try_into().map_err(|_| A1Error::Internal("bad counter".into()))?,
+        );
+        tx.update(&buf, (v + 1).to_le_bytes().to_vec())?;
+        Ok(v)
+    }
+
+    pub fn put(&self, tx: &mut Txn, key: &[u8], value: &Json) -> A1Result<()> {
+        self.tree.insert(tx, key, value.to_string().as_bytes())?;
+        Ok(())
+    }
+
+    pub fn get(&self, tx: &mut Txn, key: &[u8]) -> A1Result<Option<Json>> {
+        match self.tree.get(tx, key)? {
+            Some(bytes) => {
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| A1Error::Internal("catalog value not utf-8".into()))?;
+                Ok(Some(Json::parse(&text).map_err(|e| A1Error::Internal(e.to_string()))?))
+            }
+            None => Ok(None),
+        }
+    }
+
+    pub fn remove(&self, tx: &mut Txn, key: &[u8]) -> A1Result<bool> {
+        Ok(self.tree.remove(tx, key)?.is_some())
+    }
+
+    pub fn list_prefix(&self, tx: &mut Txn, prefix: &[u8]) -> A1Result<Vec<(String, Json)>> {
+        self.tree
+            .scan_prefix(tx, prefix, usize::MAX)?
+            .into_iter()
+            .map(|(k, v)| {
+                let key = String::from_utf8(k)
+                    .map_err(|_| A1Error::Internal("catalog key not utf-8".into()))?;
+                let text = String::from_utf8(v)
+                    .map_err(|_| A1Error::Internal("catalog value not utf-8".into()))?;
+                Ok((key, Json::parse(&text).map_err(|e| A1Error::Internal(e.to_string()))?))
+            })
+            .collect()
+    }
+
+    // ---- typed helpers ----
+
+    pub fn put_tenant(&self, tx: &mut Txn, tenant: &str) -> A1Result<()> {
+        self.put(tx, &tenant_key(tenant), &Json::obj(vec![("name", Json::str(tenant))]))
+    }
+
+    pub fn tenant_exists(&self, tx: &mut Txn, tenant: &str) -> A1Result<bool> {
+        Ok(self.get(tx, &tenant_key(tenant))?.is_some())
+    }
+
+    pub fn put_graph(&self, tx: &mut Txn, meta: &GraphMeta) -> A1Result<()> {
+        self.put(tx, &graph_key(&meta.tenant, &meta.name), &meta.to_json())
+    }
+
+    pub fn get_graph(&self, tx: &mut Txn, tenant: &str, graph: &str) -> A1Result<Option<GraphMeta>> {
+        match self.get(tx, &graph_key(tenant, graph))? {
+            Some(j) => Ok(Some(GraphMeta::from_json(&j)?)),
+            None => Ok(None),
+        }
+    }
+
+    pub fn put_vertex_type(
+        &self,
+        tx: &mut Txn,
+        tenant: &str,
+        graph: &str,
+        def: &VertexTypeDef,
+    ) -> A1Result<()> {
+        self.put(tx, &type_key(tenant, graph, &def.name), &def.to_json())
+    }
+
+    pub fn put_edge_type(
+        &self,
+        tx: &mut Txn,
+        tenant: &str,
+        graph: &str,
+        def: &EdgeTypeDef,
+    ) -> A1Result<()> {
+        self.put(tx, &type_key(tenant, graph, &def.name), &def.to_json())
+    }
+
+    /// All type entries of a graph: (name, kind, json).
+    pub fn list_types(
+        &self,
+        tx: &mut Txn,
+        tenant: &str,
+        graph: &str,
+    ) -> A1Result<Vec<(String, String, Json)>> {
+        let prefix = types_prefix(tenant, graph);
+        Ok(self
+            .list_prefix(tx, &prefix)?
+            .into_iter()
+            .filter_map(|(k, j)| {
+                let name = k.rsplit('/').next()?.to_string();
+                let kind = type_kind(&j)?.to_string();
+                Some((name, kind, j))
+            })
+            .collect())
+    }
+}
+
+/// A materialized vertex type: definition plus opened index trees.
+#[derive(Clone)]
+pub struct VertexProxy {
+    pub def: VertexTypeDef,
+    pub primary: BTree,
+    pub secondaries: Vec<(u16, BTree)>,
+}
+
+/// A materialized edge type.
+#[derive(Clone)]
+pub struct EdgeProxy {
+    pub def: EdgeTypeDef,
+}
+
+/// A materialized graph: metadata plus the opened global edge tree.
+#[derive(Clone)]
+pub struct GraphProxy {
+    pub meta: GraphMeta,
+    pub edge_tree: BTree,
+}
+
+/// All proxies for one graph, as the query engine wants them.
+#[derive(Clone)]
+pub struct GraphProxies {
+    pub graph: GraphProxy,
+    pub vertex_types: Vec<Arc<VertexProxy>>,
+    pub edge_types: Vec<Arc<EdgeProxy>>,
+}
+
+impl GraphProxies {
+    pub fn vertex_type(&self, name: &str) -> Option<&Arc<VertexProxy>> {
+        self.vertex_types.iter().find(|p| p.def.name == name)
+    }
+
+    pub fn vertex_type_by_id(&self, id: crate::model::TypeId) -> Option<&Arc<VertexProxy>> {
+        self.vertex_types.iter().find(|p| p.def.id == id)
+    }
+
+    pub fn edge_type(&self, name: &str) -> Option<&Arc<EdgeProxy>> {
+        self.edge_types.iter().find(|p| p.def.name == name)
+    }
+
+    pub fn edge_type_by_id(&self, id: crate::model::TypeId) -> Option<&Arc<EdgeProxy>> {
+        self.edge_types.iter().find(|p| p.def.id == id)
+    }
+}
+
+/// Per-backend proxy cache with TTL (§3.1).
+pub struct ProxyCache {
+    ttl: Duration,
+    graphs: Mutex<HashMap<String, (Instant, Arc<GraphProxies>)>>,
+}
+
+impl ProxyCache {
+    pub fn new(ttl: Duration) -> ProxyCache {
+        ProxyCache { ttl, graphs: Mutex::new(HashMap::new()) }
+    }
+
+    /// Materialize (or fetch cached) proxies for a graph.
+    pub fn graph(
+        &self,
+        farm: &Arc<FarmCluster>,
+        catalog: &Catalog,
+        origin: MachineId,
+        tenant: &str,
+        graph: &str,
+    ) -> A1Result<Arc<GraphProxies>> {
+        let cache_key = format!("{tenant}/{graph}");
+        if let Some((at, proxies)) = self.graphs.lock().get(&cache_key) {
+            if at.elapsed() < self.ttl {
+                return Ok(proxies.clone());
+            }
+        }
+        let proxies = Arc::new(Self::materialize(farm, catalog, origin, tenant, graph)?);
+        self.graphs
+            .lock()
+            .insert(cache_key, (Instant::now(), proxies.clone()));
+        Ok(proxies)
+    }
+
+    /// Drop a graph's cached proxies (schema changes, deletions).
+    pub fn invalidate(&self, tenant: &str, graph: &str) {
+        self.graphs.lock().remove(&format!("{tenant}/{graph}"));
+    }
+
+    fn materialize(
+        farm: &Arc<FarmCluster>,
+        catalog: &Catalog,
+        origin: MachineId,
+        tenant: &str,
+        graph: &str,
+    ) -> A1Result<GraphProxies> {
+        let mut tx = farm.begin_read_only(origin);
+        let meta = catalog
+            .get_graph(&mut tx, tenant, graph)?
+            .ok_or_else(|| A1Error::NoSuchGraph(graph.to_string()))?;
+        let edge_tree = BTree::open(&mut tx, meta.edge_tree)?;
+        let mut vertex_types = Vec::new();
+        let mut edge_types = Vec::new();
+        for (_, kind, j) in catalog.list_types(&mut tx, tenant, graph)? {
+            match kind.as_str() {
+                "vertex" => {
+                    let def = VertexTypeDef::from_json(&j)?;
+                    let primary = BTree::open(&mut tx, def.primary_index)?;
+                    let secondaries = def
+                        .secondary_indexes
+                        .iter()
+                        .map(|(f, p)| Ok((*f, BTree::open(&mut tx, *p)?)))
+                        .collect::<A1Result<Vec<_>>>()?;
+                    vertex_types.push(Arc::new(VertexProxy { def, primary, secondaries }));
+                }
+                "edge" => {
+                    edge_types.push(Arc::new(EdgeProxy { def: EdgeTypeDef::from_json(&j)? }));
+                }
+                _ => {}
+            }
+        }
+        Ok(GraphProxies { graph: GraphProxy { meta, edge_tree }, vertex_types, edge_types })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a1_farm::FarmConfig;
+
+    #[test]
+    fn bootstrap_put_get_list() {
+        let farm = FarmCluster::start(FarmConfig::small(2));
+        let cat = Catalog::bootstrap(&farm).unwrap();
+
+        farm.run(MachineId(0), |tx| {
+            cat.put_tenant(tx, "bing").map_err(|_| a1_farm::FarmError::Conflict)
+        })
+        .unwrap();
+        let mut tx = farm.begin_read_only(MachineId(1));
+        assert!(cat.tenant_exists(&mut tx, "bing").unwrap());
+        assert!(!cat.tenant_exists(&mut tx, "nope").unwrap());
+        drop(tx);
+
+        // Reopen from the root object.
+        let cat2 = Catalog::open(&farm, MachineId(1)).unwrap();
+        let mut tx = farm.begin_read_only(MachineId(1));
+        assert!(cat2.tenant_exists(&mut tx, "bing").unwrap());
+    }
+
+    #[test]
+    fn id_counter_increments() {
+        let farm = FarmCluster::start(FarmConfig::small(1));
+        let cat = Catalog::bootstrap(&farm).unwrap();
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            let cat = cat.clone();
+            let id = farm
+                .run(MachineId(0), move |tx| {
+                    cat.next_id(tx).map_err(|_| a1_farm::FarmError::Conflict)
+                })
+                .unwrap();
+            ids.push(id);
+        }
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn key_layout() {
+        assert_eq!(graph_key("t", "g"), b"g/t/g".to_vec());
+        assert_eq!(type_key("t", "g", "actor"), b"y/t/g/actor".to_vec());
+        assert!(type_key("t", "g", "actor").starts_with(&types_prefix("t", "g")));
+    }
+}

@@ -1,0 +1,327 @@
+//! Conversions between Bond values/records/schemas and JSON.
+//!
+//! JSON is A1's external surface (A1QL queries, client payloads, catalog
+//! blobs, RPC envelopes); Bond is the internal storage format (§3). These
+//! conversions are schema-directed on the way in — `"3"` vs `3` must land as
+//! the declared field type — and lossless on the way out for everything the
+//! knowledge-graph workloads use.
+
+use crate::error::{A1Error, A1Result};
+use a1_bond::{BondType, FieldDef, Record, Schema, Value};
+use a1_json::Json;
+
+/// Bond value → JSON. Large 64-bit integers that exceed the f64-safe range
+/// are rendered as strings to avoid silent precision loss.
+pub fn value_to_json(v: &Value) -> Json {
+    const SAFE: i64 = 1 << 53;
+    match v {
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int32(n) => Json::Num(*n as f64),
+        Value::Int64(n) | Value::Date(n) => {
+            if n.abs() < SAFE {
+                Json::Num(*n as f64)
+            } else {
+                Json::Str(n.to_string())
+            }
+        }
+        Value::UInt64(n) => {
+            if *n < SAFE as u64 {
+                Json::Num(*n as f64)
+            } else {
+                Json::Str(n.to_string())
+            }
+        }
+        Value::Double(d) => Json::Num(*d),
+        Value::String(s) => Json::Str(s.clone()),
+        Value::Blob(b) => Json::obj(vec![("_blob", Json::Str(hex_encode(b)))]),
+        Value::List(items) => Json::Arr(items.iter().map(value_to_json).collect()),
+        Value::Map(pairs) => {
+            // String-keyed maps become objects; anything else, pair arrays.
+            if pairs.iter().all(|(k, _)| matches!(k, Value::String(_))) {
+                Json::Obj(
+                    pairs
+                        .iter()
+                        .map(|(k, v)| (k.as_str().expect("checked").to_string(), value_to_json(v)))
+                        .collect(),
+                )
+            } else {
+                Json::obj(vec![(
+                    "_map",
+                    Json::Arr(
+                        pairs
+                            .iter()
+                            .map(|(k, v)| Json::Arr(vec![value_to_json(k), value_to_json(v)]))
+                            .collect(),
+                    ),
+                )])
+            }
+        }
+    }
+}
+
+/// JSON → Bond value of a declared type.
+pub fn json_to_value(j: &Json, ty: &BondType) -> A1Result<Value> {
+    let err = || A1Error::Schema(format!("cannot convert {j} to {ty}"));
+    Ok(match ty {
+        BondType::Bool => Value::Bool(j.as_bool().ok_or_else(err)?),
+        BondType::Int32 => Value::Int32(j.as_i64().ok_or_else(err)? as i32),
+        BondType::Int64 => Value::Int64(json_i64(j).ok_or_else(err)?),
+        BondType::Date => Value::Date(json_i64(j).ok_or_else(err)?),
+        BondType::UInt64 => {
+            let v = match j {
+                Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
+                Json::Str(s) => s.parse().map_err(|_| err())?,
+                _ => return Err(err()),
+            };
+            Value::UInt64(v)
+        }
+        BondType::Double => Value::Double(j.as_f64().ok_or_else(err)?),
+        BondType::String => Value::String(j.as_str().ok_or_else(err)?.to_string()),
+        BondType::Blob => {
+            let hexs = j.get("_blob").and_then(Json::as_str).ok_or_else(err)?;
+            Value::Blob(hex_decode(hexs).ok_or_else(err)?)
+        }
+        BondType::List(elem) => Value::List(
+            j.as_arr()
+                .ok_or_else(err)?
+                .iter()
+                .map(|item| json_to_value(item, elem))
+                .collect::<A1Result<Vec<_>>>()?,
+        ),
+        BondType::Map(k, v) => match j {
+            Json::Obj(pairs) if matches!(**k, BondType::String) => Value::Map(
+                pairs
+                    .iter()
+                    .map(|(pk, pv)| Ok((Value::String(pk.clone()), json_to_value(pv, v)?)))
+                    .collect::<A1Result<Vec<_>>>()?,
+            ),
+            _ => {
+                let arr = j.get("_map").and_then(Json::as_arr).ok_or_else(err)?;
+                Value::Map(
+                    arr.iter()
+                        .map(|pair| {
+                            let pk = pair.at(0).ok_or_else(err)?;
+                            let pv = pair.at(1).ok_or_else(err)?;
+                            Ok((json_to_value(pk, k)?, json_to_value(pv, v)?))
+                        })
+                        .collect::<A1Result<Vec<_>>>()?,
+                )
+            }
+        },
+    })
+}
+
+fn json_i64(j: &Json) -> Option<i64> {
+    match j {
+        Json::Num(_) => j.as_i64(),
+        Json::Str(s) => s.parse().ok(),
+        _ => None,
+    }
+}
+
+/// JSON object → validated record (schema-directed; unknown keys rejected).
+pub fn record_from_json(schema: &Schema, j: &Json) -> A1Result<Record> {
+    let obj = j.as_obj().ok_or_else(|| A1Error::Schema("record must be a JSON object".into()))?;
+    let mut rec = Record::new();
+    for (k, v) in obj {
+        let field = schema
+            .field_by_name(k)
+            .ok_or_else(|| A1Error::Schema(format!("unknown attribute '{k}'")))?;
+        if v.is_null() {
+            continue; // null = absent
+        }
+        rec.set(field.id, json_to_value(v, &field.ty)?);
+    }
+    schema.validate(&rec)?;
+    Ok(rec)
+}
+
+/// Record → JSON object with attribute names from the schema.
+pub fn record_to_json(schema: &Schema, rec: &Record) -> Json {
+    Json::Obj(
+        rec.fields()
+            .iter()
+            .filter_map(|(id, v)| {
+                schema.field(*id).map(|f| (f.name.clone(), value_to_json(v)))
+            })
+            .collect(),
+    )
+}
+
+/// Schema → catalog JSON.
+pub fn schema_to_json(s: &Schema) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(s.name())),
+        (
+            "fields",
+            Json::Arr(
+                s.fields()
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("id", Json::Num(f.id as f64)),
+                            ("name", Json::str(&f.name)),
+                            ("type", Json::str(&f.ty.to_string())),
+                            ("required", Json::Bool(f.required)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Catalog JSON → schema. Also accepts the user-facing shorthand used by the
+/// client API: `{"name": "Actor", "fields": [...]}` with textual types.
+pub fn json_to_schema(j: &Json) -> A1Result<Schema> {
+    let name = j
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| A1Error::Schema("schema needs a name".into()))?;
+    let fields = j
+        .get("fields")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| A1Error::Schema("schema needs fields".into()))?;
+    let defs = fields
+        .iter()
+        .map(|f| {
+            let id = f
+                .get("id")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| A1Error::Schema("field needs an id".into()))? as u16;
+            let fname = f
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| A1Error::Schema("field needs a name".into()))?;
+            let tname = f
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or_else(|| A1Error::Schema("field needs a type".into()))?;
+            let ty = BondType::parse(tname)
+                .ok_or_else(|| A1Error::Schema(format!("unknown type '{tname}'")))?;
+            let required = f.get("required").and_then(Json::as_bool).unwrap_or(false);
+            Ok(FieldDef { id, name: fname.to_string(), ty, required })
+        })
+        .collect::<A1Result<Vec<_>>>()?;
+    Schema::build(name, defs).map_err(Into::into)
+}
+
+fn hex_encode(b: &[u8]) -> String {
+    b.iter().map(|x| format!("{x:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::build(
+            "entity",
+            vec![
+                FieldDef::required(0, "id", BondType::String),
+                FieldDef::optional(1, "name", BondType::List(Box::new(BondType::String))),
+                FieldDef::optional(2, "rank", BondType::Int64),
+                FieldDef::optional(3, "score", BondType::Double),
+                FieldDef::optional(
+                    4,
+                    "str_str_map",
+                    BondType::Map(Box::new(BondType::String), Box::new(BondType::String)),
+                ),
+                FieldDef::optional(5, "raw", BondType::Blob),
+                FieldDef::optional(6, "born", BondType::Date),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn record_json_roundtrip() {
+        let s = schema();
+        let j = Json::parse(
+            r#"{"id":"x","name":["A","B"],"rank":7,"score":1.5,
+                "str_str_map":{"k":"v"},"raw":{"_blob":"00ff"},"born":-4930}"#,
+        )
+        .unwrap();
+        let rec = record_from_json(&s, &j).unwrap();
+        assert_eq!(rec.get(0), Some(&Value::String("x".into())));
+        assert_eq!(rec.get(2), Some(&Value::Int64(7)));
+        assert_eq!(rec.get(5), Some(&Value::Blob(vec![0, 255])));
+        assert_eq!(rec.get(6), Some(&Value::Date(-4930)));
+        let back = record_to_json(&s, &rec);
+        assert_eq!(back.get("id").unwrap().as_str(), Some("x"));
+        assert_eq!(back.get("rank").unwrap().as_i64(), Some(7));
+        assert_eq!(
+            back.get("str_str_map").unwrap().get("k").unwrap().as_str(),
+            Some("v")
+        );
+        assert_eq!(back.get("raw").unwrap().get("_blob").unwrap().as_str(), Some("00ff"));
+        // Round-trip again through record_from_json.
+        let rec2 = record_from_json(&s, &back).unwrap();
+        assert_eq!(rec2, rec);
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let s = schema();
+        let j = Json::parse(r#"{"id":"x","bogus":1}"#).unwrap();
+        assert!(matches!(record_from_json(&s, &j), Err(A1Error::Schema(_))));
+    }
+
+    #[test]
+    fn missing_required_rejected() {
+        let s = schema();
+        let j = Json::parse(r#"{"rank":1}"#).unwrap();
+        assert!(record_from_json(&s, &j).is_err());
+        // Null counts as absent.
+        let j = Json::parse(r#"{"id":null}"#).unwrap();
+        assert!(record_from_json(&s, &j).is_err());
+    }
+
+    #[test]
+    fn type_coercion_errors() {
+        let s = schema();
+        let j = Json::parse(r#"{"id":3}"#).unwrap();
+        assert!(record_from_json(&s, &j).is_err());
+        let j = Json::parse(r#"{"id":"x","rank":"not-a-number"}"#).unwrap();
+        assert!(record_from_json(&s, &j).is_err());
+    }
+
+    #[test]
+    fn big_int64_via_string() {
+        let s = schema();
+        let big = (1i64 << 60).to_string();
+        let j = Json::Obj(vec![
+            ("id".to_string(), Json::str("x")),
+            ("rank".to_string(), Json::Str(big.clone())),
+        ]);
+        let rec = record_from_json(&s, &j).unwrap();
+        assert_eq!(rec.get(2), Some(&Value::Int64(1 << 60)));
+        let back = record_to_json(&s, &rec);
+        assert_eq!(back.get("rank").unwrap().as_str(), Some(big.as_str()));
+    }
+
+    #[test]
+    fn schema_json_roundtrip() {
+        let s = schema();
+        let j = schema_to_json(&s);
+        let back = json_to_schema(&j).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        assert_eq!(hex_decode(&hex_encode(&[0, 1, 254, 255])), Some(vec![0, 1, 254, 255]));
+        assert_eq!(hex_decode("0"), None);
+        assert_eq!(hex_decode("zz"), None);
+    }
+}

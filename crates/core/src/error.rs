@@ -1,0 +1,91 @@
+//! A1-level errors.
+
+use a1_farm::FarmError;
+
+pub type A1Result<T> = Result<T, A1Error>;
+
+/// Errors surfaced by the A1 API. Storage-level conflicts are retried
+/// internally; what escapes here is semantic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum A1Error {
+    /// Underlying storage error (including unresolved conflicts).
+    Storage(FarmError),
+    /// Schema validation failed.
+    Schema(String),
+    NoSuchTenant(String),
+    NoSuchGraph(String),
+    NoSuchType(String),
+    NoSuchVertex(String),
+    AlreadyExists(String),
+    /// ⟨src, type, dst⟩ already has an edge (§3: "given two vertexes, there
+    /// can only be a single edge of a given type").
+    EdgeExists(String),
+    /// A1QL parse or semantic error.
+    Query(String),
+    /// The query's working set outgrew the coordinator's budget — fast-fail
+    /// (§3.4).
+    WorkingSetExceeded { limit: usize },
+    /// Continuation token expired or unknown (client must restart, §3.4).
+    ContinuationExpired,
+    /// Operation not valid in the object's current lifecycle state.
+    InvalidState(String),
+    Internal(String),
+}
+
+impl std::fmt::Display for A1Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            A1Error::Storage(e) => write!(f, "storage: {e}"),
+            A1Error::Schema(m) => write!(f, "schema violation: {m}"),
+            A1Error::NoSuchTenant(t) => write!(f, "no such tenant '{t}'"),
+            A1Error::NoSuchGraph(g) => write!(f, "no such graph '{g}'"),
+            A1Error::NoSuchType(t) => write!(f, "no such type '{t}'"),
+            A1Error::NoSuchVertex(v) => write!(f, "no such vertex '{v}'"),
+            A1Error::AlreadyExists(x) => write!(f, "already exists: {x}"),
+            A1Error::EdgeExists(e) => write!(f, "edge already exists: {e}"),
+            A1Error::Query(m) => write!(f, "query error: {m}"),
+            A1Error::WorkingSetExceeded { limit } => {
+                write!(f, "query working set exceeded {limit} vertices (fast-fail)")
+            }
+            A1Error::ContinuationExpired => write!(f, "continuation token expired"),
+            A1Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            A1Error::Internal(m) => write!(f, "internal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for A1Error {}
+
+impl From<FarmError> for A1Error {
+    fn from(e: FarmError) -> A1Error {
+        A1Error::Storage(e)
+    }
+}
+
+impl From<a1_bond::SchemaError> for A1Error {
+    fn from(e: a1_bond::SchemaError) -> A1Error {
+        A1Error::Schema(e.to_string())
+    }
+}
+
+impl A1Error {
+    /// Whether the containing transaction should be retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, A1Error::Storage(e) if e.is_retryable())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_retry() {
+        let e: A1Error = FarmError::Conflict.into();
+        assert!(e.is_retryable());
+        let e: A1Error = FarmError::OutOfMemory.into();
+        assert!(!e.is_retryable());
+        assert!(!A1Error::Query("x".into()).is_retryable());
+        assert!(A1Error::WorkingSetExceeded { limit: 10 }.to_string().contains("fast-fail"));
+    }
+}

@@ -1,0 +1,282 @@
+//! The A1 data model: tenants → graphs → types → vertices/edges (paper §3,
+//! Table 1). Metadata is serialized as JSON into catalog values.
+
+use crate::convert::{json_to_schema, schema_to_json};
+use crate::error::{A1Error, A1Result};
+use a1_bond::Schema;
+use a1_farm::Ptr;
+use a1_json::Json;
+
+/// Numeric type id, unique within a graph; stored in vertex headers and
+/// half-edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// Lifecycle of graphs and types: deletion is asynchronous (§3.3), so
+/// objects linger in `Deleting` until the workflow finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleState {
+    Active,
+    Deleting,
+}
+
+impl LifecycleState {
+    fn as_str(self) -> &'static str {
+        match self {
+            LifecycleState::Active => "active",
+            LifecycleState::Deleting => "deleting",
+        }
+    }
+
+    fn parse(s: &str) -> A1Result<LifecycleState> {
+        match s {
+            "active" => Ok(LifecycleState::Active),
+            "deleting" => Ok(LifecycleState::Deleting),
+            other => Err(A1Error::Internal(format!("bad state '{other}'"))),
+        }
+    }
+}
+
+/// A vertex type: schema + primary key + secondary indexes (§3).
+#[derive(Debug, Clone)]
+pub struct VertexTypeDef {
+    pub id: TypeId,
+    pub name: String,
+    pub schema: Schema,
+    /// Field id of the primary key (unique, non-null; §3).
+    pub primary_key: u16,
+    /// Field ids with secondary indexes.
+    pub secondary: Vec<u16>,
+    /// Header pointer of the primary-index B-tree.
+    pub primary_index: Ptr,
+    /// (field id, index B-tree header) pairs.
+    pub secondary_indexes: Vec<(u16, Ptr)>,
+    pub state: LifecycleState,
+}
+
+/// An edge type: schema only — no primary key, no indexes (§3).
+#[derive(Debug, Clone)]
+pub struct EdgeTypeDef {
+    pub id: TypeId,
+    pub name: String,
+    pub schema: Schema,
+    pub state: LifecycleState,
+}
+
+/// Graph-level metadata.
+#[derive(Debug, Clone)]
+pub struct GraphMeta {
+    pub id: u32,
+    pub tenant: String,
+    pub name: String,
+    pub state: LifecycleState,
+    /// Header pointer of the graph's global edge B-tree (large edge lists,
+    /// §3.2).
+    pub edge_tree: Ptr,
+}
+
+fn ptr_to_json(p: Ptr) -> Json {
+    Json::obj(vec![("a", Json::Num(p.addr.raw() as f64)), ("s", Json::Num(p.size as f64))])
+}
+
+fn json_to_ptr(j: &Json) -> A1Result<Ptr> {
+    let a = j
+        .get("a")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| A1Error::Internal("bad ptr".into()))?;
+    let s = j
+        .get("s")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| A1Error::Internal("bad ptr".into()))?;
+    Ok(Ptr::new(a1_farm::Addr::from_raw(a as u64), s as u32))
+}
+
+impl VertexTypeDef {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("vertex")),
+            ("id", Json::Num(self.id.0 as f64)),
+            ("name", Json::str(&self.name)),
+            ("schema", schema_to_json(&self.schema)),
+            ("pk", Json::Num(self.primary_key as f64)),
+            (
+                "secondary",
+                Json::Arr(self.secondary.iter().map(|s| Json::Num(*s as f64)).collect()),
+            ),
+            ("primary_index", ptr_to_json(self.primary_index)),
+            (
+                "secondary_indexes",
+                Json::Arr(
+                    self.secondary_indexes
+                        .iter()
+                        .map(|(f, p)| {
+                            Json::Obj(vec![
+                                ("f".to_string(), Json::Num(*f as f64)),
+                                ("p".to_string(), ptr_to_json(*p)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("state", Json::str(self.state.as_str())),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> A1Result<VertexTypeDef> {
+        let get = |k: &str| j.get(k).ok_or_else(|| A1Error::Internal(format!("missing '{k}'")));
+        Ok(VertexTypeDef {
+            id: TypeId(get("id")?.as_f64().unwrap_or(0.0) as u32),
+            name: get("name")?.as_str().unwrap_or("").to_string(),
+            schema: json_to_schema(get("schema")?)?,
+            primary_key: get("pk")?.as_f64().unwrap_or(0.0) as u16,
+            secondary: get("secondary")?
+                .as_arr()
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|v| v.as_f64().map(|n| n as u16))
+                .collect(),
+            primary_index: json_to_ptr(get("primary_index")?)?,
+            secondary_indexes: get("secondary_indexes")?
+                .as_arr()
+                .unwrap_or(&[])
+                .iter()
+                .map(|e| {
+                    let f = e.get("f").and_then(Json::as_f64).unwrap_or(0.0) as u16;
+                    let p = json_to_ptr(
+                        e.get("p").ok_or_else(|| A1Error::Internal("missing p".into()))?,
+                    )?;
+                    Ok((f, p))
+                })
+                .collect::<A1Result<Vec<_>>>()?,
+            state: LifecycleState::parse(get("state")?.as_str().unwrap_or(""))?,
+        })
+    }
+}
+
+impl EdgeTypeDef {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("edge")),
+            ("id", Json::Num(self.id.0 as f64)),
+            ("name", Json::str(&self.name)),
+            ("schema", schema_to_json(&self.schema)),
+            ("state", Json::str(self.state.as_str())),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> A1Result<EdgeTypeDef> {
+        let get = |k: &str| j.get(k).ok_or_else(|| A1Error::Internal(format!("missing '{k}'")));
+        Ok(EdgeTypeDef {
+            id: TypeId(get("id")?.as_f64().unwrap_or(0.0) as u32),
+            name: get("name")?.as_str().unwrap_or("").to_string(),
+            schema: json_to_schema(get("schema")?)?,
+            state: LifecycleState::parse(get("state")?.as_str().unwrap_or(""))?,
+        })
+    }
+}
+
+/// Is this catalog blob a vertex or an edge type?
+pub fn type_kind(j: &Json) -> Option<&str> {
+    j.get("kind").and_then(Json::as_str)
+}
+
+impl GraphMeta {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Num(self.id as f64)),
+            ("tenant", Json::str(&self.tenant)),
+            ("name", Json::str(&self.name)),
+            ("state", Json::str(self.state.as_str())),
+            ("edge_tree", ptr_to_json(self.edge_tree)),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> A1Result<GraphMeta> {
+        let get = |k: &str| j.get(k).ok_or_else(|| A1Error::Internal(format!("missing '{k}'")));
+        Ok(GraphMeta {
+            id: get("id")?.as_f64().unwrap_or(0.0) as u32,
+            tenant: get("tenant")?.as_str().unwrap_or("").to_string(),
+            name: get("name")?.as_str().unwrap_or("").to_string(),
+            state: LifecycleState::parse(get("state")?.as_str().unwrap_or(""))?,
+            edge_tree: json_to_ptr(get("edge_tree")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a1_bond::{BondType, FieldDef};
+    use a1_farm::{Addr, RegionId};
+
+    fn sample_schema() -> Schema {
+        Schema::build(
+            "Actor",
+            vec![
+                FieldDef::required(0, "name", BondType::String),
+                FieldDef::optional(1, "origin", BondType::String),
+                FieldDef::optional(2, "birth_date", BondType::Date),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn vertex_type_json_roundtrip() {
+        let def = VertexTypeDef {
+            id: TypeId(7),
+            name: "Actor".into(),
+            schema: sample_schema(),
+            primary_key: 0,
+            secondary: vec![1],
+            primary_index: Ptr::new(Addr::new(RegionId(1), 64), 26),
+            secondary_indexes: vec![(1, Ptr::new(Addr::new(RegionId(1), 128), 26))],
+            state: LifecycleState::Active,
+        };
+        let j = def.to_json();
+        let back = VertexTypeDef::from_json(&j).unwrap();
+        assert_eq!(back.id, def.id);
+        assert_eq!(back.name, def.name);
+        assert_eq!(back.schema, def.schema);
+        assert_eq!(back.primary_key, 0);
+        assert_eq!(back.secondary, vec![1]);
+        assert_eq!(back.primary_index, def.primary_index);
+        assert_eq!(back.secondary_indexes, def.secondary_indexes);
+        assert_eq!(back.state, LifecycleState::Active);
+        assert_eq!(type_kind(&j), Some("vertex"));
+    }
+
+    #[test]
+    fn edge_type_json_roundtrip() {
+        let def = EdgeTypeDef {
+            id: TypeId(3),
+            name: "acted".into(),
+            schema: Schema::empty("acted"),
+            state: LifecycleState::Deleting,
+        };
+        let back = EdgeTypeDef::from_json(&def.to_json()).unwrap();
+        assert_eq!(back.id, def.id);
+        assert_eq!(back.state, LifecycleState::Deleting);
+        assert_eq!(type_kind(&def.to_json()), Some("edge"));
+    }
+
+    #[test]
+    fn graph_meta_json_roundtrip() {
+        let g = GraphMeta {
+            id: 2,
+            tenant: "bing".into(),
+            name: "kg".into(),
+            state: LifecycleState::Active,
+            edge_tree: Ptr::new(Addr::new(RegionId(0), 640), 26),
+        };
+        let back = GraphMeta::from_json(&g.to_json()).unwrap();
+        assert_eq!(back.id, 2);
+        assert_eq!(back.tenant, "bing");
+        assert_eq!(back.edge_tree, g.edge_tree);
+    }
+
+    #[test]
+    fn state_parse_rejects_garbage() {
+        assert!(LifecycleState::parse("zombie").is_err());
+    }
+}

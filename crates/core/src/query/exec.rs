@@ -1,0 +1,1107 @@
+//! Distributed query execution (paper §3.4, Fig. 9).
+//!
+//! The coordinator resolves the start vertex from the primary index, then
+//! per hop: maps frontier pointers to their primary hosts (a local metadata
+//! operation), ships batched operators to those machines over RPC, and
+//! aggregates/dedups the returned pointers for the next hop. Workers join
+//! the coordinator's snapshot timestamp so the whole distributed read is one
+//! consistent snapshot. Oversized working sets fast-fail; oversized results
+//! page out through continuation tokens.
+
+use crate::catalog::GraphProxies;
+use crate::convert::json_to_value;
+use crate::edges::{self, Dir};
+use crate::error::{A1Error, A1Result};
+use crate::model::TypeId;
+use crate::query::plan::{
+    AttrPredicate, CmpOp, FieldSel, PlanDir, Query, Select, VertexStep,
+};
+use crate::store::GraphStore;
+use a1_bond::{Schema, Value};
+use a1_farm::{Addr, FarmCluster, MachineId, Txn};
+use a1_json::Json;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Execution knobs (paper defaults in parentheses).
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Minimum per-machine batch size to justify an RPC; smaller batches are
+    /// executed at the coordinator with one-sided reads (§3.4).
+    pub ship_threshold: usize,
+    /// Fast-fail bound on the frontier size (§3.4).
+    pub max_working_set: usize,
+    /// Rows per page before continuation tokens kick in (§3.4).
+    pub page_size: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { ship_threshold: 4, max_working_set: 1_000_000, page_size: 1_000 }
+    }
+}
+
+/// Per-query counters — these regenerate the paper's §6 locality statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryMetrics {
+    pub snapshot_ts: u64,
+    pub hops: u32,
+    pub vertices_read: u64,
+    pub edges_visited: u64,
+    /// FaRM objects read at a machine that is their primary host.
+    pub local_reads: u64,
+    /// FaRM objects read across the (simulated) wire.
+    pub remote_reads: u64,
+    pub rpcs: u64,
+}
+
+impl QueryMetrics {
+    pub fn objects_read(&self) -> u64 {
+        self.local_reads + self.remote_reads
+    }
+
+    /// The §6 statistic: ≥95% with query shipping.
+    pub fn local_read_fraction(&self) -> f64 {
+        let total = self.objects_read();
+        if total == 0 {
+            return 1.0;
+        }
+        self.local_reads as f64 / total as f64
+    }
+
+    fn absorb(&mut self, other: &QueryMetrics) {
+        self.vertices_read += other.vertices_read;
+        self.edges_visited += other.edges_visited;
+        self.local_reads += other.local_reads;
+        self.remote_reads += other.remote_reads;
+        self.rpcs += other.rpcs;
+    }
+}
+
+/// Per-hop statistics (coordination phases, Fig. 9) — consumed by the
+/// trace-driven throughput simulator in `a1-bench`. Not serialized over the
+/// client wire; available when calling the coordinator directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HopStats {
+    /// Frontier size entering this hop.
+    pub frontier: u64,
+    /// Distinct machines the frontier mapped to.
+    pub machines: u64,
+    pub rpcs: u64,
+    pub vertices_read: u64,
+    pub edges_visited: u64,
+    pub local_reads: u64,
+    pub remote_reads: u64,
+    /// Vertices (or rows) returned to the coordinator.
+    pub returned: u64,
+}
+
+/// A query's outcome: rows (or a count) plus metrics and an optional
+/// continuation token.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub rows: Vec<Json>,
+    pub count: Option<u64>,
+    pub metrics: QueryMetrics,
+    pub continuation: Option<String>,
+    /// Per-hop breakdown (empty when the outcome crossed the client wire).
+    pub per_hop: Vec<HopStats>,
+}
+
+// ------------------------------------------------------------------ compile
+
+/// A compiled (name-resolved) step.
+#[derive(Debug, Clone)]
+pub struct CompiledStep {
+    pub type_filter: Option<TypeId>,
+    pub id_filter: Option<Addr>,
+    pub preds: Vec<AttrPredicate>,
+    pub matches: Vec<CompiledMatch>,
+    pub traverse: Option<CompiledTraverse>,
+}
+
+#[derive(Debug, Clone)]
+pub struct CompiledMatch {
+    pub dir: Dir,
+    pub edge_type: TypeId,
+    pub target: Option<Addr>,
+    pub target_type: Option<TypeId>,
+    pub preds: Vec<AttrPredicate>,
+}
+
+#[derive(Debug, Clone)]
+pub struct CompiledTraverse {
+    pub dir: Dir,
+    pub edge_type: TypeId,
+    pub edge_preds: Vec<AttrPredicate>,
+}
+
+/// A fully compiled query.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    pub steps: Vec<CompiledStep>,
+    pub select: Select,
+    pub limit: Option<usize>,
+}
+
+fn dir_of(d: PlanDir) -> Dir {
+    match d {
+        PlanDir::Out => Dir::Out,
+        PlanDir::In => Dir::In,
+    }
+}
+
+/// Resolve a primary key string against the graph's vertex types (optionally
+/// constrained to one type), returning the vertex address.
+fn resolve_id(
+    store: &GraphStore,
+    tx: &mut Txn,
+    proxies: &GraphProxies,
+    id: &str,
+    ty: Option<&str>,
+) -> A1Result<Option<Addr>> {
+    for vp in &proxies.vertex_types {
+        if let Some(t) = ty {
+            if vp.def.name != t {
+                continue;
+            }
+        }
+        let pk_field = vp
+            .def
+            .schema
+            .field(vp.def.primary_key)
+            .ok_or_else(|| A1Error::Internal("pk field missing from schema".into()))?;
+        let Ok(pk_value) = json_to_value(&Json::Str(id.to_string()), &pk_field.ty) else {
+            continue;
+        };
+        if let Some(ptr) = store.vertex_by_pk(tx, vp, &pk_value)? {
+            return Ok(Some(ptr.addr));
+        }
+    }
+    Ok(None)
+}
+
+/// Compile a parsed query: resolve type names to ids and literal `id`
+/// filters/match targets to vertex addresses.
+pub fn compile(
+    store: &GraphStore,
+    tx: &mut Txn,
+    proxies: &GraphProxies,
+    q: &Query,
+) -> A1Result<(CompiledQuery, Vec<Addr>)> {
+    let mut steps = Vec::new();
+    let mut cur: &VertexStep = &q.root;
+
+    // Start resolution (paper: "we use the id field to look up the director
+    // from the primary index").
+    let frontier: Vec<Addr> = if let Some(id) = &cur.id {
+        match resolve_id(store, tx, proxies, id, cur.vertex_type.as_deref())? {
+            Some(addr) => vec![addr],
+            None => Vec::new(),
+        }
+    } else if let (Some(tname), [pred]) = (&cur.vertex_type, &cur.predicates[..]) {
+        // Secondary-index start: `{"_type": t, "attr": value}`.
+        let vp = proxies
+            .vertex_type(tname)
+            .ok_or_else(|| A1Error::NoSuchType(tname.clone()))?;
+        let field = vp
+            .def
+            .schema
+            .field_by_name(&pred.attr)
+            .ok_or_else(|| A1Error::Query(format!("unknown attribute '{}'", pred.attr)))?;
+        if pred.op != CmpOp::Eq || pred.map_key.is_some() {
+            return Err(A1Error::Query("index start requires an equality predicate".into()));
+        }
+        let value = json_to_value(&pred.value, &field.ty)?;
+        store
+            .vertices_by_secondary(tx, vp, field.id, &value, usize::MAX)?
+            .into_iter()
+            .map(|p| p.addr)
+            .collect()
+    } else {
+        return Err(A1Error::Query("query needs an 'id' or an indexed predicate".into()));
+    };
+
+    loop {
+        let type_filter = match &cur.vertex_type {
+            Some(name) => Some(
+                proxies
+                    .vertex_type(name)
+                    .ok_or_else(|| A1Error::NoSuchType(name.clone()))?
+                    .def
+                    .id,
+            ),
+            None => None,
+        };
+        // Nested `id` filters resolve to address identity checks.
+        let id_filter = match (&cur.id, steps.is_empty()) {
+            (Some(id), false) => resolve_id(store, tx, proxies, id, cur.vertex_type.as_deref())?,
+            _ => None,
+        };
+        let matches = cur
+            .matches
+            .iter()
+            .map(|m| {
+                let edge_type = proxies
+                    .edge_type(&m.edge_type)
+                    .ok_or_else(|| A1Error::NoSuchType(m.edge_type.clone()))?
+                    .def
+                    .id;
+                let target = match &m.target_id {
+                    Some(id) => {
+                        resolve_id(store, tx, proxies, id, m.target_type.as_deref())?
+                    }
+                    None => None,
+                };
+                let target_type = match &m.target_type {
+                    Some(name) => Some(
+                        proxies
+                            .vertex_type(name)
+                            .ok_or_else(|| A1Error::NoSuchType(name.clone()))?
+                            .def
+                            .id,
+                    ),
+                    None => None,
+                };
+                // A match with an unresolvable literal id can never succeed.
+                if m.target_id.is_some() && target.is_none() {
+                    return Ok(CompiledMatch {
+                        dir: dir_of(m.dir),
+                        edge_type,
+                        target: Some(Addr::NULL),
+                        target_type,
+                        preds: m.target_predicates.clone(),
+                    });
+                }
+                Ok(CompiledMatch {
+                    dir: dir_of(m.dir),
+                    edge_type,
+                    target,
+                    target_type,
+                    preds: m.target_predicates.clone(),
+                })
+            })
+            .collect::<A1Result<Vec<_>>>()?;
+        let traverse = match &cur.traverse {
+            Some(t) => Some(CompiledTraverse {
+                dir: dir_of(t.dir),
+                edge_type: proxies
+                    .edge_type(&t.edge_type)
+                    .ok_or_else(|| A1Error::NoSuchType(t.edge_type.clone()))?
+                    .def
+                    .id,
+                edge_preds: t.edge_predicates.clone(),
+            }),
+            None => None,
+        };
+        steps.push(CompiledStep {
+            type_filter,
+            id_filter,
+            preds: cur.predicates.clone(),
+            matches,
+            traverse,
+        });
+        match &cur.traverse {
+            Some(t) => cur = &t.step,
+            None => break,
+        }
+    }
+    // Index-start predicates were consumed by the index lookup.
+    if q.root.id.is_none() {
+        steps[0].preds.clear();
+    }
+
+    Ok((
+        CompiledQuery { steps, select: q.final_select(), limit: q.final_limit() },
+        frontier,
+    ))
+}
+
+// ----------------------------------------------------------------- evaluate
+
+/// Evaluate one predicate against a record (schema-directed coercion of the
+/// literal). List attributes match if *any* element matches (knowledge-graph
+/// `name` lists).
+pub fn eval_predicate(schema: &Schema, rec: &a1_bond::Record, pred: &AttrPredicate) -> bool {
+    let Some(field) = schema.field_by_name(&pred.attr) else {
+        return false;
+    };
+    let Some(actual) = rec.get(field.id) else {
+        return false;
+    };
+    let actual = match (&pred.map_key, actual) {
+        (Some(k), v) => match v.map_get(k) {
+            Some(inner) => inner,
+            None => return false,
+        },
+        (None, v) => v,
+    };
+    eval_cmp(actual, pred.op, &pred.value)
+}
+
+fn eval_cmp(actual: &Value, op: CmpOp, literal: &Json) -> bool {
+    // List containment: any element satisfying the comparison.
+    if let Value::List(items) = actual {
+        return items.iter().any(|item| eval_cmp(item, op, literal));
+    }
+    let Some(lit) = coerce_like(actual, literal) else {
+        return false;
+    };
+    let Some(ord) = actual.compare(&lit) else {
+        return false;
+    };
+    match op {
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Ne => !ord.is_eq(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+    }
+}
+
+/// Coerce a JSON literal to the same Bond type as `like`.
+fn coerce_like(like: &Value, j: &Json) -> Option<Value> {
+    let ty = match like {
+        Value::Bool(_) => a1_bond::BondType::Bool,
+        Value::Int32(_) => a1_bond::BondType::Int32,
+        Value::Int64(_) => a1_bond::BondType::Int64,
+        Value::UInt64(_) => a1_bond::BondType::UInt64,
+        Value::Double(_) => a1_bond::BondType::Double,
+        Value::String(_) => a1_bond::BondType::String,
+        Value::Date(_) => a1_bond::BondType::Date,
+        Value::Blob(_) => a1_bond::BondType::Blob,
+        Value::List(_) | Value::Map(_) => return None,
+    };
+    json_to_value(j, &ty).ok()
+}
+
+// ------------------------------------------------------------------- worker
+
+/// The operator bundle shipped to a worker for one (machine, hop) batch.
+#[derive(Debug, Clone)]
+pub struct WorkOp {
+    pub tenant: String,
+    pub graph: String,
+    pub snapshot_ts: u64,
+    pub vertices: Vec<Addr>,
+    pub step: CompiledStep,
+    /// Emit surviving addresses (traversal result) or full rows (final hop).
+    pub emit_rows: bool,
+    pub select: Select,
+}
+
+/// What a worker sends back.
+#[derive(Debug, Clone, Default)]
+pub struct WorkResult {
+    pub next: Vec<Addr>,
+    pub rows: Vec<(Addr, Json)>,
+    pub metrics: QueryMetrics,
+}
+
+/// Execute a worker operator batch: predicate evaluation and edge
+/// enumeration at (ideally) the vertices' home machine (§3.4).
+pub fn run_work_op(
+    farm: &Arc<FarmCluster>,
+    store: &GraphStore,
+    proxies: &GraphProxies,
+    machine: MachineId,
+    op: &WorkOp,
+) -> A1Result<WorkResult> {
+    let mut tx = farm.begin_read_only_at(machine, op.snapshot_ts);
+    let mut result = WorkResult::default();
+    let count_read = |metrics: &mut QueryMetrics, addr: Addr| {
+        if farm.primary_of(addr) == Some(machine) {
+            metrics.local_reads += 1;
+        } else {
+            metrics.remote_reads += 1;
+        }
+    };
+
+    'vertices: for &addr in &op.vertices {
+        if let Some(idf) = op.step.id_filter {
+            if addr != idf {
+                continue;
+            }
+        }
+        let (_, hdr) = match edges::read_header(&mut tx, addr) {
+            Ok(x) => x,
+            Err(A1Error::NoSuchVertex(_)) => continue, // deleted under us
+            Err(e) => return Err(e),
+        };
+        result.metrics.vertices_read += 1;
+        count_read(&mut result.metrics, addr);
+        if let Some(tf) = op.step.type_filter {
+            if hdr.type_id != tf {
+                continue;
+            }
+        }
+        let vp = proxies.vertex_type_by_id(hdr.type_id);
+
+        // Vertex attribute predicates.
+        let mut rec = None;
+        if !op.step.preds.is_empty() || op.emit_rows {
+            let Some(vp) = vp else { continue };
+            rec = store.read_vertex_data(&mut tx, &hdr)?;
+            if !hdr.data.is_null() {
+                count_read(&mut result.metrics, hdr.data.addr);
+            }
+            let empty = a1_bond::Record::new();
+            let r = rec.as_ref().unwrap_or(&empty);
+            for pred in &op.step.preds {
+                if !eval_predicate(&vp.def.schema, r, pred) {
+                    continue 'vertices;
+                }
+            }
+        }
+
+        // Match patterns (star queries, Q3): every pattern must have at
+        // least one satisfying edge.
+        for m in &op.step.matches {
+            let hes = edges::enumerate(
+                &mut tx,
+                &proxies.graph.edge_tree,
+                addr,
+                &hdr,
+                m.dir,
+                Some(m.edge_type),
+                usize::MAX,
+            )?;
+            result.metrics.edges_visited += hes.len() as u64;
+            count_read(&mut result.metrics, addr);
+            let mut ok = false;
+            for he in &hes {
+                if let Some(target) = m.target {
+                    if he.other == target {
+                        ok = true;
+                        break;
+                    }
+                    continue;
+                }
+                // Predicate-based target: read the neighbor.
+                let (_, ohdr) = match edges::read_header(&mut tx, he.other) {
+                    Ok(x) => x,
+                    Err(_) => continue,
+                };
+                count_read(&mut result.metrics, he.other);
+                if let Some(tt) = m.target_type {
+                    if ohdr.type_id != tt {
+                        continue;
+                    }
+                }
+                let Some(ovp) = proxies.vertex_type_by_id(ohdr.type_id) else { continue };
+                let orec = store.read_vertex_data(&mut tx, &ohdr)?.unwrap_or_default();
+                if m.preds.iter().all(|p| eval_predicate(&ovp.def.schema, &orec, p)) {
+                    ok = true;
+                    break;
+                }
+            }
+            if !ok {
+                continue 'vertices;
+            }
+        }
+
+        // Traversal: enumerate half-edges to the next hop.
+        if let Some(t) = &op.step.traverse {
+            let hes = edges::enumerate(
+                &mut tx,
+                &proxies.graph.edge_tree,
+                addr,
+                &hdr,
+                t.dir,
+                Some(t.edge_type),
+                usize::MAX,
+            )?;
+            result.metrics.edges_visited += hes.len() as u64;
+            count_read(&mut result.metrics, addr);
+            for he in hes {
+                if !t.edge_preds.is_empty() {
+                    let Some(ep) = proxies.edge_type_by_id(t.edge_type) else { continue };
+                    let erec = if he.data.is_null() {
+                        a1_bond::Record::new()
+                    } else {
+                        count_read(&mut result.metrics, he.data.addr);
+                        let buf = tx.read(he.data)?;
+                        a1_bond::decode_record(buf.data())
+                            .map_err(|e| A1Error::Internal(e.to_string()))?
+                    };
+                    if !t.edge_preds.iter().all(|p| eval_predicate(&ep.def.schema, &erec, p)) {
+                        continue;
+                    }
+                }
+                result.next.push(he.other);
+            }
+        }
+
+        // Row emission at the final hop.
+        if op.emit_rows {
+            let Some(vp) = vp else { continue };
+            let row = render_row(&vp.def.schema, &vp.def.name, rec.as_ref(), &op.select);
+            result.rows.push((addr, row));
+        } else if op.step.traverse.is_none() {
+            // Terminal filter step (e.g. a count): emit the survivors.
+            result.next.push(addr);
+        }
+    }
+    Ok(result)
+}
+
+fn render_row(schema: &Schema, type_name: &str, rec: Option<&a1_bond::Record>, select: &Select) -> Json {
+    let full = match rec {
+        Some(r) => crate::convert::record_to_json(schema, r),
+        None => Json::Obj(Vec::new()),
+    };
+    match select {
+        Select::All | Select::Count => {
+            let mut obj = vec![("_type".to_string(), Json::str(type_name))];
+            if let Json::Obj(fields) = full {
+                obj.extend(fields);
+            }
+            Json::Obj(obj)
+        }
+        Select::Fields(fields) => {
+            let mut obj = Vec::with_capacity(fields.len());
+            for f in fields {
+                let v = full.get(&f.attr).cloned().unwrap_or(Json::Null);
+                let v = match f.index {
+                    Some(i) => v.at(i).cloned().unwrap_or(Json::Null),
+                    None => v,
+                };
+                let name = match f.index {
+                    Some(i) => format!("{}[{}]", f.attr, i),
+                    None => f.attr.clone(),
+                };
+                obj.push((name, v));
+            }
+            Json::Obj(obj)
+        }
+    }
+}
+
+// -------------------------------------------------------------- coordinator
+
+/// Ship callback: send a [`WorkOp`] to a remote machine, returning its
+/// [`WorkResult`]. Provided by the server layer (fabric RPC + JSON wire).
+pub type ShipFn<'a> = dyn Fn(MachineId, &WorkOp) -> A1Result<WorkResult> + 'a;
+
+/// Coordinate a compiled query (paper Fig. 9). `ship` sends batches to
+/// remote workers; small or local batches run inline at the coordinator.
+pub fn coordinate(
+    farm: &Arc<FarmCluster>,
+    store: &GraphStore,
+    proxies: &GraphProxies,
+    machine: MachineId,
+    cfg: &ExecConfig,
+    tenant: &str,
+    graph: &str,
+    compiled: &CompiledQuery,
+    initial_frontier: Vec<Addr>,
+    snapshot_ts: u64,
+    ship: &ShipFn,
+) -> A1Result<QueryOutcome> {
+    let mut metrics = QueryMetrics {
+        snapshot_ts,
+        hops: compiled.steps.len().saturating_sub(1) as u32,
+        ..QueryMetrics::default()
+    };
+    let mut frontier = dedup_addrs(initial_frontier);
+    let mut rows: Vec<(Addr, Json)> = Vec::new();
+    let mut per_hop: Vec<HopStats> = Vec::new();
+
+    for (i, step) in compiled.steps.iter().enumerate() {
+        let is_last = i == compiled.steps.len() - 1;
+        let emit_rows = is_last && compiled.select != Select::Count;
+        if frontier.is_empty() {
+            break;
+        }
+        if frontier.len() > cfg.max_working_set {
+            return Err(A1Error::WorkingSetExceeded { limit: cfg.max_working_set });
+        }
+
+        // Partition & ship (Fig. 9): group pointers by primary host — a
+        // purely local metadata operation.
+        let mut by_machine: HashMap<MachineId, Vec<Addr>> = HashMap::new();
+        for addr in frontier.drain(..) {
+            let host = farm
+                .primary_of(addr)
+                .ok_or_else(|| A1Error::Internal("unplaced address".into()))?;
+            by_machine.entry(host).or_default().push(addr);
+        }
+
+        let mut hop = HopStats {
+            frontier: by_machine.values().map(|v| v.len() as u64).sum(),
+            machines: by_machine.len() as u64,
+            ..HopStats::default()
+        };
+        let mut next = Vec::new();
+        for (host, vertices) in by_machine {
+            let op = WorkOp {
+                tenant: tenant.to_string(),
+                graph: graph.to_string(),
+                snapshot_ts,
+                vertices,
+                step: step.clone(),
+                emit_rows,
+                select: compiled.select.clone(),
+            };
+            let result = if host != machine && op.vertices.len() >= cfg.ship_threshold {
+                metrics.rpcs += 1;
+                hop.rpcs += 1;
+                ship(host, &op)?
+            } else {
+                // Few vertices: cheaper to read remotely than to RPC (§3.4).
+                run_work_op(farm, store, proxies, machine, &op)?
+            };
+            metrics.absorb(&result.metrics);
+            hop.vertices_read += result.metrics.vertices_read;
+            hop.edges_visited += result.metrics.edges_visited;
+            hop.local_reads += result.metrics.local_reads;
+            hop.remote_reads += result.metrics.remote_reads;
+            hop.returned += (result.next.len() + result.rows.len()) as u64;
+            next.extend(result.next);
+            rows.extend(result.rows);
+        }
+        per_hop.push(hop);
+        frontier = dedup_addrs(next);
+    }
+
+    // Aggregate replies: dedup rows by vertex, apply limit/select.
+    let mut outcome = QueryOutcome {
+        rows: Vec::new(),
+        count: None,
+        metrics,
+        continuation: None,
+        per_hop,
+    };
+    match compiled.select {
+        Select::Count => {
+            outcome.count = Some(frontier.len() as u64);
+        }
+        _ => {
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::with_capacity(rows.len());
+            for (addr, row) in rows {
+                if seen.insert(addr) {
+                    out.push(row);
+                }
+            }
+            if let Some(limit) = compiled.limit {
+                out.truncate(limit);
+            }
+            outcome.rows = out;
+        }
+    }
+    Ok(outcome)
+}
+
+fn dedup_addrs(mut addrs: Vec<Addr>) -> Vec<Addr> {
+    addrs.sort_unstable();
+    addrs.dedup();
+    addrs
+}
+
+// --------------------------------------------------------------------- wire
+
+/// Serialize a [`WorkOp`] for the RPC fabric (JSON — the simulation's stand-
+/// in for Bond-serialized operator messages).
+pub fn work_op_to_json(op: &WorkOp) -> Json {
+    Json::obj(vec![
+        ("t", Json::str("work")),
+        ("tenant", Json::str(&op.tenant)),
+        ("graph", Json::str(&op.graph)),
+        ("ts", Json::Num(op.snapshot_ts as f64)),
+        (
+            "vertices",
+            Json::Arr(op.vertices.iter().map(|a| Json::Num(a.raw() as f64)).collect()),
+        ),
+        ("step", step_to_json(&op.step)),
+        ("emit_rows", Json::Bool(op.emit_rows)),
+        ("select", select_to_json(&op.select)),
+    ])
+}
+
+pub fn work_op_from_json(j: &Json) -> A1Result<WorkOp> {
+    let err = |m: &str| A1Error::Internal(format!("bad work op: {m}"));
+    Ok(WorkOp {
+        tenant: j.get("tenant").and_then(Json::as_str).ok_or_else(|| err("tenant"))?.into(),
+        graph: j.get("graph").and_then(Json::as_str).ok_or_else(|| err("graph"))?.into(),
+        snapshot_ts: j.get("ts").and_then(Json::as_f64).ok_or_else(|| err("ts"))? as u64,
+        vertices: j
+            .get("vertices")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("vertices"))?
+            .iter()
+            .filter_map(|v| v.as_f64().map(|n| Addr::from_raw(n as u64)))
+            .collect(),
+        step: step_from_json(j.get("step").ok_or_else(|| err("step"))?)?,
+        emit_rows: j.get("emit_rows").and_then(Json::as_bool).unwrap_or(false),
+        select: select_from_json(j.get("select").unwrap_or(&Json::Null)),
+    })
+}
+
+fn dir_to_json(d: Dir) -> Json {
+    Json::str(if d == Dir::Out { "out" } else { "in" })
+}
+
+fn dir_from_json(j: Option<&Json>) -> Dir {
+    match j.and_then(Json::as_str) {
+        Some("in") => Dir::In,
+        _ => Dir::Out,
+    }
+}
+
+fn preds_to_json(preds: &[AttrPredicate]) -> Json {
+    Json::Arr(
+        preds
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("a", Json::str(&p.attr)),
+                    (
+                        "k",
+                        p.map_key.as_ref().map(|k| Json::str(k)).unwrap_or(Json::Null),
+                    ),
+                    ("o", Json::str(p.op.as_str())),
+                    ("v", p.value.clone()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn preds_from_json(j: Option<&Json>) -> Vec<AttrPredicate> {
+    j.and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|p| {
+                    Some(AttrPredicate {
+                        attr: p.get("a")?.as_str()?.to_string(),
+                        map_key: p.get("k").and_then(Json::as_str).map(String::from),
+                        op: CmpOp::parse(p.get("o")?.as_str()?)?,
+                        value: p.get("v")?.clone(),
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn step_to_json(s: &CompiledStep) -> Json {
+    Json::obj(vec![
+        (
+            "tf",
+            s.type_filter.map(|t| Json::Num(t.0 as f64)).unwrap_or(Json::Null),
+        ),
+        (
+            "idf",
+            s.id_filter.map(|a| Json::Num(a.raw() as f64)).unwrap_or(Json::Null),
+        ),
+        ("preds", preds_to_json(&s.preds)),
+        (
+            "matches",
+            Json::Arr(
+                s.matches
+                    .iter()
+                    .map(|m| {
+                        Json::obj(vec![
+                            ("d", dir_to_json(m.dir)),
+                            ("et", Json::Num(m.edge_type.0 as f64)),
+                            (
+                                "tgt",
+                                m.target
+                                    .map(|a| Json::Num(a.raw() as f64))
+                                    .unwrap_or(Json::Null),
+                            ),
+                            (
+                                "tt",
+                                m.target_type
+                                    .map(|t| Json::Num(t.0 as f64))
+                                    .unwrap_or(Json::Null),
+                            ),
+                            ("p", preds_to_json(&m.preds)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "traverse",
+            match &s.traverse {
+                Some(t) => Json::obj(vec![
+                    ("d", dir_to_json(t.dir)),
+                    ("et", Json::Num(t.edge_type.0 as f64)),
+                    ("p", preds_to_json(&t.edge_preds)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn step_from_json(j: &Json) -> A1Result<CompiledStep> {
+    Ok(CompiledStep {
+        type_filter: j.get("tf").and_then(Json::as_f64).map(|n| TypeId(n as u32)),
+        id_filter: j.get("idf").and_then(Json::as_f64).map(|n| Addr::from_raw(n as u64)),
+        preds: preds_from_json(j.get("preds")),
+        matches: j
+            .get("matches")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .map(|m| CompiledMatch {
+                        dir: dir_from_json(m.get("d")),
+                        edge_type: TypeId(
+                            m.get("et").and_then(Json::as_f64).unwrap_or(0.0) as u32
+                        ),
+                        target: m.get("tgt").and_then(Json::as_f64).map(|n| Addr::from_raw(n as u64)),
+                        target_type: m.get("tt").and_then(Json::as_f64).map(|n| TypeId(n as u32)),
+                        preds: preds_from_json(m.get("p")),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        traverse: match j.get("traverse") {
+            Some(t) if !t.is_null() => Some(CompiledTraverse {
+                dir: dir_from_json(t.get("d")),
+                edge_type: TypeId(t.get("et").and_then(Json::as_f64).unwrap_or(0.0) as u32),
+                edge_preds: preds_from_json(t.get("p")),
+            }),
+            _ => None,
+        },
+    })
+}
+
+fn select_to_json(s: &Select) -> Json {
+    match s {
+        Select::All => Json::str("all"),
+        Select::Count => Json::str("count"),
+        Select::Fields(fields) => Json::Arr(
+            fields
+                .iter()
+                .map(|f| match f.index {
+                    Some(i) => Json::Str(format!("{}[{}]", f.attr, i)),
+                    None => Json::str(&f.attr),
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn select_from_json(j: &Json) -> Select {
+    match j {
+        Json::Str(s) if s == "count" => Select::Count,
+        Json::Arr(items) => Select::Fields(
+            items
+                .iter()
+                .filter_map(|v| v.as_str())
+                .map(|s| match s.find('[') {
+                    Some(open) if s.ends_with(']') => FieldSel {
+                        attr: s[..open].to_string(),
+                        index: s[open + 1..s.len() - 1].parse().ok(),
+                    },
+                    _ => FieldSel { attr: s.to_string(), index: None },
+                })
+                .collect(),
+        ),
+        _ => Select::All,
+    }
+}
+
+pub fn work_result_to_json(r: &A1Result<WorkResult>) -> Json {
+    match r {
+        Ok(r) => Json::obj(vec![
+            ("t", Json::str("ok")),
+            ("next", Json::Arr(r.next.iter().map(|a| Json::Num(a.raw() as f64)).collect())),
+            (
+                "rows",
+                Json::Arr(
+                    r.rows
+                        .iter()
+                        .map(|(a, row)| {
+                            Json::Arr(vec![Json::Num(a.raw() as f64), row.clone()])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("vr", Json::Num(r.metrics.vertices_read as f64)),
+            ("ev", Json::Num(r.metrics.edges_visited as f64)),
+            ("lr", Json::Num(r.metrics.local_reads as f64)),
+            ("rr", Json::Num(r.metrics.remote_reads as f64)),
+        ]),
+        Err(e) => Json::obj(vec![("t", Json::str("err")), ("msg", Json::Str(e.to_string()))]),
+    }
+}
+
+pub fn work_result_from_json(j: &Json) -> A1Result<WorkResult> {
+    if j.get("t").and_then(Json::as_str) != Some("ok") {
+        let msg = j.get("msg").and_then(Json::as_str).unwrap_or("unknown worker error");
+        return Err(A1Error::Internal(format!("worker failed: {msg}")));
+    }
+    Ok(WorkResult {
+        next: j
+            .get("next")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_f64().map(|n| Addr::from_raw(n as u64)))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        rows: j
+            .get("rows")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|pair| {
+                        let addr = Addr::from_raw(pair.at(0)?.as_f64()? as u64);
+                        Some((addr, pair.at(1)?.clone()))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        metrics: QueryMetrics {
+            vertices_read: j.get("vr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            edges_visited: j.get("ev").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            local_reads: j.get("lr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            remote_reads: j.get("rr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            ..QueryMetrics::default()
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a1_farm::RegionId;
+
+    #[test]
+    fn work_op_wire_roundtrip() {
+        let op = WorkOp {
+            tenant: "t".into(),
+            graph: "g".into(),
+            snapshot_ts: 42,
+            vertices: vec![Addr::new(RegionId(1), 64), Addr::new(RegionId(2), 128)],
+            step: CompiledStep {
+                type_filter: Some(TypeId(3)),
+                id_filter: Some(Addr::new(RegionId(1), 192)),
+                preds: vec![AttrPredicate {
+                    attr: "str_str_map".into(),
+                    map_key: Some("character".into()),
+                    op: CmpOp::Eq,
+                    value: Json::str("Batman"),
+                }],
+                matches: vec![CompiledMatch {
+                    dir: Dir::Out,
+                    edge_type: TypeId(7),
+                    target: Some(Addr::new(RegionId(3), 256)),
+                    target_type: None,
+                    preds: vec![],
+                }],
+                traverse: Some(CompiledTraverse {
+                    dir: Dir::In,
+                    edge_type: TypeId(9),
+                    edge_preds: vec![AttrPredicate {
+                        attr: "w".into(),
+                        map_key: None,
+                        op: CmpOp::Ge,
+                        value: Json::Num(2.0),
+                    }],
+                }),
+            },
+            emit_rows: true,
+            select: Select::Fields(vec![FieldSel { attr: "name".into(), index: Some(0) }]),
+        };
+        let wire = work_op_to_json(&op);
+        let text = wire.to_string();
+        let back = work_op_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.tenant, "t");
+        assert_eq!(back.snapshot_ts, 42);
+        assert_eq!(back.vertices, op.vertices);
+        assert_eq!(back.step.type_filter, Some(TypeId(3)));
+        assert_eq!(back.step.id_filter, op.step.id_filter);
+        assert_eq!(back.step.preds, op.step.preds);
+        assert_eq!(back.step.matches.len(), 1);
+        assert_eq!(back.step.matches[0].target, op.step.matches[0].target);
+        let t = back.step.traverse.unwrap();
+        assert_eq!(t.dir, Dir::In);
+        assert_eq!(t.edge_type, TypeId(9));
+        assert_eq!(t.edge_preds.len(), 1);
+        assert!(back.emit_rows);
+        assert_eq!(back.select, op.select);
+    }
+
+    #[test]
+    fn work_result_wire_roundtrip() {
+        let r = WorkResult {
+            next: vec![Addr::new(RegionId(4), 64)],
+            rows: vec![(Addr::new(RegionId(4), 64), Json::obj(vec![("a", Json::Num(1.0))]))],
+            metrics: QueryMetrics {
+                vertices_read: 3,
+                edges_visited: 5,
+                local_reads: 7,
+                remote_reads: 1,
+                ..QueryMetrics::default()
+            },
+        };
+        let wire = work_result_to_json(&Ok(r.clone()));
+        let back = work_result_from_json(&Json::parse(&wire.to_string()).unwrap()).unwrap();
+        assert_eq!(back.next, r.next);
+        assert_eq!(back.rows, r.rows);
+        assert_eq!(back.metrics.local_reads, 7);
+
+        let err_wire = work_result_to_json(&Err(A1Error::Query("boom".into())));
+        assert!(work_result_from_json(&err_wire).is_err());
+    }
+
+    #[test]
+    fn metrics_fraction() {
+        let m = QueryMetrics { local_reads: 95, remote_reads: 5, ..QueryMetrics::default() };
+        assert!((m.local_read_fraction() - 0.95).abs() < 1e-9);
+        assert_eq!(QueryMetrics::default().local_read_fraction(), 1.0);
+    }
+
+    #[test]
+    fn eval_predicates() {
+        use a1_bond::{BondType, FieldDef, Record, Schema};
+        let schema = Schema::build(
+            "e",
+            vec![
+                FieldDef::optional(0, "name", BondType::List(Box::new(BondType::String))),
+                FieldDef::optional(1, "rank", BondType::Int64),
+                FieldDef::optional(
+                    2,
+                    "m",
+                    BondType::Map(Box::new(BondType::String), Box::new(BondType::String)),
+                ),
+            ],
+        )
+        .unwrap();
+        let rec = Record::new()
+            .with(0, Value::List(vec![Value::String("Batman".into())]))
+            .with(1, Value::Int64(5))
+            .with(
+                2,
+                Value::Map(vec![(Value::String("k".into()), Value::String("v".into()))]),
+            );
+        let p = |attr: &str, map_key: Option<&str>, op, value| AttrPredicate {
+            attr: attr.into(),
+            map_key: map_key.map(String::from),
+            op,
+            value,
+        };
+        // List containment.
+        assert!(eval_predicate(&schema, &rec, &p("name", None, CmpOp::Eq, Json::str("Batman"))));
+        assert!(!eval_predicate(&schema, &rec, &p("name", None, CmpOp::Eq, Json::str("Robin"))));
+        // Numeric comparisons.
+        assert!(eval_predicate(&schema, &rec, &p("rank", None, CmpOp::Ge, Json::Num(5.0))));
+        assert!(eval_predicate(&schema, &rec, &p("rank", None, CmpOp::Lt, Json::Num(6.0))));
+        assert!(!eval_predicate(&schema, &rec, &p("rank", None, CmpOp::Ne, Json::Num(5.0))));
+        // Map lookup.
+        assert!(eval_predicate(&schema, &rec, &p("m", Some("k"), CmpOp::Eq, Json::str("v"))));
+        assert!(!eval_predicate(&schema, &rec, &p("m", Some("zz"), CmpOp::Eq, Json::str("v"))));
+        // Missing attribute → false.
+        assert!(!eval_predicate(&schema, &rec, &p("nope", None, CmpOp::Eq, Json::Num(1.0))));
+        // Type-incompatible literal → false.
+        assert!(!eval_predicate(&schema, &rec, &p("rank", None, CmpOp::Eq, Json::str("x"))));
+    }
+}

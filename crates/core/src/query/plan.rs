@@ -1,0 +1,482 @@
+//! A1QL parsing: JSON documents → logical plans (paper §3.4, Fig. 8).
+//!
+//! Grammar (by key, inside a vertex step object):
+//!
+//! * `"id"` — start vertex primary key (top level), or an identity filter in
+//!   nested steps / match targets.
+//! * `"_type"` — vertex type constraint.
+//! * `"_out_edge"` / `"_in_edge"` — traversal: `{"_type": edge-type,
+//!   <edge attr predicates...>, "_vertex": {next step}}`.
+//! * `"_match"` — array of edge patterns that must all exist (star patterns,
+//!   Q3).
+//! * `"_select"` — `["*"]`, `["_count(*)"]`, or projections like
+//!   `["name[0]"]`.
+//! * `"_limit"` — cap on returned rows.
+//! * any other key — attribute predicate: scalar for equality,
+//!   `{"_gt": v}` etc. for comparisons, `attr[key]` for map lookups
+//!   (Q2's `str_str_map[character]`).
+
+use crate::error::{A1Error, A1Result};
+use a1_json::Json;
+
+/// Traversal direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanDir {
+    Out,
+    In,
+}
+
+/// Comparison operators for attribute predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl CmpOp {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            _ => return None,
+        })
+    }
+}
+
+/// One attribute predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrPredicate {
+    pub attr: String,
+    /// `attr[key]` map-lookup predicates.
+    pub map_key: Option<String>,
+    pub op: CmpOp,
+    pub value: Json,
+}
+
+/// Projection specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Select {
+    /// `["*"]` — all attributes.
+    All,
+    /// `["_count(*)"]` — count distinct result vertices.
+    Count,
+    /// Projections; `name[0]` selects a list element.
+    Fields(Vec<FieldSel>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldSel {
+    pub attr: String,
+    pub index: Option<usize>,
+}
+
+/// A vertex step: filters at this hop plus an optional traversal onward.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VertexStep {
+    pub id: Option<String>,
+    pub vertex_type: Option<String>,
+    pub predicates: Vec<AttrPredicate>,
+    pub matches: Vec<MatchPattern>,
+    pub traverse: Option<Box<EdgeTraversal>>,
+    pub select: Option<Select>,
+    pub limit: Option<usize>,
+}
+
+/// An edge traversal to the next hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeTraversal {
+    pub dir: PlanDir,
+    pub edge_type: String,
+    pub edge_predicates: Vec<AttrPredicate>,
+    pub step: VertexStep,
+}
+
+/// A `_match` pattern: an edge of the given type must exist whose target
+/// satisfies the nested filters (Q3's star pattern).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchPattern {
+    pub dir: PlanDir,
+    pub edge_type: String,
+    pub target_id: Option<String>,
+    pub target_type: Option<String>,
+    pub target_predicates: Vec<AttrPredicate>,
+}
+
+/// A parsed A1QL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub root: VertexStep,
+}
+
+impl Query {
+    /// Number of traversal hops.
+    pub fn hops(&self) -> usize {
+        let mut n = 0;
+        let mut step = &self.root;
+        while let Some(t) = &step.traverse {
+            n += 1;
+            step = &t.step;
+        }
+        n
+    }
+
+    /// The final step's select (defaults to `All`).
+    pub fn final_select(&self) -> Select {
+        let mut step = &self.root;
+        while let Some(t) = &step.traverse {
+            step = &t.step;
+        }
+        step.select.clone().unwrap_or(Select::All)
+    }
+
+    pub fn final_limit(&self) -> Option<usize> {
+        let mut step = &self.root;
+        while let Some(t) = &step.traverse {
+            step = &t.step;
+        }
+        step.limit
+    }
+}
+
+/// Parse an A1QL text document.
+pub fn parse_query(text: &str) -> A1Result<Query> {
+    let j = Json::parse(text).map_err(|e| A1Error::Query(e.to_string()))?;
+    let root = parse_step(&j)?;
+    if root.id.is_none() && root.vertex_type.is_none() {
+        return Err(A1Error::Query(
+            "query needs a start: an 'id' or a '_type' with an indexed predicate".into(),
+        ));
+    }
+    Ok(Query { root })
+}
+
+fn parse_step(j: &Json) -> A1Result<VertexStep> {
+    let obj = j
+        .as_obj()
+        .ok_or_else(|| A1Error::Query("vertex step must be a JSON object".into()))?;
+    let mut step = VertexStep::default();
+    for (key, value) in obj {
+        match key.as_str() {
+            "id" => {
+                step.id = Some(
+                    value
+                        .as_str()
+                        .ok_or_else(|| A1Error::Query("'id' must be a string".into()))?
+                        .to_string(),
+                );
+            }
+            "_type" => {
+                step.vertex_type = Some(
+                    value
+                        .as_str()
+                        .ok_or_else(|| A1Error::Query("'_type' must be a string".into()))?
+                        .to_string(),
+                );
+            }
+            "_out_edge" => {
+                set_traverse(&mut step, PlanDir::Out, value)?;
+            }
+            "_in_edge" => {
+                set_traverse(&mut step, PlanDir::In, value)?;
+            }
+            "_match" => {
+                let arr = value
+                    .as_arr()
+                    .ok_or_else(|| A1Error::Query("'_match' must be an array".into()))?;
+                for pattern in arr {
+                    step.matches.push(parse_match(pattern)?);
+                }
+            }
+            "_select" => {
+                step.select = Some(parse_select(value)?);
+            }
+            "_limit" => {
+                let n = value
+                    .as_i64()
+                    .filter(|n| *n >= 0)
+                    .ok_or_else(|| A1Error::Query("'_limit' must be a non-negative integer".into()))?;
+                step.limit = Some(n as usize);
+            }
+            other if other.starts_with('_') => {
+                return Err(A1Error::Query(format!("unknown directive '{other}'")));
+            }
+            attr => {
+                step.predicates.push(parse_predicate(attr, value)?);
+            }
+        }
+    }
+    Ok(step)
+}
+
+fn set_traverse(step: &mut VertexStep, dir: PlanDir, value: &Json) -> A1Result<()> {
+    if step.traverse.is_some() {
+        return Err(A1Error::Query(
+            "a step may have at most one _out_edge/_in_edge traversal".into(),
+        ));
+    }
+    step.traverse = Some(Box::new(parse_edge(dir, value)?));
+    Ok(())
+}
+
+fn parse_edge(dir: PlanDir, j: &Json) -> A1Result<EdgeTraversal> {
+    let obj = j
+        .as_obj()
+        .ok_or_else(|| A1Error::Query("edge traversal must be a JSON object".into()))?;
+    let mut edge_type = None;
+    let mut edge_predicates = Vec::new();
+    let mut vertex = None;
+    for (key, value) in obj {
+        match key.as_str() {
+            "_type" => {
+                edge_type = Some(
+                    value
+                        .as_str()
+                        .ok_or_else(|| A1Error::Query("edge '_type' must be a string".into()))?
+                        .to_string(),
+                );
+            }
+            "_vertex" => {
+                vertex = Some(parse_step(value)?);
+            }
+            other if other.starts_with('_') => {
+                return Err(A1Error::Query(format!("unknown edge directive '{other}'")));
+            }
+            attr => {
+                edge_predicates.push(parse_predicate(attr, value)?);
+            }
+        }
+    }
+    Ok(EdgeTraversal {
+        dir,
+        edge_type: edge_type
+            .ok_or_else(|| A1Error::Query("edge traversal needs a '_type'".into()))?,
+        edge_predicates,
+        step: vertex.ok_or_else(|| A1Error::Query("edge traversal needs a '_vertex'".into()))?,
+    })
+}
+
+fn parse_match(j: &Json) -> A1Result<MatchPattern> {
+    let (dir, edge) = if let Some(e) = j.get("_out_edge") {
+        (PlanDir::Out, e)
+    } else if let Some(e) = j.get("_in_edge") {
+        (PlanDir::In, e)
+    } else {
+        return Err(A1Error::Query("match pattern needs _out_edge or _in_edge".into()));
+    };
+    let parsed = parse_edge(dir, edge)?;
+    if parsed.step.traverse.is_some() || !parsed.step.matches.is_empty() {
+        return Err(A1Error::Query("match targets cannot traverse further".into()));
+    }
+    Ok(MatchPattern {
+        dir,
+        edge_type: parsed.edge_type,
+        target_id: parsed.step.id,
+        target_type: parsed.step.vertex_type,
+        target_predicates: parsed.step.predicates,
+    })
+}
+
+fn parse_select(j: &Json) -> A1Result<Select> {
+    let arr = j
+        .as_arr()
+        .ok_or_else(|| A1Error::Query("'_select' must be an array".into()))?;
+    let items: Vec<&str> = arr
+        .iter()
+        .map(|v| v.as_str().ok_or_else(|| A1Error::Query("'_select' items must be strings".into())))
+        .collect::<A1Result<_>>()?;
+    if items.iter().any(|s| *s == "*") {
+        return Ok(Select::All);
+    }
+    if items.iter().any(|s| *s == "_count(*)") {
+        return Ok(Select::Count);
+    }
+    let fields = items
+        .iter()
+        .map(|s| parse_field_sel(s))
+        .collect::<A1Result<Vec<_>>>()?;
+    Ok(Select::Fields(fields))
+}
+
+fn parse_field_sel(s: &str) -> A1Result<FieldSel> {
+    match split_indexed(s) {
+        Some((attr, idx)) => {
+            let index = idx
+                .parse::<usize>()
+                .map_err(|_| A1Error::Query(format!("bad projection '{s}'")))?;
+            Ok(FieldSel { attr: attr.to_string(), index: Some(index) })
+        }
+        None => Ok(FieldSel { attr: s.to_string(), index: None }),
+    }
+}
+
+fn parse_predicate(key: &str, value: &Json) -> A1Result<AttrPredicate> {
+    let (attr, map_key) = match split_indexed(key) {
+        Some((attr, k)) => (attr.to_string(), Some(k.to_string())),
+        None => (key.to_string(), None),
+    };
+    // `{"_gt": v}` style comparison objects; bare scalars mean equality.
+    if let Some(obj) = value.as_obj() {
+        if obj.len() == 1 && obj[0].0.starts_with('_') {
+            let op = CmpOp::parse(obj[0].0.trim_start_matches('_'))
+                .ok_or_else(|| A1Error::Query(format!("unknown comparison '{}'", obj[0].0)))?;
+            return Ok(AttrPredicate { attr, map_key, op, value: obj[0].1.clone() });
+        }
+    }
+    Ok(AttrPredicate { attr, map_key, op: CmpOp::Eq, value: value.clone() })
+}
+
+/// Split `"name[x]"` into `("name", "x")`.
+fn split_indexed(s: &str) -> Option<(&str, &str)> {
+    let open = s.find('[')?;
+    let close = s.strip_suffix(']')?;
+    Some((&s[..open], &close[open + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Fig. 8 / Table 2 Q1.
+    #[test]
+    fn parse_q1_spielberg() {
+        let q = parse_query(
+            r#"{ "id" : "steven.spielberg",
+                "_out_edge" : { "_type" : "director.film",
+                "_vertex" : {
+                "_out_edge" : { "_type" : "film.actor",
+                "_vertex" : {
+                "_select" : ["_count(*)"] }}}}}"#,
+        )
+        .unwrap();
+        assert_eq!(q.root.id.as_deref(), Some("steven.spielberg"));
+        assert_eq!(q.hops(), 2);
+        assert_eq!(q.final_select(), Select::Count);
+        let t1 = q.root.traverse.as_ref().unwrap();
+        assert_eq!(t1.edge_type, "director.film");
+        assert_eq!(t1.dir, PlanDir::Out);
+        let t2 = t1.step.traverse.as_ref().unwrap();
+        assert_eq!(t2.edge_type, "film.actor");
+    }
+
+    /// Paper Table 2 Q2: three hops with a map predicate on the middle hop.
+    #[test]
+    fn parse_q2_batman() {
+        let q = parse_query(
+            r#"{ "id" : "character.batman",
+                "_out_edge" : { "_type" : "character.film",
+                "_vertex" : {
+                "_out_edge" : { "_type" : "film.performance",
+                "_vertex" : {
+                "str_str_map[character]" : "Batman",
+                "_out_edge" : { "_type" : "performance.actor",
+                "_vertex" : {
+                "_select" : ["_count(*)"] }}}}}}}"#,
+        )
+        .unwrap();
+        assert_eq!(q.hops(), 3);
+        let perf = &q.root.traverse.as_ref().unwrap().step.traverse.as_ref().unwrap().step;
+        assert_eq!(perf.predicates.len(), 1);
+        let p = &perf.predicates[0];
+        assert_eq!(p.attr, "str_str_map");
+        assert_eq!(p.map_key.as_deref(), Some("character"));
+        assert_eq!(p.op, CmpOp::Eq);
+        assert_eq!(p.value.as_str(), Some("Batman"));
+    }
+
+    /// Paper Table 2 Q3: star pattern via `_match`.
+    #[test]
+    fn parse_q3_star_match() {
+        let q = parse_query(
+            r#"{ "id" : "steven.spielberg",
+                "_out_edge" : { "_type" : "director.film",
+                "_vertex" : { "_type" : "entity",
+                "_select" : ["name[0]"],
+                "_match" : [{
+                "_out_edge" : { "_type" : "film.actor",
+                "_vertex" : { "id" : "tom.hanks" }}},
+                { "_out_edge" : { "_type" : "film.genre",
+                "_vertex" : { "id" : "action" }}}] }}}"#,
+        )
+        .unwrap();
+        assert_eq!(q.hops(), 1);
+        let film = &q.root.traverse.as_ref().unwrap().step;
+        assert_eq!(film.vertex_type.as_deref(), Some("entity"));
+        assert_eq!(film.matches.len(), 2);
+        assert_eq!(film.matches[0].edge_type, "film.actor");
+        assert_eq!(film.matches[0].target_id.as_deref(), Some("tom.hanks"));
+        assert_eq!(film.matches[1].target_id.as_deref(), Some("action"));
+        assert_eq!(
+            q.final_select(),
+            Select::Fields(vec![FieldSel { attr: "name".into(), index: Some(0) }])
+        );
+    }
+
+    #[test]
+    fn parse_in_edge_and_comparisons() {
+        let q = parse_query(
+            r#"{ "_type": "Film", "release_date": {"_ge": 10957},
+                 "_in_edge": { "_type": "acted", "character": "Batman",
+                 "_vertex": { "_select": ["*"], "_limit": 5 }}}"#,
+        )
+        .unwrap();
+        assert_eq!(q.root.predicates[0].op, CmpOp::Ge);
+        let t = q.root.traverse.as_ref().unwrap();
+        assert_eq!(t.dir, PlanDir::In);
+        assert_eq!(t.edge_predicates.len(), 1);
+        assert_eq!(q.final_limit(), Some(5));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("not json").is_err());
+        assert!(parse_query(r#"{"_select": ["*"]}"#).is_err(), "no start");
+        assert!(parse_query(r#"{"id": 3}"#).is_err(), "id must be a string");
+        assert!(parse_query(r#"{"id":"x","_bogus": 1}"#).is_err());
+        assert!(
+            parse_query(r#"{"id":"x","_out_edge":{"_vertex":{}}}"#).is_err(),
+            "edge needs type"
+        );
+        assert!(
+            parse_query(r#"{"id":"x","_out_edge":{"_type":"t"}}"#).is_err(),
+            "edge needs vertex"
+        );
+        assert!(
+            parse_query(
+                r#"{"id":"x","_out_edge":{"_type":"a","_vertex":{}},
+                     "_in_edge":{"_type":"b","_vertex":{}}}"#
+            )
+            .is_err(),
+            "one traversal per step"
+        );
+        assert!(parse_query(r#"{"id":"x","a":{"_zz": 3}}"#).is_err());
+        assert!(parse_query(r#"{"id":"x","_limit": -3}"#).is_err());
+    }
+
+    #[test]
+    fn match_cannot_traverse() {
+        let r = parse_query(
+            r#"{"id":"x","_match":[{"_out_edge":{"_type":"t","_vertex":{
+                "_out_edge":{"_type":"u","_vertex":{}}}}}]}"#,
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! The replication log for disaster recovery (paper §4).
+//!
+//! Every update transaction transactionally appends a log entry describing
+//! its effect. The log lives in FaRM (3-way in-memory replicated like all
+//! data). Entries are consumed by the replication pipeline (`a1-recovery`):
+//! synchronously right after commit when possible, otherwise by the
+//! asynchronous FIFO sweeper.
+//!
+//! A subtlety from the paper: entries must be applied to ObjectStore in
+//! *transaction timestamp* order, but the commit timestamp is unknown while
+//! the transaction is still executing. The trick: a log entry's FaRM object
+//! is written by the same transaction, so its **object version *is* the
+//! commit timestamp** — the sweeper reads it back after commit.
+
+use crate::error::{A1Error, A1Result};
+use a1_farm::{BTree, BTreeConfig, FarmCluster, Hint, MachineId, Ptr, Txn};
+use a1_json::Json;
+use std::sync::Arc;
+
+/// Handle to the replication log: a B-tree of ⟨(approx ts, uniq) → entry
+/// object pointer⟩, ordered roughly by transaction start; exact ordering is
+/// re-established from entry versions.
+#[derive(Clone)]
+pub struct Replog {
+    tree: BTree,
+}
+
+/// A log entry fetched back from FaRM.
+#[derive(Debug, Clone)]
+pub struct FetchedEntry {
+    pub key: Vec<u8>,
+    pub ptr: Ptr,
+    /// The writing transaction's commit timestamp (the entry object's
+    /// version).
+    pub commit_ts: u64,
+    pub body: Json,
+}
+
+impl Replog {
+    fn tree_config() -> BTreeConfig {
+        BTreeConfig { max_keys: 32, max_key_len: 16, max_val_len: 16 }
+    }
+
+    pub fn create(farm: &Arc<FarmCluster>) -> A1Result<Replog> {
+        let tree = farm.run(MachineId(0), |tx| {
+            BTree::create(tx, Self::tree_config(), Hint::Machine(MachineId(0)))
+        })?;
+        Ok(Replog { tree })
+    }
+
+    pub fn open(farm: &Arc<FarmCluster>, header: Ptr) -> A1Result<Replog> {
+        let mut tx = farm.begin_read_only(MachineId(0));
+        Ok(Replog { tree: BTree::open(&mut tx, header)? })
+    }
+
+    pub fn header(&self) -> Ptr {
+        self.tree.header
+    }
+
+    /// Append an entry within the caller's (update) transaction.
+    pub fn append(&self, tx: &mut Txn, body: &Json) -> A1Result<()> {
+        let bytes = body.to_string().into_bytes();
+        let obj = tx.alloc(bytes.len().max(1), Hint::Local, &bytes)?;
+        let mut key = Vec::with_capacity(16);
+        key.extend_from_slice(&tx.read_ts().to_be_bytes());
+        key.extend_from_slice(&obj.addr.raw().to_be_bytes());
+        let mut val = Vec::with_capacity(Ptr::ENCODED_LEN);
+        obj.encode_to(&mut val);
+        self.tree.insert(tx, &key, &val)?;
+        Ok(())
+    }
+
+    /// Scan up to `limit` pending entries in approximate FIFO order,
+    /// fetching each entry's body and commit timestamp.
+    pub fn fetch_pending(
+        &self,
+        farm: &Arc<FarmCluster>,
+        origin: MachineId,
+        limit: usize,
+    ) -> A1Result<Vec<FetchedEntry>> {
+        let mut tx = farm.begin_read_only(origin);
+        let raw = self.tree.scan(&mut tx, &[], &[], limit)?;
+        let mut out = Vec::with_capacity(raw.len());
+        for (key, val) in raw {
+            let ptr = Ptr::decode(&val)
+                .ok_or_else(|| A1Error::Internal("bad replog value".into()))?;
+            let buf = tx.read(ptr)?;
+            let text = std::str::from_utf8(buf.data())
+                .map_err(|_| A1Error::Internal("replog entry not utf-8".into()))?;
+            let body = Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))?;
+            out.push(FetchedEntry { key, ptr, commit_ts: buf.version, body });
+        }
+        Ok(out)
+    }
+
+    /// Remove a replicated entry (its durable copy is safe in ObjectStore).
+    pub fn remove(
+        &self,
+        farm: &Arc<FarmCluster>,
+        origin: MachineId,
+        key: &[u8],
+        ptr: Ptr,
+    ) -> A1Result<()> {
+        let tree = self.tree.clone();
+        crate::store::run_a1(farm, origin, |tx| {
+            if tree.remove(tx, key)?.is_some() {
+                let buf = tx.read(ptr)?;
+                tx.free(&buf)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// The oldest unreplicated commit timestamp (`tR`, §4), or `None` if the
+    /// log is empty (everything durable).
+    pub fn oldest_pending_ts(
+        &self,
+        farm: &Arc<FarmCluster>,
+        origin: MachineId,
+    ) -> A1Result<Option<u64>> {
+        let entries = self.fetch_pending(farm, origin, usize::MAX)?;
+        Ok(entries.iter().map(|e| e.commit_ts).min())
+    }
+
+    pub fn len(&self, farm: &Arc<FarmCluster>, origin: MachineId) -> A1Result<usize> {
+        let mut tx = farm.begin_read_only(origin);
+        Ok(self.tree.len(&mut tx)?)
+    }
+
+    pub fn is_empty(&self, farm: &Arc<FarmCluster>, origin: MachineId) -> A1Result<bool> {
+        Ok(self.len(farm, origin)? == 0)
+    }
+}
+
+/// Log-entry constructors shared by the server (writer) and recovery
+/// (reader) sides.
+pub mod entry {
+    use a1_json::Json;
+
+    pub fn vertex_upsert(tenant: &str, graph: &str, ty: &str, pk: &Json, data: &Json) -> Json {
+        Json::obj(vec![
+            ("op", Json::str("put_vertex")),
+            ("tenant", Json::str(tenant)),
+            ("graph", Json::str(graph)),
+            ("type", Json::str(ty)),
+            ("key", pk.clone()),
+            ("data", data.clone()),
+        ])
+    }
+
+    pub fn vertex_delete(tenant: &str, graph: &str, ty: &str, pk: &Json) -> Json {
+        Json::obj(vec![
+            ("op", Json::str("del_vertex")),
+            ("tenant", Json::str(tenant)),
+            ("graph", Json::str(graph)),
+            ("type", Json::str(ty)),
+            ("key", pk.clone()),
+        ])
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn edge_upsert(
+        tenant: &str,
+        graph: &str,
+        src_type: &str,
+        src: &Json,
+        edge_type: &str,
+        dst_type: &str,
+        dst: &Json,
+        data: &Json,
+    ) -> Json {
+        Json::obj(vec![
+            ("op", Json::str("put_edge")),
+            ("tenant", Json::str(tenant)),
+            ("graph", Json::str(graph)),
+            ("src_type", Json::str(src_type)),
+            ("src", src.clone()),
+            ("etype", Json::str(edge_type)),
+            ("dst_type", Json::str(dst_type)),
+            ("dst", dst.clone()),
+            ("data", data.clone()),
+        ])
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn edge_delete(
+        tenant: &str,
+        graph: &str,
+        src_type: &str,
+        src: &Json,
+        edge_type: &str,
+        dst_type: &str,
+        dst: &Json,
+    ) -> Json {
+        Json::obj(vec![
+            ("op", Json::str("del_edge")),
+            ("tenant", Json::str(tenant)),
+            ("graph", Json::str(graph)),
+            ("src_type", Json::str(src_type)),
+            ("src", src.clone()),
+            ("etype", Json::str(edge_type)),
+            ("dst_type", Json::str(dst_type)),
+            ("dst", dst.clone()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a1_farm::FarmConfig;
+
+    #[test]
+    fn append_fetch_remove() {
+        let farm = FarmCluster::start(FarmConfig::small(2));
+        let log = Replog::create(&farm).unwrap();
+
+        // Two update transactions, each appending an entry.
+        for i in 0..2 {
+            let log = log.clone();
+            farm.run(MachineId(0), move |tx| {
+                let body = entry::vertex_upsert(
+                    "t",
+                    "g",
+                    "entity",
+                    &Json::str(&format!("v{i}")),
+                    &Json::obj(vec![("id", Json::str(&format!("v{i}")))]),
+                );
+                log.append(tx, &body).map_err(|_| a1_farm::FarmError::Conflict)
+            })
+            .unwrap();
+        }
+
+        let pending = log.fetch_pending(&farm, MachineId(1), 10).unwrap();
+        assert_eq!(pending.len(), 2);
+        // Entry versions are real commit timestamps, strictly ordered.
+        assert!(pending[0].commit_ts > 0);
+        assert!(pending[0].commit_ts < pending[1].commit_ts);
+        assert_eq!(
+            pending[0].body.get("op").unwrap().as_str(),
+            Some("put_vertex")
+        );
+        let t_r = log.oldest_pending_ts(&farm, MachineId(0)).unwrap();
+        assert_eq!(t_r, Some(pending[0].commit_ts));
+
+        // Remove the first (synchronous replication success).
+        log.remove(&farm, MachineId(0), &pending[0].key, pending[0].ptr).unwrap();
+        assert_eq!(log.len(&farm, MachineId(0)).unwrap(), 1);
+        let t_r = log.oldest_pending_ts(&farm, MachineId(0)).unwrap();
+        assert_eq!(t_r, Some(pending[1].commit_ts));
+
+        log.remove(&farm, MachineId(0), &pending[1].key, pending[1].ptr).unwrap();
+        assert!(log.is_empty(&farm, MachineId(0)).unwrap());
+        assert_eq!(log.oldest_pending_ts(&farm, MachineId(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn reopen_by_header() {
+        let farm = FarmCluster::start(FarmConfig::small(1));
+        let log = Replog::create(&farm).unwrap();
+        let header = log.header();
+        let log2 = Replog::open(&farm, header).unwrap();
+        assert!(log2.is_empty(&farm, MachineId(0)).unwrap());
+    }
+}

@@ -1,0 +1,1374 @@
+//! The A1 cluster facade: backends (FaRM coprocessors), frontends, and the
+//! client API (paper §2.2, Fig. 4).
+//!
+//! Clients talk to frontends (stateless routing/throttling); frontends
+//! forward to backend machines, where all query execution and data
+//! processing happens. Here the frontend tier is folded into [`A1Client`]:
+//! it picks a backend (round-robin, like the SLB + random routing of §3.4),
+//! charges the client↔cluster hop, and sends the request into the backend's
+//! worker pool over the fabric RPC path — so backend queueing is real.
+
+use crate::catalog::{Catalog, GraphProxies, ProxyCache, VertexProxy};
+use crate::convert::{json_to_value, record_from_json, record_to_json};
+use crate::edges::Dir;
+use crate::error::{A1Error, A1Result};
+use crate::model::{EdgeTypeDef, GraphMeta, LifecycleState, TypeId, VertexTypeDef};
+use crate::query::exec::{
+    self, work_op_from_json, work_op_to_json, work_result_from_json, work_result_to_json,
+    ExecConfig, QueryMetrics, QueryOutcome, WorkOp, WorkResult,
+};
+use crate::query::plan::parse_query;
+use crate::replog::{entry as log_entry, Replog};
+use crate::store::{run_a1, GraphStore};
+use crate::tasks::{TaskQueue, TaskSpec};
+use crate::vertex::vertex_ptr;
+use a1_farm::{Addr, BTree, BTreeConfig, FarmCluster, FarmConfig, Hint, MachineId, Txn};
+use a1_json::Json;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Cluster-level configuration.
+#[derive(Debug, Clone)]
+pub struct A1Config {
+    pub farm: FarmConfig,
+    pub exec: ExecConfig,
+    /// Catalog proxy cache TTL (§3.1).
+    pub proxy_ttl: Duration,
+    /// Inline edge-list spill threshold (§3.2, ~1000).
+    pub inline_edge_threshold: usize,
+    /// How long coordinators keep paged query results (§3.4, 60 s).
+    pub continuation_ttl: Duration,
+    /// Write a replication log for disaster recovery (§4).
+    pub dr_enabled: bool,
+}
+
+impl Default for A1Config {
+    fn default() -> Self {
+        A1Config {
+            farm: FarmConfig::default(),
+            exec: ExecConfig::default(),
+            proxy_ttl: Duration::from_secs(10),
+            inline_edge_threshold: 1024,
+            continuation_ttl: Duration::from_secs(60),
+            dr_enabled: false,
+        }
+    }
+}
+
+impl A1Config {
+    /// A small test/example cluster with `n` backend machines.
+    pub fn small(n: u32) -> A1Config {
+        A1Config { farm: FarmConfig::small(n), ..A1Config::default() }
+    }
+}
+
+/// Per-backend-machine coprocessor state.
+pub struct Backend {
+    pub machine: MachineId,
+    proxies: ProxyCache,
+    continuations: Mutex<HashMap<u64, (Instant, Vec<Json>)>>,
+    next_cont: AtomicU64,
+}
+
+impl Backend {
+    fn new(machine: MachineId, proxy_ttl: Duration) -> Arc<Backend> {
+        Arc::new(Backend {
+            machine,
+            proxies: ProxyCache::new(proxy_ttl),
+            continuations: Mutex::new(HashMap::new()),
+            next_cont: AtomicU64::new(1),
+        })
+    }
+}
+
+/// The shared cluster state.
+pub struct A1Inner {
+    pub cfg: A1Config,
+    pub farm: Arc<FarmCluster>,
+    pub catalog: Catalog,
+    pub store: GraphStore,
+    backends: Vec<Arc<Backend>>,
+    pub replog: Option<Replog>,
+    pub taskq: TaskQueue,
+    rr: AtomicUsize,
+}
+
+/// A running A1 cluster.
+#[derive(Clone)]
+pub struct A1Cluster {
+    inner: Arc<A1Inner>,
+}
+
+impl A1Cluster {
+    /// Boot the cluster: FaRM, catalog, task queue, optional replication
+    /// log, and the per-machine RPC dispatch.
+    pub fn start(cfg: A1Config) -> A1Result<A1Cluster> {
+        let farm = FarmCluster::start(cfg.farm.clone());
+        let catalog = Catalog::bootstrap(&farm)?;
+        let taskq = TaskQueue::create(&farm)?;
+        let replog = if cfg.dr_enabled { Some(Replog::create(&farm)?) } else { None };
+        let backends: Vec<Arc<Backend>> = (0..cfg.farm.fabric.machines)
+            .map(|i| Backend::new(MachineId(i), cfg.proxy_ttl))
+            .collect();
+        let store = GraphStore::with_inline_threshold(cfg.inline_edge_threshold);
+        let inner = Arc::new(A1Inner {
+            cfg,
+            farm,
+            catalog,
+            store,
+            backends,
+            replog,
+            taskq,
+            rr: AtomicUsize::new(0),
+        });
+        // Install the coprocessor RPC dispatch on every backend machine.
+        for backend in &inner.backends {
+            let weak: Weak<A1Inner> = Arc::downgrade(&inner);
+            let machine = backend.machine;
+            inner.farm.fabric().set_rpc_handler(
+                machine,
+                Arc::new(move |_from, payload: Bytes| {
+                    let Some(inner) = weak.upgrade() else {
+                        return Bytes::from_static(b"{\"t\":\"err\",\"msg\":\"shutdown\"}");
+                    };
+                    let reply = inner.dispatch_rpc(machine, &payload);
+                    Bytes::from(reply.to_string().into_bytes())
+                }),
+            );
+        }
+        Ok(A1Cluster { inner })
+    }
+
+    pub fn inner(&self) -> &Arc<A1Inner> {
+        &self.inner
+    }
+
+    pub fn farm(&self) -> &Arc<FarmCluster> {
+        &self.inner.farm
+    }
+
+    /// A client handle (the paper's SLB + frontend tier).
+    pub fn client(&self) -> A1Client {
+        A1Client { inner: self.inner.clone() }
+    }
+
+    /// Execute up to `max` pending async tasks (deterministic alternative to
+    /// background workers; §3.3).
+    pub fn run_pending_tasks(&self, max: usize) -> A1Result<usize> {
+        self.inner.run_pending_tasks(max)
+    }
+}
+
+impl A1Inner {
+    fn backend(&self, m: MachineId) -> &Arc<Backend> {
+        &self.backends[m.0 as usize]
+    }
+
+    /// Round-robin backend choice (the frontends route requests "to a random
+    /// backend machine", §3.4). The SLB health-checks backends: dead
+    /// machines are skipped.
+    fn pick_backend(&self) -> &Arc<Backend> {
+        let fabric = self.farm.fabric();
+        for _ in 0..self.backends.len() {
+            let i = self.rr.fetch_add(1, Ordering::Relaxed) as usize % self.backends.len();
+            if fabric.is_alive(self.backends[i].machine) {
+                return &self.backends[i];
+            }
+        }
+        &self.backends[0] // no healthy backend; let the call surface the error
+    }
+
+    fn proxies(&self, backend: &Backend, tenant: &str, graph: &str) -> A1Result<Arc<GraphProxies>> {
+        backend
+            .proxies
+            .graph(&self.farm, &self.catalog, backend.machine, tenant, graph)
+    }
+
+    // ---------------------------------------------------------- RPC server
+
+    fn dispatch_rpc(&self, machine: MachineId, payload: &[u8]) -> Json {
+        let parsed = std::str::from_utf8(payload)
+            .map_err(|_| A1Error::Internal("rpc not utf-8".into()))
+            .and_then(|text| {
+                Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))
+            });
+        let req = match parsed {
+            Ok(j) => j,
+            Err(e) => return Json::obj(vec![("t", Json::str("err")), ("msg", Json::Str(e.to_string()))]),
+        };
+        match req.get("t").and_then(Json::as_str) {
+            Some("work") => {
+                let result = work_op_from_json(&req)
+                    .and_then(|op| self.handle_work(machine, &op));
+                work_result_to_json(&result)
+            }
+            Some("query") => {
+                let out = self.handle_query(machine, &req);
+                outcome_to_json(&out)
+            }
+            Some("page") => {
+                let out = self.handle_page(machine, &req);
+                outcome_to_json(&out)
+            }
+            _ => Json::obj(vec![("t", Json::str("err")), ("msg", Json::str("unknown rpc"))]),
+        }
+    }
+
+    fn handle_work(&self, machine: MachineId, op: &WorkOp) -> A1Result<WorkResult> {
+        let backend = self.backend(machine);
+        let proxies = self.proxies(backend, &op.tenant, &op.graph)?;
+        exec::run_work_op(&self.farm, &self.store, &proxies, machine, op)
+    }
+
+    fn handle_query(&self, machine: MachineId, req: &Json) -> A1Result<QueryOutcome> {
+        let tenant = req
+            .get("tenant")
+            .and_then(Json::as_str)
+            .ok_or_else(|| A1Error::Query("missing tenant".into()))?;
+        let graph = req
+            .get("graph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| A1Error::Query("missing graph".into()))?;
+        let text = req
+            .get("q")
+            .and_then(Json::as_str)
+            .ok_or_else(|| A1Error::Query("missing query".into()))?;
+        self.coordinate_query(machine, tenant, graph, text)
+    }
+
+    /// Coordinator-side query execution (§3.4, Fig. 9).
+    pub fn coordinate_query(
+        &self,
+        machine: MachineId,
+        tenant: &str,
+        graph: &str,
+        text: &str,
+    ) -> A1Result<QueryOutcome> {
+        let backend = self.backend(machine);
+        let proxies = self.proxies(backend, tenant, graph)?;
+        let query = parse_query(text)?;
+
+        // One read-only transaction pins the snapshot for the whole query;
+        // its guard keeps old versions alive until we finish (§2.2).
+        let mut tx = self.farm.begin_read_only(machine);
+        let snapshot_ts = tx.read_ts();
+        let (compiled, frontier) = exec::compile(&self.store, &mut tx, &proxies, &query)?;
+
+        let fabric = self.farm.fabric().clone();
+        let ship = |host: MachineId, op: &WorkOp| -> A1Result<WorkResult> {
+            let payload = Bytes::from(work_op_to_json(op).to_string().into_bytes());
+            let reply = fabric
+                .rpc(machine, host, payload)
+                .map_err(|e| A1Error::Internal(format!("ship rpc: {e}")))?;
+            let text = std::str::from_utf8(&reply)
+                .map_err(|_| A1Error::Internal("reply not utf-8".into()))?;
+            let j = Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))?;
+            work_result_from_json(&j)
+        };
+
+        let mut outcome = exec::coordinate(
+            &self.farm,
+            &self.store,
+            &proxies,
+            machine,
+            &self.cfg.exec,
+            tenant,
+            graph,
+            &compiled,
+            frontier,
+            snapshot_ts,
+            &ship,
+        )?;
+        drop(tx);
+
+        // Page oversized results through a continuation token (§3.4).
+        if outcome.rows.len() > self.cfg.exec.page_size {
+            let rest = outcome.rows.split_off(self.cfg.exec.page_size);
+            outcome.continuation = Some(self.stash_continuation(machine, rest));
+        }
+        Ok(outcome)
+    }
+
+    fn stash_continuation(&self, machine: MachineId, rest: Vec<Json>) -> String {
+        let backend = self.backend(machine);
+        let id = backend.next_cont.fetch_add(1, Ordering::Relaxed);
+        let mut conts = backend.continuations.lock();
+        // Opportunistic expiry sweep.
+        let ttl = self.cfg.continuation_ttl;
+        conts.retain(|_, (at, _)| at.elapsed() < ttl);
+        conts.insert(id, (Instant::now(), rest));
+        // The token encodes the coordinator's identity so frontends can
+        // route the next request to the right machine (§3.4).
+        format!("c:{}:{}", machine.0, id)
+    }
+
+    fn handle_page(&self, machine: MachineId, req: &Json) -> A1Result<QueryOutcome> {
+        let cid = req
+            .get("cid")
+            .and_then(Json::as_f64)
+            .ok_or(A1Error::ContinuationExpired)? as u64;
+        let backend = self.backend(machine);
+        let mut conts = backend.continuations.lock();
+        let (at, mut rows) = conts.remove(&cid).ok_or(A1Error::ContinuationExpired)?;
+        if at.elapsed() >= self.cfg.continuation_ttl {
+            return Err(A1Error::ContinuationExpired);
+        }
+        let mut outcome = QueryOutcome {
+            rows: Vec::new(),
+            count: None,
+            metrics: QueryMetrics::default(),
+            continuation: None,
+            per_hop: Vec::new(),
+        };
+        if rows.len() > self.cfg.exec.page_size {
+            let rest = rows.split_off(self.cfg.exec.page_size);
+            let id = backend.next_cont.fetch_add(1, Ordering::Relaxed);
+            conts.insert(id, (at, rest));
+            outcome.continuation = Some(format!("c:{}:{}", machine.0, id));
+        }
+        outcome.rows = rows;
+        Ok(outcome)
+    }
+
+    // --------------------------------------------------------------- tasks
+
+    pub fn run_pending_tasks(&self, max: usize) -> A1Result<usize> {
+        let mut done = 0;
+        for i in 0..max {
+            let origin = MachineId((i % self.backends.len()) as u32);
+            let Some(task) = self.taskq.claim(&self.farm, origin)? else { break };
+            self.execute_task(origin, &task.spec)?;
+            self.taskq.complete(&self.farm, origin, &task.key)?;
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    fn enqueue_task(&self, tx: &mut Txn, priority: u8, spec: &TaskSpec) -> A1Result<()> {
+        let seq = self.catalog.next_id(tx)?;
+        self.taskq.enqueue(tx, priority, seq, spec)
+    }
+
+    fn execute_task(&self, origin: MachineId, spec: &TaskSpec) -> A1Result<()> {
+        match spec {
+            TaskSpec::DeleteGraph { tenant, graph } => self.task_delete_graph(origin, tenant, graph),
+            TaskSpec::DeleteType { tenant, graph, ty } => {
+                self.task_delete_type(origin, tenant, graph, ty)
+            }
+        }
+    }
+
+    /// DeleteGraph workflow (§3.3): spawn DeleteType tasks for every type,
+    /// then (when none remain) tear down the graph itself.
+    fn task_delete_graph(&self, origin: MachineId, tenant: &str, graph: &str) -> A1Result<()> {
+        let catalog = self.catalog.clone();
+        let mut tx = self.farm.begin_read_only(origin);
+        let types = catalog.list_types(&mut tx, tenant, graph)?;
+        let meta = catalog.get_graph(&mut tx, tenant, graph)?;
+        drop(tx);
+        let Some(meta) = meta else { return Ok(()) }; // already gone
+
+        if types.is_empty() {
+            // Final stage: destroy the edge tree + the graph entry.
+            let edge_tree_ptr = meta.edge_tree;
+            let tenant_s = tenant.to_string();
+            let graph_s = graph.to_string();
+            run_a1(&self.farm, origin, move |tx| {
+                let tree = BTree::open(tx, edge_tree_ptr)?;
+                tree.destroy(tx)?;
+                catalog.remove(tx, &crate::catalog::graph_key(&tenant_s, &graph_s))?;
+                Ok(())
+            })?;
+            for b in &self.backends {
+                b.proxies.invalidate(tenant, graph);
+            }
+            return Ok(());
+        }
+
+        // Spawn per-type deletion and reschedule ourselves to finish later.
+        let tenant_s = tenant.to_string();
+        let graph_s = graph.to_string();
+        let type_names: Vec<String> = types.iter().map(|(n, _, _)| n.clone()).collect();
+        let this = self;
+        run_a1(&self.farm, origin, move |tx| {
+            for name in &type_names {
+                this.enqueue_task(
+                    tx,
+                    2,
+                    &TaskSpec::DeleteType {
+                        tenant: tenant_s.clone(),
+                        graph: graph_s.clone(),
+                        ty: name.clone(),
+                    },
+                )?;
+            }
+            this.enqueue_task(
+                tx,
+                3,
+                &TaskSpec::DeleteGraph { tenant: tenant_s.clone(), graph: graph_s.clone() },
+            )?;
+            Ok(())
+        })
+    }
+
+    /// DeleteType workflow: vertex types delete their vertices in batches
+    /// (re-enqueueing between batches) and finally their index trees.
+    fn task_delete_type(
+        &self,
+        origin: MachineId,
+        tenant: &str,
+        graph: &str,
+        ty: &str,
+    ) -> A1Result<()> {
+        const BATCH: usize = 32;
+        let backend = self.backend(origin);
+        backend.proxies.invalidate(tenant, graph);
+        let proxies = match self.proxies(backend, tenant, graph) {
+            Ok(p) => p,
+            Err(A1Error::NoSuchGraph(_)) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let Some(vp) = proxies.vertex_type(ty) else {
+            // Edge type (or already gone): drop the catalog entry.
+            if proxies.edge_type(ty).is_some() {
+                let catalog = self.catalog.clone();
+                let key = crate::catalog::type_key(tenant, graph, ty);
+                run_a1(&self.farm, origin, move |tx| {
+                    catalog.remove(tx, &key)?;
+                    Ok(())
+                })?;
+            }
+            return Ok(());
+        };
+
+        // One batch of vertices, each deleted in its own transaction.
+        let mut tx = self.farm.begin_read_only(origin);
+        let batch = vp.primary.scan(&mut tx, &[], &[], BATCH)?;
+        drop(tx);
+        if batch.is_empty() {
+            // Destroy index trees + the type entry.
+            let vp = vp.clone();
+            let catalog = self.catalog.clone();
+            let key = crate::catalog::type_key(tenant, graph, ty);
+            run_a1(&self.farm, origin, move |tx| {
+                vp.primary.destroy(tx)?;
+                for (_, idx) in &vp.secondaries {
+                    idx.destroy(tx)?;
+                }
+                catalog.remove(tx, &key)?;
+                Ok(())
+            })?;
+            for b in &self.backends {
+                b.proxies.invalidate(tenant, graph);
+            }
+            return Ok(());
+        }
+        for (_, val) in batch {
+            let Some(ptr) = a1_farm::Ptr::decode(&val) else { continue };
+            let store = &self.store;
+            let g = proxies.graph.clone();
+            let vp = vp.clone();
+            run_a1(&self.farm, origin, move |tx| {
+                match store.delete_vertex(tx, &g, &vp, ptr.addr) {
+                    Ok(()) | Err(A1Error::NoSuchVertex(_)) => Ok(()),
+                    Err(e) => Err(e),
+                }
+            })?;
+        }
+        // More to do: reschedule.
+        let spec = TaskSpec::DeleteType {
+            tenant: tenant.to_string(),
+            graph: graph.to_string(),
+            ty: ty.to_string(),
+        };
+        run_a1(&self.farm, origin, move |tx| self.enqueue_task(tx, 2, &spec))
+    }
+}
+
+// ------------------------------------------------------------------ client
+
+/// The client API: control plane, data plane, transactions and queries
+/// (paper §3). Cheap to clone.
+#[derive(Clone)]
+pub struct A1Client {
+    inner: Arc<A1Inner>,
+}
+
+impl A1Client {
+    // ------------------------------------------------------- control plane
+
+    /// Create a tenant (the isolation container, §3).
+    pub fn create_tenant(&self, tenant: &str) -> A1Result<()> {
+        let catalog = self.inner.catalog.clone();
+        let t = tenant.to_string();
+        run_a1(&self.inner.farm, self.inner.pick_backend().machine, move |tx| {
+            catalog.put_tenant(tx, &t)
+        })
+    }
+
+    /// Create a graph under a tenant.
+    pub fn create_graph(&self, tenant: &str, graph: &str) -> A1Result<()> {
+        let inner = self.inner.clone();
+        let backend = inner.pick_backend().machine;
+        let catalog = inner.catalog.clone();
+        let (tenant_s, graph_s) = (tenant.to_string(), graph.to_string());
+        run_a1(&inner.farm, backend, move |tx| {
+            if !catalog.tenant_exists(tx, &tenant_s)? {
+                return Err(A1Error::NoSuchTenant(tenant_s.clone()));
+            }
+            if catalog.get_graph(tx, &tenant_s, &graph_s)?.is_some() {
+                return Err(A1Error::AlreadyExists(format!("graph {graph_s}")));
+            }
+            let id = catalog.next_id(tx)? as u32;
+            // One global edge B-tree per graph for large edge lists (§3.2).
+            let edge_tree = BTree::create(
+                tx,
+                BTreeConfig { max_keys: 32, max_key_len: 32, max_val_len: 16 },
+                Hint::Local,
+            )?;
+            let meta = GraphMeta {
+                id,
+                tenant: tenant_s.clone(),
+                name: graph_s.clone(),
+                state: LifecycleState::Active,
+                edge_tree: edge_tree.header,
+            };
+            catalog.put_graph(tx, &meta)?;
+            Ok(())
+        })
+    }
+
+    /// Create a vertex type. `schema` uses the textual form (see
+    /// `convert::json_to_schema`); `pk` names the primary-key field (must be
+    /// required); `secondary` lists additionally indexed fields.
+    pub fn create_vertex_type(
+        &self,
+        tenant: &str,
+        graph: &str,
+        schema: &str,
+        pk: &str,
+        secondary: &[&str],
+    ) -> A1Result<()> {
+        let schema_json = Json::parse(schema).map_err(|e| A1Error::Schema(e.to_string()))?;
+        let schema = crate::convert::json_to_schema(&schema_json)?;
+        let pk_field = schema
+            .field_by_name(pk)
+            .ok_or_else(|| A1Error::Schema(format!("primary key '{pk}' not in schema")))?;
+        if !pk_field.required {
+            return Err(A1Error::Schema("primary key must be a required field".into()));
+        }
+        let pk_id = pk_field.id;
+        let sec_ids: Vec<u16> = secondary
+            .iter()
+            .map(|name| {
+                schema
+                    .field_by_name(name)
+                    .map(|f| f.id)
+                    .ok_or_else(|| A1Error::Schema(format!("secondary '{name}' not in schema")))
+            })
+            .collect::<A1Result<_>>()?;
+
+        let inner = self.inner.clone();
+        let backend = inner.pick_backend().machine;
+        let catalog = inner.catalog.clone();
+        let (tenant_s, graph_s) = (tenant.to_string(), graph.to_string());
+        let name = schema.name().to_string();
+        run_a1(&inner.farm, backend, move |tx| {
+            let meta = catalog
+                .get_graph(tx, &tenant_s, &graph_s)?
+                .ok_or_else(|| A1Error::NoSuchGraph(graph_s.clone()))?;
+            if meta.state != LifecycleState::Active {
+                return Err(A1Error::InvalidState("graph is being deleted".into()));
+            }
+            let key = crate::catalog::type_key(&tenant_s, &graph_s, &name);
+            if catalog.get(tx, &key)?.is_some() {
+                return Err(A1Error::AlreadyExists(format!("type {name}")));
+            }
+            let id = TypeId(catalog.next_id(tx)? as u32);
+            // Every vertex type gets a sorted primary index (§3).
+            let index_cfg = BTreeConfig { max_keys: 32, max_key_len: 128, max_val_len: 16 };
+            let primary = BTree::create(tx, index_cfg, Hint::Local)?;
+            let secondary_indexes = sec_ids
+                .iter()
+                .map(|f| {
+                    let cfg = BTreeConfig { max_keys: 32, max_key_len: 144, max_val_len: 16 };
+                    Ok((*f, BTree::create(tx, cfg, Hint::Local)?.header))
+                })
+                .collect::<A1Result<Vec<_>>>()?;
+            let def = VertexTypeDef {
+                id,
+                name: name.clone(),
+                schema: schema.clone(),
+                primary_key: pk_id,
+                secondary: sec_ids.clone(),
+                primary_index: primary.header,
+                secondary_indexes,
+                state: LifecycleState::Active,
+            };
+            catalog.put_vertex_type(tx, &tenant_s, &graph_s, &def)?;
+            Ok(())
+        })?;
+        self.invalidate(tenant, graph);
+        Ok(())
+    }
+
+    /// Create an edge type (schema optional — edges are often data-free,
+    /// §6).
+    pub fn create_edge_type(&self, tenant: &str, graph: &str, schema: &str) -> A1Result<()> {
+        let schema_json = Json::parse(schema).map_err(|e| A1Error::Schema(e.to_string()))?;
+        let schema = crate::convert::json_to_schema(&schema_json)?;
+        let inner = self.inner.clone();
+        let backend = inner.pick_backend().machine;
+        let catalog = inner.catalog.clone();
+        let (tenant_s, graph_s) = (tenant.to_string(), graph.to_string());
+        let name = schema.name().to_string();
+        run_a1(&inner.farm, backend, move |tx| {
+            let meta = catalog
+                .get_graph(tx, &tenant_s, &graph_s)?
+                .ok_or_else(|| A1Error::NoSuchGraph(graph_s.clone()))?;
+            if meta.state != LifecycleState::Active {
+                return Err(A1Error::InvalidState("graph is being deleted".into()));
+            }
+            let key = crate::catalog::type_key(&tenant_s, &graph_s, &name);
+            if catalog.get(tx, &key)?.is_some() {
+                return Err(A1Error::AlreadyExists(format!("type {name}")));
+            }
+            let id = TypeId(catalog.next_id(tx)? as u32);
+            let def = EdgeTypeDef {
+                id,
+                name: name.clone(),
+                schema: schema.clone(),
+                state: LifecycleState::Active,
+            };
+            catalog.put_edge_type(tx, &tenant_s, &graph_s, &def)?;
+            Ok(())
+        })?;
+        self.invalidate(tenant, graph);
+        Ok(())
+    }
+
+    /// Asynchronously delete a graph (§3.3): flips the state to `Deleting`
+    /// and enqueues the workflow; storage is reclaimed by task workers.
+    pub fn delete_graph(&self, tenant: &str, graph: &str) -> A1Result<()> {
+        let inner = self.inner.clone();
+        let backend = inner.pick_backend().machine;
+        let catalog = inner.catalog.clone();
+        let (tenant_s, graph_s) = (tenant.to_string(), graph.to_string());
+        let inner2 = inner.clone();
+        run_a1(&inner.farm, backend, move |tx| {
+            let mut meta = catalog
+                .get_graph(tx, &tenant_s, &graph_s)?
+                .ok_or_else(|| A1Error::NoSuchGraph(graph_s.clone()))?;
+            meta.state = LifecycleState::Deleting;
+            catalog.put_graph(tx, &meta)?;
+            inner2.enqueue_task(
+                tx,
+                3,
+                &TaskSpec::DeleteGraph { tenant: tenant_s.clone(), graph: graph_s.clone() },
+            )?;
+            Ok(())
+        })?;
+        self.invalidate(tenant, graph);
+        Ok(())
+    }
+
+    /// Graph metadata (state inspection).
+    pub fn graph_meta(&self, tenant: &str, graph: &str) -> A1Result<Option<GraphMeta>> {
+        let mut tx = self.inner.farm.begin_read_only(self.inner.pick_backend().machine);
+        self.inner.catalog.get_graph(&mut tx, tenant, graph)
+    }
+
+    /// Names + kinds of a graph's types.
+    pub fn list_types(&self, tenant: &str, graph: &str) -> A1Result<Vec<(String, String)>> {
+        let mut tx = self.inner.farm.begin_read_only(self.inner.pick_backend().machine);
+        Ok(self
+            .inner
+            .catalog
+            .list_types(&mut tx, tenant, graph)?
+            .into_iter()
+            .map(|(n, k, _)| (n, k))
+            .collect())
+    }
+
+    fn invalidate(&self, tenant: &str, graph: &str) {
+        for b in &self.inner.backends {
+            b.proxies.invalidate(tenant, graph);
+        }
+    }
+
+    // ---------------------------------------------------------- data plane
+
+    /// Create a vertex from a JSON attribute object. Runs as an implicit
+    /// transaction (§3).
+    pub fn create_vertex(&self, tenant: &str, graph: &str, ty: &str, attrs: &str) -> A1Result<()> {
+        let attrs = Json::parse(attrs).map_err(|e| A1Error::Schema(e.to_string()))?;
+        let mut txn = self.transaction();
+        txn.create_vertex(tenant, graph, ty, &attrs)?;
+        txn.commit_with_retry()
+    }
+
+    /// Fetch a vertex by primary key; returns its attributes as JSON.
+    pub fn get_vertex(
+        &self,
+        tenant: &str,
+        graph: &str,
+        ty: &str,
+        id: &Json,
+    ) -> A1Result<Option<Json>> {
+        let inner = &self.inner;
+        let backend = inner.pick_backend();
+        let proxies = inner.proxies(backend, tenant, graph)?;
+        let vp = proxies
+            .vertex_type(ty)
+            .ok_or_else(|| A1Error::NoSuchType(ty.to_string()))?;
+        let pk = pk_value(vp, id)?;
+        let mut tx = inner.farm.begin_read_only(backend.machine);
+        match inner.store.vertex_by_pk(&mut tx, vp, &pk)? {
+            Some(ptr) => Ok(Some(inner.store.vertex_to_json(&mut tx, vp, ptr.addr)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Replace a vertex's attributes (primary key immutable).
+    pub fn update_vertex(&self, tenant: &str, graph: &str, ty: &str, attrs: &str) -> A1Result<()> {
+        let attrs = Json::parse(attrs).map_err(|e| A1Error::Schema(e.to_string()))?;
+        let mut txn = self.transaction();
+        txn.update_vertex(tenant, graph, ty, &attrs)?;
+        txn.commit_with_retry()
+    }
+
+    /// Delete a vertex and all its edges.
+    pub fn delete_vertex(&self, tenant: &str, graph: &str, ty: &str, id: &Json) -> A1Result<()> {
+        let mut txn = self.transaction();
+        txn.delete_vertex(tenant, graph, ty, id)?;
+        txn.commit_with_retry()
+    }
+
+    /// Create an edge ⟨src → dst⟩ of the given type with optional data.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_edge(
+        &self,
+        tenant: &str,
+        graph: &str,
+        src_type: &str,
+        src_id: &Json,
+        edge_type: &str,
+        dst_type: &str,
+        dst_id: &Json,
+        data: Option<&str>,
+    ) -> A1Result<()> {
+        let data = match data {
+            Some(text) => Some(Json::parse(text).map_err(|e| A1Error::Schema(e.to_string()))?),
+            None => None,
+        };
+        let mut txn = self.transaction();
+        txn.create_edge(tenant, graph, src_type, src_id, edge_type, dst_type, dst_id, data.as_ref())?;
+        txn.commit_with_retry()
+    }
+
+    /// Delete one edge.
+    #[allow(clippy::too_many_arguments)]
+    pub fn delete_edge(
+        &self,
+        tenant: &str,
+        graph: &str,
+        src_type: &str,
+        src_id: &Json,
+        edge_type: &str,
+        dst_type: &str,
+        dst_id: &Json,
+    ) -> A1Result<bool> {
+        let mut txn = self.transaction();
+        let existed = txn.delete_edge(tenant, graph, src_type, src_id, edge_type, dst_type, dst_id)?;
+        txn.commit_with_retry()?;
+        Ok(existed)
+    }
+
+    /// Begin an explicit transaction grouping data-plane operations (§3).
+    pub fn transaction(&self) -> A1Txn {
+        let backend = self.inner.pick_backend().clone();
+        let tx = self.inner.farm.begin(backend.machine);
+        A1Txn { inner: self.inner.clone(), backend, tx: Some(tx), ops: Vec::new() }
+    }
+
+    // -------------------------------------------------------------- queries
+
+    /// Run an A1QL query (§3.4). Routed through a frontend to a random
+    /// backend, which coordinates distributed execution.
+    pub fn query(&self, tenant: &str, graph: &str, a1ql: &str) -> A1Result<QueryOutcome> {
+        let backend = self.inner.pick_backend();
+        let req = Json::obj(vec![
+            ("t", Json::str("query")),
+            ("tenant", Json::str(tenant)),
+            ("graph", Json::str(graph)),
+            ("q", Json::str(a1ql)),
+        ]);
+        self.rpc_outcome(backend.machine, req)
+    }
+
+    /// Fetch the next page of a paged result (§3.4): the token routes to the
+    /// coordinator that cached it.
+    pub fn query_next(&self, token: &str) -> A1Result<QueryOutcome> {
+        let parts: Vec<&str> = token.split(':').collect();
+        if parts.len() != 3 || parts[0] != "c" {
+            return Err(A1Error::ContinuationExpired);
+        }
+        let machine = MachineId(parts[1].parse().map_err(|_| A1Error::ContinuationExpired)?);
+        let cid: u64 = parts[2].parse().map_err(|_| A1Error::ContinuationExpired)?;
+        let req = Json::obj(vec![("t", Json::str("page")), ("cid", Json::Num(cid as f64))]);
+        self.rpc_outcome(machine, req)
+    }
+
+    fn rpc_outcome(&self, machine: MachineId, req: Json) -> A1Result<QueryOutcome> {
+        let payload = Bytes::from(req.to_string().into_bytes());
+        // Client → frontend → backend enters through the fabric RPC path so
+        // the request queues on the backend's worker pool like production.
+        let reply = self
+            .inner
+            .farm
+            .fabric()
+            .rpc(machine, machine, payload)
+            .map_err(|e| A1Error::Internal(format!("frontend rpc: {e}")))?;
+        let text =
+            std::str::from_utf8(&reply).map_err(|_| A1Error::Internal("reply not utf-8".into()))?;
+        let j = Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))?;
+        outcome_from_json(&j)
+    }
+}
+
+fn pk_value(vp: &VertexProxy, id: &Json) -> A1Result<a1_bond::Value> {
+    let field = vp
+        .def
+        .schema
+        .field(vp.def.primary_key)
+        .ok_or_else(|| A1Error::Internal("pk field missing".into()))?;
+    json_to_value(id, &field.ty)
+}
+
+// -------------------------------------------------------------- transaction
+
+/// Replayable description of one data-plane operation (so optimistic
+/// conflicts can be retried whole-transaction, Fig. 3).
+#[derive(Clone)]
+enum TxOp {
+    CreateVertex { tenant: String, graph: String, ty: String, attrs: Json },
+    UpdateVertex { tenant: String, graph: String, ty: String, attrs: Json },
+    DeleteVertex { tenant: String, graph: String, ty: String, id: Json },
+    CreateEdge {
+        tenant: String,
+        graph: String,
+        src_type: String,
+        src_id: Json,
+        edge_type: String,
+        dst_type: String,
+        dst_id: Json,
+        data: Option<Json>,
+    },
+    DeleteEdge {
+        tenant: String,
+        graph: String,
+        src_type: String,
+        src_id: Json,
+        edge_type: String,
+        dst_type: String,
+        dst_id: Json,
+    },
+}
+
+/// An explicit client transaction grouping data-plane operations (§3).
+pub struct A1Txn {
+    inner: Arc<A1Inner>,
+    backend: Arc<Backend>,
+    tx: Option<Txn>,
+    ops: Vec<TxOp>,
+}
+
+impl A1Txn {
+    fn tx(&mut self) -> &mut Txn {
+        self.tx.as_mut().expect("transaction already finished")
+    }
+
+    pub fn create_vertex(
+        &mut self,
+        tenant: &str,
+        graph: &str,
+        ty: &str,
+        attrs: &Json,
+    ) -> A1Result<()> {
+        let op = TxOp::CreateVertex {
+            tenant: tenant.into(),
+            graph: graph.into(),
+            ty: ty.into(),
+            attrs: attrs.clone(),
+        };
+        self.apply(&op)?;
+        self.ops.push(op);
+        Ok(())
+    }
+
+    pub fn update_vertex(
+        &mut self,
+        tenant: &str,
+        graph: &str,
+        ty: &str,
+        attrs: &Json,
+    ) -> A1Result<()> {
+        let op = TxOp::UpdateVertex {
+            tenant: tenant.into(),
+            graph: graph.into(),
+            ty: ty.into(),
+            attrs: attrs.clone(),
+        };
+        self.apply(&op)?;
+        self.ops.push(op);
+        Ok(())
+    }
+
+    pub fn delete_vertex(&mut self, tenant: &str, graph: &str, ty: &str, id: &Json) -> A1Result<()> {
+        let op = TxOp::DeleteVertex {
+            tenant: tenant.into(),
+            graph: graph.into(),
+            ty: ty.into(),
+            id: id.clone(),
+        };
+        self.apply(&op)?;
+        self.ops.push(op);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_edge(
+        &mut self,
+        tenant: &str,
+        graph: &str,
+        src_type: &str,
+        src_id: &Json,
+        edge_type: &str,
+        dst_type: &str,
+        dst_id: &Json,
+        data: Option<&Json>,
+    ) -> A1Result<()> {
+        let op = TxOp::CreateEdge {
+            tenant: tenant.into(),
+            graph: graph.into(),
+            src_type: src_type.into(),
+            src_id: src_id.clone(),
+            edge_type: edge_type.into(),
+            dst_type: dst_type.into(),
+            dst_id: dst_id.clone(),
+            data: data.cloned(),
+        };
+        self.apply(&op)?;
+        self.ops.push(op);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn delete_edge(
+        &mut self,
+        tenant: &str,
+        graph: &str,
+        src_type: &str,
+        src_id: &Json,
+        edge_type: &str,
+        dst_type: &str,
+        dst_id: &Json,
+    ) -> A1Result<bool> {
+        let op = TxOp::DeleteEdge {
+            tenant: tenant.into(),
+            graph: graph.into(),
+            src_type: src_type.into(),
+            src_id: src_id.clone(),
+            edge_type: edge_type.into(),
+            dst_type: dst_type.into(),
+            dst_id: dst_id.clone(),
+        };
+        let existed = self.apply(&op)?;
+        self.ops.push(op);
+        Ok(existed)
+    }
+
+    /// Read a vertex inside the transaction (read-your-writes).
+    pub fn get_vertex(
+        &mut self,
+        tenant: &str,
+        graph: &str,
+        ty: &str,
+        id: &Json,
+    ) -> A1Result<Option<Json>> {
+        let inner = self.inner.clone();
+        let backend = self.backend.clone();
+        let proxies = inner.proxies(&backend, tenant, graph)?;
+        let vp = proxies
+            .vertex_type(ty)
+            .ok_or_else(|| A1Error::NoSuchType(ty.to_string()))?
+            .clone();
+        let pk = pk_value(&vp, id)?;
+        let store = inner.store.edge_cfg;
+        let _ = store;
+        let tx = self.tx();
+        match inner.store.vertex_by_pk(tx, &vp, &pk)? {
+            Some(ptr) => Ok(Some(inner.store.vertex_to_json(tx, &vp, ptr.addr)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn apply(&mut self, op: &TxOp) -> A1Result<bool> {
+        let inner = self.inner.clone();
+        let backend = self.backend.clone();
+        match op {
+            TxOp::CreateVertex { tenant, graph, ty, attrs } => {
+                let proxies = inner.proxies(&backend, tenant, graph)?;
+                check_active(&proxies)?;
+                let vp = proxies
+                    .vertex_type(ty)
+                    .ok_or_else(|| A1Error::NoSuchType(ty.clone()))?
+                    .clone();
+                let rec = record_from_json(&vp.def.schema, attrs)?;
+                let tx = self.tx();
+                inner.store.create_vertex(tx, &vp, rec.clone())?;
+                if let Some(log) = &inner.replog {
+                    let pk = record_to_json(&vp.def.schema, &rec)
+                        .get(&pk_name(&vp))
+                        .cloned()
+                        .unwrap_or(Json::Null);
+                    log.append(tx, &log_entry::vertex_upsert(tenant, graph, ty, &pk, attrs))?;
+                }
+                Ok(true)
+            }
+            TxOp::UpdateVertex { tenant, graph, ty, attrs } => {
+                let proxies = inner.proxies(&backend, tenant, graph)?;
+                check_active(&proxies)?;
+                let vp = proxies
+                    .vertex_type(ty)
+                    .ok_or_else(|| A1Error::NoSuchType(ty.clone()))?
+                    .clone();
+                let rec = record_from_json(&vp.def.schema, attrs)?;
+                let pk = rec
+                    .get(vp.def.primary_key)
+                    .cloned()
+                    .ok_or_else(|| A1Error::Schema("primary key missing".into()))?;
+                let tx = self.tx();
+                let ptr = inner
+                    .store
+                    .vertex_by_pk(tx, &vp, &pk)?
+                    .ok_or_else(|| A1Error::NoSuchVertex(format!("{ty}:{pk:?}")))?;
+                inner.store.update_vertex(tx, &vp, ptr.addr, rec)?;
+                if let Some(log) = &inner.replog {
+                    let pkj = crate::convert::value_to_json(&pk);
+                    log.append(tx, &log_entry::vertex_upsert(tenant, graph, ty, &pkj, attrs))?;
+                }
+                Ok(true)
+            }
+            TxOp::DeleteVertex { tenant, graph, ty, id } => {
+                let proxies = inner.proxies(&backend, tenant, graph)?;
+                let vp = proxies
+                    .vertex_type(ty)
+                    .ok_or_else(|| A1Error::NoSuchType(ty.clone()))?
+                    .clone();
+                let pk = pk_value(&vp, id)?;
+                let tx = self.tx();
+                let ptr = inner
+                    .store
+                    .vertex_by_pk(tx, &vp, &pk)?
+                    .ok_or_else(|| A1Error::NoSuchVertex(format!("{ty}:{id}")))?;
+                // DR: log deletes for the vertex and all its edges (§4).
+                if let Some(log) = &inner.replog {
+                    let edge_logs =
+                        collect_edge_deletes(&inner, tx, &proxies, tenant, graph, ptr.addr)?;
+                    for e in edge_logs {
+                        log.append(tx, &e)?;
+                    }
+                    log.append(tx, &log_entry::vertex_delete(tenant, graph, ty, id))?;
+                }
+                inner.store.delete_vertex(tx, &proxies.graph, &vp, ptr.addr)?;
+                Ok(true)
+            }
+            TxOp::CreateEdge {
+                tenant,
+                graph,
+                src_type,
+                src_id,
+                edge_type,
+                dst_type,
+                dst_id,
+                data,
+            } => {
+                let proxies = inner.proxies(&backend, tenant, graph)?;
+                check_active(&proxies)?;
+                let (src, dst, et) =
+                    resolve_edge(&inner, self.tx.as_mut().unwrap(), &proxies, src_type, src_id, edge_type, dst_type, dst_id)?;
+                let ep = proxies.edge_type_by_id(et).expect("resolved above").clone();
+                let rec = match data {
+                    Some(d) => Some(record_from_json(&ep.def.schema, d)?),
+                    None => None,
+                };
+                let tx = self.tx();
+                inner.store.create_edge(tx, &proxies.graph, et, src, dst, rec)?;
+                if let Some(log) = &inner.replog {
+                    log.append(
+                        tx,
+                        &log_entry::edge_upsert(
+                            tenant,
+                            graph,
+                            src_type,
+                            src_id,
+                            edge_type,
+                            dst_type,
+                            dst_id,
+                            data.as_ref().unwrap_or(&Json::Null),
+                        ),
+                    )?;
+                }
+                Ok(true)
+            }
+            TxOp::DeleteEdge { tenant, graph, src_type, src_id, edge_type, dst_type, dst_id } => {
+                let proxies = inner.proxies(&backend, tenant, graph)?;
+                let (src, dst, et) =
+                    resolve_edge(&inner, self.tx.as_mut().unwrap(), &proxies, src_type, src_id, edge_type, dst_type, dst_id)?;
+                let tx = self.tx();
+                let existed = inner.store.delete_edge(tx, &proxies.graph, et, src, dst)?;
+                if existed {
+                    if let Some(log) = &inner.replog {
+                        log.append(
+                            tx,
+                            &log_entry::edge_delete(
+                                tenant, graph, src_type, src_id, edge_type, dst_type, dst_id,
+                            ),
+                        )?;
+                    }
+                }
+                Ok(existed)
+            }
+        }
+    }
+
+    /// Commit. On optimistic conflict the error is retryable; use
+    /// [`A1Txn::commit_with_retry`] for the canonical loop.
+    pub fn commit(mut self) -> A1Result<()> {
+        let tx = self.tx.take().expect("transaction already finished");
+        tx.commit().map(|_| ()).map_err(Into::into)
+    }
+
+    /// Commit with the Fig. 3 retry loop: on conflict, replay every buffered
+    /// operation in a fresh transaction.
+    pub fn commit_with_retry(mut self) -> A1Result<()> {
+        let max = self.inner.farm.config().max_txn_retries;
+        let mut tx = self.tx.take().expect("transaction already finished");
+        for attempt in 0..=max {
+            match tx.commit() {
+                Ok(_) => return Ok(()),
+                Err(e) if e.is_retryable() && attempt < max => {
+                    // Replay the ops against a fresh snapshot.
+                    self.tx = Some(self.inner.farm.begin(self.backend.machine));
+                    let ops = self.ops.clone();
+                    let mut failed = false;
+                    for op in &ops {
+                        match self.apply(op) {
+                            Ok(_) => {}
+                            Err(err) if err.is_retryable() => {
+                                failed = true;
+                                break;
+                            }
+                            Err(err) => return Err(err),
+                        }
+                    }
+                    let fresh = self.tx.take().expect("set above");
+                    if failed {
+                        fresh.abort();
+                        self.tx = Some(self.inner.farm.begin(self.backend.machine));
+                        tx = self.tx.take().unwrap();
+                        // loop will retry commit of an empty txn → replay again
+                        continue;
+                    }
+                    tx = fresh;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(A1Error::Storage(a1_farm::FarmError::Conflict))
+    }
+
+    pub fn abort(mut self) {
+        if let Some(tx) = self.tx.take() {
+            tx.abort();
+        }
+    }
+}
+
+fn pk_name(vp: &VertexProxy) -> String {
+    vp.def
+        .schema
+        .field(vp.def.primary_key)
+        .map(|f| f.name.clone())
+        .unwrap_or_default()
+}
+
+fn check_active(proxies: &GraphProxies) -> A1Result<()> {
+    if proxies.graph.meta.state != LifecycleState::Active {
+        return Err(A1Error::InvalidState("graph is being deleted".into()));
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_edge(
+    inner: &Arc<A1Inner>,
+    tx: &mut Txn,
+    proxies: &GraphProxies,
+    src_type: &str,
+    src_id: &Json,
+    edge_type: &str,
+    dst_type: &str,
+    dst_id: &Json,
+) -> A1Result<(Addr, Addr, TypeId)> {
+    let sp = proxies
+        .vertex_type(src_type)
+        .ok_or_else(|| A1Error::NoSuchType(src_type.to_string()))?;
+    let dp = proxies
+        .vertex_type(dst_type)
+        .ok_or_else(|| A1Error::NoSuchType(dst_type.to_string()))?;
+    let et = proxies
+        .edge_type(edge_type)
+        .ok_or_else(|| A1Error::NoSuchType(edge_type.to_string()))?
+        .def
+        .id;
+    let src = inner
+        .store
+        .vertex_by_pk(tx, sp, &pk_value(sp, src_id)?)?
+        .ok_or_else(|| A1Error::NoSuchVertex(format!("{src_type}:{src_id}")))?;
+    let dst = inner
+        .store
+        .vertex_by_pk(tx, dp, &pk_value(dp, dst_id)?)?
+        .ok_or_else(|| A1Error::NoSuchVertex(format!("{dst_type}:{dst_id}")))?;
+    Ok((src.addr, dst.addr, et))
+}
+
+/// For DR: enumerate all edges of a vertex and produce delete log entries
+/// keyed by primary keys (recovery cannot use addresses).
+fn collect_edge_deletes(
+    inner: &Arc<A1Inner>,
+    tx: &mut Txn,
+    proxies: &GraphProxies,
+    tenant: &str,
+    graph: &str,
+    addr: Addr,
+) -> A1Result<Vec<Json>> {
+    let (_, hdr) = crate::edges::read_header(tx, addr)?;
+    let self_pk = vertex_pk_json(inner, tx, proxies, addr)?;
+    let mut out = Vec::new();
+    for dir in [Dir::Out, Dir::In] {
+        let hes = crate::edges::enumerate(
+            tx,
+            &proxies.graph.edge_tree,
+            addr,
+            &hdr,
+            dir,
+            None,
+            usize::MAX,
+        )?;
+        for he in hes {
+            let other_pk = vertex_pk_json(inner, tx, proxies, he.other)?;
+            let Some((self_ty, self_pk)) = &self_pk else { continue };
+            let Some((other_ty, other_pk)) = &other_pk else { continue };
+            let Some(et) = proxies.edge_type_by_id(he.edge_type) else { continue };
+            let entry = match dir {
+                Dir::Out => log_entry::edge_delete(
+                    tenant, graph, self_ty, self_pk, &et.def.name, other_ty, other_pk,
+                ),
+                Dir::In => log_entry::edge_delete(
+                    tenant, graph, other_ty, other_pk, &et.def.name, self_ty, self_pk,
+                ),
+            };
+            out.push(entry);
+        }
+    }
+    Ok(out)
+}
+
+fn vertex_pk_json(
+    inner: &Arc<A1Inner>,
+    tx: &mut Txn,
+    proxies: &GraphProxies,
+    addr: Addr,
+) -> A1Result<Option<(String, Json)>> {
+    let ptr = vertex_ptr(addr);
+    let Ok(buf) = tx.read(ptr) else { return Ok(None) };
+    let hdr = crate::vertex::VertexHeader::decode(buf.data())?;
+    let Some(vp) = proxies.vertex_type_by_id(hdr.type_id) else { return Ok(None) };
+    let rec = inner.store.read_vertex_data(tx, &hdr)?.unwrap_or_default();
+    let pk = rec
+        .get(vp.def.primary_key)
+        .map(crate::convert::value_to_json)
+        .unwrap_or(Json::Null);
+    Ok(Some((vp.def.name.clone(), pk)))
+}
+
+// ------------------------------------------------------------ outcome wire
+
+fn metrics_to_json(m: &QueryMetrics) -> Json {
+    Json::obj(vec![
+        ("ts", Json::Num(m.snapshot_ts as f64)),
+        ("hops", Json::Num(m.hops as f64)),
+        ("vr", Json::Num(m.vertices_read as f64)),
+        ("ev", Json::Num(m.edges_visited as f64)),
+        ("lr", Json::Num(m.local_reads as f64)),
+        ("rr", Json::Num(m.remote_reads as f64)),
+        ("rpcs", Json::Num(m.rpcs as f64)),
+    ])
+}
+
+fn metrics_from_json(j: Option<&Json>) -> QueryMetrics {
+    let Some(j) = j else { return QueryMetrics::default() };
+    let f = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    QueryMetrics {
+        snapshot_ts: f("ts"),
+        hops: f("hops") as u32,
+        vertices_read: f("vr"),
+        edges_visited: f("ev"),
+        local_reads: f("lr"),
+        remote_reads: f("rr"),
+        rpcs: f("rpcs"),
+    }
+}
+
+fn outcome_to_json(out: &A1Result<QueryOutcome>) -> Json {
+    match out {
+        Ok(o) => Json::obj(vec![
+            ("t", Json::str("ok")),
+            ("rows", Json::Arr(o.rows.clone())),
+            ("count", o.count.map(|c| Json::Num(c as f64)).unwrap_or(Json::Null)),
+            (
+                "cont",
+                o.continuation.as_ref().map(|c| Json::str(c)).unwrap_or(Json::Null),
+            ),
+            ("metrics", metrics_to_json(&o.metrics)),
+        ]),
+        Err(e) => Json::obj(vec![("t", Json::str("err")), ("msg", Json::Str(e.to_string()))]),
+    }
+}
+
+fn outcome_from_json(j: &Json) -> A1Result<QueryOutcome> {
+    if j.get("t").and_then(Json::as_str) != Some("ok") {
+        let msg = j.get("msg").and_then(Json::as_str).unwrap_or("unknown error");
+        // Re-materialize the classified errors clients may branch on.
+        if msg.contains("fast-fail") {
+            return Err(A1Error::WorkingSetExceeded { limit: 0 });
+        }
+        if msg.contains("continuation") {
+            return Err(A1Error::ContinuationExpired);
+        }
+        return Err(A1Error::Query(msg.to_string()));
+    }
+    Ok(QueryOutcome {
+        rows: j.get("rows").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default(),
+        count: j.get("count").and_then(Json::as_f64).map(|n| n as u64),
+        continuation: j.get("cont").and_then(Json::as_str).map(String::from),
+        metrics: metrics_from_json(j.get("metrics")),
+        per_hop: Vec::new(),
+    })
+}

@@ -1,0 +1,283 @@
+//! The asynchronous task framework (paper §3.3).
+//!
+//! Tasks are units of deferred work stored in a global FaRM-resident queue,
+//! visible to every backend; stateless low-priority workers on each machine
+//! claim and execute them, re-enqueueing themselves or spawning child tasks
+//! for long workflows. `DeleteGraph` → `DeleteType` → batched vertex
+//! deletion is the canonical workflow.
+//!
+//! Claiming moves a task into a *running* set with a lease; if the claiming
+//! worker dies, the lease expires and another worker reclaims the task (the
+//! paper's "workers save their execution state in FaRM").
+
+use crate::error::{A1Error, A1Result};
+use a1_farm::{BTree, BTreeConfig, FarmCluster, Hint, MachineId, Ptr, Txn};
+use a1_json::Json;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default lease: a worker must finish (or re-enqueue) within this window.
+pub const LEASE_MS: u64 = 30_000;
+
+/// A parsed task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskSpec {
+    DeleteGraph { tenant: String, graph: String },
+    DeleteType { tenant: String, graph: String, ty: String },
+}
+
+impl TaskSpec {
+    pub fn to_json(&self) -> Json {
+        match self {
+            TaskSpec::DeleteGraph { tenant, graph } => Json::obj(vec![
+                ("task", Json::str("delete_graph")),
+                ("tenant", Json::str(tenant)),
+                ("graph", Json::str(graph)),
+            ]),
+            TaskSpec::DeleteType { tenant, graph, ty } => Json::obj(vec![
+                ("task", Json::str("delete_type")),
+                ("tenant", Json::str(tenant)),
+                ("graph", Json::str(graph)),
+                ("type", Json::str(ty)),
+            ]),
+        }
+    }
+
+    pub fn from_json(j: &Json) -> A1Result<TaskSpec> {
+        let kind = j
+            .get("task")
+            .and_then(Json::as_str)
+            .ok_or_else(|| A1Error::Internal("task without kind".into()))?;
+        let get = |k: &str| -> A1Result<String> {
+            Ok(j.get(k)
+                .and_then(Json::as_str)
+                .ok_or_else(|| A1Error::Internal(format!("task missing '{k}'")))?
+                .to_string())
+        };
+        match kind {
+            "delete_graph" => {
+                Ok(TaskSpec::DeleteGraph { tenant: get("tenant")?, graph: get("graph")? })
+            }
+            "delete_type" => Ok(TaskSpec::DeleteType {
+                tenant: get("tenant")?,
+                graph: get("graph")?,
+                ty: get("type")?,
+            }),
+            other => Err(A1Error::Internal(format!("unknown task kind '{other}'"))),
+        }
+    }
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// The global task queue: pending tree keyed `[priority][seq]`, running tree
+/// keyed the same with lease timestamps in the value.
+#[derive(Clone)]
+pub struct TaskQueue {
+    pending: BTree,
+    running: BTree,
+}
+
+/// A claimed task: execute it, then call [`TaskQueue::complete`].
+#[derive(Debug, Clone)]
+pub struct ClaimedTask {
+    pub key: Vec<u8>,
+    pub spec: TaskSpec,
+}
+
+impl TaskQueue {
+    fn tree_config() -> BTreeConfig {
+        BTreeConfig { max_keys: 32, max_key_len: 16, max_val_len: 512 }
+    }
+
+    pub fn create(farm: &Arc<FarmCluster>) -> A1Result<TaskQueue> {
+        let (pending, running) = farm.run(MachineId(0), |tx| {
+            let p = BTree::create(tx, Self::tree_config(), Hint::Machine(MachineId(0)))?;
+            let r = BTree::create(tx, Self::tree_config(), Hint::Machine(MachineId(0)))?;
+            Ok((p, r))
+        })?;
+        Ok(TaskQueue { pending, running })
+    }
+
+    pub fn headers(&self) -> (Ptr, Ptr) {
+        (self.pending.header, self.running.header)
+    }
+
+    pub fn open(farm: &Arc<FarmCluster>, pending: Ptr, running: Ptr) -> A1Result<TaskQueue> {
+        let mut tx = farm.begin_read_only(MachineId(0));
+        Ok(TaskQueue {
+            pending: BTree::open(&mut tx, pending)?,
+            running: BTree::open(&mut tx, running)?,
+        })
+    }
+
+    /// Enqueue within the caller's transaction (`seq` must be unique —
+    /// typically from the catalog id counter).
+    pub fn enqueue(
+        &self,
+        tx: &mut Txn,
+        priority: u8,
+        seq: u64,
+        spec: &TaskSpec,
+    ) -> A1Result<()> {
+        let mut key = Vec::with_capacity(9);
+        key.push(priority);
+        key.extend_from_slice(&seq.to_be_bytes());
+        self.pending.insert(tx, &key, spec.to_json().to_string().as_bytes())?;
+        Ok(())
+    }
+
+    /// Claim the front task: atomically move it from pending to running with
+    /// a fresh lease. Also reclaims expired running tasks first.
+    pub fn claim(&self, farm: &Arc<FarmCluster>, origin: MachineId) -> A1Result<Option<ClaimedTask>> {
+        self.reclaim_expired(farm, origin)?;
+        let pending = self.pending.clone();
+        let running = self.running.clone();
+        crate::store::run_a1(farm, origin, move |tx| {
+            let front = pending.scan(tx, &[], &[], 1)?;
+            let Some((key, value)) = front.into_iter().next() else {
+                return Ok(None);
+            };
+            pending.remove(tx, &key)?;
+            let body = std::str::from_utf8(&value)
+                .map_err(|_| A1Error::Internal("task not utf-8".into()))?;
+            let spec_json = Json::parse(body).map_err(|e| A1Error::Internal(e.to_string()))?;
+            let spec = TaskSpec::from_json(&spec_json)?;
+            let lease = Json::obj(vec![
+                ("spec", spec_json.clone()),
+                ("lease_ms", Json::Num(now_ms() as f64)),
+            ]);
+            running.insert(tx, &key, lease.to_string().as_bytes())?;
+            Ok(Some(ClaimedTask { key, spec }))
+        })
+    }
+
+    /// Mark a claimed task finished.
+    pub fn complete(&self, farm: &Arc<FarmCluster>, origin: MachineId, key: &[u8]) -> A1Result<()> {
+        let running = self.running.clone();
+        let key = key.to_vec();
+        crate::store::run_a1(farm, origin, move |tx| {
+            running.remove(tx, &key)?;
+            Ok(())
+        })
+    }
+
+    /// Move running tasks with expired leases back to pending (crashed
+    /// workers).
+    pub fn reclaim_expired(&self, farm: &Arc<FarmCluster>, origin: MachineId) -> A1Result<usize> {
+        let running = self.running.clone();
+        let pending = self.pending.clone();
+        crate::store::run_a1(farm, origin, move |tx| {
+            let now = now_ms();
+            let mut reclaimed = 0;
+            for (key, value) in running.scan(tx, &[], &[], 64)? {
+                let body = std::str::from_utf8(&value)
+                    .map_err(|_| A1Error::Internal("task not utf-8".into()))?;
+                let j = Json::parse(body).map_err(|e| A1Error::Internal(e.to_string()))?;
+                let lease = j.get("lease_ms").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                if now.saturating_sub(lease) > LEASE_MS {
+                    let spec = j
+                        .get("spec")
+                        .ok_or_else(|| A1Error::Internal("running task without spec".into()))?;
+                    running.remove(tx, &key)?;
+                    pending.insert(tx, &key, spec.to_string().as_bytes())?;
+                    reclaimed += 1;
+                }
+            }
+            Ok(reclaimed)
+        })
+    }
+
+    pub fn pending_count(&self, farm: &Arc<FarmCluster>, origin: MachineId) -> A1Result<usize> {
+        let mut tx = farm.begin_read_only(origin);
+        Ok(self.pending.len(&mut tx)?)
+    }
+
+    pub fn running_count(&self, farm: &Arc<FarmCluster>, origin: MachineId) -> A1Result<usize> {
+        let mut tx = farm.begin_read_only(origin);
+        Ok(self.running.len(&mut tx)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a1_farm::FarmConfig;
+
+    fn queue() -> (Arc<FarmCluster>, TaskQueue) {
+        let farm = FarmCluster::start(FarmConfig::small(2));
+        let q = TaskQueue::create(&farm).unwrap();
+        (farm, q)
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        for spec in [
+            TaskSpec::DeleteGraph { tenant: "t".into(), graph: "g".into() },
+            TaskSpec::DeleteType { tenant: "t".into(), graph: "g".into(), ty: "actor".into() },
+        ] {
+            assert_eq!(TaskSpec::from_json(&spec.to_json()).unwrap(), spec);
+        }
+        assert!(TaskSpec::from_json(&Json::obj(vec![("task", Json::str("zz"))])).is_err());
+    }
+
+    #[test]
+    fn fifo_claim_and_complete() {
+        let (farm, q) = queue();
+        for i in 0..3u64 {
+            let q = q.clone();
+            farm.run(MachineId(0), move |tx| {
+                q.enqueue(
+                    tx,
+                    1,
+                    i,
+                    &TaskSpec::DeleteGraph { tenant: "t".into(), graph: format!("g{i}") },
+                )
+                .map_err(|_| a1_farm::FarmError::Conflict)
+            })
+            .unwrap();
+        }
+        assert_eq!(q.pending_count(&farm, MachineId(0)).unwrap(), 3);
+
+        let t0 = q.claim(&farm, MachineId(1)).unwrap().unwrap();
+        assert_eq!(
+            t0.spec,
+            TaskSpec::DeleteGraph { tenant: "t".into(), graph: "g0".into() }
+        );
+        assert_eq!(q.pending_count(&farm, MachineId(0)).unwrap(), 2);
+        assert_eq!(q.running_count(&farm, MachineId(0)).unwrap(), 1);
+
+        q.complete(&farm, MachineId(1), &t0.key).unwrap();
+        assert_eq!(q.running_count(&farm, MachineId(0)).unwrap(), 0);
+
+        // Priority 0 jumps the queue.
+        let q2 = q.clone();
+        farm.run(MachineId(0), move |tx| {
+            q2.enqueue(
+                tx,
+                0,
+                99,
+                &TaskSpec::DeleteType { tenant: "t".into(), graph: "g".into(), ty: "x".into() },
+            )
+            .map_err(|_| a1_farm::FarmError::Conflict)
+        })
+        .unwrap();
+        let t = q.claim(&farm, MachineId(0)).unwrap().unwrap();
+        assert!(matches!(t.spec, TaskSpec::DeleteType { .. }));
+        q.complete(&farm, MachineId(0), &t.key).unwrap();
+
+        // Drain the rest.
+        while let Some(t) = q.claim(&farm, MachineId(0)).unwrap() {
+            q.complete(&farm, MachineId(0), &t.key).unwrap();
+        }
+        assert_eq!(q.pending_count(&farm, MachineId(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_queue_claims_none() {
+        let (farm, q) = queue();
+        assert!(q.claim(&farm, MachineId(0)).unwrap().is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Vertex storage format (paper §3.2, Fig. 6).
+//!
+//! A vertex is two FaRM objects: a fixed-size **header** and a variable-size
+//! **data** object (Bond-serialized attributes). The header holds the type,
+//! edge-list references and the data pointer; updates rewrite header fields
+//! but never move the header, so the header's address — the *vertex
+//! pointer* — is the vertex's stable identity. Header and data are
+//! co-located in one region via allocation hints.
+
+use crate::error::{A1Error, A1Result};
+use crate::model::TypeId;
+use a1_farm::{Addr, Ptr};
+
+/// Payload size of every vertex header object.
+pub const VERTEX_HEADER_SIZE: usize = 56;
+
+/// A reference to a vertex's edge list in one direction (§3.2): nothing yet,
+/// an inline array object, or spilled into the graph's global edge B-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeListRef {
+    Empty,
+    /// Small lists: one FaRM object holding an unordered half-edge array.
+    Inline(Ptr),
+    /// ≥ threshold edges: entries live in the per-graph edge B-tree.
+    Tree,
+}
+
+impl EdgeListRef {
+    fn encode_to(self, out: &mut Vec<u8>) {
+        match self {
+            EdgeListRef::Empty => {
+                out.push(0);
+                Ptr::NULL.encode_to(out);
+            }
+            EdgeListRef::Inline(p) => {
+                out.push(1);
+                p.encode_to(out);
+            }
+            EdgeListRef::Tree => {
+                out.push(2);
+                Ptr::NULL.encode_to(out);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Option<EdgeListRef> {
+        let tag = *buf.first()?;
+        let ptr = Ptr::decode(buf.get(1..)?)?;
+        Some(match tag {
+            0 => EdgeListRef::Empty,
+            1 => EdgeListRef::Inline(ptr),
+            2 => EdgeListRef::Tree,
+            _ => return None,
+        })
+    }
+}
+
+/// Parsed vertex header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexHeader {
+    pub type_id: TypeId,
+    /// Number of outgoing/incoming edges (maintained on edge mutations).
+    pub out_count: u32,
+    pub in_count: u32,
+    /// The Bond-serialized attribute object; NULL when the vertex carries no
+    /// attributes.
+    pub data: Ptr,
+    pub out_edges: EdgeListRef,
+    pub in_edges: EdgeListRef,
+}
+
+impl VertexHeader {
+    pub fn new(type_id: TypeId, data: Ptr) -> VertexHeader {
+        VertexHeader {
+            type_id,
+            out_count: 0,
+            in_count: 0,
+            data,
+            out_edges: EdgeListRef::Empty,
+            in_edges: EdgeListRef::Empty,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(VERTEX_HEADER_SIZE);
+        out.extend_from_slice(&self.type_id.0.to_le_bytes());
+        out.extend_from_slice(&self.out_count.to_le_bytes());
+        out.extend_from_slice(&self.in_count.to_le_bytes());
+        self.data.encode_to(&mut out);
+        self.out_edges.encode_to(&mut out);
+        self.in_edges.encode_to(&mut out);
+        debug_assert!(out.len() <= VERTEX_HEADER_SIZE);
+        out.resize(VERTEX_HEADER_SIZE, 0);
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> A1Result<VertexHeader> {
+        let err = || A1Error::Internal("corrupt vertex header".into());
+        if buf.len() < VERTEX_HEADER_SIZE - 6 {
+            return Err(err());
+        }
+        Ok(VertexHeader {
+            type_id: TypeId(u32::from_le_bytes(buf[0..4].try_into().map_err(|_| err())?)),
+            out_count: u32::from_le_bytes(buf[4..8].try_into().map_err(|_| err())?),
+            in_count: u32::from_le_bytes(buf[8..12].try_into().map_err(|_| err())?),
+            data: Ptr::decode(&buf[12..24]).ok_or_else(err)?,
+            out_edges: EdgeListRef::decode(&buf[24..37]).ok_or_else(err)?,
+            in_edges: EdgeListRef::decode(&buf[37..50]).ok_or_else(err)?,
+        })
+    }
+
+    pub fn edges(&self, dir: crate::edges::Dir) -> EdgeListRef {
+        match dir {
+            crate::edges::Dir::Out => self.out_edges,
+            crate::edges::Dir::In => self.in_edges,
+        }
+    }
+
+    pub fn set_edges(&mut self, dir: crate::edges::Dir, r: EdgeListRef) {
+        match dir {
+            crate::edges::Dir::Out => self.out_edges = r,
+            crate::edges::Dir::In => self.in_edges = r,
+        }
+    }
+
+    pub fn count(&self, dir: crate::edges::Dir) -> u32 {
+        match dir {
+            crate::edges::Dir::Out => self.out_count,
+            crate::edges::Dir::In => self.in_count,
+        }
+    }
+
+    pub fn bump_count(&mut self, dir: crate::edges::Dir, delta: i64) {
+        let c = match dir {
+            crate::edges::Dir::Out => &mut self.out_count,
+            crate::edges::Dir::In => &mut self.in_count,
+        };
+        *c = (*c as i64 + delta).max(0) as u32;
+    }
+}
+
+/// The stable identity of a vertex: a pointer to its header object.
+pub fn vertex_ptr(addr: Addr) -> Ptr {
+    Ptr::new(addr, VERTEX_HEADER_SIZE as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::Dir;
+    use a1_farm::RegionId;
+
+    #[test]
+    fn header_roundtrip() {
+        let mut h = VertexHeader::new(
+            TypeId(9),
+            Ptr::new(Addr::new(RegionId(2), 320), 120),
+        );
+        h.out_count = 3;
+        h.in_count = 1;
+        h.out_edges = EdgeListRef::Inline(Ptr::new(Addr::new(RegionId(2), 448), 104));
+        h.in_edges = EdgeListRef::Tree;
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), VERTEX_HEADER_SIZE);
+        assert_eq!(VertexHeader::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn empty_refs() {
+        let h = VertexHeader::new(TypeId(1), Ptr::NULL);
+        let back = VertexHeader::decode(&h.encode()).unwrap();
+        assert_eq!(back.out_edges, EdgeListRef::Empty);
+        assert_eq!(back.in_edges, EdgeListRef::Empty);
+        assert!(back.data.is_null());
+    }
+
+    #[test]
+    fn direction_helpers() {
+        let mut h = VertexHeader::new(TypeId(1), Ptr::NULL);
+        h.set_edges(Dir::Out, EdgeListRef::Tree);
+        assert_eq!(h.edges(Dir::Out), EdgeListRef::Tree);
+        assert_eq!(h.edges(Dir::In), EdgeListRef::Empty);
+        h.bump_count(Dir::In, 2);
+        h.bump_count(Dir::In, -1);
+        assert_eq!(h.count(Dir::In), 1);
+        h.bump_count(Dir::In, -5);
+        assert_eq!(h.count(Dir::In), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn decode_rejects_short() {
+        assert!(VertexHeader::decode(&[0; 8]).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! FaRM addresses: 64-bit ⟨region, offset⟩ pairs, plus sized pointers.
+
+/// Identifies a replicated 2 GB-style memory region (§2.1). Region ids are
+/// allocated by the configuration manager and double as fabric segment ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+impl std::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A 64-bit FaRM object address: the region id in the high 32 bits and the
+/// byte offset of the object header in the low 32 bits (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address (no object). Offset `u32::MAX` is never a valid
+    /// header offset because headers are 8-byte aligned.
+    pub const NULL: Addr = Addr(u64::MAX);
+
+    pub fn new(region: RegionId, offset: u32) -> Addr {
+        Addr(((region.0 as u64) << 32) | offset as u64)
+    }
+
+    pub fn from_raw(raw: u64) -> Addr {
+        Addr(raw)
+    }
+
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    pub fn region(self) -> RegionId {
+        RegionId((self.0 >> 32) as u32)
+    }
+
+    pub fn offset(self) -> u32 {
+        self.0 as u32
+    }
+
+    pub fn is_null(self) -> bool {
+        self == Addr::NULL
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            write!(f, "null")
+        } else {
+            write!(f, "{}+{:#x}", self.region(), self.offset())
+        }
+    }
+}
+
+/// A sized pointer ⟨address, size⟩ (§2.2): carrying the payload size lets a
+/// reader fetch the whole object with one one-sided read, without first
+/// reading a length field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ptr {
+    pub addr: Addr,
+    /// Payload size in bytes at allocation time.
+    pub size: u32,
+}
+
+impl Ptr {
+    pub const NULL: Ptr = Ptr { addr: Addr::NULL, size: 0 };
+
+    pub fn new(addr: Addr, size: u32) -> Ptr {
+        Ptr { addr, size }
+    }
+
+    pub fn is_null(self) -> bool {
+        self.addr.is_null()
+    }
+
+    /// Wire encoding: 12 bytes (u64 addr LE, u32 size LE).
+    pub const ENCODED_LEN: usize = 12;
+
+    pub fn encode_to(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.addr.raw().to_le_bytes());
+        out.extend_from_slice(&self.size.to_le_bytes());
+    }
+
+    pub fn decode(buf: &[u8]) -> Option<Ptr> {
+        if buf.len() < Self::ENCODED_LEN {
+            return None;
+        }
+        let addr = u64::from_le_bytes(buf[0..8].try_into().ok()?);
+        let size = u32::from_le_bytes(buf[8..12].try_into().ok()?);
+        Some(Ptr { addr: Addr::from_raw(addr), size })
+    }
+}
+
+impl std::fmt::Display for Ptr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨{},{}⟩", self.addr, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_packing() {
+        let a = Addr::new(RegionId(7), 0x1234);
+        assert_eq!(a.region(), RegionId(7));
+        assert_eq!(a.offset(), 0x1234);
+        assert_eq!(Addr::from_raw(a.raw()), a);
+        assert!(!a.is_null());
+        assert!(Addr::NULL.is_null());
+    }
+
+    #[test]
+    fn addr_ordering_groups_regions() {
+        // Sorting addresses groups them by region — used for deterministic
+        // lock ordering in the commit protocol.
+        let a = Addr::new(RegionId(1), 999);
+        let b = Addr::new(RegionId(2), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn ptr_encode_decode() {
+        let p = Ptr::new(Addr::new(RegionId(3), 64), 200);
+        let mut buf = Vec::new();
+        p.encode_to(&mut buf);
+        assert_eq!(buf.len(), Ptr::ENCODED_LEN);
+        assert_eq!(Ptr::decode(&buf), Some(p));
+        assert_eq!(Ptr::decode(&buf[..5]), None);
+    }
+
+    #[test]
+    fn display() {
+        let p = Ptr::new(Addr::new(RegionId(3), 0x40), 200);
+        assert_eq!(format!("{p}"), "⟨r3+0x40,200⟩");
+        assert_eq!(format!("{}", Addr::NULL), "null");
+    }
+}

@@ -1,0 +1,233 @@
+//! Size-class object allocator within a region.
+//!
+//! FaRM objects range from 64 B to 1 MB (§2.1). Blocks are powers of two from
+//! 64 B to 1 MiB; a block's payload capacity is the block size minus the
+//! 32-byte header. Allocation bumps a frontier; freed blocks go to per-class
+//! free lists and are reused exactly (no coalescing — classes make external
+//! fragmentation bounded, a deliberate simplification documented in
+//! DESIGN.md).
+//!
+//! The allocator state is process-local. After a fast restart (§5.3) it is
+//! rebuilt by scanning block headers: `capacity` is written once at first
+//! allocation and never cleared, so the scan can walk the block chain.
+
+use crate::layout::{ObjHeader, HEADER, STATE_FREE, STATE_LIVE, STATE_TOMBSTONE};
+
+/// Smallest block (64 B) and largest block (1 MiB), as in the paper.
+pub const MIN_BLOCK: usize = 64;
+pub const MAX_BLOCK: usize = 1 << 20;
+
+/// Number of size classes: 64, 128, ..., 1 MiB.
+pub const NUM_CLASSES: usize = 15;
+
+/// First allocatable offset. Offset 0 is reserved so that bootstrap objects
+/// have stable, non-zero offsets.
+pub const FIRST_OFFSET: u32 = 64;
+
+/// Largest payload an object can carry.
+pub const MAX_PAYLOAD: usize = MAX_BLOCK - HEADER;
+
+/// Map a payload size to its size class, or `None` if too large.
+pub fn class_for_payload(payload: usize) -> Option<usize> {
+    let block = (payload + HEADER).max(MIN_BLOCK).next_power_of_two();
+    if block > MAX_BLOCK {
+        return None;
+    }
+    Some(block.trailing_zeros() as usize - MIN_BLOCK.trailing_zeros() as usize)
+}
+
+/// Block size of a class.
+pub fn block_size(class: usize) -> usize {
+    MIN_BLOCK << class
+}
+
+/// Payload capacity of a class.
+pub fn class_capacity(class: usize) -> u32 {
+    (block_size(class) - HEADER) as u32
+}
+
+/// Map a block's capacity field back to its class (inverse of
+/// [`class_capacity`]); used by the rebuild scan and by `free`.
+pub fn class_for_capacity(capacity: u32) -> Option<usize> {
+    let block = capacity as usize + HEADER;
+    if !block.is_power_of_two() || !(MIN_BLOCK..=MAX_BLOCK).contains(&block) {
+        return None;
+    }
+    Some(block.trailing_zeros() as usize - MIN_BLOCK.trailing_zeros() as usize)
+}
+
+/// Per-region allocator state.
+#[derive(Debug)]
+pub struct RegionAllocator {
+    region_len: usize,
+    /// Next never-allocated byte.
+    bump: usize,
+    free_lists: Vec<Vec<u32>>,
+    live_blocks: usize,
+}
+
+impl RegionAllocator {
+    pub fn new(region_len: usize) -> RegionAllocator {
+        RegionAllocator {
+            region_len,
+            bump: FIRST_OFFSET as usize,
+            free_lists: vec![Vec::new(); NUM_CLASSES],
+            live_blocks: 0,
+        }
+    }
+
+    /// Allocate a block for `payload` bytes. Returns (offset, capacity).
+    pub fn alloc(&mut self, payload: usize) -> Option<(u32, u32)> {
+        let class = class_for_payload(payload)?;
+        if let Some(off) = self.free_lists[class].pop() {
+            self.live_blocks += 1;
+            return Some((off, class_capacity(class)));
+        }
+        let block = block_size(class);
+        if self.bump + block > self.region_len {
+            return None;
+        }
+        let off = self.bump as u32;
+        self.bump += block;
+        self.live_blocks += 1;
+        Some((off, class_capacity(class)))
+    }
+
+    /// Return a block to its class free list.
+    pub fn free(&mut self, off: u32, capacity: u32) {
+        let class = class_for_capacity(capacity)
+            .expect("free() called with a capacity the allocator never produced");
+        self.live_blocks = self.live_blocks.saturating_sub(1);
+        self.free_lists[class].push(off);
+    }
+
+    pub fn live_blocks(&self) -> usize {
+        self.live_blocks
+    }
+
+    /// Bytes never allocated (excludes free-listed blocks).
+    pub fn bytes_left(&self) -> usize {
+        self.region_len - self.bump
+    }
+
+    /// Rebuild allocator state by scanning block headers in region memory
+    /// (fast restart, §5.3). LIVE blocks stay live; FREE blocks return to
+    /// their free lists; TOMBSTONE blocks are reported so the caller can
+    /// re-enqueue deferred reclamation. Uncommitted blocks (version 0, LIVE)
+    /// belong to transactions that died with the old process; they are freed.
+    pub fn rebuild(data: &[u8], region_len: usize) -> (RegionAllocator, Vec<(u32, u32)>) {
+        let mut a = RegionAllocator::new(region_len);
+        let mut tombstones = Vec::new();
+        let mut pos = FIRST_OFFSET as usize;
+        while pos + HEADER <= region_len {
+            let Some(h) = ObjHeader::parse(&data[pos..pos + HEADER]) else { break };
+            if h.capacity == 0 {
+                break; // never-allocated frontier
+            }
+            let Some(class) = class_for_capacity(h.capacity) else { break };
+            let off = pos as u32;
+            match h.state {
+                STATE_LIVE if h.version > 0 => a.live_blocks += 1,
+                STATE_LIVE => a.free_lists[class].push(off), // uncommitted alloc
+                STATE_TOMBSTONE => tombstones.push((off, h.capacity)),
+                STATE_FREE => a.free_lists[class].push(off),
+                _ => a.free_lists[class].push(off),
+            }
+            pos += block_size(class);
+        }
+        a.bump = pos;
+        (a, tombstones)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(class_for_payload(1), Some(0));
+        assert_eq!(class_for_payload(32), Some(0)); // 32+32=64
+        assert_eq!(class_for_payload(33), Some(1)); // 65 → 128
+        assert_eq!(class_for_payload(MAX_PAYLOAD), Some(NUM_CLASSES - 1));
+        assert_eq!(class_for_payload(MAX_PAYLOAD + 1), None);
+        assert_eq!(block_size(0), 64);
+        assert_eq!(block_size(NUM_CLASSES - 1), MAX_BLOCK);
+        for c in 0..NUM_CLASSES {
+            assert_eq!(class_for_capacity(class_capacity(c)), Some(c));
+        }
+        assert_eq!(class_for_capacity(0), None);
+        assert_eq!(class_for_capacity(77), None);
+    }
+
+    #[test]
+    fn alloc_free_reuse() {
+        let mut a = RegionAllocator::new(4096);
+        let (off1, cap1) = a.alloc(32).unwrap();
+        assert_eq!(off1, FIRST_OFFSET);
+        assert_eq!(cap1, 32);
+        let (off2, _) = a.alloc(32).unwrap();
+        assert_eq!(off2, FIRST_OFFSET + 64);
+        assert_eq!(a.live_blocks(), 2);
+        a.free(off1, cap1);
+        assert_eq!(a.live_blocks(), 1);
+        // Exact reuse of the freed block.
+        let (off3, _) = a.alloc(20).unwrap();
+        assert_eq!(off3, off1);
+    }
+
+    #[test]
+    fn no_overlap_until_exhaustion() {
+        let mut a = RegionAllocator::new(2048);
+        let mut spans: Vec<(u32, usize)> = Vec::new();
+        while let Some((off, cap)) = a.alloc(100) {
+            let block = cap as usize + HEADER;
+            for &(o, b) in &spans {
+                let disjoint =
+                    off as usize + block <= o as usize || o as usize + b <= off as usize;
+                assert!(disjoint, "blocks overlap");
+            }
+            spans.push((off, block));
+        }
+        assert!(!spans.is_empty());
+        assert!(a.bytes_left() < 256);
+    }
+
+    #[test]
+    fn rebuild_from_scan() {
+        // Simulate a region: allocate three blocks, free one, tombstone one.
+        let len = 4096;
+        let mut data = vec![0u8; len];
+        let mut a = RegionAllocator::new(len);
+        let mut write_header = |data: &mut Vec<u8>, off: u32, cap: u32, state: u32, ver: u64| {
+            let h = ObjHeader { lock: 0, version: ver, capacity: cap, state, len: 8 };
+            data[off as usize..off as usize + HEADER].copy_from_slice(&h.encode());
+        };
+        let (o1, c1) = a.alloc(40).unwrap();
+        write_header(&mut data, o1, c1, STATE_LIVE, 10);
+        let (o2, c2) = a.alloc(40).unwrap();
+        write_header(&mut data, o2, c2, STATE_FREE, 0);
+        let (o3, c3) = a.alloc(200).unwrap();
+        write_header(&mut data, o3, c3, STATE_TOMBSTONE, 12);
+        let (o4, c4) = a.alloc(40).unwrap();
+        write_header(&mut data, o4, c4, STATE_LIVE, 0); // uncommitted
+
+        let (rebuilt, tombstones) = RegionAllocator::rebuild(&data, len);
+        assert_eq!(rebuilt.live_blocks(), 1);
+        assert_eq!(tombstones, vec![(o3, c3)]);
+        assert_eq!(rebuilt.bump, a.bump);
+        // Free lists hold the freed + uncommitted blocks.
+        let mut r = rebuilt;
+        let (re_off, _) = r.alloc(40).unwrap();
+        assert!(re_off == o2 || re_off == o4);
+    }
+
+    #[test]
+    fn region_exhaustion_returns_none() {
+        let mut a = RegionAllocator::new(256);
+        assert!(a.alloc(32).is_some());
+        assert!(a.alloc(32).is_some());
+        assert!(a.alloc(32).is_some());
+        assert!(a.alloc(32).is_none()); // 64 (reserved) + 3*64 = 256
+    }
+}

@@ -1,0 +1,749 @@
+//! Distributed B+-trees over FaRM objects (paper §2.2, §3.1, §3.2).
+//!
+//! Trees are pointer-linked structures of FaRM objects: every node is one
+//! object, referenced by ⟨addr, size⟩ pointers so a single one-sided read
+//! fetches it. Design choices follow the paper:
+//!
+//! * **High branching ratio** — configurable `max_keys` per node (default
+//!   32), so trees stay shallow.
+//! * **Internal-node caching** — "we cache internal BTree nodes heavily and
+//!   in most cases this lookup requires one RDMA read rather than O(log n)"
+//!   (§3.2). Cached routing is *unvalidated*; correctness comes from fence
+//!   keys on every node: if a descent lands on a leaf whose fence range does
+//!   not contain the key, the cache is stale — purge and retry, and if a
+//!   fresh descent still disagrees, surface `Conflict` for a transaction
+//!   retry.
+//! * **Leaf links** — leaves form a singly-linked list for range scans
+//!   (primary-index scans, prefix scans over composite keys).
+//! * **Lazy deletion** — removals never merge nodes; A1 deletes whole trees
+//!   through the asynchronous task framework (§3.3), so structural shrink is
+//!   not on the hot path.
+
+use crate::addr::{Addr, Ptr};
+use crate::error::{FarmError, FarmResult};
+use crate::txn::{Hint, ObjBuf, Txn};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tree shape parameters, fixed at creation and stored in the header object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTreeConfig {
+    /// Maximum keys per node before a split (fanout - 1).
+    pub max_keys: usize,
+    pub max_key_len: usize,
+    pub max_val_len: usize,
+}
+
+impl Default for BTreeConfig {
+    fn default() -> Self {
+        BTreeConfig { max_keys: 32, max_key_len: 128, max_val_len: 64 }
+    }
+}
+
+impl BTreeConfig {
+    /// Payload bytes a node object needs in the worst case.
+    fn node_capacity(&self) -> usize {
+        let fences = 2 * (2 + self.max_key_len);
+        let leaf = 3 + fences
+            + self.max_keys * (4 + self.max_key_len + self.max_val_len)
+            + Ptr::ENCODED_LEN;
+        let internal = 3 + fences
+            + self.max_keys * (2 + self.max_key_len)
+            + (self.max_keys + 1) * Ptr::ENCODED_LEN;
+        leaf.max(internal)
+    }
+}
+
+const KIND_LEAF: u8 = 1;
+const KIND_INTERNAL: u8 = 2;
+const HEADER_MAGIC: u32 = 0xB7EE_0001;
+const HEADER_PAYLOAD: usize = 26;
+const CACHE_TTL: Duration = Duration::from_secs(10);
+
+/// In-memory form of a node.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        fence_lo: Vec<u8>,
+        fence_hi: Vec<u8>, // empty = +inf
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        next: Ptr,
+    },
+    Internal {
+        fence_lo: Vec<u8>,
+        fence_hi: Vec<u8>,
+        keys: Vec<Vec<u8>>,
+        children: Vec<Ptr>,
+    },
+}
+
+impl Node {
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        match self {
+            Node::Leaf { fence_lo, fence_hi, entries, next } => {
+                out.push(KIND_LEAF);
+                out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                put_bytes(&mut out, fence_lo);
+                put_bytes(&mut out, fence_hi);
+                for (k, v) in entries {
+                    put_bytes(&mut out, k);
+                    put_bytes(&mut out, v);
+                }
+                next.encode_to(&mut out);
+            }
+            Node::Internal { fence_lo, fence_hi, keys, children } => {
+                out.push(KIND_INTERNAL);
+                out.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+                put_bytes(&mut out, fence_lo);
+                put_bytes(&mut out, fence_hi);
+                for k in keys {
+                    put_bytes(&mut out, k);
+                }
+                for c in children {
+                    c.encode_to(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn parse(buf: &[u8]) -> Option<Node> {
+        let mut pos = 0usize;
+        let kind = *buf.first()?;
+        pos += 1;
+        let n = u16::from_le_bytes(buf.get(1..3)?.try_into().ok()?) as usize;
+        pos += 2;
+        let fence_lo = get_bytes(buf, &mut pos)?;
+        let fence_hi = get_bytes(buf, &mut pos)?;
+        match kind {
+            KIND_LEAF => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = get_bytes(buf, &mut pos)?;
+                    let v = get_bytes(buf, &mut pos)?;
+                    entries.push((k, v));
+                }
+                let next = Ptr::decode(buf.get(pos..)?)?;
+                Some(Node::Leaf { fence_lo, fence_hi, entries, next })
+            }
+            KIND_INTERNAL => {
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(get_bytes(buf, &mut pos)?);
+                }
+                let mut children = Vec::with_capacity(n + 1);
+                for _ in 0..=n {
+                    children.push(Ptr::decode(buf.get(pos..)?)?);
+                    pos += Ptr::ENCODED_LEN;
+                }
+                Some(Node::Internal { fence_lo, fence_hi, keys, children })
+            }
+            _ => None,
+        }
+    }
+
+    fn fences(&self) -> (&[u8], &[u8]) {
+        match self {
+            Node::Leaf { fence_lo, fence_hi, .. } => (fence_lo, fence_hi),
+            Node::Internal { fence_lo, fence_hi, .. } => (fence_lo, fence_hi),
+        }
+    }
+
+    /// Whether `key` falls inside this node's fence range. The empty key
+    /// stands for -inf (leftmost descent for unbounded scans): only nodes
+    /// with an open lower fence cover it.
+    fn covers(&self, key: &[u8]) -> bool {
+        let (lo, hi) = self.fences();
+        if key.is_empty() {
+            return lo.is_empty();
+        }
+        (lo.is_empty() || key >= lo) && (hi.is_empty() || key < hi)
+    }
+
+    /// Child index to follow for `key` (separator semantics: `keys[i]` is
+    /// the first key of `children[i+1]`). The empty key descends leftmost.
+    fn child_for(&self, key: &[u8]) -> usize {
+        match self {
+            Node::Internal { keys, .. } => {
+                if key.is_empty() {
+                    0
+                } else {
+                    keys.partition_point(|k| k.as_slice() <= key)
+                }
+            }
+            Node::Leaf { .. } => unreachable!("child_for on leaf"),
+        }
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u16).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn get_bytes(buf: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
+    let len = u16::from_le_bytes(buf.get(*pos..*pos + 2)?.try_into().ok()?) as usize;
+    *pos += 2;
+    let out = buf.get(*pos..*pos + len)?.to_vec();
+    *pos += len;
+    Some(out)
+}
+
+/// Tree header object payload: magic, shape, height, root pointer.
+#[derive(Debug, Clone, Copy)]
+struct TreeHeader {
+    cfg: BTreeConfig,
+    height: u32,
+    root: Ptr,
+}
+
+impl TreeHeader {
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_PAYLOAD);
+        out.extend_from_slice(&HEADER_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.cfg.max_keys as u16).to_le_bytes());
+        out.extend_from_slice(&(self.cfg.max_key_len as u16).to_le_bytes());
+        out.extend_from_slice(&(self.cfg.max_val_len as u16).to_le_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        self.root.encode_to(&mut out);
+        out
+    }
+
+    fn parse(buf: &[u8]) -> Option<TreeHeader> {
+        if buf.len() < HEADER_PAYLOAD {
+            return None;
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().ok()?);
+        if magic != HEADER_MAGIC {
+            return None;
+        }
+        Some(TreeHeader {
+            cfg: BTreeConfig {
+                max_keys: u16::from_le_bytes(buf[4..6].try_into().ok()?) as usize,
+                max_key_len: u16::from_le_bytes(buf[6..8].try_into().ok()?) as usize,
+                max_val_len: u16::from_le_bytes(buf[8..10].try_into().ok()?) as usize,
+            },
+            height: u32::from_le_bytes(buf[10..14].try_into().ok()?),
+            root: Ptr::decode(&buf[14..26])?,
+        })
+    }
+}
+
+/// Per-proxy cache of internal nodes (and the routing header).
+#[derive(Default)]
+struct NodeCache {
+    map: Mutex<HashMap<Addr, (Instant, Arc<Node>)>>,
+}
+
+impl NodeCache {
+    fn get(&self, addr: Addr) -> Option<Arc<Node>> {
+        let map = self.map.lock();
+        let (at, node) = map.get(&addr)?;
+        if at.elapsed() > CACHE_TTL {
+            return None;
+        }
+        Some(node.clone())
+    }
+
+    fn put(&self, addr: Addr, node: Arc<Node>) {
+        self.map.lock().insert(addr, (Instant::now(), node));
+    }
+
+    fn purge(&self, addrs: impl IntoIterator<Item = Addr>) {
+        let mut map = self.map.lock();
+        for a in addrs {
+            map.remove(&a);
+        }
+    }
+}
+
+/// Handle to a distributed B+-tree. Cheap to clone; clones share the
+/// internal-node cache (A1's catalog proxies cache these handles, §3.1).
+#[derive(Clone)]
+pub struct BTree {
+    pub header: Ptr,
+    cfg: BTreeConfig,
+    cache: Arc<NodeCache>,
+}
+
+struct PathStep {
+    buf: ObjBuf,
+    node: Node,
+    /// Whether the node bytes came from the cache (no `buf` available).
+    cached: bool,
+}
+
+impl BTree {
+    /// Create an empty tree. The header object's pointer identifies the tree
+    /// (the catalog maps names to header pointers, §3.1).
+    pub fn create(tx: &mut Txn, cfg: BTreeConfig, hint: Hint) -> FarmResult<BTree> {
+        let node_cap = cfg.node_capacity();
+        let root = Node::Leaf {
+            fence_lo: Vec::new(),
+            fence_hi: Vec::new(),
+            entries: Vec::new(),
+            next: Ptr::NULL,
+        };
+        let header_ptr = tx.alloc(HEADER_PAYLOAD, hint, &[])?;
+        let root_ptr = tx.alloc(node_cap, Hint::Near(header_ptr.addr), &root.serialize())?;
+        let header = TreeHeader { cfg, height: 1, root: root_ptr };
+        let hbuf = tx.read(header_ptr)?;
+        tx.update(&hbuf, header.serialize())?;
+        Ok(BTree { header: header_ptr, cfg, cache: Arc::new(NodeCache::default()) })
+    }
+
+    /// Open an existing tree by its header pointer.
+    pub fn open(tx: &mut Txn, header: Ptr) -> FarmResult<BTree> {
+        let buf = tx.read_for_routing(header)?;
+        let th = TreeHeader::parse(buf.data())
+            .ok_or(FarmError::Usage("not a btree header"))?;
+        Ok(BTree { header, cfg: th.cfg, cache: Arc::new(NodeCache::default()) })
+    }
+
+    pub fn config(&self) -> &BTreeConfig {
+        &self.cfg
+    }
+
+    fn check_key_val(&self, key: &[u8], val: Option<&[u8]>) -> FarmResult<()> {
+        if key.is_empty() || key.len() > self.cfg.max_key_len {
+            return Err(FarmError::Usage("key empty or too long"));
+        }
+        if let Some(v) = val {
+            if v.len() > self.cfg.max_val_len {
+                return Err(FarmError::Usage("value too long"));
+            }
+        }
+        Ok(())
+    }
+
+    fn read_header(&self, tx: &mut Txn) -> FarmResult<(ObjBuf, TreeHeader)> {
+        let buf = if tx.is_read_only() {
+            tx.read(self.header)?
+        } else {
+            tx.read_for_routing(self.header)?
+        };
+        let th = TreeHeader::parse(buf.data())
+            .ok_or(FarmError::Usage("not a btree header"))?;
+        Ok((buf, th))
+    }
+
+    fn read_node(&self, tx: &mut Txn, ptr: Ptr, validated: bool) -> FarmResult<(ObjBuf, Node)> {
+        let buf = if validated { tx.read(ptr)? } else { tx.read_for_routing(ptr)? };
+        let node =
+            Node::parse(buf.data()).ok_or(FarmError::Usage("corrupt btree node"))?;
+        Ok((buf, node))
+    }
+
+    /// Descend to the leaf covering `key`. Internal hops use the cache when
+    /// allowed; the leaf is read through the transaction (validated /
+    /// snapshot). Returns the internal path and the leaf step.
+    fn descend(
+        &self,
+        tx: &mut Txn,
+        key: &[u8],
+        use_cache: bool,
+    ) -> FarmResult<(Vec<PathStep>, PathStep)> {
+        'retry: for attempt in 0..2 {
+            let use_cache = use_cache && attempt == 0 && !tx.is_read_only();
+            let (_, th) = self.read_header(tx)?;
+            let mut path: Vec<PathStep> = Vec::new();
+            let mut ptr = th.root;
+            loop {
+                // Internal nodes: routing reads (cache / unvalidated).
+                let cached = if use_cache { self.cache.get(ptr.addr) } else { None };
+                let (buf, node, was_cached) = match cached {
+                    Some(node) if matches!(*node, Node::Internal { .. }) => {
+                        (ObjBuf::routing_placeholder(ptr), (*node).clone(), true)
+                    }
+                    _ => {
+                        let validated = tx.is_read_only();
+                        let (buf, node) = match self.read_node(tx, ptr, validated) {
+                            Ok(x) => x,
+                            Err(FarmError::NotFound(_)) if attempt == 0 => {
+                                // Stale route to a freed node: purge, retry.
+                                self.cache.purge(path.iter().map(|p| p.buf.addr()));
+                                continue 'retry;
+                            }
+                            Err(e) => return Err(e),
+                        };
+                        if let Node::Internal { .. } = node {
+                            if use_cache {
+                                self.cache.put(ptr.addr, Arc::new(node.clone()));
+                            }
+                        }
+                        (buf, node, false)
+                    }
+                };
+                match node {
+                    Node::Internal { .. } => {
+                        let child = node.child_for(key);
+                        let next_ptr = match &node {
+                            Node::Internal { children, .. } => children[child],
+                            _ => unreachable!(),
+                        };
+                        path.push(PathStep { buf, node, cached: was_cached });
+                        ptr = next_ptr;
+                    }
+                    Node::Leaf { .. } => {
+                        // Leaf must be a validated (or snapshot) read.
+                        let (leaf_buf, leaf_node) = if was_cached || !tx.is_read_only() {
+                            match self.read_node(tx, ptr, true) {
+                                Ok(x) => x,
+                                Err(FarmError::NotFound(_)) if attempt == 0 => {
+                                    self.cache.purge(path.iter().map(|p| p.buf.addr()));
+                                    continue 'retry;
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        } else {
+                            (buf, node)
+                        };
+                        if !leaf_node.covers(key) {
+                            // Fence miss: stale cache or concurrent split.
+                            self.cache.purge(
+                                path.iter()
+                                    .map(|p| p.buf.addr())
+                                    .chain(std::iter::once(ptr.addr)),
+                            );
+                            if attempt == 0 {
+                                continue 'retry;
+                            }
+                            return Err(FarmError::Conflict);
+                        }
+                        return Ok((path, PathStep { buf: leaf_buf, node: leaf_node, cached: false }));
+                    }
+                }
+            }
+        }
+        Err(FarmError::Conflict)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, tx: &mut Txn, key: &[u8]) -> FarmResult<Option<Vec<u8>>> {
+        self.check_key_val(key, None)?;
+        let (_, leaf) = self.descend(tx, key, true)?;
+        match leaf.node {
+            Node::Leaf { entries, .. } => Ok(entries
+                .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                .ok()
+                .map(|i| entries[i].1.clone())),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Insert or replace. Returns the previous value, if any.
+    pub fn insert(&self, tx: &mut Txn, key: &[u8], val: &[u8]) -> FarmResult<Option<Vec<u8>>> {
+        self.check_key_val(key, Some(val))?;
+        let (path, leaf_step) = self.descend(tx, key, true)?;
+        let PathStep { buf: leaf_buf, node: leaf_node, .. } = leaf_step;
+        let Node::Leaf { fence_lo, fence_hi, mut entries, next } = leaf_node else {
+            unreachable!()
+        };
+        let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => {
+                let old = std::mem::replace(&mut entries[i].1, val.to_vec());
+                Some(old)
+            }
+            Err(i) => {
+                entries.insert(i, (key.to_vec(), val.to_vec()));
+                None
+            }
+        };
+        if entries.len() <= self.cfg.max_keys {
+            let node = Node::Leaf { fence_lo, fence_hi, entries, next };
+            tx.update(&leaf_buf, node.serialize())?;
+            return Ok(old);
+        }
+
+        // Split the leaf: left keeps [0, mid), right takes [mid, n).
+        let mid = entries.len() / 2;
+        let right_entries = entries.split_off(mid);
+        let sep = right_entries[0].0.clone();
+        let right = Node::Leaf {
+            fence_lo: sep.clone(),
+            fence_hi: fence_hi.clone(),
+            entries: right_entries,
+            next,
+        };
+        let right_ptr = tx.alloc(
+            self.cfg.node_capacity(),
+            Hint::Near(leaf_buf.addr()),
+            &right.serialize(),
+        )?;
+        let left = Node::Leaf { fence_lo, fence_hi: sep.clone(), entries, next: right_ptr };
+        tx.update(&leaf_buf, left.serialize())?;
+        self.insert_separator(tx, path, leaf_buf.ptr, sep, right_ptr)?;
+        Ok(old)
+    }
+
+    /// Propagate a split: insert `(sep, right_ptr)` into the parent chain,
+    /// splitting internal nodes as needed; grow the root if necessary.
+    fn insert_separator(
+        &self,
+        tx: &mut Txn,
+        mut path: Vec<PathStep>,
+        left_child: Ptr,
+        mut sep: Vec<u8>,
+        mut right_ptr: Ptr,
+    ) -> FarmResult<()> {
+        let mut _child = left_child;
+        while let Some(step) = path.pop() {
+            // Parents read through cache have no usable buffer: re-read.
+            let (buf, node) = if step.cached {
+                self.read_node(tx, step.buf.ptr, false)?
+            } else {
+                (step.buf, step.node)
+            };
+            // The parent may have split since we routed through it (its key
+            // range shrank); inserting the separator into a parent that no
+            // longer covers it would corrupt routing. Retry the transaction
+            // against the fresh structure. (For uncached steps commit-time
+            // version validation also catches this; for cached steps the
+            // re-read is latest-version, so the fence check is load-bearing.)
+            if !node.covers(&sep) {
+                self.cache.purge([buf.addr()]);
+                return Err(FarmError::Conflict);
+            }
+            let Node::Internal { fence_lo, fence_hi, mut keys, mut children } = node else {
+                return Err(FarmError::Usage("corrupt btree: leaf in internal path"));
+            };
+            let idx = keys.partition_point(|k| k.as_slice() <= sep.as_slice());
+            keys.insert(idx, sep.clone());
+            children.insert(idx + 1, right_ptr);
+            if keys.len() <= self.cfg.max_keys {
+                let node = Node::Internal { fence_lo, fence_hi, keys, children };
+                tx.update(&buf, node.serialize())?;
+                self.cache.purge([buf.addr()]);
+                return Ok(());
+            }
+            // Split internal node; middle key moves up.
+            let mid = keys.len() / 2;
+            let up = keys[mid].clone();
+            let right_keys = keys.split_off(mid + 1);
+            keys.pop(); // `up` moves to the parent
+            let right_children = children.split_off(mid + 1);
+            let right = Node::Internal {
+                fence_lo: up.clone(),
+                fence_hi: fence_hi.clone(),
+                keys: right_keys,
+                children: right_children,
+            };
+            let new_right_ptr = tx.alloc(
+                self.cfg.node_capacity(),
+                Hint::Near(buf.addr()),
+                &right.serialize(),
+            )?;
+            let left = Node::Internal { fence_lo, fence_hi: up.clone(), keys, children };
+            tx.update(&buf, left.serialize())?;
+            self.cache.purge([buf.addr()]);
+            _child = buf.ptr;
+            sep = up;
+            right_ptr = new_right_ptr;
+        }
+
+        // Root split: a new root references the old root and the new right.
+        let (hbuf, th) = {
+            let buf = tx.read(self.header)?; // validated: root change must be serialized
+            let th = TreeHeader::parse(buf.data())
+                .ok_or(FarmError::Usage("not a btree header"))?;
+            (buf, th)
+        };
+        let new_root = Node::Internal {
+            fence_lo: Vec::new(),
+            fence_hi: Vec::new(),
+            keys: vec![sep],
+            children: vec![th.root, right_ptr],
+        };
+        let new_root_ptr = tx.alloc(
+            self.cfg.node_capacity(),
+            Hint::Near(self.header.addr),
+            &new_root.serialize(),
+        )?;
+        let new_header =
+            TreeHeader { cfg: th.cfg, height: th.height + 1, root: new_root_ptr };
+        tx.update(&hbuf, new_header.serialize())?;
+        Ok(())
+    }
+
+    /// Remove a key. Returns the previous value, if any. Nodes are never
+    /// merged (lazy deletion).
+    pub fn remove(&self, tx: &mut Txn, key: &[u8]) -> FarmResult<Option<Vec<u8>>> {
+        self.check_key_val(key, None)?;
+        let (_, leaf_step) = self.descend(tx, key, true)?;
+        let PathStep { buf, node, .. } = leaf_step;
+        let Node::Leaf { fence_lo, fence_hi, mut entries, next } = node else {
+            unreachable!()
+        };
+        match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => {
+                let (_, old) = entries.remove(i);
+                let node = Node::Leaf { fence_lo, fence_hi, entries, next };
+                tx.update(&buf, node.serialize())?;
+                Ok(Some(old))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Range scan over `[lo, hi)` (hi empty = unbounded), up to `limit`
+    /// entries. Follows leaf links.
+    pub fn scan(
+        &self,
+        tx: &mut Txn,
+        lo: &[u8],
+        hi: &[u8],
+        limit: usize,
+    ) -> FarmResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        if limit == 0 {
+            return Ok(Vec::new());
+        }
+        // An empty `lo` descends to the leftmost leaf (empty key = -inf).
+        let (_, leaf_step) = self.descend(tx, lo, true)?;
+        let mut out = Vec::new();
+        let mut current = leaf_step.node;
+        loop {
+            let Node::Leaf { entries, next, .. } = &current else { unreachable!() };
+            for (k, v) in entries {
+                if !lo.is_empty() && k.as_slice() < lo {
+                    continue;
+                }
+                if !hi.is_empty() && k.as_slice() >= hi {
+                    return Ok(out);
+                }
+                out.push((k.clone(), v.clone()));
+                if out.len() >= limit {
+                    return Ok(out);
+                }
+            }
+            if next.is_null() {
+                return Ok(out);
+            }
+            let (_, node) = self.read_node(tx, *next, true)?;
+            current = node;
+        }
+    }
+
+    /// Scan all keys beginning with `prefix`.
+    pub fn scan_prefix(
+        &self,
+        tx: &mut Txn,
+        prefix: &[u8],
+        limit: usize,
+    ) -> FarmResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut hi = prefix.to_vec();
+        hi.push(0xFF);
+        self.scan(tx, prefix, &hi, limit)
+    }
+
+    /// Total number of entries (full scan; diagnostics and tests).
+    pub fn len(&self, tx: &mut Txn) -> FarmResult<usize> {
+        Ok(self.scan(tx, &[], &[], usize::MAX)?.len())
+    }
+
+    pub fn is_empty(&self, tx: &mut Txn) -> FarmResult<bool> {
+        Ok(self.scan(tx, &[], &[], 1)?.is_empty())
+    }
+
+    /// Free every node and the header. Used by delete workflows (§3.3); for
+    /// very large trees callers should first drain entries in batches.
+    pub fn destroy(&self, tx: &mut Txn) -> FarmResult<()> {
+        let (hbuf, th) = {
+            let buf = tx.read(self.header)?;
+            let th = TreeHeader::parse(buf.data())
+                .ok_or(FarmError::Usage("not a btree header"))?;
+            (buf, th)
+        };
+        let mut stack = vec![th.root];
+        while let Some(ptr) = stack.pop() {
+            let (buf, node) = self.read_node(tx, ptr, true)?;
+            if let Node::Internal { children, .. } = &node {
+                stack.extend(children.iter().copied());
+            }
+            tx.free(&buf)?;
+        }
+        tx.free(&hbuf)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_roundtrip() {
+        let leaf = Node::Leaf {
+            fence_lo: b"a".to_vec(),
+            fence_hi: b"m".to_vec(),
+            entries: vec![(b"b".to_vec(), b"1".to_vec()), (b"c".to_vec(), vec![])],
+            next: Ptr::new(Addr::new(crate::addr::RegionId(1), 64), 100),
+        };
+        assert_eq!(Node::parse(&leaf.serialize()), Some(leaf.clone()));
+
+        let internal = Node::Internal {
+            fence_lo: Vec::new(),
+            fence_hi: Vec::new(),
+            keys: vec![b"g".to_vec()],
+            children: vec![Ptr::NULL, Ptr::new(Addr::new(crate::addr::RegionId(2), 128), 50)],
+        };
+        assert_eq!(Node::parse(&internal.serialize()), Some(internal));
+        assert_eq!(Node::parse(&[9, 0, 0]), None);
+    }
+
+    #[test]
+    fn covers_and_child_for() {
+        let n = Node::Internal {
+            fence_lo: b"c".to_vec(),
+            fence_hi: b"x".to_vec(),
+            keys: vec![b"g".to_vec(), b"p".to_vec()],
+            children: vec![Ptr::NULL, Ptr::NULL, Ptr::NULL],
+        };
+        assert!(n.covers(b"c"));
+        assert!(n.covers(b"w"));
+        assert!(!n.covers(b"x"));
+        assert!(!n.covers(b"b"));
+        assert_eq!(n.child_for(b"a"), 0);
+        assert_eq!(n.child_for(b"g"), 1); // separator belongs to the right
+        assert_eq!(n.child_for(b"m"), 1);
+        assert_eq!(n.child_for(b"p"), 2);
+        assert_eq!(n.child_for(b"z"), 2);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let th = TreeHeader {
+            cfg: BTreeConfig { max_keys: 8, max_key_len: 32, max_val_len: 16 },
+            height: 3,
+            root: Ptr::new(Addr::new(crate::addr::RegionId(0), 640), 512),
+        };
+        let bytes = th.serialize();
+        let back = TreeHeader::parse(&bytes).unwrap();
+        assert_eq!(back.cfg, th.cfg);
+        assert_eq!(back.height, 3);
+        assert_eq!(back.root, th.root);
+        assert!(TreeHeader::parse(&[0; 26]).is_none(), "magic check");
+    }
+
+    #[test]
+    fn capacity_fits_worst_case() {
+        let cfg = BTreeConfig { max_keys: 4, max_key_len: 8, max_val_len: 8 };
+        let cap = cfg.node_capacity();
+        let leaf = Node::Leaf {
+            fence_lo: vec![7; 8],
+            fence_hi: vec![9; 8],
+            entries: (0..4).map(|i| (vec![i; 8], vec![i; 8])).collect(),
+            next: Ptr::NULL,
+        };
+        assert!(leaf.serialize().len() <= cap);
+        let internal = Node::Internal {
+            fence_lo: vec![7; 8],
+            fence_hi: vec![9; 8],
+            keys: (0..4).map(|i| vec![i; 8]).collect(),
+            children: vec![Ptr::NULL; 5],
+        };
+        assert!(internal.serialize().len() <= cap);
+    }
+}

@@ -1,0 +1,392 @@
+//! The configuration manager (CM).
+//!
+//! One machine in a FaRM cluster acts as CM (§2.1): it tracks membership
+//! (which machines are alive) and region metadata (which machines hold each
+//! region's primary and backups). Placement spreads a region's replicas
+//! across three fault domains so no single rack/switch/power failure can
+//! take out more than one copy.
+//!
+//! In this reproduction the CM is a metadata service; the
+//! [`crate::FarmCluster`] executes the reconfiguration actions it emits
+//! (promotion, re-replication) against actual region memory.
+
+use crate::addr::RegionId;
+use a1_rdma::MachineId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Where a region's replicas live. `primary` serves all reads and writes;
+/// `backups` hold byte-identical copies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    pub primary: MachineId,
+    pub backups: Vec<MachineId>,
+}
+
+impl Placement {
+    pub fn replicas(&self) -> impl Iterator<Item = MachineId> + '_ {
+        std::iter::once(self.primary).chain(self.backups.iter().copied())
+    }
+
+    pub fn contains(&self, m: MachineId) -> bool {
+        self.replicas().any(|r| r == m)
+    }
+}
+
+/// A reconfiguration step the cluster must execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigAction {
+    /// `new_primary` (an existing backup, whose bytes are current) becomes
+    /// primary for `region`; it must rebuild allocator metadata by scanning.
+    Promote { region: RegionId, new_primary: MachineId },
+    /// Host a fresh replica of `region` on `target`, copying bytes from
+    /// `source` (the current primary).
+    AddBackup { region: RegionId, source: MachineId, target: MachineId },
+    /// Every replica is gone. If PyCo memory survives a process crash the
+    /// cluster pauses awaiting restart (§5.3); otherwise this is a disaster
+    /// (§4).
+    TotalLoss { region: RegionId },
+}
+
+#[derive(Debug)]
+struct CmState {
+    epoch: u64,
+    alive: Vec<bool>,
+    racks: Vec<u32>,
+    placements: HashMap<u32, Placement>,
+    next_region: u32,
+    /// Number of replicas hosted per machine, for load-balanced placement.
+    load: Vec<usize>,
+}
+
+/// The configuration manager. Thread-safe; all methods take `&self`.
+pub struct ConfigManager {
+    state: RwLock<CmState>,
+    replicas: usize,
+}
+
+impl ConfigManager {
+    /// `racks[i]` is machine i's fault domain. `replicas` is the desired
+    /// copy count (3 in the paper), silently capped by the machine count.
+    pub fn new(racks: Vec<u32>, replicas: usize) -> ConfigManager {
+        let n = racks.len();
+        ConfigManager {
+            state: RwLock::new(CmState {
+                epoch: 1,
+                alive: vec![true; n],
+                racks,
+                placements: HashMap::new(),
+                next_region: 0,
+                load: vec![0; n],
+            }),
+            replicas: replicas.min(n).max(1),
+        }
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.state.read().epoch
+    }
+
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    pub fn is_alive(&self, m: MachineId) -> bool {
+        self.state.read().alive.get(m.0 as usize).copied().unwrap_or(false)
+    }
+
+    pub fn mark_alive(&self, m: MachineId) {
+        let mut s = self.state.write();
+        if let Some(slot) = s.alive.get_mut(m.0 as usize) {
+            if !*slot {
+                *slot = true;
+                s.epoch += 1;
+            }
+        }
+    }
+
+    pub fn alive_count(&self) -> usize {
+        self.state.read().alive.iter().filter(|a| **a).count()
+    }
+
+    /// Allocate a region id and choose replica placement. `preferred` pins
+    /// the primary (locality: allocate where the caller runs, §2.1).
+    /// Returns `None` when no alive machine exists.
+    pub fn place_new_region(&self, preferred: Option<MachineId>) -> Option<(RegionId, Placement)> {
+        let mut s = self.state.write();
+        let primary = match preferred {
+            Some(m) if s.alive.get(m.0 as usize).copied().unwrap_or(false) => m,
+            _ => least_loaded(&s, &[])?,
+        };
+        let mut backups = Vec::new();
+        for _ in 1..self.replicas {
+            let exclude: Vec<MachineId> =
+                std::iter::once(primary).chain(backups.iter().copied()).collect();
+            match pick_backup(&s, primary, &backups, &exclude) {
+                Some(b) => backups.push(b),
+                None => break, // fewer replicas than desired; still usable
+            }
+        }
+        let id = RegionId(s.next_region);
+        s.next_region += 1;
+        let placement = Placement { primary, backups };
+        for r in placement.replicas() {
+            s.load[r.0 as usize] += 1;
+        }
+        s.placements.insert(id.0, placement.clone());
+        Some((id, placement))
+    }
+
+    pub fn placement(&self, r: RegionId) -> Option<Placement> {
+        self.state.read().placements.get(&r.0).cloned()
+    }
+
+    pub fn primary_of(&self, r: RegionId) -> Option<MachineId> {
+        self.state.read().placements.get(&r.0).map(|p| p.primary)
+    }
+
+    pub fn regions(&self) -> Vec<(RegionId, Placement)> {
+        self.state
+            .read()
+            .placements
+            .iter()
+            .map(|(id, p)| (RegionId(*id), p.clone()))
+            .collect()
+    }
+
+    /// Remove a region entirely (delete workflows).
+    pub fn drop_region(&self, r: RegionId) -> Option<Placement> {
+        let mut s = self.state.write();
+        let p = s.placements.remove(&r.0)?;
+        for m in p.replicas() {
+            s.load[m.0 as usize] = s.load[m.0 as usize].saturating_sub(1);
+        }
+        Some(p)
+    }
+
+    /// Handle a machine failure: bump the epoch, fix every affected
+    /// placement, and emit the actions the cluster must carry out.
+    pub fn handle_failure(&self, dead: MachineId) -> Vec<ReconfigAction> {
+        let mut s = self.state.write();
+        let Some(slot) = s.alive.get_mut(dead.0 as usize) else {
+            return Vec::new();
+        };
+        if !*slot {
+            return Vec::new(); // already handled
+        }
+        *slot = false;
+        s.epoch += 1;
+        s.load[dead.0 as usize] = 0;
+
+        let mut actions = Vec::new();
+        let region_ids: Vec<u32> = s.placements.keys().copied().collect();
+        for rid in region_ids {
+            let placement = s.placements.get(&rid).expect("key just listed").clone();
+            if !placement.contains(dead) {
+                continue;
+            }
+            let region = RegionId(rid);
+            let mut new_placement = placement.clone();
+
+            if placement.primary == dead {
+                // Promote the first alive backup; its bytes are current
+                // because commits replicate synchronously.
+                let promoted = placement
+                    .backups
+                    .iter()
+                    .copied()
+                    .find(|b| s.alive[b.0 as usize]);
+                match promoted {
+                    Some(b) => {
+                        new_placement.primary = b;
+                        new_placement.backups.retain(|x| *x != b && *x != dead);
+                        actions.push(ReconfigAction::Promote { region, new_primary: b });
+                    }
+                    None => {
+                        s.placements.remove(&rid);
+                        actions.push(ReconfigAction::TotalLoss { region });
+                        continue;
+                    }
+                }
+            } else {
+                new_placement.backups.retain(|x| *x != dead);
+            }
+
+            // Restore the replica count with a fresh backup if possible.
+            let want = self.replicas;
+            while new_placement.backups.len() + 1 < want {
+                let exclude: Vec<MachineId> = new_placement.replicas().collect();
+                match pick_backup(&s, new_placement.primary, &new_placement.backups, &exclude) {
+                    Some(t) => {
+                        new_placement.backups.push(t);
+                        s.load[t.0 as usize] += 1;
+                        actions.push(ReconfigAction::AddBackup {
+                            region,
+                            source: new_placement.primary,
+                            target: t,
+                        });
+                    }
+                    None => break, // under-replicated until a machine returns
+                }
+            }
+            s.placements.insert(rid, new_placement);
+        }
+        actions
+    }
+}
+
+/// Least-loaded alive machine not in `exclude`.
+fn least_loaded(s: &CmState, exclude: &[MachineId]) -> Option<MachineId> {
+    (0..s.alive.len())
+        .filter(|&i| s.alive[i] && !exclude.iter().any(|m| m.0 as usize == i))
+        .min_by_key(|&i| s.load[i])
+        .map(|i| MachineId(i as u32))
+}
+
+/// Pick a backup: prefer fault domains not already used by the placement,
+/// then least load.
+fn pick_backup(
+    s: &CmState,
+    primary: MachineId,
+    backups: &[MachineId],
+    exclude: &[MachineId],
+) -> Option<MachineId> {
+    let used_racks: Vec<u32> = std::iter::once(primary)
+        .chain(backups.iter().copied())
+        .map(|m| s.racks[m.0 as usize])
+        .collect();
+    (0..s.alive.len())
+        .filter(|&i| s.alive[i] && !exclude.iter().any(|m| m.0 as usize == i))
+        .min_by_key(|&i| {
+            let new_rack = !used_racks.contains(&s.racks[i]);
+            (if new_rack { 0usize } else { 1 }, s.load[i])
+        })
+        .map(|i| MachineId(i as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm6() -> ConfigManager {
+        // 6 machines over 3 racks: m0,m3 → rack0; m1,m4 → rack1; m2,m5 → rack2.
+        ConfigManager::new(vec![0, 1, 2, 0, 1, 2], 3)
+    }
+
+    #[test]
+    fn placement_spreads_fault_domains() {
+        let cm = cm6();
+        let (id, p) = cm.place_new_region(Some(MachineId(0))).unwrap();
+        assert_eq!(id, RegionId(0));
+        assert_eq!(p.primary, MachineId(0));
+        assert_eq!(p.backups.len(), 2);
+        let racks: Vec<u32> = p.replicas().map(|m| m.0 % 3).collect();
+        let mut uniq = racks.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3, "replicas span 3 fault domains: {racks:?}");
+    }
+
+    #[test]
+    fn placement_balances_load() {
+        let cm = cm6();
+        for _ in 0..12 {
+            cm.place_new_region(None).unwrap();
+        }
+        let regions = cm.regions();
+        let mut load = vec![0usize; 6];
+        for (_, p) in &regions {
+            for m in p.replicas() {
+                load[m.0 as usize] += 1;
+            }
+        }
+        let (min, max) = (load.iter().min().unwrap(), load.iter().max().unwrap());
+        assert!(max - min <= 2, "load spread too wide: {load:?}");
+    }
+
+    #[test]
+    fn failure_promotes_backup_and_rereplicates() {
+        let cm = cm6();
+        let (id, p) = cm.place_new_region(Some(MachineId(0))).unwrap();
+        let epoch0 = cm.epoch();
+        let actions = cm.handle_failure(MachineId(0));
+        assert!(cm.epoch() > epoch0);
+        assert!(!cm.is_alive(MachineId(0)));
+
+        let promote = actions.iter().find_map(|a| match a {
+            ReconfigAction::Promote { region, new_primary } if *region == id => Some(*new_primary),
+            _ => None,
+        });
+        let promoted = promote.expect("backup promoted");
+        assert_eq!(promoted, p.backups[0]);
+        assert_eq!(cm.primary_of(id), Some(promoted));
+
+        // A new backup is added to restore 3 replicas.
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ReconfigAction::AddBackup { region, source, .. }
+                if *region == id && *source == promoted
+        )));
+        let placement = cm.placement(id).unwrap();
+        assert_eq!(placement.backups.len(), 2);
+        assert!(!placement.contains(MachineId(0)));
+    }
+
+    #[test]
+    fn backup_failure_only_rereplicates() {
+        let cm = cm6();
+        let (id, p) = cm.place_new_region(Some(MachineId(0))).unwrap();
+        let victim = p.backups[0];
+        let actions = cm.handle_failure(victim);
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, ReconfigAction::Promote { .. })));
+        assert_eq!(cm.primary_of(id), Some(MachineId(0)));
+        assert_eq!(cm.placement(id).unwrap().backups.len(), 2);
+    }
+
+    #[test]
+    fn total_loss_detected() {
+        let cm = ConfigManager::new(vec![0, 1, 2], 3);
+        let (id, p) = cm.place_new_region(None).unwrap();
+        assert_eq!(p.backups.len(), 2);
+        let mut all_actions = Vec::new();
+        for m in 0..3 {
+            all_actions.extend(cm.handle_failure(MachineId(m)));
+        }
+        assert!(all_actions
+            .iter()
+            .any(|a| matches!(a, ReconfigAction::TotalLoss { region } if *region == id)));
+        assert_eq!(cm.placement(id), None);
+    }
+
+    #[test]
+    fn double_failure_report_is_idempotent() {
+        let cm = cm6();
+        cm.place_new_region(None).unwrap();
+        let a1 = cm.handle_failure(MachineId(1));
+        let a2 = cm.handle_failure(MachineId(1));
+        assert!(a2.is_empty());
+        let _ = a1;
+    }
+
+    #[test]
+    fn fewer_machines_than_replicas() {
+        let cm = ConfigManager::new(vec![0], 3);
+        let (_, p) = cm.place_new_region(None).unwrap();
+        assert_eq!(p.backups.len(), 0);
+        assert_eq!(cm.replicas(), 1);
+    }
+
+    #[test]
+    fn mark_alive_bumps_epoch_once() {
+        let cm = cm6();
+        cm.handle_failure(MachineId(2));
+        let e = cm.epoch();
+        cm.mark_alive(MachineId(2));
+        assert_eq!(cm.epoch(), e + 1);
+        cm.mark_alive(MachineId(2));
+        assert_eq!(cm.epoch(), e + 1, "no-op if already alive");
+        assert!(cm.is_alive(MachineId(2)));
+    }
+}

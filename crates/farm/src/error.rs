@@ -1,0 +1,84 @@
+//! FaRM error and status types.
+
+use crate::addr::Addr;
+use a1_rdma::NetError;
+
+pub type FarmResult<T> = Result<T, FarmError>;
+
+/// Everything that can go wrong in the storage layer. `Conflict` is the
+/// normal optimistic-concurrency outcome and callers are expected to retry
+/// (paper Fig. 3 shows the canonical retry loop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FarmError {
+    /// Optimistic concurrency conflict — retry the transaction.
+    Conflict,
+    /// Object does not exist (never created, or deleted at this snapshot).
+    NotFound(Addr),
+    /// The snapshot's old versions were garbage collected (can happen after
+    /// a failover, where the promoted backup has no version history).
+    SnapshotTooOld,
+    /// Allocation failed: no space and no machine can host a new region.
+    OutOfMemory,
+    /// Object size outside the 64 B..1 MB envelope.
+    InvalidSize(usize),
+    /// The cluster is paused waiting for a fast restart (§5.3).
+    Paused,
+    /// Unrecoverable replica loss — disaster recovery territory (§4).
+    DataLoss(crate::addr::RegionId),
+    /// Network-level failure that reconfiguration did not resolve.
+    Unavailable(String),
+    /// The transaction was already committed or aborted.
+    TxnClosed,
+    /// Misuse of the API (e.g. update without a prior read).
+    Usage(&'static str),
+}
+
+impl std::fmt::Display for FarmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FarmError::Conflict => write!(f, "transaction conflict (retry)"),
+            FarmError::NotFound(a) => write!(f, "object not found at {a}"),
+            FarmError::SnapshotTooOld => write!(f, "snapshot versions unavailable"),
+            FarmError::OutOfMemory => write!(f, "out of memory"),
+            FarmError::InvalidSize(s) => write!(f, "invalid object size {s}"),
+            FarmError::Paused => write!(f, "cluster paused for fast restart"),
+            FarmError::DataLoss(r) => write!(f, "all replicas of {r} lost"),
+            FarmError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            FarmError::TxnClosed => write!(f, "transaction already finished"),
+            FarmError::Usage(m) => write!(f, "api misuse: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}
+
+impl From<NetError> for FarmError {
+    fn from(e: NetError) -> FarmError {
+        FarmError::Unavailable(e.to_string())
+    }
+}
+
+impl FarmError {
+    /// Whether retrying the whole transaction may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, FarmError::Conflict | FarmError::SnapshotTooOld)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::RegionId;
+
+    #[test]
+    fn display_and_retryability() {
+        assert!(FarmError::Conflict.is_retryable());
+        assert!(FarmError::SnapshotTooOld.is_retryable());
+        assert!(!FarmError::OutOfMemory.is_retryable());
+        assert!(!FarmError::DataLoss(RegionId(1)).is_retryable());
+        let e = FarmError::NotFound(Addr::new(RegionId(1), 64));
+        assert!(e.to_string().contains("r1"));
+        let e: FarmError = NetError::OutOfBounds.into();
+        assert!(matches!(e, FarmError::Unavailable(_)));
+    }
+}

@@ -1,0 +1,96 @@
+//! In-region object layout.
+//!
+//! Every FaRM object occupies a size-class block inside a region:
+//!
+//! ```text
+//! +0   u64  lock word     (0 = unlocked, else owning transaction id)
+//! +8   u64  version       (commit timestamp; 0 = not yet committed)
+//! +16  u32  capacity      (payload bytes this block can hold; set once)
+//! +20  u32  state         (FREE / LIVE / TOMBSTONE)
+//! +24  u32  len           (current payload length)
+//! +28  u32  reserved
+//! +32  ...  payload
+//! ```
+//!
+//! The lock word is at offset 0 so the commit protocol can acquire it with a
+//! single one-sided CAS. Capacity is written at the block's first allocation
+//! and never cleared, which lets a restarted process rebuild the allocator by
+//! scanning headers (fast restart, §5.3).
+
+/// Header size in bytes.
+pub const HEADER: usize = 32;
+
+/// Object state values.
+pub const STATE_FREE: u32 = 0;
+pub const STATE_LIVE: u32 = 1;
+pub const STATE_TOMBSTONE: u32 = 2;
+
+/// Parsed header fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjHeader {
+    pub lock: u64,
+    pub version: u64,
+    pub capacity: u32,
+    pub state: u32,
+    pub len: u32,
+}
+
+impl ObjHeader {
+    pub fn parse(bytes: &[u8]) -> Option<ObjHeader> {
+        if bytes.len() < HEADER {
+            return None;
+        }
+        Some(ObjHeader {
+            lock: u64::from_le_bytes(bytes[0..8].try_into().ok()?),
+            version: u64::from_le_bytes(bytes[8..16].try_into().ok()?),
+            capacity: u32::from_le_bytes(bytes[16..20].try_into().ok()?),
+            state: u32::from_le_bytes(bytes[20..24].try_into().ok()?),
+            len: u32::from_le_bytes(bytes[24..28].try_into().ok()?),
+        })
+    }
+
+    pub fn encode(&self) -> [u8; HEADER] {
+        let mut out = [0u8; HEADER];
+        out[0..8].copy_from_slice(&self.lock.to_le_bytes());
+        out[8..16].copy_from_slice(&self.version.to_le_bytes());
+        out[16..20].copy_from_slice(&self.capacity.to_le_bytes());
+        out[20..24].copy_from_slice(&self.state.to_le_bytes());
+        out[24..28].copy_from_slice(&self.len.to_le_bytes());
+        out
+    }
+
+    pub fn is_locked(&self) -> bool {
+        self.lock != 0
+    }
+
+    pub fn is_committed(&self) -> bool {
+        self.version != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = ObjHeader { lock: 7, version: 42, capacity: 100, state: STATE_LIVE, len: 64 };
+        let bytes = h.encode();
+        assert_eq!(ObjHeader::parse(&bytes), Some(h));
+        assert!(h.is_locked());
+        assert!(h.is_committed());
+    }
+
+    #[test]
+    fn short_buffer() {
+        assert_eq!(ObjHeader::parse(&[0; 8]), None);
+    }
+
+    #[test]
+    fn zeroed_header_is_free_unlocked() {
+        let h = ObjHeader::parse(&[0; HEADER]).unwrap();
+        assert_eq!(h.state, STATE_FREE);
+        assert!(!h.is_locked());
+        assert!(!h.is_committed());
+    }
+}

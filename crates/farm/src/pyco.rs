@@ -1,0 +1,99 @@
+//! PyCo: the fast-restart memory driver (paper §5.3).
+//!
+//! In production FaRM, region memory is owned by a kernel driver ("PyCo")
+//! that grabs physical memory at boot; the FaRM process maps it in. If the
+//! *process* crashes, the memory survives and the restarted process
+//! re-attaches, avoiding data loss and hours of re-replication. A *machine*
+//! reboot or power cycle loses the memory.
+//!
+//! Here the driver is a registry of segment handles keyed by (machine,
+//! region). [`crate::FarmCluster::crash_process`] drops the process-side
+//! state but leaves this registry intact; `reboot_machine` clears it.
+
+use crate::addr::RegionId;
+use a1_rdma::{MachineId, Segment};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The simulated kernel driver holding region memory per machine.
+#[derive(Default)]
+pub struct PycoDriver {
+    segments: Mutex<HashMap<(u32, u32), Arc<Segment>>>,
+}
+
+impl PycoDriver {
+    pub fn new() -> PycoDriver {
+        PycoDriver::default()
+    }
+
+    /// Record a region's memory as owned by the driver on `machine`.
+    pub fn save(&self, machine: MachineId, region: RegionId, seg: Arc<Segment>) {
+        self.segments.lock().insert((machine.0, region.0), seg);
+    }
+
+    /// Segments the driver still holds for `machine` (after a process crash).
+    pub fn segments_for(&self, machine: MachineId) -> Vec<(RegionId, Arc<Segment>)> {
+        self.segments
+            .lock()
+            .iter()
+            .filter(|((m, _), _)| *m == machine.0)
+            .map(|((_, r), seg)| (RegionId(*r), seg.clone()))
+            .collect()
+    }
+
+    /// A machine reboot or power cycle wipes the driver's memory.
+    pub fn clear_machine(&self, machine: MachineId) {
+        self.segments.lock().retain(|(m, _), _| *m != machine.0);
+    }
+
+    /// Remove one region's memory (region deleted or migrated away).
+    pub fn forget(&self, machine: MachineId, region: RegionId) {
+        self.segments.lock().remove(&(machine.0, region.0));
+    }
+
+    pub fn holds(&self, machine: MachineId, region: RegionId) -> bool {
+        self.segments.lock().contains_key(&(machine.0, region.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_and_recover() {
+        let pyco = PycoDriver::new();
+        let seg = Segment::new(64);
+        seg.write(0, &[42]).unwrap();
+        pyco.save(MachineId(1), RegionId(3), seg);
+        assert!(pyco.holds(MachineId(1), RegionId(3)));
+
+        let recovered = pyco.segments_for(MachineId(1));
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].0, RegionId(3));
+        // Memory content survived the "process crash".
+        assert_eq!(&recovered[0].1.read(0, 1).unwrap()[..], &[42]);
+        assert!(pyco.segments_for(MachineId(2)).is_empty());
+    }
+
+    #[test]
+    fn reboot_wipes() {
+        let pyco = PycoDriver::new();
+        pyco.save(MachineId(1), RegionId(3), Segment::new(64));
+        pyco.save(MachineId(2), RegionId(4), Segment::new(64));
+        pyco.clear_machine(MachineId(1));
+        assert!(!pyco.holds(MachineId(1), RegionId(3)));
+        assert!(pyco.holds(MachineId(2), RegionId(4)), "other machines unaffected");
+    }
+
+    #[test]
+    fn forget_single_region() {
+        let pyco = PycoDriver::new();
+        pyco.save(MachineId(1), RegionId(3), Segment::new(64));
+        pyco.save(MachineId(1), RegionId(4), Segment::new(64));
+        pyco.forget(MachineId(1), RegionId(3));
+        assert!(!pyco.holds(MachineId(1), RegionId(3)));
+        assert!(pyco.holds(MachineId(1), RegionId(4)));
+    }
+}

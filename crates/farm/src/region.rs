@@ -1,0 +1,301 @@
+//! Regions: replicated memory plus primary-side metadata.
+//!
+//! A region's *data* lives in a fabric [`Segment`] (registered memory, the
+//! target of one-sided verbs) and is byte-identical across primary and
+//! backups. The primary additionally keeps process-local metadata: the
+//! allocator, the MVCC old-version store (FaRMv2 keeps old versions outside
+//! region memory at primaries), and the deferred-free queue used to delay
+//! block reuse until no active snapshot can still read the freed object.
+
+use crate::addr::RegionId;
+use crate::alloc::RegionAllocator;
+use crate::layout::{ObjHeader, HEADER, STATE_FREE};
+use a1_rdma::Segment;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One old version of an object, kept for snapshot readers.
+#[derive(Debug, Clone)]
+pub struct OldVersion {
+    /// Commit timestamp at which this version was written.
+    pub version: u64,
+    /// STATE_LIVE or STATE_TOMBSTONE at that version.
+    pub state: u32,
+    /// Payload bytes (length = `len`).
+    pub payload: Box<[u8]>,
+    pub len: u32,
+}
+
+/// Primary-side metadata for a region.
+#[derive(Debug)]
+pub struct RegionMeta {
+    pub alloc: RegionAllocator,
+    /// offset → old versions, newest first.
+    versions: HashMap<u32, Vec<OldVersion>>,
+    /// (free commit ts, offset, capacity): blocks freed but not yet reusable.
+    deferred_free: Vec<(u64, u32, u32)>,
+    /// Snapshots older than this cannot be served from this replica: a
+    /// promoted backup has no version history (FaRMv2 keeps old versions at
+    /// primaries only), so reads at `ts < history_floor` get
+    /// `SnapshotTooOld` instead of a wrong `NotFound`.
+    pub history_floor: u64,
+}
+
+impl RegionMeta {
+    fn new(alloc: RegionAllocator, history_floor: u64) -> RegionMeta {
+        RegionMeta {
+            alloc,
+            versions: HashMap::new(),
+            deferred_free: Vec::new(),
+            history_floor,
+        }
+    }
+
+    /// Record `old` as the previous version of the object at `off`, where the
+    /// object's new current version is `new_version`. Prunes entries no
+    /// active snapshot (≥ `watermark`) can read.
+    pub fn push_old_version(&mut self, off: u32, old: OldVersion, new_version: u64, watermark: u64) {
+        let chain = self.versions.entry(off).or_default();
+        chain.insert(0, old);
+        Self::prune_chain(chain, new_version, watermark);
+        if chain.is_empty() {
+            self.versions.remove(&off);
+        }
+    }
+
+    /// Keep an old version `v` only while some snapshot `r ≥ watermark` could
+    /// read it — i.e. while the next-newer version is still > watermark.
+    fn prune_chain(chain: &mut Vec<OldVersion>, current_version: u64, watermark: u64) {
+        let mut newer = current_version;
+        let mut keep = chain.len();
+        for (i, v) in chain.iter().enumerate() {
+            if newer <= watermark {
+                keep = i;
+                break;
+            }
+            newer = v.version;
+        }
+        chain.truncate(keep);
+    }
+
+    /// Find the newest old version with `version <= ts`.
+    pub fn snapshot_lookup(&self, off: u32, ts: u64) -> Option<&OldVersion> {
+        self.versions.get(&off)?.iter().find(|v| v.version <= ts)
+    }
+
+    pub fn defer_free(&mut self, commit_ts: u64, off: u32, capacity: u32) {
+        self.deferred_free.push((commit_ts, off, capacity));
+    }
+
+    /// Blocks whose free committed before `watermark` — safe to reuse.
+    /// Returns the reclaimed (offset, capacity) pairs; the caller rewrites
+    /// their headers to FREE in region memory.
+    pub fn take_reclaimable(&mut self, watermark: u64) -> Vec<(u32, u32)> {
+        let mut reclaimed = Vec::new();
+        self.deferred_free.retain(|&(ts, off, cap)| {
+            // Safe once every active snapshot is at or past the free: they
+            // all observe the tombstone, never the reclaimed payload.
+            if ts <= watermark {
+                reclaimed.push((off, cap));
+                false
+            } else {
+                true
+            }
+        });
+        for &(off, cap) in &reclaimed {
+            self.versions.remove(&off);
+            self.alloc.free(off, cap);
+        }
+        reclaimed
+    }
+
+    pub fn version_chains(&self) -> usize {
+        self.versions.len()
+    }
+
+    pub fn deferred_free_len(&self) -> usize {
+        self.deferred_free.len()
+    }
+}
+
+/// A hosted region replica. `meta` is `Some` at the primary.
+pub struct Region {
+    pub id: RegionId,
+    pub seg: Arc<Segment>,
+    meta: Mutex<Option<RegionMeta>>,
+    len: usize,
+}
+
+impl Region {
+    /// Create a fresh region (zeroed memory). Primary replicas get metadata.
+    pub fn create(id: RegionId, len: usize, primary: bool) -> Arc<Region> {
+        let seg = Segment::new(len);
+        let meta = primary.then(|| RegionMeta::new(RegionAllocator::new(len), 0));
+        Arc::new(Region { id, seg, meta: Mutex::new(meta), len })
+    }
+
+    /// Attach to existing memory (fast restart from PyCo, or promotion after
+    /// a copy). `rebuild_meta` scans headers to reconstruct the allocator.
+    pub fn attach(id: RegionId, seg: Arc<Segment>, len: usize) -> Arc<Region> {
+        Arc::new(Region { id, seg, meta: Mutex::new(None), len })
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn is_primary(&self) -> bool {
+        self.meta.lock().is_some()
+    }
+
+    /// Run `f` with the primary metadata. Returns `None` on a backup.
+    pub fn with_meta<T>(&self, f: impl FnOnce(&mut RegionMeta) -> T) -> Option<T> {
+        self.meta.lock().as_mut().map(f)
+    }
+
+    /// Rebuild primary metadata by scanning block headers (promotion after a
+    /// failure, or fast restart §5.3). Also clears stale lock words left by
+    /// transactions that died with the previous primary/process, and returns
+    /// tombstoned blocks to the deferred-free queue (reclaimable once the
+    /// watermark passes; ts 0 means "immediately").
+    pub fn rebuild_meta(&self, history_floor: u64) {
+        let data = self.seg.clone_bytes();
+        let (alloc, tombstones) = RegionAllocator::rebuild(&data, self.len);
+        let mut meta = RegionMeta::new(alloc, history_floor);
+        for (off, cap) in tombstones {
+            meta.defer_free(0, off, cap);
+        }
+        // Clear stale locks: any nonzero lock word belongs to a dead txn.
+        let mut pos = crate::alloc::FIRST_OFFSET as usize;
+        while pos + HEADER <= self.len {
+            let Some(h) = ObjHeader::parse(&data[pos..pos + HEADER]) else { break };
+            if h.capacity == 0 {
+                break;
+            }
+            if h.lock != 0 {
+                self.seg.write(pos, &0u64.to_le_bytes());
+            }
+            let Some(class) = crate::alloc::class_for_capacity(h.capacity) else { break };
+            pos += crate::alloc::block_size(class);
+        }
+        *self.meta.lock() = Some(meta);
+    }
+
+    /// Drop primary metadata (demotion to backup — not used in normal
+    /// operation, but exercised by tests).
+    pub fn demote(&self) {
+        *self.meta.lock() = None;
+    }
+
+    /// Rewrite reclaimed block headers to FREE state in region memory.
+    pub fn clear_reclaimed_headers(&self, reclaimed: &[(u32, u32)]) {
+        for &(off, cap) in reclaimed {
+            let h = ObjHeader { lock: 0, version: 0, capacity: cap, state: STATE_FREE, len: 0 };
+            self.seg.write(off as usize, &h.encode());
+        }
+    }
+}
+
+impl std::fmt::Debug for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Region")
+            .field("id", &self.id)
+            .field("len", &self.len)
+            .field("primary", &self.is_primary())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{STATE_LIVE, STATE_TOMBSTONE};
+
+    fn old(v: u64) -> OldVersion {
+        OldVersion { version: v, state: STATE_LIVE, payload: vec![v as u8].into(), len: 1 }
+    }
+
+    fn meta_for_test() -> RegionMeta {
+        RegionMeta::new(RegionAllocator::new(4096), 0)
+    }
+
+    #[test]
+    fn version_chain_lookup() {
+        let mut meta = meta_for_test();
+        // History: v10, then v20, then current v30. Watermark far back.
+        meta.push_old_version(100, old(10), 20, 1);
+        meta.push_old_version(100, old(20), 30, 1);
+        assert_eq!(meta.snapshot_lookup(100, 25).unwrap().version, 20);
+        assert_eq!(meta.snapshot_lookup(100, 15).unwrap().version, 10);
+        assert_eq!(meta.snapshot_lookup(100, 10).unwrap().version, 10);
+        assert!(meta.snapshot_lookup(100, 5).is_none());
+        assert!(meta.snapshot_lookup(999, 25).is_none());
+    }
+
+    #[test]
+    fn version_chain_pruning() {
+        let mut meta = meta_for_test();
+        meta.push_old_version(100, old(10), 20, 1);
+        // Watermark 25 ≥ 20(newer of v10) → v10 is dead once v20 arrives:
+        meta.push_old_version(100, old(20), 30, 25);
+        assert!(meta.snapshot_lookup(100, 15).is_none(), "v10 pruned");
+        assert_eq!(meta.snapshot_lookup(100, 29).unwrap().version, 20);
+        // Watermark past current → everything prunable on next push.
+        meta.push_old_version(100, old(30), 40, 50);
+        assert_eq!(meta.version_chains(), 0);
+    }
+
+    #[test]
+    fn deferred_free_respects_watermark() {
+        let mut meta = meta_for_test();
+        let (off, cap) = meta.alloc.alloc(40).unwrap();
+        meta.defer_free(100, off, cap);
+        assert_eq!(meta.take_reclaimable(50), vec![]);
+        assert_eq!(meta.deferred_free_len(), 1);
+        let got = meta.take_reclaimable(101);
+        assert_eq!(got, vec![(off, cap)]);
+        assert_eq!(meta.deferred_free_len(), 0);
+        // The block is reusable now.
+        let (off2, _) = meta.alloc.alloc(40).unwrap();
+        assert_eq!(off2, off);
+    }
+
+    #[test]
+    fn rebuild_clears_stale_locks() {
+        let region = Region::create(RegionId(1), 4096, true);
+        let (off, cap) = region.with_meta(|m| m.alloc.alloc(40).unwrap()).unwrap();
+        let h = ObjHeader { lock: 77, version: 5, capacity: cap, state: STATE_LIVE, len: 4 };
+        region.seg.write(off as usize, &h.encode());
+        region.rebuild_meta(9);
+        let raw = region.seg.read(off as usize, HEADER).unwrap();
+        let h2 = ObjHeader::parse(&raw).unwrap();
+        assert_eq!(h2.lock, 0, "stale lock cleared");
+        assert_eq!(h2.version, 5, "data preserved");
+        assert_eq!(region.with_meta(|m| m.alloc.live_blocks()).unwrap(), 1);
+    }
+
+    #[test]
+    fn rebuild_requeues_tombstones() {
+        let region = Region::create(RegionId(1), 4096, true);
+        let (off, cap) = region.with_meta(|m| m.alloc.alloc(40).unwrap()).unwrap();
+        let h = ObjHeader { lock: 0, version: 5, capacity: cap, state: STATE_TOMBSTONE, len: 4 };
+        region.seg.write(off as usize, &h.encode());
+        region.rebuild_meta(9);
+        let reclaimed = region.with_meta(|m| m.take_reclaimable(1)).unwrap();
+        assert_eq!(reclaimed, vec![(off, cap)]);
+    }
+
+    #[test]
+    fn backup_has_no_meta() {
+        let region = Region::attach(RegionId(2), Segment::new(1024), 1024);
+        assert!(!region.is_primary());
+        assert!(region.with_meta(|_| ()).is_none());
+        region.rebuild_meta(9);
+        assert!(region.is_primary());
+    }
+}

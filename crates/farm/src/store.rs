@@ -1,0 +1,167 @@
+//! Per-machine region hosting: the FaRM process state on one machine.
+
+use crate::addr::RegionId;
+use crate::pyco::PycoDriver;
+use crate::region::Region;
+use a1_rdma::{Fabric, MachineId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The process-local state of a FaRM machine: the regions it hosts (primary
+/// or backup). The underlying region *memory* is owned by the PyCo driver;
+/// this struct is exactly what a process crash destroys (§5.3).
+pub struct FarmMachine {
+    id: MachineId,
+    fabric: Arc<Fabric>,
+    regions: RwLock<HashMap<u32, Arc<Region>>>,
+}
+
+impl FarmMachine {
+    pub fn new(id: MachineId, fabric: Arc<Fabric>) -> Arc<FarmMachine> {
+        Arc::new(FarmMachine { id, fabric, regions: RwLock::new(HashMap::new()) })
+    }
+
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// Host a brand-new region replica. Registers the memory with the fabric
+    /// (making it the target of one-sided verbs) and with PyCo.
+    pub fn host_new_region(
+        &self,
+        id: RegionId,
+        len: usize,
+        primary: bool,
+        pyco: &PycoDriver,
+    ) -> Arc<Region> {
+        let region = Region::create(id, len, primary);
+        self.install(region.clone(), pyco);
+        region
+    }
+
+    /// Host a region from existing bytes (re-replication copy target).
+    pub fn host_region_from_bytes(
+        &self,
+        id: RegionId,
+        bytes: Vec<u8>,
+        pyco: &PycoDriver,
+    ) -> Arc<Region> {
+        let len = bytes.len();
+        let region = Region::attach(id, a1_rdma::Segment::from_bytes(bytes), len);
+        self.install(region.clone(), pyco);
+        region
+    }
+
+    /// Re-attach regions surviving in PyCo after a process crash. The caller
+    /// decides (via CM metadata) which are primaries needing metadata rebuild.
+    pub fn reattach_from_pyco(&self, pyco: &PycoDriver) -> Vec<Arc<Region>> {
+        let mut out = Vec::new();
+        for (rid, seg) in pyco.segments_for(self.id) {
+            let len = seg.len();
+            let region = Region::attach(rid, seg, len);
+            // Already in pyco; just register with fabric + process map.
+            if let Ok(m) = self.fabric.machine(self.id) {
+                m.register_segment(rid.0 as u64, region.seg.clone());
+            }
+            self.regions.write().insert(rid.0, region.clone());
+            out.push(region);
+        }
+        out
+    }
+
+    fn install(&self, region: Arc<Region>, pyco: &PycoDriver) {
+        if let Ok(m) = self.fabric.machine(self.id) {
+            m.register_segment(region.id.0 as u64, region.seg.clone());
+        }
+        pyco.save(self.id, region.id, region.seg.clone());
+        self.regions.write().insert(region.id.0, region);
+    }
+
+    pub fn region(&self, id: RegionId) -> Option<Arc<Region>> {
+        self.regions.read().get(&id.0).cloned()
+    }
+
+    /// Regions where this machine is primary *and* that have allocator space
+    /// candidates — used by local-affinity allocation.
+    pub fn primary_regions(&self) -> Vec<Arc<Region>> {
+        self.regions.read().values().filter(|r| r.is_primary()).cloned().collect()
+    }
+
+    pub fn hosted_regions(&self) -> Vec<Arc<Region>> {
+        self.regions.read().values().cloned().collect()
+    }
+
+    /// Drop a single region (deletion/migration).
+    pub fn drop_region(&self, id: RegionId, pyco: &PycoDriver) {
+        self.regions.write().remove(&id.0);
+        if let Ok(m) = self.fabric.machine(self.id) {
+            m.unregister_segment(id.0 as u64);
+        }
+        pyco.forget(self.id, id);
+    }
+
+    /// Simulate a process crash: all process state vanishes. PyCo keeps the
+    /// memory; fabric segments are unregistered (the NIC mapping dies with
+    /// the process).
+    pub fn crash(&self) {
+        let ids: Vec<u32> = self.regions.read().keys().copied().collect();
+        self.regions.write().clear();
+        if let Ok(m) = self.fabric.machine(self.id) {
+            for id in ids {
+                m.unregister_segment(id as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a1_rdma::FabricConfig;
+
+    fn setup() -> (Arc<Fabric>, Arc<FarmMachine>, PycoDriver) {
+        let fabric = Fabric::new(FabricConfig::default());
+        let m = FarmMachine::new(MachineId(0), fabric.clone());
+        (fabric, m, PycoDriver::new())
+    }
+
+    #[test]
+    fn host_and_read_via_fabric() {
+        let (fabric, m, pyco) = setup();
+        let region = m.host_new_region(RegionId(5), 1024, true, &pyco);
+        region.seg.write(100, &[7, 8]).unwrap();
+        // Another machine can one-sided read it.
+        let bytes = fabric.read(MachineId(1), MachineId(0), 5, 100, 2).unwrap();
+        assert_eq!(&bytes[..], &[7, 8]);
+        assert!(m.region(RegionId(5)).unwrap().is_primary());
+        assert_eq!(m.primary_regions().len(), 1);
+    }
+
+    #[test]
+    fn crash_loses_process_state_not_memory() {
+        let (fabric, m, pyco) = setup();
+        let region = m.host_new_region(RegionId(5), 1024, true, &pyco);
+        region.seg.write(64, &[1, 2, 3]).unwrap();
+        m.crash();
+        assert!(m.region(RegionId(5)).is_none());
+        assert!(fabric.read(MachineId(1), MachineId(0), 5, 64, 3).is_err());
+
+        // Fast restart: reattach from pyco; bytes intact.
+        let regions = m.reattach_from_pyco(&pyco);
+        assert_eq!(regions.len(), 1);
+        let bytes = fabric.read(MachineId(1), MachineId(0), 5, 64, 3).unwrap();
+        assert_eq!(&bytes[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn host_from_bytes_copies() {
+        let (fabric, m, pyco) = setup();
+        m.host_region_from_bytes(RegionId(9), vec![9u8; 256], &pyco);
+        let bytes = fabric.read(MachineId(0), MachineId(0), 9, 0, 4).unwrap();
+        assert_eq!(&bytes[..], &[9, 9, 9, 9]);
+        m.drop_region(RegionId(9), &pyco);
+        assert!(m.region(RegionId(9)).is_none());
+        assert!(!pyco.holds(MachineId(0), RegionId(9)));
+    }
+}

@@ -1,0 +1,408 @@
+//! FaRMv2-style transactions: strictly serializable optimistic concurrency
+//! with opacity via multi-versioning (paper §2.1, §5.2).
+//!
+//! * Every transaction takes a **read timestamp** from the global clock and
+//!   reads a consistent snapshot at that time. This is the opacity property:
+//!   even a transaction that will later abort never observes a torn or
+//!   inconsistent state (the linked-list example of §5.2 cannot happen).
+//! * **Read-only transactions** never lock, never validate, never abort
+//!   (in `V2Mvcc` mode): old versions at primaries serve their snapshot.
+//! * **Read-write transactions** buffer writes locally (`OpenForWrite`
+//!   semantics); commit locks the write set with one-sided CAS, takes a
+//!   commit timestamp, validates the read set, applies + replicates to
+//!   backups, and unlocks.
+//! * **`V1Occ` mode** (the ablation) disables multi-versioning: reads return
+//!   the latest committed version and *every* transaction — including
+//!   read-only queries — must validate at commit, reproducing the
+//!   high-abort-rate pathology §5.2 describes.
+
+use crate::addr::{Addr, Ptr};
+use crate::cluster::FarmCluster;
+use crate::clock::TsGuard;
+use crate::error::{FarmError, FarmResult};
+use crate::layout::{ObjHeader, HEADER, STATE_LIVE, STATE_TOMBSTONE};
+use a1_rdma::MachineId;
+use bytes::Bytes;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Concurrency-control mode (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnMode {
+    /// FaRMv1: latest-version reads, commit-time validation for everyone.
+    V1Occ,
+    /// FaRMv2: snapshot reads with MVCC; read-only transactions never abort.
+    V2Mvcc,
+}
+
+/// Allocation placement hint (paper §2.1): `Near` co-locates an object with
+/// an existing one in the same region — the mechanism behind vertex/edge-list
+/// locality (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hint {
+    /// Allocate on the transaction's origin machine.
+    Local,
+    /// Allocate in the same region as this address if space permits.
+    Near(Addr),
+    /// Allocate on a specific machine.
+    Machine(MachineId),
+}
+
+/// An immutable local copy of an object, as returned by reads (the paper's
+/// `ObjBuf`).
+#[derive(Debug, Clone)]
+pub struct ObjBuf {
+    pub ptr: Ptr,
+    /// Version (commit timestamp) of the copy. 0 for objects allocated by
+    /// this transaction and not yet committed.
+    pub version: u64,
+    /// Payload capacity of the underlying block.
+    pub capacity: u32,
+    pub(crate) data: Bytes,
+}
+
+impl ObjBuf {
+    /// A pointer-only placeholder for cache-served routing steps (never
+    /// passed to `update`).
+    pub(crate) fn routing_placeholder(ptr: Ptr) -> ObjBuf {
+        ObjBuf { ptr, version: 0, capacity: 0, data: Bytes::new() }
+    }
+
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    pub fn addr(&self) -> Addr {
+        self.ptr.addr
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[derive(Debug)]
+pub(crate) enum WriteOp {
+    Update { read_version: u64, capacity: u32, data: Vec<u8> },
+    Alloc { capacity: u32, data: Vec<u8> },
+    Free { read_version: u64, capacity: u32 },
+}
+
+/// A FaRM transaction. Obtain via [`FarmCluster::begin`],
+/// [`FarmCluster::begin_read_only`], or [`FarmCluster::run`].
+pub struct Txn {
+    cluster: Arc<FarmCluster>,
+    origin: MachineId,
+    read_ts: u64,
+    tx_id: u64,
+    mode: TxnMode,
+    read_only: bool,
+    _guard: Option<TsGuard>,
+    read_set: HashMap<Addr, u64>,
+    pub(crate) writes: BTreeMap<Addr, WriteOp>,
+    finished: bool,
+}
+
+impl Txn {
+    pub(crate) fn new(
+        cluster: Arc<FarmCluster>,
+        origin: MachineId,
+        read_ts: u64,
+        tx_id: u64,
+        mode: TxnMode,
+        read_only: bool,
+        guard: Option<TsGuard>,
+    ) -> Txn {
+        Txn {
+            cluster,
+            origin,
+            read_ts,
+            tx_id,
+            mode,
+            read_only,
+            _guard: guard,
+            read_set: HashMap::new(),
+            writes: BTreeMap::new(),
+            finished: false,
+        }
+    }
+
+    pub fn read_ts(&self) -> u64 {
+        self.read_ts
+    }
+
+    pub fn origin(&self) -> MachineId {
+        self.origin
+    }
+
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Read an object. In `V2Mvcc`, the result is the object's state at this
+    /// transaction's snapshot; read-write transactions whose snapshot is
+    /// already stale abort immediately with `Conflict` (they could never
+    /// commit).
+    pub fn read(&mut self, ptr: Ptr) -> FarmResult<ObjBuf> {
+        self.check_open()?;
+        // Read-your-writes.
+        if let Some(op) = self.writes.get(&ptr.addr) {
+            return match op {
+                WriteOp::Update { read_version, capacity, data } => Ok(ObjBuf {
+                    ptr,
+                    version: *read_version,
+                    capacity: *capacity,
+                    data: Bytes::from(data.clone()),
+                }),
+                WriteOp::Alloc { capacity, data } => Ok(ObjBuf {
+                    ptr,
+                    version: 0,
+                    capacity: *capacity,
+                    data: Bytes::from(data.clone()),
+                }),
+                WriteOp::Free { .. } => Err(FarmError::NotFound(ptr.addr)),
+            };
+        }
+        let buf = self.read_versioned(ptr)?;
+        if !self.read_only || self.mode == TxnMode::V1Occ {
+            self.read_set.insert(ptr.addr, buf.version);
+        }
+        Ok(buf)
+    }
+
+    /// Read by raw address and size.
+    pub fn read_addr(&mut self, addr: Addr, size: u32) -> FarmResult<ObjBuf> {
+        self.read(Ptr::new(addr, size))
+    }
+
+    /// Unvalidated latest-version read for *routing* data (B-tree internal
+    /// nodes, §3.1): never recorded in the read set and never snapshotted.
+    /// Correctness comes from fence-key checks plus validated leaf reads.
+    pub fn read_for_routing(&mut self, ptr: Ptr) -> FarmResult<ObjBuf> {
+        self.check_open()?;
+        if self.writes.contains_key(&ptr.addr) {
+            return self.read(ptr);
+        }
+        let (h, payload) = self.cluster.read_raw(self.origin, ptr)?;
+        if !h.is_committed() || h.state != STATE_LIVE {
+            return Err(FarmError::NotFound(ptr.addr));
+        }
+        Ok(ObjBuf { ptr, version: h.version, capacity: h.capacity, data: payload })
+    }
+
+    fn read_versioned(&mut self, ptr: Ptr) -> FarmResult<ObjBuf> {
+        let (h, payload) = self.cluster.read_raw(self.origin, ptr)?;
+        if !h.is_committed() {
+            return Err(FarmError::NotFound(ptr.addr));
+        }
+        if h.version <= self.read_ts || self.mode == TxnMode::V1Occ {
+            if self.mode == TxnMode::V1Occ && h.version > self.read_ts {
+                // Non-opaque read: the snapshot this txn started from no
+                // longer holds. Counted for the §5.2 ablation.
+                self.cluster.note_opacity_risk();
+            }
+            if h.state == STATE_TOMBSTONE {
+                return Err(FarmError::NotFound(ptr.addr));
+            }
+            return Ok(ObjBuf { ptr, version: h.version, capacity: h.capacity, data: payload });
+        }
+        // Version is newer than our snapshot.
+        if !self.read_only {
+            // A read-write transaction reading a stale object is doomed;
+            // abort early (opacity-preserving clean failure).
+            return Err(FarmError::Conflict);
+        }
+        // Read-only: serve from the old-version store at the primary.
+        self.cluster.read_old_version(self.origin, ptr, self.read_ts)
+    }
+
+    /// Allocate a new object of `size` payload bytes initialized to `data`
+    /// (`data.len() <= size`). The object becomes visible at commit.
+    pub fn alloc(&mut self, size: usize, hint: Hint, data: &[u8]) -> FarmResult<Ptr> {
+        self.check_open()?;
+        if self.read_only {
+            return Err(FarmError::Usage("alloc in read-only transaction"));
+        }
+        if data.len() > size {
+            return Err(FarmError::Usage("init data longer than object size"));
+        }
+        if size == 0 || size > crate::alloc::MAX_PAYLOAD {
+            return Err(FarmError::InvalidSize(size));
+        }
+        let (ptr, capacity) = self.cluster.alloc_object(self.origin, size, hint)?;
+        self.writes.insert(ptr.addr, WriteOp::Alloc { capacity, data: data.to_vec() });
+        Ok(ptr)
+    }
+
+    /// Replace an object's payload. Requires a prior read of the object in
+    /// this transaction (the paper's `OpenForWrite(buf)`), and the new data
+    /// must fit in the block's capacity — growing requires realloc
+    /// (alloc + free), which is what A1 does for vertex data (§3.2).
+    pub fn update(&mut self, buf: &ObjBuf, data: Vec<u8>) -> FarmResult<()> {
+        self.check_open()?;
+        if self.read_only {
+            return Err(FarmError::Usage("update in read-only transaction"));
+        }
+        if data.len() > buf.capacity as usize {
+            return Err(FarmError::Usage("update larger than block capacity; realloc instead"));
+        }
+        match self.writes.get_mut(&buf.addr()) {
+            Some(WriteOp::Alloc { data: d, .. }) => {
+                *d = data;
+                Ok(())
+            }
+            Some(WriteOp::Update { data: d, .. }) => {
+                *d = data;
+                Ok(())
+            }
+            Some(WriteOp::Free { .. }) => Err(FarmError::Usage("update after free")),
+            None => {
+                self.writes.insert(
+                    buf.addr(),
+                    WriteOp::Update {
+                        read_version: buf.version,
+                        capacity: buf.capacity,
+                        data,
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Free an object (visible at commit; the block is reused only after all
+    /// snapshots that might read it have finished).
+    pub fn free(&mut self, buf: &ObjBuf) -> FarmResult<()> {
+        self.check_open()?;
+        if self.read_only {
+            return Err(FarmError::Usage("free in read-only transaction"));
+        }
+        match self.writes.get(&buf.addr()) {
+            Some(WriteOp::Alloc { .. }) => {
+                // Never visible: roll the eager reservation back right away.
+                self.writes.remove(&buf.addr());
+                self.cluster.rollback_alloc(buf.ptr, buf.capacity);
+                Ok(())
+            }
+            Some(WriteOp::Free { .. }) => Err(FarmError::Usage("double free")),
+            Some(WriteOp::Update { .. }) | None => {
+                self.writes.insert(
+                    buf.addr(),
+                    WriteOp::Free { read_version: buf.version, capacity: buf.capacity },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Commit. Returns the commit timestamp (or the read timestamp for
+    /// read-only/empty transactions).
+    pub fn commit(mut self) -> FarmResult<u64> {
+        self.check_open()?;
+        self.finished = true;
+
+        if self.writes.is_empty() {
+            // V1 read-only validation: latest-version reads must still hold.
+            if self.mode == TxnMode::V1Occ && !self.read_set.is_empty() {
+                let reads: Vec<(Addr, u64)> =
+                    self.read_set.iter().map(|(a, v)| (*a, *v)).collect();
+                if let Err(e) = self.cluster.validate_reads(self.origin, &reads) {
+                    self.cluster.note_abort();
+                    return Err(e);
+                }
+            }
+            self.cluster.note_commit();
+            return Ok(self.read_ts);
+        }
+
+        debug_assert!(!self.read_only);
+        let result = self.cluster.commit_writes(
+            self.origin,
+            self.tx_id,
+            &self.read_set,
+            &mut self.writes,
+        );
+        match result {
+            Ok(ts) => {
+                self.cluster.note_commit();
+                self.writes.clear();
+                Ok(ts)
+            }
+            Err(e) => {
+                self.cluster.note_abort();
+                self.rollback_allocs();
+                Err(e)
+            }
+        }
+    }
+
+    /// Abort, rolling back eager allocations.
+    pub fn abort(mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.rollback_allocs();
+            self.cluster.note_abort();
+        }
+    }
+
+    fn rollback_allocs(&mut self) {
+        let allocs: Vec<(Addr, u32)> = self
+            .writes
+            .iter()
+            .filter_map(|(addr, op)| match op {
+                WriteOp::Alloc { capacity, .. } => Some((*addr, *capacity)),
+                _ => None,
+            })
+            .collect();
+        for (addr, cap) in allocs {
+            self.writes.remove(&addr);
+            self.cluster.rollback_alloc(Ptr::new(addr, cap), cap);
+        }
+    }
+
+    fn check_open(&self) -> FarmResult<()> {
+        if self.finished {
+            Err(FarmError::TxnClosed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Number of buffered writes (diagnostics).
+    pub fn write_set_len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Number of recorded reads (diagnostics).
+    pub fn read_set_len(&self) -> usize {
+        self.read_set.len()
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.rollback_allocs();
+            self.cluster.note_abort();
+        }
+    }
+}
+
+/// Compose the on-wire bytes for an object: header + payload.
+pub(crate) fn compose_object(
+    version: u64,
+    capacity: u32,
+    state: u32,
+    data: &[u8],
+) -> Vec<u8> {
+    let h = ObjHeader { lock: 0, version, capacity, state, len: data.len() as u32 };
+    let mut bytes = Vec::with_capacity(HEADER + data.len());
+    bytes.extend_from_slice(&h.encode());
+    bytes.extend_from_slice(data);
+    bytes
+}

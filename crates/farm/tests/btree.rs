@@ -1,0 +1,229 @@
+//! Functional and model-based tests for the distributed B+-tree.
+
+use a1_farm::{BTree, BTreeConfig, FarmCluster, FarmConfig, Hint, MachineId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn cluster() -> Arc<FarmCluster> {
+    FarmCluster::start(FarmConfig::small(3))
+}
+
+fn small_tree(c: &Arc<FarmCluster>) -> BTree {
+    let cfg = BTreeConfig { max_keys: 4, max_key_len: 32, max_val_len: 32 };
+    c.run(MachineId(0), |tx| BTree::create(tx, cfg, Hint::Local)).unwrap()
+}
+
+#[test]
+fn insert_get_remove() {
+    let c = cluster();
+    let tree = small_tree(&c);
+    c.run(MachineId(0), |tx| {
+        assert_eq!(tree.insert(tx, b"hello", b"world")?, None);
+        assert_eq!(tree.get(tx, b"hello")?, Some(b"world".to_vec()));
+        assert_eq!(tree.get(tx, b"missing")?, None);
+        assert_eq!(tree.insert(tx, b"hello", b"there")?, Some(b"world".to_vec()));
+        Ok(())
+    })
+    .unwrap();
+    // Separate transaction sees committed state.
+    c.run(MachineId(1), |tx| {
+        assert_eq!(tree.get(tx, b"hello")?, Some(b"there".to_vec()));
+        assert_eq!(tree.remove(tx, b"hello")?, Some(b"there".to_vec()));
+        assert_eq!(tree.remove(tx, b"hello")?, None);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn many_inserts_split_and_scan_sorted() {
+    let c = cluster();
+    let tree = small_tree(&c);
+    // 200 keys with max_keys=4 forces multi-level splits.
+    for i in 0..200u32 {
+        let k = format!("key{:04}", (i * 37) % 200);
+        c.run(MachineId(0), |tx| tree.insert(tx, k.as_bytes(), b"v").map(|_| ()))
+            .unwrap();
+    }
+    let mut tx = c.begin_read_only(MachineId(1));
+    let all = tree.scan(&mut tx, &[], &[], usize::MAX).unwrap();
+    assert_eq!(all.len(), 200);
+    for w in all.windows(2) {
+        assert!(w[0].0 < w[1].0, "scan must be sorted");
+    }
+    // Range scan.
+    let range = tree.scan(&mut tx, b"key0010", b"key0020", usize::MAX).unwrap();
+    assert_eq!(range.len(), 10);
+    assert_eq!(range[0].0, b"key0010".to_vec());
+    // Limit.
+    let limited = tree.scan(&mut tx, &[], &[], 7).unwrap();
+    assert_eq!(limited.len(), 7);
+    // Prefix scan.
+    let prefix = tree.scan_prefix(&mut tx, b"key01", usize::MAX).unwrap();
+    assert_eq!(prefix.len(), 100);
+}
+
+#[test]
+fn multi_key_transactionality() {
+    let c = cluster();
+    let tree = small_tree(&c);
+    // A transaction inserting two keys is atomic: a conflicting abort leaves
+    // neither.
+    let r = c.run(MachineId(0), |tx| {
+        tree.insert(tx, b"a", b"1")?;
+        tree.insert(tx, b"b", b"2")?;
+        Ok(())
+    });
+    assert!(r.is_ok());
+    let mut tx = c.begin_read_only(MachineId(0));
+    assert_eq!(tree.get(&mut tx, b"a").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(tree.get(&mut tx, b"b").unwrap(), Some(b"2".to_vec()));
+}
+
+#[test]
+fn concurrent_inserts_all_land() {
+    let c = cluster();
+    let cfg = BTreeConfig { max_keys: 8, max_key_len: 32, max_val_len: 32 };
+    let tree = c.run(MachineId(0), |tx| BTree::create(tx, cfg, Hint::Local)).unwrap();
+    let mut handles = Vec::new();
+    for t in 0..4u32 {
+        let c = c.clone();
+        let tree = tree.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..50u32 {
+                let k = format!("t{}k{:03}", t, i);
+                c.run(MachineId(t % 3), |tx| tree.insert(tx, k.as_bytes(), b"x").map(|_| ()))
+                    .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut tx = c.begin_read_only(MachineId(0));
+    assert_eq!(tree.len(&mut tx).unwrap(), 200);
+}
+
+#[test]
+fn key_value_limits_enforced() {
+    let c = cluster();
+    let tree = small_tree(&c);
+    let mut tx = c.begin(MachineId(0));
+    assert!(tree.insert(&mut tx, &[], b"v").is_err());
+    assert!(tree.insert(&mut tx, &[7; 33], b"v").is_err());
+    assert!(tree.insert(&mut tx, b"k", &[7; 33]).is_err());
+    tx.abort();
+}
+
+#[test]
+fn destroy_frees_everything() {
+    let c = cluster();
+    let tree = small_tree(&c);
+    for i in 0..50u32 {
+        let k = format!("k{i:03}");
+        c.run(MachineId(0), |tx| tree.insert(tx, k.as_bytes(), b"v").map(|_| ()))
+            .unwrap();
+    }
+    let before = c.stats().freed_objects.load(std::sync::atomic::Ordering::Relaxed);
+    c.run(MachineId(0), |tx| tree.destroy(tx)).unwrap();
+    let after = c.stats().freed_objects.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(after - before >= 10, "all nodes + header freed (got {})", after - before);
+    // Lookups now fail.
+    let mut tx = c.begin_read_only(MachineId(0));
+    assert!(tree.get(&mut tx, b"k001").is_err());
+}
+
+#[test]
+fn snapshot_scan_ignores_concurrent_inserts() {
+    let c = cluster();
+    let tree = small_tree(&c);
+    for i in 0..20u32 {
+        let k = format!("k{i:03}");
+        c.run(MachineId(0), |tx| tree.insert(tx, k.as_bytes(), b"v").map(|_| ()))
+            .unwrap();
+    }
+    let mut snap = c.begin_read_only(MachineId(1));
+    // Force the snapshot to be taken before the next writes by reading now.
+    let before = tree.len(&mut snap).unwrap();
+    assert_eq!(before, 20);
+    for i in 20..40u32 {
+        let k = format!("k{i:03}");
+        c.run(MachineId(0), |tx| tree.insert(tx, k.as_bytes(), b"v").map(|_| ()))
+            .unwrap();
+    }
+    // Old snapshot still sees 20; a new one sees 40.
+    assert_eq!(tree.len(&mut snap).unwrap(), 20);
+    let mut fresh = c.begin_read_only(MachineId(2));
+    assert_eq!(tree.len(&mut fresh).unwrap(), 40);
+}
+
+/// Model-based test: random operation sequences match `BTreeMap`.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Remove(Vec<u8>),
+    Get(Vec<u8>),
+    Scan(Vec<u8>, Vec<u8>),
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    // Small key space to maximize collisions and structural churn.
+    (0u8..20, 0u8..4).prop_map(|(a, b)| vec![b'k', a, b])
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_key(), prop::collection::vec(any::<u8>(), 0..8))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        arb_key().prop_map(Op::Remove),
+        arb_key().prop_map(Op::Get),
+        (arb_key(), arb_key()).prop_map(|(a, b)| Op::Scan(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+    #[test]
+    fn matches_btreemap_model(ops in prop::collection::vec(arb_op(), 1..80)) {
+        let c = cluster();
+        let tree = small_tree(&c);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let old = c
+                        .run(MachineId(0), |tx| tree.insert(tx, &k, &v))
+                        .unwrap();
+                    prop_assert_eq!(old, model.insert(k.clone(), v.clone()));
+                }
+                Op::Remove(k) => {
+                    let old = c.run(MachineId(0), |tx| tree.remove(tx, &k)).unwrap();
+                    prop_assert_eq!(old, model.remove(&k));
+                }
+                Op::Get(k) => {
+                    let mut tx = c.begin_read_only(MachineId(1));
+                    prop_assert_eq!(tree.get(&mut tx, &k).unwrap(), model.get(&k).cloned());
+                }
+                Op::Scan(mut lo, mut hi) => {
+                    if lo > hi {
+                        std::mem::swap(&mut lo, &mut hi);
+                    }
+                    let mut tx = c.begin_read_only(MachineId(1));
+                    let got = tree.scan(&mut tx, &lo, &hi, usize::MAX).unwrap();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range(lo.clone()..hi.clone())
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Final full-scan equivalence.
+        let mut tx = c.begin_read_only(MachineId(0));
+        let got = tree.scan(&mut tx, &[], &[], usize::MAX).unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(got, want);
+    }
+}

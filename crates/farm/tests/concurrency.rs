@@ -1,0 +1,268 @@
+//! Concurrency and isolation invariants for the transaction engine:
+//! strict serializability under contention, snapshot stability, and
+//! allocator safety under concurrent churn.
+
+use a1_farm::{FarmCluster, FarmConfig, FarmError, Hint, MachineId, Ptr};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn read_u64(buf: &a1_farm::ObjBuf) -> u64 {
+    u64::from_le_bytes(buf.data()[..8].try_into().unwrap())
+}
+
+/// Bank-transfer invariant: concurrent transfers between accounts never
+/// create or destroy money, and every read-only snapshot observes a
+/// constant total — the classic strict-serializability + snapshot test.
+#[test]
+fn concurrent_transfers_conserve_total() {
+    let farm = FarmCluster::start(FarmConfig::small(4));
+    const ACCOUNTS: usize = 8;
+    const INITIAL: u64 = 1_000;
+    let accounts: Arc<Vec<Ptr>> = Arc::new(
+        (0..ACCOUNTS)
+            .map(|i| {
+                farm.run(MachineId((i % 4) as u32), |tx| {
+                    tx.alloc(8, Hint::Local, &INITIAL.to_le_bytes())
+                })
+                .unwrap()
+            })
+            .collect(),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for t in 0..4u32 {
+        let farm = farm.clone();
+        let accounts = accounts.clone();
+        let stop = stop.clone();
+        writers.push(std::thread::spawn(move || {
+            let mut i = t as usize;
+            while !stop.load(Ordering::Relaxed) {
+                let from = accounts[i % ACCOUNTS];
+                let to = accounts[(i + 1 + t as usize) % ACCOUNTS];
+                i += 1;
+                if from == to {
+                    continue;
+                }
+                let _ = farm.run(MachineId(t % 4), |tx| {
+                    let a = tx.read(from)?;
+                    let b = tx.read(to)?;
+                    let av = read_u64(&a);
+                    let bv = read_u64(&b);
+                    if av == 0 {
+                        return Ok(()); // nothing to move
+                    }
+                    let amt = 1 + av % 7;
+                    tx.update(&a, (av - amt).to_le_bytes().to_vec())?;
+                    tx.update(&b, (bv + amt).to_le_bytes().to_vec())?;
+                    Ok(())
+                });
+            }
+        }));
+    }
+
+    // Read-only snapshots during the storm: the total must be exact.
+    for r in 0..50 {
+        let mut tx = farm.begin_read_only(MachineId((r % 4) as u32));
+        let mut total = 0u64;
+        for ptr in accounts.iter() {
+            total += read_u64(&tx.read(*ptr).unwrap());
+        }
+        assert_eq!(total, INITIAL * ACCOUNTS as u64, "snapshot {r} saw money appear/vanish");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    // Final state too.
+    let mut tx = farm.begin_read_only(MachineId(0));
+    let total: u64 = accounts.iter().map(|p| read_u64(&tx.read(*p).unwrap())).sum();
+    assert_eq!(total, INITIAL * ACCOUNTS as u64);
+}
+
+/// Write skew must be impossible: two transactions that each read both
+/// objects and write one cannot both commit if they overlap.
+#[test]
+fn write_skew_prevented() {
+    let farm = FarmCluster::start(FarmConfig::small(2));
+    // Invariant to attack: a + b >= 1 (both start at 1).
+    let a = farm.run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &1u64.to_le_bytes())).unwrap();
+    let b = farm.run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &1u64.to_le_bytes())).unwrap();
+
+    let mut t1 = farm.begin(MachineId(0));
+    let mut t2 = farm.begin(MachineId(1));
+    // Each checks the invariant across BOTH objects, then zeroes one.
+    let t1_a = t1.read(a).unwrap();
+    let t1_b = t1.read(b).unwrap();
+    assert!(read_u64(&t1_a) + read_u64(&t1_b) >= 2);
+    t1.update(&t1_a, 0u64.to_le_bytes().to_vec()).unwrap();
+
+    let t2_a = t2.read(a).unwrap();
+    let t2_b = t2.read(b).unwrap();
+    assert!(read_u64(&t2_a) + read_u64(&t2_b) >= 2);
+    t2.update(&t2_b, 0u64.to_le_bytes().to_vec()).unwrap();
+
+    let r1 = t1.commit();
+    let r2 = t2.commit();
+    // Serializable: at most one wins (read-set validation catches the skew).
+    assert!(
+        r1.is_ok() ^ r2.is_ok(),
+        "exactly one of the skewed transactions must abort: {r1:?} {r2:?}"
+    );
+    let mut tx = farm.begin_read_only(MachineId(0));
+    let total = read_u64(&tx.read(a).unwrap()) + read_u64(&tx.read(b).unwrap());
+    assert_eq!(total, 1, "invariant a+b >= 1 preserved");
+}
+
+/// Long-running snapshots stay stable while writers churn and GC runs.
+#[test]
+fn snapshot_stability_under_churn_and_gc() {
+    let farm = FarmCluster::start(FarmConfig::small(3));
+    let ptrs: Vec<Ptr> = (0..16)
+        .map(|i| {
+            farm.run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &(i as u64).to_le_bytes()))
+                .unwrap()
+        })
+        .collect();
+    let expected: u64 = (0..16).sum();
+
+    let mut snapshot = farm.begin_read_only(MachineId(1));
+    // Touch one object to pin the snapshot semantics, then churn.
+    assert_eq!(read_u64(&snapshot.read(ptrs[0]).unwrap()), 0);
+    for round in 1..=5u64 {
+        for ptr in &ptrs {
+            farm.run(MachineId(2), |tx| {
+                let buf = tx.read(*ptr)?;
+                let v = read_u64(&buf);
+                tx.update(&buf, (v + round).to_le_bytes().to_vec())
+            })
+            .unwrap();
+        }
+        farm.gc();
+    }
+    // The old snapshot still sums to the original values.
+    let total: u64 = ptrs.iter().map(|p| read_u64(&snapshot.read(*p).unwrap())).sum();
+    assert_eq!(total, expected, "snapshot drifted under churn + GC");
+}
+
+/// Aborted transactions leave no trace — including eager allocations.
+#[test]
+fn aborts_leak_nothing() {
+    let farm = FarmCluster::start(FarmConfig::small(2));
+    let live_before = farm.stats().allocated_objects.load(Ordering::Relaxed);
+    for _ in 0..50 {
+        let mut tx = farm.begin(MachineId(0));
+        let _p1 = tx.alloc(64, Hint::Local, &[1; 64]).unwrap();
+        let _p2 = tx.alloc(128, Hint::Local, &[2; 128]).unwrap();
+        tx.abort();
+    }
+    // Dropped-without-commit transactions roll back too.
+    for _ in 0..10 {
+        let mut tx = farm.begin(MachineId(0));
+        let _ = tx.alloc(64, Hint::Local, &[3; 64]).unwrap();
+        drop(tx);
+    }
+    let live_after = farm.stats().allocated_objects.load(Ordering::Relaxed);
+    assert_eq!(live_before, live_after, "aborted allocations must be rolled back");
+}
+
+/// Property: any serial interleaving of counter increments with random
+/// origins and conflict-retry preserves the exact count (model: u64 sum).
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+    #[test]
+    fn counter_increments_exact(
+        increments in prop::collection::vec(0u32..3, 10..60),
+    ) {
+        let farm = FarmCluster::start(FarmConfig::small(3));
+        let ptr = farm
+            .run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &0u64.to_le_bytes()))
+            .unwrap();
+        for origin in &increments {
+            farm.run(MachineId(*origin), |tx| {
+                let buf = tx.read(ptr)?;
+                let v = read_u64(&buf);
+                tx.update(&buf, (v + 1).to_le_bytes().to_vec())
+            })
+            .unwrap();
+        }
+        let mut tx = farm.begin_read_only(MachineId(0));
+        prop_assert_eq!(read_u64(&tx.read(ptr).unwrap()), increments.len() as u64);
+    }
+
+    /// Allocator safety: random alloc/free sequences never hand out
+    /// overlapping live blocks, across regions and machines.
+    #[test]
+    fn allocations_never_overlap(
+        ops in prop::collection::vec((1usize..2000, prop::bool::ANY), 5..60),
+    ) {
+        let farm = FarmCluster::start(FarmConfig::small(2));
+        let mut live: Vec<(Ptr, usize)> = Vec::new();
+        for (size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (ptr, _) = live.remove(live.len() / 2);
+                farm.run(MachineId(0), |tx| {
+                    let buf = tx.read(ptr)?;
+                    tx.free(&buf)
+                })
+                .unwrap();
+                farm.gc();
+                continue;
+            }
+            let ptr = farm
+                .run(MachineId(0), |tx| tx.alloc(size, Hint::Local, &[0xAB; 1][..].repeat(1).as_slice()[..1.min(size)].to_vec().as_slice()))
+                .unwrap();
+            // Overlap check against every live block in the same region.
+            for (other, other_size) in &live {
+                if other.addr.region() != ptr.addr.region() {
+                    continue;
+                }
+                let (a0, a1) = (ptr.addr.offset() as usize, ptr.addr.offset() as usize + size);
+                let (b0, b1) = (other.addr.offset() as usize, other.addr.offset() as usize + other_size);
+                prop_assert!(a1 <= b0 || b1 <= a0, "overlap: {ptr:?} vs {other:?}");
+            }
+            live.push((ptr, size));
+        }
+        // All live blocks still readable with their size.
+        let mut tx = farm.begin_read_only(MachineId(1));
+        for (ptr, _) in &live {
+            prop_assert!(tx.read(*ptr).is_ok());
+        }
+    }
+}
+
+/// Readers spinning on a locked object eventually succeed (commit releases
+/// locks promptly) rather than erroring.
+#[test]
+fn readers_wait_out_commit_locks() {
+    let farm = FarmCluster::start(FarmConfig::small(2));
+    let ptr = farm
+        .run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &0u64.to_le_bytes()))
+        .unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let farm = farm.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                farm.run(MachineId(0), |tx| {
+                    let buf = tx.read(ptr)?;
+                    let v = read_u64(&buf);
+                    tx.update(&buf, (v + 1).to_le_bytes().to_vec())
+                })
+                .unwrap();
+            }
+        })
+    };
+    let mut failures = 0;
+    for _ in 0..500 {
+        let mut tx = farm.begin_read_only(MachineId(1));
+        if matches!(tx.read(ptr), Err(FarmError::Conflict)) {
+            failures += 1;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    assert_eq!(failures, 0, "read-only snapshots must never fail under write churn");
+}

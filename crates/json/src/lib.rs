@@ -1,0 +1,181 @@
+//! Minimal JSON parser/writer used by the A1QL query language.
+//!
+//! A1 queries are JSON documents (paper §3.4, Fig. 8). This crate implements
+//! the subset of JSON needed by A1QL — which happens to be all of JSON — with
+//! no third-party dependencies. Object key order is preserved (A1QL documents
+//! are small and written by humans; preserving order keeps error messages and
+//! round-trips stable).
+
+mod parse;
+mod write;
+
+pub use parse::{parse, ParseError};
+pub use write::{to_string, to_string_pretty};
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a JSON document from text.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        parse(text)
+    }
+
+    /// Compact serialization.
+    #[allow(clippy::inherent_to_string_shadow_display)]
+    pub fn to_string(&self) -> String {
+        to_string(self)
+    }
+
+    /// Pretty serialization with two-space indents.
+    pub fn to_string_pretty(&self) -> String {
+        to_string_pretty(self)
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer view of a number, when it is integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in an object (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index into an array.
+    pub fn at(&self, idx: usize) -> Option<&Json> {
+        match self {
+            Json::Arr(a) => a.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Build an object from pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let j = Json::obj(vec![
+            ("a", Json::from(1.5)),
+            ("b", Json::from(true)),
+            ("c", Json::from("hi")),
+            ("d", Json::Arr(vec![Json::Null, Json::from(2i64)])),
+        ]);
+        assert_eq!(j.get("a").unwrap().as_f64(), Some(1.5));
+        assert_eq!(j.get("a").unwrap().as_i64(), None);
+        assert_eq!(j.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("c").unwrap().as_str(), Some("hi"));
+        assert!(j.get("d").unwrap().at(0).unwrap().is_null());
+        assert_eq!(j.get("d").unwrap().at(1).unwrap().as_i64(), Some(2));
+        assert!(j.get("zz").is_none());
+        assert!(j.at(0).is_none());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let j = Json::obj(vec![("k", Json::from("v"))]);
+        assert_eq!(format!("{j}"), r#"{"k":"v"}"#);
+    }
+}

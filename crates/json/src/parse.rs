@@ -1,0 +1,356 @@
+//! Recursive-descent JSON parser.
+
+use crate::Json;
+
+/// Maximum nesting depth; A1QL traversals are a handful of hops deep, so this
+/// bound is generous while keeping the parser stack-safe.
+const MAX_DEPTH: usize = 128;
+
+/// Parse failure with byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected literal '{lit}'")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(out)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(out)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let ch = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect \uXXXX low surrogate.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("missing low surrogate"));
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"))?
+                        } else if (0xDC00..0xE000).contains(&hi) {
+                            return Err(self.err("unexpected low surrogate"));
+                        } else {
+                            char::from_u32(hi).ok_or_else(|| self.err("invalid codepoint"))?
+                        };
+                        out.push(ch);
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(c) => {
+                    // Re-assemble UTF-8 multibyte sequences from the raw input.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = utf8_len(c).ok_or_else(|| self.err("invalid utf-8"))?;
+                        let end = start + len;
+                        if end > self.bytes.len() {
+                            return Err(self.err("truncated utf-8"));
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid utf-8"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char).to_digit(16).ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a single 0, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        let n: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0xC2..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF4 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Json {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(p("null"), Json::Null);
+        assert_eq!(p("true"), Json::Bool(true));
+        assert_eq!(p("false"), Json::Bool(false));
+        assert_eq!(p("0"), Json::Num(0.0));
+        assert_eq!(p("-12.5e2"), Json::Num(-1250.0));
+        assert_eq!(p(r#""hi""#), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(p("[]"), Json::Arr(vec![]));
+        assert_eq!(p("{}"), Json::Obj(vec![]));
+        assert_eq!(
+            p(r#"[1, [2, {"a": 3}]]"#),
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Arr(vec![Json::Num(2.0), Json::obj(vec![("a", Json::Num(3.0))])])
+            ])
+        );
+    }
+
+    #[test]
+    fn key_order_preserved() {
+        let j = p(r#"{"z":1,"a":2,"m":3}"#);
+        let keys: Vec<_> = j.as_obj().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(p(r#""a\nb\t\"\\""#), Json::Str("a\nb\t\"\\".into()));
+        assert_eq!(p(r#""A""#), Json::Str("A".into()));
+        assert_eq!(p(r#""😀""#), Json::Str("😀".into()));
+        assert_eq!(p("\"héllo\""), Json::Str("héllo".into()));
+    }
+
+    #[test]
+    fn a1ql_example_from_paper() {
+        // Fig. 8: actors that worked with Steven Spielberg.
+        let q = r#"{ "id" : "steven.spielberg",
+            "_out_edge" : { "_type" : "film.director",
+            "_vertex" : {
+            "_out_edge" : { "_type" : "film.actor",
+            "_vertex" : {
+            "_select" : ["*"]
+            }}}}}"#;
+        let j = p(q);
+        assert_eq!(j.get("id").unwrap().as_str(), Some("steven.spielberg"));
+        let oe = j.get("_out_edge").unwrap();
+        assert_eq!(oe.get("_type").unwrap().as_str(), Some("film.director"));
+        assert!(oe.get("_vertex").unwrap().get("_out_edge").is_some());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("01").is_err());
+        assert!(parse("1.").is_err());
+        assert!(parse("1e").is_err());
+        assert!(parse("\"\u{1}\"").is_err());
+        assert!(parse(r#""\q""#).is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("true false").is_err());
+        assert!(parse(r#""\uD800x""#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        let mut s = String::new();
+        for _ in 0..200 {
+            s.push('[');
+        }
+        assert!(parse(&s).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! JSON serialization (compact and pretty).
+
+use crate::Json;
+
+pub fn to_string(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+pub fn to_string_pretty(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &Json, indent: Option<usize>, level: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(out, *n),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        // Render integral values without a trailing ".0" so ids and counts
+        // look like integers, matching the paper's query examples.
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact() {
+        let j = Json::obj(vec![
+            ("a", Json::Arr(vec![Json::Num(1.0), Json::Null])),
+            ("b", Json::Str("x\"y".into())),
+        ]);
+        assert_eq!(to_string(&j), r#"{"a":[1,null],"b":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let j = Json::obj(vec![
+            ("q", Json::obj(vec![("_select", Json::Arr(vec![Json::str("*")]))])),
+            ("n", Json::Num(2.5)),
+        ]);
+        let pretty = to_string_pretty(&j);
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), j);
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let j = Json::Str("\u{1}".into());
+        assert_eq!(to_string(&j), "\"\\u0001\"");
+        assert_eq!(parse(&to_string(&j)).unwrap(), j);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(to_string(&Json::Num(3.0)), "3");
+        assert_eq!(to_string(&Json::Num(-0.5)), "-0.5");
+        assert_eq!(to_string(&Json::Num(1e20)), "100000000000000000000");
+    }
+}

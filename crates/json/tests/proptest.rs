@@ -1,0 +1,48 @@
+//! Property tests: serialize→parse round-trips for arbitrary JSON values.
+
+use a1_json::Json;
+use proptest::prelude::*;
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite doubles only; JSON has no NaN/Inf.
+        (-1e12f64..1e12f64).prop_map(Json::Num),
+        any::<i32>().prop_map(|n| Json::Num(n as f64)),
+        "[ -~]{0,12}".prop_map(Json::Str),
+        // Strings with escapes and non-ASCII.
+        prop::collection::vec(
+            prop_oneof![Just('"'), Just('\\'), Just('\n'), Just('é'), Just('😀'), Just('\u{7}')],
+            0..4
+        )
+        .prop_map(|cs| Json::Str(cs.into_iter().collect())),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            prop::collection::vec(("[a-z_]{1,8}", inner), 0..6).prop_map(Json::Obj),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_compact(j in arb_json()) {
+        let text = j.to_string();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(&back, &j);
+    }
+
+    #[test]
+    fn roundtrip_pretty(j in arb_json()) {
+        let text = j.to_string_pretty();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(&back, &j);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,64}") {
+        let _ = Json::parse(&s);
+    }
+}

@@ -1,0 +1,262 @@
+//! ObjectStore: the durable key-value table store A1 replicates into for
+//! disaster recovery (paper §4).
+//!
+//! The real ObjectStore is a Bing-internal durable store; this substitute
+//! implements exactly the capabilities §4 relies on:
+//!
+//! * **Tables** of key→value rows, with sorted iteration over keys.
+//! * **Timestamp-conditional upserts** ([`Table::put_if_newer`]) — the
+//!   "native API that accepts a timestamp version" used by best-effort
+//!   recovery: a row is replaced only by a newer transaction's write, making
+//!   replication-log flushes idempotent and order-insensitive.
+//! * **Tombstones** for deletes, garbage-collected after a retention window.
+//! * **Versioned tables** ([`VersionedTable`]) keyed ⟨key, timestamp⟩ for
+//!   consistent recovery, with snapshot reads at any timestamp.
+//! * **Durable watermarks** — A1 persists `tR`, the oldest unreplicated
+//!   log timestamp, to pick the consistent recovery snapshot.
+//! * **Write-failure injection** so the replication sweeper's retry path is
+//!   testable.
+
+mod table;
+mod versioned;
+
+pub use table::{Row, Table};
+pub use versioned::VersionedTable;
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Store-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Simulated durable-write failure; the caller must retry (the
+    /// replication sweeper's job, §4).
+    WriteFailed,
+    NoSuchTable(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::WriteFailed => write!(f, "durable write failed"),
+            StoreError::NoSuchTable(t) => write!(f, "no such table '{t}'"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Configuration for the simulated store.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Probability in [0,1] that a write fails (transient).
+    pub write_fail_rate: f64,
+    pub seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { write_fail_rate: 0.0, seed: 0x05 }
+    }
+}
+
+/// Operation counters.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    pub writes: AtomicU64,
+    pub failed_writes: AtomicU64,
+    pub reads: AtomicU64,
+}
+
+/// The durable store: named tables plus named watermark cells.
+pub struct ObjectStore {
+    cfg: Mutex<StoreConfig>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    versioned: RwLock<HashMap<String, Arc<VersionedTable>>>,
+    watermarks: RwLock<HashMap<String, u64>>,
+    metrics: StoreMetrics,
+    rng: Mutex<u64>,
+}
+
+impl ObjectStore {
+    pub fn new(cfg: StoreConfig) -> Arc<ObjectStore> {
+        Arc::new(ObjectStore {
+            rng: Mutex::new(cfg.seed | 1),
+            cfg: Mutex::new(cfg),
+            tables: RwLock::new(HashMap::new()),
+            versioned: RwLock::new(HashMap::new()),
+            watermarks: RwLock::new(HashMap::new()),
+            metrics: StoreMetrics::default(),
+        })
+    }
+
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    /// Change the injected write-failure rate at runtime (tests).
+    pub fn set_write_fail_rate(&self, rate: f64) {
+        self.cfg.lock().write_fail_rate = rate;
+    }
+
+    /// Create (or open) a timestamped-row table.
+    pub fn table(&self, name: &str) -> Arc<Table> {
+        if let Some(t) = self.tables.read().get(name) {
+            return t.clone();
+        }
+        self.tables
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Table::new()))
+            .clone()
+    }
+
+    /// Create (or open) a versioned table (consistent recovery, §4).
+    pub fn versioned_table(&self, name: &str) -> Arc<VersionedTable> {
+        if let Some(t) = self.versioned.read().get(name) {
+            return t.clone();
+        }
+        self.versioned
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(VersionedTable::new()))
+            .clone()
+    }
+
+    pub fn drop_table(&self, name: &str) {
+        self.tables.write().remove(name);
+        self.versioned.write().remove(name);
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.extend(self.versioned.read().keys().cloned());
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Durably record a watermark (e.g. `tR`, §4).
+    pub fn put_watermark(&self, name: &str, ts: u64) -> Result<(), StoreError> {
+        self.maybe_fail()?;
+        self.watermarks.write().insert(name.to_string(), ts);
+        Ok(())
+    }
+
+    pub fn get_watermark(&self, name: &str) -> Option<u64> {
+        self.watermarks.read().get(name).copied()
+    }
+
+    /// Roll the failure dice and count the write. Tables call this through
+    /// the store handle so all writes share one failure model.
+    pub(crate) fn maybe_fail(&self) -> Result<(), StoreError> {
+        self.metrics.writes.fetch_add(1, Ordering::Relaxed);
+        let rate = self.cfg.lock().write_fail_rate;
+        if rate > 0.0 {
+            let r = {
+                let mut s = self.rng.lock();
+                *s ^= *s << 13;
+                *s ^= *s >> 7;
+                *s ^= *s << 17;
+                (*s >> 11) as f64 / (1u64 << 53) as f64
+            };
+            if r < rate {
+                self.metrics.failed_writes.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::WriteFailed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Best-effort write wrapper: applies `put_if_newer` with failure
+    /// injection.
+    pub fn put_if_newer(
+        &self,
+        table: &str,
+        key: &[u8],
+        value: Vec<u8>,
+        ts: u64,
+    ) -> Result<bool, StoreError> {
+        self.maybe_fail()?;
+        Ok(self.table(table).put_if_newer(key, value, ts))
+    }
+
+    pub fn delete_if_newer(&self, table: &str, key: &[u8], ts: u64) -> Result<bool, StoreError> {
+        self.maybe_fail()?;
+        Ok(self.table(table).delete_if_newer(key, ts))
+    }
+
+    /// Versioned write wrapper (consistent recovery scheme).
+    pub fn put_versioned(
+        &self,
+        table: &str,
+        key: &[u8],
+        ts: u64,
+        value: Option<Vec<u8>>,
+    ) -> Result<(), StoreError> {
+        self.maybe_fail()?;
+        self.versioned_table(table).put(key, ts, value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_singletons() {
+        let s = ObjectStore::new(StoreConfig::default());
+        let a = s.table("t");
+        let b = s.table("t");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.put_if_newer(b"k", b"v".to_vec(), 1);
+        assert_eq!(s.table("t").get(b"k").map(|r| r.value), Some(b"v".to_vec()));
+        s.drop_table("t");
+        assert!(s.table("t").get(b"k").is_none());
+    }
+
+    #[test]
+    fn watermarks() {
+        let s = ObjectStore::new(StoreConfig::default());
+        assert_eq!(s.get_watermark("tR"), None);
+        s.put_watermark("tR", 42).unwrap();
+        assert_eq!(s.get_watermark("tR"), Some(42));
+        s.put_watermark("tR", 50).unwrap();
+        assert_eq!(s.get_watermark("tR"), Some(50));
+    }
+
+    #[test]
+    fn failure_injection() {
+        let s = ObjectStore::new(StoreConfig { write_fail_rate: 1.0, seed: 7 });
+        assert_eq!(
+            s.put_if_newer("t", b"k", b"v".to_vec(), 1),
+            Err(StoreError::WriteFailed)
+        );
+        s.set_write_fail_rate(0.0);
+        assert_eq!(s.put_if_newer("t", b"k", b"v".to_vec(), 1), Ok(true));
+        assert!(s.metrics().failed_writes.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn partial_failure_rate_eventually_succeeds() {
+        let s = ObjectStore::new(StoreConfig { write_fail_rate: 0.5, seed: 3 });
+        let mut ok = 0;
+        for i in 0..100u64 {
+            if s.put_if_newer("t", &i.to_le_bytes(), vec![1], i).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok > 20 && ok < 80, "got {ok}");
+    }
+
+    #[test]
+    fn table_names_lists_both_kinds() {
+        let s = ObjectStore::new(StoreConfig::default());
+        s.table("a");
+        s.versioned_table("b");
+        assert_eq!(s.table_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Timestamped-row tables (best-effort recovery scheme, §4).
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// One row: the latest value and the transaction timestamp that wrote it.
+/// `tombstone` rows record deletes until garbage collection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    pub value: Vec<u8>,
+    pub ts: u64,
+    pub tombstone: bool,
+}
+
+/// A sorted key→row table where writes carry transaction timestamps and only
+/// newer timestamps win. This makes replication idempotent: flushing a log
+/// entry twice, or out of order, converges to the same state (§4).
+#[derive(Debug, Default)]
+pub struct Table {
+    rows: RwLock<BTreeMap<Vec<u8>, Row>>,
+}
+
+impl Table {
+    pub fn new() -> Table {
+        Table::default()
+    }
+
+    /// Upsert if `ts` is strictly newer than the stored row (or the key is
+    /// absent). Returns whether the write was applied.
+    pub fn put_if_newer(&self, key: &[u8], value: Vec<u8>, ts: u64) -> bool {
+        let mut rows = self.rows.write();
+        match rows.get(key) {
+            Some(row) if row.ts >= ts => false,
+            _ => {
+                rows.insert(key.to_vec(), Row { value, ts, tombstone: false });
+                true
+            }
+        }
+    }
+
+    /// Record a delete as a tombstone if `ts` is newer.
+    pub fn delete_if_newer(&self, key: &[u8], ts: u64) -> bool {
+        let mut rows = self.rows.write();
+        match rows.get(key) {
+            Some(row) if row.ts >= ts => false,
+            _ => {
+                rows.insert(key.to_vec(), Row { value: Vec::new(), ts, tombstone: true });
+                true
+            }
+        }
+    }
+
+    /// Latest live row for a key (tombstones read as absent).
+    pub fn get(&self, key: &[u8]) -> Option<Row> {
+        let rows = self.rows.read();
+        let row = rows.get(key)?;
+        if row.tombstone {
+            None
+        } else {
+            Some(row.clone())
+        }
+    }
+
+    /// Raw row including tombstones (recovery inspects these).
+    pub fn get_raw(&self, key: &[u8]) -> Option<Row> {
+        self.rows.read().get(key).cloned()
+    }
+
+    /// All live rows, in key order.
+    pub fn scan_live(&self) -> Vec<(Vec<u8>, Row)> {
+        self.rows
+            .read()
+            .iter()
+            .filter(|(_, r)| !r.tombstone)
+            .map(|(k, r)| (k.clone(), r.clone()))
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.read().is_empty()
+    }
+
+    /// Drop tombstones older than `before_ts` (the offline GC process that
+    /// removes tombstones "older than a week", §4).
+    pub fn gc_tombstones(&self, before_ts: u64) -> usize {
+        let mut rows = self.rows.write();
+        let doomed: Vec<Vec<u8>> = rows
+            .iter()
+            .filter(|(_, r)| r.tombstone && r.ts < before_ts)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            rows.remove(k);
+        }
+        doomed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newer_wins_older_discarded() {
+        let t = Table::new();
+        assert!(t.put_if_newer(b"v1", b"a".to_vec(), 10));
+        // Stale update (an out-of-order log flush) is discarded.
+        assert!(!t.put_if_newer(b"v1", b"stale".to_vec(), 5));
+        assert_eq!(t.get(b"v1").unwrap().value, b"a".to_vec());
+        // Newer update applies.
+        assert!(t.put_if_newer(b"v1", b"b".to_vec(), 20));
+        assert_eq!(t.get(b"v1").unwrap().value, b"b".to_vec());
+        // Equal timestamp is idempotent (already applied).
+        assert!(!t.put_if_newer(b"v1", b"b".to_vec(), 20));
+    }
+
+    #[test]
+    fn paper_example_v1_then_v2() {
+        // §4: "if we stored value v1 in vertex V and then v2 ... eventually
+        // ObjectStore must reflect v2" — regardless of flush order.
+        let forward = Table::new();
+        forward.put_if_newer(b"V", b"v1".to_vec(), 1);
+        forward.put_if_newer(b"V", b"v2".to_vec(), 2);
+        let reversed = Table::new();
+        reversed.put_if_newer(b"V", b"v2".to_vec(), 2);
+        reversed.put_if_newer(b"V", b"v1".to_vec(), 1);
+        assert_eq!(forward.get(b"V"), reversed.get(b"V"));
+        assert_eq!(forward.get(b"V").unwrap().value, b"v2".to_vec());
+    }
+
+    #[test]
+    fn tombstones() {
+        let t = Table::new();
+        t.put_if_newer(b"k", b"v".to_vec(), 10);
+        assert!(t.delete_if_newer(b"k", 20));
+        assert!(t.get(b"k").is_none());
+        assert!(t.get_raw(b"k").unwrap().tombstone);
+        // Late stale write doesn't resurrect.
+        assert!(!t.put_if_newer(b"k", b"zombie".to_vec(), 15));
+        assert!(t.get(b"k").is_none());
+        // Recreate with newer timestamp replaces the tombstone.
+        assert!(t.put_if_newer(b"k", b"new".to_vec(), 30));
+        assert_eq!(t.get(b"k").unwrap().value, b"new".to_vec());
+    }
+
+    #[test]
+    fn tombstone_gc() {
+        let t = Table::new();
+        t.put_if_newer(b"a", b"1".to_vec(), 1);
+        t.delete_if_newer(b"a", 5);
+        t.put_if_newer(b"b", b"2".to_vec(), 2);
+        t.delete_if_newer(b"b", 50);
+        assert_eq!(t.gc_tombstones(10), 1); // only a's tombstone is old enough
+        assert!(t.get_raw(b"a").is_none());
+        assert!(t.get_raw(b"b").unwrap().tombstone);
+        assert_eq!(t.len(), 1); // only b's (young) tombstone remains
+    }
+
+    #[test]
+    fn scan_live_sorted_skips_tombstones() {
+        let t = Table::new();
+        t.put_if_newer(b"c", b"3".to_vec(), 1);
+        t.put_if_newer(b"a", b"1".to_vec(), 1);
+        t.put_if_newer(b"b", b"2".to_vec(), 1);
+        t.delete_if_newer(b"b", 2);
+        let live = t.scan_live();
+        let keys: Vec<&[u8]> = live.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"c".as_slice()]);
+    }
+}

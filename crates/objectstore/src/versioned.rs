@@ -1,0 +1,168 @@
+//! Versioned tables: ⟨(key, timestamp) → value⟩ rows for consistent
+//! recovery (§4). Every write inserts a new version; deletes insert
+//! tombstone versions; snapshot reads pick the latest version at or below a
+//! timestamp.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Multi-version table. The composite row key is (user key, timestamp),
+/// which ObjectStore's sorted iteration makes cheap to query per key.
+#[derive(Debug, Default)]
+pub struct VersionedTable {
+    rows: RwLock<BTreeMap<(Vec<u8>, u64), Option<Vec<u8>>>>,
+}
+
+impl VersionedTable {
+    pub fn new() -> VersionedTable {
+        VersionedTable::default()
+    }
+
+    /// Insert a version. `None` is a delete tombstone. Idempotent: the same
+    /// (key, ts) written twice converges.
+    pub fn put(&self, key: &[u8], ts: u64, value: Option<Vec<u8>>) {
+        self.rows.write().insert((key.to_vec(), ts), value);
+    }
+
+    /// The latest live value for `key` at or below `ts`.
+    pub fn get_at(&self, key: &[u8], ts: u64) -> Option<Vec<u8>> {
+        let rows = self.rows.read();
+        rows.range((key.to_vec(), 0)..=(key.to_vec(), ts))
+            .next_back()
+            .and_then(|(_, v)| v.clone())
+    }
+
+    /// Latest version regardless of time.
+    pub fn get_latest(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.get_at(key, u64::MAX)
+    }
+
+    /// Iterate the snapshot at `ts`: every key's newest version ≤ ts that is
+    /// not a tombstone, in key order. This is the consistent-recovery scan.
+    pub fn scan_at(&self, ts: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let rows = self.rows.read();
+        let mut out = Vec::new();
+        let mut current: Option<(&Vec<u8>, u64, &Option<Vec<u8>>)> = None;
+        for ((k, vts), v) in rows.iter() {
+            if *vts > ts {
+                continue;
+            }
+            match current {
+                Some((ck, cts, _)) if ck == k => {
+                    if *vts >= cts {
+                        current = Some((k, *vts, v));
+                    }
+                }
+                Some((ck, _, cv)) => {
+                    debug_assert!(ck < k);
+                    if let Some(val) = cv {
+                        out.push((ck.clone(), val.clone()));
+                    }
+                    current = Some((k, *vts, v));
+                }
+                None => current = Some((k, *vts, v)),
+            }
+        }
+        if let Some((ck, _, Some(val))) = current {
+            out.push((ck.clone(), val.clone()));
+        }
+        out
+    }
+
+    /// Number of stored versions (diagnostics).
+    pub fn version_count(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    /// Drop versions older than `before_ts` that are shadowed by a newer
+    /// version also older than `before_ts` (plus tombstone cleanup).
+    pub fn gc_versions(&self, before_ts: u64) -> usize {
+        let mut rows = self.rows.write();
+        let keys: Vec<(Vec<u8>, u64)> = rows.keys().cloned().collect();
+        let mut dropped = 0;
+        let mut prev: Option<(Vec<u8>, u64)> = None;
+        for (k, ts) in keys {
+            if let Some((pk, pts)) = &prev {
+                // prev is shadowed by (k, ts) if same key and both < before.
+                if *pk == k && *pts < before_ts && ts < before_ts {
+                    rows.remove(&(pk.clone(), *pts));
+                    dropped += 1;
+                }
+            }
+            prev = Some((k, ts));
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_and_snapshots() {
+        let t = VersionedTable::new();
+        t.put(b"V", 10, Some(b"v1".to_vec()));
+        t.put(b"V", 20, Some(b"v2".to_vec()));
+        assert_eq!(t.get_at(b"V", 9), None);
+        assert_eq!(t.get_at(b"V", 10), Some(b"v1".to_vec()));
+        assert_eq!(t.get_at(b"V", 15), Some(b"v1".to_vec()));
+        assert_eq!(t.get_at(b"V", 25), Some(b"v2".to_vec()));
+        assert_eq!(t.get_latest(b"V"), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn tombstone_versions() {
+        let t = VersionedTable::new();
+        t.put(b"V", 10, Some(b"v1".to_vec()));
+        t.put(b"V", 20, None);
+        assert_eq!(t.get_at(b"V", 15), Some(b"v1".to_vec()));
+        assert_eq!(t.get_at(b"V", 25), None);
+        t.put(b"V", 30, Some(b"back".to_vec()));
+        assert_eq!(t.get_latest(b"V"), Some(b"back".to_vec()));
+    }
+
+    #[test]
+    fn snapshot_scan() {
+        let t = VersionedTable::new();
+        t.put(b"a", 5, Some(b"a5".to_vec()));
+        t.put(b"a", 15, Some(b"a15".to_vec()));
+        t.put(b"b", 8, Some(b"b8".to_vec()));
+        t.put(b"b", 12, None); // deleted at 12
+        t.put(b"c", 20, Some(b"c20".to_vec()));
+        // Snapshot at 10: a→a5, b→b8, c absent.
+        assert_eq!(
+            t.scan_at(10),
+            vec![(b"a".to_vec(), b"a5".to_vec()), (b"b".to_vec(), b"b8".to_vec())]
+        );
+        // Snapshot at 16: a→a15, b deleted, c absent.
+        assert_eq!(t.scan_at(16), vec![(b"a".to_vec(), b"a15".to_vec())]);
+        // Snapshot at 25: a→a15, c→c20.
+        assert_eq!(
+            t.scan_at(25),
+            vec![(b"a".to_vec(), b"a15".to_vec()), (b"c".to_vec(), b"c20".to_vec())]
+        );
+        // Empty snapshot.
+        assert_eq!(t.scan_at(1), vec![]);
+    }
+
+    #[test]
+    fn idempotent_put() {
+        let t = VersionedTable::new();
+        t.put(b"k", 5, Some(b"x".to_vec()));
+        t.put(b"k", 5, Some(b"x".to_vec()));
+        assert_eq!(t.version_count(), 1);
+    }
+
+    #[test]
+    fn gc_shadowed_versions() {
+        let t = VersionedTable::new();
+        t.put(b"k", 1, Some(b"a".to_vec()));
+        t.put(b"k", 2, Some(b"b".to_vec()));
+        t.put(b"k", 3, Some(b"c".to_vec()));
+        let dropped = t.gc_versions(3);
+        assert_eq!(dropped, 1); // version 1 shadowed by 2 (both < 3)
+        assert_eq!(t.get_at(b"k", 2), Some(b"b".to_vec()));
+        assert_eq!(t.get_latest(b"k"), Some(b"c".to_vec()));
+    }
+}

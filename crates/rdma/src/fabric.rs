@@ -1,0 +1,431 @@
+//! The fabric: one-sided verbs, RPC and datagrams between machines.
+
+use crate::machine::{Machine, RpcHandler, UdHandler};
+#[cfg(test)]
+use crate::machine::Segment;
+use crate::metrics::Metrics;
+use crate::{FabricConfig, MachineId};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Network-level failures. These model NIC/communication errors; the storage
+/// layers above translate them into retries or reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Target machine is dead (timeout in a real deployment).
+    MachineUnreachable(MachineId),
+    /// No such machine id in the fabric.
+    UnknownMachine(MachineId),
+    /// The target machine has no segment registered under that id.
+    NoSuchSegment(u64),
+    /// One-sided access outside the segment bounds.
+    OutOfBounds,
+    /// RPC sent to a machine with no registered handler.
+    NoHandler(MachineId),
+    /// The RPC was accepted but the reply never arrived (machine died).
+    RpcDropped,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::MachineUnreachable(m) => write!(f, "machine {m} unreachable"),
+            NetError::UnknownMachine(m) => write!(f, "unknown machine {m}"),
+            NetError::NoSuchSegment(s) => write!(f, "no segment {s}"),
+            NetError::OutOfBounds => write!(f, "one-sided access out of bounds"),
+            NetError::NoHandler(m) => write!(f, "no rpc handler on {m}"),
+            NetError::RpcDropped => write!(f, "rpc reply lost"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The simulated RDMA network. See the crate docs for the model.
+pub struct Fabric {
+    cfg: FabricConfig,
+    machines: Vec<Arc<Machine>>,
+    metrics: Metrics,
+    rng: Mutex<u64>,
+}
+
+impl Fabric {
+    pub fn new(cfg: FabricConfig) -> Arc<Fabric> {
+        assert!(cfg.machines >= 1);
+        assert!(cfg.racks >= 1);
+        let machines = (0..cfg.machines)
+            .map(|i| {
+                Arc::new(Machine::new(
+                    MachineId(i),
+                    i % cfg.racks,
+                    cfg.threads_per_machine,
+                    cfg.max_threads_per_machine,
+                ))
+            })
+            .collect();
+        Arc::new(Fabric {
+            machines,
+            metrics: Metrics::default(),
+            rng: Mutex::new(cfg.seed | 1),
+            cfg,
+        })
+    }
+
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    pub fn num_machines(&self) -> u32 {
+        self.cfg.machines
+    }
+
+    pub fn machine(&self, id: MachineId) -> Result<&Arc<Machine>, NetError> {
+        self.machines.get(id.0 as usize).ok_or(NetError::UnknownMachine(id))
+    }
+
+    pub fn machines(&self) -> &[Arc<Machine>] {
+        &self.machines
+    }
+
+    pub fn rack_of(&self, id: MachineId) -> u32 {
+        id.0 % self.cfg.racks
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mark a machine dead; subsequent operations against it fail.
+    pub fn kill(&self, id: MachineId) {
+        if let Ok(m) = self.machine(id) {
+            m.alive.store(false, Ordering::Release);
+        }
+    }
+
+    /// Bring a machine back (fast restart / redeployment).
+    pub fn revive(&self, id: MachineId) {
+        if let Ok(m) = self.machine(id) {
+            m.alive.store(true, Ordering::Release);
+        }
+    }
+
+    pub fn is_alive(&self, id: MachineId) -> bool {
+        self.machine(id).map(|m| m.is_alive()).unwrap_or(false)
+    }
+
+    fn target(&self, to: MachineId) -> Result<&Arc<Machine>, NetError> {
+        let m = self.machine(to)?;
+        if !m.is_alive() {
+            return Err(NetError::MachineUnreachable(to));
+        }
+        Ok(m)
+    }
+
+    fn charge(&self, ns: u64) {
+        self.metrics.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        if self.cfg.inject_latency {
+            spin_for(Duration::from_nanos(ns));
+        }
+    }
+
+    /// Charge simulated time for work the simulation performs in-process but
+    /// that would cross the wire in a real deployment (e.g. bulk region
+    /// copies during re-replication, remote allocation requests).
+    pub fn charge_ns(&self, ns: u64) {
+        self.charge(ns);
+    }
+
+    /// One-sided RDMA read: copy `len` bytes from a remote segment without
+    /// involving the remote CPU.
+    pub fn read(
+        &self,
+        from: MachineId,
+        to: MachineId,
+        seg_id: u64,
+        off: usize,
+        len: usize,
+    ) -> Result<Bytes, NetError> {
+        let target = self.target(to)?;
+        let seg = target.segment(seg_id).ok_or(NetError::NoSuchSegment(seg_id))?;
+        let local = from == to;
+        if local {
+            self.metrics.local_reads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.metrics.remote_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        self.metrics.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+        self.charge(self.cfg.latency.one_sided_ns(
+            local,
+            self.rack_of(from) == self.rack_of(to),
+            len,
+        ));
+        seg.read(off, len).ok_or(NetError::OutOfBounds)
+    }
+
+    /// One-sided RDMA write.
+    pub fn write(
+        &self,
+        from: MachineId,
+        to: MachineId,
+        seg_id: u64,
+        off: usize,
+        data: &[u8],
+    ) -> Result<(), NetError> {
+        let target = self.target(to)?;
+        let seg = target.segment(seg_id).ok_or(NetError::NoSuchSegment(seg_id))?;
+        let local = from == to;
+        if local {
+            self.metrics.local_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.metrics.remote_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.metrics.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.charge(self.cfg.latency.one_sided_ns(
+            local,
+            self.rack_of(from) == self.rack_of(to),
+            data.len(),
+        ));
+        seg.write(off, data).ok_or(NetError::OutOfBounds)
+    }
+
+    /// One-sided atomic compare-and-swap on an 8-byte word (lock words in the
+    /// FaRM commit protocol).
+    pub fn cas64(
+        &self,
+        from: MachineId,
+        to: MachineId,
+        seg_id: u64,
+        off: usize,
+        expect: u64,
+        new: u64,
+    ) -> Result<u64, NetError> {
+        let target = self.target(to)?;
+        let seg = target.segment(seg_id).ok_or(NetError::NoSuchSegment(seg_id))?;
+        self.metrics.cas_ops.fetch_add(1, Ordering::Relaxed);
+        self.charge(self.cfg.latency.one_sided_ns(
+            from == to,
+            self.rack_of(from) == self.rack_of(to),
+            8,
+        ));
+        seg.cas64(off, expect, new).ok_or(NetError::OutOfBounds)
+    }
+
+    /// Install machine `on`'s RPC handler.
+    pub fn set_rpc_handler(&self, on: MachineId, handler: Arc<RpcHandler>) {
+        if let Ok(m) = self.machine(on) {
+            m.set_rpc_handler(handler);
+        }
+    }
+
+    pub fn set_ud_handler(&self, on: MachineId, handler: Arc<UdHandler>) {
+        if let Ok(m) = self.machine(on) {
+            m.set_ud_handler(handler);
+        }
+    }
+
+    /// Synchronous RPC: enqueue on the target's worker pool, block for the
+    /// reply. This is the slow path A1 uses for query shipping; latency is
+    /// charged in both directions.
+    pub fn rpc(&self, from: MachineId, to: MachineId, request: Bytes) -> Result<Bytes, NetError> {
+        let target = self.target(to)?;
+        let handler =
+            target.rpc_handler.read().clone().ok_or(NetError::NoHandler(to))?;
+        self.metrics.rpcs.fetch_add(1, Ordering::Relaxed);
+        let same_rack = self.rack_of(from) == self.rack_of(to);
+        self.charge(self.cfg.latency.rpc_ns(same_rack, request.len()));
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        target.pool.execute(move || {
+            let reply = handler(from, request);
+            let _ = reply_tx.send(reply);
+        });
+        let reply = reply_rx.recv().map_err(|_| NetError::RpcDropped)?;
+        self.charge(self.cfg.latency.rpc_ns(same_rack, reply.len()));
+        Ok(reply)
+    }
+
+    /// Fire-and-forget unreliable datagram (leases, clock beacons §5.1).
+    /// May be silently dropped per `ud_drop_rate`.
+    pub fn send_ud(&self, from: MachineId, to: MachineId, payload: Bytes) {
+        self.metrics.ud_sent.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.ud_drop_rate > 0.0 {
+            let r = {
+                let mut s = self.rng.lock();
+                // xorshift64*: cheap deterministic uniform bits.
+                *s ^= *s << 13;
+                *s ^= *s >> 7;
+                *s ^= *s << 17;
+                (*s >> 11) as f64 / (1u64 << 53) as f64
+            };
+            if r < self.cfg.ud_drop_rate {
+                self.metrics.ud_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let Ok(target) = self.target(to) else {
+            self.metrics.ud_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let Some(handler) = target.ud_handler.read().clone() else {
+            self.metrics.ud_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let same_rack = self.rack_of(from) == self.rack_of(to);
+        self.charge(self.cfg.latency.rpc_ns(same_rack, payload.len()) / 2);
+        target.pool.execute(move || handler(from, payload));
+    }
+}
+
+/// Busy-wait for very short durations; sleep for long ones. Spinning keeps
+/// microsecond injections accurate (OS sleep granularity is ~50 µs+).
+fn spin_for(d: Duration) {
+    if d >= Duration::from_micros(200) {
+        std::thread::sleep(d);
+        return;
+    }
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Arc<Fabric> {
+        Fabric::new(FabricConfig::default())
+    }
+
+    #[test]
+    fn one_sided_read_write() {
+        let f = fabric();
+        let seg = Segment::new(128);
+        f.machine(MachineId(1)).unwrap().register_segment(7, seg);
+        f.write(MachineId(0), MachineId(1), 7, 16, &[9, 9]).unwrap();
+        let b = f.read(MachineId(0), MachineId(1), 7, 16, 2).unwrap();
+        assert_eq!(&b[..], &[9, 9]);
+        let snap = f.metrics().snapshot();
+        assert_eq!(snap.remote_reads, 1);
+        assert_eq!(snap.remote_writes, 1);
+        assert!(snap.sim_ns > 0);
+    }
+
+    #[test]
+    fn local_vs_remote_accounting() {
+        let f = fabric();
+        let seg = Segment::new(64);
+        f.machine(MachineId(0)).unwrap().register_segment(1, seg);
+        f.read(MachineId(0), MachineId(0), 1, 0, 8).unwrap();
+        f.read(MachineId(2), MachineId(0), 1, 0, 8).unwrap();
+        let snap = f.metrics().snapshot();
+        assert_eq!(snap.local_reads, 1);
+        assert_eq!(snap.remote_reads, 1);
+    }
+
+    #[test]
+    fn errors() {
+        let f = fabric();
+        assert_eq!(
+            f.read(MachineId(0), MachineId(9), 1, 0, 8),
+            Err(NetError::UnknownMachine(MachineId(9)))
+        );
+        assert_eq!(
+            f.read(MachineId(0), MachineId(1), 1, 0, 8),
+            Err(NetError::NoSuchSegment(1))
+        );
+        let seg = Segment::new(8);
+        f.machine(MachineId(1)).unwrap().register_segment(1, seg);
+        assert_eq!(
+            f.read(MachineId(0), MachineId(1), 1, 4, 8),
+            Err(NetError::OutOfBounds)
+        );
+        f.kill(MachineId(1));
+        assert_eq!(
+            f.read(MachineId(0), MachineId(1), 1, 0, 4),
+            Err(NetError::MachineUnreachable(MachineId(1)))
+        );
+        f.revive(MachineId(1));
+        assert!(f.read(MachineId(0), MachineId(1), 1, 0, 4).is_ok());
+    }
+
+    #[test]
+    fn rpc_roundtrip() {
+        let f = fabric();
+        f.set_rpc_handler(
+            MachineId(2),
+            Arc::new(|from: MachineId, req: Bytes| {
+                let mut v = req.to_vec();
+                v.push(from.0 as u8);
+                Bytes::from(v)
+            }),
+        );
+        let reply = f.rpc(MachineId(1), MachineId(2), Bytes::from_static(&[5])).unwrap();
+        assert_eq!(&reply[..], &[5, 1]);
+        assert_eq!(f.metrics().snapshot().rpcs, 1);
+    }
+
+    #[test]
+    fn rpc_to_dead_machine_fails() {
+        let f = fabric();
+        f.kill(MachineId(3));
+        assert_eq!(
+            f.rpc(MachineId(0), MachineId(3), Bytes::new()),
+            Err(NetError::MachineUnreachable(MachineId(3)))
+        );
+        assert_eq!(
+            f.rpc(MachineId(0), MachineId(1), Bytes::new()),
+            Err(NetError::NoHandler(MachineId(1)))
+        );
+    }
+
+    #[test]
+    fn ud_delivery_and_drops() {
+        let mut cfg = FabricConfig::default();
+        cfg.ud_drop_rate = 0.0;
+        let f = Fabric::new(cfg);
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        f.set_ud_handler(
+            MachineId(1),
+            Arc::new(move |_from, payload: Bytes| {
+                let _ = tx.send(payload);
+            }),
+        );
+        f.send_ud(MachineId(0), MachineId(1), Bytes::from_static(b"hb"));
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&got[..], b"hb");
+
+        // With 100% drop rate nothing arrives.
+        let mut cfg = FabricConfig::default();
+        cfg.ud_drop_rate = 1.0;
+        let f = Fabric::new(cfg);
+        f.send_ud(MachineId(0), MachineId(1), Bytes::from_static(b"x"));
+        assert_eq!(f.metrics().snapshot().ud_dropped, 1);
+    }
+
+    #[test]
+    fn rack_assignment_spreads() {
+        let f = Fabric::new(FabricConfig { machines: 6, racks: 3, ..Default::default() });
+        assert_eq!(f.rack_of(MachineId(0)), 0);
+        assert_eq!(f.rack_of(MachineId(1)), 1);
+        assert_eq!(f.rack_of(MachineId(2)), 2);
+        assert_eq!(f.rack_of(MachineId(3)), 0);
+    }
+
+    #[test]
+    fn injected_latency_is_wall_clock() {
+        let mut cfg = FabricConfig::default();
+        cfg.inject_latency = true;
+        let f = Fabric::new(cfg);
+        let seg = Segment::new(64);
+        f.machine(MachineId(1)).unwrap().register_segment(1, seg);
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            f.read(MachineId(0), MachineId(1), 1, 0, 8).unwrap();
+        }
+        // 10 in-rack reads ≈ 50 µs minimum.
+        assert!(t0.elapsed() >= Duration::from_micros(40));
+    }
+}

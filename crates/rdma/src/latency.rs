@@ -1,0 +1,83 @@
+//! The network latency model.
+
+/// Models the latency asymmetry the paper reports (§2.1, §5.1, §6): local
+/// memory ≈ hundreds of ns; one-sided RDMA reads <10 µs in-rack and <20 µs
+/// across oversubscribed rack links; observed average 17 µs under load
+/// (Fig. 11). Bandwidth is 40 Gb/s per NIC, expressed as a per-KB term.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Local memory access (same machine), per operation.
+    pub local_read_ns: u64,
+    /// One-sided operation round trip within a rack.
+    pub rack_rtt_ns: u64,
+    /// One-sided operation round trip across racks (oversubscribed T1 links).
+    pub cross_rack_rtt_ns: u64,
+    /// Additional cost per KiB transferred (≈40 Gb/s ⇒ ~200 ns/KiB).
+    pub per_kib_ns: u64,
+    /// RPC send/dispatch overhead on top of the wire round trip.
+    pub rpc_overhead_ns: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            local_read_ns: 100,
+            rack_rtt_ns: 5_000,
+            cross_rack_rtt_ns: 17_000,
+            per_kib_ns: 200,
+            rpc_overhead_ns: 10_000,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Cost of a one-sided read/write/CAS of `bytes` bytes.
+    pub fn one_sided_ns(&self, local: bool, same_rack: bool, bytes: usize) -> u64 {
+        if local {
+            return self.local_read_ns + self.size_ns(bytes) / 4;
+        }
+        let base = if same_rack { self.rack_rtt_ns } else { self.cross_rack_rtt_ns };
+        base + self.size_ns(bytes)
+    }
+
+    /// Cost of one direction of an RPC carrying `bytes` bytes.
+    pub fn rpc_ns(&self, same_rack: bool, bytes: usize) -> u64 {
+        let base = if same_rack { self.rack_rtt_ns } else { self.cross_rack_rtt_ns };
+        self.rpc_overhead_ns / 2 + base / 2 + self.size_ns(bytes)
+    }
+
+    fn size_ns(&self, bytes: usize) -> u64 {
+        (bytes as u64 * self.per_kib_ns) / 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_remote_gap() {
+        let m = LatencyModel::default();
+        let local = m.one_sided_ns(true, true, 256);
+        let rack = m.one_sided_ns(false, true, 256);
+        let cross = m.one_sided_ns(false, false, 256);
+        // The paper's 20x-100x local/remote gap (§2.2).
+        assert!(rack / local >= 20, "rack {rack} local {local}");
+        assert!(cross > rack);
+    }
+
+    #[test]
+    fn bandwidth_term_scales() {
+        let m = LatencyModel::default();
+        let small = m.one_sided_ns(false, true, 64);
+        let big = m.one_sided_ns(false, true, 1 << 20);
+        assert!(big > small + 100_000); // 1 MiB at ~200ns/KiB ≈ 200 µs
+    }
+
+    #[test]
+    fn rpc_cost_positive() {
+        let m = LatencyModel::default();
+        assert!(m.rpc_ns(true, 0) > 0);
+        assert!(m.rpc_ns(false, 0) > m.rpc_ns(true, 0));
+    }
+}

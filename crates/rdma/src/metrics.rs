@@ -1,0 +1,118 @@
+//! Fabric-wide operation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for everything the fabric does. The query engine reads
+/// deltas around operations to report per-query locality (the paper's "95%
+/// local reads" statistic, §6).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    pub local_reads: AtomicU64,
+    pub remote_reads: AtomicU64,
+    pub local_writes: AtomicU64,
+    pub remote_writes: AtomicU64,
+    pub cas_ops: AtomicU64,
+    pub rpcs: AtomicU64,
+    pub ud_sent: AtomicU64,
+    pub ud_dropped: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+    /// Total simulated network nanoseconds charged.
+    pub sim_ns: AtomicU64,
+}
+
+/// A point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub local_reads: u64,
+    pub remote_reads: u64,
+    pub local_writes: u64,
+    pub remote_writes: u64,
+    pub cas_ops: u64,
+    pub rpcs: u64,
+    pub ud_sent: u64,
+    pub ud_dropped: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub sim_ns: u64,
+}
+
+impl Metrics {
+    pub fn add(&self, field: &AtomicU64, v: u64) {
+        field.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            local_reads: self.local_reads.load(Ordering::Relaxed),
+            remote_reads: self.remote_reads.load(Ordering::Relaxed),
+            local_writes: self.local_writes.load(Ordering::Relaxed),
+            remote_writes: self.remote_writes.load(Ordering::Relaxed),
+            cas_ops: self.cas_ops.load(Ordering::Relaxed),
+            rpcs: self.rpcs.load(Ordering::Relaxed),
+            ud_sent: self.ud_sent.load(Ordering::Relaxed),
+            ud_dropped: self.ud_dropped.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            sim_ns: self.sim_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Difference since an earlier snapshot.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            local_reads: self.local_reads - earlier.local_reads,
+            remote_reads: self.remote_reads - earlier.remote_reads,
+            local_writes: self.local_writes - earlier.local_writes,
+            remote_writes: self.remote_writes - earlier.remote_writes,
+            cas_ops: self.cas_ops - earlier.cas_ops,
+            rpcs: self.rpcs - earlier.rpcs,
+            ud_sent: self.ud_sent - earlier.ud_sent,
+            ud_dropped: self.ud_dropped - earlier.ud_dropped,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            sim_ns: self.sim_ns - earlier.sim_ns,
+        }
+    }
+
+    pub fn total_reads(&self) -> u64 {
+        self.local_reads + self.remote_reads
+    }
+
+    /// Fraction of reads that were local (paper §6 reports ≥95% for shipped
+    /// query execution).
+    pub fn local_read_fraction(&self) -> f64 {
+        let total = self.total_reads();
+        if total == 0 {
+            return 1.0;
+        }
+        self.local_reads as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let m = Metrics::default();
+        m.add(&m.local_reads, 3);
+        let a = m.snapshot();
+        m.add(&m.local_reads, 2);
+        m.add(&m.remote_reads, 1);
+        let b = m.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.local_reads, 2);
+        assert_eq!(d.remote_reads, 1);
+        assert_eq!(d.total_reads(), 3);
+        assert!((d.local_read_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fraction_is_one() {
+        assert_eq!(MetricsSnapshot::default().local_read_fraction(), 1.0);
+    }
+}

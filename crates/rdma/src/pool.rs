@@ -1,0 +1,175 @@
+//! Elastic worker pool — the simulated per-machine thread set.
+//!
+//! FaRM pins a fixed number of threads per machine and coprocessors share
+//! them cooperatively via fibers (§2.2). In this simulation each machine has
+//! `base` always-on OS threads; when all are busy and more work arrives,
+//! temporary threads are spawned (up to `max`) and retire after an idle
+//! period. The elasticity stands in for fibers: a fiber blocked on a remote
+//! operation yields its thread, which we model by letting another thread run.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+const TEMP_THREAD_IDLE: Duration = Duration::from_millis(200);
+
+struct PoolShared {
+    rx: Receiver<Job>,
+    idle: AtomicUsize,
+    threads: AtomicUsize,
+    max: usize,
+    name: String,
+}
+
+/// An elastic thread pool.
+pub struct WorkerPool {
+    tx: Mutex<Option<Sender<Job>>>,
+    shared: Arc<PoolShared>,
+    queued: Arc<AtomicUsize>,
+}
+
+impl WorkerPool {
+    pub fn new(name: &str, base: usize, max: usize) -> WorkerPool {
+        assert!(base >= 1, "pool needs at least one thread");
+        assert!(max >= base);
+        let (tx, rx) = unbounded::<Job>();
+        let shared = Arc::new(PoolShared {
+            rx,
+            idle: AtomicUsize::new(0),
+            threads: AtomicUsize::new(0),
+            max,
+            name: name.to_string(),
+        });
+        let pool = WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            shared: shared.clone(),
+            queued: Arc::new(AtomicUsize::new(0)),
+        };
+        for i in 0..base {
+            spawn_worker(shared.clone(), pool.queued.clone(), i, true);
+        }
+        pool
+    }
+
+    /// Enqueue a job. Spawns a temporary worker when the pool is saturated.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let guard = self.tx.lock();
+        let Some(tx) = guard.as_ref() else {
+            return; // pool shut down; drop the job
+        };
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        tx.send(Box::new(job)).expect("receiver held by shared state");
+        if self.shared.idle.load(Ordering::Relaxed) == 0 {
+            let n = self.shared.threads.load(Ordering::Relaxed);
+            if n < self.shared.max {
+                spawn_worker(self.shared.clone(), self.queued.clone(), n, false);
+            }
+        }
+    }
+
+    /// Jobs queued and not yet started.
+    pub fn queue_depth(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Current live thread count (base + temporary).
+    pub fn thread_count(&self) -> usize {
+        self.shared.threads.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets permanent workers observe disconnection.
+        *self.tx.lock() = None;
+    }
+}
+
+fn spawn_worker(shared: Arc<PoolShared>, queued: Arc<AtomicUsize>, idx: usize, permanent: bool) {
+    shared.threads.fetch_add(1, Ordering::Relaxed);
+    let name = format!("{}-w{}{}", shared.name, idx, if permanent { "" } else { "t" });
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            loop {
+                shared.idle.fetch_add(1, Ordering::Relaxed);
+                let job = if permanent {
+                    shared.rx.recv().map_err(|_| RecvTimeoutError::Disconnected)
+                } else {
+                    shared.rx.recv_timeout(TEMP_THREAD_IDLE)
+                };
+                shared.idle.fetch_sub(1, Ordering::Relaxed);
+                match job {
+                    Ok(job) => {
+                        queued.fetch_sub(1, Ordering::Relaxed);
+                        job();
+                    }
+                    Err(_) => break, // disconnected, or temp thread idled out
+                }
+            }
+            shared.threads.fetch_sub(1, Ordering::Relaxed);
+        })
+        .expect("spawn worker thread");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_jobs() {
+        let pool = WorkerPool::new("t", 2, 8);
+        let counter = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = crossbeam::channel::bounded(0);
+        for _ in 0..100 {
+            let c = counter.clone();
+            let tx = tx.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(());
+            });
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn grows_under_blocking_load() {
+        let pool = WorkerPool::new("t", 1, 16);
+        let (release_tx, release_rx) = crossbeam::channel::bounded::<()>(0);
+        let (done_tx, done_rx) = crossbeam::channel::bounded(16);
+        // 8 jobs that all block: with 1 base thread, progress requires growth.
+        for _ in 0..8 {
+            let rx = release_rx.clone();
+            let done = done_tx.clone();
+            pool.execute(move || {
+                rx.recv().unwrap();
+                done.send(()).unwrap();
+            });
+        }
+        // Give the pool a moment to start workers, then release all jobs.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(pool.thread_count() > 1);
+        for _ in 0..8 {
+            release_tx.send(()).unwrap();
+        }
+        for _ in 0..8 {
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+    }
+
+    #[test]
+    fn drop_stops_workers() {
+        let pool = WorkerPool::new("t", 2, 4);
+        pool.execute(|| {});
+        drop(pool);
+        // Nothing to assert beyond "no hang/panic" — workers exit on disconnect.
+    }
+}

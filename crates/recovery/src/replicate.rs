@@ -1,0 +1,151 @@
+//! The replication pipeline: replication log → ObjectStore (paper §4).
+
+use crate::{catalog_table, edge_table, edge_row_key, vertex_row_key, vertex_table};
+use a1_core::error::{A1Error, A1Result};
+use a1_core::replog::FetchedEntry;
+use a1_core::server::A1Cluster;
+use a1_json::Json;
+use a1_objectstore::{ObjectStore, StoreError};
+use a1_farm::MachineId;
+use std::sync::Arc;
+
+/// Durable watermark name for `tR` (§4).
+pub const TR_WATERMARK: &str = "tR";
+
+/// Drains the A1 replication log into ObjectStore.
+pub struct Replicator {
+    cluster: A1Cluster,
+    store: Arc<ObjectStore>,
+}
+
+impl Replicator {
+    /// The cluster must have been started with `dr_enabled`.
+    pub fn new(cluster: A1Cluster, store: Arc<ObjectStore>) -> A1Result<Replicator> {
+        if cluster.inner().replog.is_none() {
+            return Err(A1Error::Internal("cluster started without dr_enabled".into()));
+        }
+        Ok(Replicator { cluster, store })
+    }
+
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// Attempt to flush up to `max` oldest log entries (the asynchronous
+    /// sweeper, §4; call with a small `max` right after commit for the
+    /// synchronous attempt). Entries whose durable write fails stay in the
+    /// log for the next sweep. Returns how many were flushed.
+    pub fn sweep(&self, max: usize) -> A1Result<usize> {
+        let inner = self.cluster.inner();
+        let log = inner.replog.as_ref().expect("checked in new");
+        let entries = log.fetch_pending(&inner.farm, MachineId(0), max)?;
+        let mut flushed = 0;
+        for entry in entries {
+            match self.apply_entry(&entry) {
+                Ok(()) => {
+                    log.remove(&inner.farm, MachineId(0), &entry.key, entry.ptr)?;
+                    flushed += 1;
+                }
+                Err(StoreError::WriteFailed) => break, // retry later, keep FIFO
+                Err(e) => return Err(A1Error::Internal(e.to_string())),
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Sweep until the log is empty (or a durable write fails).
+    pub fn sweep_all(&self) -> A1Result<usize> {
+        let mut total = 0;
+        loop {
+            let n = self.sweep(64)?;
+            total += n;
+            if n == 0 {
+                return Ok(total);
+            }
+        }
+    }
+
+    /// Apply one log entry to ObjectStore under **both** schemes. All writes
+    /// are idempotent: timestamped rows discard stale updates; versioned
+    /// rows converge on re-insert (§4).
+    pub fn apply_entry(&self, entry: &FetchedEntry) -> Result<(), StoreError> {
+        let body = &entry.body;
+        let ts = entry.commit_ts;
+        let tenant = body.get("tenant").and_then(Json::as_str).unwrap_or("");
+        let graph = body.get("graph").and_then(Json::as_str).unwrap_or("");
+        let vt = vertex_table(tenant, graph);
+        let et = edge_table(tenant, graph);
+        match body.get("op").and_then(Json::as_str) {
+            Some("put_vertex") => {
+                let ty = body.get("type").and_then(Json::as_str).unwrap_or("");
+                let key = vertex_row_key(ty, body.get("key").unwrap_or(&Json::Null));
+                let value = body.get("data").unwrap_or(&Json::Null).to_string().into_bytes();
+                self.store.put_if_newer(&vt, &key, value.clone(), ts)?;
+                self.store.put_versioned(&vt, &key, ts, Some(value))?;
+            }
+            Some("del_vertex") => {
+                let ty = body.get("type").and_then(Json::as_str).unwrap_or("");
+                let key = vertex_row_key(ty, body.get("key").unwrap_or(&Json::Null));
+                self.store.delete_if_newer(&vt, &key, ts)?;
+                self.store.put_versioned(&vt, &key, ts, None)?;
+            }
+            Some("put_edge") => {
+                let key = edge_key_of(body);
+                let value = body.get("data").unwrap_or(&Json::Null).to_string().into_bytes();
+                self.store.put_if_newer(&et, &key, value.clone(), ts)?;
+                self.store.put_versioned(&et, &key, ts, Some(value))?;
+            }
+            Some("del_edge") => {
+                let key = edge_key_of(body);
+                self.store.delete_if_newer(&et, &key, ts)?;
+                self.store.put_versioned(&et, &key, ts, None)?;
+            }
+            _ => {} // unknown ops are skipped (forward compatibility)
+        }
+        Ok(())
+    }
+
+    /// Persist the current `tR`: the oldest commit timestamp still in the
+    /// log; when the log is empty, everything up to "now" is durable (§4).
+    pub fn update_watermark(&self) -> A1Result<u64> {
+        let inner = self.cluster.inner();
+        let log = inner.replog.as_ref().expect("checked in new");
+        let t_r = match log.oldest_pending_ts(&inner.farm, MachineId(0))? {
+            // Everything below the oldest *unreplicated* entry is durable.
+            Some(oldest) => oldest.saturating_sub(1),
+            None => inner.farm.clock().now(),
+        };
+        self.store
+            .put_watermark(TR_WATERMARK, t_r)
+            .map_err(|e| A1Error::Internal(e.to_string()))?;
+        Ok(t_r)
+    }
+
+    /// Replicate the control-plane catalog (graphs + type definitions) so a
+    /// fresh cluster can be rebuilt with the right schemas. Control-plane
+    /// operations are rare (§3); this snapshot approach mirrors the paper's
+    /// separation of data-plane log replication from metadata.
+    pub fn replicate_catalog(&self) -> A1Result<()> {
+        let inner = self.cluster.inner();
+        let mut tx = inner.farm.begin_read_only(MachineId(0));
+        let entries = inner.catalog.list_prefix(&mut tx, b"")?;
+        let table = self.store.table(&catalog_table());
+        let ts = inner.farm.clock().now();
+        for (key, value) in entries {
+            if key.starts_with("t/") || key.starts_with("g/") || key.starts_with("y/") {
+                table.put_if_newer(key.as_bytes(), value.to_string().into_bytes(), ts);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn edge_key_of(body: &Json) -> Vec<u8> {
+    edge_row_key(
+        body.get("src_type").and_then(Json::as_str).unwrap_or(""),
+        body.get("src").unwrap_or(&Json::Null),
+        body.get("etype").and_then(Json::as_str).unwrap_or(""),
+        body.get("dst_type").and_then(Json::as_str).unwrap_or(""),
+        body.get("dst").unwrap_or(&Json::Null),
+    )
+}

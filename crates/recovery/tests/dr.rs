@@ -1,0 +1,235 @@
+//! Disaster-recovery scenarios from paper §4, including the two worked
+//! examples of partial replication.
+
+use a1_core::{A1Cluster, A1Config, Json, MachineId};
+use a1_objectstore::{ObjectStore, StoreConfig};
+use a1_recovery::{recover_best_effort, recover_consistent, Replicator};
+
+const T: &str = "bing";
+const G: &str = "kg";
+
+const SCHEMA: &str = r#"{
+    "name": "entity",
+    "fields": [
+        {"id": 0, "name": "id", "type": "string", "required": true},
+        {"id": 1, "name": "name", "type": "list<string>"}
+    ]
+}"#;
+
+fn dr_cluster() -> (A1Cluster, Replicator) {
+    let cluster = A1Cluster::start(A1Config { dr_enabled: true, ..A1Config::small(3) }).unwrap();
+    let client = cluster.client();
+    client.create_tenant(T).unwrap();
+    client.create_graph(T, G).unwrap();
+    client.create_vertex_type(T, G, SCHEMA, "id", &[]).unwrap();
+    client
+        .create_edge_type(T, G, r#"{"name": "likes", "fields": []}"#)
+        .unwrap();
+    let store = ObjectStore::new(StoreConfig::default());
+    let repl = Replicator::new(cluster.clone(), store).unwrap();
+    repl.replicate_catalog().unwrap();
+    (cluster, repl)
+}
+
+#[test]
+fn full_replication_roundtrip_consistent() {
+    let (cluster, repl) = dr_cluster();
+    let client = cluster.client();
+    for id in ["a", "b", "c"] {
+        client
+            .create_vertex(T, G, "entity", &format!(r#"{{"id": "{id}", "name": ["{id}!"]}}"#))
+            .unwrap();
+    }
+    client
+        .create_edge(T, G, "entity", &Json::str("a"), "likes", "entity", &Json::str("b"), None)
+        .unwrap();
+    client
+        .create_edge(T, G, "entity", &Json::str("b"), "likes", "entity", &Json::str("c"), None)
+        .unwrap();
+
+    assert!(repl.sweep_all().unwrap() >= 5);
+    repl.update_watermark().unwrap();
+
+    let (recovered, report) =
+        recover_consistent(repl.store(), A1Config::small(2), T, G).unwrap();
+    assert_eq!(report.vertices, 3);
+    assert_eq!(report.edges, 2);
+    assert_eq!(report.dangling_edges_dropped, 0);
+
+    let rc = recovered.client();
+    let got = rc.get_vertex(T, G, "entity", &Json::str("a")).unwrap().unwrap();
+    assert_eq!(got.get("name").unwrap().at(0).unwrap().as_str(), Some("a!"));
+    let out = rc
+        .query(
+            T,
+            G,
+            r#"{"id": "a", "_out_edge": {"_type": "likes",
+                "_vertex": {"_select": ["_count(*)"]}}}"#,
+        )
+        .unwrap();
+    assert_eq!(out.count, Some(1));
+}
+
+/// Paper §4, scenario 1: vertices A and B replicated, the edge was not.
+/// Consistent recovery drops the whole transaction; best-effort keeps A and
+/// B but no edge.
+#[test]
+fn partial_replication_scenario_one() {
+    let (cluster, repl) = dr_cluster();
+    let client = cluster.client();
+    // One transaction: A, B, and the edge A→B.
+    let mut txn = client.transaction();
+    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "A"}"#).unwrap()).unwrap();
+    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "B"}"#).unwrap()).unwrap();
+    txn.create_edge(T, G, "entity", &Json::str("A"), "likes", "entity", &Json::str("B"), None)
+        .unwrap();
+    txn.commit_with_retry().unwrap();
+
+    // Replicate only A and B (log order: A, B, edge), then "disaster".
+    let inner = cluster.inner();
+    let log = inner.replog.as_ref().unwrap();
+    let entries = log.fetch_pending(&inner.farm, MachineId(0), 10).unwrap();
+    assert_eq!(entries.len(), 3);
+    // All three share the transaction's commit timestamp.
+    assert_eq!(entries[0].commit_ts, entries[1].commit_ts);
+    assert_eq!(entries[1].commit_ts, entries[2].commit_ts);
+    repl.apply_entry(&entries[0]).unwrap(); // A
+    repl.apply_entry(&entries[1]).unwrap(); // B
+    // tR is computed from what is still unreplicated — the edge.
+    repl.update_watermark().unwrap();
+
+    // Consistent recovery: none of A, B or the edge (the paper's rule).
+    let (consistent, report) =
+        recover_consistent(repl.store(), A1Config::small(2), T, G).unwrap();
+    assert_eq!(report.vertices, 0, "partial transaction excluded entirely");
+    assert_eq!(report.edges, 0);
+    let cc = consistent.client();
+    assert!(cc.get_vertex(T, G, "entity", &Json::str("A")).unwrap().is_none());
+
+    // Best-effort: A and B recovered, no edge between them.
+    let (best, report) = recover_best_effort(repl.store(), A1Config::small(2), T, G).unwrap();
+    assert_eq!(report.vertices, 2);
+    assert_eq!(report.edges, 0);
+    let bc = best.client();
+    assert!(bc.get_vertex(T, G, "entity", &Json::str("A")).unwrap().is_some());
+    assert!(bc.get_vertex(T, G, "entity", &Json::str("B")).unwrap().is_some());
+    let out = bc
+        .query(
+            T,
+            G,
+            r#"{"id": "A", "_out_edge": {"_type": "likes",
+                "_vertex": {"_select": ["_count(*)"]}}}"#,
+        )
+        .unwrap();
+    assert_eq!(out.count, Some(0));
+}
+
+/// Paper §4, scenario 2: A and the edge replicated, but not B. Best-effort
+/// recovers A, notices B is missing, and drops the edge — internally
+/// consistent, no dangling edges.
+#[test]
+fn partial_replication_scenario_two() {
+    let (cluster, repl) = dr_cluster();
+    let client = cluster.client();
+    let mut txn = client.transaction();
+    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "A"}"#).unwrap()).unwrap();
+    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "B"}"#).unwrap()).unwrap();
+    txn.create_edge(T, G, "entity", &Json::str("A"), "likes", "entity", &Json::str("B"), None)
+        .unwrap();
+    txn.commit_with_retry().unwrap();
+
+    let inner = cluster.inner();
+    let log = inner.replog.as_ref().unwrap();
+    let entries = log.fetch_pending(&inner.farm, MachineId(0), 10).unwrap();
+    repl.apply_entry(&entries[0]).unwrap(); // A
+    repl.apply_entry(&entries[2]).unwrap(); // the edge (B missing!)
+    repl.update_watermark().unwrap();
+
+    let (best, report) = recover_best_effort(repl.store(), A1Config::small(2), T, G).unwrap();
+    assert_eq!(report.vertices, 1);
+    assert_eq!(report.edges, 0);
+    assert_eq!(report.dangling_edges_dropped, 1, "edge to missing B dropped");
+    let bc = best.client();
+    assert!(bc.get_vertex(T, G, "entity", &Json::str("A")).unwrap().is_some());
+    assert!(bc.get_vertex(T, G, "entity", &Json::str("B")).unwrap().is_none());
+
+    // Consistent recovery still excludes everything.
+    let (_, report) = recover_consistent(repl.store(), A1Config::small(2), T, G).unwrap();
+    assert_eq!(report.vertices, 0);
+}
+
+/// Out-of-order and duplicate flushes converge (idempotency, §4).
+#[test]
+fn replication_is_idempotent_and_order_insensitive() {
+    let (cluster, repl) = dr_cluster();
+    let client = cluster.client();
+    client.create_vertex(T, G, "entity", r#"{"id": "v", "name": ["one"]}"#).unwrap();
+    client.update_vertex(T, G, "entity", r#"{"id": "v", "name": ["two"]}"#).unwrap();
+
+    let inner = cluster.inner();
+    let log = inner.replog.as_ref().unwrap();
+    let entries = log.fetch_pending(&inner.farm, MachineId(0), 10).unwrap();
+    assert_eq!(entries.len(), 2);
+    // Apply newest first, then the stale one, then the newest again.
+    repl.apply_entry(&entries[1]).unwrap();
+    repl.apply_entry(&entries[0]).unwrap();
+    repl.apply_entry(&entries[1]).unwrap();
+    repl.update_watermark().unwrap();
+
+    let (best, _) = recover_best_effort(repl.store(), A1Config::small(2), T, G).unwrap();
+    let got = best.client().get_vertex(T, G, "entity", &Json::str("v")).unwrap().unwrap();
+    assert_eq!(got.get("name").unwrap().at(0).unwrap().as_str(), Some("two"));
+}
+
+/// Deletes replicate as tombstones; recreation with a newer timestamp wins.
+#[test]
+fn delete_replication_and_tombstones() {
+    let (cluster, repl) = dr_cluster();
+    let client = cluster.client();
+    client.create_vertex(T, G, "entity", r#"{"id": "gone"}"#).unwrap();
+    client.create_vertex(T, G, "entity", r#"{"id": "stays"}"#).unwrap();
+    repl.sweep_all().unwrap();
+    client.delete_vertex(T, G, "entity", &Json::str("gone")).unwrap();
+    repl.sweep_all().unwrap();
+    repl.update_watermark().unwrap();
+
+    let (best, report) = recover_best_effort(repl.store(), A1Config::small(2), T, G).unwrap();
+    assert_eq!(report.vertices, 1);
+    let bc = best.client();
+    assert!(bc.get_vertex(T, G, "entity", &Json::str("gone")).unwrap().is_none());
+    assert!(bc.get_vertex(T, G, "entity", &Json::str("stays")).unwrap().is_some());
+
+    let (consistent, report) =
+        recover_consistent(repl.store(), A1Config::small(2), T, G).unwrap();
+    assert_eq!(report.vertices, 1);
+    assert!(consistent
+        .client()
+        .get_vertex(T, G, "entity", &Json::str("gone"))
+        .unwrap()
+        .is_none());
+}
+
+/// The sweeper retries after transient durable-write failures (§4's
+/// asynchronous sweeper path).
+#[test]
+fn sweeper_retries_after_write_failures() {
+    let (cluster, repl) = dr_cluster();
+    let client = cluster.client();
+    for i in 0..5 {
+        client
+            .create_vertex(T, G, "entity", &format!(r#"{{"id": "v{i}"}}"#))
+            .unwrap();
+    }
+    repl.store().set_write_fail_rate(1.0);
+    assert_eq!(repl.sweep(10).unwrap(), 0, "nothing flushes while the store is down");
+    let inner = cluster.inner();
+    assert_eq!(inner.replog.as_ref().unwrap().len(&inner.farm, MachineId(0)).unwrap(), 5);
+
+    repl.store().set_write_fail_rate(0.0);
+    assert_eq!(repl.sweep_all().unwrap(), 5);
+    assert!(inner.replog.as_ref().unwrap().is_empty(&inner.farm, MachineId(0)).unwrap());
+
+    // Watermark advances past everything once the log is empty.
+    let t_r = repl.update_watermark().unwrap();
+    assert!(t_r > 0);
+}

@@ -1,0 +1,4 @@
+//! A1: a distributed in-memory graph database (umbrella crate).
+pub use a1_core as core;
+pub use a1_farm as farm;
+pub use a1_rdma as rdma;

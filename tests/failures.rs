@@ -1,0 +1,161 @@
+//! Failure drills across the stack: machine kill with promotion, process
+//! crash with fast restart, and disaster recovery after total loss
+//! (paper §2.1, §4, §5.3).
+
+use a1::core::{A1Cluster, A1Config, Json, MachineId};
+use a1_objectstore::{ObjectStore, StoreConfig};
+use a1_recovery::{recover_best_effort, Replicator};
+
+const T: &str = "t";
+const G: &str = "g";
+
+fn seeded_cluster(machines: u32, dr: bool) -> A1Cluster {
+    let cluster = A1Cluster::start(A1Config { dr_enabled: dr, ..A1Config::small(machines) }).unwrap();
+    let client = cluster.client();
+    client.create_tenant(T).unwrap();
+    client.create_graph(T, G).unwrap();
+    client
+        .create_vertex_type(
+            T,
+            G,
+            r#"{"name": "node", "fields": [
+                {"id": 0, "name": "id", "type": "string", "required": true},
+                {"id": 1, "name": "rank", "type": "int64"}]}"#,
+            "id",
+            &[],
+        )
+        .unwrap();
+    client
+        .create_edge_type(T, G, r#"{"name": "link", "fields": []}"#)
+        .unwrap();
+    for i in 0..40 {
+        client
+            .create_vertex(T, G, "node", &format!(r#"{{"id": "n{i:02}"}}"#))
+            .unwrap();
+    }
+    for i in 0..39 {
+        client
+            .create_edge(
+                T,
+                G,
+                "node",
+                &Json::str(&format!("n{i:02}")),
+                "link",
+                "node",
+                &Json::str(&format!("n{:02}", i + 1)),
+                None,
+            )
+            .unwrap();
+    }
+    cluster
+}
+
+#[test]
+fn machine_kill_preserves_graph_and_availability() {
+    let cluster = seeded_cluster(6, false);
+    let client = cluster.client();
+
+    cluster.farm().kill_machine(MachineId(3));
+
+    // Everything is still readable (backups promoted, re-replicated).
+    for i in 0..40 {
+        assert!(
+            client
+                .get_vertex(T, G, "node", &Json::str(&format!("n{i:02}")))
+                .unwrap()
+                .is_some(),
+            "n{i:02} lost after failure"
+        );
+    }
+    // Traversals still work end to end.
+    let out = client
+        .query(
+            T,
+            G,
+            r#"{"id": "n00", "_out_edge": {"_type": "link",
+                "_vertex": {"_select": ["_count(*)"]}}}"#,
+        )
+        .unwrap();
+    assert_eq!(out.count, Some(1));
+    // Writes too.
+    client.create_vertex(T, G, "node", r#"{"id": "post-failure"}"#).unwrap();
+
+    // A second failure in a different fault domain is also survivable.
+    cluster.farm().kill_machine(MachineId(4));
+    assert!(client
+        .get_vertex(T, G, "node", &Json::str("n07"))
+        .unwrap()
+        .is_some());
+}
+
+#[test]
+fn process_crash_fast_restart_resumes_in_place() {
+    // Two machines, replicas=2 so killing one process leaves the data served
+    // by the survivor; restarting re-attaches PyCo memory on the crashed one.
+    let mut cfg = A1Config::small(2);
+    cfg.farm.replicas = 2;
+    let cluster = A1Cluster::start(cfg).unwrap();
+    let client = cluster.client();
+    client.create_tenant(T).unwrap();
+    client.create_graph(T, G).unwrap();
+    client
+        .create_vertex_type(
+            T,
+            G,
+            r#"{"name": "node", "fields": [
+                {"id": 0, "name": "id", "type": "string", "required": true}]}"#,
+            "id",
+            &[],
+        )
+        .unwrap();
+    for i in 0..10 {
+        client
+            .create_vertex(T, G, "node", &format!(r#"{{"id": "n{i}"}}"#))
+            .unwrap();
+    }
+
+    let farm = cluster.farm().clone();
+    farm.crash_process(MachineId(1));
+    farm.restart_process(MachineId(1));
+
+    for i in 0..10 {
+        assert!(client
+            .get_vertex(T, G, "node", &Json::str(&format!("n{i}")))
+            .unwrap()
+            .is_some());
+    }
+    client.create_vertex(T, G, "node", r#"{"id": "post-restart"}"#).unwrap();
+}
+
+#[test]
+fn disaster_then_best_effort_recovery() {
+    // Full pipeline: cluster with DR → replicate → total loss → recover
+    // into a brand-new cluster and verify the graph.
+    let cluster = seeded_cluster(3, true);
+    let store = ObjectStore::new(StoreConfig::default());
+    let repl = Replicator::new(cluster.clone(), store).unwrap();
+    repl.replicate_catalog().unwrap();
+    repl.sweep_all().unwrap();
+    repl.update_watermark().unwrap();
+
+    // "Power loss to the entire datacenter" — drop the cluster.
+    drop(cluster);
+
+    let (recovered, report) =
+        recover_best_effort(repl.store(), A1Config::small(3), T, G).unwrap();
+    assert_eq!(report.vertices, 40);
+    assert_eq!(report.edges, 39);
+    assert_eq!(report.dangling_edges_dropped, 0);
+    let rc = recovered.client();
+    let out = rc
+        .query(
+            T,
+            G,
+            r#"{"id": "n10", "_out_edge": {"_type": "link",
+                "_vertex": {"_out_edge": {"_type": "link",
+                "_vertex": {"_select": ["*"]}}}}}"#,
+        )
+        .unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0].get("id").unwrap().as_str(), Some("n12"));
+}
