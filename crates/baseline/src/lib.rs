@@ -60,8 +60,12 @@ pub struct TwoTierMetrics {
     pub sim_us: AtomicU64,
 }
 
+/// A cached lookup result: when it was cached, and the value (`None` caches
+/// a miss).
+type CacheEntry = (Instant, Option<Vec<u8>>);
+
 struct CacheServer {
-    entries: Mutex<HashMap<Vec<u8>, (Instant, Option<Vec<u8>>)>>,
+    entries: Mutex<HashMap<Vec<u8>, CacheEntry>>,
 }
 
 /// The two-tier graph store: durable tables + lookaside caches.
@@ -82,7 +86,9 @@ const ASSOC: &str = "assoc";
 impl TwoTierGraph {
     pub fn new(cfg: TwoTierConfig) -> TwoTierGraph {
         let caches = (0..cfg.cache_servers.max(1))
-            .map(|_| CacheServer { entries: Mutex::new(HashMap::new()) })
+            .map(|_| CacheServer {
+                entries: Mutex::new(HashMap::new()),
+            })
             .collect();
         TwoTierGraph {
             cfg,
@@ -127,7 +133,9 @@ impl TwoTierGraph {
     pub fn object_put(&self, id: &str, data: &Json) {
         let ts = self.tick();
         self.charge(self.cfg.client_rtt_us + self.cfg.db_rtt_us);
-        let _ = self.db.put_if_newer(OBJ, id.as_bytes(), data.to_string().into_bytes(), ts);
+        let _ = self
+            .db
+            .put_if_newer(OBJ, id.as_bytes(), data.to_string().into_bytes(), ts);
         // Asynchronous cache invalidation — stale reads possible until then.
         self.invalidate(id.as_bytes());
     }
@@ -177,18 +185,24 @@ impl TwoTierGraph {
             .table(ASSOC)
             .get(key)
             .and_then(|row| {
-                Json::parse(std::str::from_utf8(&row.value).ok()?).ok().and_then(|j| {
-                    j.as_arr().map(|a| {
-                        a.iter().filter_map(|v| v.as_str().map(String::from)).collect()
+                Json::parse(std::str::from_utf8(&row.value).ok()?)
+                    .ok()
+                    .and_then(|j| {
+                        j.as_arr().map(|a| {
+                            a.iter()
+                                .filter_map(|v| v.as_str().map(String::from))
+                                .collect()
+                        })
                     })
-                })
             })
             .unwrap_or_default();
         if !list.iter().any(|m| m == member) {
             list.push(member.to_string());
         }
         let json = Json::Arr(list.into_iter().map(Json::Str).collect());
-        let _ = self.db.put_if_newer(ASSOC, key, json.to_string().into_bytes(), ts);
+        let _ = self
+            .db
+            .put_if_newer(ASSOC, key, json.to_string().into_bytes(), ts);
         self.invalidate(key);
     }
 
@@ -197,11 +211,15 @@ impl TwoTierGraph {
         let key = Self::assoc_key(src, ty);
         self.lookaside(ASSOC, &key)
             .and_then(|bytes| {
-                Json::parse(std::str::from_utf8(&bytes).ok()?).ok().and_then(|j| {
-                    j.as_arr().map(|a| {
-                        a.iter().filter_map(|v| v.as_str().map(String::from)).collect()
+                Json::parse(std::str::from_utf8(&bytes).ok()?)
+                    .ok()
+                    .and_then(|j| {
+                        j.as_arr().map(|a| {
+                            a.iter()
+                                .filter_map(|v| v.as_str().map(String::from))
+                                .collect()
+                        })
                     })
-                })
             })
             .unwrap_or_default()
     }
@@ -306,7 +324,10 @@ mod tests {
         g.object_put("a", &Json::obj(vec![("name", Json::str("A"))]));
         g.object_put("b", &Json::obj(vec![("name", Json::str("B"))]));
         g.assoc_add("a", "likes", "b");
-        assert_eq!(g.object_get("a").unwrap().get("name").unwrap().as_str(), Some("A"));
+        assert_eq!(
+            g.object_get("a").unwrap().get("name").unwrap().as_str(),
+            Some("A")
+        );
         assert_eq!(g.assoc_range("a", "likes"), vec!["b".to_string()]);
         assert_eq!(g.assoc_range_inverse("b", "likes"), vec!["a".to_string()]);
         assert!(g.object_get("zz").is_none());
@@ -339,8 +360,15 @@ mod tests {
         g.object_put("y", &Json::obj(vec![]));
         g.inject_crash_after_forward();
         g.assoc_add("x", "knows", "y");
-        assert_eq!(g.assoc_range("x", "knows"), vec!["y".to_string()], "forward link exists");
-        assert!(g.assoc_range_inverse("y", "knows").is_empty(), "backward link missing!");
+        assert_eq!(
+            g.assoc_range("x", "knows"),
+            vec!["y".to_string()],
+            "forward link exists"
+        );
+        assert!(
+            g.assoc_range_inverse("y", "knows").is_empty(),
+            "backward link missing!"
+        );
     }
 
     #[test]
@@ -348,14 +376,19 @@ mod tests {
         let g = graph();
         g.object_put("v", &Json::obj(vec![("n", Json::Num(1.0))]));
         let _ = g.object_get("v"); // warm the cache
-        // Plant a stale value to simulate a lost/pending invalidation, then
-        // update the durable store directly (another client's write whose
-        // invalidation hasn't reached this cache).
+                                   // Plant a stale value to simulate a lost/pending invalidation, then
+                                   // update the durable store directly (another client's write whose
+                                   // invalidation hasn't reached this cache).
         g.poison_cache("objects", "v", br#"{"n":1}"#);
         let ts = g.tick();
-        let _ = g.db.put_if_newer("objects", b"v", br#"{"n":2}"#.to_vec(), ts);
+        let _ =
+            g.db.put_if_newer("objects", b"v", br#"{"n":2}"#.to_vec(), ts);
         let read = g.object_get("v").unwrap();
-        assert_eq!(read.get("n").unwrap().as_f64(), Some(1.0), "eventual consistency: stale");
+        assert_eq!(
+            read.get("n").unwrap().as_f64(),
+            Some(1.0),
+            "eventual consistency: stale"
+        );
     }
 
     #[test]

@@ -7,12 +7,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_btree(c: &mut Criterion) {
     let farm = FarmCluster::start(FarmConfig::small(3));
     let tree = farm
-        .run(MachineId(0), |tx| BTree::create(tx, BTreeConfig::default(), Hint::Local))
+        .run(MachineId(0), |tx| {
+            BTree::create(tx, BTreeConfig::default(), Hint::Local)
+        })
         .unwrap();
     for i in 0..1000u32 {
         let key = format!("key{i:06}");
-        farm.run(MachineId(0), |tx| tree.insert(tx, key.as_bytes(), b"value").map(|_| ()))
-            .unwrap();
+        farm.run(MachineId(0), |tx| {
+            tree.insert(tx, key.as_bytes(), b"value").map(|_| ())
+        })
+        .unwrap();
     }
 
     let mut g = c.benchmark_group("btree");
@@ -27,8 +31,10 @@ fn bench_btree(c: &mut Criterion) {
     });
     g.bench_function("insert_then_remove", |b| {
         b.iter(|| {
-            farm.run(MachineId(0), |tx| tree.insert(tx, b"zz-temp", b"v").map(|_| ()))
-                .unwrap();
+            farm.run(MachineId(0), |tx| {
+                tree.insert(tx, b"zz-temp", b"v").map(|_| ())
+            })
+            .unwrap();
             farm.run(MachineId(0), |tx| tree.remove(tx, b"zz-temp").map(|_| ()))
                 .unwrap();
         })

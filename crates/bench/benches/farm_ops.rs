@@ -8,10 +8,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_farm(c: &mut Criterion) {
     let farm = FarmCluster::start(FarmConfig::small(3));
     let local = farm
-        .run(MachineId(0), |tx| tx.alloc(220, Hint::Machine(MachineId(0)), &[1; 220]))
+        .run(MachineId(0), |tx| {
+            tx.alloc(220, Hint::Machine(MachineId(0)), &[1; 220])
+        })
         .unwrap();
     let remote = farm
-        .run(MachineId(0), |tx| tx.alloc(220, Hint::Machine(MachineId(1)), &[1; 220]))
+        .run(MachineId(0), |tx| {
+            tx.alloc(220, Hint::Machine(MachineId(1)), &[1; 220])
+        })
         .unwrap();
 
     let mut g = c.benchmark_group("farm");
@@ -29,7 +33,9 @@ fn bench_farm(c: &mut Criterion) {
     });
     g.bench_function("rw_txn_counter_increment", |b| {
         let ptr = farm
-            .run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &0u64.to_le_bytes()))
+            .run(MachineId(0), |tx| {
+                tx.alloc(8, Hint::Local, &0u64.to_le_bytes())
+            })
             .unwrap();
         b.iter(|| {
             farm.run(MachineId(0), |tx| {

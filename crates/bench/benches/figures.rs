@@ -35,7 +35,13 @@ fn bench_figures(c: &mut Criterion) {
     let des = |profile: &QueryProfile, machines: usize, qps: f64| {
         simulate(
             profile,
-            &DesConfig { machines, qps, duration_s: 0.3, warmup_s: 0.1, ..DesConfig::default() },
+            &DesConfig {
+                machines,
+                qps,
+                duration_s: 0.3,
+                warmup_s: 0.1,
+                ..DesConfig::default()
+            },
         )
     };
     g.bench_function("fig10_q1_des_point", |b| {

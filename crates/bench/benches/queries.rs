@@ -15,17 +15,13 @@ fn bench_queries(c: &mut Criterion) {
     ];
     let mut g = c.benchmark_group("table2_queries");
     for (name, text) in &queries {
-        g.bench_function(*name, |b| {
+        g.bench_function(name, |b| {
             b.iter(|| std::hint::black_box(kg.client.query(TENANT, GRAPH, text).unwrap()))
         });
     }
     g.bench_function("point_get_vertex", |b| {
         let id = a1_core::Json::str(&kg.director_id);
-        b.iter(|| {
-            std::hint::black_box(
-                kg.client.get_vertex(TENANT, GRAPH, "entity", &id).unwrap(),
-            )
-        })
+        b.iter(|| std::hint::black_box(kg.client.get_vertex(TENANT, GRAPH, "entity", &id).unwrap()))
     });
     g.finish();
 }

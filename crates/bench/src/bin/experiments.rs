@@ -39,8 +39,18 @@ fn main() {
     };
 
     let all = [
-        "table2", "fig10", "fig11", "fig12", "fig13", "fig14", "q4", "locality", "baseline",
-        "ablation-mvcc", "ablation-edges", "fast-restart",
+        "table2",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "q4",
+        "locality",
+        "baseline",
+        "ablation-mvcc",
+        "ablation-edges",
+        "fast-restart",
     ];
     if target == "all" {
         for name in all {

@@ -104,9 +104,8 @@ impl QueryProfile {
             if hop.spread == 0 {
                 total += hop.worker_total_us + hop.coord_us;
             } else {
-                total += 2.0 * self.rpc_net_us
-                    + hop.worker_total_us / hop.spread as f64
-                    + hop.coord_us;
+                total +=
+                    2.0 * self.rpc_net_us + hop.worker_total_us / hop.spread as f64 + hop.coord_us;
             }
         }
         total
@@ -136,7 +135,10 @@ mod tests {
         let outcome = QueryOutcome {
             rows: vec![],
             count: Some(2),
-            metrics: a1_core::QueryMetrics { vertices_read: 100, ..Default::default() },
+            metrics: a1_core::QueryMetrics {
+                vertices_read: 100,
+                ..Default::default()
+            },
             continuation: None,
             per_hop: vec![hop(90, 10, 100, 4, 50)],
         };

@@ -65,9 +65,16 @@ enum Task {
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Event {
     Arrival(usize),
-    Done { machine: usize, task: Task },
+    Done {
+        machine: usize,
+        task: Task,
+    },
     /// Network delivery: enqueue `task` at `machine` with service `us`.
-    Deliver { machine: usize, task: Task, us: f64 },
+    Deliver {
+        machine: usize,
+        task: Task,
+        us: f64,
+    },
 }
 
 struct QueryState {
@@ -91,7 +98,11 @@ pub fn simulate(profile: &QueryProfile, cfg: &DesConfig) -> DesResult {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let total_us = (cfg.warmup_s + cfg.duration_s) * 1e6;
     let mut machines: Vec<Machine> = (0..cfg.machines)
-        .map(|_| Machine { busy: 0, queue: VecDeque::new(), busy_us: 0.0 })
+        .map(|_| Machine {
+            busy: 0,
+            queue: VecDeque::new(),
+            busy_us: 0.0,
+        })
         .collect();
     let mut queries: Vec<QueryState> = Vec::new();
     let mut latencies: Vec<f64> = Vec::new();
@@ -102,9 +113,9 @@ pub fn simulate(profile: &QueryProfile, cfg: &DesConfig) -> DesResult {
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
     let mut events: Vec<Event> = Vec::new();
     let push = |heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
-                    events: &mut Vec<Event>,
-                    t_us: f64,
-                    e: Event| {
+                events: &mut Vec<Event>,
+                t_us: f64,
+                e: Event| {
         let idx = events.len();
         events.push(e);
         heap.push(Reverse(((t_us * 1000.0) as u64, idx)));
@@ -155,11 +166,16 @@ pub fn simulate(profile: &QueryProfile, cfg: &DesConfig) -> DesResult {
                         done: false,
                     });
                     let task = Task::Coord { q, stage: 0 };
-                    push(&mut heap, &mut events, now, Event::Deliver {
-                        machine: coordinator,
-                        task,
-                        us: service(&task, profile),
-                    });
+                    push(
+                        &mut heap,
+                        &mut events,
+                        now,
+                        Event::Deliver {
+                            machine: coordinator,
+                            task,
+                            us: service(&task, profile),
+                        },
+                    );
                     // Schedule the next arrival.
                     let dt = -inter * (1.0 - rng.gen::<f64>()).ln();
                     push(&mut heap, &mut events, now + dt, Event::Arrival(0));
@@ -170,7 +186,12 @@ pub fn simulate(profile: &QueryProfile, cfg: &DesConfig) -> DesResult {
                 if m.busy < cfg.threads_per_machine {
                     m.busy += 1;
                     m.busy_us += us;
-                    push(&mut heap, &mut events, now + us, Event::Done { machine, task });
+                    push(
+                        &mut heap,
+                        &mut events,
+                        now + us,
+                        Event::Done { machine, task },
+                    );
                 } else {
                     m.queue.push_back((task, us));
                 }
@@ -181,10 +202,15 @@ pub fn simulate(profile: &QueryProfile, cfg: &DesConfig) -> DesResult {
                     let m = &mut machines[machine];
                     if let Some((next_task, us)) = m.queue.pop_front() {
                         m.busy_us += us;
-                        push(&mut heap, &mut events, now + us, Event::Done {
-                            machine,
-                            task: next_task,
-                        });
+                        push(
+                            &mut heap,
+                            &mut events,
+                            now + us,
+                            Event::Done {
+                                machine,
+                                task: next_task,
+                            },
+                        );
                     } else {
                         m.busy -= 1;
                     }
@@ -215,11 +241,16 @@ pub fn simulate(profile: &QueryProfile, cfg: &DesConfig) -> DesResult {
                             let t = Task::Worker { q, stage: hop_idx };
                             queries[q].outstanding = 1;
                             queries[q].next_hop = hop_idx + 1;
-                            push(&mut heap, &mut events, now, Event::Deliver {
-                                machine: coordinator,
-                                task: t,
-                                us: service(&t, profile),
-                            });
+                            push(
+                                &mut heap,
+                                &mut events,
+                                now,
+                                Event::Deliver {
+                                    machine: coordinator,
+                                    task: t,
+                                    us: service(&t, profile),
+                                },
+                            );
                         } else {
                             queries[q].outstanding = hop.spread;
                             queries[q].next_hop = hop_idx + 1;
@@ -231,7 +262,11 @@ pub fn simulate(profile: &QueryProfile, cfg: &DesConfig) -> DesResult {
                                     &mut heap,
                                     &mut events,
                                     now + profile.rpc_net_us,
-                                    Event::Deliver { machine: worker, task: t, us: service(&t, profile) },
+                                    Event::Deliver {
+                                        machine: worker,
+                                        task: t,
+                                        us: service(&t, profile),
+                                    },
                                 );
                             }
                         }
@@ -242,15 +277,26 @@ pub fn simulate(profile: &QueryProfile, cfg: &DesConfig) -> DesResult {
                         if qs.outstanding == 0 {
                             // Barrier done → coordinator aggregation stage.
                             let hop = &profile.hops[stage];
-                            let reply_net =
-                                if hop.spread == 0 { 0.0 } else { profile.rpc_net_us };
-                            let t = Task::Coord { q, stage: stage + 1 };
+                            let reply_net = if hop.spread == 0 {
+                                0.0
+                            } else {
+                                profile.rpc_net_us
+                            };
+                            let t = Task::Coord {
+                                q,
+                                stage: stage + 1,
+                            };
                             let coordinator = qs.coordinator;
-                            push(&mut heap, &mut events, now + reply_net, Event::Deliver {
-                                machine: coordinator,
-                                task: t,
-                                us: service(&t, profile),
-                            });
+                            push(
+                                &mut heap,
+                                &mut events,
+                                now + reply_net,
+                                Event::Deliver {
+                                    machine: coordinator,
+                                    task: t,
+                                    us: service(&t, profile),
+                                },
+                            );
                         }
                     }
                 }
@@ -260,7 +306,12 @@ pub fn simulate(profile: &QueryProfile, cfg: &DesConfig) -> DesResult {
 
     latencies.sort_by(|a, b| a.total_cmp(b));
     let n = latencies.len().max(1);
-    let pct = |p: f64| latencies.get(((n as f64 * p) as usize).min(n - 1)).copied().unwrap_or(0.0);
+    let pct = |p: f64| {
+        latencies
+            .get(((n as f64 * p) as usize).min(n - 1))
+            .copied()
+            .unwrap_or(0.0)
+    };
     let avg = latencies.iter().sum::<f64>() / n as f64;
     let busy_total: f64 = machines.iter().map(|m| m.busy_us).sum();
     DesResult {
@@ -271,8 +322,7 @@ pub fn simulate(profile: &QueryProfile, cfg: &DesConfig) -> DesResult {
         p50_ms: pct(0.50) / 1000.0,
         p99_ms: pct(0.99) / 1000.0,
         vertex_reads_per_s: vertices_in_window as f64 / cfg.duration_s,
-        utilization: busy_total
-            / ((cfg.machines * cfg.threads_per_machine) as f64 * total_us),
+        utilization: busy_total / ((cfg.machines * cfg.threads_per_machine) as f64 * total_us),
     }
 }
 
@@ -286,8 +336,18 @@ mod tests {
             name: "t".into(),
             coord_base_us: 50.0,
             hops: vec![
-                HopDemand { worker_total_us: 200.0, spread: 4, coord_us: 20.0, vertices: 50 },
-                HopDemand { worker_total_us: 2000.0, spread: 20, coord_us: 400.0, vertices: 1600 },
+                HopDemand {
+                    worker_total_us: 200.0,
+                    spread: 4,
+                    coord_us: 20.0,
+                    vertices: 50,
+                },
+                HopDemand {
+                    worker_total_us: 2000.0,
+                    spread: 20,
+                    coord_us: 400.0,
+                    vertices: 1600,
+                },
             ],
             rpc_net_us: 15.0,
             vertices_per_query: 1650,
@@ -297,7 +357,12 @@ mod tests {
     #[test]
     fn low_load_latency_near_unloaded() {
         let p = profile();
-        let cfg = DesConfig { machines: 50, qps: 100.0, duration_s: 1.0, ..Default::default() };
+        let cfg = DesConfig {
+            machines: 50,
+            qps: 100.0,
+            duration_s: 1.0,
+            ..Default::default()
+        };
         let r = simulate(&p, &cfg);
         assert!(r.completed > 40, "completed {}", r.completed);
         let unloaded_ms = p.unloaded_latency_us() / 1000.0;
@@ -315,11 +380,21 @@ mod tests {
         let p = profile();
         let lo = simulate(
             &p,
-            &DesConfig { machines: 20, qps: 500.0, duration_s: 1.0, ..Default::default() },
+            &DesConfig {
+                machines: 20,
+                qps: 500.0,
+                duration_s: 1.0,
+                ..Default::default()
+            },
         );
         let hi = simulate(
             &p,
-            &DesConfig { machines: 20, qps: 20_000.0, duration_s: 1.0, ..Default::default() },
+            &DesConfig {
+                machines: 20,
+                qps: 20_000.0,
+                duration_s: 1.0,
+                ..Default::default()
+            },
         );
         assert!(
             hi.p99_ms > lo.p99_ms,
@@ -335,11 +410,21 @@ mod tests {
         let p = profile();
         let small = simulate(
             &p,
-            &DesConfig { machines: 10, qps: 8000.0, duration_s: 1.0, ..Default::default() },
+            &DesConfig {
+                machines: 10,
+                qps: 8000.0,
+                duration_s: 1.0,
+                ..Default::default()
+            },
         );
         let big = simulate(
             &p,
-            &DesConfig { machines: 55, qps: 8000.0, duration_s: 1.0, ..Default::default() },
+            &DesConfig {
+                machines: 55,
+                qps: 8000.0,
+                duration_s: 1.0,
+                ..Default::default()
+            },
         );
         assert!(
             big.p99_ms <= small.p99_ms,
@@ -354,7 +439,12 @@ mod tests {
     #[test]
     fn deterministic_with_seed() {
         let p = profile();
-        let cfg = DesConfig { machines: 10, qps: 1000.0, duration_s: 0.5, ..Default::default() };
+        let cfg = DesConfig {
+            machines: 10,
+            qps: 1000.0,
+            duration_s: 0.5,
+            ..Default::default()
+        };
         let a = simulate(&p, &cfg);
         let b = simulate(&p, &cfg);
         assert_eq!(a.completed, b.completed);

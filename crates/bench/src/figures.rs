@@ -35,7 +35,11 @@ fn measure(kg: &KnowledgeGraph, name: &str, text: &str) -> (QueryProfile, a1_cor
 pub fn table2() -> String {
     let kg = KnowledgeGraph::load(kg_cluster_config(), KnowledgeGraphSpec::default());
     let mut out = String::new();
-    writeln!(out, "== Table 2: evaluation queries (measured on the synthetic KG) ==").unwrap();
+    writeln!(
+        out,
+        "== Table 2: evaluation queries (measured on the synthetic KG) =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<4} {:>8} {:>10} {:>9} {:>9} {:>8} {:>7} {:>7}",
@@ -79,8 +83,16 @@ pub fn table2() -> String {
 pub fn latency_vs_throughput(which: &str) -> String {
     let kg = KnowledgeGraph::load(kg_cluster_config(), KnowledgeGraphSpec::default());
     let (name, text, paper_note) = match which {
-        "fig10" => ("Q1", kg.q1(), "paper: ~8 ms avg / 14 ms P99 at 20k qps, tight spread"),
-        "fig12" => ("Q2", kg.q2(), "paper: low-ms avg, rising P99 near saturation (log scale)"),
+        "fig10" => (
+            "Q1",
+            kg.q1(),
+            "paper: ~8 ms avg / 14 ms P99 at 20k qps, tight spread",
+        ),
+        "fig12" => (
+            "Q2",
+            kg.q2(),
+            "paper: low-ms avg, rising P99 near saturation (log scale)",
+        ),
         "fig13" => ("Q3", kg.q3(), "paper: <10 ms avg up to 20k qps"),
         _ => panic!("unknown figure"),
     };
@@ -99,9 +111,20 @@ pub fn latency_vs_throughput(which: &str) -> String {
         outcome.count
     )
     .unwrap();
-    writeln!(out, "{:>10} {:>10} {:>10} {:>10} {:>8}", "qps", "avg ms", "p50 ms", "p99 ms", "util").unwrap();
+    writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>10} {:>8}",
+        "qps", "avg ms", "p50 ms", "p99 ms", "util"
+    )
+    .unwrap();
     for qps in [2_000.0, 5_000.0, 10_000.0, 20_000.0] {
-        let r = simulate(&profile, &DesConfig { qps, ..DesConfig::default() });
+        let r = simulate(
+            &profile,
+            &DesConfig {
+                qps,
+                ..DesConfig::default()
+            },
+        );
         writeln!(
             out,
             "{:>10} {:>10.2} {:>10.2} {:>10.2} {:>7.1}%",
@@ -133,7 +156,11 @@ pub fn fig11() -> String {
         .collect();
     let fabric = farm.fabric();
     let mut out = String::new();
-    writeln!(out, "== Figure 11: total RDMA read latency vs number of reads ==").unwrap();
+    writeln!(
+        out,
+        "== Figure 11: total RDMA read latency vs number of reads =="
+    )
+    .unwrap();
     writeln!(out, "{:>7} {:>12}", "reads", "total µs").unwrap();
     for n in 0..=10usize {
         let before = fabric.metrics().snapshot().sim_ns;
@@ -154,11 +181,15 @@ pub fn q4_stress() -> String {
     let kg = KnowledgeGraph::load(kg_cluster_config(), KnowledgeGraphSpec::default());
     let (profile, outcome) = measure(&kg, "Q4", &kg.q4());
     let mut out = String::new();
-    writeln!(out, "== §6 Q4 stress: throughput of vertex reads (DES; 245 machines) ==").unwrap();
     writeln!(
         out,
-        "profile: {} vertices/query ({} at paper scale)",
-        outcome.metrics.vertices_read, "24,312"
+        "== §6 Q4 stress: throughput of vertex reads (DES; 245 machines) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "profile: {} vertices/query (24,312 at paper scale)",
+        outcome.metrics.vertices_read
     )
     .unwrap();
     writeln!(
@@ -170,7 +201,11 @@ pub fn q4_stress() -> String {
     for qps in [1_000.0, 5_000.0, 15_000.0] {
         let r = simulate(
             &profile,
-            &DesConfig { qps, duration_s: 1.0, ..DesConfig::default() },
+            &DesConfig {
+                qps,
+                duration_s: 1.0,
+                ..DesConfig::default()
+            },
         );
         writeln!(
             out,
@@ -183,8 +218,11 @@ pub fn q4_stress() -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(paper: 33 ms at 1k qps; 365M vertex reads/s = 1.49M/machine at 15k qps)")
-        .unwrap();
+    writeln!(
+        out,
+        "(paper: 33 ms at 1k qps; 365M vertex reads/s = 1.49M/machine at 15k qps)"
+    )
+    .unwrap();
     out
 }
 
@@ -212,9 +250,18 @@ pub fn fig14(scale_divisor: usize) -> String {
         let mut profiles = Vec::new();
         for s in starts.iter().take(8) {
             let o = inner
-                .coordinate_query(MachineId(0), TENANT, GRAPH, &UniformGraphSpec::two_hop_query(s))
+                .coordinate_query(
+                    MachineId(0),
+                    TENANT,
+                    GRAPH,
+                    &UniformGraphSpec::two_hop_query(s),
+                )
                 .unwrap();
-            profiles.push(QueryProfile::from_outcome("2hop", &o, &CostModel::default()));
+            profiles.push(QueryProfile::from_outcome(
+                "2hop",
+                &o,
+                &CostModel::default(),
+            ));
         }
         let profile = average_profiles(&profiles);
         for qps in [5_000.0, 20_000.0, 80_000.0, 160_000.0, 320_000.0] {
@@ -251,7 +298,10 @@ fn average_profiles(profiles: &[QueryProfile]) -> QueryProfile {
     let max_hops = profiles.iter().map(|p| p.hops.len()).max().unwrap_or(0);
     let mut hops = Vec::new();
     for h in 0..max_hops {
-        let with = profiles.iter().filter_map(|p| p.hops.get(h)).collect::<Vec<_>>();
+        let with = profiles
+            .iter()
+            .filter_map(|p| p.hops.get(h))
+            .collect::<Vec<_>>();
         let n = with.len().max(1) as f64;
         hops.push(crate::costmodel::HopDemand {
             worker_total_us: with.iter().map(|d| d.worker_total_us).sum::<f64>() / n,
@@ -311,7 +361,10 @@ pub fn baseline_compare() -> String {
             tt.assoc_add(
                 &format!("film{f:04}"),
                 "actor",
-                &format!("actor{:05}", (f * spec.actors_per_film + a) % spec.actor_pool),
+                &format!(
+                    "actor{:05}",
+                    (f * spec.actors_per_film + a) % spec.actor_pool
+                ),
             );
             edges += 1;
             if edges >= outcome.metrics.edges_visited {
@@ -326,10 +379,23 @@ pub fn baseline_compare() -> String {
     let tt_ms = (tt.sim_us() - before) as f64 / 1000.0;
 
     let mut out = String::new();
-    writeln!(out, "== §5: A1 vs TAO-style two-tier cache (2-hop query) ==").unwrap();
+    writeln!(
+        out,
+        "== §5: A1 vs TAO-style two-tier cache (2-hop query) =="
+    )
+    .unwrap();
     writeln!(out, "A1 (operator shipping):        {a1_ms:>8.2} ms").unwrap();
-    writeln!(out, "two-tier (client-side, warm):  {tt_ms:>8.2} ms  ({count} results)").unwrap();
-    writeln!(out, "speedup:                        {:>8.1}x", tt_ms / a1_ms).unwrap();
+    writeln!(
+        out,
+        "two-tier (client-side, warm):  {tt_ms:>8.2} ms  ({count} results)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "speedup:                        {:>8.1}x",
+        tt_ms / a1_ms
+    )
+    .unwrap();
     writeln!(out, "(paper: A1 improves average serving latency 3.6x)").unwrap();
     out
 }
@@ -395,8 +461,17 @@ pub fn ablation_mvcc() -> String {
     let (v1_ok, v1_abort, v1_risks) = run(TxnMode::V1Occ);
     let (v2_ok, v2_abort, v2_risks) = run(TxnMode::V2Mvcc);
     let mut out = String::new();
-    writeln!(out, "== §5.2 ablation: opacity + MVCC (200 large read-only queries under churn) ==").unwrap();
-    writeln!(out, "{:<10} {:>10} {:>10} {:>12} {:>16}", "mode", "committed", "aborted", "abort rate", "opacity risks").unwrap();
+    writeln!(
+        out,
+        "== §5.2 ablation: opacity + MVCC (200 large read-only queries under churn) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>10} {:>10} {:>12} {:>16}",
+        "mode", "committed", "aborted", "abort rate", "opacity risks"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<10} {:>10} {:>10} {:>11.1}% {:>16}",
@@ -417,7 +492,11 @@ pub fn ablation_mvcc() -> String {
         v2_risks
     )
     .unwrap();
-    writeln!(out, "(paper: v1's OCC aborts large queries frequently; v2's MVCC read-only txns never abort)").unwrap();
+    writeln!(
+        out,
+        "(paper: v1's OCC aborts large queries frequently; v2's MVCC read-only txns never abort)"
+    )
+    .unwrap();
     out
 }
 
@@ -425,7 +504,11 @@ pub fn ablation_mvcc() -> String {
 /// spill threshold. Real measurements of enumeration cost.
 pub fn ablation_edges() -> String {
     let mut out = String::new();
-    writeln!(out, "== §3.2 ablation: inline edge list vs global edge B-tree ==").unwrap();
+    writeln!(
+        out,
+        "== §3.2 ablation: inline edge list vs global edge B-tree =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>8} {:>14} {:>16} {:>14}",
@@ -447,7 +530,9 @@ pub fn ablation_edges() -> String {
         client
             .create_edge_type(TENANT, GRAPH, r#"{"name": "has", "fields": []}"#)
             .unwrap();
-        client.create_vertex(TENANT, GRAPH, "entity", r#"{"id": "hub"}"#).unwrap();
+        client
+            .create_vertex(TENANT, GRAPH, "entity", r#"{"id": "hub"}"#)
+            .unwrap();
         for i in 0..degree {
             client
                 .create_vertex(TENANT, GRAPH, "entity", &format!(r#"{{"id": "l{i:05}"}}"#))
@@ -473,10 +558,8 @@ pub fn ablation_edges() -> String {
                 MachineId(0),
                 TENANT,
                 GRAPH,
-                &format!(
-                    r#"{{"id": "hub", "_out_edge": {{"_type": "has",
-                        "_vertex": {{"_select": ["_count(*)"]}}}}}}"#
-                ),
+                r#"{"id": "hub", "_out_edge": {"_type": "has",
+                        "_vertex": {"_select": ["_count(*)"]}}}"#,
             )
             .unwrap();
         assert_eq!(out_q.count, Some(degree as u64));
@@ -492,14 +575,22 @@ pub fn ablation_edges() -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(paper: inline lists to ~1000 edges — one extra read; spill to B-tree beyond)").unwrap();
+    writeln!(
+        out,
+        "(paper: inline lists to ~1000 edges — one extra read; spill to B-tree beyond)"
+    )
+    .unwrap();
     out
 }
 
 /// §5.3: fast restart vs full re-replication.
 pub fn fast_restart() -> String {
     let mut out = String::new();
-    writeln!(out, "== §5.3: fast restart (PyCo) vs reboot re-replication ==").unwrap();
+    writeln!(
+        out,
+        "== §5.3: fast restart (PyCo) vs reboot re-replication =="
+    )
+    .unwrap();
 
     // Fast restart: process crash preserves region memory.
     let farm = FarmCluster::start(FarmConfig::small(3));
@@ -514,7 +605,12 @@ pub fn fast_restart() -> String {
     farm.crash_process(MachineId(1));
     farm.restart_process(MachineId(1));
     let fast_us = t0.elapsed().as_micros();
-    let fast_bytes = farm.fabric().metrics().snapshot().delta_since(&before).bytes_read;
+    let fast_bytes = farm
+        .fabric()
+        .metrics()
+        .snapshot()
+        .delta_since(&before)
+        .bytes_read;
 
     // Reboot: memory gone; CM re-replicates whole regions.
     let farm2 = FarmCluster::start(FarmConfig::small(4));
@@ -531,14 +627,23 @@ pub fn fast_restart() -> String {
     let reboot_us = t0.elapsed().as_micros();
     let delta = farm2.fabric().metrics().snapshot().delta_since(&before);
 
-    writeln!(out, "fast restart:  {:>8} µs wall, {:>12} bytes copied", fast_us, fast_bytes).unwrap();
+    writeln!(
+        out,
+        "fast restart:  {:>8} µs wall, {:>12} bytes copied",
+        fast_us, fast_bytes
+    )
+    .unwrap();
     writeln!(
         out,
         "reboot:        {:>8} µs wall, {:>12} simulated-ns of re-replication traffic",
         reboot_us, delta.sim_ns
     )
     .unwrap();
-    writeln!(out, "(paper: fast restart cut downtime by an order of magnitude)").unwrap();
+    writeln!(
+        out,
+        "(paper: fast restart cut downtime by an order of magnitude)"
+    )
+    .unwrap();
     out
 }
 
@@ -552,9 +657,8 @@ mod tests {
         assert!(text.contains("reads"));
         // 10 reads should cost roughly 10× one read (±50%).
         let lines: Vec<&str> = text.lines().collect();
-        let parse = |line: &str| -> f64 {
-            line.split_whitespace().nth(1).unwrap().parse().unwrap()
-        };
+        let parse =
+            |line: &str| -> f64 { line.split_whitespace().nth(1).unwrap().parse().unwrap() };
         let one = parse(lines[3]); // n=1
         let ten = parse(lines[12]); // n=10
         assert!(ten > one * 5.0 && ten < one * 15.0, "one={one} ten={ten}");
@@ -575,7 +679,10 @@ mod tests {
     #[test]
     fn locality_exceeds_90_percent() {
         let text = locality();
-        let line = text.lines().find(|l| l.contains("local read fraction")).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.contains("local read fraction"))
+            .unwrap();
         let pct: f64 = line
             .split_whitespace()
             .last()

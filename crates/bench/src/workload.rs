@@ -108,12 +108,18 @@ impl KnowledgeGraph {
             .unwrap();
         for et in EDGE_TYPES {
             client
-                .create_edge_type(TENANT, GRAPH, &format!(r#"{{"name": "{et}", "fields": []}}"#))
+                .create_edge_type(
+                    TENANT,
+                    GRAPH,
+                    &format!(r#"{{"name": "{et}", "fields": []}}"#),
+                )
                 .unwrap();
         }
 
         let mut rng = StdRng::seed_from_u64(spec.seed);
-        let payload: String = (0..spec.payload_bytes).map(|i| ((i % 26) as u8 + b'a') as char).collect();
+        let payload: String = (0..spec.payload_bytes)
+            .map(|i| ((i % 26) as u8 + b'a') as char)
+            .collect();
         let mk_vertex = |client: &A1Client, id: &str, name: &str, extra: &str| {
             client
                 .create_vertex(
@@ -159,7 +165,11 @@ impl KnowledgeGraph {
             let fid = format!("film{f:04}");
             mk_vertex(&client, &fid, &format!("Film {f}"), "");
             mk_edge(&client, &director_id, "director.film", &fid);
-            let genre = if f % 2 == 0 { "genre.war" } else { "genre.drama" };
+            let genre = if f % 2 == 0 {
+                "genre.war"
+            } else {
+                "genre.drama"
+            };
             mk_edge(&client, &fid, "film.genre", genre);
             // Cast: random actors from the pool; the hub actor is in every
             // other film (Q3's match pattern needs director+actor overlap).
@@ -217,7 +227,14 @@ impl KnowledgeGraph {
             }
         }
 
-        KnowledgeGraph { cluster, client, spec, director_id, character_id, hub_actor_id }
+        KnowledgeGraph {
+            cluster,
+            client,
+            spec,
+            director_id,
+            character_id,
+            hub_actor_id,
+        }
     }
 
     /// Paper Table 2 Q1.
@@ -365,7 +382,10 @@ mod tests {
         let out = kg.client.query(TENANT, GRAPH, &kg.q2()).unwrap();
         assert!(out.count.unwrap() > 0, "Q2 finds Batman actors");
         let out = kg.client.query(TENANT, GRAPH, &kg.q3()).unwrap();
-        assert!(!out.rows.is_empty(), "Q3 finds war films with the hub actor");
+        assert!(
+            !out.rows.is_empty(),
+            "Q3 finds war films with the hub actor"
+        );
         let out = kg.client.query(TENANT, GRAPH, &kg.q4()).unwrap();
         assert!(out.count.unwrap() > 0, "Q4 finds co-star films");
     }
@@ -373,7 +393,11 @@ mod tests {
     #[test]
     fn uniform_graph_loads() {
         let cluster = A1Cluster::start(A1Config::small(3)).unwrap();
-        let spec = UniformGraphSpec { vertices: 200, edges: 500, seed: 1 };
+        let spec = UniformGraphSpec {
+            vertices: 200,
+            edges: 500,
+            seed: 1,
+        };
         let starts = spec.load(&cluster);
         assert!(!starts.is_empty());
         let client = cluster.client();

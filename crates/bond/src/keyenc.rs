@@ -51,7 +51,11 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) -> Result<(), NotKeyable> {
             let bits = d.to_bits();
             // Total-order transform: negatives flip all bits, positives flip
             // the sign bit, so byte order equals numeric order.
-            let mapped = if bits & (1 << 63) != 0 { !bits } else { bits ^ (1 << 63) };
+            let mapped = if bits & (1 << 63) != 0 {
+                !bits
+            } else {
+                bits ^ (1 << 63)
+            };
             out.extend_from_slice(&mapped.to_be_bytes());
         }
         Value::String(s) => encode_bytes(s.as_bytes(), out),
@@ -115,7 +119,12 @@ mod tests {
     fn integer_order() {
         let vals = [i64::MIN, -1, 0, 1, 42, i64::MAX];
         for w in vals.windows(2) {
-            assert!(k(Value::Int64(w[0])) < k(Value::Int64(w[1])), "{} < {}", w[0], w[1]);
+            assert!(
+                k(Value::Int64(w[0])) < k(Value::Int64(w[1])),
+                "{} < {}",
+                w[0],
+                w[1]
+            );
         }
     }
 

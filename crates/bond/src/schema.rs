@@ -13,11 +13,21 @@ pub struct FieldDef {
 
 impl FieldDef {
     pub fn required(id: u16, name: &str, ty: BondType) -> FieldDef {
-        FieldDef { id, name: name.to_string(), ty, required: true }
+        FieldDef {
+            id,
+            name: name.to_string(),
+            ty,
+            required: true,
+        }
     }
 
     pub fn optional(id: u16, name: &str, ty: BondType) -> FieldDef {
-        FieldDef { id, name: name.to_string(), ty, required: false }
+        FieldDef {
+            id,
+            name: name.to_string(),
+            ty,
+            required: false,
+        }
     }
 }
 
@@ -74,7 +84,10 @@ impl Schema {
                 return Err(SchemaError::DuplicateFieldName(f.name.clone()));
             }
         }
-        Ok(Schema { name: name.to_string(), fields })
+        Ok(Schema {
+            name: name.to_string(),
+            fields,
+        })
     }
 
     /// An empty schema (edges frequently carry no attributes, §6).
@@ -91,7 +104,10 @@ impl Schema {
     }
 
     pub fn field(&self, id: u16) -> Option<&FieldDef> {
-        self.fields.binary_search_by_key(&id, |f| f.id).ok().map(|i| &self.fields[i])
+        self.fields
+            .binary_search_by_key(&id, |f| f.id)
+            .ok()
+            .map(|i| &self.fields[i])
     }
 
     pub fn field_by_name(&self, name: &str) -> Option<&FieldDef> {
@@ -103,16 +119,17 @@ impl Schema {
     pub fn validate(&self, rec: &Record) -> Result<(), SchemaError> {
         for f in &self.fields {
             match rec.get(f.id) {
-                Some(v) => {
-                    if !v.conforms_to(&f.ty) {
-                        return Err(SchemaError::TypeMismatch {
-                            field: f.name.clone(),
-                            expected: f.ty.to_string(),
-                        });
-                    }
+                Some(v) if !v.conforms_to(&f.ty) => {
+                    return Err(SchemaError::TypeMismatch {
+                        field: f.name.clone(),
+                        expected: f.ty.to_string(),
+                    });
                 }
+                Some(_) => {}
                 None if f.required => {
-                    return Err(SchemaError::MissingRequiredField { field: f.name.clone() })
+                    return Err(SchemaError::MissingRequiredField {
+                        field: f.name.clone(),
+                    })
                 }
                 None => {}
             }
@@ -165,7 +182,10 @@ mod tests {
         .unwrap_err();
         assert_eq!(e, SchemaError::DuplicateFieldName("a".into()));
 
-        assert_eq!(Schema::build("", vec![]).unwrap_err(), SchemaError::EmptySchemaName);
+        assert_eq!(
+            Schema::build("", vec![]).unwrap_err(),
+            SchemaError::EmptySchemaName
+        );
     }
 
     #[test]
@@ -181,7 +201,10 @@ mod tests {
         ));
 
         let wrong = Record::new().with(0, Value::Int64(3));
-        assert!(matches!(s.validate(&wrong), Err(SchemaError::TypeMismatch { .. })));
+        assert!(matches!(
+            s.validate(&wrong),
+            Err(SchemaError::TypeMismatch { .. })
+        ));
 
         let unknown = Record::new()
             .with(0, Value::String("Jaws".into()))

@@ -37,10 +37,7 @@ impl BondType {
                 } else if let Some(inner) = s.strip_prefix("map<").and_then(|r| r.strip_suffix('>'))
                 {
                     let (k, v) = split_top_level(inner)?;
-                    BondType::Map(
-                        Box::new(BondType::parse(k)?),
-                        Box::new(BondType::parse(v)?),
-                    )
+                    BondType::Map(Box::new(BondType::parse(k)?), Box::new(BondType::parse(v)?))
                 } else {
                     return None;
                 }
@@ -108,12 +105,10 @@ impl Value {
             | (Value::String(_), BondType::String)
             | (Value::Date(_), BondType::Date)
             | (Value::Blob(_), BondType::Blob) => true,
-            (Value::List(items), BondType::List(elem)) => {
-                items.iter().all(|v| v.conforms_to(elem))
-            }
-            (Value::Map(pairs), BondType::Map(k, v)) => {
-                pairs.iter().all(|(pk, pv)| pk.conforms_to(k) && pv.conforms_to(v))
-            }
+            (Value::List(items), BondType::List(elem)) => items.iter().all(|v| v.conforms_to(elem)),
+            (Value::Map(pairs), BondType::Map(k, v)) => pairs
+                .iter()
+                .all(|(pk, pv)| pk.conforms_to(k) && pv.conforms_to(v)),
             _ => false,
         }
     }
@@ -235,8 +230,17 @@ mod tests {
     #[test]
     fn type_parse_display_roundtrip() {
         for t in [
-            "bool", "int32", "int64", "uint64", "double", "string", "date", "blob",
-            "list<string>", "map<string,string>", "list<map<string,list<int64>>>",
+            "bool",
+            "int32",
+            "int64",
+            "uint64",
+            "double",
+            "string",
+            "date",
+            "blob",
+            "list<string>",
+            "map<string,string>",
+            "list<map<string,list<int64>>>",
         ] {
             let ty = BondType::parse(t).unwrap();
             assert_eq!(ty.to_string(), t);
@@ -296,9 +300,10 @@ mod tests {
 
     #[test]
     fn map_get() {
-        let m = Value::Map(vec![
-            (Value::String("character".into()), Value::String("Batman".into())),
-        ]);
+        let m = Value::Map(vec![(
+            Value::String("character".into()),
+            Value::String("Batman".into()),
+        )]);
         assert_eq!(m.map_get("character").unwrap().as_str(), Some("Batman"));
         assert!(m.map_get("other").is_none());
         assert!(Value::Int64(1).map_get("x").is_none());

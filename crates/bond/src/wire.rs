@@ -193,7 +193,11 @@ fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value, WireError> {
             let end = pos.checked_add(len).ok_or(WireError::Truncated)?;
             let bytes = buf.get(*pos..end).ok_or(WireError::Truncated)?;
             *pos = end;
-            Value::String(std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)?.into())
+            Value::String(
+                std::str::from_utf8(bytes)
+                    .map_err(|_| WireError::InvalidUtf8)?
+                    .into(),
+            )
         }
         TAG_DATE => Value::Date(unzigzag(read_varint(buf, pos)?)),
         TAG_BLOB => {
@@ -289,7 +293,9 @@ mod tests {
     fn compactness() {
         // A small record should be a handful of bytes — the paper stresses
         // compact schematized payloads (§3.2).
-        let rec = Record::new().with(0, Value::Int32(1)).with(1, Value::Bool(true));
+        let rec = Record::new()
+            .with(0, Value::Int32(1))
+            .with(1, Value::Bool(true));
         assert!(encode_record(&rec).len() <= 8);
     }
 
@@ -297,7 +303,10 @@ mod tests {
     fn decode_errors() {
         assert_eq!(decode_record(&[]), Err(WireError::Truncated));
         assert_eq!(decode_record(&[1]), Err(WireError::Truncated)); // 1 field, no data
-        assert_eq!(decode_record(&[1, 0, 0xFF]), Err(WireError::InvalidTag(0xFF)));
+        assert_eq!(
+            decode_record(&[1, 0, 0xFF]),
+            Err(WireError::InvalidTag(0xFF))
+        );
         // trailing bytes
         assert_eq!(decode_record(&[0, 9]), Err(WireError::TrailingBytes));
         // unsorted ids: two fields with id 1 then 0

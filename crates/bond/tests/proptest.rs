@@ -12,8 +12,12 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Date),
         // Finite + special doubles; NaN excluded because Record equality uses
         // PartialEq (NaN != NaN), not because the codec can't carry it.
-        prop_oneof![any::<i32>().prop_map(|n| n as f64), Just(f64::INFINITY), Just(-0.0)]
-            .prop_map(Value::Double),
+        prop_oneof![
+            any::<i32>().prop_map(|n| n as f64),
+            Just(f64::INFINITY),
+            Just(-0.0)
+        ]
+        .prop_map(Value::Double),
         "\\PC{0,16}".prop_map(Value::String),
         prop::collection::vec(any::<u8>(), 0..16).prop_map(Value::Blob),
     ];

@@ -47,7 +47,11 @@ pub struct Catalog {
 impl Catalog {
     /// B-tree shape for the catalog: few, fat nodes (values are JSON blobs).
     fn tree_config() -> BTreeConfig {
-        BTreeConfig { max_keys: 16, max_key_len: 200, max_val_len: 4096 }
+        BTreeConfig {
+            max_keys: 16,
+            max_key_len: 200,
+            max_val_len: 4096,
+        }
     }
 
     /// Create the catalog during cluster bootstrap and anchor it in the
@@ -66,7 +70,10 @@ impl Catalog {
             counter.encode_to(&mut cursor);
             payload[4..4 + cursor.len()].copy_from_slice(&cursor);
             tx.update(&root_buf, payload)?;
-            Ok(Catalog { tree: tree.clone(), counter })
+            Ok(Catalog {
+                tree: tree.clone(),
+                counter,
+            })
         })?;
         Ok(catalog)
     }
@@ -82,8 +89,10 @@ impl Catalog {
         {
             return Err(A1Error::Internal("cluster has no catalog".into()));
         }
-        let tree_ptr = Ptr::decode(&data[4..16]).ok_or_else(|| A1Error::Internal("bad root".into()))?;
-        let counter = Ptr::decode(&data[16..28]).ok_or_else(|| A1Error::Internal("bad root".into()))?;
+        let tree_ptr =
+            Ptr::decode(&data[4..16]).ok_or_else(|| A1Error::Internal("bad root".into()))?;
+        let counter =
+            Ptr::decode(&data[16..28]).ok_or_else(|| A1Error::Internal("bad root".into()))?;
         drop(tx);
         let mut tx = farm.begin_read_only(origin);
         let tree = BTree::open(&mut tx, tree_ptr)?;
@@ -94,7 +103,9 @@ impl Catalog {
     pub fn next_id(&self, tx: &mut Txn) -> A1Result<u64> {
         let buf = tx.read(self.counter)?;
         let v = u64::from_le_bytes(
-            buf.data()[..8].try_into().map_err(|_| A1Error::Internal("bad counter".into()))?,
+            buf.data()[..8]
+                .try_into()
+                .map_err(|_| A1Error::Internal("bad counter".into()))?,
         );
         tx.update(&buf, (v + 1).to_le_bytes().to_vec())?;
         Ok(v)
@@ -110,7 +121,9 @@ impl Catalog {
             Some(bytes) => {
                 let text = String::from_utf8(bytes)
                     .map_err(|_| A1Error::Internal("catalog value not utf-8".into()))?;
-                Ok(Some(Json::parse(&text).map_err(|e| A1Error::Internal(e.to_string()))?))
+                Ok(Some(
+                    Json::parse(&text).map_err(|e| A1Error::Internal(e.to_string()))?,
+                ))
             }
             None => Ok(None),
         }
@@ -129,7 +142,10 @@ impl Catalog {
                     .map_err(|_| A1Error::Internal("catalog key not utf-8".into()))?;
                 let text = String::from_utf8(v)
                     .map_err(|_| A1Error::Internal("catalog value not utf-8".into()))?;
-                Ok((key, Json::parse(&text).map_err(|e| A1Error::Internal(e.to_string()))?))
+                Ok((
+                    key,
+                    Json::parse(&text).map_err(|e| A1Error::Internal(e.to_string()))?,
+                ))
             })
             .collect()
     }
@@ -137,7 +153,11 @@ impl Catalog {
     // ---- typed helpers ----
 
     pub fn put_tenant(&self, tx: &mut Txn, tenant: &str) -> A1Result<()> {
-        self.put(tx, &tenant_key(tenant), &Json::obj(vec![("name", Json::str(tenant))]))
+        self.put(
+            tx,
+            &tenant_key(tenant),
+            &Json::obj(vec![("name", Json::str(tenant))]),
+        )
     }
 
     pub fn tenant_exists(&self, tx: &mut Txn, tenant: &str) -> A1Result<bool> {
@@ -148,7 +168,12 @@ impl Catalog {
         self.put(tx, &graph_key(&meta.tenant, &meta.name), &meta.to_json())
     }
 
-    pub fn get_graph(&self, tx: &mut Txn, tenant: &str, graph: &str) -> A1Result<Option<GraphMeta>> {
+    pub fn get_graph(
+        &self,
+        tx: &mut Txn,
+        tenant: &str,
+        graph: &str,
+    ) -> A1Result<Option<GraphMeta>> {
         match self.get(tx, &graph_key(tenant, graph))? {
             Some(j) => Ok(Some(GraphMeta::from_json(&j)?)),
             None => Ok(None),
@@ -250,7 +275,10 @@ pub struct ProxyCache {
 
 impl ProxyCache {
     pub fn new(ttl: Duration) -> ProxyCache {
-        ProxyCache { ttl, graphs: Mutex::new(HashMap::new()) }
+        ProxyCache {
+            ttl,
+            graphs: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Materialize (or fetch cached) proxies for a graph.
@@ -304,15 +332,25 @@ impl ProxyCache {
                         .iter()
                         .map(|(f, p)| Ok((*f, BTree::open(&mut tx, *p)?)))
                         .collect::<A1Result<Vec<_>>>()?;
-                    vertex_types.push(Arc::new(VertexProxy { def, primary, secondaries }));
+                    vertex_types.push(Arc::new(VertexProxy {
+                        def,
+                        primary,
+                        secondaries,
+                    }));
                 }
                 "edge" => {
-                    edge_types.push(Arc::new(EdgeProxy { def: EdgeTypeDef::from_json(&j)? }));
+                    edge_types.push(Arc::new(EdgeProxy {
+                        def: EdgeTypeDef::from_json(&j)?,
+                    }));
                 }
                 _ => {}
             }
         }
-        Ok(GraphProxies { graph: GraphProxy { meta, edge_tree }, vertex_types, edge_types })
+        Ok(GraphProxies {
+            graph: GraphProxy { meta, edge_tree },
+            vertex_types,
+            edge_types,
+        })
     }
 }
 
@@ -327,7 +365,8 @@ mod tests {
         let cat = Catalog::bootstrap(&farm).unwrap();
 
         farm.run(MachineId(0), |tx| {
-            cat.put_tenant(tx, "bing").map_err(|_| a1_farm::FarmError::Conflict)
+            cat.put_tenant(tx, "bing")
+                .map_err(|_| a1_farm::FarmError::Conflict)
         })
         .unwrap();
         let mut tx = farm.begin_read_only(MachineId(1));

@@ -121,7 +121,9 @@ fn json_i64(j: &Json) -> Option<i64> {
 
 /// JSON object → validated record (schema-directed; unknown keys rejected).
 pub fn record_from_json(schema: &Schema, j: &Json) -> A1Result<Record> {
-    let obj = j.as_obj().ok_or_else(|| A1Error::Schema("record must be a JSON object".into()))?;
+    let obj = j
+        .as_obj()
+        .ok_or_else(|| A1Error::Schema("record must be a JSON object".into()))?;
     let mut rec = Record::new();
     for (k, v) in obj {
         let field = schema
@@ -142,7 +144,9 @@ pub fn record_to_json(schema: &Schema, rec: &Record) -> Json {
         rec.fields()
             .iter()
             .filter_map(|(id, v)| {
-                schema.field(*id).map(|f| (f.name.clone(), value_to_json(v)))
+                schema
+                    .field(*id)
+                    .map(|f| (f.name.clone(), value_to_json(v)))
             })
             .collect(),
     )
@@ -188,7 +192,8 @@ pub fn json_to_schema(j: &Json) -> A1Result<Schema> {
             let id = f
                 .get("id")
                 .and_then(Json::as_f64)
-                .ok_or_else(|| A1Error::Schema("field needs an id".into()))? as u16;
+                .ok_or_else(|| A1Error::Schema("field needs an id".into()))?
+                as u16;
             let fname = f
                 .get("name")
                 .and_then(Json::as_str)
@@ -200,7 +205,12 @@ pub fn json_to_schema(j: &Json) -> A1Result<Schema> {
             let ty = BondType::parse(tname)
                 .ok_or_else(|| A1Error::Schema(format!("unknown type '{tname}'")))?;
             let required = f.get("required").and_then(Json::as_bool).unwrap_or(false);
-            Ok(FieldDef { id, name: fname.to_string(), ty, required })
+            Ok(FieldDef {
+                id,
+                name: fname.to_string(),
+                ty,
+                required,
+            })
         })
         .collect::<A1Result<Vec<_>>>()?;
     Schema::build(name, defs).map_err(Into::into)
@@ -211,7 +221,7 @@ fn hex_encode(b: &[u8]) -> String {
 }
 
 fn hex_decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())
@@ -264,7 +274,10 @@ mod tests {
             back.get("str_str_map").unwrap().get("k").unwrap().as_str(),
             Some("v")
         );
-        assert_eq!(back.get("raw").unwrap().get("_blob").unwrap().as_str(), Some("00ff"));
+        assert_eq!(
+            back.get("raw").unwrap().get("_blob").unwrap().as_str(),
+            Some("00ff")
+        );
         // Round-trip again through record_from_json.
         let rec2 = record_from_json(&s, &back).unwrap();
         assert_eq!(rec2, rec);
@@ -320,7 +333,10 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        assert_eq!(hex_decode(&hex_encode(&[0, 1, 254, 255])), Some(vec![0, 1, 254, 255]));
+        assert_eq!(
+            hex_decode(&hex_encode(&[0, 1, 254, 255])),
+            Some(vec![0, 1, 254, 255])
+        );
         assert_eq!(hex_decode("0"), None);
         assert_eq!(hex_decode("zz"), None);
     }

@@ -105,8 +105,7 @@ fn decode_list(buf: &[u8]) -> A1Result<(Vec<HalfEdge>, usize)> {
     let mut entries = Vec::with_capacity(count);
     for i in 0..count {
         let start = 8 + i * HALF_EDGE_SIZE;
-        entries
-            .push(HalfEdge::decode(buf.get(start..).ok_or_else(err)?).ok_or_else(err)?);
+        entries.push(HalfEdge::decode(buf.get(start..).ok_or_else(err)?).ok_or_else(err)?);
     }
     Ok((entries, cap))
 }
@@ -142,10 +141,22 @@ fn parse_tree_entry(key: &[u8], value: &[u8]) -> A1Result<HalfEdge> {
     if key.len() != 21 {
         return Err(err());
     }
-    let ty = TypeId(u32::from_be_bytes(key[9..13].try_into().map_err(|_| err())?));
-    let other = Addr::from_raw(u64::from_be_bytes(key[13..21].try_into().map_err(|_| err())?));
-    let data = if value.is_empty() { Ptr::NULL } else { Ptr::decode(value).ok_or_else(err)? };
-    Ok(HalfEdge { edge_type: ty, other, data })
+    let ty = TypeId(u32::from_be_bytes(
+        key[9..13].try_into().map_err(|_| err())?,
+    ));
+    let other = Addr::from_raw(u64::from_be_bytes(
+        key[13..21].try_into().map_err(|_| err())?,
+    ));
+    let data = if value.is_empty() {
+        Ptr::NULL
+    } else {
+        Ptr::decode(value).ok_or_else(err)?
+    };
+    Ok(HalfEdge {
+        edge_type: ty,
+        other,
+        data,
+    })
 }
 
 /// Edge-list tuning knobs.
@@ -156,7 +167,9 @@ pub struct EdgeConfig {
 
 impl Default for EdgeConfig {
     fn default() -> Self {
-        EdgeConfig { inline_threshold: DEFAULT_INLINE_THRESHOLD }
+        EdgeConfig {
+            inline_threshold: DEFAULT_INLINE_THRESHOLD,
+        }
     }
 }
 
@@ -262,7 +275,9 @@ pub fn remove_half_edge(
         EdgeListRef::Inline(ptr) => {
             let buf = tx.read(ptr)?;
             let (mut entries, cap) = decode_list(buf.data())?;
-            let pos = entries.iter().position(|e| e.edge_type == ty && e.other == other);
+            let pos = entries
+                .iter()
+                .position(|e| e.edge_type == ty && e.other == other);
             match pos {
                 Some(i) => {
                     let removed = entries.remove(i);
@@ -282,7 +297,11 @@ pub fn remove_half_edge(
             edge_tree.remove(tx, &key)?.map(|v| HalfEdge {
                 edge_type: ty,
                 other,
-                data: if v.is_empty() { Ptr::NULL } else { Ptr::decode(&v).unwrap_or(Ptr::NULL) },
+                data: if v.is_empty() {
+                    Ptr::NULL
+                } else {
+                    Ptr::decode(&v).unwrap_or(Ptr::NULL)
+                },
             })
         }
     };
@@ -339,9 +358,11 @@ pub fn find_half_edge(
     ty: TypeId,
     other: Addr,
 ) -> A1Result<Option<HalfEdge>> {
-    Ok(enumerate(tx, edge_tree, owner_addr, hdr, dir, Some(ty), usize::MAX)?
-        .into_iter()
-        .find(|e| e.other == other))
+    Ok(
+        enumerate(tx, edge_tree, owner_addr, hdr, dir, Some(ty), usize::MAX)?
+            .into_iter()
+            .find(|e| e.other == other),
+    )
 }
 
 /// Create a full edge src→dst: an out half-edge at `src` and an in
@@ -359,19 +380,63 @@ pub fn add_edge(
     let src_buf = tx.read(vertex_ptr(src))?;
     let mut src_hdr = VertexHeader::decode(src_buf.data())?;
     if src == dst {
-        insert_half_edge(tx, edge_tree, cfg, src, &mut src_hdr, Dir::Out,
-            HalfEdge { edge_type: ty, other: dst, data })?;
-        insert_half_edge(tx, edge_tree, cfg, src, &mut src_hdr, Dir::In,
-            HalfEdge { edge_type: ty, other: src, data })?;
+        insert_half_edge(
+            tx,
+            edge_tree,
+            cfg,
+            src,
+            &mut src_hdr,
+            Dir::Out,
+            HalfEdge {
+                edge_type: ty,
+                other: dst,
+                data,
+            },
+        )?;
+        insert_half_edge(
+            tx,
+            edge_tree,
+            cfg,
+            src,
+            &mut src_hdr,
+            Dir::In,
+            HalfEdge {
+                edge_type: ty,
+                other: src,
+                data,
+            },
+        )?;
         tx.update(&src_buf, src_hdr.encode())?;
         return Ok(());
     }
     let dst_buf = tx.read(vertex_ptr(dst))?;
     let mut dst_hdr = VertexHeader::decode(dst_buf.data())?;
-    insert_half_edge(tx, edge_tree, cfg, src, &mut src_hdr, Dir::Out,
-        HalfEdge { edge_type: ty, other: dst, data })?;
-    insert_half_edge(tx, edge_tree, cfg, dst, &mut dst_hdr, Dir::In,
-        HalfEdge { edge_type: ty, other: src, data })?;
+    insert_half_edge(
+        tx,
+        edge_tree,
+        cfg,
+        src,
+        &mut src_hdr,
+        Dir::Out,
+        HalfEdge {
+            edge_type: ty,
+            other: dst,
+            data,
+        },
+    )?;
+    insert_half_edge(
+        tx,
+        edge_tree,
+        cfg,
+        dst,
+        &mut dst_hdr,
+        Dir::In,
+        HalfEdge {
+            edge_type: ty,
+            other: src,
+            data,
+        },
+    )?;
     tx.update(&src_buf, src_hdr.encode())?;
     tx.update(&dst_buf, dst_hdr.encode())?;
     Ok(())

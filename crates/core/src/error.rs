@@ -24,7 +24,9 @@ pub enum A1Error {
     Query(String),
     /// The query's working set outgrew the coordinator's budget — fast-fail
     /// (§3.4).
-    WorkingSetExceeded { limit: usize },
+    WorkingSetExceeded {
+        limit: usize,
+    },
     /// Continuation token expired or unknown (client must restart, §3.4).
     ContinuationExpired,
     /// Operation not valid in the object's current lifecycle state.
@@ -86,6 +88,8 @@ mod tests {
         let e: A1Error = FarmError::OutOfMemory.into();
         assert!(!e.is_retryable());
         assert!(!A1Error::Query("x".into()).is_retryable());
-        assert!(A1Error::WorkingSetExceeded { limit: 10 }.to_string().contains("fast-fail"));
+        assert!(A1Error::WorkingSetExceeded { limit: 10 }
+            .to_string()
+            .contains("fast-fail"));
     }
 }

@@ -76,7 +76,10 @@ pub struct GraphMeta {
 }
 
 fn ptr_to_json(p: Ptr) -> Json {
-    Json::obj(vec![("a", Json::Num(p.addr.raw() as f64)), ("s", Json::Num(p.size as f64))])
+    Json::obj(vec![
+        ("a", Json::Num(p.addr.raw() as f64)),
+        ("s", Json::Num(p.size as f64)),
+    ])
 }
 
 fn json_to_ptr(j: &Json) -> A1Result<Ptr> {
@@ -101,7 +104,12 @@ impl VertexTypeDef {
             ("pk", Json::Num(self.primary_key as f64)),
             (
                 "secondary",
-                Json::Arr(self.secondary.iter().map(|s| Json::Num(*s as f64)).collect()),
+                Json::Arr(
+                    self.secondary
+                        .iter()
+                        .map(|s| Json::Num(*s as f64))
+                        .collect(),
+                ),
             ),
             ("primary_index", ptr_to_json(self.primary_index)),
             (
@@ -123,7 +131,10 @@ impl VertexTypeDef {
     }
 
     pub fn from_json(j: &Json) -> A1Result<VertexTypeDef> {
-        let get = |k: &str| j.get(k).ok_or_else(|| A1Error::Internal(format!("missing '{k}'")));
+        let get = |k: &str| {
+            j.get(k)
+                .ok_or_else(|| A1Error::Internal(format!("missing '{k}'")))
+        };
         Ok(VertexTypeDef {
             id: TypeId(get("id")?.as_f64().unwrap_or(0.0) as u32),
             name: get("name")?.as_str().unwrap_or("").to_string(),
@@ -143,7 +154,8 @@ impl VertexTypeDef {
                 .map(|e| {
                     let f = e.get("f").and_then(Json::as_f64).unwrap_or(0.0) as u16;
                     let p = json_to_ptr(
-                        e.get("p").ok_or_else(|| A1Error::Internal("missing p".into()))?,
+                        e.get("p")
+                            .ok_or_else(|| A1Error::Internal("missing p".into()))?,
                     )?;
                     Ok((f, p))
                 })
@@ -165,7 +177,10 @@ impl EdgeTypeDef {
     }
 
     pub fn from_json(j: &Json) -> A1Result<EdgeTypeDef> {
-        let get = |k: &str| j.get(k).ok_or_else(|| A1Error::Internal(format!("missing '{k}'")));
+        let get = |k: &str| {
+            j.get(k)
+                .ok_or_else(|| A1Error::Internal(format!("missing '{k}'")))
+        };
         Ok(EdgeTypeDef {
             id: TypeId(get("id")?.as_f64().unwrap_or(0.0) as u32),
             name: get("name")?.as_str().unwrap_or("").to_string(),
@@ -192,7 +207,10 @@ impl GraphMeta {
     }
 
     pub fn from_json(j: &Json) -> A1Result<GraphMeta> {
-        let get = |k: &str| j.get(k).ok_or_else(|| A1Error::Internal(format!("missing '{k}'")));
+        let get = |k: &str| {
+            j.get(k)
+                .ok_or_else(|| A1Error::Internal(format!("missing '{k}'")))
+        };
         Ok(GraphMeta {
             id: get("id")?.as_f64().unwrap_or(0.0) as u32,
             tenant: get("tenant")?.as_str().unwrap_or("").to_string(),

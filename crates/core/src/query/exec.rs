@@ -13,9 +13,7 @@ use crate::convert::json_to_value;
 use crate::edges::{self, Dir};
 use crate::error::{A1Error, A1Result};
 use crate::model::TypeId;
-use crate::query::plan::{
-    AttrPredicate, CmpOp, FieldSel, PlanDir, Query, Select, VertexStep,
-};
+use crate::query::plan::{AttrPredicate, CmpOp, FieldSel, PlanDir, Query, Select, VertexStep};
 use crate::store::GraphStore;
 use a1_bond::{Schema, Value};
 use a1_farm::{Addr, FarmCluster, MachineId, Txn};
@@ -37,7 +35,11 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { ship_threshold: 4, max_working_set: 1_000_000, page_size: 1_000 }
+        ExecConfig {
+            ship_threshold: 4,
+            max_working_set: 1_000_000,
+            page_size: 1_000,
+        }
     }
 }
 
@@ -210,7 +212,9 @@ pub fn compile(
             .field_by_name(&pred.attr)
             .ok_or_else(|| A1Error::Query(format!("unknown attribute '{}'", pred.attr)))?;
         if pred.op != CmpOp::Eq || pred.map_key.is_some() {
-            return Err(A1Error::Query("index start requires an equality predicate".into()));
+            return Err(A1Error::Query(
+                "index start requires an equality predicate".into(),
+            ));
         }
         let value = json_to_value(&pred.value, &field.ty)?;
         store
@@ -219,7 +223,9 @@ pub fn compile(
             .map(|p| p.addr)
             .collect()
     } else {
-        return Err(A1Error::Query("query needs an 'id' or an indexed predicate".into()));
+        return Err(A1Error::Query(
+            "query needs an 'id' or an indexed predicate".into(),
+        ));
     };
 
     loop {
@@ -248,9 +254,7 @@ pub fn compile(
                     .def
                     .id;
                 let target = match &m.target_id {
-                    Some(id) => {
-                        resolve_id(store, tx, proxies, id, m.target_type.as_deref())?
-                    }
+                    Some(id) => resolve_id(store, tx, proxies, id, m.target_type.as_deref())?,
                     None => None,
                 };
                 let target_type = match &m.target_type {
@@ -312,7 +316,11 @@ pub fn compile(
     }
 
     Ok((
-        CompiledQuery { steps, select: q.final_select(), limit: q.final_limit() },
+        CompiledQuery {
+            steps,
+            select: q.final_select(),
+            limit: q.final_limit(),
+        },
         frontier,
     ))
 }
@@ -489,9 +497,14 @@ pub fn run_work_op(
                         continue;
                     }
                 }
-                let Some(ovp) = proxies.vertex_type_by_id(ohdr.type_id) else { continue };
+                let Some(ovp) = proxies.vertex_type_by_id(ohdr.type_id) else {
+                    continue;
+                };
                 let orec = store.read_vertex_data(&mut tx, &ohdr)?.unwrap_or_default();
-                if m.preds.iter().all(|p| eval_predicate(&ovp.def.schema, &orec, p)) {
+                if m.preds
+                    .iter()
+                    .all(|p| eval_predicate(&ovp.def.schema, &orec, p))
+                {
                     ok = true;
                     break;
                 }
@@ -516,7 +529,9 @@ pub fn run_work_op(
             count_read(&mut result.metrics, addr);
             for he in hes {
                 if !t.edge_preds.is_empty() {
-                    let Some(ep) = proxies.edge_type_by_id(t.edge_type) else { continue };
+                    let Some(ep) = proxies.edge_type_by_id(t.edge_type) else {
+                        continue;
+                    };
                     let erec = if he.data.is_null() {
                         a1_bond::Record::new()
                     } else {
@@ -525,7 +540,11 @@ pub fn run_work_op(
                         a1_bond::decode_record(buf.data())
                             .map_err(|e| A1Error::Internal(e.to_string()))?
                     };
-                    if !t.edge_preds.iter().all(|p| eval_predicate(&ep.def.schema, &erec, p)) {
+                    if !t
+                        .edge_preds
+                        .iter()
+                        .all(|p| eval_predicate(&ep.def.schema, &erec, p))
+                    {
                         continue;
                     }
                 }
@@ -546,7 +565,12 @@ pub fn run_work_op(
     Ok(result)
 }
 
-fn render_row(schema: &Schema, type_name: &str, rec: Option<&a1_bond::Record>, select: &Select) -> Json {
+fn render_row(
+    schema: &Schema,
+    type_name: &str,
+    rec: Option<&a1_bond::Record>,
+    select: &Select,
+) -> Json {
     let full = match rec {
         Some(r) => crate::convert::record_to_json(schema, r),
         None => Json::Obj(Vec::new()),
@@ -584,14 +608,20 @@ fn render_row(schema: &Schema, type_name: &str, rec: Option<&a1_bond::Record>, s
 /// [`WorkResult`]. Provided by the server layer (fabric RPC + JSON wire).
 pub type ShipFn<'a> = dyn Fn(MachineId, &WorkOp) -> A1Result<WorkResult> + 'a;
 
+/// The coordinator's environment: everything about *where* a query runs, as
+/// opposed to *what* runs (which stays in [`coordinate`]'s own parameters).
+pub struct Coordinator<'a> {
+    pub farm: &'a Arc<FarmCluster>,
+    pub store: &'a GraphStore,
+    pub proxies: &'a GraphProxies,
+    pub machine: MachineId,
+    pub cfg: &'a ExecConfig,
+}
+
 /// Coordinate a compiled query (paper Fig. 9). `ship` sends batches to
 /// remote workers; small or local batches run inline at the coordinator.
 pub fn coordinate(
-    farm: &Arc<FarmCluster>,
-    store: &GraphStore,
-    proxies: &GraphProxies,
-    machine: MachineId,
-    cfg: &ExecConfig,
+    coord: &Coordinator<'_>,
     tenant: &str,
     graph: &str,
     compiled: &CompiledQuery,
@@ -599,6 +629,13 @@ pub fn coordinate(
     snapshot_ts: u64,
     ship: &ShipFn,
 ) -> A1Result<QueryOutcome> {
+    let Coordinator {
+        farm,
+        store,
+        proxies,
+        machine,
+        cfg,
+    } = *coord;
     let mut metrics = QueryMetrics {
         snapshot_ts,
         hops: compiled.steps.len().saturating_sub(1) as u32,
@@ -615,7 +652,9 @@ pub fn coordinate(
             break;
         }
         if frontier.len() > cfg.max_working_set {
-            return Err(A1Error::WorkingSetExceeded { limit: cfg.max_working_set });
+            return Err(A1Error::WorkingSetExceeded {
+                limit: cfg.max_working_set,
+            });
         }
 
         // Partition & ship (Fig. 9): group pointers by primary host — a
@@ -712,7 +751,12 @@ pub fn work_op_to_json(op: &WorkOp) -> Json {
         ("ts", Json::Num(op.snapshot_ts as f64)),
         (
             "vertices",
-            Json::Arr(op.vertices.iter().map(|a| Json::Num(a.raw() as f64)).collect()),
+            Json::Arr(
+                op.vertices
+                    .iter()
+                    .map(|a| Json::Num(a.raw() as f64))
+                    .collect(),
+            ),
         ),
         ("step", step_to_json(&op.step)),
         ("emit_rows", Json::Bool(op.emit_rows)),
@@ -723,9 +767,20 @@ pub fn work_op_to_json(op: &WorkOp) -> Json {
 pub fn work_op_from_json(j: &Json) -> A1Result<WorkOp> {
     let err = |m: &str| A1Error::Internal(format!("bad work op: {m}"));
     Ok(WorkOp {
-        tenant: j.get("tenant").and_then(Json::as_str).ok_or_else(|| err("tenant"))?.into(),
-        graph: j.get("graph").and_then(Json::as_str).ok_or_else(|| err("graph"))?.into(),
-        snapshot_ts: j.get("ts").and_then(Json::as_f64).ok_or_else(|| err("ts"))? as u64,
+        tenant: j
+            .get("tenant")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("tenant"))?
+            .into(),
+        graph: j
+            .get("graph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("graph"))?
+            .into(),
+        snapshot_ts: j
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err("ts"))? as u64,
         vertices: j
             .get("vertices")
             .and_then(Json::as_arr)
@@ -759,7 +814,10 @@ fn preds_to_json(preds: &[AttrPredicate]) -> Json {
                     ("a", Json::str(&p.attr)),
                     (
                         "k",
-                        p.map_key.as_ref().map(|k| Json::str(k)).unwrap_or(Json::Null),
+                        p.map_key
+                            .as_ref()
+                            .map(|k| Json::str(k))
+                            .unwrap_or(Json::Null),
                     ),
                     ("o", Json::str(p.op.as_str())),
                     ("v", p.value.clone()),
@@ -790,11 +848,15 @@ fn step_to_json(s: &CompiledStep) -> Json {
     Json::obj(vec![
         (
             "tf",
-            s.type_filter.map(|t| Json::Num(t.0 as f64)).unwrap_or(Json::Null),
+            s.type_filter
+                .map(|t| Json::Num(t.0 as f64))
+                .unwrap_or(Json::Null),
         ),
         (
             "idf",
-            s.id_filter.map(|a| Json::Num(a.raw() as f64)).unwrap_or(Json::Null),
+            s.id_filter
+                .map(|a| Json::Num(a.raw() as f64))
+                .unwrap_or(Json::Null),
         ),
         ("preds", preds_to_json(&s.preds)),
         (
@@ -841,7 +903,10 @@ fn step_to_json(s: &CompiledStep) -> Json {
 fn step_from_json(j: &Json) -> A1Result<CompiledStep> {
     Ok(CompiledStep {
         type_filter: j.get("tf").and_then(Json::as_f64).map(|n| TypeId(n as u32)),
-        id_filter: j.get("idf").and_then(Json::as_f64).map(|n| Addr::from_raw(n as u64)),
+        id_filter: j
+            .get("idf")
+            .and_then(Json::as_f64)
+            .map(|n| Addr::from_raw(n as u64)),
         preds: preds_from_json(j.get("preds")),
         matches: j
             .get("matches")
@@ -850,10 +915,11 @@ fn step_from_json(j: &Json) -> A1Result<CompiledStep> {
                 arr.iter()
                     .map(|m| CompiledMatch {
                         dir: dir_from_json(m.get("d")),
-                        edge_type: TypeId(
-                            m.get("et").and_then(Json::as_f64).unwrap_or(0.0) as u32
-                        ),
-                        target: m.get("tgt").and_then(Json::as_f64).map(|n| Addr::from_raw(n as u64)),
+                        edge_type: TypeId(m.get("et").and_then(Json::as_f64).unwrap_or(0.0) as u32),
+                        target: m
+                            .get("tgt")
+                            .and_then(Json::as_f64)
+                            .map(|n| Addr::from_raw(n as u64)),
                         target_type: m.get("tt").and_then(Json::as_f64).map(|n| TypeId(n as u32)),
                         preds: preds_from_json(m.get("p")),
                     })
@@ -899,7 +965,10 @@ fn select_from_json(j: &Json) -> Select {
                         attr: s[..open].to_string(),
                         index: s[open + 1..s.len() - 1].parse().ok(),
                     },
-                    _ => FieldSel { attr: s.to_string(), index: None },
+                    _ => FieldSel {
+                        attr: s.to_string(),
+                        index: None,
+                    },
                 })
                 .collect(),
         ),
@@ -911,15 +980,16 @@ pub fn work_result_to_json(r: &A1Result<WorkResult>) -> Json {
     match r {
         Ok(r) => Json::obj(vec![
             ("t", Json::str("ok")),
-            ("next", Json::Arr(r.next.iter().map(|a| Json::Num(a.raw() as f64)).collect())),
+            (
+                "next",
+                Json::Arr(r.next.iter().map(|a| Json::Num(a.raw() as f64)).collect()),
+            ),
             (
                 "rows",
                 Json::Arr(
                     r.rows
                         .iter()
-                        .map(|(a, row)| {
-                            Json::Arr(vec![Json::Num(a.raw() as f64), row.clone()])
-                        })
+                        .map(|(a, row)| Json::Arr(vec![Json::Num(a.raw() as f64), row.clone()]))
                         .collect(),
                 ),
             ),
@@ -928,13 +998,19 @@ pub fn work_result_to_json(r: &A1Result<WorkResult>) -> Json {
             ("lr", Json::Num(r.metrics.local_reads as f64)),
             ("rr", Json::Num(r.metrics.remote_reads as f64)),
         ]),
-        Err(e) => Json::obj(vec![("t", Json::str("err")), ("msg", Json::Str(e.to_string()))]),
+        Err(e) => Json::obj(vec![
+            ("t", Json::str("err")),
+            ("msg", Json::Str(e.to_string())),
+        ]),
     }
 }
 
 pub fn work_result_from_json(j: &Json) -> A1Result<WorkResult> {
     if j.get("t").and_then(Json::as_str) != Some("ok") {
-        let msg = j.get("msg").and_then(Json::as_str).unwrap_or("unknown worker error");
+        let msg = j
+            .get("msg")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown worker error");
         return Err(A1Error::Internal(format!("worker failed: {msg}")));
     }
     Ok(WorkResult {
@@ -1009,7 +1085,10 @@ mod tests {
                 }),
             },
             emit_rows: true,
-            select: Select::Fields(vec![FieldSel { attr: "name".into(), index: Some(0) }]),
+            select: Select::Fields(vec![FieldSel {
+                attr: "name".into(),
+                index: Some(0),
+            }]),
         };
         let wire = work_op_to_json(&op);
         let text = wire.to_string();
@@ -1034,7 +1113,10 @@ mod tests {
     fn work_result_wire_roundtrip() {
         let r = WorkResult {
             next: vec![Addr::new(RegionId(4), 64)],
-            rows: vec![(Addr::new(RegionId(4), 64), Json::obj(vec![("a", Json::Num(1.0))]))],
+            rows: vec![(
+                Addr::new(RegionId(4), 64),
+                Json::obj(vec![("a", Json::Num(1.0))]),
+            )],
             metrics: QueryMetrics {
                 vertices_read: 3,
                 edges_visited: 5,
@@ -1055,7 +1137,11 @@ mod tests {
 
     #[test]
     fn metrics_fraction() {
-        let m = QueryMetrics { local_reads: 95, remote_reads: 5, ..QueryMetrics::default() };
+        let m = QueryMetrics {
+            local_reads: 95,
+            remote_reads: 5,
+            ..QueryMetrics::default()
+        };
         assert!((m.local_read_fraction() - 0.95).abs() < 1e-9);
         assert_eq!(QueryMetrics::default().local_read_fraction(), 1.0);
     }
@@ -1090,18 +1176,54 @@ mod tests {
             value,
         };
         // List containment.
-        assert!(eval_predicate(&schema, &rec, &p("name", None, CmpOp::Eq, Json::str("Batman"))));
-        assert!(!eval_predicate(&schema, &rec, &p("name", None, CmpOp::Eq, Json::str("Robin"))));
+        assert!(eval_predicate(
+            &schema,
+            &rec,
+            &p("name", None, CmpOp::Eq, Json::str("Batman"))
+        ));
+        assert!(!eval_predicate(
+            &schema,
+            &rec,
+            &p("name", None, CmpOp::Eq, Json::str("Robin"))
+        ));
         // Numeric comparisons.
-        assert!(eval_predicate(&schema, &rec, &p("rank", None, CmpOp::Ge, Json::Num(5.0))));
-        assert!(eval_predicate(&schema, &rec, &p("rank", None, CmpOp::Lt, Json::Num(6.0))));
-        assert!(!eval_predicate(&schema, &rec, &p("rank", None, CmpOp::Ne, Json::Num(5.0))));
+        assert!(eval_predicate(
+            &schema,
+            &rec,
+            &p("rank", None, CmpOp::Ge, Json::Num(5.0))
+        ));
+        assert!(eval_predicate(
+            &schema,
+            &rec,
+            &p("rank", None, CmpOp::Lt, Json::Num(6.0))
+        ));
+        assert!(!eval_predicate(
+            &schema,
+            &rec,
+            &p("rank", None, CmpOp::Ne, Json::Num(5.0))
+        ));
         // Map lookup.
-        assert!(eval_predicate(&schema, &rec, &p("m", Some("k"), CmpOp::Eq, Json::str("v"))));
-        assert!(!eval_predicate(&schema, &rec, &p("m", Some("zz"), CmpOp::Eq, Json::str("v"))));
+        assert!(eval_predicate(
+            &schema,
+            &rec,
+            &p("m", Some("k"), CmpOp::Eq, Json::str("v"))
+        ));
+        assert!(!eval_predicate(
+            &schema,
+            &rec,
+            &p("m", Some("zz"), CmpOp::Eq, Json::str("v"))
+        ));
         // Missing attribute → false.
-        assert!(!eval_predicate(&schema, &rec, &p("nope", None, CmpOp::Eq, Json::Num(1.0))));
+        assert!(!eval_predicate(
+            &schema,
+            &rec,
+            &p("nope", None, CmpOp::Eq, Json::Num(1.0))
+        ));
         // Type-incompatible literal → false.
-        assert!(!eval_predicate(&schema, &rec, &p("rank", None, CmpOp::Eq, Json::str("x"))));
+        assert!(!eval_predicate(
+            &schema,
+            &rec,
+            &p("rank", None, CmpOp::Eq, Json::str("x"))
+        ));
     }
 }

@@ -210,10 +210,9 @@ fn parse_step(j: &Json) -> A1Result<VertexStep> {
                 step.select = Some(parse_select(value)?);
             }
             "_limit" => {
-                let n = value
-                    .as_i64()
-                    .filter(|n| *n >= 0)
-                    .ok_or_else(|| A1Error::Query("'_limit' must be a non-negative integer".into()))?;
+                let n = value.as_i64().filter(|n| *n >= 0).ok_or_else(|| {
+                    A1Error::Query("'_limit' must be a non-negative integer".into())
+                })?;
                 step.limit = Some(n as usize);
             }
             other if other.starts_with('_') => {
@@ -280,11 +279,15 @@ fn parse_match(j: &Json) -> A1Result<MatchPattern> {
     } else if let Some(e) = j.get("_in_edge") {
         (PlanDir::In, e)
     } else {
-        return Err(A1Error::Query("match pattern needs _out_edge or _in_edge".into()));
+        return Err(A1Error::Query(
+            "match pattern needs _out_edge or _in_edge".into(),
+        ));
     };
     let parsed = parse_edge(dir, edge)?;
     if parsed.step.traverse.is_some() || !parsed.step.matches.is_empty() {
-        return Err(A1Error::Query("match targets cannot traverse further".into()));
+        return Err(A1Error::Query(
+            "match targets cannot traverse further".into(),
+        ));
     }
     Ok(MatchPattern {
         dir,
@@ -301,12 +304,15 @@ fn parse_select(j: &Json) -> A1Result<Select> {
         .ok_or_else(|| A1Error::Query("'_select' must be an array".into()))?;
     let items: Vec<&str> = arr
         .iter()
-        .map(|v| v.as_str().ok_or_else(|| A1Error::Query("'_select' items must be strings".into())))
+        .map(|v| {
+            v.as_str()
+                .ok_or_else(|| A1Error::Query("'_select' items must be strings".into()))
+        })
         .collect::<A1Result<_>>()?;
-    if items.iter().any(|s| *s == "*") {
+    if items.contains(&"*") {
         return Ok(Select::All);
     }
-    if items.iter().any(|s| *s == "_count(*)") {
+    if items.contains(&"_count(*)") {
         return Ok(Select::Count);
     }
     let fields = items
@@ -322,9 +328,15 @@ fn parse_field_sel(s: &str) -> A1Result<FieldSel> {
             let index = idx
                 .parse::<usize>()
                 .map_err(|_| A1Error::Query(format!("bad projection '{s}'")))?;
-            Ok(FieldSel { attr: attr.to_string(), index: Some(index) })
+            Ok(FieldSel {
+                attr: attr.to_string(),
+                index: Some(index),
+            })
         }
-        None => Ok(FieldSel { attr: s.to_string(), index: None }),
+        None => Ok(FieldSel {
+            attr: s.to_string(),
+            index: None,
+        }),
     }
 }
 
@@ -338,10 +350,20 @@ fn parse_predicate(key: &str, value: &Json) -> A1Result<AttrPredicate> {
         if obj.len() == 1 && obj[0].0.starts_with('_') {
             let op = CmpOp::parse(obj[0].0.trim_start_matches('_'))
                 .ok_or_else(|| A1Error::Query(format!("unknown comparison '{}'", obj[0].0)))?;
-            return Ok(AttrPredicate { attr, map_key, op, value: obj[0].1.clone() });
+            return Ok(AttrPredicate {
+                attr,
+                map_key,
+                op,
+                value: obj[0].1.clone(),
+            });
         }
     }
-    Ok(AttrPredicate { attr, map_key, op: CmpOp::Eq, value: value.clone() })
+    Ok(AttrPredicate {
+        attr,
+        map_key,
+        op: CmpOp::Eq,
+        value: value.clone(),
+    })
 }
 
 /// Split `"name[x]"` into `("name", "x")`.
@@ -393,7 +415,16 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.hops(), 3);
-        let perf = &q.root.traverse.as_ref().unwrap().step.traverse.as_ref().unwrap().step;
+        let perf = &q
+            .root
+            .traverse
+            .as_ref()
+            .unwrap()
+            .step
+            .traverse
+            .as_ref()
+            .unwrap()
+            .step;
         assert_eq!(perf.predicates.len(), 1);
         let p = &perf.predicates[0];
         assert_eq!(p.attr, "str_str_map");
@@ -426,7 +457,10 @@ mod tests {
         assert_eq!(film.matches[1].target_id.as_deref(), Some("action"));
         assert_eq!(
             q.final_select(),
-            Select::Fields(vec![FieldSel { attr: "name".into(), index: Some(0) }])
+            Select::Fields(vec![FieldSel {
+                attr: "name".into(),
+                index: Some(0)
+            }])
         );
     }
 

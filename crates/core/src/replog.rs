@@ -38,7 +38,11 @@ pub struct FetchedEntry {
 
 impl Replog {
     fn tree_config() -> BTreeConfig {
-        BTreeConfig { max_keys: 32, max_key_len: 16, max_val_len: 16 }
+        BTreeConfig {
+            max_keys: 32,
+            max_key_len: 16,
+            max_val_len: 16,
+        }
     }
 
     pub fn create(farm: &Arc<FarmCluster>) -> A1Result<Replog> {
@@ -50,7 +54,9 @@ impl Replog {
 
     pub fn open(farm: &Arc<FarmCluster>, header: Ptr) -> A1Result<Replog> {
         let mut tx = farm.begin_read_only(MachineId(0));
-        Ok(Replog { tree: BTree::open(&mut tx, header)? })
+        Ok(Replog {
+            tree: BTree::open(&mut tx, header)?,
+        })
     }
 
     pub fn header(&self) -> Ptr {
@@ -82,13 +88,18 @@ impl Replog {
         let raw = self.tree.scan(&mut tx, &[], &[], limit)?;
         let mut out = Vec::with_capacity(raw.len());
         for (key, val) in raw {
-            let ptr = Ptr::decode(&val)
-                .ok_or_else(|| A1Error::Internal("bad replog value".into()))?;
+            let ptr =
+                Ptr::decode(&val).ok_or_else(|| A1Error::Internal("bad replog value".into()))?;
             let buf = tx.read(ptr)?;
             let text = std::str::from_utf8(buf.data())
                 .map_err(|_| A1Error::Internal("replog entry not utf-8".into()))?;
             let body = Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))?;
-            out.push(FetchedEntry { key, ptr, commit_ts: buf.version, body });
+            out.push(FetchedEntry {
+                key,
+                ptr,
+                commit_ts: buf.version,
+                body,
+            });
         }
         Ok(out)
     }
@@ -226,7 +237,8 @@ mod tests {
                     &Json::str(&format!("v{i}")),
                     &Json::obj(vec![("id", Json::str(&format!("v{i}")))]),
                 );
-                log.append(tx, &body).map_err(|_| a1_farm::FarmError::Conflict)
+                log.append(tx, &body)
+                    .map_err(|_| a1_farm::FarmError::Conflict)
             })
             .unwrap();
         }
@@ -244,12 +256,14 @@ mod tests {
         assert_eq!(t_r, Some(pending[0].commit_ts));
 
         // Remove the first (synchronous replication success).
-        log.remove(&farm, MachineId(0), &pending[0].key, pending[0].ptr).unwrap();
+        log.remove(&farm, MachineId(0), &pending[0].key, pending[0].ptr)
+            .unwrap();
         assert_eq!(log.len(&farm, MachineId(0)).unwrap(), 1);
         let t_r = log.oldest_pending_ts(&farm, MachineId(0)).unwrap();
         assert_eq!(t_r, Some(pending[1].commit_ts));
 
-        log.remove(&farm, MachineId(0), &pending[1].key, pending[1].ptr).unwrap();
+        log.remove(&farm, MachineId(0), &pending[1].key, pending[1].ptr)
+            .unwrap();
         assert!(log.is_empty(&farm, MachineId(0)).unwrap());
         assert_eq!(log.oldest_pending_ts(&farm, MachineId(0)).unwrap(), None);
     }

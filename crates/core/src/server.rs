@@ -62,7 +62,10 @@ impl Default for A1Config {
 impl A1Config {
     /// A small test/example cluster with `n` backend machines.
     pub fn small(n: u32) -> A1Config {
-        A1Config { farm: FarmConfig::small(n), ..A1Config::default() }
+        A1Config {
+            farm: FarmConfig::small(n),
+            ..A1Config::default()
+        }
     }
 }
 
@@ -110,7 +113,11 @@ impl A1Cluster {
         let farm = FarmCluster::start(cfg.farm.clone());
         let catalog = Catalog::bootstrap(&farm)?;
         let taskq = TaskQueue::create(&farm)?;
-        let replog = if cfg.dr_enabled { Some(Replog::create(&farm)?) } else { None };
+        let replog = if cfg.dr_enabled {
+            Some(Replog::create(&farm)?)
+        } else {
+            None
+        };
         let backends: Vec<Arc<Backend>> = (0..cfg.farm.fabric.machines)
             .map(|i| Backend::new(MachineId(i), cfg.proxy_ttl))
             .collect();
@@ -153,7 +160,9 @@ impl A1Cluster {
 
     /// A client handle (the paper's SLB + frontend tier).
     pub fn client(&self) -> A1Client {
-        A1Client { inner: self.inner.clone() }
+        A1Client {
+            inner: self.inner.clone(),
+        }
     }
 
     /// Execute up to `max` pending async tasks (deterministic alternative to
@@ -174,7 +183,7 @@ impl A1Inner {
     fn pick_backend(&self) -> &Arc<Backend> {
         let fabric = self.farm.fabric();
         for _ in 0..self.backends.len() {
-            let i = self.rr.fetch_add(1, Ordering::Relaxed) as usize % self.backends.len();
+            let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.backends.len();
             if fabric.is_alive(self.backends[i].machine) {
                 return &self.backends[i];
             }
@@ -193,17 +202,19 @@ impl A1Inner {
     fn dispatch_rpc(&self, machine: MachineId, payload: &[u8]) -> Json {
         let parsed = std::str::from_utf8(payload)
             .map_err(|_| A1Error::Internal("rpc not utf-8".into()))
-            .and_then(|text| {
-                Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))
-            });
+            .and_then(|text| Json::parse(text).map_err(|e| A1Error::Internal(e.to_string())));
         let req = match parsed {
             Ok(j) => j,
-            Err(e) => return Json::obj(vec![("t", Json::str("err")), ("msg", Json::Str(e.to_string()))]),
+            Err(e) => {
+                return Json::obj(vec![
+                    ("t", Json::str("err")),
+                    ("msg", Json::Str(e.to_string())),
+                ])
+            }
         };
         match req.get("t").and_then(Json::as_str) {
             Some("work") => {
-                let result = work_op_from_json(&req)
-                    .and_then(|op| self.handle_work(machine, &op));
+                let result = work_op_from_json(&req).and_then(|op| self.handle_work(machine, &op));
                 work_result_to_json(&result)
             }
             Some("query") => {
@@ -214,7 +225,10 @@ impl A1Inner {
                 let out = self.handle_page(machine, &req);
                 outcome_to_json(&out)
             }
-            _ => Json::obj(vec![("t", Json::str("err")), ("msg", Json::str("unknown rpc"))]),
+            _ => Json::obj(vec![
+                ("t", Json::str("err")),
+                ("msg", Json::str("unknown rpc")),
+            ]),
         }
     }
 
@@ -270,12 +284,15 @@ impl A1Inner {
             work_result_from_json(&j)
         };
 
-        let mut outcome = exec::coordinate(
-            &self.farm,
-            &self.store,
-            &proxies,
+        let coord = exec::Coordinator {
+            farm: &self.farm,
+            store: &self.store,
+            proxies: &proxies,
             machine,
-            &self.cfg.exec,
+            cfg: &self.cfg.exec,
+        };
+        let mut outcome = exec::coordinate(
+            &coord,
             tenant,
             graph,
             &compiled,
@@ -340,7 +357,9 @@ impl A1Inner {
         let mut done = 0;
         for i in 0..max {
             let origin = MachineId((i % self.backends.len()) as u32);
-            let Some(task) = self.taskq.claim(&self.farm, origin)? else { break };
+            let Some(task) = self.taskq.claim(&self.farm, origin)? else {
+                break;
+            };
             self.execute_task(origin, &task.spec)?;
             self.taskq.complete(&self.farm, origin, &task.key)?;
             done += 1;
@@ -355,7 +374,9 @@ impl A1Inner {
 
     fn execute_task(&self, origin: MachineId, spec: &TaskSpec) -> A1Result<()> {
         match spec {
-            TaskSpec::DeleteGraph { tenant, graph } => self.task_delete_graph(origin, tenant, graph),
+            TaskSpec::DeleteGraph { tenant, graph } => {
+                self.task_delete_graph(origin, tenant, graph)
+            }
             TaskSpec::DeleteType { tenant, graph, ty } => {
                 self.task_delete_type(origin, tenant, graph, ty)
             }
@@ -409,7 +430,10 @@ impl A1Inner {
             this.enqueue_task(
                 tx,
                 3,
-                &TaskSpec::DeleteGraph { tenant: tenant_s.clone(), graph: graph_s.clone() },
+                &TaskSpec::DeleteGraph {
+                    tenant: tenant_s.clone(),
+                    graph: graph_s.clone(),
+                },
             )?;
             Ok(())
         })
@@ -468,7 +492,9 @@ impl A1Inner {
             return Ok(());
         }
         for (_, val) in batch {
-            let Some(ptr) = a1_farm::Ptr::decode(&val) else { continue };
+            let Some(ptr) = a1_farm::Ptr::decode(&val) else {
+                continue;
+            };
             let store = &self.store;
             let g = proxies.graph.clone();
             let vp = vp.clone();
@@ -485,7 +511,9 @@ impl A1Inner {
             graph: graph.to_string(),
             ty: ty.to_string(),
         };
-        run_a1(&self.farm, origin, move |tx| self.enqueue_task(tx, 2, &spec))
+        run_a1(&self.farm, origin, move |tx| {
+            self.enqueue_task(tx, 2, &spec)
+        })
     }
 }
 
@@ -505,9 +533,11 @@ impl A1Client {
     pub fn create_tenant(&self, tenant: &str) -> A1Result<()> {
         let catalog = self.inner.catalog.clone();
         let t = tenant.to_string();
-        run_a1(&self.inner.farm, self.inner.pick_backend().machine, move |tx| {
-            catalog.put_tenant(tx, &t)
-        })
+        run_a1(
+            &self.inner.farm,
+            self.inner.pick_backend().machine,
+            move |tx| catalog.put_tenant(tx, &t),
+        )
     }
 
     /// Create a graph under a tenant.
@@ -527,7 +557,11 @@ impl A1Client {
             // One global edge B-tree per graph for large edge lists (§3.2).
             let edge_tree = BTree::create(
                 tx,
-                BTreeConfig { max_keys: 32, max_key_len: 32, max_val_len: 16 },
+                BTreeConfig {
+                    max_keys: 32,
+                    max_key_len: 32,
+                    max_val_len: 16,
+                },
                 Hint::Local,
             )?;
             let meta = GraphMeta {
@@ -559,7 +593,9 @@ impl A1Client {
             .field_by_name(pk)
             .ok_or_else(|| A1Error::Schema(format!("primary key '{pk}' not in schema")))?;
         if !pk_field.required {
-            return Err(A1Error::Schema("primary key must be a required field".into()));
+            return Err(A1Error::Schema(
+                "primary key must be a required field".into(),
+            ));
         }
         let pk_id = pk_field.id;
         let sec_ids: Vec<u16> = secondary
@@ -590,12 +626,20 @@ impl A1Client {
             }
             let id = TypeId(catalog.next_id(tx)? as u32);
             // Every vertex type gets a sorted primary index (§3).
-            let index_cfg = BTreeConfig { max_keys: 32, max_key_len: 128, max_val_len: 16 };
+            let index_cfg = BTreeConfig {
+                max_keys: 32,
+                max_key_len: 128,
+                max_val_len: 16,
+            };
             let primary = BTree::create(tx, index_cfg, Hint::Local)?;
             let secondary_indexes = sec_ids
                 .iter()
                 .map(|f| {
-                    let cfg = BTreeConfig { max_keys: 32, max_key_len: 144, max_val_len: 16 };
+                    let cfg = BTreeConfig {
+                        max_keys: 32,
+                        max_key_len: 144,
+                        max_val_len: 16,
+                    };
                     Ok((*f, BTree::create(tx, cfg, Hint::Local)?.header))
                 })
                 .collect::<A1Result<Vec<_>>>()?;
@@ -668,7 +712,10 @@ impl A1Client {
             inner2.enqueue_task(
                 tx,
                 3,
-                &TaskSpec::DeleteGraph { tenant: tenant_s.clone(), graph: graph_s.clone() },
+                &TaskSpec::DeleteGraph {
+                    tenant: tenant_s.clone(),
+                    graph: graph_s.clone(),
+                },
             )?;
             Ok(())
         })?;
@@ -678,13 +725,19 @@ impl A1Client {
 
     /// Graph metadata (state inspection).
     pub fn graph_meta(&self, tenant: &str, graph: &str) -> A1Result<Option<GraphMeta>> {
-        let mut tx = self.inner.farm.begin_read_only(self.inner.pick_backend().machine);
+        let mut tx = self
+            .inner
+            .farm
+            .begin_read_only(self.inner.pick_backend().machine);
         self.inner.catalog.get_graph(&mut tx, tenant, graph)
     }
 
     /// Names + kinds of a graph's types.
     pub fn list_types(&self, tenant: &str, graph: &str) -> A1Result<Vec<(String, String)>> {
-        let mut tx = self.inner.farm.begin_read_only(self.inner.pick_backend().machine);
+        let mut tx = self
+            .inner
+            .farm
+            .begin_read_only(self.inner.pick_backend().machine);
         Ok(self
             .inner
             .catalog
@@ -766,7 +819,16 @@ impl A1Client {
             None => None,
         };
         let mut txn = self.transaction();
-        txn.create_edge(tenant, graph, src_type, src_id, edge_type, dst_type, dst_id, data.as_ref())?;
+        txn.create_edge(
+            tenant,
+            graph,
+            src_type,
+            src_id,
+            edge_type,
+            dst_type,
+            dst_id,
+            data.as_ref(),
+        )?;
         txn.commit_with_retry()
     }
 
@@ -783,7 +845,8 @@ impl A1Client {
         dst_id: &Json,
     ) -> A1Result<bool> {
         let mut txn = self.transaction();
-        let existed = txn.delete_edge(tenant, graph, src_type, src_id, edge_type, dst_type, dst_id)?;
+        let existed =
+            txn.delete_edge(tenant, graph, src_type, src_id, edge_type, dst_type, dst_id)?;
         txn.commit_with_retry()?;
         Ok(existed)
     }
@@ -792,7 +855,12 @@ impl A1Client {
     pub fn transaction(&self) -> A1Txn {
         let backend = self.inner.pick_backend().clone();
         let tx = self.inner.farm.begin(backend.machine);
-        A1Txn { inner: self.inner.clone(), backend, tx: Some(tx), ops: Vec::new() }
+        A1Txn {
+            inner: self.inner.clone(),
+            backend,
+            tx: Some(tx),
+            ops: Vec::new(),
+        }
     }
 
     // -------------------------------------------------------------- queries
@@ -819,7 +887,10 @@ impl A1Client {
         }
         let machine = MachineId(parts[1].parse().map_err(|_| A1Error::ContinuationExpired)?);
         let cid: u64 = parts[2].parse().map_err(|_| A1Error::ContinuationExpired)?;
-        let req = Json::obj(vec![("t", Json::str("page")), ("cid", Json::Num(cid as f64))]);
+        let req = Json::obj(vec![
+            ("t", Json::str("page")),
+            ("cid", Json::Num(cid as f64)),
+        ]);
         self.rpc_outcome(machine, req)
     }
 
@@ -855,9 +926,24 @@ fn pk_value(vp: &VertexProxy, id: &Json) -> A1Result<a1_bond::Value> {
 /// conflicts can be retried whole-transaction, Fig. 3).
 #[derive(Clone)]
 enum TxOp {
-    CreateVertex { tenant: String, graph: String, ty: String, attrs: Json },
-    UpdateVertex { tenant: String, graph: String, ty: String, attrs: Json },
-    DeleteVertex { tenant: String, graph: String, ty: String, id: Json },
+    CreateVertex {
+        tenant: String,
+        graph: String,
+        ty: String,
+        attrs: Json,
+    },
+    UpdateVertex {
+        tenant: String,
+        graph: String,
+        ty: String,
+        attrs: Json,
+    },
+    DeleteVertex {
+        tenant: String,
+        graph: String,
+        ty: String,
+        id: Json,
+    },
     CreateEdge {
         tenant: String,
         graph: String,
@@ -928,7 +1014,13 @@ impl A1Txn {
         Ok(())
     }
 
-    pub fn delete_vertex(&mut self, tenant: &str, graph: &str, ty: &str, id: &Json) -> A1Result<()> {
+    pub fn delete_vertex(
+        &mut self,
+        tenant: &str,
+        graph: &str,
+        ty: &str,
+        id: &Json,
+    ) -> A1Result<()> {
         let op = TxOp::DeleteVertex {
             tenant: tenant.into(),
             graph: graph.into(),
@@ -1021,7 +1113,12 @@ impl A1Txn {
         let inner = self.inner.clone();
         let backend = self.backend.clone();
         match op {
-            TxOp::CreateVertex { tenant, graph, ty, attrs } => {
+            TxOp::CreateVertex {
+                tenant,
+                graph,
+                ty,
+                attrs,
+            } => {
                 let proxies = inner.proxies(&backend, tenant, graph)?;
                 check_active(&proxies)?;
                 let vp = proxies
@@ -1040,7 +1137,12 @@ impl A1Txn {
                 }
                 Ok(true)
             }
-            TxOp::UpdateVertex { tenant, graph, ty, attrs } => {
+            TxOp::UpdateVertex {
+                tenant,
+                graph,
+                ty,
+                attrs,
+            } => {
                 let proxies = inner.proxies(&backend, tenant, graph)?;
                 check_active(&proxies)?;
                 let vp = proxies
@@ -1060,11 +1162,19 @@ impl A1Txn {
                 inner.store.update_vertex(tx, &vp, ptr.addr, rec)?;
                 if let Some(log) = &inner.replog {
                     let pkj = crate::convert::value_to_json(&pk);
-                    log.append(tx, &log_entry::vertex_upsert(tenant, graph, ty, &pkj, attrs))?;
+                    log.append(
+                        tx,
+                        &log_entry::vertex_upsert(tenant, graph, ty, &pkj, attrs),
+                    )?;
                 }
                 Ok(true)
             }
-            TxOp::DeleteVertex { tenant, graph, ty, id } => {
+            TxOp::DeleteVertex {
+                tenant,
+                graph,
+                ty,
+                id,
+            } => {
                 let proxies = inner.proxies(&backend, tenant, graph)?;
                 let vp = proxies
                     .vertex_type(ty)
@@ -1085,7 +1195,9 @@ impl A1Txn {
                     }
                     log.append(tx, &log_entry::vertex_delete(tenant, graph, ty, id))?;
                 }
-                inner.store.delete_vertex(tx, &proxies.graph, &vp, ptr.addr)?;
+                inner
+                    .store
+                    .delete_vertex(tx, &proxies.graph, &vp, ptr.addr)?;
                 Ok(true)
             }
             TxOp::CreateEdge {
@@ -1100,15 +1212,25 @@ impl A1Txn {
             } => {
                 let proxies = inner.proxies(&backend, tenant, graph)?;
                 check_active(&proxies)?;
-                let (src, dst, et) =
-                    resolve_edge(&inner, self.tx.as_mut().unwrap(), &proxies, src_type, src_id, edge_type, dst_type, dst_id)?;
+                let (src, dst, et) = resolve_edge(
+                    &inner,
+                    self.tx.as_mut().unwrap(),
+                    &proxies,
+                    src_type,
+                    src_id,
+                    edge_type,
+                    dst_type,
+                    dst_id,
+                )?;
                 let ep = proxies.edge_type_by_id(et).expect("resolved above").clone();
                 let rec = match data {
                     Some(d) => Some(record_from_json(&ep.def.schema, d)?),
                     None => None,
                 };
                 let tx = self.tx();
-                inner.store.create_edge(tx, &proxies.graph, et, src, dst, rec)?;
+                inner
+                    .store
+                    .create_edge(tx, &proxies.graph, et, src, dst, rec)?;
                 if let Some(log) = &inner.replog {
                     log.append(
                         tx,
@@ -1126,10 +1248,26 @@ impl A1Txn {
                 }
                 Ok(true)
             }
-            TxOp::DeleteEdge { tenant, graph, src_type, src_id, edge_type, dst_type, dst_id } => {
+            TxOp::DeleteEdge {
+                tenant,
+                graph,
+                src_type,
+                src_id,
+                edge_type,
+                dst_type,
+                dst_id,
+            } => {
                 let proxies = inner.proxies(&backend, tenant, graph)?;
-                let (src, dst, et) =
-                    resolve_edge(&inner, self.tx.as_mut().unwrap(), &proxies, src_type, src_id, edge_type, dst_type, dst_id)?;
+                let (src, dst, et) = resolve_edge(
+                    &inner,
+                    self.tx.as_mut().unwrap(),
+                    &proxies,
+                    src_type,
+                    src_id,
+                    edge_type,
+                    dst_type,
+                    dst_id,
+                )?;
                 let tx = self.tx();
                 let existed = inner.store.delete_edge(tx, &proxies.graph, et, src, dst)?;
                 if existed {
@@ -1273,15 +1411,33 @@ fn collect_edge_deletes(
         )?;
         for he in hes {
             let other_pk = vertex_pk_json(inner, tx, proxies, he.other)?;
-            let Some((self_ty, self_pk)) = &self_pk else { continue };
-            let Some((other_ty, other_pk)) = &other_pk else { continue };
-            let Some(et) = proxies.edge_type_by_id(he.edge_type) else { continue };
+            let Some((self_ty, self_pk)) = &self_pk else {
+                continue;
+            };
+            let Some((other_ty, other_pk)) = &other_pk else {
+                continue;
+            };
+            let Some(et) = proxies.edge_type_by_id(he.edge_type) else {
+                continue;
+            };
             let entry = match dir {
                 Dir::Out => log_entry::edge_delete(
-                    tenant, graph, self_ty, self_pk, &et.def.name, other_ty, other_pk,
+                    tenant,
+                    graph,
+                    self_ty,
+                    self_pk,
+                    &et.def.name,
+                    other_ty,
+                    other_pk,
                 ),
                 Dir::In => log_entry::edge_delete(
-                    tenant, graph, other_ty, other_pk, &et.def.name, self_ty, self_pk,
+                    tenant,
+                    graph,
+                    other_ty,
+                    other_pk,
+                    &et.def.name,
+                    self_ty,
+                    self_pk,
                 ),
             };
             out.push(entry);
@@ -1297,9 +1453,13 @@ fn vertex_pk_json(
     addr: Addr,
 ) -> A1Result<Option<(String, Json)>> {
     let ptr = vertex_ptr(addr);
-    let Ok(buf) = tx.read(ptr) else { return Ok(None) };
+    let Ok(buf) = tx.read(ptr) else {
+        return Ok(None);
+    };
     let hdr = crate::vertex::VertexHeader::decode(buf.data())?;
-    let Some(vp) = proxies.vertex_type_by_id(hdr.type_id) else { return Ok(None) };
+    let Some(vp) = proxies.vertex_type_by_id(hdr.type_id) else {
+        return Ok(None);
+    };
     let rec = inner.store.read_vertex_data(tx, &hdr)?.unwrap_or_default();
     let pk = rec
         .get(vp.def.primary_key)
@@ -1323,7 +1483,9 @@ fn metrics_to_json(m: &QueryMetrics) -> Json {
 }
 
 fn metrics_from_json(j: Option<&Json>) -> QueryMetrics {
-    let Some(j) = j else { return QueryMetrics::default() };
+    let Some(j) = j else {
+        return QueryMetrics::default();
+    };
     let f = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
     QueryMetrics {
         snapshot_ts: f("ts"),
@@ -1341,20 +1503,32 @@ fn outcome_to_json(out: &A1Result<QueryOutcome>) -> Json {
         Ok(o) => Json::obj(vec![
             ("t", Json::str("ok")),
             ("rows", Json::Arr(o.rows.clone())),
-            ("count", o.count.map(|c| Json::Num(c as f64)).unwrap_or(Json::Null)),
+            (
+                "count",
+                o.count.map(|c| Json::Num(c as f64)).unwrap_or(Json::Null),
+            ),
             (
                 "cont",
-                o.continuation.as_ref().map(|c| Json::str(c)).unwrap_or(Json::Null),
+                o.continuation
+                    .as_ref()
+                    .map(|c| Json::str(c))
+                    .unwrap_or(Json::Null),
             ),
             ("metrics", metrics_to_json(&o.metrics)),
         ]),
-        Err(e) => Json::obj(vec![("t", Json::str("err")), ("msg", Json::Str(e.to_string()))]),
+        Err(e) => Json::obj(vec![
+            ("t", Json::str("err")),
+            ("msg", Json::Str(e.to_string())),
+        ]),
     }
 }
 
 fn outcome_from_json(j: &Json) -> A1Result<QueryOutcome> {
     if j.get("t").and_then(Json::as_str) != Some("ok") {
-        let msg = j.get("msg").and_then(Json::as_str).unwrap_or("unknown error");
+        let msg = j
+            .get("msg")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown error");
         // Re-materialize the classified errors clients may branch on.
         if msg.contains("fast-fail") {
             return Err(A1Error::WorkingSetExceeded { limit: 0 });
@@ -1365,7 +1539,11 @@ fn outcome_from_json(j: &Json) -> A1Result<QueryOutcome> {
         return Err(A1Error::Query(msg.to_string()));
     }
     Ok(QueryOutcome {
-        rows: j.get("rows").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default(),
+        rows: j
+            .get("rows")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default(),
         count: j.get("count").and_then(Json::as_f64).map(|n| n as u64),
         continuation: j.get("cont").and_then(Json::as_str).map(String::from),
         metrics: metrics_from_json(j.get("metrics")),

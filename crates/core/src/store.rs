@@ -49,7 +49,9 @@ pub fn run_a1<T>(
             }
         }
         let jitter = 1 + (jitter_seed.wrapping_mul(attempt as u64 + 1) % 7);
-        std::thread::sleep(std::time::Duration::from_micros((backoff_us + jitter).min(300)));
+        std::thread::sleep(std::time::Duration::from_micros(
+            (backoff_us + jitter).min(300),
+        ));
         backoff_us = backoff_us.saturating_mul(2);
     }
     Err(FarmError::Conflict.into())
@@ -59,8 +61,7 @@ pub fn run_a1<T>(
 /// address suffix makes keys unique without a uniqueness requirement on the
 /// attribute, §3).
 fn secondary_key(value: &Value, owner: Addr) -> A1Result<Vec<u8>> {
-    let mut k = keyenc::encode_key(value)
-        .map_err(|e| A1Error::Schema(e.to_string()))?;
+    let mut k = keyenc::encode_key(value).map_err(|e| A1Error::Schema(e.to_string()))?;
     k.extend_from_slice(&owner.raw().to_be_bytes());
     Ok(k)
 }
@@ -71,29 +72,23 @@ pub fn primary_key_bytes(value: &Value) -> A1Result<Vec<u8>> {
 }
 
 /// Stateless data-plane operations (all take a transaction).
+#[derive(Default)]
 pub struct GraphStore {
     pub edge_cfg: EdgeConfig,
 }
 
-impl Default for GraphStore {
-    fn default() -> Self {
-        GraphStore { edge_cfg: EdgeConfig::default() }
-    }
-}
-
 impl GraphStore {
     pub fn with_inline_threshold(threshold: usize) -> GraphStore {
-        GraphStore { edge_cfg: EdgeConfig { inline_threshold: threshold } }
+        GraphStore {
+            edge_cfg: EdgeConfig {
+                inline_threshold: threshold,
+            },
+        }
     }
 
     /// Create a vertex: data object + header object (co-located), primary
     /// and secondary index insertions. Returns the vertex pointer.
-    pub fn create_vertex(
-        &self,
-        tx: &mut Txn,
-        t: &VertexProxy,
-        rec: Record,
-    ) -> A1Result<Ptr> {
+    pub fn create_vertex(&self, tx: &mut Txn, t: &VertexProxy, rec: Record) -> A1Result<Ptr> {
         t.def.schema.validate(&rec)?;
         let pk_value = rec
             .get(t.def.primary_key)
@@ -135,9 +130,11 @@ impl GraphStore {
     ) -> A1Result<Option<Ptr>> {
         let pk = primary_key_bytes(pk_value)?;
         match t.primary.get(tx, &pk)? {
-            Some(v) => Ok(Some(
-                Ptr::decode(&v).ok_or_else(|| A1Error::Internal("bad index value".into()))?,
-            )),
+            Some(v) => {
+                Ok(Some(Ptr::decode(&v).ok_or_else(|| {
+                    A1Error::Internal("bad index value".into())
+                })?))
+            }
             None => Ok(None),
         }
     }
@@ -180,11 +177,7 @@ impl GraphStore {
         Ok((hdr, rec))
     }
 
-    pub fn read_vertex_data(
-        &self,
-        tx: &mut Txn,
-        hdr: &VertexHeader,
-    ) -> A1Result<Option<Record>> {
+    pub fn read_vertex_data(&self, tx: &mut Txn, hdr: &VertexHeader) -> A1Result<Option<Record>> {
         if hdr.data.is_null() {
             return Ok(None);
         }
@@ -345,7 +338,15 @@ impl GraphStore {
             }
             _ => Ptr::NULL,
         };
-        edges::add_edge(tx, &g.edge_tree, &self.edge_cfg, src, edge_type, dst, data_ptr)
+        edges::add_edge(
+            tx,
+            &g.edge_tree,
+            &self.edge_cfg,
+            src,
+            edge_type,
+            dst,
+            data_ptr,
+        )
     }
 
     /// Delete one edge; frees its data object.
@@ -393,12 +394,7 @@ impl GraphStore {
     }
 
     /// Render a vertex as JSON (row output).
-    pub fn vertex_to_json(
-        &self,
-        tx: &mut Txn,
-        t: &VertexProxy,
-        addr: Addr,
-    ) -> A1Result<Json> {
+    pub fn vertex_to_json(&self, tx: &mut Txn, t: &VertexProxy, addr: Addr) -> A1Result<Json> {
         let (hdr, rec) = self.read_vertex(tx, addr)?;
         let mut obj = vec![("_type".to_string(), Json::Str(t.def.name.clone()))];
         let _ = hdr;

@@ -22,8 +22,15 @@ pub const LEASE_MS: u64 = 30_000;
 /// A parsed task.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TaskSpec {
-    DeleteGraph { tenant: String, graph: String },
-    DeleteType { tenant: String, graph: String, ty: String },
+    DeleteGraph {
+        tenant: String,
+        graph: String,
+    },
+    DeleteType {
+        tenant: String,
+        graph: String,
+        ty: String,
+    },
 }
 
 impl TaskSpec {
@@ -55,9 +62,10 @@ impl TaskSpec {
                 .to_string())
         };
         match kind {
-            "delete_graph" => {
-                Ok(TaskSpec::DeleteGraph { tenant: get("tenant")?, graph: get("graph")? })
-            }
+            "delete_graph" => Ok(TaskSpec::DeleteGraph {
+                tenant: get("tenant")?,
+                graph: get("graph")?,
+            }),
             "delete_type" => Ok(TaskSpec::DeleteType {
                 tenant: get("tenant")?,
                 graph: get("graph")?,
@@ -69,7 +77,10 @@ impl TaskSpec {
 }
 
 fn now_ms() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// The global task queue: pending tree keyed `[priority][seq]`, running tree
@@ -89,7 +100,11 @@ pub struct ClaimedTask {
 
 impl TaskQueue {
     fn tree_config() -> BTreeConfig {
-        BTreeConfig { max_keys: 32, max_key_len: 16, max_val_len: 512 }
+        BTreeConfig {
+            max_keys: 32,
+            max_key_len: 16,
+            max_val_len: 512,
+        }
     }
 
     pub fn create(farm: &Arc<FarmCluster>) -> A1Result<TaskQueue> {
@@ -115,23 +130,22 @@ impl TaskQueue {
 
     /// Enqueue within the caller's transaction (`seq` must be unique —
     /// typically from the catalog id counter).
-    pub fn enqueue(
-        &self,
-        tx: &mut Txn,
-        priority: u8,
-        seq: u64,
-        spec: &TaskSpec,
-    ) -> A1Result<()> {
+    pub fn enqueue(&self, tx: &mut Txn, priority: u8, seq: u64, spec: &TaskSpec) -> A1Result<()> {
         let mut key = Vec::with_capacity(9);
         key.push(priority);
         key.extend_from_slice(&seq.to_be_bytes());
-        self.pending.insert(tx, &key, spec.to_json().to_string().as_bytes())?;
+        self.pending
+            .insert(tx, &key, spec.to_json().to_string().as_bytes())?;
         Ok(())
     }
 
     /// Claim the front task: atomically move it from pending to running with
     /// a fresh lease. Also reclaims expired running tasks first.
-    pub fn claim(&self, farm: &Arc<FarmCluster>, origin: MachineId) -> A1Result<Option<ClaimedTask>> {
+    pub fn claim(
+        &self,
+        farm: &Arc<FarmCluster>,
+        origin: MachineId,
+    ) -> A1Result<Option<ClaimedTask>> {
         self.reclaim_expired(farm, origin)?;
         let pending = self.pending.clone();
         let running = self.running.clone();
@@ -215,8 +229,15 @@ mod tests {
     #[test]
     fn spec_json_roundtrip() {
         for spec in [
-            TaskSpec::DeleteGraph { tenant: "t".into(), graph: "g".into() },
-            TaskSpec::DeleteType { tenant: "t".into(), graph: "g".into(), ty: "actor".into() },
+            TaskSpec::DeleteGraph {
+                tenant: "t".into(),
+                graph: "g".into(),
+            },
+            TaskSpec::DeleteType {
+                tenant: "t".into(),
+                graph: "g".into(),
+                ty: "actor".into(),
+            },
         ] {
             assert_eq!(TaskSpec::from_json(&spec.to_json()).unwrap(), spec);
         }
@@ -233,7 +254,10 @@ mod tests {
                     tx,
                     1,
                     i,
-                    &TaskSpec::DeleteGraph { tenant: "t".into(), graph: format!("g{i}") },
+                    &TaskSpec::DeleteGraph {
+                        tenant: "t".into(),
+                        graph: format!("g{i}"),
+                    },
                 )
                 .map_err(|_| a1_farm::FarmError::Conflict)
             })
@@ -244,7 +268,10 @@ mod tests {
         let t0 = q.claim(&farm, MachineId(1)).unwrap().unwrap();
         assert_eq!(
             t0.spec,
-            TaskSpec::DeleteGraph { tenant: "t".into(), graph: "g0".into() }
+            TaskSpec::DeleteGraph {
+                tenant: "t".into(),
+                graph: "g0".into()
+            }
         );
         assert_eq!(q.pending_count(&farm, MachineId(0)).unwrap(), 2);
         assert_eq!(q.running_count(&farm, MachineId(0)).unwrap(), 1);
@@ -259,7 +286,11 @@ mod tests {
                 tx,
                 0,
                 99,
-                &TaskSpec::DeleteType { tenant: "t".into(), graph: "g".into(), ty: "x".into() },
+                &TaskSpec::DeleteType {
+                    tenant: "t".into(),
+                    graph: "g".into(),
+                    ty: "x".into(),
+                },
             )
             .map_err(|_| a1_farm::FarmError::Conflict)
         })

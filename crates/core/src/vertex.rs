@@ -152,10 +152,7 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let mut h = VertexHeader::new(
-            TypeId(9),
-            Ptr::new(Addr::new(RegionId(2), 320), 120),
-        );
+        let mut h = VertexHeader::new(TypeId(9), Ptr::new(Addr::new(RegionId(2), 320), 120));
         h.out_count = 3;
         h.in_count = 1;
         h.out_edges = EdgeListRef::Inline(Ptr::new(Addr::new(RegionId(2), 448), 104));

@@ -40,12 +40,12 @@ fn film_cluster() -> (A1Cluster, A1Client) {
         "film.performance",
         "performance.actor",
     ] {
-        client.create_edge_type(TENANT, GRAPH, &edge_schema(et)).unwrap();
+        client
+            .create_edge_type(TENANT, GRAPH, &edge_schema(et))
+            .unwrap();
     }
 
-    let v = |id: &str, name: &str| {
-        format!(r#"{{"id": "{id}", "name": ["{name}"]}}"#)
-    };
+    let v = |id: &str, name: &str| format!(r#"{{"id": "{id}", "name": ["{name}"]}}"#);
     // Entities.
     for (id, name) in [
         ("steven.spielberg", "Steven Spielberg"),
@@ -61,7 +61,9 @@ fn film_cluster() -> (A1Cluster, A1Client) {
         ("genre.war", "War"),
         ("genre.action", "Action"),
     ] {
-        client.create_vertex(TENANT, GRAPH, "entity", &v(id, name)).unwrap();
+        client
+            .create_vertex(TENANT, GRAPH, "entity", &v(id, name))
+            .unwrap();
     }
     // Performances carry the character name in str_str_map (Q2's predicate).
     client
@@ -104,7 +106,11 @@ fn film_cluster() -> (A1Cluster, A1Client) {
             .unwrap();
     };
     // Spielberg directed two films with Tom Hanks.
-    e("steven.spielberg", "director.film", "film.saving.private.ryan");
+    e(
+        "steven.spielberg",
+        "director.film",
+        "film.saving.private.ryan",
+    );
     e("steven.spielberg", "director.film", "film.the.post");
     e("film.saving.private.ryan", "film.actor", "tom.hanks");
     e("film.the.post", "film.actor", "tom.hanks");
@@ -114,10 +120,22 @@ fn film_cluster() -> (A1Cluster, A1Client) {
     // Batman films, characters, performances.
     e("character.batman", "character.film", "film.batman.1989");
     e("character.batman", "character.film", "film.the.dark.knight");
-    e("film.batman.1989", "film.performance", "perf.keaton.batman89");
+    e(
+        "film.batman.1989",
+        "film.performance",
+        "perf.keaton.batman89",
+    );
     e("film.the.dark.knight", "film.performance", "perf.bale.tdk");
-    e("film.saving.private.ryan", "film.performance", "perf.hanks.spr");
-    e("perf.keaton.batman89", "performance.actor", "michael.keaton");
+    e(
+        "film.saving.private.ryan",
+        "film.performance",
+        "perf.hanks.spr",
+    );
+    e(
+        "perf.keaton.batman89",
+        "performance.actor",
+        "michael.keaton",
+    );
     e("perf.bale.tdk", "performance.actor", "christian.bale");
     e("film.batman.1989", "film.genre", "genre.action");
     e("film.the.dark.knight", "film.genre", "genre.action");
@@ -291,7 +309,10 @@ fn vertex_crud_roundtrip() {
         .unwrap()
         .unwrap();
     assert_eq!(got.get("id").unwrap().as_str(), Some("tom.hanks"));
-    assert_eq!(got.get("name").unwrap().at(0).unwrap().as_str(), Some("Tom Hanks"));
+    assert_eq!(
+        got.get("name").unwrap().at(0).unwrap().as_str(),
+        Some("Tom Hanks")
+    );
 
     // Update.
     client
@@ -306,7 +327,10 @@ fn vertex_crud_roundtrip() {
         .get_vertex(TENANT, GRAPH, "entity", &Json::str("tom.hanks"))
         .unwrap()
         .unwrap();
-    assert_eq!(got.get("name").unwrap().at(0).unwrap().as_str(), Some("Thomas Hanks"));
+    assert_eq!(
+        got.get("name").unwrap().at(0).unwrap().as_str(),
+        Some("Thomas Hanks")
+    );
     assert_eq!(got.get("rank").unwrap().as_i64(), Some(1));
 
     // Duplicate create rejected.
@@ -470,7 +494,12 @@ fn query_shipping_locality() {
             .unwrap();
         for i in 0..64 {
             client
-                .create_vertex(TENANT, GRAPH, "entity", &format!(r#"{{"id": "leaf{i:02}"}}"#))
+                .create_vertex(
+                    TENANT,
+                    GRAPH,
+                    "entity",
+                    &format!(r#"{{"id": "leaf{i:02}"}}"#),
+                )
                 .unwrap();
             client
                 .create_edge(
@@ -538,7 +567,12 @@ fn continuation_token_paging() {
         .unwrap();
     for i in 0..25 {
         client
-            .create_vertex(TENANT, GRAPH, "entity", &format!(r#"{{"id": "leaf{i:02}"}}"#))
+            .create_vertex(
+                TENANT,
+                GRAPH,
+                "entity",
+                &format!(r#"{{"id": "leaf{i:02}"}}"#),
+            )
             .unwrap();
         client
             .create_edge(

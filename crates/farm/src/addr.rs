@@ -67,7 +67,10 @@ pub struct Ptr {
 }
 
 impl Ptr {
-    pub const NULL: Ptr = Ptr { addr: Addr::NULL, size: 0 };
+    pub const NULL: Ptr = Ptr {
+        addr: Addr::NULL,
+        size: 0,
+    };
 
     pub fn new(addr: Addr, size: u32) -> Ptr {
         Ptr { addr, size }
@@ -91,7 +94,10 @@ impl Ptr {
         }
         let addr = u64::from_le_bytes(buf[0..8].try_into().ok()?);
         let size = u32::from_le_bytes(buf[8..12].try_into().ok()?);
-        Some(Ptr { addr: Addr::from_raw(addr), size })
+        Some(Ptr {
+            addr: Addr::from_raw(addr),
+            size,
+        })
     }
 }
 

@@ -120,11 +120,15 @@ impl RegionAllocator {
         let mut tombstones = Vec::new();
         let mut pos = FIRST_OFFSET as usize;
         while pos + HEADER <= region_len {
-            let Some(h) = ObjHeader::parse(&data[pos..pos + HEADER]) else { break };
+            let Some(h) = ObjHeader::parse(&data[pos..pos + HEADER]) else {
+                break;
+            };
             if h.capacity == 0 {
                 break; // never-allocated frontier
             }
-            let Some(class) = class_for_capacity(h.capacity) else { break };
+            let Some(class) = class_for_capacity(h.capacity) else {
+                break;
+            };
             let off = pos as u32;
             match h.state {
                 STATE_LIVE if h.version > 0 => a.live_blocks += 1,
@@ -183,8 +187,7 @@ mod tests {
         while let Some((off, cap)) = a.alloc(100) {
             let block = cap as usize + HEADER;
             for &(o, b) in &spans {
-                let disjoint =
-                    off as usize + block <= o as usize || o as usize + b <= off as usize;
+                let disjoint = off as usize + block <= o as usize || o as usize + b <= off as usize;
                 assert!(disjoint, "blocks overlap");
             }
             spans.push((off, block));
@@ -199,8 +202,14 @@ mod tests {
         let len = 4096;
         let mut data = vec![0u8; len];
         let mut a = RegionAllocator::new(len);
-        let mut write_header = |data: &mut Vec<u8>, off: u32, cap: u32, state: u32, ver: u64| {
-            let h = ObjHeader { lock: 0, version: ver, capacity: cap, state, len: 8 };
+        let write_header = |data: &mut Vec<u8>, off: u32, cap: u32, state: u32, ver: u64| {
+            let h = ObjHeader {
+                lock: 0,
+                version: ver,
+                capacity: cap,
+                state,
+                len: 8,
+            };
             data[off as usize..off as usize + HEADER].copy_from_slice(&h.encode());
         };
         let (o1, c1) = a.alloc(40).unwrap();

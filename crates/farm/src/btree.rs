@@ -38,7 +38,11 @@ pub struct BTreeConfig {
 
 impl Default for BTreeConfig {
     fn default() -> Self {
-        BTreeConfig { max_keys: 32, max_key_len: 128, max_val_len: 64 }
+        BTreeConfig {
+            max_keys: 32,
+            max_key_len: 128,
+            max_val_len: 64,
+        }
     }
 }
 
@@ -46,10 +50,12 @@ impl BTreeConfig {
     /// Payload bytes a node object needs in the worst case.
     fn node_capacity(&self) -> usize {
         let fences = 2 * (2 + self.max_key_len);
-        let leaf = 3 + fences
+        let leaf = 3
+            + fences
             + self.max_keys * (4 + self.max_key_len + self.max_val_len)
             + Ptr::ENCODED_LEN;
-        let internal = 3 + fences
+        let internal = 3
+            + fences
             + self.max_keys * (2 + self.max_key_len)
             + (self.max_keys + 1) * Ptr::ENCODED_LEN;
         leaf.max(internal)
@@ -83,7 +89,12 @@ impl Node {
     fn serialize(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(256);
         match self {
-            Node::Leaf { fence_lo, fence_hi, entries, next } => {
+            Node::Leaf {
+                fence_lo,
+                fence_hi,
+                entries,
+                next,
+            } => {
                 out.push(KIND_LEAF);
                 out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
                 put_bytes(&mut out, fence_lo);
@@ -94,7 +105,12 @@ impl Node {
                 }
                 next.encode_to(&mut out);
             }
-            Node::Internal { fence_lo, fence_hi, keys, children } => {
+            Node::Internal {
+                fence_lo,
+                fence_hi,
+                keys,
+                children,
+            } => {
                 out.push(KIND_INTERNAL);
                 out.extend_from_slice(&(keys.len() as u16).to_le_bytes());
                 put_bytes(&mut out, fence_lo);
@@ -127,7 +143,12 @@ impl Node {
                     entries.push((k, v));
                 }
                 let next = Ptr::decode(buf.get(pos..)?)?;
-                Some(Node::Leaf { fence_lo, fence_hi, entries, next })
+                Some(Node::Leaf {
+                    fence_lo,
+                    fence_hi,
+                    entries,
+                    next,
+                })
             }
             KIND_INTERNAL => {
                 let mut keys = Vec::with_capacity(n);
@@ -139,7 +160,12 @@ impl Node {
                     children.push(Ptr::decode(buf.get(pos..)?)?);
                     pos += Ptr::ENCODED_LEN;
                 }
-                Some(Node::Internal { fence_lo, fence_hi, keys, children })
+                Some(Node::Internal {
+                    fence_lo,
+                    fence_hi,
+                    keys,
+                    children,
+                })
             }
             _ => None,
         }
@@ -147,8 +173,12 @@ impl Node {
 
     fn fences(&self) -> (&[u8], &[u8]) {
         match self {
-            Node::Leaf { fence_lo, fence_hi, .. } => (fence_lo, fence_hi),
-            Node::Internal { fence_lo, fence_hi, .. } => (fence_lo, fence_hi),
+            Node::Leaf {
+                fence_lo, fence_hi, ..
+            } => (fence_lo, fence_hi),
+            Node::Internal {
+                fence_lo, fence_hi, ..
+            } => (fence_lo, fence_hi),
         }
     }
 
@@ -289,18 +319,29 @@ impl BTree {
         };
         let header_ptr = tx.alloc(HEADER_PAYLOAD, hint, &[])?;
         let root_ptr = tx.alloc(node_cap, Hint::Near(header_ptr.addr), &root.serialize())?;
-        let header = TreeHeader { cfg, height: 1, root: root_ptr };
+        let header = TreeHeader {
+            cfg,
+            height: 1,
+            root: root_ptr,
+        };
         let hbuf = tx.read(header_ptr)?;
         tx.update(&hbuf, header.serialize())?;
-        Ok(BTree { header: header_ptr, cfg, cache: Arc::new(NodeCache::default()) })
+        Ok(BTree {
+            header: header_ptr,
+            cfg,
+            cache: Arc::new(NodeCache::default()),
+        })
     }
 
     /// Open an existing tree by its header pointer.
     pub fn open(tx: &mut Txn, header: Ptr) -> FarmResult<BTree> {
         let buf = tx.read_for_routing(header)?;
-        let th = TreeHeader::parse(buf.data())
-            .ok_or(FarmError::Usage("not a btree header"))?;
-        Ok(BTree { header, cfg: th.cfg, cache: Arc::new(NodeCache::default()) })
+        let th = TreeHeader::parse(buf.data()).ok_or(FarmError::Usage("not a btree header"))?;
+        Ok(BTree {
+            header,
+            cfg: th.cfg,
+            cache: Arc::new(NodeCache::default()),
+        })
     }
 
     pub fn config(&self) -> &BTreeConfig {
@@ -325,15 +366,17 @@ impl BTree {
         } else {
             tx.read_for_routing(self.header)?
         };
-        let th = TreeHeader::parse(buf.data())
-            .ok_or(FarmError::Usage("not a btree header"))?;
+        let th = TreeHeader::parse(buf.data()).ok_or(FarmError::Usage("not a btree header"))?;
         Ok((buf, th))
     }
 
     fn read_node(&self, tx: &mut Txn, ptr: Ptr, validated: bool) -> FarmResult<(ObjBuf, Node)> {
-        let buf = if validated { tx.read(ptr)? } else { tx.read_for_routing(ptr)? };
-        let node =
-            Node::parse(buf.data()).ok_or(FarmError::Usage("corrupt btree node"))?;
+        let buf = if validated {
+            tx.read(ptr)?
+        } else {
+            tx.read_for_routing(ptr)?
+        };
+        let node = Node::parse(buf.data()).ok_or(FarmError::Usage("corrupt btree node"))?;
         Ok((buf, node))
     }
 
@@ -353,7 +396,11 @@ impl BTree {
             let mut ptr = th.root;
             loop {
                 // Internal nodes: routing reads (cache / unvalidated).
-                let cached = if use_cache { self.cache.get(ptr.addr) } else { None };
+                let cached = if use_cache {
+                    self.cache.get(ptr.addr)
+                } else {
+                    None
+                };
                 let (buf, node, was_cached) = match cached {
                     Some(node) if matches!(*node, Node::Internal { .. }) => {
                         (ObjBuf::routing_placeholder(ptr), (*node).clone(), true)
@@ -384,7 +431,11 @@ impl BTree {
                             Node::Internal { children, .. } => children[child],
                             _ => unreachable!(),
                         };
-                        path.push(PathStep { buf, node, cached: was_cached });
+                        path.push(PathStep {
+                            buf,
+                            node,
+                            cached: was_cached,
+                        });
                         ptr = next_ptr;
                     }
                     Node::Leaf { .. } => {
@@ -413,7 +464,14 @@ impl BTree {
                             }
                             return Err(FarmError::Conflict);
                         }
-                        return Ok((path, PathStep { buf: leaf_buf, node: leaf_node, cached: false }));
+                        return Ok((
+                            path,
+                            PathStep {
+                                buf: leaf_buf,
+                                node: leaf_node,
+                                cached: false,
+                            },
+                        ));
                     }
                 }
             }
@@ -438,8 +496,18 @@ impl BTree {
     pub fn insert(&self, tx: &mut Txn, key: &[u8], val: &[u8]) -> FarmResult<Option<Vec<u8>>> {
         self.check_key_val(key, Some(val))?;
         let (path, leaf_step) = self.descend(tx, key, true)?;
-        let PathStep { buf: leaf_buf, node: leaf_node, .. } = leaf_step;
-        let Node::Leaf { fence_lo, fence_hi, mut entries, next } = leaf_node else {
+        let PathStep {
+            buf: leaf_buf,
+            node: leaf_node,
+            ..
+        } = leaf_step;
+        let Node::Leaf {
+            fence_lo,
+            fence_hi,
+            mut entries,
+            next,
+        } = leaf_node
+        else {
             unreachable!()
         };
         let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
@@ -453,7 +521,12 @@ impl BTree {
             }
         };
         if entries.len() <= self.cfg.max_keys {
-            let node = Node::Leaf { fence_lo, fence_hi, entries, next };
+            let node = Node::Leaf {
+                fence_lo,
+                fence_hi,
+                entries,
+                next,
+            };
             tx.update(&leaf_buf, node.serialize())?;
             return Ok(old);
         }
@@ -473,7 +546,12 @@ impl BTree {
             Hint::Near(leaf_buf.addr()),
             &right.serialize(),
         )?;
-        let left = Node::Leaf { fence_lo, fence_hi: sep.clone(), entries, next: right_ptr };
+        let left = Node::Leaf {
+            fence_lo,
+            fence_hi: sep.clone(),
+            entries,
+            next: right_ptr,
+        };
         tx.update(&leaf_buf, left.serialize())?;
         self.insert_separator(tx, path, leaf_buf.ptr, sep, right_ptr)?;
         Ok(old)
@@ -507,14 +585,25 @@ impl BTree {
                 self.cache.purge([buf.addr()]);
                 return Err(FarmError::Conflict);
             }
-            let Node::Internal { fence_lo, fence_hi, mut keys, mut children } = node else {
+            let Node::Internal {
+                fence_lo,
+                fence_hi,
+                mut keys,
+                mut children,
+            } = node
+            else {
                 return Err(FarmError::Usage("corrupt btree: leaf in internal path"));
             };
             let idx = keys.partition_point(|k| k.as_slice() <= sep.as_slice());
             keys.insert(idx, sep.clone());
             children.insert(idx + 1, right_ptr);
             if keys.len() <= self.cfg.max_keys {
-                let node = Node::Internal { fence_lo, fence_hi, keys, children };
+                let node = Node::Internal {
+                    fence_lo,
+                    fence_hi,
+                    keys,
+                    children,
+                };
                 tx.update(&buf, node.serialize())?;
                 self.cache.purge([buf.addr()]);
                 return Ok(());
@@ -536,7 +625,12 @@ impl BTree {
                 Hint::Near(buf.addr()),
                 &right.serialize(),
             )?;
-            let left = Node::Internal { fence_lo, fence_hi: up.clone(), keys, children };
+            let left = Node::Internal {
+                fence_lo,
+                fence_hi: up.clone(),
+                keys,
+                children,
+            };
             tx.update(&buf, left.serialize())?;
             self.cache.purge([buf.addr()]);
             _child = buf.ptr;
@@ -547,8 +641,7 @@ impl BTree {
         // Root split: a new root references the old root and the new right.
         let (hbuf, th) = {
             let buf = tx.read(self.header)?; // validated: root change must be serialized
-            let th = TreeHeader::parse(buf.data())
-                .ok_or(FarmError::Usage("not a btree header"))?;
+            let th = TreeHeader::parse(buf.data()).ok_or(FarmError::Usage("not a btree header"))?;
             (buf, th)
         };
         let new_root = Node::Internal {
@@ -562,8 +655,11 @@ impl BTree {
             Hint::Near(self.header.addr),
             &new_root.serialize(),
         )?;
-        let new_header =
-            TreeHeader { cfg: th.cfg, height: th.height + 1, root: new_root_ptr };
+        let new_header = TreeHeader {
+            cfg: th.cfg,
+            height: th.height + 1,
+            root: new_root_ptr,
+        };
         tx.update(&hbuf, new_header.serialize())?;
         Ok(())
     }
@@ -574,13 +670,24 @@ impl BTree {
         self.check_key_val(key, None)?;
         let (_, leaf_step) = self.descend(tx, key, true)?;
         let PathStep { buf, node, .. } = leaf_step;
-        let Node::Leaf { fence_lo, fence_hi, mut entries, next } = node else {
+        let Node::Leaf {
+            fence_lo,
+            fence_hi,
+            mut entries,
+            next,
+        } = node
+        else {
             unreachable!()
         };
         match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
             Ok(i) => {
                 let (_, old) = entries.remove(i);
-                let node = Node::Leaf { fence_lo, fence_hi, entries, next };
+                let node = Node::Leaf {
+                    fence_lo,
+                    fence_hi,
+                    entries,
+                    next,
+                };
                 tx.update(&buf, node.serialize())?;
                 Ok(Some(old))
             }
@@ -605,7 +712,9 @@ impl BTree {
         let mut out = Vec::new();
         let mut current = leaf_step.node;
         loop {
-            let Node::Leaf { entries, next, .. } = &current else { unreachable!() };
+            let Node::Leaf { entries, next, .. } = &current else {
+                unreachable!()
+            };
             for (k, v) in entries {
                 if !lo.is_empty() && k.as_slice() < lo {
                     continue;
@@ -652,8 +761,7 @@ impl BTree {
     pub fn destroy(&self, tx: &mut Txn) -> FarmResult<()> {
         let (hbuf, th) = {
             let buf = tx.read(self.header)?;
-            let th = TreeHeader::parse(buf.data())
-                .ok_or(FarmError::Usage("not a btree header"))?;
+            let th = TreeHeader::parse(buf.data()).ok_or(FarmError::Usage("not a btree header"))?;
             (buf, th)
         };
         let mut stack = vec![th.root];
@@ -687,7 +795,10 @@ mod tests {
             fence_lo: Vec::new(),
             fence_hi: Vec::new(),
             keys: vec![b"g".to_vec()],
-            children: vec![Ptr::NULL, Ptr::new(Addr::new(crate::addr::RegionId(2), 128), 50)],
+            children: vec![
+                Ptr::NULL,
+                Ptr::new(Addr::new(crate::addr::RegionId(2), 128), 50),
+            ],
         };
         assert_eq!(Node::parse(&internal.serialize()), Some(internal));
         assert_eq!(Node::parse(&[9, 0, 0]), None);
@@ -715,7 +826,11 @@ mod tests {
     #[test]
     fn header_roundtrip() {
         let th = TreeHeader {
-            cfg: BTreeConfig { max_keys: 8, max_key_len: 32, max_val_len: 16 },
+            cfg: BTreeConfig {
+                max_keys: 8,
+                max_key_len: 32,
+                max_val_len: 16,
+            },
             height: 3,
             root: Ptr::new(Addr::new(crate::addr::RegionId(0), 640), 512),
         };
@@ -729,7 +844,11 @@ mod tests {
 
     #[test]
     fn capacity_fits_worst_case() {
-        let cfg = BTreeConfig { max_keys: 4, max_key_len: 8, max_val_len: 8 };
+        let cfg = BTreeConfig {
+            max_keys: 4,
+            max_key_len: 8,
+            max_val_len: 8,
+        };
         let cap = cfg.node_capacity();
         let leaf = Node::Leaf {
             fence_lo: vec![7; 8],

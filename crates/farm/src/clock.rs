@@ -24,7 +24,9 @@ pub struct GlobalClock {
 
 impl GlobalClock {
     pub fn new() -> GlobalClock {
-        GlobalClock { now: AtomicU64::new(1) }
+        GlobalClock {
+            now: AtomicU64::new(1),
+        }
     }
 
     /// Current time; used as a transaction's read timestamp.
@@ -59,14 +61,22 @@ impl TsRegistry {
     /// Register an active snapshot; the guard deregisters on drop.
     pub fn register(self: &Arc<Self>, ts: u64) -> TsGuard {
         *self.active.lock().entry(ts).or_insert(0) += 1;
-        TsGuard { reg: self.clone(), ts }
+        TsGuard {
+            reg: self.clone(),
+            ts,
+        }
     }
 
     /// The oldest timestamp any active transaction may still read. Versions
     /// strictly older than the newest committed version at or below the
     /// watermark can be reclaimed.
     pub fn watermark(&self, clock_now: u64) -> u64 {
-        self.active.lock().keys().next().copied().unwrap_or(clock_now)
+        self.active
+            .lock()
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(clock_now)
     }
 
     pub fn active_count(&self) -> usize {
@@ -124,7 +134,10 @@ mod tests {
                 (0..1000).map(|_| c.tick()).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let n = all.len();
         all.sort_unstable();
         all.dedup();

@@ -53,7 +53,10 @@ impl FarmConfig {
     /// Convenience: an `n`-machine cluster for tests and examples.
     pub fn small(n: u32) -> FarmConfig {
         FarmConfig {
-            fabric: FabricConfig { machines: n, ..FabricConfig::default() },
+            fabric: FabricConfig {
+                machines: n,
+                ..FabricConfig::default()
+            },
             region_size: 1 << 20,
             ..FarmConfig::default()
         }
@@ -100,7 +103,9 @@ impl FarmCluster {
         let machines: Vec<Arc<FarmMachine>> = (0..cfg.fabric.machines)
             .map(|i| FarmMachine::new(MachineId(i), fabric.clone()))
             .collect();
-        let racks: Vec<u32> = (0..cfg.fabric.machines).map(|i| fabric.rack_of(MachineId(i))).collect();
+        let racks: Vec<u32> = (0..cfg.fabric.machines)
+            .map(|i| fabric.rack_of(MachineId(i)))
+            .collect();
         let cm = ConfigManager::new(racks, cfg.replicas);
         let cluster = Arc::new(FarmCluster {
             fabric,
@@ -117,10 +122,18 @@ impl FarmCluster {
             cfg,
         });
         // Bootstrap: region 0 on machine 0 and the root object in it.
-        cluster.create_region(Some(MachineId(0))).expect("bootstrap region");
+        cluster
+            .create_region(Some(MachineId(0)))
+            .expect("bootstrap region");
         let root = cluster
             .clone()
-            .run(MachineId(0), |tx| tx.alloc(ROOT_PAYLOAD, Hint::Machine(MachineId(0)), &[0; ROOT_PAYLOAD]))
+            .run(MachineId(0), |tx| {
+                tx.alloc(
+                    ROOT_PAYLOAD,
+                    Hint::Machine(MachineId(0)),
+                    &[0; ROOT_PAYLOAD],
+                )
+            })
             .expect("bootstrap root object");
         *cluster.root.lock() = root;
         cluster
@@ -178,7 +191,15 @@ impl FarmCluster {
         let read_ts = self.clock.now();
         let guard = self.registry.register(read_ts);
         let tx_id = self.clock.tick();
-        Txn::new(self.clone(), origin, read_ts, tx_id, self.cfg.mode, false, Some(guard))
+        Txn::new(
+            self.clone(),
+            origin,
+            read_ts,
+            tx_id,
+            self.cfg.mode,
+            false,
+            Some(guard),
+        )
     }
 
     /// Begin a read-only snapshot transaction.
@@ -192,7 +213,15 @@ impl FarmCluster {
     /// reads one consistent version across the whole cluster (§3.4).
     pub fn begin_read_only_at(self: &Arc<Self>, origin: MachineId, ts: u64) -> Txn {
         let guard = self.registry.register(ts);
-        Txn::new(self.clone(), origin, ts, 0, self.cfg.mode, true, Some(guard))
+        Txn::new(
+            self.clone(),
+            origin,
+            ts,
+            0,
+            self.cfg.mode,
+            true,
+            Some(guard),
+        )
     }
 
     /// Run a read-write transaction with the canonical retry loop
@@ -250,8 +279,10 @@ impl FarmCluster {
 
     /// Create and host a new region (primary on `preferred` if possible).
     pub fn create_region(&self, preferred: Option<MachineId>) -> FarmResult<Arc<Region>> {
-        let (id, placement) =
-            self.cm.place_new_region(preferred).ok_or(FarmError::OutOfMemory)?;
+        let (id, placement) = self
+            .cm
+            .place_new_region(preferred)
+            .ok_or(FarmError::OutOfMemory)?;
         let mut primary_region = None;
         for m in placement.replicas() {
             let machine = &self.machines[m.0 as usize];
@@ -289,7 +320,9 @@ impl FarmCluster {
             }
         }
         self.check_paused()?;
-        Err(FarmError::Unavailable(format!("region {rid} has no reachable primary")))
+        Err(FarmError::Unavailable(format!(
+            "region {rid} has no reachable primary"
+        )))
     }
 
     // ---------------------------------------------------------- object ops
@@ -304,12 +337,16 @@ impl FarmCluster {
         let mut spins = 0u32;
         loop {
             let (_, primary) = self.resolve(rid)?;
-            let raw = match self.fabric.read(origin, primary, rid.0 as u64, off, HEADER + want) {
+            let raw = match self
+                .fabric
+                .read(origin, primary, rid.0 as u64, off, HEADER + want)
+            {
                 Ok(raw) => raw,
                 Err(NetError::MachineUnreachable(_)) => {
                     self.detect_failures();
                     let (_, primary) = self.resolve(rid)?;
-                    self.fabric.read(origin, primary, rid.0 as u64, off, HEADER + want)?
+                    self.fabric
+                        .read(origin, primary, rid.0 as u64, off, HEADER + want)?
                 }
                 Err(e) => return Err(e.into()),
             };
@@ -320,7 +357,7 @@ impl FarmCluster {
                     return Err(FarmError::Conflict);
                 }
                 std::hint::spin_loop();
-                if spins % 64 == 0 {
+                if spins.is_multiple_of(64) {
                     std::thread::yield_now();
                 }
                 continue;
@@ -340,7 +377,7 @@ impl FarmCluster {
                     return Err(FarmError::Conflict);
                 }
                 std::hint::spin_loop();
-                if spins % 64 == 0 {
+                if spins.is_multiple_of(64) {
                     std::thread::yield_now();
                 }
                 continue;
@@ -375,7 +412,9 @@ impl FarmCluster {
         let found = region
             .with_meta(|meta| {
                 match meta.snapshot_lookup(off, read_ts) {
-                    Some(old) => Some((old.version, old.state, Bytes::copy_from_slice(&old.payload))),
+                    Some(old) => {
+                        Some((old.version, old.state, Bytes::copy_from_slice(&old.payload)))
+                    }
                     None if read_ts < meta.history_floor => None, // too old
                     None => Some((0, STATE_FREE, Bytes::new())),  // didn't exist yet
                 }
@@ -426,7 +465,11 @@ impl FarmCluster {
         target: MachineId,
         size: usize,
     ) -> FarmResult<(Ptr, u32)> {
-        let target = if self.fabric.is_alive(target) { target } else { origin };
+        let target = if self.fabric.is_alive(target) {
+            target
+        } else {
+            origin
+        };
         if target != origin {
             // Remote allocation request costs a message.
             self.fabric.charge_ns(self.cfg.fabric.latency.rpc_ns(
@@ -484,7 +527,13 @@ impl FarmCluster {
         if let Ok((region, _)) = self.resolve(ptr.addr.region()) {
             let off = ptr.addr.offset();
             region.with_meta(|meta| meta.alloc.free(off, capacity));
-            let h = ObjHeader { lock: 0, version: 0, capacity, state: STATE_FREE, len: 0 };
+            let h = ObjHeader {
+                lock: 0,
+                version: 0,
+                capacity,
+                state: STATE_FREE,
+                len: 0,
+            };
             region.seg.write(off as usize, &h.encode());
             self.stats.allocated_objects.fetch_sub(1, Ordering::Relaxed);
         }
@@ -521,7 +570,10 @@ impl FarmCluster {
                     return Err(e);
                 }
             };
-            let prev = match self.fabric.cas64(origin, primary, rid.0 as u64, off, 0, tx_id) {
+            let prev = match self
+                .fabric
+                .cas64(origin, primary, rid.0 as u64, off, 0, tx_id)
+            {
                 Ok(prev) => prev,
                 Err(e) => {
                     self.unlock_all(origin, tx_id, &locked);
@@ -589,7 +641,13 @@ impl FarmCluster {
     fn read_header(&self, origin: MachineId, addr: Addr) -> FarmResult<ObjHeader> {
         let rid = addr.region();
         let (_, primary) = self.resolve(rid)?;
-        let raw = self.fabric.read(origin, primary, rid.0 as u64, addr.offset() as usize, HEADER)?;
+        let raw = self.fabric.read(
+            origin,
+            primary,
+            rid.0 as u64,
+            addr.offset() as usize,
+            HEADER,
+        )?;
         ObjHeader::parse(&raw).ok_or(FarmError::Unavailable("short header read".into()))
     }
 
@@ -642,11 +700,14 @@ impl FarmCluster {
         };
 
         // Primary write last byte wins: includes version bump and lock release.
-        self.fabric.write(origin, primary, rid.0 as u64, off as usize, &bytes)?;
+        self.fabric
+            .write(origin, primary, rid.0 as u64, off as usize, &bytes)?;
         // Replicate to backups (one-sided writes, §2.1). Dead backups are
         // skipped; reconfiguration will re-replicate.
         for b in &placement.backups {
-            let _ = self.fabric.write(origin, *b, rid.0 as u64, off as usize, &bytes);
+            let _ = self
+                .fabric
+                .write(origin, *b, rid.0 as u64, off as usize, &bytes);
         }
         Ok(())
     }
@@ -654,8 +715,12 @@ impl FarmCluster {
     /// Save the current committed state of an object as an old version
     /// before overwriting it.
     fn stash_old_version(&self, region: &Arc<Region>, off: u32, new_version: u64, watermark: u64) {
-        let Some(raw) = region.seg.read(off as usize, HEADER) else { return };
-        let Some(h) = ObjHeader::parse(&raw) else { return };
+        let Some(raw) = region.seg.read(off as usize, HEADER) else {
+            return;
+        };
+        let Some(h) = ObjHeader::parse(&raw) else {
+            return;
+        };
         if h.version == 0 {
             return; // object was never committed; nothing to preserve
         }
@@ -760,12 +825,19 @@ impl FarmCluster {
         let floor = self.clock.now();
         for action in actions {
             match action {
-                ReconfigAction::Promote { region, new_primary } => {
+                ReconfigAction::Promote {
+                    region,
+                    new_primary,
+                } => {
                     if let Some(r) = self.machines[new_primary.0 as usize].region(region) {
                         r.rebuild_meta(floor);
                     }
                 }
-                ReconfigAction::AddBackup { region, source, target } => {
+                ReconfigAction::AddBackup {
+                    region,
+                    source,
+                    target,
+                } => {
                     let Some(src) = self.machines[source.0 as usize].region(region) else {
                         continue;
                     };
@@ -774,11 +846,8 @@ impl FarmCluster {
                     self.fabric.charge_ns(
                         (bytes.len() as u64 / 1024) * self.cfg.fabric.latency.per_kib_ns,
                     );
-                    self.machines[target.0 as usize].host_region_from_bytes(
-                        region,
-                        bytes,
-                        &self.pyco,
-                    );
+                    self.machines[target.0 as usize]
+                        .host_region_from_bytes(region, bytes, &self.pyco);
                 }
                 ReconfigAction::TotalLoss { region } => {
                     self.lost_regions.lock().insert(region.0);
@@ -869,7 +938,9 @@ mod tests {
     fn atomic_counter_increment_from_paper_fig3() {
         let c = cluster();
         let ptr = c
-            .run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &0u64.to_le_bytes()))
+            .run(MachineId(0), |tx| {
+                tx.alloc(8, Hint::Local, &0u64.to_le_bytes())
+            })
             .unwrap();
         // 4 threads × 50 increments, exactly the Fig. 3 retry loop.
         let mut handles = Vec::new();
@@ -898,7 +969,9 @@ mod tests {
     fn snapshot_isolation_for_readers() {
         let c = cluster();
         let ptr = c
-            .run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &1u64.to_le_bytes()))
+            .run(MachineId(0), |tx| {
+                tx.alloc(8, Hint::Local, &1u64.to_le_bytes())
+            })
             .unwrap();
         // Open a snapshot, then write twice.
         let mut ro = c.begin_read_only(MachineId(1));
@@ -921,7 +994,9 @@ mod tests {
     fn write_conflict_aborts_one() {
         let c = cluster();
         let ptr = c
-            .run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &0u64.to_le_bytes()))
+            .run(MachineId(0), |tx| {
+                tx.alloc(8, Hint::Local, &0u64.to_le_bytes())
+            })
             .unwrap();
         let mut t1 = c.begin(MachineId(0));
         let mut t2 = c.begin(MachineId(1));
@@ -936,8 +1011,12 @@ mod tests {
     #[test]
     fn read_validation_catches_intervening_write() {
         let c = cluster();
-        let a = c.run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &[1; 8])).unwrap();
-        let b = c.run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &[2; 8])).unwrap();
+        let a = c
+            .run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &[1; 8]))
+            .unwrap();
+        let b = c
+            .run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &[2; 8]))
+            .unwrap();
         let mut t1 = c.begin(MachineId(0));
         let ra = t1.read(a).unwrap(); // read-only member of read set
         let rb = t1.read(b).unwrap();
@@ -955,7 +1034,9 @@ mod tests {
     #[test]
     fn rw_txn_reading_stale_object_aborts_early_for_opacity() {
         let c = cluster();
-        let ptr = c.run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &[0; 8])).unwrap();
+        let ptr = c
+            .run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &[0; 8]))
+            .unwrap();
         let mut t1 = c.begin(MachineId(0));
         // Bump the object after t1's snapshot.
         c.run(MachineId(1), |tx| {
@@ -971,7 +1052,9 @@ mod tests {
     #[test]
     fn free_and_snapshot_reads_of_freed_object() {
         let c = cluster();
-        let ptr = c.run(MachineId(0), |tx| tx.alloc(16, Hint::Local, b"data")).unwrap();
+        let ptr = c
+            .run(MachineId(0), |tx| tx.alloc(16, Hint::Local, b"data"))
+            .unwrap();
         let mut ro = c.begin_read_only(MachineId(1)); // snapshot before free
         c.run(MachineId(0), |tx| {
             let buf = tx.read(ptr)?;
@@ -988,18 +1071,26 @@ mod tests {
         drop(fresh);
         // After snapshots retire, gc reclaims the block for reuse.
         c.gc();
-        let ptr2 = c.run(MachineId(0), |tx| tx.alloc(16, Hint::Local, b"new!")).unwrap();
+        let ptr2 = c
+            .run(MachineId(0), |tx| tx.alloc(16, Hint::Local, b"new!"))
+            .unwrap();
         assert_eq!(ptr2.addr, ptr.addr, "freed block reused");
     }
 
     #[test]
     fn locality_hint_co_locates() {
         let c = cluster();
-        let a = c.run(MachineId(2), |tx| tx.alloc(32, Hint::Local, &[1])).unwrap();
+        let a = c
+            .run(MachineId(2), |tx| tx.alloc(32, Hint::Local, &[1]))
+            .unwrap();
         let b = c
             .run(MachineId(0), |tx| tx.alloc(32, Hint::Near(a.addr), &[2]))
             .unwrap();
-        assert_eq!(a.addr.region(), b.addr.region(), "hint keeps objects in one region");
+        assert_eq!(
+            a.addr.region(),
+            b.addr.region(),
+            "hint keeps objects in one region"
+        );
         assert_eq!(c.primary_of(a.addr), c.primary_of(b.addr));
     }
 
@@ -1007,7 +1098,9 @@ mod tests {
     fn machine_failure_promotes_and_data_survives() {
         let c = cluster();
         let ptr = c
-            .run(MachineId(0), |tx| tx.alloc(32, Hint::Machine(MachineId(1)), b"persist"))
+            .run(MachineId(0), |tx| {
+                tx.alloc(32, Hint::Machine(MachineId(1)), b"persist")
+            })
             .unwrap();
         let primary = c.primary_of(ptr.addr).unwrap();
         c.kill_machine(primary);
@@ -1031,7 +1124,9 @@ mod tests {
         let mut cfg = FarmConfig::small(1);
         cfg.replicas = 1;
         let c = FarmCluster::start(cfg);
-        let ptr = c.run(MachineId(0), |tx| tx.alloc(32, Hint::Local, b"pyco")).unwrap();
+        let ptr = c
+            .run(MachineId(0), |tx| tx.alloc(32, Hint::Local, b"pyco"))
+            .unwrap();
 
         c.crash_process(MachineId(0));
         assert!(c.is_paused());
@@ -1045,8 +1140,10 @@ mod tests {
         let buf = tx.read(ptr).unwrap();
         assert_eq!(&buf.data()[..4], b"pyco");
         // Writes work again too (allocator was rebuilt by scanning).
-        c.run(MachineId(0), |tx| tx.alloc(32, Hint::Local, b"more").map(|_| ()))
-            .unwrap();
+        c.run(MachineId(0), |tx| {
+            tx.alloc(32, Hint::Local, b"more").map(|_| ())
+        })
+        .unwrap();
     }
 
     #[test]
@@ -1056,7 +1153,8 @@ mod tests {
         let c = FarmCluster::start(cfg);
         let ptrs: Vec<Ptr> = (0..8)
             .map(|i| {
-                c.run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &[i as u8; 8])).unwrap()
+                c.run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &[i as u8; 8]))
+                    .unwrap()
             })
             .collect();
 

@@ -38,10 +38,17 @@ impl Placement {
 pub enum ReconfigAction {
     /// `new_primary` (an existing backup, whose bytes are current) becomes
     /// primary for `region`; it must rebuild allocator metadata by scanning.
-    Promote { region: RegionId, new_primary: MachineId },
+    Promote {
+        region: RegionId,
+        new_primary: MachineId,
+    },
     /// Host a fresh replica of `region` on `target`, copying bytes from
     /// `source` (the current primary).
-    AddBackup { region: RegionId, source: MachineId, target: MachineId },
+    AddBackup {
+        region: RegionId,
+        source: MachineId,
+        target: MachineId,
+    },
     /// Every replica is gone. If PyCo memory survives a process crash the
     /// cluster pauses awaiting restart (§5.3); otherwise this is a disaster
     /// (§4).
@@ -92,7 +99,12 @@ impl ConfigManager {
     }
 
     pub fn is_alive(&self, m: MachineId) -> bool {
-        self.state.read().alive.get(m.0 as usize).copied().unwrap_or(false)
+        self.state
+            .read()
+            .alive
+            .get(m.0 as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     pub fn mark_alive(&self, m: MachineId) {
@@ -120,8 +132,9 @@ impl ConfigManager {
         };
         let mut backups = Vec::new();
         for _ in 1..self.replicas {
-            let exclude: Vec<MachineId> =
-                std::iter::once(primary).chain(backups.iter().copied()).collect();
+            let exclude: Vec<MachineId> = std::iter::once(primary)
+                .chain(backups.iter().copied())
+                .collect();
             match pick_backup(&s, primary, &backups, &exclude) {
                 Some(b) => backups.push(b),
                 None => break, // fewer replicas than desired; still usable
@@ -200,7 +213,10 @@ impl ConfigManager {
                     Some(b) => {
                         new_placement.primary = b;
                         new_placement.backups.retain(|x| *x != b && *x != dead);
-                        actions.push(ReconfigAction::Promote { region, new_primary: b });
+                        actions.push(ReconfigAction::Promote {
+                            region,
+                            new_primary: b,
+                        });
                     }
                     None => {
                         s.placements.remove(&rid);
@@ -314,7 +330,10 @@ mod tests {
         assert!(!cm.is_alive(MachineId(0)));
 
         let promote = actions.iter().find_map(|a| match a {
-            ReconfigAction::Promote { region, new_primary } if *region == id => Some(*new_primary),
+            ReconfigAction::Promote {
+                region,
+                new_primary,
+            } if *region == id => Some(*new_primary),
             _ => None,
         });
         let promoted = promote.expect("backup promoted");

@@ -74,7 +74,13 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let h = ObjHeader { lock: 7, version: 42, capacity: 100, state: STATE_LIVE, len: 64 };
+        let h = ObjHeader {
+            lock: 7,
+            version: 42,
+            capacity: 100,
+            state: STATE_LIVE,
+            len: 64,
+        };
         let bytes = h.encode();
         assert_eq!(ObjHeader::parse(&bytes), Some(h));
         assert!(h.is_locked());

@@ -84,7 +84,10 @@ mod tests {
         pyco.save(MachineId(2), RegionId(4), Segment::new(64));
         pyco.clear_machine(MachineId(1));
         assert!(!pyco.holds(MachineId(1), RegionId(3)));
-        assert!(pyco.holds(MachineId(2), RegionId(4)), "other machines unaffected");
+        assert!(
+            pyco.holds(MachineId(2), RegionId(4)),
+            "other machines unaffected"
+        );
     }
 
     #[test]

@@ -55,7 +55,13 @@ impl RegionMeta {
     /// Record `old` as the previous version of the object at `off`, where the
     /// object's new current version is `new_version`. Prunes entries no
     /// active snapshot (≥ `watermark`) can read.
-    pub fn push_old_version(&mut self, off: u32, old: OldVersion, new_version: u64, watermark: u64) {
+    pub fn push_old_version(
+        &mut self,
+        off: u32,
+        old: OldVersion,
+        new_version: u64,
+        watermark: u64,
+    ) {
         let chain = self.versions.entry(off).or_default();
         chain.insert(0, old);
         Self::prune_chain(chain, new_version, watermark);
@@ -132,13 +138,23 @@ impl Region {
     pub fn create(id: RegionId, len: usize, primary: bool) -> Arc<Region> {
         let seg = Segment::new(len);
         let meta = primary.then(|| RegionMeta::new(RegionAllocator::new(len), 0));
-        Arc::new(Region { id, seg, meta: Mutex::new(meta), len })
+        Arc::new(Region {
+            id,
+            seg,
+            meta: Mutex::new(meta),
+            len,
+        })
     }
 
     /// Attach to existing memory (fast restart from PyCo, or promotion after
     /// a copy). `rebuild_meta` scans headers to reconstruct the allocator.
     pub fn attach(id: RegionId, seg: Arc<Segment>, len: usize) -> Arc<Region> {
-        Arc::new(Region { id, seg, meta: Mutex::new(None), len })
+        Arc::new(Region {
+            id,
+            seg,
+            meta: Mutex::new(None),
+            len,
+        })
     }
 
     pub fn len(&self) -> usize {
@@ -173,14 +189,18 @@ impl Region {
         // Clear stale locks: any nonzero lock word belongs to a dead txn.
         let mut pos = crate::alloc::FIRST_OFFSET as usize;
         while pos + HEADER <= self.len {
-            let Some(h) = ObjHeader::parse(&data[pos..pos + HEADER]) else { break };
+            let Some(h) = ObjHeader::parse(&data[pos..pos + HEADER]) else {
+                break;
+            };
             if h.capacity == 0 {
                 break;
             }
             if h.lock != 0 {
                 self.seg.write(pos, &0u64.to_le_bytes());
             }
-            let Some(class) = crate::alloc::class_for_capacity(h.capacity) else { break };
+            let Some(class) = crate::alloc::class_for_capacity(h.capacity) else {
+                break;
+            };
             pos += crate::alloc::block_size(class);
         }
         *self.meta.lock() = Some(meta);
@@ -195,7 +215,13 @@ impl Region {
     /// Rewrite reclaimed block headers to FREE state in region memory.
     pub fn clear_reclaimed_headers(&self, reclaimed: &[(u32, u32)]) {
         for &(off, cap) in reclaimed {
-            let h = ObjHeader { lock: 0, version: 0, capacity: cap, state: STATE_FREE, len: 0 };
+            let h = ObjHeader {
+                lock: 0,
+                version: 0,
+                capacity: cap,
+                state: STATE_FREE,
+                len: 0,
+            };
             self.seg.write(off as usize, &h.encode());
         }
     }
@@ -217,7 +243,12 @@ mod tests {
     use crate::layout::{STATE_LIVE, STATE_TOMBSTONE};
 
     fn old(v: u64) -> OldVersion {
-        OldVersion { version: v, state: STATE_LIVE, payload: vec![v as u8].into(), len: 1 }
+        OldVersion {
+            version: v,
+            state: STATE_LIVE,
+            payload: vec![v as u8].into(),
+            len: 1,
+        }
     }
 
     fn meta_for_test() -> RegionMeta {
@@ -269,7 +300,13 @@ mod tests {
     fn rebuild_clears_stale_locks() {
         let region = Region::create(RegionId(1), 4096, true);
         let (off, cap) = region.with_meta(|m| m.alloc.alloc(40).unwrap()).unwrap();
-        let h = ObjHeader { lock: 77, version: 5, capacity: cap, state: STATE_LIVE, len: 4 };
+        let h = ObjHeader {
+            lock: 77,
+            version: 5,
+            capacity: cap,
+            state: STATE_LIVE,
+            len: 4,
+        };
         region.seg.write(off as usize, &h.encode());
         region.rebuild_meta(9);
         let raw = region.seg.read(off as usize, HEADER).unwrap();
@@ -283,7 +320,13 @@ mod tests {
     fn rebuild_requeues_tombstones() {
         let region = Region::create(RegionId(1), 4096, true);
         let (off, cap) = region.with_meta(|m| m.alloc.alloc(40).unwrap()).unwrap();
-        let h = ObjHeader { lock: 0, version: 5, capacity: cap, state: STATE_TOMBSTONE, len: 4 };
+        let h = ObjHeader {
+            lock: 0,
+            version: 5,
+            capacity: cap,
+            state: STATE_TOMBSTONE,
+            len: 4,
+        };
         region.seg.write(off as usize, &h.encode());
         region.rebuild_meta(9);
         let reclaimed = region.with_meta(|m| m.take_reclaimable(1)).unwrap();

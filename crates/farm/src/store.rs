@@ -19,7 +19,11 @@ pub struct FarmMachine {
 
 impl FarmMachine {
     pub fn new(id: MachineId, fabric: Arc<Fabric>) -> Arc<FarmMachine> {
-        Arc::new(FarmMachine { id, fabric, regions: RwLock::new(HashMap::new()) })
+        Arc::new(FarmMachine {
+            id,
+            fabric,
+            regions: RwLock::new(HashMap::new()),
+        })
     }
 
     pub fn id(&self) -> MachineId {
@@ -85,7 +89,12 @@ impl FarmMachine {
     /// Regions where this machine is primary *and* that have allocator space
     /// candidates — used by local-affinity allocation.
     pub fn primary_regions(&self) -> Vec<Arc<Region>> {
-        self.regions.read().values().filter(|r| r.is_primary()).cloned().collect()
+        self.regions
+            .read()
+            .values()
+            .filter(|r| r.is_primary())
+            .cloned()
+            .collect()
     }
 
     pub fn hosted_regions(&self) -> Vec<Arc<Region>> {

@@ -17,8 +17,8 @@
 //!   high-abort-rate pathology §5.2 describes.
 
 use crate::addr::{Addr, Ptr};
-use crate::cluster::FarmCluster;
 use crate::clock::TsGuard;
+use crate::cluster::FarmCluster;
 use crate::error::{FarmError, FarmResult};
 use crate::layout::{ObjHeader, HEADER, STATE_LIVE, STATE_TOMBSTONE};
 use a1_rdma::MachineId;
@@ -65,7 +65,12 @@ impl ObjBuf {
     /// A pointer-only placeholder for cache-served routing steps (never
     /// passed to `update`).
     pub(crate) fn routing_placeholder(ptr: Ptr) -> ObjBuf {
-        ObjBuf { ptr, version: 0, capacity: 0, data: Bytes::new() }
+        ObjBuf {
+            ptr,
+            version: 0,
+            capacity: 0,
+            data: Bytes::new(),
+        }
     }
 
     pub fn data(&self) -> &[u8] {
@@ -87,9 +92,19 @@ impl ObjBuf {
 
 #[derive(Debug)]
 pub(crate) enum WriteOp {
-    Update { read_version: u64, capacity: u32, data: Vec<u8> },
-    Alloc { capacity: u32, data: Vec<u8> },
-    Free { read_version: u64, capacity: u32 },
+    Update {
+        read_version: u64,
+        capacity: u32,
+        data: Vec<u8>,
+    },
+    Alloc {
+        capacity: u32,
+        data: Vec<u8>,
+    },
+    Free {
+        read_version: u64,
+        capacity: u32,
+    },
 }
 
 /// A FaRM transaction. Obtain via [`FarmCluster::begin`],
@@ -152,7 +167,11 @@ impl Txn {
         // Read-your-writes.
         if let Some(op) = self.writes.get(&ptr.addr) {
             return match op {
-                WriteOp::Update { read_version, capacity, data } => Ok(ObjBuf {
+                WriteOp::Update {
+                    read_version,
+                    capacity,
+                    data,
+                } => Ok(ObjBuf {
                     ptr,
                     version: *read_version,
                     capacity: *capacity,
@@ -191,7 +210,12 @@ impl Txn {
         if !h.is_committed() || h.state != STATE_LIVE {
             return Err(FarmError::NotFound(ptr.addr));
         }
-        Ok(ObjBuf { ptr, version: h.version, capacity: h.capacity, data: payload })
+        Ok(ObjBuf {
+            ptr,
+            version: h.version,
+            capacity: h.capacity,
+            data: payload,
+        })
     }
 
     fn read_versioned(&mut self, ptr: Ptr) -> FarmResult<ObjBuf> {
@@ -208,7 +232,12 @@ impl Txn {
             if h.state == STATE_TOMBSTONE {
                 return Err(FarmError::NotFound(ptr.addr));
             }
-            return Ok(ObjBuf { ptr, version: h.version, capacity: h.capacity, data: payload });
+            return Ok(ObjBuf {
+                ptr,
+                version: h.version,
+                capacity: h.capacity,
+                data: payload,
+            });
         }
         // Version is newer than our snapshot.
         if !self.read_only {
@@ -217,7 +246,8 @@ impl Txn {
             return Err(FarmError::Conflict);
         }
         // Read-only: serve from the old-version store at the primary.
-        self.cluster.read_old_version(self.origin, ptr, self.read_ts)
+        self.cluster
+            .read_old_version(self.origin, ptr, self.read_ts)
     }
 
     /// Allocate a new object of `size` payload bytes initialized to `data`
@@ -234,7 +264,13 @@ impl Txn {
             return Err(FarmError::InvalidSize(size));
         }
         let (ptr, capacity) = self.cluster.alloc_object(self.origin, size, hint)?;
-        self.writes.insert(ptr.addr, WriteOp::Alloc { capacity, data: data.to_vec() });
+        self.writes.insert(
+            ptr.addr,
+            WriteOp::Alloc {
+                capacity,
+                data: data.to_vec(),
+            },
+        );
         Ok(ptr)
     }
 
@@ -248,7 +284,9 @@ impl Txn {
             return Err(FarmError::Usage("update in read-only transaction"));
         }
         if data.len() > buf.capacity as usize {
-            return Err(FarmError::Usage("update larger than block capacity; realloc instead"));
+            return Err(FarmError::Usage(
+                "update larger than block capacity; realloc instead",
+            ));
         }
         match self.writes.get_mut(&buf.addr()) {
             Some(WriteOp::Alloc { data: d, .. }) => {
@@ -292,7 +330,10 @@ impl Txn {
             Some(WriteOp::Update { .. }) | None => {
                 self.writes.insert(
                     buf.addr(),
-                    WriteOp::Free { read_version: buf.version, capacity: buf.capacity },
+                    WriteOp::Free {
+                        read_version: buf.version,
+                        capacity: buf.capacity,
+                    },
                 );
                 Ok(())
             }
@@ -308,8 +349,7 @@ impl Txn {
         if self.writes.is_empty() {
             // V1 read-only validation: latest-version reads must still hold.
             if self.mode == TxnMode::V1Occ && !self.read_set.is_empty() {
-                let reads: Vec<(Addr, u64)> =
-                    self.read_set.iter().map(|(a, v)| (*a, *v)).collect();
+                let reads: Vec<(Addr, u64)> = self.read_set.iter().map(|(a, v)| (*a, *v)).collect();
                 if let Err(e) = self.cluster.validate_reads(self.origin, &reads) {
                     self.cluster.note_abort();
                     return Err(e);
@@ -320,12 +360,9 @@ impl Txn {
         }
 
         debug_assert!(!self.read_only);
-        let result = self.cluster.commit_writes(
-            self.origin,
-            self.tx_id,
-            &self.read_set,
-            &mut self.writes,
-        );
+        let result =
+            self.cluster
+                .commit_writes(self.origin, self.tx_id, &self.read_set, &mut self.writes);
         match result {
             Ok(ts) => {
                 self.cluster.note_commit();
@@ -394,13 +431,14 @@ impl Drop for Txn {
 }
 
 /// Compose the on-wire bytes for an object: header + payload.
-pub(crate) fn compose_object(
-    version: u64,
-    capacity: u32,
-    state: u32,
-    data: &[u8],
-) -> Vec<u8> {
-    let h = ObjHeader { lock: 0, version, capacity, state, len: data.len() as u32 };
+pub(crate) fn compose_object(version: u64, capacity: u32, state: u32, data: &[u8]) -> Vec<u8> {
+    let h = ObjHeader {
+        lock: 0,
+        version,
+        capacity,
+        state,
+        len: data.len() as u32,
+    };
     let mut bytes = Vec::with_capacity(HEADER + data.len());
     bytes.extend_from_slice(&h.encode());
     bytes.extend_from_slice(data);

@@ -10,8 +10,13 @@ fn cluster() -> Arc<FarmCluster> {
 }
 
 fn small_tree(c: &Arc<FarmCluster>) -> BTree {
-    let cfg = BTreeConfig { max_keys: 4, max_key_len: 32, max_val_len: 32 };
-    c.run(MachineId(0), |tx| BTree::create(tx, cfg, Hint::Local)).unwrap()
+    let cfg = BTreeConfig {
+        max_keys: 4,
+        max_key_len: 32,
+        max_val_len: 32,
+    };
+    c.run(MachineId(0), |tx| BTree::create(tx, cfg, Hint::Local))
+        .unwrap()
 }
 
 #[test]
@@ -22,7 +27,10 @@ fn insert_get_remove() {
         assert_eq!(tree.insert(tx, b"hello", b"world")?, None);
         assert_eq!(tree.get(tx, b"hello")?, Some(b"world".to_vec()));
         assert_eq!(tree.get(tx, b"missing")?, None);
-        assert_eq!(tree.insert(tx, b"hello", b"there")?, Some(b"world".to_vec()));
+        assert_eq!(
+            tree.insert(tx, b"hello", b"there")?,
+            Some(b"world".to_vec())
+        );
         Ok(())
     })
     .unwrap();
@@ -43,8 +51,10 @@ fn many_inserts_split_and_scan_sorted() {
     // 200 keys with max_keys=4 forces multi-level splits.
     for i in 0..200u32 {
         let k = format!("key{:04}", (i * 37) % 200);
-        c.run(MachineId(0), |tx| tree.insert(tx, k.as_bytes(), b"v").map(|_| ()))
-            .unwrap();
+        c.run(MachineId(0), |tx| {
+            tree.insert(tx, k.as_bytes(), b"v").map(|_| ())
+        })
+        .unwrap();
     }
     let mut tx = c.begin_read_only(MachineId(1));
     let all = tree.scan(&mut tx, &[], &[], usize::MAX).unwrap();
@@ -53,7 +63,9 @@ fn many_inserts_split_and_scan_sorted() {
         assert!(w[0].0 < w[1].0, "scan must be sorted");
     }
     // Range scan.
-    let range = tree.scan(&mut tx, b"key0010", b"key0020", usize::MAX).unwrap();
+    let range = tree
+        .scan(&mut tx, b"key0010", b"key0020", usize::MAX)
+        .unwrap();
     assert_eq!(range.len(), 10);
     assert_eq!(range[0].0, b"key0010".to_vec());
     // Limit.
@@ -84,8 +96,14 @@ fn multi_key_transactionality() {
 #[test]
 fn concurrent_inserts_all_land() {
     let c = cluster();
-    let cfg = BTreeConfig { max_keys: 8, max_key_len: 32, max_val_len: 32 };
-    let tree = c.run(MachineId(0), |tx| BTree::create(tx, cfg, Hint::Local)).unwrap();
+    let cfg = BTreeConfig {
+        max_keys: 8,
+        max_key_len: 32,
+        max_val_len: 32,
+    };
+    let tree = c
+        .run(MachineId(0), |tx| BTree::create(tx, cfg, Hint::Local))
+        .unwrap();
     let mut handles = Vec::new();
     for t in 0..4u32 {
         let c = c.clone();
@@ -93,8 +111,10 @@ fn concurrent_inserts_all_land() {
         handles.push(std::thread::spawn(move || {
             for i in 0..50u32 {
                 let k = format!("t{}k{:03}", t, i);
-                c.run(MachineId(t % 3), |tx| tree.insert(tx, k.as_bytes(), b"x").map(|_| ()))
-                    .unwrap();
+                c.run(MachineId(t % 3), |tx| {
+                    tree.insert(tx, k.as_bytes(), b"x").map(|_| ())
+                })
+                .unwrap();
             }
         }));
     }
@@ -122,13 +142,25 @@ fn destroy_frees_everything() {
     let tree = small_tree(&c);
     for i in 0..50u32 {
         let k = format!("k{i:03}");
-        c.run(MachineId(0), |tx| tree.insert(tx, k.as_bytes(), b"v").map(|_| ()))
-            .unwrap();
+        c.run(MachineId(0), |tx| {
+            tree.insert(tx, k.as_bytes(), b"v").map(|_| ())
+        })
+        .unwrap();
     }
-    let before = c.stats().freed_objects.load(std::sync::atomic::Ordering::Relaxed);
+    let before = c
+        .stats()
+        .freed_objects
+        .load(std::sync::atomic::Ordering::Relaxed);
     c.run(MachineId(0), |tx| tree.destroy(tx)).unwrap();
-    let after = c.stats().freed_objects.load(std::sync::atomic::Ordering::Relaxed);
-    assert!(after - before >= 10, "all nodes + header freed (got {})", after - before);
+    let after = c
+        .stats()
+        .freed_objects
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        after - before >= 10,
+        "all nodes + header freed (got {})",
+        after - before
+    );
     // Lookups now fail.
     let mut tx = c.begin_read_only(MachineId(0));
     assert!(tree.get(&mut tx, b"k001").is_err());
@@ -140,8 +172,10 @@ fn snapshot_scan_ignores_concurrent_inserts() {
     let tree = small_tree(&c);
     for i in 0..20u32 {
         let k = format!("k{i:03}");
-        c.run(MachineId(0), |tx| tree.insert(tx, k.as_bytes(), b"v").map(|_| ()))
-            .unwrap();
+        c.run(MachineId(0), |tx| {
+            tree.insert(tx, k.as_bytes(), b"v").map(|_| ())
+        })
+        .unwrap();
     }
     let mut snap = c.begin_read_only(MachineId(1));
     // Force the snapshot to be taken before the next writes by reading now.
@@ -149,8 +183,10 @@ fn snapshot_scan_ignores_concurrent_inserts() {
     assert_eq!(before, 20);
     for i in 20..40u32 {
         let k = format!("k{i:03}");
-        c.run(MachineId(0), |tx| tree.insert(tx, k.as_bytes(), b"v").map(|_| ()))
-            .unwrap();
+        c.run(MachineId(0), |tx| {
+            tree.insert(tx, k.as_bytes(), b"v").map(|_| ())
+        })
+        .unwrap();
     }
     // Old snapshot still sees 20; a new one sees 40.
     assert_eq!(tree.len(&mut snap).unwrap(), 20);
@@ -174,8 +210,7 @@ fn arb_key() -> impl Strategy<Value = Vec<u8>> {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (arb_key(), prop::collection::vec(any::<u8>(), 0..8))
-            .prop_map(|(k, v)| Op::Insert(k, v)),
+        (arb_key(), prop::collection::vec(any::<u8>(), 0..8)).prop_map(|(k, v)| Op::Insert(k, v)),
         arb_key().prop_map(Op::Remove),
         arb_key().prop_map(Op::Get),
         (arb_key(), arb_key()).prop_map(|(a, b)| Op::Scan(a, b)),

@@ -69,7 +69,11 @@ fn concurrent_transfers_conserve_total() {
         for ptr in accounts.iter() {
             total += read_u64(&tx.read(*ptr).unwrap());
         }
-        assert_eq!(total, INITIAL * ACCOUNTS as u64, "snapshot {r} saw money appear/vanish");
+        assert_eq!(
+            total,
+            INITIAL * ACCOUNTS as u64,
+            "snapshot {r} saw money appear/vanish"
+        );
     }
     stop.store(true, Ordering::Relaxed);
     for w in writers {
@@ -77,7 +81,10 @@ fn concurrent_transfers_conserve_total() {
     }
     // Final state too.
     let mut tx = farm.begin_read_only(MachineId(0));
-    let total: u64 = accounts.iter().map(|p| read_u64(&tx.read(*p).unwrap())).sum();
+    let total: u64 = accounts
+        .iter()
+        .map(|p| read_u64(&tx.read(*p).unwrap()))
+        .sum();
     assert_eq!(total, INITIAL * ACCOUNTS as u64);
 }
 
@@ -87,8 +94,16 @@ fn concurrent_transfers_conserve_total() {
 fn write_skew_prevented() {
     let farm = FarmCluster::start(FarmConfig::small(2));
     // Invariant to attack: a + b >= 1 (both start at 1).
-    let a = farm.run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &1u64.to_le_bytes())).unwrap();
-    let b = farm.run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &1u64.to_le_bytes())).unwrap();
+    let a = farm
+        .run(MachineId(0), |tx| {
+            tx.alloc(8, Hint::Local, &1u64.to_le_bytes())
+        })
+        .unwrap();
+    let b = farm
+        .run(MachineId(0), |tx| {
+            tx.alloc(8, Hint::Local, &1u64.to_le_bytes())
+        })
+        .unwrap();
 
     let mut t1 = farm.begin(MachineId(0));
     let mut t2 = farm.begin(MachineId(1));
@@ -121,8 +136,10 @@ fn snapshot_stability_under_churn_and_gc() {
     let farm = FarmCluster::start(FarmConfig::small(3));
     let ptrs: Vec<Ptr> = (0..16)
         .map(|i| {
-            farm.run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &(i as u64).to_le_bytes()))
-                .unwrap()
+            farm.run(MachineId(0), |tx| {
+                tx.alloc(8, Hint::Local, &(i as u64).to_le_bytes())
+            })
+            .unwrap()
         })
         .collect();
     let expected: u64 = (0..16).sum();
@@ -142,7 +159,10 @@ fn snapshot_stability_under_churn_and_gc() {
         farm.gc();
     }
     // The old snapshot still sums to the original values.
-    let total: u64 = ptrs.iter().map(|p| read_u64(&snapshot.read(*p).unwrap())).sum();
+    let total: u64 = ptrs
+        .iter()
+        .map(|p| read_u64(&snapshot.read(*p).unwrap()))
+        .sum();
     assert_eq!(total, expected, "snapshot drifted under churn + GC");
 }
 
@@ -164,11 +184,14 @@ fn aborts_leak_nothing() {
         drop(tx);
     }
     let live_after = farm.stats().allocated_objects.load(Ordering::Relaxed);
-    assert_eq!(live_before, live_after, "aborted allocations must be rolled back");
+    assert_eq!(
+        live_before, live_after,
+        "aborted allocations must be rolled back"
+    );
 }
 
-/// Property: any serial interleaving of counter increments with random
-/// origins and conflict-retry preserves the exact count (model: u64 sum).
+// Property: any serial interleaving of counter increments with random
+// origins and conflict-retry preserves the exact count (model: u64 sum).
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
     #[test]
@@ -211,7 +234,7 @@ proptest! {
                 continue;
             }
             let ptr = farm
-                .run(MachineId(0), |tx| tx.alloc(size, Hint::Local, &[0xAB; 1][..].repeat(1).as_slice()[..1.min(size)].to_vec().as_slice()))
+                .run(MachineId(0), |tx| tx.alloc(size, Hint::Local, &[0xAB][..size.min(1)]))
                 .unwrap();
             // Overlap check against every live block in the same region.
             for (other, other_size) in &live {
@@ -238,7 +261,9 @@ proptest! {
 fn readers_wait_out_commit_locks() {
     let farm = FarmCluster::start(FarmConfig::small(2));
     let ptr = farm
-        .run(MachineId(0), |tx| tx.alloc(8, Hint::Local, &0u64.to_le_bytes()))
+        .run(MachineId(0), |tx| {
+            tx.alloc(8, Hint::Local, &0u64.to_le_bytes())
+        })
         .unwrap();
     let stop = Arc::new(AtomicBool::new(false));
     let writer = {
@@ -264,5 +289,8 @@ fn readers_wait_out_commit_locks() {
     }
     stop.store(true, Ordering::Relaxed);
     writer.join().unwrap();
-    assert_eq!(failures, 0, "read-only snapshots must never fail under write churn");
+    assert_eq!(
+        failures, 0,
+        "read-only snapshots must never fail under write churn"
+    );
 }

@@ -15,14 +15,21 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseError {}
 
 pub fn parse(text: &str) -> Result<Json, ParseError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value(0)?;
     p.skip_ws();
@@ -39,7 +46,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { offset: self.pos, message: msg.into() }
+        ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -203,8 +213,12 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
-            let d = (c as char).to_digit(16).ok_or_else(|| self.err("invalid hex digit"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
             v = v * 16 + d;
         }
         Ok(v)
@@ -300,7 +314,12 @@ mod tests {
     #[test]
     fn key_order_preserved() {
         let j = p(r#"{"z":1,"a":2,"m":3}"#);
-        let keys: Vec<_> = j.as_obj().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let keys: Vec<_> = j
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
         assert_eq!(keys, vec!["z", "a", "m"]);
     }
 

@@ -117,7 +117,10 @@ mod tests {
     #[test]
     fn pretty_parses_back() {
         let j = Json::obj(vec![
-            ("q", Json::obj(vec![("_select", Json::Arr(vec![Json::str("*")]))])),
+            (
+                "q",
+                Json::obj(vec![("_select", Json::Arr(vec![Json::str("*")]))]),
+            ),
             ("n", Json::Num(2.5)),
         ]);
         let pretty = to_string_pretty(&j);

@@ -13,7 +13,14 @@ fn arb_json() -> impl Strategy<Value = Json> {
         "[ -~]{0,12}".prop_map(Json::Str),
         // Strings with escapes and non-ASCII.
         prop::collection::vec(
-            prop_oneof![Just('"'), Just('\\'), Just('\n'), Just('é'), Just('😀'), Just('\u{7}')],
+            prop_oneof![
+                Just('"'),
+                Just('\\'),
+                Just('\n'),
+                Just('é'),
+                Just('😀'),
+                Just('\u{7}')
+            ],
             0..4
         )
         .prop_map(|cs| Json::Str(cs.into_iter().collect())),

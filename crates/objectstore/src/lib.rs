@@ -58,7 +58,10 @@ pub struct StoreConfig {
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { write_fail_rate: 0.0, seed: 0x05 }
+        StoreConfig {
+            write_fail_rate: 0.0,
+            seed: 0x05,
+        }
     }
 }
 
@@ -230,7 +233,10 @@ mod tests {
 
     #[test]
     fn failure_injection() {
-        let s = ObjectStore::new(StoreConfig { write_fail_rate: 1.0, seed: 7 });
+        let s = ObjectStore::new(StoreConfig {
+            write_fail_rate: 1.0,
+            seed: 7,
+        });
         assert_eq!(
             s.put_if_newer("t", b"k", b"v".to_vec(), 1),
             Err(StoreError::WriteFailed)
@@ -242,7 +248,10 @@ mod tests {
 
     #[test]
     fn partial_failure_rate_eventually_succeeds() {
-        let s = ObjectStore::new(StoreConfig { write_fail_rate: 0.5, seed: 3 });
+        let s = ObjectStore::new(StoreConfig {
+            write_fail_rate: 0.5,
+            seed: 3,
+        });
         let mut ok = 0;
         for i in 0..100u64 {
             if s.put_if_newer("t", &i.to_le_bytes(), vec![1], i).is_ok() {

@@ -32,7 +32,14 @@ impl Table {
         match rows.get(key) {
             Some(row) if row.ts >= ts => false,
             _ => {
-                rows.insert(key.to_vec(), Row { value, ts, tombstone: false });
+                rows.insert(
+                    key.to_vec(),
+                    Row {
+                        value,
+                        ts,
+                        tombstone: false,
+                    },
+                );
                 true
             }
         }
@@ -44,7 +51,14 @@ impl Table {
         match rows.get(key) {
             Some(row) if row.ts >= ts => false,
             _ => {
-                rows.insert(key.to_vec(), Row { value: Vec::new(), ts, tombstone: true });
+                rows.insert(
+                    key.to_vec(),
+                    Row {
+                        value: Vec::new(),
+                        ts,
+                        tombstone: true,
+                    },
+                );
                 true
             }
         }

@@ -6,11 +6,16 @@
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
+/// Composite row key: (user key, timestamp).
+type RowKey = (Vec<u8>, u64);
+/// A stored version; `None` is a delete tombstone.
+type Version = Option<Vec<u8>>;
+
 /// Multi-version table. The composite row key is (user key, timestamp),
 /// which ObjectStore's sorted iteration makes cheap to query per key.
 #[derive(Debug, Default)]
 pub struct VersionedTable {
-    rows: RwLock<BTreeMap<(Vec<u8>, u64), Option<Vec<u8>>>>,
+    rows: RwLock<BTreeMap<RowKey, Version>>,
 }
 
 impl VersionedTable {
@@ -42,7 +47,7 @@ impl VersionedTable {
     pub fn scan_at(&self, ts: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
         let rows = self.rows.read();
         let mut out = Vec::new();
-        let mut current: Option<(&Vec<u8>, u64, &Option<Vec<u8>>)> = None;
+        let mut current: Option<(&Vec<u8>, u64, &Version)> = None;
         for ((k, vts), v) in rows.iter() {
             if *vts > ts {
                 continue;
@@ -133,14 +138,20 @@ mod tests {
         // Snapshot at 10: a→a5, b→b8, c absent.
         assert_eq!(
             t.scan_at(10),
-            vec![(b"a".to_vec(), b"a5".to_vec()), (b"b".to_vec(), b"b8".to_vec())]
+            vec![
+                (b"a".to_vec(), b"a5".to_vec()),
+                (b"b".to_vec(), b"b8".to_vec())
+            ]
         );
         // Snapshot at 16: a→a15, b deleted, c absent.
         assert_eq!(t.scan_at(16), vec![(b"a".to_vec(), b"a15".to_vec())]);
         // Snapshot at 25: a→a15, c→c20.
         assert_eq!(
             t.scan_at(25),
-            vec![(b"a".to_vec(), b"a15".to_vec()), (b"c".to_vec(), b"c20".to_vec())]
+            vec![
+                (b"a".to_vec(), b"a15".to_vec()),
+                (b"c".to_vec(), b"c20".to_vec())
+            ]
         );
         // Empty snapshot.
         assert_eq!(t.scan_at(1), vec![]);

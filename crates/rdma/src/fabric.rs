@@ -1,8 +1,8 @@
 //! The fabric: one-sided verbs, RPC and datagrams between machines.
 
-use crate::machine::{Machine, RpcHandler, UdHandler};
 #[cfg(test)]
 use crate::machine::Segment;
+use crate::machine::{Machine, RpcHandler, UdHandler};
 use crate::metrics::Metrics;
 use crate::{FabricConfig, MachineId};
 use bytes::Bytes;
@@ -83,7 +83,9 @@ impl Fabric {
     }
 
     pub fn machine(&self, id: MachineId) -> Result<&Arc<Machine>, NetError> {
-        self.machines.get(id.0 as usize).ok_or(NetError::UnknownMachine(id))
+        self.machines
+            .get(id.0 as usize)
+            .ok_or(NetError::UnknownMachine(id))
     }
 
     pub fn machines(&self) -> &[Arc<Machine>] {
@@ -149,14 +151,18 @@ impl Fabric {
         len: usize,
     ) -> Result<Bytes, NetError> {
         let target = self.target(to)?;
-        let seg = target.segment(seg_id).ok_or(NetError::NoSuchSegment(seg_id))?;
+        let seg = target
+            .segment(seg_id)
+            .ok_or(NetError::NoSuchSegment(seg_id))?;
         let local = from == to;
         if local {
             self.metrics.local_reads.fetch_add(1, Ordering::Relaxed);
         } else {
             self.metrics.remote_reads.fetch_add(1, Ordering::Relaxed);
         }
-        self.metrics.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+        self.metrics
+            .bytes_read
+            .fetch_add(len as u64, Ordering::Relaxed);
         self.charge(self.cfg.latency.one_sided_ns(
             local,
             self.rack_of(from) == self.rack_of(to),
@@ -175,14 +181,18 @@ impl Fabric {
         data: &[u8],
     ) -> Result<(), NetError> {
         let target = self.target(to)?;
-        let seg = target.segment(seg_id).ok_or(NetError::NoSuchSegment(seg_id))?;
+        let seg = target
+            .segment(seg_id)
+            .ok_or(NetError::NoSuchSegment(seg_id))?;
         let local = from == to;
         if local {
             self.metrics.local_writes.fetch_add(1, Ordering::Relaxed);
         } else {
             self.metrics.remote_writes.fetch_add(1, Ordering::Relaxed);
         }
-        self.metrics.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.charge(self.cfg.latency.one_sided_ns(
             local,
             self.rack_of(from) == self.rack_of(to),
@@ -203,7 +213,9 @@ impl Fabric {
         new: u64,
     ) -> Result<u64, NetError> {
         let target = self.target(to)?;
-        let seg = target.segment(seg_id).ok_or(NetError::NoSuchSegment(seg_id))?;
+        let seg = target
+            .segment(seg_id)
+            .ok_or(NetError::NoSuchSegment(seg_id))?;
         self.metrics.cas_ops.fetch_add(1, Ordering::Relaxed);
         self.charge(self.cfg.latency.one_sided_ns(
             from == to,
@@ -231,8 +243,11 @@ impl Fabric {
     /// charged in both directions.
     pub fn rpc(&self, from: MachineId, to: MachineId, request: Bytes) -> Result<Bytes, NetError> {
         let target = self.target(to)?;
-        let handler =
-            target.rpc_handler.read().clone().ok_or(NetError::NoHandler(to))?;
+        let handler = target
+            .rpc_handler
+            .read()
+            .clone()
+            .ok_or(NetError::NoHandler(to))?;
         self.metrics.rpcs.fetch_add(1, Ordering::Relaxed);
         let same_rack = self.rack_of(from) == self.rack_of(to);
         self.charge(self.cfg.latency.rpc_ns(same_rack, request.len()));
@@ -362,7 +377,9 @@ mod tests {
                 Bytes::from(v)
             }),
         );
-        let reply = f.rpc(MachineId(1), MachineId(2), Bytes::from_static(&[5])).unwrap();
+        let reply = f
+            .rpc(MachineId(1), MachineId(2), Bytes::from_static(&[5]))
+            .unwrap();
         assert_eq!(&reply[..], &[5, 1]);
         assert_eq!(f.metrics().snapshot().rpcs, 1);
     }
@@ -383,8 +400,10 @@ mod tests {
 
     #[test]
     fn ud_delivery_and_drops() {
-        let mut cfg = FabricConfig::default();
-        cfg.ud_drop_rate = 0.0;
+        let cfg = FabricConfig {
+            ud_drop_rate: 0.0,
+            ..Default::default()
+        };
         let f = Fabric::new(cfg);
         let (tx, rx) = crossbeam::channel::bounded(1);
         f.set_ud_handler(
@@ -398,8 +417,10 @@ mod tests {
         assert_eq!(&got[..], b"hb");
 
         // With 100% drop rate nothing arrives.
-        let mut cfg = FabricConfig::default();
-        cfg.ud_drop_rate = 1.0;
+        let cfg = FabricConfig {
+            ud_drop_rate: 1.0,
+            ..Default::default()
+        };
         let f = Fabric::new(cfg);
         f.send_ud(MachineId(0), MachineId(1), Bytes::from_static(b"x"));
         assert_eq!(f.metrics().snapshot().ud_dropped, 1);
@@ -407,7 +428,11 @@ mod tests {
 
     #[test]
     fn rack_assignment_spreads() {
-        let f = Fabric::new(FabricConfig { machines: 6, racks: 3, ..Default::default() });
+        let f = Fabric::new(FabricConfig {
+            machines: 6,
+            racks: 3,
+            ..Default::default()
+        });
         assert_eq!(f.rack_of(MachineId(0)), 0);
         assert_eq!(f.rack_of(MachineId(1)), 1);
         assert_eq!(f.rack_of(MachineId(2)), 2);
@@ -416,8 +441,10 @@ mod tests {
 
     #[test]
     fn injected_latency_is_wall_clock() {
-        let mut cfg = FabricConfig::default();
-        cfg.inject_latency = true;
+        let cfg = FabricConfig {
+            inject_latency: true,
+            ..Default::default()
+        };
         let f = Fabric::new(cfg);
         let seg = Segment::new(64);
         f.machine(MachineId(1)).unwrap().register_segment(1, seg);

@@ -36,13 +36,21 @@ impl LatencyModel {
         if local {
             return self.local_read_ns + self.size_ns(bytes) / 4;
         }
-        let base = if same_rack { self.rack_rtt_ns } else { self.cross_rack_rtt_ns };
+        let base = if same_rack {
+            self.rack_rtt_ns
+        } else {
+            self.cross_rack_rtt_ns
+        };
         base + self.size_ns(bytes)
     }
 
     /// Cost of one direction of an RPC carrying `bytes` bytes.
     pub fn rpc_ns(&self, same_rack: bool, bytes: usize) -> u64 {
-        let base = if same_rack { self.rack_rtt_ns } else { self.cross_rack_rtt_ns };
+        let base = if same_rack {
+            self.rack_rtt_ns
+        } else {
+            self.cross_rack_rtt_ns
+        };
         self.rpc_overhead_ns / 2 + base / 2 + self.size_ns(bytes)
     }
 

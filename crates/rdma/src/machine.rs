@@ -22,12 +22,16 @@ pub struct Segment {
 
 impl Segment {
     pub fn new(len: usize) -> Arc<Segment> {
-        Arc::new(Segment { data: RwLock::new(vec![0; len]) })
+        Arc::new(Segment {
+            data: RwLock::new(vec![0; len]),
+        })
     }
 
     /// Wrap existing bytes (used when re-attaching PyCo memory, §5.3).
     pub fn from_bytes(bytes: Vec<u8>) -> Arc<Segment> {
-        Arc::new(Segment { data: RwLock::new(bytes) })
+        Arc::new(Segment {
+            data: RwLock::new(bytes),
+        })
     }
 
     pub fn len(&self) -> usize {
@@ -69,7 +73,8 @@ impl Segment {
     pub fn read_u64(&self, off: usize) -> Option<u64> {
         let data = self.data.read();
         let end = off.checked_add(8)?;
-        data.get(off..end).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+        data.get(off..end)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
     }
 
     /// Full copy of the segment's bytes (re-replication after failures).

@@ -61,9 +61,13 @@ impl WorkerPool {
         let Some(tx) = guard.as_ref() else {
             return; // pool shut down; drop the job
         };
-        self.queued.fetch_add(1, Ordering::Relaxed);
-        tx.send(Box::new(job)).expect("receiver held by shared state");
-        if self.shared.idle.load(Ordering::Relaxed) == 0 {
+        let queued = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        tx.send(Box::new(job))
+            .expect("receiver held by shared state");
+        // Grow when demand outruns the idle set, not only when it hits zero:
+        // a burst of enqueues can land before any idle worker wakes up, and
+        // jobs that block (the fiber stand-in) would then starve the queue.
+        if queued > self.shared.idle.load(Ordering::Relaxed) {
             let n = self.shared.threads.load(Ordering::Relaxed);
             if n < self.shared.max {
                 spawn_worker(self.shared.clone(), self.queued.clone(), n, false);
@@ -91,7 +95,12 @@ impl Drop for WorkerPool {
 
 fn spawn_worker(shared: Arc<PoolShared>, queued: Arc<AtomicUsize>, idx: usize, permanent: bool) {
     shared.threads.fetch_add(1, Ordering::Relaxed);
-    let name = format!("{}-w{}{}", shared.name, idx, if permanent { "" } else { "t" });
+    let name = format!(
+        "{}-w{}{}",
+        shared.name,
+        idx,
+        if permanent { "" } else { "t" }
+    );
     std::thread::Builder::new()
         .name(name)
         .spawn(move || {

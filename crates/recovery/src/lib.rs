@@ -105,7 +105,10 @@ mod tests {
             &Json::str("b"),
         );
         let (st, s, e, dt, d) = split_edge_row_key(&k).unwrap();
-        assert_eq!((st.as_str(), e.as_str(), dt.as_str()), ("entity", "likes", "entity"));
+        assert_eq!(
+            (st.as_str(), e.as_str(), dt.as_str()),
+            ("entity", "likes", "entity")
+        );
         assert_eq!(s, "\"a\"");
         assert_eq!(d, "\"b\"");
     }

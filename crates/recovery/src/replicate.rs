@@ -1,12 +1,12 @@
 //! The replication pipeline: replication log → ObjectStore (paper §4).
 
-use crate::{catalog_table, edge_table, edge_row_key, vertex_row_key, vertex_table};
+use crate::{catalog_table, edge_row_key, edge_table, vertex_row_key, vertex_table};
 use a1_core::error::{A1Error, A1Result};
 use a1_core::replog::FetchedEntry;
 use a1_core::server::A1Cluster;
+use a1_farm::MachineId;
 use a1_json::Json;
 use a1_objectstore::{ObjectStore, StoreError};
-use a1_farm::MachineId;
 use std::sync::Arc;
 
 /// Durable watermark name for `tR` (§4).
@@ -22,7 +22,9 @@ impl Replicator {
     /// The cluster must have been started with `dr_enabled`.
     pub fn new(cluster: A1Cluster, store: Arc<ObjectStore>) -> A1Result<Replicator> {
         if cluster.inner().replog.is_none() {
-            return Err(A1Error::Internal("cluster started without dr_enabled".into()));
+            return Err(A1Error::Internal(
+                "cluster started without dr_enabled".into(),
+            ));
         }
         Ok(Replicator { cluster, store })
     }
@@ -79,7 +81,11 @@ impl Replicator {
             Some("put_vertex") => {
                 let ty = body.get("type").and_then(Json::as_str).unwrap_or("");
                 let key = vertex_row_key(ty, body.get("key").unwrap_or(&Json::Null));
-                let value = body.get("data").unwrap_or(&Json::Null).to_string().into_bytes();
+                let value = body
+                    .get("data")
+                    .unwrap_or(&Json::Null)
+                    .to_string()
+                    .into_bytes();
                 self.store.put_if_newer(&vt, &key, value.clone(), ts)?;
                 self.store.put_versioned(&vt, &key, ts, Some(value))?;
             }
@@ -91,7 +97,11 @@ impl Replicator {
             }
             Some("put_edge") => {
                 let key = edge_key_of(body);
-                let value = body.get("data").unwrap_or(&Json::Null).to_string().into_bytes();
+                let value = body
+                    .get("data")
+                    .unwrap_or(&Json::Null)
+                    .to_string()
+                    .into_bytes();
                 self.store.put_if_newer(&et, &key, value.clone(), ts)?;
                 self.store.put_versioned(&et, &key, ts, Some(value))?;
             }

@@ -1,8 +1,7 @@
 //! Rebuilding an A1 cluster from ObjectStore (paper §4).
 
 use crate::{
-    catalog_table, edge_table, split_edge_row_key, split_vertex_row_key, vertex_table,
-    TR_WATERMARK,
+    catalog_table, edge_table, split_edge_row_key, split_vertex_row_key, vertex_table, TR_WATERMARK,
 };
 use a1_core::error::{A1Error, A1Result};
 use a1_core::server::{A1Cluster, A1Config};
@@ -44,27 +43,22 @@ pub fn recover_consistent(
     // every edge's endpoints exist within it.
     let vt = store.versioned_table(&vertex_table(tenant, graph));
     for (key, value) in vt.scan_at(t_r) {
-        let Some((ty, _pk)) = split_vertex_row_key(&key) else { continue };
+        let Some((ty, _pk)) = split_vertex_row_key(&key) else {
+            continue;
+        };
         let attrs = String::from_utf8(value).map_err(|_| A1Error::Internal("bad row".into()))?;
         client.create_vertex(tenant, graph, &ty, &attrs)?;
         report.vertices += 1;
     }
     let et = store.versioned_table(&edge_table(tenant, graph));
     for (key, value) in et.scan_at(t_r) {
-        let Some((st, s, e, dt, d)) = split_edge_row_key(&key) else { continue };
+        let Some((st, s, e, dt, d)) = split_edge_row_key(&key) else {
+            continue;
+        };
         let src = Json::parse(&s).map_err(|e| A1Error::Internal(e.to_string()))?;
         let dst = Json::parse(&d).map_err(|e| A1Error::Internal(e.to_string()))?;
         let data = parse_edge_data(&value);
-        client.create_edge(
-            tenant,
-            graph,
-            &st,
-            &src,
-            &e,
-            &dt,
-            &dst,
-            data.as_deref(),
-        )?;
+        client.create_edge(tenant, graph, &st, &src, &e, &dt, &dst, data.as_deref())?;
         report.edges += 1;
     }
     Ok((cluster, report))
@@ -84,7 +78,9 @@ pub fn recover_best_effort(
 
     let vt = store.table(&vertex_table(tenant, graph));
     for (key, row) in vt.scan_live() {
-        let Some((ty, _pk)) = split_vertex_row_key(&key) else { continue };
+        let Some((ty, _pk)) = split_vertex_row_key(&key) else {
+            continue;
+        };
         let attrs =
             String::from_utf8(row.value).map_err(|_| A1Error::Internal("bad row".into()))?;
         client.create_vertex(tenant, graph, &ty, &attrs)?;
@@ -92,7 +88,9 @@ pub fn recover_best_effort(
     }
     let et = store.table(&edge_table(tenant, graph));
     for (key, row) in et.scan_live() {
-        let Some((st, s, e, dt, d)) = split_edge_row_key(&key) else { continue };
+        let Some((st, s, e, dt, d)) = split_edge_row_key(&key) else {
+            continue;
+        };
         let src = Json::parse(&s).map_err(|e| A1Error::Internal(e.to_string()))?;
         let dst = Json::parse(&d).map_err(|e| A1Error::Internal(e.to_string()))?;
         // Internal consistency: verify both endpoints exist.
@@ -133,7 +131,9 @@ fn rebuild_skeleton(
         let key = String::from_utf8(key).map_err(|_| A1Error::Internal("bad key".into()))?;
         if let Some(path) = key.strip_prefix("g/") {
             let mut parts = path.splitn(2, '/');
-            let (Some(tenant), Some(graph)) = (parts.next(), parts.next()) else { continue };
+            let (Some(tenant), Some(graph)) = (parts.next(), parts.next()) else {
+                continue;
+            };
             client.create_graph(tenant, graph)?;
             report.graphs += 1;
         }
@@ -141,7 +141,9 @@ fn rebuild_skeleton(
     }
     for (key, row) in catalog.scan_live() {
         let key = String::from_utf8(key).map_err(|_| A1Error::Internal("bad key".into()))?;
-        let Some(path) = key.strip_prefix("y/") else { continue };
+        let Some(path) = key.strip_prefix("y/") else {
+            continue;
+        };
         let mut parts = path.splitn(3, '/');
         let (Some(tenant), Some(graph), Some(_ty)) = (parts.next(), parts.next(), parts.next())
         else {

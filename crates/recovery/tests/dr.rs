@@ -17,7 +17,11 @@ const SCHEMA: &str = r#"{
 }"#;
 
 fn dr_cluster() -> (A1Cluster, Replicator) {
-    let cluster = A1Cluster::start(A1Config { dr_enabled: true, ..A1Config::small(3) }).unwrap();
+    let cluster = A1Cluster::start(A1Config {
+        dr_enabled: true,
+        ..A1Config::small(3)
+    })
+    .unwrap();
     let client = cluster.client();
     client.create_tenant(T).unwrap();
     client.create_graph(T, G).unwrap();
@@ -37,27 +41,52 @@ fn full_replication_roundtrip_consistent() {
     let client = cluster.client();
     for id in ["a", "b", "c"] {
         client
-            .create_vertex(T, G, "entity", &format!(r#"{{"id": "{id}", "name": ["{id}!"]}}"#))
+            .create_vertex(
+                T,
+                G,
+                "entity",
+                &format!(r#"{{"id": "{id}", "name": ["{id}!"]}}"#),
+            )
             .unwrap();
     }
     client
-        .create_edge(T, G, "entity", &Json::str("a"), "likes", "entity", &Json::str("b"), None)
+        .create_edge(
+            T,
+            G,
+            "entity",
+            &Json::str("a"),
+            "likes",
+            "entity",
+            &Json::str("b"),
+            None,
+        )
         .unwrap();
     client
-        .create_edge(T, G, "entity", &Json::str("b"), "likes", "entity", &Json::str("c"), None)
+        .create_edge(
+            T,
+            G,
+            "entity",
+            &Json::str("b"),
+            "likes",
+            "entity",
+            &Json::str("c"),
+            None,
+        )
         .unwrap();
 
     assert!(repl.sweep_all().unwrap() >= 5);
     repl.update_watermark().unwrap();
 
-    let (recovered, report) =
-        recover_consistent(repl.store(), A1Config::small(2), T, G).unwrap();
+    let (recovered, report) = recover_consistent(repl.store(), A1Config::small(2), T, G).unwrap();
     assert_eq!(report.vertices, 3);
     assert_eq!(report.edges, 2);
     assert_eq!(report.dangling_edges_dropped, 0);
 
     let rc = recovered.client();
-    let got = rc.get_vertex(T, G, "entity", &Json::str("a")).unwrap().unwrap();
+    let got = rc
+        .get_vertex(T, G, "entity", &Json::str("a"))
+        .unwrap()
+        .unwrap();
     assert_eq!(got.get("name").unwrap().at(0).unwrap().as_str(), Some("a!"));
     let out = rc
         .query(
@@ -79,10 +108,21 @@ fn partial_replication_scenario_one() {
     let client = cluster.client();
     // One transaction: A, B, and the edge A→B.
     let mut txn = client.transaction();
-    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "A"}"#).unwrap()).unwrap();
-    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "B"}"#).unwrap()).unwrap();
-    txn.create_edge(T, G, "entity", &Json::str("A"), "likes", "entity", &Json::str("B"), None)
+    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "A"}"#).unwrap())
         .unwrap();
+    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "B"}"#).unwrap())
+        .unwrap();
+    txn.create_edge(
+        T,
+        G,
+        "entity",
+        &Json::str("A"),
+        "likes",
+        "entity",
+        &Json::str("B"),
+        None,
+    )
+    .unwrap();
     txn.commit_with_retry().unwrap();
 
     // Replicate only A and B (log order: A, B, edge), then "disaster".
@@ -95,24 +135,32 @@ fn partial_replication_scenario_one() {
     assert_eq!(entries[1].commit_ts, entries[2].commit_ts);
     repl.apply_entry(&entries[0]).unwrap(); // A
     repl.apply_entry(&entries[1]).unwrap(); // B
-    // tR is computed from what is still unreplicated — the edge.
+                                            // tR is computed from what is still unreplicated — the edge.
     repl.update_watermark().unwrap();
 
     // Consistent recovery: none of A, B or the edge (the paper's rule).
-    let (consistent, report) =
-        recover_consistent(repl.store(), A1Config::small(2), T, G).unwrap();
+    let (consistent, report) = recover_consistent(repl.store(), A1Config::small(2), T, G).unwrap();
     assert_eq!(report.vertices, 0, "partial transaction excluded entirely");
     assert_eq!(report.edges, 0);
     let cc = consistent.client();
-    assert!(cc.get_vertex(T, G, "entity", &Json::str("A")).unwrap().is_none());
+    assert!(cc
+        .get_vertex(T, G, "entity", &Json::str("A"))
+        .unwrap()
+        .is_none());
 
     // Best-effort: A and B recovered, no edge between them.
     let (best, report) = recover_best_effort(repl.store(), A1Config::small(2), T, G).unwrap();
     assert_eq!(report.vertices, 2);
     assert_eq!(report.edges, 0);
     let bc = best.client();
-    assert!(bc.get_vertex(T, G, "entity", &Json::str("A")).unwrap().is_some());
-    assert!(bc.get_vertex(T, G, "entity", &Json::str("B")).unwrap().is_some());
+    assert!(bc
+        .get_vertex(T, G, "entity", &Json::str("A"))
+        .unwrap()
+        .is_some());
+    assert!(bc
+        .get_vertex(T, G, "entity", &Json::str("B"))
+        .unwrap()
+        .is_some());
     let out = bc
         .query(
             T,
@@ -132,10 +180,21 @@ fn partial_replication_scenario_two() {
     let (cluster, repl) = dr_cluster();
     let client = cluster.client();
     let mut txn = client.transaction();
-    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "A"}"#).unwrap()).unwrap();
-    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "B"}"#).unwrap()).unwrap();
-    txn.create_edge(T, G, "entity", &Json::str("A"), "likes", "entity", &Json::str("B"), None)
+    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "A"}"#).unwrap())
         .unwrap();
+    txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "B"}"#).unwrap())
+        .unwrap();
+    txn.create_edge(
+        T,
+        G,
+        "entity",
+        &Json::str("A"),
+        "likes",
+        "entity",
+        &Json::str("B"),
+        None,
+    )
+    .unwrap();
     txn.commit_with_retry().unwrap();
 
     let inner = cluster.inner();
@@ -148,10 +207,19 @@ fn partial_replication_scenario_two() {
     let (best, report) = recover_best_effort(repl.store(), A1Config::small(2), T, G).unwrap();
     assert_eq!(report.vertices, 1);
     assert_eq!(report.edges, 0);
-    assert_eq!(report.dangling_edges_dropped, 1, "edge to missing B dropped");
+    assert_eq!(
+        report.dangling_edges_dropped, 1,
+        "edge to missing B dropped"
+    );
     let bc = best.client();
-    assert!(bc.get_vertex(T, G, "entity", &Json::str("A")).unwrap().is_some());
-    assert!(bc.get_vertex(T, G, "entity", &Json::str("B")).unwrap().is_none());
+    assert!(bc
+        .get_vertex(T, G, "entity", &Json::str("A"))
+        .unwrap()
+        .is_some());
+    assert!(bc
+        .get_vertex(T, G, "entity", &Json::str("B"))
+        .unwrap()
+        .is_none());
 
     // Consistent recovery still excludes everything.
     let (_, report) = recover_consistent(repl.store(), A1Config::small(2), T, G).unwrap();
@@ -163,8 +231,12 @@ fn partial_replication_scenario_two() {
 fn replication_is_idempotent_and_order_insensitive() {
     let (cluster, repl) = dr_cluster();
     let client = cluster.client();
-    client.create_vertex(T, G, "entity", r#"{"id": "v", "name": ["one"]}"#).unwrap();
-    client.update_vertex(T, G, "entity", r#"{"id": "v", "name": ["two"]}"#).unwrap();
+    client
+        .create_vertex(T, G, "entity", r#"{"id": "v", "name": ["one"]}"#)
+        .unwrap();
+    client
+        .update_vertex(T, G, "entity", r#"{"id": "v", "name": ["two"]}"#)
+        .unwrap();
 
     let inner = cluster.inner();
     let log = inner.replog.as_ref().unwrap();
@@ -177,8 +249,15 @@ fn replication_is_idempotent_and_order_insensitive() {
     repl.update_watermark().unwrap();
 
     let (best, _) = recover_best_effort(repl.store(), A1Config::small(2), T, G).unwrap();
-    let got = best.client().get_vertex(T, G, "entity", &Json::str("v")).unwrap().unwrap();
-    assert_eq!(got.get("name").unwrap().at(0).unwrap().as_str(), Some("two"));
+    let got = best
+        .client()
+        .get_vertex(T, G, "entity", &Json::str("v"))
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        got.get("name").unwrap().at(0).unwrap().as_str(),
+        Some("two")
+    );
 }
 
 /// Deletes replicate as tombstones; recreation with a newer timestamp wins.
@@ -186,21 +265,32 @@ fn replication_is_idempotent_and_order_insensitive() {
 fn delete_replication_and_tombstones() {
     let (cluster, repl) = dr_cluster();
     let client = cluster.client();
-    client.create_vertex(T, G, "entity", r#"{"id": "gone"}"#).unwrap();
-    client.create_vertex(T, G, "entity", r#"{"id": "stays"}"#).unwrap();
+    client
+        .create_vertex(T, G, "entity", r#"{"id": "gone"}"#)
+        .unwrap();
+    client
+        .create_vertex(T, G, "entity", r#"{"id": "stays"}"#)
+        .unwrap();
     repl.sweep_all().unwrap();
-    client.delete_vertex(T, G, "entity", &Json::str("gone")).unwrap();
+    client
+        .delete_vertex(T, G, "entity", &Json::str("gone"))
+        .unwrap();
     repl.sweep_all().unwrap();
     repl.update_watermark().unwrap();
 
     let (best, report) = recover_best_effort(repl.store(), A1Config::small(2), T, G).unwrap();
     assert_eq!(report.vertices, 1);
     let bc = best.client();
-    assert!(bc.get_vertex(T, G, "entity", &Json::str("gone")).unwrap().is_none());
-    assert!(bc.get_vertex(T, G, "entity", &Json::str("stays")).unwrap().is_some());
+    assert!(bc
+        .get_vertex(T, G, "entity", &Json::str("gone"))
+        .unwrap()
+        .is_none());
+    assert!(bc
+        .get_vertex(T, G, "entity", &Json::str("stays"))
+        .unwrap()
+        .is_some());
 
-    let (consistent, report) =
-        recover_consistent(repl.store(), A1Config::small(2), T, G).unwrap();
+    let (consistent, report) = recover_consistent(repl.store(), A1Config::small(2), T, G).unwrap();
     assert_eq!(report.vertices, 1);
     assert!(consistent
         .client()
@@ -221,13 +311,30 @@ fn sweeper_retries_after_write_failures() {
             .unwrap();
     }
     repl.store().set_write_fail_rate(1.0);
-    assert_eq!(repl.sweep(10).unwrap(), 0, "nothing flushes while the store is down");
+    assert_eq!(
+        repl.sweep(10).unwrap(),
+        0,
+        "nothing flushes while the store is down"
+    );
     let inner = cluster.inner();
-    assert_eq!(inner.replog.as_ref().unwrap().len(&inner.farm, MachineId(0)).unwrap(), 5);
+    assert_eq!(
+        inner
+            .replog
+            .as_ref()
+            .unwrap()
+            .len(&inner.farm, MachineId(0))
+            .unwrap(),
+        5
+    );
 
     repl.store().set_write_fail_rate(0.0);
     assert_eq!(repl.sweep_all().unwrap(), 5);
-    assert!(inner.replog.as_ref().unwrap().is_empty(&inner.farm, MachineId(0)).unwrap());
+    assert!(inner
+        .replog
+        .as_ref()
+        .unwrap()
+        .is_empty(&inner.farm, MachineId(0))
+        .unwrap());
 
     // Watermark advances past everything once the log is empty.
     let t_r = repl.update_watermark().unwrap();

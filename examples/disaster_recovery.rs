@@ -16,12 +16,16 @@ const G: &str = "kg";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A cluster with the replication log enabled.
-    let cluster = A1Cluster::start(A1Config { dr_enabled: true, ..A1Config::small(3) })?;
+    let cluster = A1Cluster::start(A1Config {
+        dr_enabled: true,
+        ..A1Config::small(3)
+    })?;
     let client = cluster.client();
     client.create_tenant(T)?;
     client.create_graph(T, G)?;
     client.create_vertex_type(
-        T, G,
+        T,
+        G,
         r#"{"name": "entity", "fields": [
             {"id": 0, "name": "id", "type": "string", "required": true}]}"#,
         "id",
@@ -36,8 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Committed, fully replicated data.
     client.create_vertex(T, G, "entity", r#"{"id": "alice"}"#)?;
     client.create_vertex(T, G, "entity", r#"{"id": "bob"}"#)?;
-    client.create_edge(T, G, "entity", &Json::str("alice"), "likes",
-        "entity", &Json::str("bob"), None)?;
+    client.create_edge(
+        T,
+        G,
+        "entity",
+        &Json::str("alice"),
+        "likes",
+        "entity",
+        &Json::str("bob"),
+        None,
+    )?;
     let flushed = repl.sweep_all()?;
     println!("replicated {flushed} log entries to ObjectStore");
 
@@ -46,11 +58,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut txn = client.transaction();
     txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "A"}"#)?)?;
     txn.create_vertex(T, G, "entity", &Json::parse(r#"{"id": "B"}"#)?)?;
-    txn.create_edge(T, G, "entity", &Json::str("A"), "likes",
-        "entity", &Json::str("B"), None)?;
+    txn.create_edge(
+        T,
+        G,
+        "entity",
+        &Json::str("A"),
+        "likes",
+        "entity",
+        &Json::str("B"),
+        None,
+    )?;
     txn.commit_with_retry()?;
     let inner = cluster.inner();
-    let pending = inner.replog.as_ref().unwrap().fetch_pending(&inner.farm, MachineId(0), 10)?;
+    let pending = inner
+        .replog
+        .as_ref()
+        .unwrap()
+        .fetch_pending(&inner.farm, MachineId(0), 10)?;
     repl.apply_entry(&pending[0])?; // A reaches ObjectStore
     repl.apply_entry(&pending[1])?; // B reaches ObjectStore
     println!("disaster strikes with the A→B edge still unreplicated!");
@@ -66,7 +90,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cc = consistent.client();
     println!(
         "  alice: {:?}, A: {:?}  ← the partial transaction is gone entirely",
-        cc.get_vertex(T, G, "entity", &Json::str("alice"))?.is_some(),
+        cc.get_vertex(T, G, "entity", &Json::str("alice"))?
+            .is_some(),
         cc.get_vertex(T, G, "entity", &Json::str("A"))?.is_some(),
     );
 
@@ -82,8 +107,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bc.get_vertex(T, G, "entity", &Json::str("A"))?.is_some(),
         bc.get_vertex(T, G, "entity", &Json::str("B"))?.is_some(),
     );
-    let out = bc.query(T, G,
-        r#"{"id": "A", "_out_edge": {"_type": "likes", "_vertex": {"_select": ["_count(*)"]}}}"#)?;
+    let out = bc.query(
+        T,
+        G,
+        r#"{"id": "A", "_out_edge": {"_type": "likes", "_vertex": {"_select": ["_count(*)"]}}}"#,
+    )?;
     println!("  edges from A: {}", out.count.unwrap());
     Ok(())
 }

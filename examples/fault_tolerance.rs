@@ -15,7 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     client.create_tenant("t")?;
     client.create_graph("t", "g")?;
     client.create_vertex_type(
-        "t", "g",
+        "t",
+        "g",
         r#"{"name": "node", "fields": [
             {"id": 0, "name": "id", "type": "string", "required": true}]}"#,
         "id",
@@ -48,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = FarmConfig::small(1);
     cfg.replicas = 1;
     let farm = FarmCluster::start(cfg);
-    let ptr = farm.run(MachineId(0), |tx| tx.alloc(64, Hint::Local, b"survives the crash"))?;
+    let ptr = farm.run(MachineId(0), |tx| {
+        tx.alloc(64, Hint::Local, b"survives the crash")
+    })?;
     println!("\nsingle-machine FaRM cluster: wrote one object");
 
     farm.crash_process(MachineId(0));

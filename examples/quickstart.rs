@@ -46,31 +46,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // Data plane: create vertices and edges.
-    client.create_vertex("demo", "films", "Actor",
-        r#"{"name": "Tom Hanks", "origin": "USA", "birth_date": -4930}"#)?;
-    client.create_vertex("demo", "films", "Film",
-        r#"{"name": "Saving Private Ryan", "genre": "war", "release_date": 10430}"#)?;
-    client.create_vertex("demo", "films", "Film",
-        r#"{"name": "The Terminal", "genre": "comedy", "release_date": 12585}"#)?;
+    client.create_vertex(
+        "demo",
+        "films",
+        "Actor",
+        r#"{"name": "Tom Hanks", "origin": "USA", "birth_date": -4930}"#,
+    )?;
+    client.create_vertex(
+        "demo",
+        "films",
+        "Film",
+        r#"{"name": "Saving Private Ryan", "genre": "war", "release_date": 10430}"#,
+    )?;
+    client.create_vertex(
+        "demo",
+        "films",
+        "Film",
+        r#"{"name": "The Terminal", "genre": "comedy", "release_date": 12585}"#,
+    )?;
     for film in ["Saving Private Ryan", "The Terminal"] {
         client.create_edge(
-            "demo", "films",
-            "Film", &Json::str(film),
+            "demo",
+            "films",
+            "Film",
+            &Json::str(film),
             "Acted",
-            "Actor", &Json::str("Tom Hanks"),
+            "Actor",
+            &Json::str("Tom Hanks"),
             Some(r#"{"character": "lead"}"#),
         )?;
     }
 
     // Transactions group data-plane operations atomically (paper §3).
     let mut txn = client.transaction();
-    txn.create_vertex("demo", "films", "Actor",
-        &Json::parse(r#"{"name": "Meg Ryan", "origin": "USA"}"#)?)?;
+    txn.create_vertex(
+        "demo",
+        "films",
+        "Actor",
+        &Json::parse(r#"{"name": "Meg Ryan", "origin": "USA"}"#)?,
+    )?;
     txn.create_edge(
-        "demo", "films",
-        "Film", &Json::str("The Terminal"),
+        "demo",
+        "films",
+        "Film",
+        &Json::str("The Terminal"),
         "Acted",
-        "Actor", &Json::str("Meg Ryan"),
+        "Actor",
+        &Json::str("Meg Ryan"),
         None,
     )?;
     txn.commit_with_retry()?;
@@ -85,7 +107,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("Actors in The Terminal:");
     for row in &out.rows {
-        println!("  - {}", row.get("name").and_then(Json::as_str).unwrap_or("?"));
+        println!(
+            "  - {}",
+            row.get("name").and_then(Json::as_str).unwrap_or("?")
+        );
     }
     assert_eq!(out.rows.len(), 2);
 

@@ -20,30 +20,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     tao.assoc_add("x", "knows", "y");
     println!("two-tier after crash mid-edge-write:");
     println!("  forward  x→y: {:?}", tao.assoc_range("x", "knows"));
-    println!("  backward y→x: {:?}  ← dangling!", tao.assoc_range_inverse("y", "knows"));
+    println!(
+        "  backward y→x: {:?}  ← dangling!",
+        tao.assoc_range_inverse("y", "knows")
+    );
 
     let a1 = A1Cluster::start(A1Config::small(3))?;
     let client = a1.client();
     client.create_tenant("t")?;
     client.create_graph("t", "g")?;
     client.create_vertex_type(
-        "t", "g",
+        "t",
+        "g",
         r#"{"name": "node", "fields": [
             {"id": 0, "name": "id", "type": "string", "required": true}]}"#,
-        "id", &[],
+        "id",
+        &[],
     )?;
     client.create_edge_type("t", "g", r#"{"name": "knows", "fields": []}"#)?;
     client.create_vertex("t", "g", "node", r#"{"id": "x"}"#)?;
     client.create_vertex("t", "g", "node", r#"{"id": "y"}"#)?;
-    client.create_edge("t", "g", "node", &Json::str("x"), "knows",
-        "node", &Json::str("y"), None)?;
-    let fwd = client.query("t", "g",
-        r#"{"id": "x", "_out_edge": {"_type": "knows", "_vertex": {"_select": ["_count(*)"]}}}"#)?;
-    let bwd = client.query("t", "g",
-        r#"{"id": "y", "_in_edge": {"_type": "knows", "_vertex": {"_select": ["_count(*)"]}}}"#)?;
+    client.create_edge(
+        "t",
+        "g",
+        "node",
+        &Json::str("x"),
+        "knows",
+        "node",
+        &Json::str("y"),
+        None,
+    )?;
+    let fwd = client.query(
+        "t",
+        "g",
+        r#"{"id": "x", "_out_edge": {"_type": "knows", "_vertex": {"_select": ["_count(*)"]}}}"#,
+    )?;
+    let bwd = client.query(
+        "t",
+        "g",
+        r#"{"id": "y", "_in_edge": {"_type": "knows", "_vertex": {"_select": ["_count(*)"]}}}"#,
+    )?;
     println!("A1 (transactional half-edge pair):");
     println!("  forward  x→y: {}", fwd.count.unwrap());
-    println!("  backward y→x: {}  ← both halves commit atomically", bwd.count.unwrap());
+    println!(
+        "  backward y→x: {}  ← both halves commit atomically",
+        bwd.count.unwrap()
+    );
 
     // ---- 2-hop latency comparison ---------------------------------------
     // Identical topology: one director, 20 films, 8 actors per film.
@@ -60,8 +82,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tao_ms = (tao.sim_us() - before) as f64 / 1000.0;
     println!("\n2-hop query over 20 films ({n} distinct actors):");
     println!("  two-tier (client-side, warm cache): {tao_ms:.2} ms simulated");
-    println!("  every hop is a client↔cluster round trip — {} lookups", 1 + 20);
+    println!(
+        "  every hop is a client↔cluster round trip — {} lookups",
+        1 + 20
+    );
     println!("  (paper: A1 cut average knowledge-serving latency 3.6×;");
-    println!("   run `cargo run -p a1-bench --bin experiments -- baseline` for the measured ratio)");
+    println!(
+        "   run `cargo run -p a1-bench --bin experiments -- baseline` for the measured ratio)"
+    );
     Ok(())
 }

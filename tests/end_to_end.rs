@@ -55,10 +55,18 @@ fn snapshot_queries_are_stable_under_concurrent_writes() {
             }
         })
     };
-    let expected = client.query(TENANT, GRAPH, &kg.q1()).unwrap().count.unwrap();
+    let expected = client
+        .query(TENANT, GRAPH, &kg.q1())
+        .unwrap()
+        .count
+        .unwrap();
     for _ in 0..30 {
         let out = client.query(TENANT, GRAPH, &kg.q1()).unwrap();
-        assert_eq!(out.count.unwrap(), expected, "topology untouched by attribute churn");
+        assert_eq!(
+            out.count.unwrap(),
+            expected,
+            "topology untouched by attribute churn"
+        );
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     writer.join().unwrap();
@@ -82,8 +90,7 @@ fn concurrent_clients_counters_are_exact() {
                     // the read must be inside the txn so commit-time
                     // validation protects it.
                     let mut txn = client.transaction();
-                    let cur = match txn.get_vertex(TENANT, GRAPH, "entity", &Json::str("counter"))
-                    {
+                    let cur = match txn.get_vertex(TENANT, GRAPH, "entity", &Json::str("counter")) {
                         Ok(v) => v.unwrap(),
                         Err(e) if e.is_retryable() => {
                             txn.abort();
@@ -100,11 +107,8 @@ fn concurrent_clients_counters_are_exact() {
                         TENANT,
                         GRAPH,
                         "entity",
-                        &Json::parse(&format!(
-                            r#"{{"id": "counter", "rank": {}}}"#,
-                            rank + 1
-                        ))
-                        .unwrap(),
+                        &Json::parse(&format!(r#"{{"id": "counter", "rank": {}}}"#, rank + 1))
+                            .unwrap(),
                     );
                     match staged {
                         Ok(()) => {}

@@ -10,7 +10,11 @@ const T: &str = "t";
 const G: &str = "g";
 
 fn seeded_cluster(machines: u32, dr: bool) -> A1Cluster {
-    let cluster = A1Cluster::start(A1Config { dr_enabled: dr, ..A1Config::small(machines) }).unwrap();
+    let cluster = A1Cluster::start(A1Config {
+        dr_enabled: dr,
+        ..A1Config::small(machines)
+    })
+    .unwrap();
     let client = cluster.client();
     client.create_tenant(T).unwrap();
     client.create_graph(T, G).unwrap();
@@ -78,7 +82,9 @@ fn machine_kill_preserves_graph_and_availability() {
         .unwrap();
     assert_eq!(out.count, Some(1));
     // Writes too.
-    client.create_vertex(T, G, "node", r#"{"id": "post-failure"}"#).unwrap();
+    client
+        .create_vertex(T, G, "node", r#"{"id": "post-failure"}"#)
+        .unwrap();
 
     // A second failure in a different fault domain is also survivable.
     cluster.farm().kill_machine(MachineId(4));
@@ -124,7 +130,9 @@ fn process_crash_fast_restart_resumes_in_place() {
             .unwrap()
             .is_some());
     }
-    client.create_vertex(T, G, "node", r#"{"id": "post-restart"}"#).unwrap();
+    client
+        .create_vertex(T, G, "node", r#"{"id": "post-restart"}"#)
+        .unwrap();
 }
 
 #[test]
@@ -141,8 +149,7 @@ fn disaster_then_best_effort_recovery() {
     // "Power loss to the entire datacenter" — drop the cluster.
     drop(cluster);
 
-    let (recovered, report) =
-        recover_best_effort(repl.store(), A1Config::small(3), T, G).unwrap();
+    let (recovered, report) = recover_best_effort(repl.store(), A1Config::small(3), T, G).unwrap();
     assert_eq!(report.vertices, 40);
     assert_eq!(report.edges, 39);
     assert_eq!(report.dangling_edges_dropped, 0);

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `bytes` crate (see vendor/README.md).
+//!
+//! Provides the subset the workspace uses: an immutable, cheaply-cloneable
+//! `Bytes` buffer. Owned data is reference-counted (`Arc<[u8]>`) so cloning is
+//! O(1), matching the real crate's central guarantee; `from_static` borrows
+//! `'static` data with no allocation at all.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply-cloneable immutable contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes(Repr);
+
+#[derive(Clone, Default)]
+enum Repr {
+    #[default]
+    Empty,
+    Static(&'static [u8]),
+    /// A view into refcounted storage: (buffer, start, end).
+    Shared(Arc<[u8]>, usize, usize),
+}
+
+impl Bytes {
+    /// Creates a new empty `Bytes` without allocating.
+    pub const fn new() -> Self {
+        Bytes(Repr::Empty)
+    }
+
+    /// Creates `Bytes` from a `'static` slice without allocating.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Repr::Static(bytes))
+    }
+
+    /// Creates `Bytes` by copying the given slice.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Repr::Shared(Arc::from(data), 0, data.len()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a `Bytes` view of the given subrange — O(1), like the real
+    /// crate: shared storage is refcounted with (start, end) offsets.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} out of range"
+        );
+        match &self.0 {
+            Repr::Empty => Bytes::new(),
+            Repr::Static(s) => Bytes(Repr::Static(&s[start..end])),
+            Repr::Shared(buf, s, _) => Bytes(Repr::Shared(buf.clone(), s + start, s + end)),
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Empty => &[],
+            Repr::Static(s) => s,
+            Repr::Shared(buf, start, end) => &buf[*start..*end],
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes(Repr::Shared(Arc::from(v), 0, len))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        assert_eq!(Bytes::new().len(), 0);
+        assert!(Bytes::new().is_empty());
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::copy_from_slice(b"abc");
+        let c = Bytes::from(b"abc".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(&a[..2], b"ab");
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Bytes::from(vec![7; 1024]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_view() {
+        let a = Bytes::from((0u8..64).collect::<Vec<_>>());
+        let s = a.slice(10..20);
+        assert_eq!(&s[..], &(10u8..20).collect::<Vec<_>>()[..]);
+        assert!(
+            std::ptr::eq(&s[0], &a[10]),
+            "slice must alias the parent buffer"
+        );
+        // Sub-slicing composes; offsets stay relative to the view.
+        let s2 = s.slice(2..4);
+        assert_eq!(&s2[..], &[12, 13]);
+        let st = Bytes::from_static(b"hello").slice(1..=3);
+        assert_eq!(&st[..], b"ell");
+        assert_eq!(a.slice(..).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        Bytes::from_static(b"abc").slice(2..9);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        assert_eq!(format!("{:?}", Bytes::from_static(b"a\n")), "b\"a\\n\"");
+    }
+}

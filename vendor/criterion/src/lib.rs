@@ -1,0 +1,268 @@
+//! Offline stand-in for the `criterion` crate (see vendor/README.md).
+//!
+//! Provides the harness surface the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — measured with plain
+//! wall-clock timing. Per benchmark it runs a short warm-up, then
+//! `sample_size` timed samples (auto-scaling iterations per sample so fast
+//! closures are measured over many calls), and reports min / median / mean.
+//! No statistical regression analysis, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers compile.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            target_sample_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the measurement time budget per sample.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.target_sample_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(self, name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_benchmark(self.criterion, &full, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure under test; `iter` does the timing.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    /// Determine how many iterations fit the per-sample time budget.
+    Calibrate {
+        elapsed: Duration,
+        iters: u64,
+        budget: Duration,
+    },
+    Measure,
+}
+
+impl Bencher {
+    /// Times `sample_size` samples of `routine`, auto-scaled per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            BencherMode::Calibrate {
+                elapsed,
+                iters,
+                budget,
+            } => {
+                let deadline = *budget;
+                let start = Instant::now();
+                while start.elapsed() < deadline {
+                    std_black_box(routine());
+                    *iters += 1;
+                }
+                *elapsed = start.elapsed();
+            }
+            BencherMode::Measure => {
+                let n = self.iters_per_sample.max(1);
+                let start = Instant::now();
+                for _ in 0..n {
+                    std_black_box(routine());
+                }
+                self.samples.push(start.elapsed() / n as u32);
+            }
+        }
+    }
+}
+
+fn run_benchmark(criterion: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up doubles as calibration of iterations-per-sample.
+    let mut bencher = Bencher {
+        iters_per_sample: 0,
+        samples: Vec::new(),
+        mode: BencherMode::Calibrate {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget: criterion.warm_up_time,
+        },
+    };
+    f(&mut bencher);
+    let (elapsed, iters) = match bencher.mode {
+        BencherMode::Calibrate { elapsed, iters, .. } => (elapsed, iters),
+        BencherMode::Measure => unreachable!(),
+    };
+    if iters == 0 {
+        // The closure never called `iter`; nothing to report.
+        println!("{name:<40} (no measurement: Bencher::iter not called)");
+        return;
+    }
+    let per_iter = elapsed / iters as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1_000
+    } else {
+        (criterion.target_sample_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000)
+            as u64
+    };
+
+    let mut bencher = Bencher {
+        iters_per_sample,
+        samples: Vec::new(),
+        mode: BencherMode::Measure,
+    };
+    for _ in 0..criterion.sample_size {
+        f(&mut bencher);
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{name:<40} (no measurement: Bencher::iter not called)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} min {:>12} med {:>12} mean {:>12} ({} samples x {iters_per_sample} iters)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("group");
+        let mut count = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                count += 1;
+                std::hint::black_box(count)
+            })
+        });
+        g.finish();
+        assert!(count > 0, "routine must have run");
+    }
+
+    #[test]
+    fn group_and_main_macros_compile() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group! {
+            name = benches;
+            config = Criterion::default()
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(1));
+            targets = target
+        }
+        benches();
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline stand-in for the `crossbeam` crate (see vendor/README.md).
+//!
+//! Only `crossbeam::channel` is provided. `std::sync::mpsc` cannot back it —
+//! its `Receiver` is neither `Clone` nor `Sync`, and crossbeam channels are
+//! MPMC — so this is a from-scratch MPMC channel over `Mutex<VecDeque>` +
+//! condvars, supporting unbounded, bounded, and rendezvous (`bounded(0)`)
+//! flavors with `recv_timeout` and disconnection detection.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        /// Queue capacity; `usize::MAX` for unbounded, `0` for rendezvous.
+        cap: usize,
+        /// Running count of items ever popped, for rendezvous handshakes.
+        popped: u64,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signaled when an item is pushed or all senders leave.
+        readable: Condvar,
+        /// Signaled when an item is popped or all receivers leave.
+        writable: Condvar,
+    }
+
+    /// Sending half of a channel; cloneable and shareable across threads.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of a channel; cloneable and shareable across threads.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().unwrap().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                self.0.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                self.0.writable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full; on a
+        /// rendezvous channel, blocks until a receiver takes the message.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let shared = &*self.0;
+            let mut inner = shared.inner.lock().unwrap();
+            // Wait for queue room (a rendezvous channel admits one in-flight
+            // item here; the handoff wait below restores its semantics).
+            let room = inner.cap.max(1);
+            while inner.receivers > 0 && inner.queue.len() >= room {
+                inner = shared.writable.wait(inner).unwrap();
+            }
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let handoff_target = inner.popped + inner.queue.len() as u64 + 1;
+            inner.queue.push_back(value);
+            shared.readable.notify_one();
+            if inner.cap == 0 {
+                // Rendezvous: wait until our item has actually been taken.
+                while inner.receivers > 0 && inner.popped < handoff_target {
+                    inner = shared.writable.wait(inner).unwrap();
+                }
+                if inner.popped < handoff_target {
+                    // All receivers left with our item still queued: recover
+                    // it and report the failed send, as crossbeam does.
+                    let index = (handoff_target - inner.popped - 1) as usize;
+                    let value = inner.queue.remove(index).expect("stranded item is queued");
+                    return Err(SendError(value));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let shared = &*self.0;
+            let mut inner = shared.inner.lock().unwrap();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    inner.popped += 1;
+                    shared.writable.notify_all();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = shared.readable.wait(inner).unwrap();
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let shared = &*self.0;
+            let mut inner = shared.inner.lock().unwrap();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    inner.popped += 1;
+                    shared.writable.notify_all();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timeout) =
+                    shared.readable.wait_timeout(inner, deadline - now).unwrap();
+                inner = guard;
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let shared = &*self.0;
+            let mut inner = shared.inner.lock().unwrap();
+            match inner.queue.pop_front() {
+                Some(v) => {
+                    inner.popped += 1;
+                    shared.writable.notify_all();
+                    Ok(v)
+                }
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking iterator over received messages, ending on disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// See [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    fn with_cap<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                popped: 0,
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    /// Creates a channel of unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(usize::MAX)
+    }
+
+    /// Creates a bounded channel; `bounded(0)` is a rendezvous channel.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn rendezvous_send_waits_for_receiver() {
+        let (tx, rx) = bounded(0);
+        let h = std::thread::spawn(move || tx.send(7).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_send_blocks_when_full() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the first recv below
+            tx.send(3).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn rendezvous_send_fails_and_recovers_value_if_receiver_leaves() {
+        let (tx, rx) = bounded(0);
+        let h = std::thread::spawn(move || tx.send(99));
+        // Let the sender queue its item and enter the handoff wait, then
+        // abandon it without receiving.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(rx);
+        let err = h.join().unwrap().unwrap_err();
+        assert_eq!(err.0, 99, "failed rendezvous send must hand the value back");
+    }
+
+    #[test]
+    fn mpmc_shared_receiver_drains_everything() {
+        let (tx, rx) = unbounded();
+        let mut consumers = Vec::new();
+        let got = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        for _ in 0..4 {
+            let rx = rx.clone();
+            let got = got.clone();
+            consumers.push(std::thread::spawn(move || {
+                while let Ok(v) = rx.recv() {
+                    got.lock().unwrap().push(v);
+                }
+            }));
+        }
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        for c in consumers {
+            c.join().unwrap();
+        }
+        let mut got = std::sync::Arc::try_unwrap(got)
+            .unwrap()
+            .into_inner()
+            .unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,124 @@
+//! `any::<T>()` — strategies for "any value of a primitive type".
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::Rng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy producing arbitrary values of `T`; returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Any<T> {
+    /// `const`-constructible instance (used by `prop::bool::ANY`).
+    pub const NEW: Any<T> = Any(PhantomData);
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+impl<T> Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("any")
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any::NEW
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias 1-in-8 toward boundary values, where codec and
+                // ordering bugs live; real proptest biases similarly.
+                if rng.gen_range(0u8..8) == 0 {
+                    const EDGES: [$t; 4] = [0, 1, <$t>::MIN, <$t>::MAX];
+                    EDGES[rng.gen_range(0usize..EDGES.len())]
+                } else {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.gen_range(0u8..8) {
+            0 => [0.0, -0.0, 1.0, -1.0, f64::MAX, f64::MIN_POSITIVE][rng.gen_range(0usize..6)],
+            // Whole-valued and fractional magnitudes across scales.
+            1..=3 => (rng.gen::<u32>() as f64 - (u32::MAX / 2) as f64) / 1e3,
+            _ => (rng.gen::<f64>() - 0.5) * 2e9,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII most of the time, occasionally multi-byte.
+        const EXOTIC: [char; 6] = ['é', 'ß', 'λ', '中', '😀', '\u{203D}'];
+        if rng.gen_range(0u8..8) == 0 {
+            EXOTIC[rng.gen_range(0usize..EXOTIC.len())]
+        } else {
+            char::from(rng.gen_range(0x20u8..0x7F))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edges_show_up() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let vals: Vec<i32> = (0..2_000).map(|_| i32::arbitrary(&mut rng)).collect();
+        assert!(vals.contains(&i32::MIN));
+        assert!(vals.contains(&i32::MAX));
+        assert!(vals.contains(&0));
+    }
+
+    #[test]
+    fn bools_are_both() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let vals: Vec<bool> = (0..64).map(|_| bool::arbitrary(&mut rng)).collect();
+        assert!(vals.contains(&true) && vals.contains(&false));
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline stand-in for the `proptest` crate (see vendor/README.md).
+//!
+//! Implements the strategy combinators and the `proptest!` runner macro that
+//! this workspace's property suites use. Differences from real proptest, by
+//! design:
+//!
+//! * **No shrinking.** A failing case panics with its deterministic seed so it
+//!   can be replayed, but is not minimized.
+//! * **Regex string strategies** support the subset of patterns the suites
+//!   use: `\PC`, character classes with ranges and escapes, and `{m,n}` /
+//!   `{n}` repetition (see [`pattern`]).
+//! * Case counts default to 256 and honor `ProptestConfig { cases, .. }`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::{Config as ProptestConfig, TestCaseError};
+
+/// Strategies over `bool` (mirrors `proptest::bool`).
+pub mod bool {
+    /// Strategy producing `true` / `false` uniformly.
+    pub const ANY: crate::arbitrary::Any<::core::primitive::bool> = crate::arbitrary::Any::NEW;
+}
+
+/// The glob-import module mirrored from real proptest.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Builds a strategy choosing uniformly among the given strategies, which
+/// must all produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (rather
+/// than aborting the whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::test_runner::run(&config, stringify!($name), |prop_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), prop_rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )+
+    };
+    ($($tokens:tt)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($tokens)+
+        }
+    };
+}

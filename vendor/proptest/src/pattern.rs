@@ -1,0 +1,274 @@
+//! A tiny regex-subset generator backing `&str` strategies.
+//!
+//! Supported syntax (the subset the workspace's suites use):
+//!
+//! * `\PC` — any "printable" character (complement of Unicode category C);
+//!   generated as printable ASCII most of the time with occasional multi-byte
+//!   characters.
+//! * `[...]` — character classes with literal chars, `a-z` ranges, and the
+//!   escapes `\\`, `\]`, `\-`, `\n`, `\t`, `\0`, and `\xNN`.
+//! * `{n}` / `{m,n}` — repetition of the preceding atom.
+//! * any other character — itself, literally (`\\` escapes).
+//!
+//! Anything else (alternation, groups, `*`, `+`, `.`) panics at strategy
+//! construction with a clear message, so an unsupported pattern fails the
+//! suite loudly instead of generating wrong data.
+
+use rand::Rng;
+
+use crate::strategy::TestRng;
+
+const EXOTIC_PRINTABLE: [char; 8] = ['é', 'ß', 'λ', '中', 'Ω', '😀', '\u{203D}', '\u{00A0}'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `\PC`: printable characters.
+    Printable,
+    /// `[...]`: explicit alternatives.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled pattern: a sequence of repeated atoms.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    pieces: Vec<Piece>,
+}
+
+impl Pattern {
+    /// Compiles `pattern`, panicking on syntax outside the supported subset.
+    pub fn compile(pattern: &str) -> Pattern {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '\\' => match chars.next() {
+                    Some('P') => match chars.next() {
+                        Some('C') => Atom::Printable,
+                        other => panic!(
+                            "unsupported \\P category {other:?} in pattern {pattern:?} \
+                                 (only \\PC is supported)"
+                        ),
+                    },
+                    Some(esc) => Atom::Literal(unescape(esc, &mut chars, pattern)),
+                    None => panic!("dangling backslash in pattern {pattern:?}"),
+                },
+                '[' => Atom::Class(parse_class(&mut chars, pattern)),
+                '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                    panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+                }
+                lit => Atom::Literal(lit),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                parse_repeat(&mut chars, pattern)
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        Pattern { pieces }
+    }
+
+    /// Generates one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = rng.gen_range(piece.min..piece.max + 1);
+            for _ in 0..n {
+                out.push(match &piece.atom {
+                    Atom::Printable => {
+                        if rng.gen_range(0u8..8) == 0 {
+                            EXOTIC_PRINTABLE[rng.gen_range(0usize..EXOTIC_PRINTABLE.len())]
+                        } else {
+                            char::from(rng.gen_range(0x20u8..0x7F))
+                        }
+                    }
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.gen_range(0usize..ranges.len())];
+                        char::from_u32(rng.gen_range(lo as u32..hi as u32 + 1))
+                            .expect("class ranges hold valid chars")
+                    }
+                    Atom::Literal(c) => *c,
+                });
+            }
+        }
+        out
+    }
+}
+
+fn unescape(
+    esc: char,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> char {
+    match esc {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        'x' => {
+            let hi = chars.next().and_then(|c| c.to_digit(16));
+            let lo = chars.next().and_then(|c| c.to_digit(16));
+            match (hi, lo) {
+                (Some(hi), Some(lo)) => {
+                    char::from_u32(hi * 16 + lo).expect("\\xNN is always valid")
+                }
+                _ => panic!("malformed \\x escape in pattern {pattern:?}"),
+            }
+        }
+        '\\' | '[' | ']' | '-' | '{' | '}' | '(' | ')' | '|' | '.' | '*' | '+' | '?' | '$'
+        | '^' | '"' | '\'' | '/' => esc,
+        other => panic!("unsupported escape \\{other} in pattern {pattern:?}"),
+    }
+}
+
+/// Parses the interior of `[...]` (the `[` is already consumed).
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(char, char)> {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => {
+                let esc = chars.next().unwrap_or_else(|| {
+                    panic!("dangling backslash in class in pattern {pattern:?}")
+                });
+                unescape(esc, chars, pattern)
+            }
+            Some(c) => c,
+            None => panic!("unterminated character class in pattern {pattern:?}"),
+        };
+        // A `-` that is neither first nor last denotes a range.
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            if ahead.peek() != Some(&']') {
+                chars.next();
+                let hi = match chars.next() {
+                    Some('\\') => {
+                        let esc = chars.next().unwrap_or_else(|| {
+                            panic!("dangling backslash in class in pattern {pattern:?}")
+                        });
+                        unescape(esc, chars, pattern)
+                    }
+                    Some(hi) => hi,
+                    None => panic!("unterminated range in class in pattern {pattern:?}"),
+                };
+                assert!(
+                    c <= hi,
+                    "inverted range {c:?}-{hi:?} in pattern {pattern:?}"
+                );
+                ranges.push((c, hi));
+                continue;
+            }
+        }
+        ranges.push((c, c));
+    }
+    assert!(
+        !ranges.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    ranges
+}
+
+/// Parses `n}` or `m,n}` (the `{` is already consumed).
+fn parse_repeat(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    let mut first = String::new();
+    let mut second: Option<String> = None;
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(',') => second = Some(String::new()),
+            Some(d) if d.is_ascii_digit() => match &mut second {
+                Some(s) => s.push(d),
+                None => first.push(d),
+            },
+            other => panic!("malformed repetition {other:?} in pattern {pattern:?}"),
+        }
+    }
+    let min: usize = first
+        .parse()
+        .unwrap_or_else(|_| panic!("malformed repetition bound {first:?} in pattern {pattern:?}"));
+    let max = match second {
+        None => min,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("malformed repetition bound {s:?} in pattern {pattern:?}")),
+    };
+    assert!(
+        min <= max,
+        "inverted repetition {{{min},{max}}} in pattern {pattern:?}"
+    );
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let p = Pattern::compile(pattern);
+        let mut rng = TestRng::seed_from_u64(11);
+        (0..n).map(|_| p.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn printable_any_length() {
+        for s in gen_many("\\PC{0,16}", 200) {
+            assert!(s.chars().count() <= 16);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escape_and_range() {
+        for s in gen_many("[a-c\\x00]{0,6}", 200) {
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == '\0'));
+        }
+    }
+
+    #[test]
+    fn ascii_span_class() {
+        for s in gen_many("[ -~]{0,12}", 200) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn identifier_class() {
+        let all = gen_many("[a-z_]{1,8}", 200);
+        for s in &all {
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        assert!(all.iter().any(|s| s.contains('_')));
+    }
+
+    #[test]
+    fn literals_and_exact_repeat() {
+        for s in gen_many("ab{3}c", 10) {
+            assert_eq!(s, "abbbc");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn unsupported_syntax_panics() {
+        Pattern::compile("a|b");
+    }
+}

@@ -1,0 +1,131 @@
+//! Case execution for the `proptest!` macro.
+
+use std::fmt;
+
+use rand::SeedableRng;
+
+use crate::strategy::TestRng;
+
+/// Runner configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; there is no shrinking here.
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; rejection sampling is not used.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// A test-case failure that aborts the case (and the test) without shrinking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "{reason}"),
+            TestCaseError::Reject(reason) => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// FNV-1a, so each property gets a stable, name-derived seed stream.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `body` for `config.cases` deterministic cases; panics with the case
+/// index and seed on the first failure so it can be replayed.
+pub fn run<F>(config: &Config, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    for case in 0..config.cases {
+        let seed = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "property '{name}' failed at case {case}/{} (seed {seed:#018x}): {reason}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_run_all_cases() {
+        let mut count = 0;
+        run(
+            &Config {
+                cases: 17,
+                ..Config::default()
+            },
+            "counter",
+            |_rng| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics_with_seed() {
+        run(&Config::default(), "fails", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejects_are_skipped() {
+        run(
+            &Config {
+                cases: 3,
+                ..Config::default()
+            },
+            "rejects",
+            |_rng| Err(TestCaseError::reject("not applicable")),
+        );
+    }
+}
