@@ -1,24 +1,64 @@
-//! Regenerate the paper's tables and figures.
+//! Regenerate the paper's tables and figures, and run the perf-trajectory
+//! suite.
 //!
 //! ```text
 //! cargo run --release -p a1-bench --bin experiments -- all
 //! cargo run --release -p a1-bench --bin experiments -- fig10
+//! cargo run --release -p a1-bench --bin experiments -- --quick --json
 //! ```
 //!
-//! Targets: table2, fig10, fig11, fig12, fig13, fig14, q4, locality,
-//! baseline, ablation-mvcc, ablation-edges, fast-restart, all.
+//! Figure targets: table2, fig10, fig11, fig12, fig13, fig14, q4, locality,
+//! baseline, ablation-mvcc, ablation-edges, fast-restart, fanout, all.
+//!
+//! Flags:
+//!
+//! * `--json` — run the perf-trajectory suite (real wall-clock latency of
+//!   Q1/Q4 under the serial and parallel coordinator) and print one JSON
+//!   document to stdout. CI uploads this as an artifact; `BENCH_<n>.json`
+//!   snapshots are committed at the repo root.
+//! * `--quick` — smaller workload + fewer iterations (CI-speed).
+//! * `--fig14-scale N` — divisor applied to the paper's Figure 14 dataset.
 
-use a1_bench::figures;
+use a1_bench::{figures, perf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let target = args.first().map(String::as_str).unwrap_or("all");
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
     let fig14_scale: usize = args
         .iter()
         .position(|a| a == "--fig14-scale")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000);
+    // The target is the first non-flag argument, skipping `--fig14-scale`'s
+    // value.
+    let mut target = None;
+    let mut skip_value = false;
+    for a in &args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--fig14-scale" {
+            skip_value = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            target = Some(a.clone());
+            break;
+        }
+    }
+    let target = target.unwrap_or_else(|| "all".to_string());
+
+    if json {
+        let results = perf::run_suite(quick);
+        println!(
+            "{}",
+            perf::suite_to_json(&results, quick).to_string_pretty()
+        );
+        return;
+    }
 
     let run = |name: &str| -> Option<String> {
         match name {
@@ -34,6 +74,7 @@ fn main() {
             "ablation-mvcc" => Some(figures::ablation_mvcc()),
             "ablation-edges" => Some(figures::ablation_edges()),
             "fast-restart" => Some(figures::fast_restart()),
+            "fanout" => Some(perf::fanout_report(quick)),
             _ => None,
         }
     };
@@ -51,13 +92,14 @@ fn main() {
         "ablation-mvcc",
         "ablation-edges",
         "fast-restart",
+        "fanout",
     ];
     if target == "all" {
         for name in all {
             println!("{}", run(name).expect("known target"));
         }
     } else {
-        match run(target) {
+        match run(&target) {
             Some(text) => println!("{text}"),
             None => {
                 eprintln!("unknown target '{target}'. Targets: {}", all.join(", "));

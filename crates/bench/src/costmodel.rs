@@ -126,6 +126,7 @@ mod tests {
             local_reads: lr,
             remote_reads: rr,
             returned: ret,
+            ..HopStats::default()
         }
     }
 

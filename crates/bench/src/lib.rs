@@ -8,8 +8,10 @@
 pub mod costmodel;
 pub mod des;
 pub mod figures;
+pub mod perf;
 pub mod workload;
 
 pub use costmodel::{CostModel, HopDemand, QueryProfile};
 pub use des::{DesConfig, DesResult};
+pub use perf::{run_suite, suite_to_json, WorkloadResult};
 pub use workload::{KnowledgeGraph, KnowledgeGraphSpec, UniformGraphSpec};

@@ -16,10 +16,12 @@ use crate::model::TypeId;
 use crate::query::plan::{AttrPredicate, CmpOp, FieldSel, PlanDir, Query, Select, VertexStep};
 use crate::store::GraphStore;
 use a1_bond::{Schema, Value};
-use a1_farm::{Addr, FarmCluster, MachineId, Txn};
+use a1_farm::{Addr, FarmCluster, MachineId, ScopedJob, Txn};
 use a1_json::Json;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Execution knobs (paper defaults in parentheses).
 #[derive(Debug, Clone)]
@@ -31,6 +33,14 @@ pub struct ExecConfig {
     pub max_working_set: usize,
     /// Rows per page before continuation tokens kick in (§3.4).
     pub page_size: usize,
+    /// How many of a hop's work ops may be in flight concurrently. The paper
+    /// ships a hop's operators to all owning machines at once (Fig. 9), so
+    /// `0` means *auto*: as many slots as the hop has target machines (on a
+    /// LIMIT-sliced final hop a wave may spend several of those slots on
+    /// slices of the same machine's batch). `1` is the legacy serial
+    /// coordinator, kept for A/B comparison; any other value caps the
+    /// fan-out window.
+    pub fanout_parallelism: usize,
 }
 
 impl Default for ExecConfig {
@@ -39,6 +49,7 @@ impl Default for ExecConfig {
             ship_threshold: 4,
             max_working_set: 1_000_000,
             page_size: 1_000,
+            fanout_parallelism: 0,
         }
     }
 }
@@ -96,6 +107,12 @@ pub struct HopStats {
     pub remote_reads: u64,
     /// Vertices (or rows) returned to the coordinator.
     pub returned: u64,
+    /// Wall-clock nanoseconds from partitioning the frontier to merging the
+    /// last reply (the hop's critical path, including queueing).
+    pub wall_ns: u64,
+    /// Peak number of shipped work ops simultaneously in flight — 1 under
+    /// the serial coordinator, up to `machines` under parallel fan-out.
+    pub max_concurrent_ships: u64,
 }
 
 /// A query's outcome: rows (or a count) plus metrics and an optional
@@ -606,7 +623,9 @@ fn render_row(
 
 /// Ship callback: send a [`WorkOp`] to a remote machine, returning its
 /// [`WorkResult`]. Provided by the server layer (fabric RPC + JSON wire).
-pub type ShipFn<'a> = dyn Fn(MachineId, &WorkOp) -> A1Result<WorkResult> + 'a;
+/// `Sync` because the parallel coordinator invokes it from several worker
+/// threads at once.
+pub type ShipFn<'a> = dyn Fn(MachineId, &WorkOp) -> A1Result<WorkResult> + Sync + 'a;
 
 /// The coordinator's environment: everything about *where* a query runs, as
 /// opposed to *what* runs (which stays in [`coordinate`]'s own parameters).
@@ -618,8 +637,11 @@ pub struct Coordinator<'a> {
     pub cfg: &'a ExecConfig,
 }
 
-/// Coordinate a compiled query (paper Fig. 9). `ship` sends batches to
-/// remote workers; small or local batches run inline at the coordinator.
+/// Coordinate a compiled query (paper Fig. 9). Each hop's batches — remote
+/// ships *and* inline local runs — are dispatched onto the coordinator
+/// machine's worker pool concurrently (up to [`ExecConfig::fanout_parallelism`]
+/// in flight) and their replies merged in `MachineId` order, so results are
+/// identical to the serial coordinator's.
 pub fn coordinate(
     coord: &Coordinator<'_>,
     tenant: &str,
@@ -644,6 +666,11 @@ pub fn coordinate(
     let mut frontier = dedup_addrs(initial_frontier);
     let mut rows: Vec<(Addr, Json)> = Vec::new();
     let mut per_hop: Vec<HopStats> = Vec::new();
+    let pool = farm
+        .fabric()
+        .machine(machine)
+        .map_err(|e| A1Error::Internal(format!("coordinator machine: {e}")))?
+        .pool();
 
     for (i, step) in compiled.steps.iter().enumerate() {
         let is_last = i == compiled.steps.len() - 1;
@@ -656,9 +683,11 @@ pub fn coordinate(
                 limit: cfg.max_working_set,
             });
         }
+        let hop_start = Instant::now();
 
-        // Partition & ship (Fig. 9): group pointers by primary host — a
-        // purely local metadata operation.
+        // Partition (Fig. 9): group pointers by primary host — a purely
+        // local metadata operation. Batches are ordered by MachineId so both
+        // dispatch and merge are deterministic regardless of fan-out.
         let mut by_machine: HashMap<MachineId, Vec<Addr>> = HashMap::new();
         for addr in frontier.drain(..) {
             let host = farm
@@ -666,40 +695,133 @@ pub fn coordinate(
                 .ok_or_else(|| A1Error::Internal("unplaced address".into()))?;
             by_machine.entry(host).or_default().push(addr);
         }
+        let mut batches: Vec<(MachineId, Vec<Addr>)> = by_machine.into_iter().collect();
+        batches.sort_unstable_by_key(|(host, _)| *host);
 
         let mut hop = HopStats {
-            frontier: by_machine.values().map(|v| v.len() as u64).sum(),
-            machines: by_machine.len() as u64,
+            frontier: batches.iter().map(|(_, v)| v.len() as u64).sum(),
+            machines: batches.len() as u64,
             ..HopStats::default()
         };
-        let mut next = Vec::new();
-        for (host, vertices) in by_machine {
-            let op = WorkOp {
-                tenant: tenant.to_string(),
-                graph: graph.to_string(),
-                snapshot_ts,
-                vertices,
-                step: step.clone(),
-                emit_rows,
-                select: compiled.select.clone(),
-            };
-            let result = if host != machine && op.vertices.len() >= cfg.ship_threshold {
-                metrics.rpcs += 1;
-                hop.rpcs += 1;
-                ship(host, &op)?
+
+        // On the final row-emitting hop of a LIMIT query, slice batches to
+        // the limit so the coordinator can stop dispatching as soon as
+        // enough rows are in hand instead of reading the whole frontier.
+        // Slicing is lazy — a cursor over the per-machine batches — so the
+        // (possibly huge) tail that early termination skips is never
+        // materialized.
+        let row_limit = if emit_rows { compiled.limit } else { None };
+        let chunk_size = row_limit.map(|l| l.max(1));
+        let mut batch_idx = 0usize;
+        let mut batch_off = 0usize;
+        let mut next_part = || -> Option<(MachineId, Vec<Addr>, bool)> {
+            while batch_idx < batches.len() {
+                let (host, vertices) = &mut batches[batch_idx];
+                let host = *host;
+                let len = vertices.len();
+                if batch_off >= len {
+                    batch_idx += 1;
+                    batch_off = 0;
+                    continue;
+                }
+                let end = chunk_size.map_or(len, |c| (batch_off + c).min(len));
+                let ship_batch = host != machine && len >= cfg.ship_threshold;
+                // A whole-batch chunk (the common, no-LIMIT case) moves the
+                // Vec instead of copying it.
+                let part = if batch_off == 0 && end == len {
+                    std::mem::take(vertices)
+                } else {
+                    vertices[batch_off..end].to_vec()
+                };
+                let is_ship = ship_batch && part.len() >= cfg.ship_threshold;
+                batch_off = end;
+                return Some((host, part, is_ship));
+            }
+            None
+        };
+
+        // Ship & merge: dispatch up to `parallelism` work ops at a time and
+        // aggregate replies in dispatch order. Auto means one slot per
+        // target machine — limit-sliced batches drain wave by wave so early
+        // termination can cut the tail.
+        let parallelism = match cfg.fanout_parallelism {
+            0 => (hop.machines as usize).max(1),
+            n => n.max(1),
+        };
+        let in_flight = AtomicU64::new(0);
+        let peak_ships = AtomicU64::new(0);
+        let run_one = |host: MachineId, op: &WorkOp, is_ship: bool| -> A1Result<WorkResult> {
+            if is_ship {
+                let cur = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak_ships.fetch_max(cur, Ordering::SeqCst);
+                let result = ship(host, op);
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                result
             } else {
                 // Few vertices: cheaper to read remotely than to RPC (§3.4).
-                run_work_op(farm, store, proxies, machine, &op)?
+                run_work_op(farm, store, proxies, machine, op)
+            }
+        };
+
+        let mut next = Vec::new();
+        loop {
+            if let Some(l) = row_limit {
+                if rows.len() >= l {
+                    break; // early termination: enough rows in hand
+                }
+            }
+            let mut wave: Vec<(MachineId, WorkOp, bool)> = Vec::new();
+            while wave.len() < parallelism {
+                let Some((host, vertices, is_ship)) = next_part() else {
+                    break;
+                };
+                let op = WorkOp {
+                    tenant: tenant.to_string(),
+                    graph: graph.to_string(),
+                    snapshot_ts,
+                    vertices,
+                    step: step.clone(),
+                    emit_rows,
+                    select: compiled.select.clone(),
+                };
+                wave.push((host, op, is_ship));
+            }
+            if wave.is_empty() {
+                break;
+            }
+            let results: Vec<A1Result<WorkResult>> = if wave.len() == 1 {
+                wave.iter()
+                    .map(|(host, op, is_ship)| run_one(*host, op, *is_ship))
+                    .collect()
+            } else {
+                pool.run_all(
+                    wave.iter()
+                        .map(|(host, op, is_ship)| {
+                            let run_one = &run_one;
+                            Box::new(move || run_one(*host, op, *is_ship))
+                                as ScopedJob<'_, A1Result<WorkResult>>
+                        })
+                        .collect(),
+                )
             };
-            metrics.absorb(&result.metrics);
-            hop.vertices_read += result.metrics.vertices_read;
-            hop.edges_visited += result.metrics.edges_visited;
-            hop.local_reads += result.metrics.local_reads;
-            hop.remote_reads += result.metrics.remote_reads;
-            hop.returned += (result.next.len() + result.rows.len()) as u64;
-            next.extend(result.next);
-            rows.extend(result.rows);
+            for ((_, _, is_ship), result) in wave.iter().zip(results) {
+                let result = result?;
+                if *is_ship {
+                    metrics.rpcs += 1;
+                    hop.rpcs += 1;
+                }
+                metrics.absorb(&result.metrics);
+                hop.vertices_read += result.metrics.vertices_read;
+                hop.edges_visited += result.metrics.edges_visited;
+                hop.local_reads += result.metrics.local_reads;
+                hop.remote_reads += result.metrics.remote_reads;
+                hop.returned += (result.next.len() + result.rows.len()) as u64;
+                next.extend(result.next);
+                rows.extend(result.rows);
+            }
         }
+        hop.max_concurrent_ships = peak_ships.load(Ordering::SeqCst);
+        hop.wall_ns = hop_start.elapsed().as_nanos() as u64;
         per_hop.push(hop);
         frontier = dedup_addrs(next);
     }

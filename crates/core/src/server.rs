@@ -67,6 +67,15 @@ impl A1Config {
             ..A1Config::default()
         }
     }
+
+    /// Same cluster with a specific per-hop ship fan-out
+    /// ([`ExecConfig::fanout_parallelism`]): `0` = auto (a window as wide
+    /// as the hop's target machine count), `1` = the legacy serial
+    /// coordinator.
+    pub fn with_fanout(mut self, fanout: usize) -> A1Config {
+        self.exec.fanout_parallelism = fanout;
+        self
+    }
 }
 
 /// Per-backend-machine coprocessor state.

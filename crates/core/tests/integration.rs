@@ -687,3 +687,65 @@ fn working_set_fast_fail() {
     );
     assert!(r.is_err(), "working set of 10 exceeds the limit of 5");
 }
+
+/// A LIMIT query must terminate early: once the final hop has produced
+/// enough rows, the coordinator stops dispatching work ops instead of
+/// reading the entire frontier and truncating afterwards.
+#[test]
+fn limit_terminates_early() {
+    let cluster = A1Cluster::start(A1Config::small(5)).unwrap();
+    let client = cluster.client();
+    client.create_tenant(TENANT).unwrap();
+    client.create_graph(TENANT, GRAPH).unwrap();
+    client
+        .create_vertex_type(TENANT, GRAPH, ENTITY_SCHEMA, "id", &[])
+        .unwrap();
+    client
+        .create_edge_type(TENANT, GRAPH, &edge_schema("has"))
+        .unwrap();
+    client
+        .create_vertex(TENANT, GRAPH, "entity", r#"{"id": "hub"}"#)
+        .unwrap();
+    for i in 0..400 {
+        client
+            .create_vertex(
+                TENANT,
+                GRAPH,
+                "entity",
+                &format!(r#"{{"id": "leaf{i:04}"}}"#),
+            )
+            .unwrap();
+        client
+            .create_edge(
+                TENANT,
+                GRAPH,
+                "entity",
+                &Json::str("hub"),
+                "has",
+                "entity",
+                &Json::str(&format!("leaf{i:04}")),
+                None,
+            )
+            .unwrap();
+    }
+    let q = |limit: &str| {
+        format!(
+            r#"{{ "id": "hub", "_out_edge": {{ "_type": "has",
+                 "_vertex": {{ "_select": ["id"]{limit} }}}}}}"#
+        )
+    };
+    let full = client.query(TENANT, GRAPH, &q("")).unwrap();
+    assert_eq!(full.rows.len(), 400);
+
+    let limited = client.query(TENANT, GRAPH, &q(r#", "_limit": 1"#)).unwrap();
+    assert_eq!(limited.rows.len(), 1);
+    // The limited run reads the hub plus at most one wave of single-vertex
+    // batches (one per machine) — far fewer than the 401 of the full scan.
+    assert!(
+        limited.metrics.vertices_read <= 12,
+        "LIMIT 1 read {} vertices; early termination should read ~1 per machine",
+        limited.metrics.vertices_read
+    );
+    // Both modes agree on the first row (deterministic merge order).
+    assert_eq!(limited.rows[0], full.rows[0]);
+}

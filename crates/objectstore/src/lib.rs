@@ -51,7 +51,7 @@ impl std::error::Error for StoreError {}
 /// Configuration for the simulated store.
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
-    /// Probability in [0,1] that a write fails (transient).
+    /// Probability in `[0,1]` that a write fails (transient).
     pub write_fail_rate: f64,
     pub seed: u64,
 }

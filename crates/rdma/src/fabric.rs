@@ -50,6 +50,7 @@ pub struct Fabric {
     machines: Vec<Arc<Machine>>,
     metrics: Metrics,
     rng: Mutex<u64>,
+    inject: std::sync::atomic::AtomicBool,
 }
 
 impl Fabric {
@@ -70,8 +71,15 @@ impl Fabric {
             machines,
             metrics: Metrics::default(),
             rng: Mutex::new(cfg.seed | 1),
+            inject: std::sync::atomic::AtomicBool::new(cfg.inject_latency),
             cfg,
         })
+    }
+
+    /// Toggle wall-clock latency injection at runtime. Benchmarks bulk-load
+    /// with injection off, then flip it on for the measured phase.
+    pub fn set_inject_latency(&self, on: bool) {
+        self.inject.store(on, Ordering::Relaxed);
     }
 
     pub fn config(&self) -> &FabricConfig {
@@ -128,7 +136,7 @@ impl Fabric {
 
     fn charge(&self, ns: u64) {
         self.metrics.sim_ns.fetch_add(ns, Ordering::Relaxed);
-        if self.cfg.inject_latency {
+        if self.inject.load(Ordering::Relaxed) {
             spin_for(Duration::from_nanos(ns));
         }
     }
@@ -251,12 +259,19 @@ impl Fabric {
         self.metrics.rpcs.fetch_add(1, Ordering::Relaxed);
         let same_rack = self.rack_of(from) == self.rack_of(to);
         self.charge(self.cfg.latency.rpc_ns(same_rack, request.len()));
-        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
-        target.pool.execute(move || {
-            let reply = handler(from, request);
-            let _ = reply_tx.send(reply);
-        });
-        let reply = reply_rx.recv().map_err(|_| NetError::RpcDropped)?;
+        // A pool that shut down mid-call (cluster teardown race) or a
+        // panicking handler both surface as a lost reply, like a machine
+        // dying after accepting the request. The or-inline variant runs the
+        // handler on this (already-blocked) thread when the target pool is
+        // saturated, so cycles of machines whose workers are all blocked on
+        // each other's RPCs cannot deadlock.
+        let reply = target
+            .pool
+            .try_execute_wait_or_inline(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(from, request)))
+            })
+            .and_then(Result::ok)
+            .ok_or(NetError::RpcDropped)?;
         self.charge(self.cfg.latency.rpc_ns(same_rack, reply.len()));
         Ok(reply)
     }

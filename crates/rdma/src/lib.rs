@@ -32,7 +32,7 @@ pub use fabric::{Fabric, NetError};
 pub use latency::LatencyModel;
 pub use machine::{Machine, Segment};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use pool::WorkerPool;
+pub use pool::{ScopedJob, WorkerPool};
 
 /// Identifies a machine in the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -63,7 +63,7 @@ pub struct FabricConfig {
     /// When true, every simulated network operation spin-waits for its
     /// modeled latency so wall-clock timings are microsecond-faithful.
     pub inject_latency: bool,
-    /// Probability in [0,1] that an unreliable datagram is dropped.
+    /// Probability in `[0,1]` that an unreliable datagram is dropped.
     pub ud_drop_rate: f64,
     /// Seed for the fabric's internal RNG (datagram drops).
     pub seed: u64,

@@ -150,6 +150,12 @@ impl Machine {
     pub fn queue_depth(&self) -> usize {
         self.pool.queue_depth()
     }
+
+    /// This machine's worker pool. Coordinators use it to fan work out
+    /// across a hop's target machines concurrently (§3.4).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
 }
 
 #[cfg(test)]

@@ -9,11 +9,16 @@
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A borrowing job for [`WorkerPool::run_all`]: may capture references into
+/// the caller's stack because `run_all` joins every job before returning.
+pub type ScopedJob<'env, R> = Box<dyn FnOnce() -> R + Send + 'env>;
 
 const TEMP_THREAD_IDLE: Duration = Duration::from_millis(200);
 
@@ -75,6 +80,134 @@ impl WorkerPool {
         }
     }
 
+    /// Enqueue a job and block until it completes, returning its result.
+    /// A panic inside the job is caught on the worker (keeping the thread
+    /// alive) and resumed here on the caller. Panics if the pool has shut
+    /// down; use [`WorkerPool::try_execute_wait`] to observe that instead.
+    pub fn execute_wait<R: Send + 'static>(&self, job: impl FnOnce() -> R + Send + 'static) -> R {
+        self.try_execute_wait(job).expect("pool dropped the job")
+    }
+
+    /// [`WorkerPool::execute_wait`], but returns `None` when the pool has
+    /// shut down and dropped the job (e.g. a caller racing cluster
+    /// teardown).
+    pub fn try_execute_wait<R: Send + 'static>(
+        &self,
+        job: impl FnOnce() -> R + Send + 'static,
+    ) -> Option<R> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.execute(move || {
+            let _ = tx.send(std::panic::catch_unwind(AssertUnwindSafe(job)));
+        });
+        match rx.recv().ok()? {
+            Ok(r) => Some(r),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// [`WorkerPool::try_execute_wait`], except that when the pool is
+    /// saturated — no idle worker and no room to grow — the job runs inline
+    /// on the calling thread instead of queueing. The caller was about to
+    /// block on the result anyway, so lending its thread (the fiber model:
+    /// a blocked thread yields) costs nothing and guarantees progress when
+    /// every pool thread in a cycle of machines is blocked on another
+    /// machine's pool.
+    pub fn try_execute_wait_or_inline<R: Send + 'static>(
+        &self,
+        job: impl FnOnce() -> R + Send + 'static,
+    ) -> Option<R> {
+        if self.shared.idle.load(Ordering::Relaxed) == 0
+            && self.shared.threads.load(Ordering::Relaxed) >= self.shared.max
+        {
+            return Some(job());
+        }
+        self.try_execute_wait(job)
+    }
+
+    /// Scoped batch execution: run every job on the pool concurrently and
+    /// return their results **in input order**. Blocks until all jobs have
+    /// finished, which is what makes it sound for jobs that borrow from the
+    /// caller's stack (the classic scoped-pool pattern). The first job runs
+    /// inline on the calling thread — the caller would otherwise sit idle in
+    /// `recv`, and running real work here guarantees progress even when the
+    /// pool is saturated by blocked coordinators (the fiber stand-in).
+    ///
+    /// If any job panics, the panic is re-raised on the caller *after* every
+    /// other job has completed (so borrowed state is never unwound while
+    /// still shared).
+    // The one unsafe block in the workspace: lifetime erasure for scoped
+    // jobs, justified by the join-before-return invariant documented at the
+    // transmute.
+    #[allow(unsafe_code)]
+    pub fn run_all<'env, R: Send + 'env>(&self, jobs: Vec<ScopedJob<'env, R>>) -> Vec<R> {
+        let n = jobs.len();
+        match n {
+            0 => return Vec::new(),
+            1 => {
+                let mut jobs = jobs;
+                return vec![jobs.pop().expect("one job")()];
+            }
+            _ => {}
+        }
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, std::thread::Result<R>)>(n);
+        // The join guard enforces the unsafe block's invariant even on an
+        // unexpected unwind between dispatch and join: its Drop blocks until
+        // every enqueued wrapper has reported, so no lifetime-erased job can
+        // outlive the caller's frame.
+        struct JoinGuard<'rx, R> {
+            rx: &'rx Receiver<(usize, std::thread::Result<R>)>,
+            outstanding: usize,
+        }
+        impl<R> Drop for JoinGuard<'_, R> {
+            fn drop(&mut self) {
+                for _ in 0..self.outstanding {
+                    let _ = self.rx.recv();
+                }
+            }
+        }
+        let mut guard = JoinGuard {
+            rx: &rx,
+            outstanding: 0,
+        };
+
+        let mut jobs = jobs.into_iter().enumerate();
+        let (inline_idx, inline_job) = jobs.next().expect("n >= 2");
+        for (idx, job) in jobs {
+            let tx = tx.clone();
+            let wrapper: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                let _ = tx.send((idx, std::panic::catch_unwind(AssertUnwindSafe(job))));
+            });
+            // SAFETY: every enqueued wrapper is joined before this frame is
+            // torn down — the happy path receives one message per wrapper
+            // below, and `guard` drains the rest on unwind — so all borrows
+            // with lifetime 'env outlive the job's execution. Wrappers
+            // always send, even when the job panics (catch_unwind), and are
+            // never dropped unexecuted: the pool cannot shut down mid-batch
+            // because we hold `&self`.
+            let wrapper: Job = unsafe { std::mem::transmute(wrapper) };
+            guard.outstanding += 1;
+            self.execute(wrapper);
+        }
+        drop(tx);
+        let inline_result = std::panic::catch_unwind(AssertUnwindSafe(inline_job));
+
+        let mut slots: Vec<Option<std::thread::Result<R>>> = Vec::new();
+        slots.resize_with(n, || None);
+        slots[inline_idx] = Some(inline_result);
+        while guard.outstanding > 0 {
+            let (idx, result) = guard.rx.recv().expect("wrapper always sends");
+            guard.outstanding -= 1;
+            slots[idx] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot.expect("every slot filled") {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+
     /// Jobs queued and not yet started.
     pub fn queue_depth(&self) -> usize {
         self.queued.load(Ordering::Relaxed)
@@ -101,9 +234,9 @@ fn spawn_worker(shared: Arc<PoolShared>, queued: Arc<AtomicUsize>, idx: usize, p
         idx,
         if permanent { "" } else { "t" }
     );
-    std::thread::Builder::new()
-        .name(name)
-        .spawn(move || {
+    let worker = {
+        let shared = shared.clone();
+        move || {
             loop {
                 shared.idle.fetch_add(1, Ordering::Relaxed);
                 let job = if permanent {
@@ -121,8 +254,17 @@ fn spawn_worker(shared: Arc<PoolShared>, queued: Arc<AtomicUsize>, idx: usize, p
                 }
             }
             shared.threads.fetch_sub(1, Ordering::Relaxed);
-        })
-        .expect("spawn worker thread");
+        }
+    };
+    if let Err(e) = std::thread::Builder::new().name(name).spawn(worker) {
+        // Elastic growth is best-effort: under OS thread pressure the job
+        // stays queued for the existing workers. A pool that cannot spawn
+        // even its base threads is unusable, though — fail loudly then.
+        shared.threads.fetch_sub(1, Ordering::Relaxed);
+        if permanent {
+            panic!("spawn base worker thread: {e}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +314,121 @@ mod tests {
         for _ in 0..8 {
             done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         }
+    }
+
+    #[test]
+    fn execute_wait_returns_result() {
+        let pool = WorkerPool::new("t", 2, 8);
+        assert_eq!(pool.execute_wait(|| 6 * 7), 42);
+        let s = pool.execute_wait(|| "hello".to_string());
+        assert_eq!(s, "hello");
+    }
+
+    #[test]
+    fn execute_wait_propagates_panic_and_keeps_worker() {
+        let pool = WorkerPool::new("t", 1, 4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.execute_wait(|| panic!("boom"));
+        }));
+        assert!(caught.is_err());
+        // The worker survived the panic and still runs jobs.
+        assert_eq!(pool.execute_wait(|| 1 + 1), 2);
+    }
+
+    #[test]
+    fn saturated_pool_runs_inline() {
+        // 1 thread, no growth: occupy it with a blocked job, then a waiting
+        // call must complete by running inline on the caller.
+        let pool = WorkerPool::new("t", 1, 1);
+        let (release_tx, release_rx) = crossbeam::channel::bounded::<()>(0);
+        pool.execute(move || {
+            release_rx.recv().unwrap();
+        });
+        // Give the lone worker a moment to pick the blocking job up.
+        std::thread::sleep(Duration::from_millis(20));
+        let got = pool.try_execute_wait_or_inline(|| 7).unwrap();
+        assert_eq!(got, 7);
+        release_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn run_all_collects_in_order() {
+        let pool = WorkerPool::new("t", 2, 16);
+        let jobs: Vec<ScopedJob<usize>> = (0..32usize)
+            .map(|i| Box::new(move || i * 2) as ScopedJob<usize>)
+            .collect();
+        let results = pool.run_all(jobs);
+        assert_eq!(results, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_all_borrows_from_stack() {
+        let pool = WorkerPool::new("t", 2, 16);
+        let data: Vec<u64> = (0..100).collect();
+        let chunks: Vec<&[u64]> = data.chunks(10).collect();
+        let jobs: Vec<ScopedJob<u64>> = chunks
+            .iter()
+            .map(|chunk| {
+                let chunk: &[u64] = chunk;
+                Box::new(move || chunk.iter().sum::<u64>()) as ScopedJob<u64>
+            })
+            .collect();
+        let sums = pool.run_all(jobs);
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn run_all_is_concurrent() {
+        // With jobs that rendezvous with each other, completion requires all
+        // of them to be in flight at once.
+        let pool = WorkerPool::new("t", 1, 16);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let jobs: Vec<ScopedJob<()>> = (0..4)
+            .map(|_| {
+                let b = barrier.clone();
+                Box::new(move || {
+                    b.wait();
+                }) as ScopedJob<()>
+            })
+            .collect();
+        pool.run_all(jobs); // would hang if jobs ran one at a time
+    }
+
+    #[test]
+    fn run_all_propagates_panic_after_join() {
+        let pool = WorkerPool::new("t", 2, 8);
+        let done = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<ScopedJob<()>> = (0..4)
+            .map(|i| {
+                let done = done.clone();
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("job 2 failed");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                }) as ScopedJob<()>
+            })
+            .collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run_all(jobs)));
+        assert!(caught.is_err());
+        // All non-panicking jobs completed before the panic surfaced.
+        assert_eq!(done.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn run_all_nested_from_pool_thread() {
+        // A pool job that itself calls run_all on the same pool (the
+        // coordinator-on-a-backend case) must not deadlock: the inline job
+        // plus elastic growth guarantee progress.
+        let pool = Arc::new(WorkerPool::new("t", 1, 16));
+        let p = pool.clone();
+        let total = pool.execute_wait(move || {
+            let jobs: Vec<ScopedJob<u64>> = (0..8)
+                .map(|i| Box::new(move || i as u64) as ScopedJob<u64>)
+                .collect();
+            p.run_all(jobs).into_iter().sum::<u64>()
+        });
+        assert_eq!(total, 28);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Serial vs parallel per-hop fan-out (paper §3.4, Fig. 9).
+//!
+//! Loads the same knowledge graph into two 8-machine clusters — one with the
+//! legacy serial coordinator (`fanout_parallelism = 1`), one with the
+//! default parallel fan-out — turns on wall-clock latency injection, and
+//! races the Q4 stress traversal on both.
+//!
+//! ```sh
+//! cargo run --release --example parallel_fanout
+//! ```
+
+use a1_bench::workload::{KnowledgeGraph, KnowledgeGraphSpec, GRAPH, TENANT};
+use a1_core::{A1Config, MachineId};
+use std::time::Instant;
+
+fn main() {
+    let mut results = Vec::new();
+    for (label, fanout) in [("serial", 1usize), ("parallel", 0)] {
+        println!("loading {label} cluster (fanout_parallelism = {fanout})...");
+        let mut cfg = A1Config::small(8).with_fanout(fanout);
+        // Scale the network model up so injected waits sleep (overlappable)
+        // rather than spin.
+        cfg.farm.fabric.latency.rack_rtt_ns = 1_000_000;
+        cfg.farm.fabric.latency.cross_rack_rtt_ns = 2_000_000;
+        cfg.farm.fabric.latency.rpc_overhead_ns = 1_000_000;
+        let kg = KnowledgeGraph::load(cfg, KnowledgeGraphSpec::default());
+        kg.cluster.farm().fabric().set_inject_latency(true);
+
+        let inner = kg.cluster.inner();
+        let run = || {
+            inner
+                .coordinate_query(MachineId(0), TENANT, GRAPH, &kg.q4())
+                .expect("query")
+        };
+        run(); // warm the proxy caches
+        let t0 = Instant::now();
+        let out = run();
+        let elapsed = t0.elapsed();
+
+        println!("  Q4 result: count={}", out.count.unwrap());
+        for (i, hop) in out.per_hop.iter().enumerate() {
+            println!(
+                "  hop {i}: frontier={} machines={} rpcs={} peak-concurrent-ships={} wall={:.2} ms",
+                hop.frontier,
+                hop.machines,
+                hop.rpcs,
+                hop.max_concurrent_ships,
+                hop.wall_ns as f64 / 1e6,
+            );
+        }
+        println!("  total: {:.2} ms\n", elapsed.as_secs_f64() * 1e3);
+        results.push((label, out.count.unwrap(), elapsed));
+    }
+
+    let (_, serial_count, serial_t) = results[0];
+    let (_, parallel_count, parallel_t) = results[1];
+    assert_eq!(serial_count, parallel_count, "modes must agree");
+    println!(
+        "parallel fan-out speedup: {:.2}x (identical result: {serial_count})",
+        serial_t.as_secs_f64() / parallel_t.as_secs_f64()
+    );
+}

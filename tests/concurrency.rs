@@ -1,0 +1,183 @@
+//! Concurrent distributed coordination: many simultaneous multi-hop queries
+//! from multiple client threads under the parallel per-hop fan-out, with
+//! every result cross-checked against the serial (`fanout_parallelism = 1`)
+//! coordinator — including while a machine is killed mid-stream.
+
+use a1::core::{A1Config, Json, MachineId};
+use a1_bench::workload::{KnowledgeGraph, KnowledgeGraphSpec, GRAPH, TENANT};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn load(fanout: usize, machines: u32) -> KnowledgeGraph {
+    KnowledgeGraph::load(
+        A1Config::small(machines).with_fanout(fanout),
+        KnowledgeGraphSpec::tiny(),
+    )
+}
+
+/// Render a query outcome as a stable string: the count, or the rows in
+/// coordinator merge order (which is deterministic by MachineId).
+fn render(out: &a1::core::QueryOutcome) -> String {
+    match out.count {
+        Some(c) => format!("count:{c}"),
+        None => out
+            .rows
+            .iter()
+            .map(Json::to_string)
+            .collect::<Vec<_>>()
+            .join("|"),
+    }
+}
+
+fn answer(kg: &KnowledgeGraph, text: &str) -> String {
+    render(&kg.client.query(TENANT, GRAPH, text).unwrap())
+}
+
+fn all_answers(kg: &KnowledgeGraph) -> Vec<(String, String)> {
+    [
+        ("q1", kg.q1()),
+        ("q2", kg.q2()),
+        ("q3", kg.q3()),
+        ("q4", kg.q4()),
+    ]
+    .into_iter()
+    .map(|(name, text)| (name.to_string(), answer(kg, &text)))
+    .collect()
+}
+
+#[test]
+fn parallel_results_match_serial_baseline() {
+    // ship_threshold = 1 so even the tiny graph's per-machine batches go
+    // over the RPC ship path rather than inline one-sided reads. The
+    // network model is scaled into the injector's sleep regime so the
+    // overlap assertion below is deterministic on a single-core runner
+    // (instant RPCs can finish before the next pool worker starts).
+    let mk = |fanout: usize| {
+        let mut cfg = A1Config::small(6).with_fanout(fanout);
+        cfg.exec.ship_threshold = 1;
+        cfg.farm.fabric.latency.rack_rtt_ns = 500_000;
+        cfg.farm.fabric.latency.cross_rack_rtt_ns = 1_000_000;
+        cfg.farm.fabric.latency.rpc_overhead_ns = 500_000;
+        KnowledgeGraph::load(cfg, KnowledgeGraphSpec::tiny())
+    };
+    let serial = mk(1);
+    let parallel = mk(0);
+    let expected = all_answers(&serial);
+    let got = all_answers(&parallel);
+    assert_eq!(expected, got, "parallel coordinator changed query results");
+    // The parallel run actually overlapped ships on the fan-out hops:
+    // with wall-clock latency injection on, concurrent ships are sleeping
+    // on the wire at the same time.
+    parallel.cluster.farm().fabric().set_inject_latency(true);
+    let out = parallel
+        .cluster
+        .inner()
+        .coordinate_query(MachineId(0), TENANT, GRAPH, &parallel.q4())
+        .unwrap();
+    parallel.cluster.farm().fabric().set_inject_latency(false);
+    let peak = out
+        .per_hop
+        .iter()
+        .map(|h| h.max_concurrent_ships)
+        .max()
+        .unwrap();
+    assert!(peak > 1, "expected overlapping ships, peak was {peak}");
+    // And per-hop wall time was recorded.
+    assert!(out.per_hop.iter().all(|h| h.wall_ns > 0));
+}
+
+#[test]
+fn concurrent_clients_agree_with_serial_baseline() {
+    let serial = load(1, 5);
+    let parallel = load(0, 5);
+    let expected = Arc::new(all_answers(&serial));
+
+    let mut handles = Vec::new();
+    for t in 0..6 {
+        let kg_queries = [parallel.q1(), parallel.q2(), parallel.q3(), parallel.q4()];
+        let client = parallel.client.clone();
+        let expected = expected.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..10 {
+                let which = (t + i) % 4;
+                let out = client.query(TENANT, GRAPH, &kg_queries[which]).unwrap();
+                let got = render(&out);
+                assert_eq!(
+                    expected[which].1, got,
+                    "thread {t} iteration {i}: {} diverged",
+                    expected[which].0
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn killed_machine_mid_stream_matches_serial_baseline() {
+    let serial = load(1, 6);
+    let parallel = load(0, 6);
+
+    // The baseline is failure-invariant: killing a machine (with backup
+    // promotion) must not change any answer. Verify that on the serial
+    // cluster first.
+    let expected = all_answers(&serial);
+    serial.cluster.farm().kill_machine(MachineId(4));
+    assert_eq!(
+        expected,
+        all_answers(&serial),
+        "serial answers changed after machine kill"
+    );
+
+    // Parallel cluster: clients hammer queries while a machine dies
+    // mid-stream. In-flight queries may fail transiently; every *successful*
+    // query must return the baseline answer.
+    let stop = Arc::new(AtomicBool::new(false));
+    let successes = Arc::new(AtomicU64::new(0));
+    let transient_errors = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let queries = [parallel.q1(), parallel.q4()];
+        let client = parallel.client.clone();
+        let expected = expected.clone();
+        let stop = stop.clone();
+        let successes = successes.clone();
+        let transient_errors = transient_errors.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let which = (t + i) % 2;
+                i += 1;
+                match client.query(TENANT, GRAPH, &queries[which]) {
+                    Ok(out) => {
+                        let got = render(&out);
+                        let want = &expected[if which == 0 { 0 } else { 3 }];
+                        assert_eq!(want.1, got, "{} diverged during failure", want.0);
+                        successes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        // A ship raced the kill; acceptable, never wrong.
+                        transient_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+    // Let the stream establish, then kill a machine under it.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    parallel.cluster.farm().kill_machine(MachineId(4));
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(
+        successes.load(Ordering::Relaxed) > 0,
+        "no query succeeded around the failure"
+    );
+    // After promotion settles, answers are the baseline again — from every
+    // surviving backend.
+    assert_eq!(expected, all_answers(&parallel));
+}
