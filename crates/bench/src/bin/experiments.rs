@@ -8,18 +8,20 @@
 //! ```
 //!
 //! Figure targets: table2, fig10, fig11, fig12, fig13, fig14, q4, locality,
-//! baseline, ablation-mvcc, ablation-edges, fast-restart, fanout, all.
+//! baseline, ablation-mvcc, ablation-edges, fast-restart, fanout, ingest,
+//! all.
 //!
 //! Flags:
 //!
-//! * `--json` — run the perf-trajectory suite (real wall-clock latency of
-//!   Q1/Q4 under the serial and parallel coordinator) and print one JSON
-//!   document to stdout. CI uploads this as an artifact; `BENCH_<n>.json`
-//!   snapshots are committed at the repo root.
+//! * `--json` — run the perf-trajectory suites (real wall-clock latency of
+//!   Q1/Q4 under the serial and parallel coordinator, plus ingest
+//!   throughput: single-op vs group-commit vs partition-parallel) and print
+//!   one JSON document to stdout. CI uploads this as an artifact;
+//!   `BENCH_<n>.json` snapshots are committed at the repo root.
 //! * `--quick` — smaller workload + fewer iterations (CI-speed).
 //! * `--fig14-scale N` — divisor applied to the paper's Figure 14 dataset.
 
-use a1_bench::{figures, perf};
+use a1_bench::{figures, ingest, perf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,10 +55,25 @@ fn main() {
 
     if json {
         let results = perf::run_suite(quick);
-        println!(
-            "{}",
-            perf::suite_to_json(&results, quick).to_string_pretty()
-        );
+        let ingest_results = ingest::run_ingest_suite(quick);
+        // One document carrying both suites, so the perf-trajectory CI job
+        // tracks ingest throughput alongside Q1/Q4 latency.
+        let mut doc = match perf::suite_to_json(&results, quick) {
+            a1_core::Json::Obj(mut fields) => {
+                for (k, v) in fields.iter_mut() {
+                    if k == "schema" {
+                        *v = a1_core::Json::str("a1-bench-v2");
+                    }
+                }
+                fields
+            }
+            other => vec![("results".to_string(), other)],
+        };
+        doc.push((
+            "ingest".to_string(),
+            ingest::ingest_suite_to_json(&ingest_results),
+        ));
+        println!("{}", a1_core::Json::Obj(doc).to_string_pretty());
         return;
     }
 
@@ -75,6 +92,7 @@ fn main() {
             "ablation-edges" => Some(figures::ablation_edges()),
             "fast-restart" => Some(figures::fast_restart()),
             "fanout" => Some(perf::fanout_report(quick)),
+            "ingest" => Some(ingest::ingest_report(quick)),
             _ => None,
         }
     };
@@ -93,6 +111,7 @@ fn main() {
         "ablation-edges",
         "fast-restart",
         "fanout",
+        "ingest",
     ];
     if target == "all" {
         for name in all {

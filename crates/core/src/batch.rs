@@ -1,0 +1,479 @@
+//! Batched mutation application — the write path behind streaming ingestion
+//! (`a1-ingest`) and [`crate::server::A1Client::apply_batch`].
+//!
+//! The paper's A1 is fed continuously from Bing's data pipelines over a
+//! pub/sub bus (§1, §6); the unit of ingestion is an upsert/delete
+//! *mutation* rather than the client API's create/update distinction. This
+//! module defines that mutation vocabulary, its JSON wire format — the same
+//! shape as the replication-log entry bodies in [`crate::replog::entry`], so
+//! a DR log can be replayed through the ingest path — and a [`BatchApplier`]
+//! that applies many mutations inside **one** FaRM transaction, resolving
+//! each graph's catalog proxies and each type's schema once per batch
+//! instead of once per operation.
+
+use crate::catalog::{GraphProxies, VertexProxy};
+use crate::convert::{record_from_json, value_to_json};
+use crate::error::{A1Error, A1Result};
+use crate::replog::entry as log_entry;
+use crate::server::{check_active, collect_edge_deletes, pk_value, resolve_edge, A1Inner};
+use a1_farm::{MachineId, Txn};
+use a1_json::Json;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One ingestion mutation. Upserts are idempotent (create-or-replace for
+/// vertices, create-if-absent for edges); deletes of absent entities are
+/// no-ops — both essential for replaying an at-least-once stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    UpsertVertex {
+        tenant: String,
+        graph: String,
+        ty: String,
+        /// Full attribute object, primary key included.
+        attrs: Json,
+    },
+    DeleteVertex {
+        tenant: String,
+        graph: String,
+        ty: String,
+        id: Json,
+    },
+    UpsertEdge {
+        tenant: String,
+        graph: String,
+        src_type: String,
+        src_id: Json,
+        edge_type: String,
+        dst_type: String,
+        dst_id: Json,
+        data: Option<Json>,
+    },
+    DeleteEdge {
+        tenant: String,
+        graph: String,
+        src_type: String,
+        src_id: Json,
+        edge_type: String,
+        dst_type: String,
+        dst_id: Json,
+    },
+}
+
+/// What applying one mutation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applied {
+    Inserted,
+    Updated,
+    Deleted,
+    /// Idempotent no-op (edge already present, entity already absent).
+    NoOp,
+}
+
+impl Mutation {
+    /// Serialize to the shared wire format (the replog entry body shape:
+    /// `op` ∈ {`put_vertex`, `del_vertex`, `put_edge`, `del_edge`}).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Mutation::UpsertVertex {
+                tenant,
+                graph,
+                ty,
+                attrs,
+            } => Json::obj(vec![
+                ("op", Json::str("put_vertex")),
+                ("tenant", Json::str(tenant)),
+                ("graph", Json::str(graph)),
+                ("type", Json::str(ty)),
+                ("data", attrs.clone()),
+            ]),
+            Mutation::DeleteVertex {
+                tenant,
+                graph,
+                ty,
+                id,
+            } => log_entry::vertex_delete(tenant, graph, ty, id),
+            Mutation::UpsertEdge {
+                tenant,
+                graph,
+                src_type,
+                src_id,
+                edge_type,
+                dst_type,
+                dst_id,
+                data,
+            } => log_entry::edge_upsert(
+                tenant,
+                graph,
+                src_type,
+                src_id,
+                edge_type,
+                dst_type,
+                dst_id,
+                data.as_ref().unwrap_or(&Json::Null),
+            ),
+            Mutation::DeleteEdge {
+                tenant,
+                graph,
+                src_type,
+                src_id,
+                edge_type,
+                dst_type,
+                dst_id,
+            } => {
+                log_entry::edge_delete(tenant, graph, src_type, src_id, edge_type, dst_type, dst_id)
+            }
+        }
+    }
+
+    /// Parse from the wire format. Accepts replication-log entry bodies
+    /// verbatim (their extra `key` field on `put_vertex` is ignored — the
+    /// primary key must also be present in `data`).
+    pub fn from_json(j: &Json) -> A1Result<Mutation> {
+        let s = |k: &str| -> A1Result<String> {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(String::from)
+                .ok_or_else(|| A1Error::Schema(format!("mutation missing '{k}'")))
+        };
+        let v = |k: &str| -> A1Result<Json> {
+            j.get(k)
+                .cloned()
+                .ok_or_else(|| A1Error::Schema(format!("mutation missing '{k}'")))
+        };
+        match j.get("op").and_then(Json::as_str) {
+            Some("put_vertex") => {
+                let attrs = v("data")?;
+                if !matches!(attrs, Json::Obj(_)) {
+                    return Err(A1Error::Schema(
+                        "put_vertex 'data' must be an attribute object".into(),
+                    ));
+                }
+                Ok(Mutation::UpsertVertex {
+                    tenant: s("tenant")?,
+                    graph: s("graph")?,
+                    ty: s("type")?,
+                    attrs,
+                })
+            }
+            Some("del_vertex") => Ok(Mutation::DeleteVertex {
+                tenant: s("tenant")?,
+                graph: s("graph")?,
+                ty: s("type")?,
+                id: v("key")?,
+            }),
+            Some("put_edge") => Ok(Mutation::UpsertEdge {
+                tenant: s("tenant")?,
+                graph: s("graph")?,
+                src_type: s("src_type")?,
+                src_id: v("src")?,
+                edge_type: s("etype")?,
+                dst_type: s("dst_type")?,
+                dst_id: v("dst")?,
+                data: match j.get("data") {
+                    Some(Json::Null) | None => None,
+                    Some(d) => Some(d.clone()),
+                },
+            }),
+            Some("del_edge") => Ok(Mutation::DeleteEdge {
+                tenant: s("tenant")?,
+                graph: s("graph")?,
+                src_type: s("src_type")?,
+                src_id: v("src")?,
+                edge_type: s("etype")?,
+                dst_type: s("dst_type")?,
+                dst_id: v("dst")?,
+            }),
+            other => Err(A1Error::Schema(format!(
+                "unknown mutation op {other:?} (expected put_vertex/del_vertex/put_edge/del_edge)"
+            ))),
+        }
+    }
+
+    /// Parse a mutation from JSON text.
+    pub fn parse(text: &str) -> A1Result<Mutation> {
+        let j = Json::parse(text).map_err(|e| A1Error::Schema(e.to_string()))?;
+        Mutation::from_json(&j)
+    }
+
+    pub fn tenant(&self) -> &str {
+        match self {
+            Mutation::UpsertVertex { tenant, .. }
+            | Mutation::DeleteVertex { tenant, .. }
+            | Mutation::UpsertEdge { tenant, .. }
+            | Mutation::DeleteEdge { tenant, .. } => tenant,
+        }
+    }
+
+    pub fn graph(&self) -> &str {
+        match self {
+            Mutation::UpsertVertex { graph, .. }
+            | Mutation::DeleteVertex { graph, .. }
+            | Mutation::UpsertEdge { graph, .. }
+            | Mutation::DeleteEdge { graph, .. } => graph,
+        }
+    }
+}
+
+/// Applies mutations inside a caller-managed transaction, caching the
+/// per-graph catalog proxies and per-type schema resolution so a batch of
+/// N same-type mutations does the catalog work once, not N times.
+///
+/// Ingested writes still land in the replication log (§4): every applied
+/// mutation appends the corresponding entry within the same transaction
+/// when the cluster runs with `dr_enabled`.
+pub struct BatchApplier<'a> {
+    inner: &'a A1Inner,
+    machine: MachineId,
+    graphs: HashMap<(String, String), Arc<GraphProxies>>,
+}
+
+impl<'a> BatchApplier<'a> {
+    pub fn new(inner: &'a A1Inner, machine: MachineId) -> BatchApplier<'a> {
+        BatchApplier {
+            inner,
+            machine,
+            graphs: HashMap::new(),
+        }
+    }
+
+    fn graph(&mut self, tenant: &str, graph: &str) -> A1Result<Arc<GraphProxies>> {
+        if let Some(p) = self.graphs.get(&(tenant.to_string(), graph.to_string())) {
+            return Ok(p.clone());
+        }
+        let p = self.inner.proxies_at(self.machine, tenant, graph)?;
+        self.graphs
+            .insert((tenant.to_string(), graph.to_string()), p.clone());
+        Ok(p)
+    }
+
+    fn vertex_type(proxies: &GraphProxies, ty: &str) -> A1Result<Arc<VertexProxy>> {
+        proxies
+            .vertex_type(ty)
+            .cloned()
+            .ok_or_else(|| A1Error::NoSuchType(ty.to_string()))
+    }
+
+    /// Apply one mutation. On error the caller must abort the transaction —
+    /// partial effects of a failed apply are only discarded by the abort.
+    pub fn apply(&mut self, tx: &mut Txn, m: &Mutation) -> A1Result<Applied> {
+        let inner = self.inner;
+        match m {
+            Mutation::UpsertVertex {
+                tenant,
+                graph,
+                ty,
+                attrs,
+            } => {
+                let proxies = self.graph(tenant, graph)?;
+                check_active(&proxies)?;
+                let vp = Self::vertex_type(&proxies, ty)?;
+                let rec = record_from_json(&vp.def.schema, attrs)?;
+                let pk = rec
+                    .get(vp.def.primary_key)
+                    .cloned()
+                    .ok_or_else(|| A1Error::Schema("primary key missing".into()))?;
+                let applied = match inner.store.vertex_by_pk(tx, &vp, &pk)? {
+                    Some(ptr) => {
+                        inner.store.update_vertex(tx, &vp, ptr.addr, rec)?;
+                        Applied::Updated
+                    }
+                    None => {
+                        inner.store.create_vertex(tx, &vp, rec)?;
+                        Applied::Inserted
+                    }
+                };
+                if let Some(log) = &inner.replog {
+                    let pkj = value_to_json(&pk);
+                    log.append(
+                        tx,
+                        &log_entry::vertex_upsert(tenant, graph, ty, &pkj, attrs),
+                    )?;
+                }
+                Ok(applied)
+            }
+            Mutation::DeleteVertex {
+                tenant,
+                graph,
+                ty,
+                id,
+            } => {
+                let proxies = self.graph(tenant, graph)?;
+                let vp = Self::vertex_type(&proxies, ty)?;
+                let pk = pk_value(&vp, id)?;
+                let Some(ptr) = inner.store.vertex_by_pk(tx, &vp, &pk)? else {
+                    return Ok(Applied::NoOp); // already gone: idempotent
+                };
+                if let Some(log) = &inner.replog {
+                    let edge_logs =
+                        collect_edge_deletes(inner, tx, &proxies, tenant, graph, ptr.addr)?;
+                    for e in edge_logs {
+                        log.append(tx, &e)?;
+                    }
+                    log.append(tx, &log_entry::vertex_delete(tenant, graph, ty, id))?;
+                }
+                inner
+                    .store
+                    .delete_vertex(tx, &proxies.graph, &vp, ptr.addr)?;
+                Ok(Applied::Deleted)
+            }
+            Mutation::UpsertEdge {
+                tenant,
+                graph,
+                src_type,
+                src_id,
+                edge_type,
+                dst_type,
+                dst_id,
+                data,
+            } => {
+                let proxies = self.graph(tenant, graph)?;
+                check_active(&proxies)?;
+                let (src, dst, et) = resolve_edge(
+                    inner, tx, &proxies, src_type, src_id, edge_type, dst_type, dst_id,
+                )?;
+                // Create-if-absent: ⟨src, type, dst⟩ admits a single edge
+                // (§3), so a redelivered edge upsert is a no-op.
+                if inner
+                    .store
+                    .read_edge_data(tx, &proxies.graph, et, src, dst)?
+                    .is_some()
+                {
+                    return Ok(Applied::NoOp);
+                }
+                let ep = proxies.edge_type_by_id(et).expect("resolved above").clone();
+                let rec = match data {
+                    Some(d) => Some(record_from_json(&ep.def.schema, d)?),
+                    None => None,
+                };
+                inner
+                    .store
+                    .create_edge(tx, &proxies.graph, et, src, dst, rec)?;
+                if let Some(log) = &inner.replog {
+                    log.append(
+                        tx,
+                        &log_entry::edge_upsert(
+                            tenant,
+                            graph,
+                            src_type,
+                            src_id,
+                            edge_type,
+                            dst_type,
+                            dst_id,
+                            data.as_ref().unwrap_or(&Json::Null),
+                        ),
+                    )?;
+                }
+                Ok(Applied::Inserted)
+            }
+            Mutation::DeleteEdge {
+                tenant,
+                graph,
+                src_type,
+                src_id,
+                edge_type,
+                dst_type,
+                dst_id,
+            } => {
+                let proxies = self.graph(tenant, graph)?;
+                let resolved = resolve_edge(
+                    inner, tx, &proxies, src_type, src_id, edge_type, dst_type, dst_id,
+                );
+                let (src, dst, et) = match resolved {
+                    Ok(r) => r,
+                    // An endpoint is gone: the edge cannot exist either.
+                    Err(A1Error::NoSuchVertex(_)) => return Ok(Applied::NoOp),
+                    Err(e) => return Err(e),
+                };
+                let existed = inner.store.delete_edge(tx, &proxies.graph, et, src, dst)?;
+                if !existed {
+                    return Ok(Applied::NoOp);
+                }
+                if let Some(log) = &inner.replog {
+                    log.append(
+                        tx,
+                        &log_entry::edge_delete(
+                            tenant, graph, src_type, src_id, edge_type, dst_type, dst_id,
+                        ),
+                    )?;
+                }
+                Ok(Applied::Deleted)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let muts = vec![
+            Mutation::UpsertVertex {
+                tenant: "t".into(),
+                graph: "g".into(),
+                ty: "entity".into(),
+                attrs: Json::obj(vec![("id", Json::str("v1")), ("rank", Json::Num(3.0))]),
+            },
+            Mutation::DeleteVertex {
+                tenant: "t".into(),
+                graph: "g".into(),
+                ty: "entity".into(),
+                id: Json::str("v1"),
+            },
+            Mutation::UpsertEdge {
+                tenant: "t".into(),
+                graph: "g".into(),
+                src_type: "entity".into(),
+                src_id: Json::str("a"),
+                edge_type: "link".into(),
+                dst_type: "entity".into(),
+                dst_id: Json::str("b"),
+                data: Some(Json::obj(vec![("w", Json::Num(1.0))])),
+            },
+            Mutation::DeleteEdge {
+                tenant: "t".into(),
+                graph: "g".into(),
+                src_type: "entity".into(),
+                src_id: Json::str("a"),
+                edge_type: "link".into(),
+                dst_type: "entity".into(),
+                dst_id: Json::str("b"),
+            },
+        ];
+        for m in muts {
+            let wire = m.to_json().to_string();
+            let back = Mutation::parse(&wire).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn accepts_replog_entry_bodies() {
+        // A replication-log vertex upsert carries an extra `key` field; the
+        // ingest parser accepts it unchanged (DR log replay).
+        let entry = log_entry::vertex_upsert(
+            "t",
+            "g",
+            "entity",
+            &Json::str("v1"),
+            &Json::obj(vec![("id", Json::str("v1"))]),
+        );
+        let m = Mutation::from_json(&entry).unwrap();
+        assert!(matches!(m, Mutation::UpsertVertex { .. }));
+        assert_eq!(m.tenant(), "t");
+        assert_eq!(m.graph(), "g");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Mutation::parse(r#"{"op":"nope"}"#).is_err());
+        assert!(Mutation::parse(r#"{"op":"put_vertex","tenant":"t"}"#).is_err());
+        // put_vertex data must be an object.
+        assert!(Mutation::parse(
+            r#"{"op":"put_vertex","tenant":"t","graph":"g","type":"e","data":7}"#
+        )
+        .is_err());
+    }
+}

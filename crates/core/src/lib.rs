@@ -18,6 +18,7 @@
 //!   RDMA communication fabric     a1_rdma
 //! ```
 
+pub mod batch;
 pub mod catalog;
 pub mod convert;
 pub mod edges;
@@ -30,6 +31,7 @@ pub mod store;
 pub mod tasks;
 pub mod vertex;
 
+pub use batch::{Applied, BatchApplier, Mutation};
 pub use error::{A1Error, A1Result};
 pub use model::{EdgeTypeDef, GraphMeta, LifecycleState, TypeId, VertexTypeDef};
 pub use query::{QueryMetrics, QueryOutcome};

@@ -234,8 +234,22 @@ pub fn compile(
             ));
         }
         let value = json_to_value(&pred.value, &field.ty)?;
+        // LIMIT pushdown: a single filtered step whose only predicate the
+        // index lookup consumes emits exactly one row per index hit, so the
+        // scan itself can stop at `_limit` instead of materializing the
+        // whole posting list. Counts and traversals still need every hit.
+        let fetch = match q.final_limit() {
+            Some(limit)
+                if cur.traverse.is_none()
+                    && cur.matches.is_empty()
+                    && q.final_select() != Select::Count =>
+            {
+                limit
+            }
+            _ => usize::MAX,
+        };
         store
-            .vertices_by_secondary(tx, vp, field.id, &value, usize::MAX)?
+            .vertices_by_secondary(tx, vp, field.id, &value, fetch)?
             .into_iter()
             .map(|p| p.addr)
             .collect()

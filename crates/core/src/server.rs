@@ -8,6 +8,7 @@
 //! charges the client↔cluster hop, and sends the request into the backend's
 //! worker pool over the fabric RPC path — so backend queueing is real.
 
+use crate::batch::{BatchApplier, Mutation};
 use crate::catalog::{Catalog, GraphProxies, ProxyCache, VertexProxy};
 use crate::convert::{json_to_value, record_from_json, record_to_json};
 use crate::edges::Dir;
@@ -19,7 +20,7 @@ use crate::query::exec::{
 };
 use crate::query::plan::parse_query;
 use crate::replog::{entry as log_entry, Replog};
-use crate::store::{run_a1, GraphStore};
+use crate::store::{conflict_backoff, run_a1, GraphStore};
 use crate::tasks::{TaskQueue, TaskSpec};
 use crate::vertex::vertex_ptr;
 use a1_farm::{Addr, BTree, BTreeConfig, FarmCluster, FarmConfig, Hint, MachineId, Txn};
@@ -189,7 +190,7 @@ impl A1Inner {
     /// Round-robin backend choice (the frontends route requests "to a random
     /// backend machine", §3.4). The SLB health-checks backends: dead
     /// machines are skipped.
-    fn pick_backend(&self) -> &Arc<Backend> {
+    pub(crate) fn pick_backend(&self) -> &Arc<Backend> {
         let fabric = self.farm.fabric();
         for _ in 0..self.backends.len() {
             let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.backends.len();
@@ -204,6 +205,18 @@ impl A1Inner {
         backend
             .proxies
             .graph(&self.farm, &self.catalog, backend.machine, tenant, graph)
+    }
+
+    /// Resolve a graph's catalog proxies through the given machine's proxy
+    /// cache (one catalog read per TTL, §3.1). Used by the batch/ingest
+    /// write path, which manages its own transactions.
+    pub fn proxies_at(
+        &self,
+        machine: MachineId,
+        tenant: &str,
+        graph: &str,
+    ) -> A1Result<Arc<GraphProxies>> {
+        self.proxies(self.backend(machine), tenant, graph)
     }
 
     // ---------------------------------------------------------- RPC server
@@ -860,6 +873,31 @@ impl A1Client {
         Ok(existed)
     }
 
+    /// Apply a batch of ingest [`Mutation`]s as **one** FaRM transaction
+    /// (group commit), routed through a round-robin backend. Catalog/schema
+    /// resolution happens once per type for the whole batch, every applied
+    /// mutation lands in the replication log (when `dr_enabled`), and the
+    /// batch is replayed whole on optimistic conflict with bounded jittered
+    /// backoff. Streaming callers should prefer `a1-ingest`, which adds
+    /// partition parallelism, batching and at-least-once dedup on top.
+    pub fn apply_batch(&self, muts: &[Mutation]) -> A1Result<()> {
+        let machine = self.inner.pick_backend().machine;
+        self.apply_batch_at(machine, muts)
+    }
+
+    /// [`A1Client::apply_batch`] pinned to a specific coordinator machine
+    /// (ingest appliers pin batches to the partition's machine so new
+    /// vertices allocate locally, §2.2).
+    pub fn apply_batch_at(&self, machine: MachineId, muts: &[Mutation]) -> A1Result<()> {
+        run_a1(&self.inner.farm, machine, |tx| {
+            let mut applier = BatchApplier::new(&self.inner, machine);
+            for m in muts {
+                applier.apply(tx, m)?;
+            }
+            Ok(())
+        })
+    }
+
     /// Begin an explicit transaction grouping data-plane operations (§3).
     pub fn transaction(&self) -> A1Txn {
         let backend = self.inner.pick_backend().clone();
@@ -920,7 +958,7 @@ impl A1Client {
     }
 }
 
-fn pk_value(vp: &VertexProxy, id: &Json) -> A1Result<a1_bond::Value> {
+pub(crate) fn pk_value(vp: &VertexProxy, id: &Json) -> A1Result<a1_bond::Value> {
     let field = vp
         .def
         .schema
@@ -1302,7 +1340,10 @@ impl A1Txn {
     }
 
     /// Commit with the Fig. 3 retry loop: on conflict, replay every buffered
-    /// operation in a fresh transaction.
+    /// operation in a fresh transaction. Retries back off with bounded
+    /// jittered sleeps so concurrent writers hammering a hot key (e.g.
+    /// parallel ingest appliers adding edges at one hub vertex)
+    /// desynchronize instead of livelocking.
     pub fn commit_with_retry(mut self) -> A1Result<()> {
         let max = self.inner.farm.config().max_txn_retries;
         let mut tx = self.tx.take().expect("transaction already finished");
@@ -1310,6 +1351,7 @@ impl A1Txn {
             match tx.commit() {
                 Ok(_) => return Ok(()),
                 Err(e) if e.is_retryable() && attempt < max => {
+                    conflict_backoff(attempt, 300);
                     // Replay the ops against a fresh snapshot.
                     self.tx = Some(self.inner.farm.begin(self.backend.machine));
                     let ops = self.ops.clone();
@@ -1355,7 +1397,7 @@ fn pk_name(vp: &VertexProxy) -> String {
         .unwrap_or_default()
 }
 
-fn check_active(proxies: &GraphProxies) -> A1Result<()> {
+pub(crate) fn check_active(proxies: &GraphProxies) -> A1Result<()> {
     if proxies.graph.meta.state != LifecycleState::Active {
         return Err(A1Error::InvalidState("graph is being deleted".into()));
     }
@@ -1363,8 +1405,8 @@ fn check_active(proxies: &GraphProxies) -> A1Result<()> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn resolve_edge(
-    inner: &Arc<A1Inner>,
+pub(crate) fn resolve_edge(
+    inner: &A1Inner,
     tx: &mut Txn,
     proxies: &GraphProxies,
     src_type: &str,
@@ -1397,8 +1439,8 @@ fn resolve_edge(
 
 /// For DR: enumerate all edges of a vertex and produce delete log entries
 /// keyed by primary keys (recovery cannot use addresses).
-fn collect_edge_deletes(
-    inner: &Arc<A1Inner>,
+pub(crate) fn collect_edge_deletes(
+    inner: &A1Inner,
     tx: &mut Txn,
     proxies: &GraphProxies,
     tenant: &str,
@@ -1456,7 +1498,7 @@ fn collect_edge_deletes(
 }
 
 fn vertex_pk_json(
-    inner: &Arc<A1Inner>,
+    inner: &A1Inner,
     tx: &mut Txn,
     proxies: &GraphProxies,
     addr: Addr,

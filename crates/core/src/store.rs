@@ -18,6 +18,26 @@ use a1_farm::{Addr, FarmCluster, FarmError, Hint, Ptr, Txn};
 use a1_json::Json;
 use std::sync::Arc;
 
+/// Bounded jittered exponential backoff between optimistic-conflict retries
+/// (paper Fig. 3). Sleeps `min(2·2^attempt + jitter, cap_us)` microseconds,
+/// with the jitter derived from the calling thread's id so contending
+/// retriers desynchronize instead of re-colliding in lockstep. Shared by
+/// [`run_a1`], `A1Txn::commit_with_retry`, `A1Client::apply_batch`, and the
+/// `a1-ingest` applier loop.
+pub fn conflict_backoff(attempt: usize, cap_us: u64) {
+    let jitter_seed = {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        h.finish()
+    };
+    let backoff_us = 2u64 << attempt.min(20);
+    let jitter = 1 + (jitter_seed.wrapping_mul(attempt as u64 + 1) % 7);
+    std::thread::sleep(std::time::Duration::from_micros(
+        (backoff_us + jitter).min(cap_us.max(1)),
+    ));
+}
+
 /// Retry wrapper like [`FarmCluster::run`] but for A1-level results.
 pub fn run_a1<T>(
     farm: &Arc<FarmCluster>,
@@ -25,13 +45,6 @@ pub fn run_a1<T>(
     mut f: impl FnMut(&mut Txn) -> A1Result<T>,
 ) -> A1Result<T> {
     let max = farm.config().max_txn_retries;
-    let mut backoff_us = 2u64;
-    let jitter_seed = {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        std::thread::current().id().hash(&mut h);
-        h.finish()
-    };
     for attempt in 0..=max {
         let mut tx = farm.begin(origin);
         match f(&mut tx) {
@@ -48,11 +61,7 @@ pub fn run_a1<T>(
                 return Err(e);
             }
         }
-        let jitter = 1 + (jitter_seed.wrapping_mul(attempt as u64 + 1) % 7);
-        std::thread::sleep(std::time::Duration::from_micros(
-            (backoff_us + jitter).min(300),
-        ));
-        backoff_us = backoff_us.saturating_mul(2);
+        conflict_backoff(attempt, 300);
     }
     Err(FarmError::Conflict.into())
 }

@@ -467,6 +467,52 @@ fn secondary_index_start() {
 }
 
 #[test]
+fn secondary_index_start_pushes_limit_into_the_scan() {
+    // Many vertices share one indexed value; a single filtered step with
+    // `_limit` must stop the index scan at the limit instead of
+    // materializing the whole posting list.
+    let cluster = A1Cluster::start(A1Config::small(3)).unwrap();
+    let client = cluster.client();
+    client.create_tenant(TENANT).unwrap();
+    client.create_graph(TENANT, GRAPH).unwrap();
+    client
+        .create_vertex_type(TENANT, GRAPH, ENTITY_SCHEMA, "id", &["rank"])
+        .unwrap();
+    for i in 0..30 {
+        client
+            .create_vertex(
+                TENANT,
+                GRAPH,
+                "entity",
+                &format!(r#"{{"id": "e{i:03}", "rank": 9}}"#),
+            )
+            .unwrap();
+    }
+    let limited = client
+        .query(
+            TENANT,
+            GRAPH,
+            r#"{ "_type": "entity", "rank": 9, "_limit": 5, "_select": ["id"] }"#,
+        )
+        .unwrap();
+    assert_eq!(limited.rows.len(), 5);
+    assert!(
+        limited.metrics.vertices_read <= 5,
+        "LIMIT 5 index start read {} vertices; the scan should stop at the limit",
+        limited.metrics.vertices_read
+    );
+    // Counts are not limited, so their scan must stay exhaustive.
+    let counted = client
+        .query(
+            TENANT,
+            GRAPH,
+            r#"{ "_type": "entity", "rank": 9, "_limit": 5, "_select": ["_count(*)"] }"#,
+        )
+        .unwrap();
+    assert_eq!(counted.count, Some(30));
+}
+
+#[test]
 fn query_shipping_locality() {
     // §6: operator shipping turns most reads into local reads (≥95% at
     // paper scale). Build a hub with a wide fan-out so per-machine batches

@@ -1,0 +1,43 @@
+//! `a1-ingest` — streaming ingestion for the A1 graph database.
+//!
+//! The paper's A1 is not loaded by hand: Bing's data pipelines feed it
+//! continuously over a pub/sub bus with **at-least-once** delivery (§1,
+//! §6), so the database must batch, deduplicate, and apply high-rate
+//! update streams without stalling reads. This crate is that subsystem for
+//! the reproduction:
+//!
+//! * **[`MutationRecord`]** — the stream record: an upsert/delete
+//!   [`a1_core::Mutation`] (JSON wire format shared with the replication
+//!   log's entry bodies, so a DR log replays through this same path) plus
+//!   `source`/`seq` delivery metadata and an entity routing key.
+//! * **[`IngestPipeline`]** — bounded per-partition queues (backpressure)
+//!   drained by **partition-parallel appliers** running on each machine's
+//!   [`a1_farm::WorkerPool`]. Each applier groups many mutations into one
+//!   FaRM transaction (**group commit**, [`IngestConfig::batch_size`] /
+//!   [`IngestConfig::flush_interval`]), retries conflicted batches with
+//!   bounded jittered backoff, and bisects batches that keep failing.
+//! * **[`WatermarkTable`]** — per-⟨source, partition⟩ sequence watermarks
+//!   persisted in a FaRM B-tree and advanced inside the batch's own
+//!   transaction, making redelivery idempotent: replaying a stream (or a
+//!   suffix of it) changes nothing.
+//! * **[`IngestStats`]** — records/sec, batch/retry/split/dedup counters
+//!   and the stream's durability lag.
+//!
+//! Writes ingested here still land in the replication log when the cluster
+//! runs with `dr_enabled` (§4) — the pipeline applies mutations through
+//! [`a1_core::BatchApplier`], the same hook `A1Client::apply_batch` uses.
+//!
+//! Ordering contract: streams are FIFO per `source` (pub/sub partition
+//! ordering), and all mutations of one entity share a routing key. Phases
+//! with cross-entity dependencies (edges referencing vertices) order
+//! themselves with [`IngestPipeline::flush`] barriers.
+
+pub mod metrics;
+pub mod pipeline;
+pub mod record;
+pub mod watermark;
+
+pub use metrics::IngestStats;
+pub use pipeline::{IngestConfig, IngestPipeline, Partitioner};
+pub use record::MutationRecord;
+pub use watermark::WatermarkTable;

@@ -1,0 +1,96 @@
+//! Pipeline observability counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shared atomic counters, updated by appliers and the submit path.
+#[derive(Debug)]
+pub struct IngestMetrics {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) applied: AtomicU64,
+    pub(crate) deduped: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batch_retries: AtomicU64,
+    pub(crate) batch_splits: AtomicU64,
+    pub(crate) started: Instant,
+}
+
+impl IngestMetrics {
+    pub(crate) fn new() -> IngestMetrics {
+        IngestMetrics {
+            submitted: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_retries: AtomicU64::new(0),
+            batch_splits: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// `in_flight` is the pipeline's pending counter — passed in rather than
+    /// derived from the other (independently updated) counters, which could
+    /// transiently disagree under concurrent appliers.
+    pub(crate) fn snapshot(&self, in_flight: u64) -> IngestStats {
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let applied = self.applied.load(Ordering::Relaxed);
+        let deduped = self.deduped.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed();
+        IngestStats {
+            submitted,
+            applied,
+            deduped,
+            failed,
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_retries: self.batch_retries.load(Ordering::Relaxed),
+            batch_splits: self.batch_splits.load(Ordering::Relaxed),
+            watermark_lag: in_flight,
+            elapsed_ns: elapsed.as_nanos() as u64,
+            records_per_sec: if elapsed.as_secs_f64() > 0.0 {
+                applied as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// A point-in-time view of pipeline progress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestStats {
+    /// Records accepted by `submit`.
+    pub submitted: u64,
+    /// Records whose effects have committed.
+    pub applied: u64,
+    /// Redelivered records skipped by the watermark check.
+    pub deduped: u64,
+    /// Poison records dropped after exhausting retries/splits.
+    pub failed: u64,
+    /// Group commits that succeeded.
+    pub batches: u64,
+    /// Whole-batch retries after an optimistic conflict.
+    pub batch_retries: u64,
+    /// Conflict-driven batch bisections.
+    pub batch_splits: u64,
+    /// Records accepted but not yet covered by a committed watermark
+    /// (queued or mid-batch) — the stream's durability lag.
+    pub watermark_lag: u64,
+    /// Time since the pipeline started.
+    pub elapsed_ns: u64,
+    /// Applied records per wall-clock second since start.
+    pub records_per_sec: f64,
+}
+
+impl IngestStats {
+    /// Mean committed batch size — the group-commit factor actually achieved.
+    pub fn avg_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.applied as f64 / self.batches as f64
+        }
+    }
+}

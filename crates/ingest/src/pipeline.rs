@@ -1,0 +1,423 @@
+//! The ingestion pipeline: partitioned queues → group-commit appliers.
+//!
+//! ```text
+//!   submit(record)                       (bounded queues = backpressure)
+//!        │ route by entity key
+//!        ▼
+//!   ┌─────────┐  ┌─────────┐     ┌─────────┐
+//!   │ queue 0 │  │ queue 1 │  …  │ queue P │     one per partition
+//!   └────┬────┘  └────┬────┘     └────┬────┘
+//!        ▼            ▼               ▼
+//!    applier 0    applier 1       applier P       on each machine's WorkerPool
+//!        │ batch ≤ batch_size or flush_interval
+//!        ▼
+//!    one FaRM txn: dedup check → apply mutations → replog entries →
+//!    advance ⟨source, partition⟩ watermarks → commit
+//! ```
+//!
+//! Batches that hit an optimistic conflict retry whole with bounded jittered
+//! backoff, then bisect — splitting shrinks the conflict footprint until the
+//! contended records commit alone, and isolates poison records (which are
+//! dropped and counted after the final split).
+
+use crate::metrics::{IngestMetrics, IngestStats};
+use crate::record::MutationRecord;
+use crate::watermark::WatermarkTable;
+use a1_core::server::A1Inner;
+use a1_core::store::conflict_backoff;
+use a1_core::{A1Cluster, A1Error, A1Result, BatchApplier};
+use a1_farm::{MachineId, Ptr, Txn};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How records map to partitions.
+#[derive(Debug, Clone)]
+pub enum Partitioner {
+    /// Stable hash of the routing key (FNV-1a). The default: balanced with
+    /// no tuning, at the cost of interleaving key ranges across partitions.
+    KeyHash,
+    /// Range partitioning by `partitions - 1` sorted split points:
+    /// partition `i` takes keys in `[splits[i-1], splits[i])`. Bulk loads
+    /// with sortable keys prefer this — each partition's inserts land in a
+    /// contiguous index range, so parallel group commits rarely collide on
+    /// B-tree leaves.
+    KeyRange(Vec<String>),
+}
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Applier partitions; `0` = one per cluster machine (each pinned to its
+    /// machine, so fresh vertices allocate locally).
+    pub partitions: usize,
+    /// Group-commit factor: max mutations per FaRM transaction.
+    pub batch_size: usize,
+    /// Max time a partial batch waits for more records before committing.
+    pub flush_interval: Duration,
+    /// Bounded per-partition queue depth, in records. `submit` blocks when
+    /// the target queue is full — the pipeline's backpressure.
+    pub queue_depth: usize,
+    /// Whole-batch retries on optimistic conflict before bisecting.
+    pub max_batch_retries: usize,
+    /// At-least-once dedup via persisted sequence watermarks.
+    pub dedup: bool,
+    /// Resume an earlier stream's watermarks ([`IngestPipeline::watermarks`]).
+    pub resume_watermarks: Option<Ptr>,
+    pub partitioner: Partitioner,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            partitions: 0,
+            batch_size: 64,
+            flush_interval: Duration::from_millis(2),
+            queue_depth: 256,
+            max_batch_retries: 8,
+            dedup: true,
+            resume_watermarks: None,
+            partitioner: Partitioner::KeyHash,
+        }
+    }
+}
+
+struct Shared {
+    inner: Arc<A1Inner>,
+    cfg: IngestConfig,
+    wm: WatermarkTable,
+    metrics: IngestMetrics,
+    /// Records accepted but not yet applied/deduped/failed.
+    pending: AtomicU64,
+    live_appliers: AtomicUsize,
+    last_error: Mutex<Option<String>>,
+}
+
+/// A running ingestion pipeline bound to one cluster.
+pub struct IngestPipeline {
+    shared: Arc<Shared>,
+    senders: Vec<Sender<MutationRecord>>,
+    partitions: usize,
+}
+
+impl IngestPipeline {
+    /// Boot the pipeline: create (or reopen) the watermark table and start
+    /// one applier per partition on its machine's worker pool.
+    pub fn start(cluster: &A1Cluster, cfg: IngestConfig) -> A1Result<IngestPipeline> {
+        let inner = cluster.inner().clone();
+        let machines = inner.farm.num_machines().max(1);
+        let partitions = if cfg.partitions == 0 {
+            machines as usize
+        } else {
+            cfg.partitions
+        };
+        if let Partitioner::KeyRange(splits) = &cfg.partitioner {
+            if splits.len() + 1 != partitions {
+                return Err(A1Error::Schema(format!(
+                    "range partitioner needs {} split points for {partitions} partitions, got {}",
+                    partitions - 1,
+                    splits.len()
+                )));
+            }
+            if !splits.windows(2).all(|w| w[0] < w[1]) {
+                return Err(A1Error::Schema(
+                    "range partitioner split points must be strictly sorted".into(),
+                ));
+            }
+        }
+        let wm = match cfg.resume_watermarks {
+            Some(header) => WatermarkTable::open(&inner.farm, header)?,
+            None => WatermarkTable::create(&inner.farm)?,
+        };
+        // Watermarks are only meaningful relative to the record→partition
+        // mapping: stamp it on a fresh table, verify it on a resumed one.
+        wm.bind_config(
+            &inner.farm,
+            partitions as u32,
+            partitioner_fingerprint(&cfg.partitioner),
+        )?;
+        let shared = Arc::new(Shared {
+            cfg,
+            wm,
+            metrics: IngestMetrics::new(),
+            pending: AtomicU64::new(0),
+            live_appliers: AtomicUsize::new(partitions),
+            last_error: Mutex::new(None),
+            inner,
+        });
+        let mut senders = Vec::with_capacity(partitions);
+        for part in 0..partitions {
+            let (tx, rx) = bounded(shared.cfg.queue_depth.max(1));
+            let machine = MachineId((part % machines as usize) as u32);
+            let pool_machine = shared
+                .inner
+                .farm
+                .fabric()
+                .machine(machine)
+                .map_err(|e| A1Error::Internal(format!("ingest partition machine: {e}")))?;
+            let shared2 = shared.clone();
+            pool_machine
+                .pool()
+                .execute(move || applier_loop(shared2, part as u32, machine, rx));
+            senders.push(tx);
+        }
+        Ok(IngestPipeline {
+            shared,
+            senders,
+            partitions,
+        })
+    }
+
+    /// Enqueue one record. Blocks while the target partition's queue is full
+    /// (backpressure); returns once the record is queued, **not** committed —
+    /// use [`IngestPipeline::flush`] for a durability barrier.
+    pub fn submit(&self, rec: MutationRecord) -> A1Result<()> {
+        let part = self.partition_of(&rec.key);
+        self.shared
+            .metrics
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        if self.senders[part].send(rec).is_err() {
+            self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+            return Err(A1Error::Internal("ingest applier has shut down".into()));
+        }
+        Ok(())
+    }
+
+    /// Parse and enqueue a JSON wire record (the bus format).
+    pub fn submit_json(&self, text: &str) -> A1Result<()> {
+        self.submit(MutationRecord::parse(text)?)
+    }
+
+    /// Which partition a routing key maps to.
+    pub fn partition_of(&self, key: &str) -> usize {
+        match &self.shared.cfg.partitioner {
+            Partitioner::KeyHash => (fnv1a(key.as_bytes()) % self.partitions as u64) as usize,
+            Partitioner::KeyRange(splits) => splits.partition_point(|s| key >= s.as_str()),
+        }
+    }
+
+    /// Block until every submitted record has reached a terminal state
+    /// (committed, deduplicated, or dropped as poison) — the group-commit
+    /// durability barrier. Also the ordering fence between dependent stream
+    /// phases (e.g. vertices before the edges that reference them).
+    pub fn flush(&self) -> A1Result<()> {
+        while self.shared.pending.load(Ordering::SeqCst) > 0 {
+            if self.shared.live_appliers.load(Ordering::SeqCst) == 0 {
+                return Err(A1Error::Internal(
+                    "ingest appliers exited with records pending".into(),
+                ));
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        Ok(())
+    }
+
+    /// Current pipeline counters.
+    pub fn stats(&self) -> IngestStats {
+        self.shared
+            .metrics
+            .snapshot(self.shared.pending.load(Ordering::SeqCst))
+    }
+
+    /// The most recent poison-record error, if any record has been dropped.
+    pub fn last_error(&self) -> Option<String> {
+        self.shared.last_error.lock().clone()
+    }
+
+    /// Durable handle to this stream's watermarks; pass as
+    /// [`IngestConfig::resume_watermarks`] to make a later pipeline resume
+    /// (and deduplicate) the same stream.
+    pub fn watermarks(&self) -> Ptr {
+        self.shared.wm.header()
+    }
+
+    /// Drain the queues, stop the appliers, and return final stats.
+    pub fn shutdown(mut self) -> A1Result<IngestStats> {
+        self.senders.clear(); // disconnect: appliers drain then exit
+        while self.shared.live_appliers.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        Ok(self
+            .shared
+            .metrics
+            .snapshot(self.shared.pending.load(Ordering::SeqCst)))
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprint of the routing function, persisted next to the
+/// watermarks so a resume with a different partitioner is rejected.
+fn partitioner_fingerprint(p: &Partitioner) -> u64 {
+    match p {
+        Partitioner::KeyHash => fnv1a(b"hash"),
+        Partitioner::KeyRange(splits) => {
+            let mut repr = b"range".to_vec();
+            for s in splits {
+                repr.push(0);
+                repr.extend_from_slice(s.as_bytes());
+            }
+            fnv1a(&repr)
+        }
+    }
+}
+
+/// One partition's applier: drain the queue into batches, group-commit each.
+fn applier_loop(shared: Arc<Shared>, part: u32, machine: MachineId, rx: Receiver<MutationRecord>) {
+    // Block for work — an idle applier costs nothing. The loop ends on
+    // Disconnected: the queue is fully drained *and* the pipeline handle is
+    // gone.
+    while let Ok(first) = rx.recv() {
+        let mut batch = Vec::with_capacity(shared.cfg.batch_size);
+        batch.push(first);
+        // Group commit: gather up to batch_size records, waiting at most
+        // flush_interval past the first so a trickle still commits promptly.
+        let deadline = Instant::now() + shared.cfg.flush_interval;
+        while batch.len() < shared.cfg.batch_size {
+            match rx.try_recv() {
+                Ok(r) => {
+                    batch.push(r);
+                    continue;
+                }
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(r) => batch.push(r),
+                Err(_) => break,
+            }
+        }
+        shared.run_chunk(machine, part, &batch);
+    }
+    shared.live_appliers.fetch_sub(1, Ordering::SeqCst);
+}
+
+impl Shared {
+    /// Commit a chunk of records, retrying conflicts and bisecting on
+    /// persistent failure.
+    fn run_chunk(&self, machine: MachineId, part: u32, recs: &[MutationRecord]) {
+        let mut attempt = 0;
+        // Bisected chunks are cheap to replay, so they earn a bigger retry
+        // budget — a lone contended record should never be dropped just
+        // because its neighbours' conflicts burned the batch budget.
+        let max_retries = if recs.len() == 1 {
+            self.cfg.max_batch_retries * 4
+        } else {
+            self.cfg.max_batch_retries
+        };
+        loop {
+            match self.try_commit(machine, part, recs) {
+                Ok((applied, deduped)) => {
+                    self.metrics.applied.fetch_add(applied, Ordering::Relaxed);
+                    self.metrics.deduped.fetch_add(deduped, Ordering::Relaxed);
+                    if applied > 0 {
+                        self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.pending.fetch_sub(recs.len() as u64, Ordering::SeqCst);
+                    return;
+                }
+                Err(e) if e.is_retryable() && attempt < max_retries => {
+                    attempt += 1;
+                    self.metrics.batch_retries.fetch_add(1, Ordering::Relaxed);
+                    conflict_backoff(attempt, 10_000);
+                }
+                Err(e) => {
+                    if recs.len() > 1 {
+                        // Bisect: shrinks the conflict footprint and corners
+                        // poison records.
+                        self.metrics.batch_splits.fetch_add(1, Ordering::Relaxed);
+                        let mid = recs.len() / 2;
+                        self.run_chunk(machine, part, &recs[..mid]);
+                        self.run_chunk(machine, part, &recs[mid..]);
+                    } else {
+                        *self.last_error.lock() = Some(e.to_string());
+                        self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                        self.pending.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One group-commit attempt: dedup against the watermarks, apply the
+    /// fresh records, advance the watermarks, commit — all in one txn, so a
+    /// record's effects and its dedup marker are atomic.
+    fn try_commit(
+        &self,
+        machine: MachineId,
+        part: u32,
+        recs: &[MutationRecord],
+    ) -> A1Result<(u64, u64)> {
+        let mut tx = self.inner.farm.begin(machine);
+        match self.try_commit_in(&mut tx, machine, part, recs) {
+            Ok((applied, deduped)) => {
+                if applied > 0 {
+                    tx.commit().map_err(A1Error::from)?;
+                } else {
+                    tx.abort(); // everything was a redelivery: nothing to write
+                }
+                Ok((applied, deduped))
+            }
+            Err(e) => {
+                tx.abort();
+                Err(e)
+            }
+        }
+    }
+
+    fn try_commit_in(
+        &self,
+        tx: &mut Txn,
+        machine: MachineId,
+        part: u32,
+        recs: &[MutationRecord],
+    ) -> A1Result<(u64, u64)> {
+        let mut applier = BatchApplier::new(&self.inner, machine);
+        // Committed watermark per source (read once per batch) and the
+        // batch's own running max, for intra-batch duplicates.
+        let mut committed: HashMap<&str, Option<u64>> = HashMap::new();
+        let mut planned: HashMap<&str, u64> = HashMap::new();
+        let (mut applied, mut deduped) = (0u64, 0u64);
+        for r in recs {
+            if self.cfg.dedup {
+                let floor = match committed.get(r.source.as_str()) {
+                    Some(w) => *w,
+                    None => {
+                        let w = self.wm.get(tx, &r.source, part)?;
+                        committed.insert(r.source.as_str(), w);
+                        w
+                    }
+                };
+                let floor = planned.get(r.source.as_str()).copied().or(floor);
+                if floor.is_some_and(|f| r.seq <= f) {
+                    deduped += 1;
+                    continue;
+                }
+                planned.insert(r.source.as_str(), r.seq);
+            }
+            applier.apply(tx, &r.op)?;
+            applied += 1;
+        }
+        for (source, seq) in &planned {
+            self.wm.set(tx, source, part, *seq)?;
+        }
+        Ok((applied, deduped))
+    }
+}

@@ -1,0 +1,162 @@
+//! The stream record envelope: a [`Mutation`] plus at-least-once delivery
+//! metadata (`source`, `seq`) and the entity key that routes it to a
+//! partition.
+
+use a1_core::{A1Error, A1Result, Json, Mutation};
+
+/// One record off the (simulated) pub/sub bus.
+///
+/// `source` identifies the upstream producer/bus partition; `seq` is that
+/// source's strictly-increasing sequence number — together they let the
+/// pipeline deduplicate redeliveries. `key` is the partition-routing key:
+/// **all mutations of one entity must share it** (vertex primary key for
+/// vertex ops, source-vertex key for edge ops), so per-entity ordering
+/// survives partition parallelism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationRecord {
+    pub source: String,
+    pub seq: u64,
+    pub key: String,
+    pub op: Mutation,
+}
+
+impl MutationRecord {
+    /// Build a record, deriving the routing key from the mutation where it
+    /// is unambiguous (deletes and edges). Vertex upserts carry their key in
+    /// opaque attributes, so use [`MutationRecord::keyed`] for those.
+    pub fn new(source: &str, seq: u64, op: Mutation) -> A1Result<MutationRecord> {
+        let key = match &op {
+            Mutation::UpsertVertex { .. } => {
+                return Err(A1Error::Schema(
+                    "vertex upserts need an explicit routing key (MutationRecord::keyed)".into(),
+                ))
+            }
+            Mutation::DeleteVertex { id, .. } => json_key(id),
+            Mutation::UpsertEdge { src_id, .. } | Mutation::DeleteEdge { src_id, .. } => {
+                json_key(src_id)
+            }
+        };
+        Ok(MutationRecord {
+            source: source.to_string(),
+            seq,
+            key,
+            op,
+        })
+    }
+
+    /// Build a record with an explicit routing key.
+    pub fn keyed(source: &str, seq: u64, key: &str, op: Mutation) -> MutationRecord {
+        MutationRecord {
+            source: source.to_string(),
+            seq,
+            key: key.to_string(),
+            op,
+        }
+    }
+
+    /// Wire format: the mutation body (replog-entry shape) extended with the
+    /// envelope fields.
+    pub fn to_json(&self) -> Json {
+        let mut fields = match self.op.to_json() {
+            Json::Obj(fields) => fields,
+            other => vec![("body".to_string(), other)],
+        };
+        fields.push(("source".to_string(), Json::str(&self.source)));
+        fields.push(("seq".to_string(), Json::Num(self.seq as f64)));
+        fields.push(("pkey".to_string(), Json::str(&self.key)));
+        Json::Obj(fields)
+    }
+
+    pub fn from_json(j: &Json) -> A1Result<MutationRecord> {
+        let op = Mutation::from_json(j)?;
+        let source = j
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or_else(|| A1Error::Schema("record missing 'source'".into()))?
+            .to_string();
+        let seq =
+            j.get("seq")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| A1Error::Schema("record missing 'seq'".into()))? as u64;
+        // Routing key: explicit `pkey`, else the replog `key` field (vertex
+        // entries), else derived from the op.
+        let key = match j.get("pkey").and_then(Json::as_str) {
+            Some(k) => k.to_string(),
+            None => match j.get("key") {
+                Some(k) => json_key(k),
+                None => return MutationRecord::new(&source, seq, op),
+            },
+        };
+        Ok(MutationRecord {
+            source,
+            seq,
+            key,
+            op,
+        })
+    }
+
+    /// Parse a record from JSON text (the bus wire).
+    pub fn parse(text: &str) -> A1Result<MutationRecord> {
+        let j = Json::parse(text).map_err(|e| A1Error::Schema(e.to_string()))?;
+        MutationRecord::from_json(&j)
+    }
+}
+
+/// Canonical string form of a key JSON value (unquoted strings so `"v1"` and
+/// a producer passing `v1` directly route identically).
+fn json_key(j: &Json) -> String {
+    match j {
+        Json::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upsert(id: &str) -> Mutation {
+        Mutation::UpsertVertex {
+            tenant: "t".into(),
+            graph: "g".into(),
+            ty: "entity".into(),
+            attrs: Json::obj(vec![("id", Json::str(id))]),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_derived_keys() {
+        let r = MutationRecord::keyed("bus", 9, "v1", upsert("v1"));
+        let back = MutationRecord::parse(&r.to_json().to_string()).unwrap();
+        assert_eq!(back, r);
+
+        let del = Mutation::DeleteVertex {
+            tenant: "t".into(),
+            graph: "g".into(),
+            ty: "entity".into(),
+            id: Json::str("v2"),
+        };
+        let r = MutationRecord::new("bus", 10, del).unwrap();
+        assert_eq!(r.key, "v2");
+        let back = MutationRecord::parse(&r.to_json().to_string()).unwrap();
+        assert_eq!(back.key, "v2");
+
+        let edge = Mutation::UpsertEdge {
+            tenant: "t".into(),
+            graph: "g".into(),
+            src_type: "entity".into(),
+            src_id: Json::str("a"),
+            edge_type: "link".into(),
+            dst_type: "entity".into(),
+            dst_id: Json::str("b"),
+            data: None,
+        };
+        let r = MutationRecord::new("bus", 11, edge).unwrap();
+        assert_eq!(r.key, "a", "edges route by source vertex (co-location)");
+    }
+
+    #[test]
+    fn vertex_upsert_requires_explicit_key() {
+        assert!(MutationRecord::new("bus", 1, upsert("v1")).is_err());
+    }
+}

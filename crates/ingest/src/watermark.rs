@@ -1,0 +1,230 @@
+//! Per-source sequence watermarks — the dedup state for at-least-once
+//! streams.
+//!
+//! The bus feeding A1 redelivers: a consumer crash replays every record
+//! since the last acknowledged offset. The pipeline makes replay idempotent
+//! by remembering, per ⟨source, partition⟩, the highest sequence number
+//! whose effects have **committed** — persisted in FaRM B-trees (3-way
+//! replicated like all data) and advanced *inside the same transaction* as
+//! the batch it covers, so a record is applied exactly once no matter how
+//! often the stream delivers it.
+//!
+//! Layout: a small directory B-tree maps each partition to its own
+//! watermark subtree (keyed by source). Partitions never write each other's
+//! subtrees, so concurrent group commits cannot conflict on watermark
+//! state — with a single shared tree, every partition's per-batch watermark
+//! write would land in the same leaf and serialize the whole pipeline.
+//! Subtrees are created lazily with `Hint::Local`, keeping the hot
+//! per-batch watermark write on the applier's own machine.
+//!
+//! Watermarks are keyed per partition because one source's records fan out
+//! across partitions and commit independently; within a partition the
+//! applier is single-threaded, which is what makes "seq ≤ watermark ⇒
+//! already applied" sound (streams are FIFO per source, as pub/sub
+//! partition ordering guarantees).
+
+use a1_core::{A1Error, A1Result};
+use a1_farm::{BTree, BTreeConfig, FarmCluster, Hint, MachineId, Ptr, Txn};
+use std::sync::Arc;
+
+/// Longest accepted source name.
+pub const MAX_SOURCE_LEN: usize = 48;
+
+/// Reserved directory slot holding the partitioning configuration the
+/// watermarks were written under (partition ids are queue indexes, far below
+/// `u32::MAX`).
+const META_KEY: [u8; 4] = u32::MAX.to_be_bytes();
+
+/// Handle to the watermark state: directory tree ⟨partition_be⟩ → subtree
+/// pointer; subtree ⟨source⟩ → seq_be.
+#[derive(Clone)]
+pub struct WatermarkTable {
+    dir: BTree,
+}
+
+fn source_key(source: &str) -> A1Result<&[u8]> {
+    if source.len() > MAX_SOURCE_LEN {
+        return Err(A1Error::Schema(format!(
+            "ingest source name longer than {MAX_SOURCE_LEN} bytes"
+        )));
+    }
+    Ok(source.as_bytes())
+}
+
+impl WatermarkTable {
+    fn dir_config() -> BTreeConfig {
+        BTreeConfig {
+            max_keys: 32,
+            max_key_len: 4,
+            max_val_len: 16,
+        }
+    }
+
+    fn subtree_config() -> BTreeConfig {
+        BTreeConfig {
+            max_keys: 32,
+            max_key_len: MAX_SOURCE_LEN,
+            max_val_len: 8,
+        }
+    }
+
+    pub fn create(farm: &Arc<FarmCluster>) -> A1Result<WatermarkTable> {
+        let dir = farm.run(MachineId(0), |tx| {
+            BTree::create(tx, Self::dir_config(), Hint::Machine(MachineId(0)))
+        })?;
+        Ok(WatermarkTable { dir })
+    }
+
+    /// Re-attach to an existing table (resuming a stream after a pipeline
+    /// restart — the whole point of persisting watermarks).
+    pub fn open(farm: &Arc<FarmCluster>, header: Ptr) -> A1Result<WatermarkTable> {
+        let mut tx = farm.begin_read_only(MachineId(0));
+        Ok(WatermarkTable {
+            dir: BTree::open(&mut tx, header)?,
+        })
+    }
+
+    /// Durable handle for [`WatermarkTable::open`].
+    pub fn header(&self) -> Ptr {
+        self.dir.header
+    }
+
+    /// Bind the table to a partitioning configuration, or verify a resumed
+    /// table was written under the **same** one. Watermarks are only
+    /// meaningful relative to the record→partition mapping: resuming with a
+    /// different partition count or partitioner would route records to
+    /// partitions whose watermarks cover *other* records' sequences, and
+    /// silently drop never-applied records as "redeliveries".
+    pub fn bind_config(
+        &self,
+        farm: &Arc<FarmCluster>,
+        partitions: u32,
+        partitioner_fingerprint: u64,
+    ) -> A1Result<()> {
+        let dir = self.dir.clone();
+        a1_core::store::run_a1(farm, MachineId(0), move |tx| {
+            let mut want = Vec::with_capacity(12);
+            want.extend_from_slice(&partitions.to_be_bytes());
+            want.extend_from_slice(&partitioner_fingerprint.to_be_bytes());
+            match dir.get(tx, &META_KEY)? {
+                None => {
+                    dir.insert(tx, &META_KEY, &want)?;
+                    Ok(())
+                }
+                Some(v) if v == want => Ok(()),
+                Some(v) => {
+                    let stored = v
+                        .get(..4)
+                        .map(|b| u32::from_be_bytes(b.try_into().unwrap()));
+                    Err(A1Error::Schema(format!(
+                        "resumed watermarks were written under a different partitioning \
+                         (stored partitions={stored:?}, requested {partitions}); \
+                         dedup state is only valid for the original partition layout"
+                    )))
+                }
+            }
+        })
+    }
+
+    /// The partition's subtree; when `create` is set, missing subtrees are
+    /// created inside the caller's transaction (rolled back with it on
+    /// abort, so the directory never points at a phantom tree).
+    fn subtree(&self, tx: &mut Txn, partition: u32, create: bool) -> A1Result<Option<BTree>> {
+        let key = partition.to_be_bytes();
+        match self.dir.get(tx, &key)? {
+            Some(v) => {
+                let ptr = Ptr::decode(&v)
+                    .ok_or_else(|| A1Error::Internal("bad watermark directory value".into()))?;
+                Ok(Some(BTree::open(tx, ptr)?))
+            }
+            None if !create => Ok(None),
+            None => {
+                let tree = BTree::create(tx, Self::subtree_config(), Hint::Local)?;
+                let mut val = Vec::with_capacity(Ptr::ENCODED_LEN);
+                tree.header.encode_to(&mut val);
+                self.dir.insert(tx, &key, &val)?;
+                Ok(Some(tree))
+            }
+        }
+    }
+
+    /// Highest committed sequence for ⟨source, partition⟩, or `None` if the
+    /// source has never committed there.
+    pub fn get(&self, tx: &mut Txn, source: &str, partition: u32) -> A1Result<Option<u64>> {
+        let key = source_key(source)?;
+        let Some(tree) = self.subtree(tx, partition, false)? else {
+            return Ok(None);
+        };
+        match tree.get(tx, key)? {
+            Some(v) if v.len() == 8 => Ok(Some(u64::from_be_bytes(v[..8].try_into().unwrap()))),
+            Some(_) => Err(A1Error::Internal("malformed watermark value".into())),
+            None => Ok(None),
+        }
+    }
+
+    /// Advance the watermark within the caller's (batch) transaction.
+    pub fn set(&self, tx: &mut Txn, source: &str, partition: u32, seq: u64) -> A1Result<()> {
+        let key = source_key(source)?;
+        let tree = self
+            .subtree(tx, partition, true)?
+            .expect("create=true always yields a subtree");
+        tree.insert(tx, key, &seq.to_be_bytes())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a1_farm::FarmConfig;
+
+    #[test]
+    fn set_get_roundtrip_and_reopen() {
+        let farm = FarmCluster::start(FarmConfig::small(2));
+        let wm = WatermarkTable::create(&farm).unwrap();
+        farm.run(MachineId(0), |tx| {
+            wm.set(tx, "bus-a", 0, 41)
+                .map_err(|_| a1_farm::FarmError::Conflict)?;
+            wm.set(tx, "bus-a", 1, 7)
+                .map_err(|_| a1_farm::FarmError::Conflict)?;
+            wm.set(tx, "bus-b", 0, 1)
+                .map_err(|_| a1_farm::FarmError::Conflict)
+        })
+        .unwrap();
+        // Overwrite advances.
+        farm.run(MachineId(1), |tx| {
+            wm.set(tx, "bus-a", 0, 42)
+                .map_err(|_| a1_farm::FarmError::Conflict)
+        })
+        .unwrap();
+
+        let reopened = WatermarkTable::open(&farm, wm.header()).unwrap();
+        let mut tx = farm.begin_read_only(MachineId(1));
+        assert_eq!(reopened.get(&mut tx, "bus-a", 0).unwrap(), Some(42));
+        assert_eq!(reopened.get(&mut tx, "bus-a", 1).unwrap(), Some(7));
+        assert_eq!(reopened.get(&mut tx, "bus-b", 0).unwrap(), Some(1));
+        assert_eq!(reopened.get(&mut tx, "bus-b", 9).unwrap(), None);
+        assert_eq!(reopened.get(&mut tx, "never", 0).unwrap(), None);
+    }
+
+    #[test]
+    fn aborted_subtree_creation_rolls_back() {
+        let farm = FarmCluster::start(FarmConfig::small(1));
+        let wm = WatermarkTable::create(&farm).unwrap();
+        let mut tx = farm.begin(MachineId(0));
+        wm.set(&mut tx, "bus", 3, 10).unwrap();
+        tx.abort();
+        // Neither the subtree nor the watermark survived the abort.
+        let mut tx = farm.begin_read_only(MachineId(0));
+        assert_eq!(wm.get(&mut tx, "bus", 3).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_bad_source_names() {
+        let farm = FarmCluster::start(FarmConfig::small(1));
+        let wm = WatermarkTable::create(&farm).unwrap();
+        let mut tx = farm.begin_read_only(MachineId(0));
+        let long = "s".repeat(MAX_SOURCE_LEN + 1);
+        assert!(wm.get(&mut tx, &long, 0).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Pipeline-level integration: partition-parallel ingest on a real cluster,
+//! backpressure-bounded queues, and watermark dedup across pipeline
+//! restarts. (Workspace-level equivalence/throughput acceptance lives in
+//! the root `tests/ingest.rs`.)
+
+use a1_core::{A1Client, A1Cluster, A1Config, Json, MachineId, Mutation};
+use a1_ingest::{IngestConfig, IngestPipeline, MutationRecord, Partitioner};
+use std::time::Duration;
+
+const SCHEMA: &str = r#"{
+    "name": "entity",
+    "fields": [
+        {"id": 0, "name": "id", "type": "string", "required": true},
+        {"id": 1, "name": "rank", "type": "int64"}
+    ]
+}"#;
+
+fn cluster(machines: u32, dr: bool) -> (A1Cluster, A1Client) {
+    let mut cfg = A1Config::small(machines);
+    cfg.dr_enabled = dr;
+    let cluster = A1Cluster::start(cfg).unwrap();
+    let client = cluster.client();
+    client.create_tenant("t").unwrap();
+    client.create_graph("t", "g").unwrap();
+    client
+        .create_vertex_type("t", "g", SCHEMA, "id", &["rank"])
+        .unwrap();
+    client
+        .create_edge_type("t", "g", r#"{"name": "link", "fields": []}"#)
+        .unwrap();
+    (cluster, client)
+}
+
+fn vertex_rec(seq: u64, id: &str) -> MutationRecord {
+    MutationRecord::keyed(
+        "bus",
+        seq,
+        id,
+        Mutation::UpsertVertex {
+            tenant: "t".into(),
+            graph: "g".into(),
+            ty: "entity".into(),
+            attrs: Json::obj(vec![("id", Json::str(id)), ("rank", Json::Num(seq as f64))]),
+        },
+    )
+}
+
+fn edge_rec(seq: u64, src: &str, dst: &str) -> MutationRecord {
+    MutationRecord::new(
+        "bus",
+        seq,
+        Mutation::UpsertEdge {
+            tenant: "t".into(),
+            graph: "g".into(),
+            src_type: "entity".into(),
+            src_id: Json::str(src),
+            edge_type: "link".into(),
+            dst_type: "entity".into(),
+            dst_id: Json::str(dst),
+            data: None,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn parallel_ingest_applies_everything_then_dedups_replay() {
+    let (cluster, client) = cluster(3, false);
+    let n = 24u64;
+    let stream: Vec<MutationRecord> = (0..n)
+        .map(|i| vertex_rec(i + 1, &format!("v{i:03}")))
+        .chain(
+            (0..n - 1).map(|i| edge_rec(n + i + 1, &format!("v{i:03}"), &format!("v{:03}", i + 1))),
+        )
+        .collect();
+
+    let cfg = IngestConfig {
+        partitions: 3,
+        batch_size: 4,
+        queue_depth: 8, // small: exercises backpressure blocking
+        flush_interval: Duration::from_millis(1),
+        ..IngestConfig::default()
+    };
+    let pipe = IngestPipeline::start(&cluster, cfg.clone()).unwrap();
+    // Vertices first, then a flush barrier, then the edges that reference
+    // them (possibly across partitions).
+    for r in &stream[..n as usize] {
+        pipe.submit(r.clone()).unwrap();
+    }
+    pipe.flush().unwrap();
+    for r in &stream[n as usize..] {
+        pipe.submit(r.clone()).unwrap();
+    }
+    pipe.flush().unwrap();
+
+    let stats = pipe.stats();
+    assert_eq!(stats.submitted, 2 * n - 1);
+    assert_eq!(stats.applied, 2 * n - 1);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.watermark_lag, 0);
+    assert!(stats.batches >= 1);
+    assert!(
+        stats.avg_batch() > 1.0,
+        "group commit never batched (avg {})",
+        stats.avg_batch()
+    );
+
+    // The graph is really there: chain traversal from v000.
+    let out = client
+        .query(
+            "t",
+            "g",
+            r#"{ "id": "v000", "_out_edge": { "_type": "link",
+                 "_vertex": { "_out_edge": { "_type": "link",
+                 "_vertex": { "_select": ["_count(*)"] }}}}}"#,
+        )
+        .unwrap();
+    assert_eq!(out.count, Some(1));
+
+    // At-least-once redelivery: replay the whole stream through a NEW
+    // pipeline resuming the same watermarks — every record must dedup.
+    let wm = pipe.watermarks();
+    pipe.shutdown().unwrap();
+    let pipe2 = IngestPipeline::start(
+        &cluster,
+        IngestConfig {
+            resume_watermarks: Some(wm),
+            ..cfg
+        },
+    )
+    .unwrap();
+    for r in &stream {
+        pipe2.submit(r.clone()).unwrap();
+    }
+    pipe2.flush().unwrap();
+    let stats2 = pipe2.shutdown().unwrap();
+    assert_eq!(stats2.deduped, 2 * n - 1, "replay must be fully deduped");
+    assert_eq!(stats2.applied, 0);
+    // Vertex attributes unchanged (rank still the original seq).
+    let v = client
+        .get_vertex("t", "g", "entity", &Json::str("v003"))
+        .unwrap()
+        .unwrap();
+    assert_eq!(v.get("rank").and_then(Json::as_f64), Some(4.0));
+}
+
+#[test]
+fn poison_records_are_isolated_not_fatal() {
+    let (cluster, client) = cluster(2, false);
+    let pipe = IngestPipeline::start(
+        &cluster,
+        IngestConfig {
+            partitions: 2,
+            batch_size: 8,
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    // Mix good vertices with an edge whose endpoints will never exist: the
+    // batch bisects until the poison record fails alone.
+    for i in 0..8u64 {
+        pipe.submit(vertex_rec(i + 1, &format!("ok{i}"))).unwrap();
+    }
+    pipe.submit(edge_rec(100, "ghost-a", "ghost-b")).unwrap();
+    pipe.flush().unwrap();
+    let stats = pipe.shutdown().unwrap();
+    assert_eq!(stats.applied, 8);
+    assert_eq!(stats.failed, 1);
+    // The good records all landed.
+    for i in 0..8u64 {
+        assert!(client
+            .get_vertex("t", "g", "entity", &Json::str(&format!("ok{i}")))
+            .unwrap()
+            .is_some());
+    }
+}
+
+#[test]
+fn range_partitioner_routes_contiguously_and_validates() {
+    let (cluster, _client) = cluster(2, false);
+    let pipe = IngestPipeline::start(
+        &cluster,
+        IngestConfig {
+            partitions: 2,
+            partitioner: Partitioner::KeyRange(vec!["m".into()]),
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(pipe.partition_of("alpha"), 0);
+    assert_eq!(pipe.partition_of("m"), 1);
+    assert_eq!(pipe.partition_of("zed"), 1);
+    pipe.shutdown().unwrap();
+
+    // Wrong split-point arity is rejected up front.
+    assert!(IngestPipeline::start(
+        &cluster,
+        IngestConfig {
+            partitions: 3,
+            partitioner: Partitioner::KeyRange(vec!["m".into()]),
+            ..IngestConfig::default()
+        },
+    )
+    .is_err());
+}
+
+#[test]
+fn resume_with_different_partitioning_is_rejected() {
+    // Watermarks are only meaningful relative to the record→partition
+    // mapping: a resume under a different layout would treat never-applied
+    // records as redeliveries. Must fail loudly, not drop data.
+    let (cluster, _client) = cluster(4, false);
+    let cfg = IngestConfig {
+        partitions: 4,
+        ..IngestConfig::default()
+    };
+    let pipe = IngestPipeline::start(&cluster, cfg).unwrap();
+    pipe.submit(vertex_rec(1, "v0")).unwrap();
+    pipe.flush().unwrap();
+    let wm = pipe.watermarks();
+    pipe.shutdown().unwrap();
+
+    // Different partition count: rejected.
+    assert!(IngestPipeline::start(
+        &cluster,
+        IngestConfig {
+            partitions: 2,
+            resume_watermarks: Some(wm),
+            ..IngestConfig::default()
+        },
+    )
+    .is_err());
+    // Different partitioner at the same count: rejected.
+    assert!(IngestPipeline::start(
+        &cluster,
+        IngestConfig {
+            partitions: 4,
+            partitioner: Partitioner::KeyRange(vec!["b".into(), "m".into(), "t".into()]),
+            resume_watermarks: Some(wm),
+            ..IngestConfig::default()
+        },
+    )
+    .is_err());
+    // The original layout still resumes fine.
+    let pipe2 = IngestPipeline::start(
+        &cluster,
+        IngestConfig {
+            partitions: 4,
+            resume_watermarks: Some(wm),
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    pipe2.submit(vertex_rec(1, "v0")).unwrap();
+    pipe2.flush().unwrap();
+    let stats = pipe2.shutdown().unwrap();
+    assert_eq!(stats.deduped, 1);
+}
+
+#[test]
+fn ingested_writes_land_in_the_replication_log() {
+    // The §4 DR hook: with dr_enabled, every applied mutation appends a log
+    // entry; deduped replays append nothing.
+    let (cluster, _client) = cluster(2, true);
+    let cfg = IngestConfig {
+        partitions: 2,
+        batch_size: 4,
+        ..IngestConfig::default()
+    };
+    let pipe = IngestPipeline::start(&cluster, cfg.clone()).unwrap();
+    for i in 0..6u64 {
+        pipe.submit(vertex_rec(i + 1, &format!("d{i}"))).unwrap();
+    }
+    pipe.flush().unwrap();
+    let inner = cluster.inner();
+    let log = inner.replog.as_ref().expect("dr enabled");
+    let len_after_ingest = log.len(&inner.farm, MachineId(0)).unwrap();
+    assert_eq!(len_after_ingest, 6, "one log entry per applied mutation");
+
+    // Replay: dedup means no new log entries.
+    let wm = pipe.watermarks();
+    pipe.shutdown().unwrap();
+    let pipe2 = IngestPipeline::start(
+        &cluster,
+        IngestConfig {
+            resume_watermarks: Some(wm),
+            ..cfg
+        },
+    )
+    .unwrap();
+    for i in 0..6u64 {
+        pipe2.submit(vertex_rec(i + 1, &format!("d{i}"))).unwrap();
+    }
+    pipe2.flush().unwrap();
+    pipe2.shutdown().unwrap();
+    assert_eq!(
+        log.len(&inner.farm, MachineId(0)).unwrap(),
+        len_after_ingest
+    );
+}

@@ -1,0 +1,124 @@
+//! Streaming ingestion demo: feed an at-least-once mutation stream into a
+//! cluster through `a1-ingest` — group-commit batching, partition-parallel
+//! appliers, and watermark dedup — then redeliver the whole stream and show
+//! that nothing changes.
+//!
+//! ```sh
+//! cargo run --release --example streaming_ingest
+//! ```
+
+use a1_core::{A1Cluster, A1Config, Json};
+use a1_ingest::{IngestConfig, IngestPipeline};
+use std::time::Duration;
+
+const SCHEMA: &str = r#"{
+    "name": "entity",
+    "fields": [
+        {"id": 0, "name": "id", "type": "string", "required": true},
+        {"id": 1, "name": "rank", "type": "int64"}
+    ]
+}"#;
+
+fn main() {
+    // A 4-machine cluster with the DR replication log on: ingested writes
+    // land in the log like any other update transaction (§4).
+    let mut cfg = A1Config::small(4);
+    cfg.dr_enabled = true;
+    let cluster = A1Cluster::start(cfg).expect("cluster");
+    let client = cluster.client();
+    client.create_tenant("bing").unwrap();
+    client.create_graph("bing", "stream").unwrap();
+    client
+        .create_vertex_type("bing", "stream", SCHEMA, "id", &["rank"])
+        .unwrap();
+    client
+        .create_edge_type("bing", "stream", r#"{"name": "follows", "fields": []}"#)
+        .unwrap();
+
+    // The stream arrives as JSON wire records — the replication-log entry
+    // shape plus ⟨source, seq⟩ delivery metadata and a routing key.
+    let n = 64;
+    let vertex = |seq: usize, id: &str| {
+        format!(
+            r#"{{"op": "put_vertex", "tenant": "bing", "graph": "stream",
+                 "type": "entity", "data": {{"id": "{id}", "rank": 1}},
+                 "source": "bus0", "seq": {seq}, "pkey": "{id}"}}"#
+        )
+    };
+    let edge = |seq: usize, src: &str, dst: &str| {
+        format!(
+            r#"{{"op": "put_edge", "tenant": "bing", "graph": "stream",
+                 "src_type": "entity", "src": "{src}", "etype": "follows",
+                 "dst_type": "entity", "dst": "{dst}",
+                 "source": "bus0", "seq": {seq}}}"#
+        )
+    };
+
+    let pipeline = IngestPipeline::start(
+        &cluster,
+        IngestConfig {
+            partitions: 4, // one applier per machine
+            batch_size: 16,
+            flush_interval: Duration::from_millis(2),
+            ..IngestConfig::default()
+        },
+    )
+    .expect("pipeline");
+
+    // Phase 1: vertices. Phase 2 (after a flush barrier): the edges that
+    // reference them.
+    let mut seq = 0;
+    for i in 0..n {
+        seq += 1;
+        pipeline
+            .submit_json(&vertex(seq, &format!("user{i:03}")))
+            .unwrap();
+    }
+    pipeline.flush().unwrap();
+    for i in 0..n - 1 {
+        seq += 1;
+        pipeline
+            .submit_json(&edge(
+                seq,
+                &format!("user{i:03}"),
+                &format!("user{:03}", i + 1),
+            ))
+            .unwrap();
+    }
+    pipeline.flush().unwrap();
+    let stats = pipeline.stats();
+    println!("ingested: {stats:#?}");
+    println!(
+        "mean group-commit batch: {:.1} records/txn",
+        stats.avg_batch()
+    );
+
+    // The graph answers queries.
+    let count = client
+        .query(
+            "bing",
+            "stream",
+            r#"{ "_type": "entity", "rank": 1, "_select": ["_count(*)"] }"#,
+        )
+        .unwrap();
+    println!("vertices via secondary index: {:?}", count.count);
+
+    // At-least-once redelivery: the bus replays everything. Watermarks make
+    // it a no-op.
+    for i in 0..n {
+        pipeline
+            .submit_json(&vertex(i + 1, &format!("user{i:03}")))
+            .unwrap();
+    }
+    pipeline.flush().unwrap();
+    let replay = pipeline.stats();
+    println!(
+        "after replaying {} records: applied {} (unchanged), deduped {}",
+        n, replay.applied, replay.deduped
+    );
+    let v = client
+        .get_vertex("bing", "stream", "entity", &Json::str("user001"))
+        .unwrap();
+    println!("user001 still: {}", v.unwrap());
+    pipeline.shutdown().unwrap();
+}
