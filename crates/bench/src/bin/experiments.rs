@@ -9,19 +9,20 @@
 //!
 //! Figure targets: table2, fig10, fig11, fig12, fig13, fig14, q4, locality,
 //! baseline, ablation-mvcc, ablation-edges, fast-restart, fanout, ingest,
-//! all.
+//! wire, all.
 //!
 //! Flags:
 //!
 //! * `--json` — run the perf-trajectory suites (real wall-clock latency of
-//!   Q1/Q4 under the serial and parallel coordinator, plus ingest
-//!   throughput: single-op vs group-commit vs partition-parallel) and print
-//!   one JSON document to stdout. CI uploads this as an artifact;
-//!   `BENCH_<n>.json` snapshots are committed at the repo root.
+//!   Q1/Q4 under the serial and parallel coordinator, ingest throughput:
+//!   single-op vs group-commit vs partition-parallel, and the wire suite:
+//!   codec micro-bench + bytes-on-wire, binary vs JSON) and print one JSON
+//!   document (schema `a1-bench-v3`) to stdout. CI uploads this as an
+//!   artifact; `BENCH_<n>.json` snapshots are committed at the repo root.
 //! * `--quick` — smaller workload + fewer iterations (CI-speed).
 //! * `--fig14-scale N` — divisor applied to the paper's Figure 14 dataset.
 
-use a1_bench::{figures, ingest, perf};
+use a1_bench::{figures, ingest, perf, wire};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,13 +57,14 @@ fn main() {
     if json {
         let results = perf::run_suite(quick);
         let ingest_results = ingest::run_ingest_suite(quick);
-        // One document carrying both suites, so the perf-trajectory CI job
-        // tracks ingest throughput alongside Q1/Q4 latency.
+        let wire_results = wire::run_wire_suite(quick);
+        // One document carrying all suites, so the perf-trajectory CI job
+        // tracks wire bytes and ingest throughput alongside Q1/Q4 latency.
         let mut doc = match perf::suite_to_json(&results, quick) {
             a1_core::Json::Obj(mut fields) => {
                 for (k, v) in fields.iter_mut() {
                     if k == "schema" {
-                        *v = a1_core::Json::str("a1-bench-v2");
+                        *v = a1_core::Json::str("a1-bench-v3");
                     }
                 }
                 fields
@@ -73,6 +75,7 @@ fn main() {
             "ingest".to_string(),
             ingest::ingest_suite_to_json(&ingest_results),
         ));
+        doc.push(("wire".to_string(), wire::wire_suite_to_json(&wire_results)));
         println!("{}", a1_core::Json::Obj(doc).to_string_pretty());
         return;
     }
@@ -93,6 +96,7 @@ fn main() {
             "fast-restart" => Some(figures::fast_restart()),
             "fanout" => Some(perf::fanout_report(quick)),
             "ingest" => Some(ingest::ingest_report(quick)),
+            "wire" => Some(wire::wire_report(quick)),
             _ => None,
         }
     };
@@ -112,6 +116,7 @@ fn main() {
         "fast-restart",
         "fanout",
         "ingest",
+        "wire",
     ];
     if target == "all" {
         for name in all {

@@ -10,10 +10,12 @@ pub mod des;
 pub mod figures;
 pub mod ingest;
 pub mod perf;
+pub mod wire;
 pub mod workload;
 
 pub use costmodel::{CostModel, HopDemand, QueryProfile};
 pub use des::{DesConfig, DesResult};
 pub use ingest::{ingest_suite_to_json, run_ingest_suite, IngestBenchResult};
 pub use perf::{run_suite, suite_to_json, WorkloadResult};
+pub use wire::{run_wire_suite, wire_suite_to_json, WireQueryResult, WireSuite};
 pub use workload::{KnowledgeGraph, KnowledgeGraphSpec, UniformGraphSpec};

@@ -19,7 +19,7 @@ use std::time::Instant;
 /// local reads stay near-free. Think of it as a loaded/oversubscribed
 /// network: the local/remote asymmetry that drives the paper's design is
 /// preserved, just magnified.
-fn measured_latency() -> LatencyModel {
+pub(crate) fn measured_latency() -> LatencyModel {
     LatencyModel {
         local_read_ns: 100,
         rack_rtt_ns: 1_000_000,
@@ -56,7 +56,7 @@ pub struct WorkloadResult {
     pub result: u64,
 }
 
-fn spec(quick: bool) -> KnowledgeGraphSpec {
+pub(crate) fn spec(quick: bool) -> KnowledgeGraphSpec {
     if quick {
         // Small enough to load in well under a second with latency
         // injection, big enough that every hop spreads across all machines

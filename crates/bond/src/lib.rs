@@ -9,14 +9,19 @@
 //! * [`Value`] / [`Record`] — dynamically-typed values validated against a schema.
 //! * [`wire`] — a compact self-describing binary encoding (varint/zigzag based)
 //!   so that readers can skip unknown fields (schema evolution).
+//! * [`frame`] — the versioned binary message frame (magic + version + tag)
+//!   wrapping every inter-machine payload; the magic byte doubles as the
+//!   binary-vs-JSON format discriminator.
 //! * [`keyenc`] — an order-preserving byte encoding for index keys, used by
 //!   A1's primary and secondary B-tree indexes.
 
+pub mod frame;
 pub mod keyenc;
 pub mod schema;
 pub mod value;
 pub mod wire;
 
+pub use frame::{MsgTag, WireFormat};
 pub use schema::{FieldDef, Schema, SchemaError};
 pub use value::{BondType, Record, Value};
 pub use wire::{decode_record, encode_record, WireError};

@@ -30,6 +30,15 @@ pub enum WireError {
     /// Field ids must be strictly increasing within a record.
     UnsortedFields,
     TrailingBytes,
+    /// Nesting deeper than [`MAX_DEPTH`] (hostile payloads must error, not
+    /// overflow the decoder's stack).
+    TooDeep,
+    /// A framed message did not start with [`crate::frame::MAGIC`].
+    BadMagic(u8),
+    /// A framed message carried a protocol version this build cannot read.
+    UnsupportedVersion(u8),
+    /// A framed message carried an unknown message tag.
+    UnknownTag(u8),
 }
 
 impl std::fmt::Display for WireError {
@@ -41,11 +50,19 @@ impl std::fmt::Display for WireError {
             WireError::VarintOverflow => write!(f, "varint overflow"),
             WireError::UnsortedFields => write!(f, "field ids not strictly increasing"),
             WireError::TrailingBytes => write!(f, "trailing bytes after record"),
+            WireError::TooDeep => write!(f, "nesting deeper than {MAX_DEPTH}"),
+            WireError::BadMagic(b) => write!(f, "bad frame magic {b:#x}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#x}"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Decoder recursion bound for nested lists/maps — matches the JSON text
+/// parser's depth cap so neither wire can be driven into a stack overflow.
+pub const MAX_DEPTH: u32 = 128;
 
 pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -112,7 +129,7 @@ pub fn decode_record(buf: &[u8]) -> Result<Record, WireError> {
             }
         }
         last_id = Some(id);
-        let v = read_value(buf, &mut pos)?;
+        let v = read_value(buf, &mut pos, 0)?;
         rec.set(id, v);
     }
     if pos != buf.len() {
@@ -173,7 +190,10 @@ fn write_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
-fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value, WireError> {
+fn read_value(buf: &[u8], pos: &mut usize, depth: u32) -> Result<Value, WireError> {
+    if depth > MAX_DEPTH {
+        return Err(WireError::TooDeep);
+    }
     let tag = *buf.get(*pos).ok_or(WireError::Truncated)?;
     *pos += 1;
     Ok(match tag {
@@ -215,7 +235,7 @@ fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value, WireError> {
             }
             let mut items = Vec::with_capacity(n);
             for _ in 0..n {
-                items.push(read_value(buf, pos)?);
+                items.push(read_value(buf, pos, depth + 1)?);
             }
             Value::List(items)
         }
@@ -226,8 +246,8 @@ fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value, WireError> {
             }
             let mut pairs = Vec::with_capacity(n);
             for _ in 0..n {
-                let k = read_value(buf, pos)?;
-                let v = read_value(buf, pos)?;
+                let k = read_value(buf, pos, depth + 1)?;
+                let v = read_value(buf, pos, depth + 1)?;
                 pairs.push((k, v));
             }
             Value::Map(pairs)
@@ -332,6 +352,22 @@ mod tests {
         buf.push(TAG_LIST);
         write_varint(&mut buf, u32::MAX as u64);
         assert_eq!(decode_record(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn deep_nesting_rejected_not_overflowed() {
+        // One field whose value is 200 nested single-element lists: deeper
+        // than MAX_DEPTH, so the decoder must error instead of recursing
+        // until the stack dies.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1);
+        write_varint(&mut buf, 0);
+        for _ in 0..200 {
+            buf.push(TAG_LIST);
+            write_varint(&mut buf, 1);
+        }
+        buf.push(TAG_BOOL_TRUE);
+        assert_eq!(decode_record(&buf), Err(WireError::TooDeep));
     }
 
     #[test]

@@ -196,6 +196,18 @@ impl Mutation {
         Mutation::from_json(&j)
     }
 
+    /// Serialize in the given [`crate::wire::WireFormat`] — the same body
+    /// encoding replication-log entries use, so DR logs, ingest streams and
+    /// batch RPCs share one vocabulary.
+    pub fn to_wire(&self, fmt: crate::wire::WireFormat) -> Vec<u8> {
+        crate::wire::encode_mutation_body(&self.to_json(), fmt)
+    }
+
+    /// Parse a mutation from either wire format (auto-detected).
+    pub fn from_wire(bytes: &[u8]) -> A1Result<Mutation> {
+        Mutation::from_json(&crate::wire::decode_mutation_body(bytes)?)
+    }
+
     pub fn tenant(&self) -> &str {
         match self {
             Mutation::UpsertVertex { tenant, .. }

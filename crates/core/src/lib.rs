@@ -30,12 +30,14 @@ pub mod server;
 pub mod store;
 pub mod tasks;
 pub mod vertex;
+pub mod wire;
 
 pub use batch::{Applied, BatchApplier, Mutation};
 pub use error::{A1Error, A1Result};
 pub use model::{EdgeTypeDef, GraphMeta, LifecycleState, TypeId, VertexTypeDef};
 pub use query::{QueryMetrics, QueryOutcome};
 pub use server::{A1Client, A1Cluster, A1Config};
+pub use wire::WireFormat;
 
 pub use a1_bond::{BondType, FieldDef, Record, Schema, Value};
 pub use a1_farm::{FarmCluster, FarmConfig, MachineId};

@@ -13,7 +13,7 @@ use crate::convert::json_to_value;
 use crate::edges::{self, Dir};
 use crate::error::{A1Error, A1Result};
 use crate::model::TypeId;
-use crate::query::plan::{AttrPredicate, CmpOp, FieldSel, PlanDir, Query, Select, VertexStep};
+use crate::query::plan::{AttrPredicate, CmpOp, PlanDir, Query, Select, VertexStep};
 use crate::store::GraphStore;
 use a1_bond::{Schema, Value};
 use a1_farm::{Addr, FarmCluster, MachineId, ScopedJob, Txn};
@@ -66,6 +66,11 @@ pub struct QueryMetrics {
     /// FaRM objects read across the (simulated) wire.
     pub remote_reads: u64,
     pub rpcs: u64,
+    /// Bytes of RPC request payload this query put on the wire (work-op
+    /// ships; excludes the client↔coordinator hop).
+    pub rpc_req_bytes: u64,
+    /// Bytes of RPC reply payload shipped back to the coordinator.
+    pub rpc_reply_bytes: u64,
 }
 
 impl QueryMetrics {
@@ -88,6 +93,8 @@ impl QueryMetrics {
         self.local_reads += other.local_reads;
         self.remote_reads += other.remote_reads;
         self.rpcs += other.rpcs;
+        self.rpc_req_bytes += other.rpc_req_bytes;
+        self.rpc_reply_bytes += other.rpc_reply_bytes;
     }
 }
 
@@ -113,6 +120,10 @@ pub struct HopStats {
     /// Peak number of shipped work ops simultaneously in flight — 1 under
     /// the serial coordinator, up to `machines` under parallel fan-out.
     pub max_concurrent_ships: u64,
+    /// RPC request bytes this hop's ships put on the wire.
+    pub rpc_req_bytes: u64,
+    /// RPC reply bytes shipped back to the coordinator this hop.
+    pub rpc_reply_bytes: u64,
 }
 
 /// A query's outcome: rows (or a count) plus metrics and an optional
@@ -130,7 +141,7 @@ pub struct QueryOutcome {
 // ------------------------------------------------------------------ compile
 
 /// A compiled (name-resolved) step.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledStep {
     pub type_filter: Option<TypeId>,
     pub id_filter: Option<Addr>,
@@ -139,7 +150,7 @@ pub struct CompiledStep {
     pub traverse: Option<CompiledTraverse>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledMatch {
     pub dir: Dir,
     pub edge_type: TypeId,
@@ -148,7 +159,7 @@ pub struct CompiledMatch {
     pub preds: Vec<AttrPredicate>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledTraverse {
     pub dir: Dir,
     pub edge_type: TypeId,
@@ -418,7 +429,7 @@ fn coerce_like(like: &Value, j: &Json) -> Option<Value> {
 // ------------------------------------------------------------------- worker
 
 /// The operator bundle shipped to a worker for one (machine, hop) batch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkOp {
     pub tenant: String,
     pub graph: String,
@@ -431,7 +442,7 @@ pub struct WorkOp {
 }
 
 /// What a worker sends back.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkResult {
     pub next: Vec<Addr>,
     pub rows: Vec<(Addr, Json)>,
@@ -829,6 +840,8 @@ pub fn coordinate(
                 hop.edges_visited += result.metrics.edges_visited;
                 hop.local_reads += result.metrics.local_reads;
                 hop.remote_reads += result.metrics.remote_reads;
+                hop.rpc_req_bytes += result.metrics.rpc_req_bytes;
+                hop.rpc_reply_bytes += result.metrics.rpc_reply_bytes;
                 hop.returned += (result.next.len() + result.rows.len()) as u64;
                 next.extend(result.next);
                 rows.extend(result.rows);
@@ -875,401 +888,9 @@ fn dedup_addrs(mut addrs: Vec<Addr>) -> Vec<Addr> {
     addrs
 }
 
-// --------------------------------------------------------------------- wire
-
-/// Serialize a [`WorkOp`] for the RPC fabric (JSON — the simulation's stand-
-/// in for Bond-serialized operator messages).
-pub fn work_op_to_json(op: &WorkOp) -> Json {
-    Json::obj(vec![
-        ("t", Json::str("work")),
-        ("tenant", Json::str(&op.tenant)),
-        ("graph", Json::str(&op.graph)),
-        ("ts", Json::Num(op.snapshot_ts as f64)),
-        (
-            "vertices",
-            Json::Arr(
-                op.vertices
-                    .iter()
-                    .map(|a| Json::Num(a.raw() as f64))
-                    .collect(),
-            ),
-        ),
-        ("step", step_to_json(&op.step)),
-        ("emit_rows", Json::Bool(op.emit_rows)),
-        ("select", select_to_json(&op.select)),
-    ])
-}
-
-pub fn work_op_from_json(j: &Json) -> A1Result<WorkOp> {
-    let err = |m: &str| A1Error::Internal(format!("bad work op: {m}"));
-    Ok(WorkOp {
-        tenant: j
-            .get("tenant")
-            .and_then(Json::as_str)
-            .ok_or_else(|| err("tenant"))?
-            .into(),
-        graph: j
-            .get("graph")
-            .and_then(Json::as_str)
-            .ok_or_else(|| err("graph"))?
-            .into(),
-        snapshot_ts: j
-            .get("ts")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| err("ts"))? as u64,
-        vertices: j
-            .get("vertices")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| err("vertices"))?
-            .iter()
-            .filter_map(|v| v.as_f64().map(|n| Addr::from_raw(n as u64)))
-            .collect(),
-        step: step_from_json(j.get("step").ok_or_else(|| err("step"))?)?,
-        emit_rows: j.get("emit_rows").and_then(Json::as_bool).unwrap_or(false),
-        select: select_from_json(j.get("select").unwrap_or(&Json::Null)),
-    })
-}
-
-fn dir_to_json(d: Dir) -> Json {
-    Json::str(if d == Dir::Out { "out" } else { "in" })
-}
-
-fn dir_from_json(j: Option<&Json>) -> Dir {
-    match j.and_then(Json::as_str) {
-        Some("in") => Dir::In,
-        _ => Dir::Out,
-    }
-}
-
-fn preds_to_json(preds: &[AttrPredicate]) -> Json {
-    Json::Arr(
-        preds
-            .iter()
-            .map(|p| {
-                Json::obj(vec![
-                    ("a", Json::str(&p.attr)),
-                    (
-                        "k",
-                        p.map_key
-                            .as_ref()
-                            .map(|k| Json::str(k))
-                            .unwrap_or(Json::Null),
-                    ),
-                    ("o", Json::str(p.op.as_str())),
-                    ("v", p.value.clone()),
-                ])
-            })
-            .collect(),
-    )
-}
-
-fn preds_from_json(j: Option<&Json>) -> Vec<AttrPredicate> {
-    j.and_then(Json::as_arr)
-        .map(|arr| {
-            arr.iter()
-                .filter_map(|p| {
-                    Some(AttrPredicate {
-                        attr: p.get("a")?.as_str()?.to_string(),
-                        map_key: p.get("k").and_then(Json::as_str).map(String::from),
-                        op: CmpOp::parse(p.get("o")?.as_str()?)?,
-                        value: p.get("v")?.clone(),
-                    })
-                })
-                .collect()
-        })
-        .unwrap_or_default()
-}
-
-fn step_to_json(s: &CompiledStep) -> Json {
-    Json::obj(vec![
-        (
-            "tf",
-            s.type_filter
-                .map(|t| Json::Num(t.0 as f64))
-                .unwrap_or(Json::Null),
-        ),
-        (
-            "idf",
-            s.id_filter
-                .map(|a| Json::Num(a.raw() as f64))
-                .unwrap_or(Json::Null),
-        ),
-        ("preds", preds_to_json(&s.preds)),
-        (
-            "matches",
-            Json::Arr(
-                s.matches
-                    .iter()
-                    .map(|m| {
-                        Json::obj(vec![
-                            ("d", dir_to_json(m.dir)),
-                            ("et", Json::Num(m.edge_type.0 as f64)),
-                            (
-                                "tgt",
-                                m.target
-                                    .map(|a| Json::Num(a.raw() as f64))
-                                    .unwrap_or(Json::Null),
-                            ),
-                            (
-                                "tt",
-                                m.target_type
-                                    .map(|t| Json::Num(t.0 as f64))
-                                    .unwrap_or(Json::Null),
-                            ),
-                            ("p", preds_to_json(&m.preds)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-        (
-            "traverse",
-            match &s.traverse {
-                Some(t) => Json::obj(vec![
-                    ("d", dir_to_json(t.dir)),
-                    ("et", Json::Num(t.edge_type.0 as f64)),
-                    ("p", preds_to_json(&t.edge_preds)),
-                ]),
-                None => Json::Null,
-            },
-        ),
-    ])
-}
-
-fn step_from_json(j: &Json) -> A1Result<CompiledStep> {
-    Ok(CompiledStep {
-        type_filter: j.get("tf").and_then(Json::as_f64).map(|n| TypeId(n as u32)),
-        id_filter: j
-            .get("idf")
-            .and_then(Json::as_f64)
-            .map(|n| Addr::from_raw(n as u64)),
-        preds: preds_from_json(j.get("preds")),
-        matches: j
-            .get("matches")
-            .and_then(Json::as_arr)
-            .map(|arr| {
-                arr.iter()
-                    .map(|m| CompiledMatch {
-                        dir: dir_from_json(m.get("d")),
-                        edge_type: TypeId(m.get("et").and_then(Json::as_f64).unwrap_or(0.0) as u32),
-                        target: m
-                            .get("tgt")
-                            .and_then(Json::as_f64)
-                            .map(|n| Addr::from_raw(n as u64)),
-                        target_type: m.get("tt").and_then(Json::as_f64).map(|n| TypeId(n as u32)),
-                        preds: preds_from_json(m.get("p")),
-                    })
-                    .collect()
-            })
-            .unwrap_or_default(),
-        traverse: match j.get("traverse") {
-            Some(t) if !t.is_null() => Some(CompiledTraverse {
-                dir: dir_from_json(t.get("d")),
-                edge_type: TypeId(t.get("et").and_then(Json::as_f64).unwrap_or(0.0) as u32),
-                edge_preds: preds_from_json(t.get("p")),
-            }),
-            _ => None,
-        },
-    })
-}
-
-fn select_to_json(s: &Select) -> Json {
-    match s {
-        Select::All => Json::str("all"),
-        Select::Count => Json::str("count"),
-        Select::Fields(fields) => Json::Arr(
-            fields
-                .iter()
-                .map(|f| match f.index {
-                    Some(i) => Json::Str(format!("{}[{}]", f.attr, i)),
-                    None => Json::str(&f.attr),
-                })
-                .collect(),
-        ),
-    }
-}
-
-fn select_from_json(j: &Json) -> Select {
-    match j {
-        Json::Str(s) if s == "count" => Select::Count,
-        Json::Arr(items) => Select::Fields(
-            items
-                .iter()
-                .filter_map(|v| v.as_str())
-                .map(|s| match s.find('[') {
-                    Some(open) if s.ends_with(']') => FieldSel {
-                        attr: s[..open].to_string(),
-                        index: s[open + 1..s.len() - 1].parse().ok(),
-                    },
-                    _ => FieldSel {
-                        attr: s.to_string(),
-                        index: None,
-                    },
-                })
-                .collect(),
-        ),
-        _ => Select::All,
-    }
-}
-
-pub fn work_result_to_json(r: &A1Result<WorkResult>) -> Json {
-    match r {
-        Ok(r) => Json::obj(vec![
-            ("t", Json::str("ok")),
-            (
-                "next",
-                Json::Arr(r.next.iter().map(|a| Json::Num(a.raw() as f64)).collect()),
-            ),
-            (
-                "rows",
-                Json::Arr(
-                    r.rows
-                        .iter()
-                        .map(|(a, row)| Json::Arr(vec![Json::Num(a.raw() as f64), row.clone()]))
-                        .collect(),
-                ),
-            ),
-            ("vr", Json::Num(r.metrics.vertices_read as f64)),
-            ("ev", Json::Num(r.metrics.edges_visited as f64)),
-            ("lr", Json::Num(r.metrics.local_reads as f64)),
-            ("rr", Json::Num(r.metrics.remote_reads as f64)),
-        ]),
-        Err(e) => Json::obj(vec![
-            ("t", Json::str("err")),
-            ("msg", Json::Str(e.to_string())),
-        ]),
-    }
-}
-
-pub fn work_result_from_json(j: &Json) -> A1Result<WorkResult> {
-    if j.get("t").and_then(Json::as_str) != Some("ok") {
-        let msg = j
-            .get("msg")
-            .and_then(Json::as_str)
-            .unwrap_or("unknown worker error");
-        return Err(A1Error::Internal(format!("worker failed: {msg}")));
-    }
-    Ok(WorkResult {
-        next: j
-            .get("next")
-            .and_then(Json::as_arr)
-            .map(|a| {
-                a.iter()
-                    .filter_map(|v| v.as_f64().map(|n| Addr::from_raw(n as u64)))
-                    .collect()
-            })
-            .unwrap_or_default(),
-        rows: j
-            .get("rows")
-            .and_then(Json::as_arr)
-            .map(|a| {
-                a.iter()
-                    .filter_map(|pair| {
-                        let addr = Addr::from_raw(pair.at(0)?.as_f64()? as u64);
-                        Some((addr, pair.at(1)?.clone()))
-                    })
-                    .collect()
-            })
-            .unwrap_or_default(),
-        metrics: QueryMetrics {
-            vertices_read: j.get("vr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
-            edges_visited: j.get("ev").and_then(Json::as_f64).unwrap_or(0.0) as u64,
-            local_reads: j.get("lr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
-            remote_reads: j.get("rr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
-            ..QueryMetrics::default()
-        },
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use a1_farm::RegionId;
-
-    #[test]
-    fn work_op_wire_roundtrip() {
-        let op = WorkOp {
-            tenant: "t".into(),
-            graph: "g".into(),
-            snapshot_ts: 42,
-            vertices: vec![Addr::new(RegionId(1), 64), Addr::new(RegionId(2), 128)],
-            step: CompiledStep {
-                type_filter: Some(TypeId(3)),
-                id_filter: Some(Addr::new(RegionId(1), 192)),
-                preds: vec![AttrPredicate {
-                    attr: "str_str_map".into(),
-                    map_key: Some("character".into()),
-                    op: CmpOp::Eq,
-                    value: Json::str("Batman"),
-                }],
-                matches: vec![CompiledMatch {
-                    dir: Dir::Out,
-                    edge_type: TypeId(7),
-                    target: Some(Addr::new(RegionId(3), 256)),
-                    target_type: None,
-                    preds: vec![],
-                }],
-                traverse: Some(CompiledTraverse {
-                    dir: Dir::In,
-                    edge_type: TypeId(9),
-                    edge_preds: vec![AttrPredicate {
-                        attr: "w".into(),
-                        map_key: None,
-                        op: CmpOp::Ge,
-                        value: Json::Num(2.0),
-                    }],
-                }),
-            },
-            emit_rows: true,
-            select: Select::Fields(vec![FieldSel {
-                attr: "name".into(),
-                index: Some(0),
-            }]),
-        };
-        let wire = work_op_to_json(&op);
-        let text = wire.to_string();
-        let back = work_op_from_json(&Json::parse(&text).unwrap()).unwrap();
-        assert_eq!(back.tenant, "t");
-        assert_eq!(back.snapshot_ts, 42);
-        assert_eq!(back.vertices, op.vertices);
-        assert_eq!(back.step.type_filter, Some(TypeId(3)));
-        assert_eq!(back.step.id_filter, op.step.id_filter);
-        assert_eq!(back.step.preds, op.step.preds);
-        assert_eq!(back.step.matches.len(), 1);
-        assert_eq!(back.step.matches[0].target, op.step.matches[0].target);
-        let t = back.step.traverse.unwrap();
-        assert_eq!(t.dir, Dir::In);
-        assert_eq!(t.edge_type, TypeId(9));
-        assert_eq!(t.edge_preds.len(), 1);
-        assert!(back.emit_rows);
-        assert_eq!(back.select, op.select);
-    }
-
-    #[test]
-    fn work_result_wire_roundtrip() {
-        let r = WorkResult {
-            next: vec![Addr::new(RegionId(4), 64)],
-            rows: vec![(
-                Addr::new(RegionId(4), 64),
-                Json::obj(vec![("a", Json::Num(1.0))]),
-            )],
-            metrics: QueryMetrics {
-                vertices_read: 3,
-                edges_visited: 5,
-                local_reads: 7,
-                remote_reads: 1,
-                ..QueryMetrics::default()
-            },
-        };
-        let wire = work_result_to_json(&Ok(r.clone()));
-        let back = work_result_from_json(&Json::parse(&wire.to_string()).unwrap()).unwrap();
-        assert_eq!(back.next, r.next);
-        assert_eq!(back.rows, r.rows);
-        assert_eq!(back.metrics.local_reads, 7);
-
-        let err_wire = work_result_to_json(&Err(A1Error::Query("boom".into())));
-        assert!(work_result_from_json(&err_wire).is_err());
-    }
 
     #[test]
     fn metrics_fraction() {

@@ -13,6 +13,7 @@
 //! commit timestamp** — the sweeper reads it back after commit.
 
 use crate::error::{A1Error, A1Result};
+use crate::wire::{self, WireFormat};
 use a1_farm::{BTree, BTreeConfig, FarmCluster, Hint, MachineId, Ptr, Txn};
 use a1_json::Json;
 use std::sync::Arc;
@@ -20,9 +21,15 @@ use std::sync::Arc;
 /// Handle to the replication log: a B-tree of ⟨(approx ts, uniq) → entry
 /// object pointer⟩, ordered roughly by transaction start; exact ordering is
 /// re-established from entry versions.
+///
+/// Entry bodies are written in the handle's [`WireFormat`] (binary frames by
+/// default) but always *read* by auto-detection, so one log may mix
+/// JSON-era entries (written by pre-binary builds) with binary-era ones and
+/// still replay in order through the §4 DR pipeline.
 #[derive(Clone)]
 pub struct Replog {
     tree: BTree,
+    format: WireFormat,
 }
 
 /// A log entry fetched back from FaRM.
@@ -46,16 +53,29 @@ impl Replog {
     }
 
     pub fn create(farm: &Arc<FarmCluster>) -> A1Result<Replog> {
+        Self::create_with(farm, WireFormat::Binary)
+    }
+
+    /// Create a log whose entries will be written in `format`.
+    pub fn create_with(farm: &Arc<FarmCluster>, format: WireFormat) -> A1Result<Replog> {
         let tree = farm.run(MachineId(0), |tx| {
             BTree::create(tx, Self::tree_config(), Hint::Machine(MachineId(0)))
         })?;
-        Ok(Replog { tree })
+        Ok(Replog { tree, format })
     }
 
     pub fn open(farm: &Arc<FarmCluster>, header: Ptr) -> A1Result<Replog> {
+        Self::open_with(farm, header, WireFormat::Binary)
+    }
+
+    /// Open an existing log, writing any *new* entries in `format`.
+    /// Existing entries keep whatever format they were written in; readers
+    /// auto-detect per entry.
+    pub fn open_with(farm: &Arc<FarmCluster>, header: Ptr, format: WireFormat) -> A1Result<Replog> {
         let mut tx = farm.begin_read_only(MachineId(0));
         Ok(Replog {
             tree: BTree::open(&mut tx, header)?,
+            format,
         })
     }
 
@@ -65,7 +85,7 @@ impl Replog {
 
     /// Append an entry within the caller's (update) transaction.
     pub fn append(&self, tx: &mut Txn, body: &Json) -> A1Result<()> {
-        let bytes = body.to_string().into_bytes();
+        let bytes = wire::encode_mutation_body(body, self.format);
         let obj = tx.alloc(bytes.len().max(1), Hint::Local, &bytes)?;
         let mut key = Vec::with_capacity(16);
         key.extend_from_slice(&tx.read_ts().to_be_bytes());
@@ -91,9 +111,8 @@ impl Replog {
             let ptr =
                 Ptr::decode(&val).ok_or_else(|| A1Error::Internal("bad replog value".into()))?;
             let buf = tx.read(ptr)?;
-            let text = std::str::from_utf8(buf.data())
-                .map_err(|_| A1Error::Internal("replog entry not utf-8".into()))?;
-            let body = Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))?;
+            // Auto-detect binary frame vs. JSON-era text (see struct docs).
+            let body = wire::decode_mutation_body(buf.data())?;
             out.push(FetchedEntry {
                 key,
                 ptr,

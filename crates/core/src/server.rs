@@ -14,15 +14,13 @@ use crate::convert::{json_to_value, record_from_json, record_to_json};
 use crate::edges::Dir;
 use crate::error::{A1Error, A1Result};
 use crate::model::{EdgeTypeDef, GraphMeta, LifecycleState, TypeId, VertexTypeDef};
-use crate::query::exec::{
-    self, work_op_from_json, work_op_to_json, work_result_from_json, work_result_to_json,
-    ExecConfig, QueryMetrics, QueryOutcome, WorkOp, WorkResult,
-};
+use crate::query::exec::{self, ExecConfig, QueryMetrics, QueryOutcome, WorkOp, WorkResult};
 use crate::query::plan::parse_query;
 use crate::replog::{entry as log_entry, Replog};
 use crate::store::{conflict_backoff, run_a1, GraphStore};
 use crate::tasks::{TaskQueue, TaskSpec};
 use crate::vertex::vertex_ptr;
+use crate::wire::{self, Request, WireFormat};
 use a1_farm::{Addr, BTree, BTreeConfig, FarmCluster, FarmConfig, Hint, MachineId, Txn};
 use a1_json::Json;
 use bytes::Bytes;
@@ -45,6 +43,11 @@ pub struct A1Config {
     pub continuation_ttl: Duration,
     /// Write a replication log for disaster recovery (§4).
     pub dr_enabled: bool,
+    /// Encoding for every inter-machine message (work-op ships, query/page
+    /// RPCs, replication-log entry bodies). Binary is the default; set
+    /// [`WireFormat::Json`] to force the legacy text wire for debugging.
+    /// Decoders always auto-detect, so mixed-format clusters and logs work.
+    pub wire_format: WireFormat,
 }
 
 impl Default for A1Config {
@@ -56,6 +59,7 @@ impl Default for A1Config {
             inline_edge_threshold: 1024,
             continuation_ttl: Duration::from_secs(60),
             dr_enabled: false,
+            wire_format: WireFormat::Binary,
         }
     }
 }
@@ -75,6 +79,13 @@ impl A1Config {
     /// coordinator.
     pub fn with_fanout(mut self, fanout: usize) -> A1Config {
         self.exec.fanout_parallelism = fanout;
+        self
+    }
+
+    /// Same cluster with a specific [`WireFormat`] for inter-machine
+    /// messages (`Json` = the legacy debug wire).
+    pub fn with_wire_format(mut self, fmt: WireFormat) -> A1Config {
+        self.wire_format = fmt;
         self
     }
 }
@@ -124,7 +135,7 @@ impl A1Cluster {
         let catalog = Catalog::bootstrap(&farm)?;
         let taskq = TaskQueue::create(&farm)?;
         let replog = if cfg.dr_enabled {
-            Some(Replog::create(&farm)?)
+            Some(Replog::create_with(&farm, cfg.wire_format)?)
         } else {
             None
         };
@@ -150,10 +161,12 @@ impl A1Cluster {
                 machine,
                 Arc::new(move |_from, payload: Bytes| {
                     let Some(inner) = weak.upgrade() else {
-                        return Bytes::from_static(b"{\"t\":\"err\",\"msg\":\"shutdown\"}");
+                        return Bytes::from(wire::encode_error(
+                            &A1Error::Internal("shutdown".into()),
+                            wire::payload_format(&payload),
+                        ));
                     };
-                    let reply = inner.dispatch_rpc(machine, &payload);
-                    Bytes::from(reply.to_string().into_bytes())
+                    Bytes::from(inner.dispatch_rpc(machine, &payload))
                 }),
             );
         }
@@ -221,36 +234,17 @@ impl A1Inner {
 
     // ---------------------------------------------------------- RPC server
 
-    fn dispatch_rpc(&self, machine: MachineId, payload: &[u8]) -> Json {
-        let parsed = std::str::from_utf8(payload)
-            .map_err(|_| A1Error::Internal("rpc not utf-8".into()))
-            .and_then(|text| Json::parse(text).map_err(|e| A1Error::Internal(e.to_string())));
-        let req = match parsed {
-            Ok(j) => j,
-            Err(e) => {
-                return Json::obj(vec![
-                    ("t", Json::str("err")),
-                    ("msg", Json::Str(e.to_string())),
-                ])
+    /// Decode and execute one RPC, replying in the format the request
+    /// arrived in (binary frame tag dispatch; legacy JSON auto-detected).
+    fn dispatch_rpc(&self, machine: MachineId, payload: &[u8]) -> Vec<u8> {
+        let fmt = wire::payload_format(payload);
+        match wire::decode_request(payload) {
+            Ok(Request::Work(op)) => wire::encode_work_result(&self.handle_work(machine, &op), fmt),
+            Ok(Request::Query { tenant, graph, q }) => {
+                wire::encode_outcome(&self.coordinate_query(machine, &tenant, &graph, &q), fmt)
             }
-        };
-        match req.get("t").and_then(Json::as_str) {
-            Some("work") => {
-                let result = work_op_from_json(&req).and_then(|op| self.handle_work(machine, &op));
-                work_result_to_json(&result)
-            }
-            Some("query") => {
-                let out = self.handle_query(machine, &req);
-                outcome_to_json(&out)
-            }
-            Some("page") => {
-                let out = self.handle_page(machine, &req);
-                outcome_to_json(&out)
-            }
-            _ => Json::obj(vec![
-                ("t", Json::str("err")),
-                ("msg", Json::str("unknown rpc")),
-            ]),
+            Ok(Request::Page { cid }) => wire::encode_outcome(&self.handle_page(machine, cid), fmt),
+            Err(e) => wire::encode_error(&e, fmt),
         }
     }
 
@@ -258,22 +252,6 @@ impl A1Inner {
         let backend = self.backend(machine);
         let proxies = self.proxies(backend, &op.tenant, &op.graph)?;
         exec::run_work_op(&self.farm, &self.store, &proxies, machine, op)
-    }
-
-    fn handle_query(&self, machine: MachineId, req: &Json) -> A1Result<QueryOutcome> {
-        let tenant = req
-            .get("tenant")
-            .and_then(Json::as_str)
-            .ok_or_else(|| A1Error::Query("missing tenant".into()))?;
-        let graph = req
-            .get("graph")
-            .and_then(Json::as_str)
-            .ok_or_else(|| A1Error::Query("missing graph".into()))?;
-        let text = req
-            .get("q")
-            .and_then(Json::as_str)
-            .ok_or_else(|| A1Error::Query("missing query".into()))?;
-        self.coordinate_query(machine, tenant, graph, text)
     }
 
     /// Coordinator-side query execution (§3.4, Fig. 9).
@@ -295,15 +273,19 @@ impl A1Inner {
         let (compiled, frontier) = exec::compile(&self.store, &mut tx, &proxies, &query)?;
 
         let fabric = self.farm.fabric().clone();
+        let fmt = self.cfg.wire_format;
         let ship = |host: MachineId, op: &WorkOp| -> A1Result<WorkResult> {
-            let payload = Bytes::from(work_op_to_json(op).to_string().into_bytes());
+            let payload = Bytes::from(wire::encode_work_op(op, fmt));
+            let req_bytes = payload.len() as u64;
             let reply = fabric
                 .rpc(machine, host, payload)
                 .map_err(|e| A1Error::Internal(format!("ship rpc: {e}")))?;
-            let text = std::str::from_utf8(&reply)
-                .map_err(|_| A1Error::Internal("reply not utf-8".into()))?;
-            let j = Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))?;
-            work_result_from_json(&j)
+            let mut result = wire::decode_work_result(&reply)?;
+            // Bytes-on-wire accounting: the worker cannot know its payload
+            // sizes, so the coordinator stamps them on the merged metrics.
+            result.metrics.rpc_req_bytes = req_bytes;
+            result.metrics.rpc_reply_bytes = reply.len() as u64;
+            Ok(result)
         };
 
         let coord = exec::Coordinator {
@@ -345,17 +327,15 @@ impl A1Inner {
         format!("c:{}:{}", machine.0, id)
     }
 
-    fn handle_page(&self, machine: MachineId, req: &Json) -> A1Result<QueryOutcome> {
-        let cid = req
-            .get("cid")
-            .and_then(Json::as_f64)
-            .ok_or(A1Error::ContinuationExpired)? as u64;
+    fn handle_page(&self, machine: MachineId, cid: u64) -> A1Result<QueryOutcome> {
         let backend = self.backend(machine);
         let mut conts = backend.continuations.lock();
+        // Sweep expired continuations here too — a backend that serves pages
+        // but never stashes new ones must not retain dead pages forever
+        // (stash-side sweeping alone leaks in that pattern).
+        let ttl = self.cfg.continuation_ttl;
+        conts.retain(|_, (at, _)| at.elapsed() < ttl);
         let (at, mut rows) = conts.remove(&cid).ok_or(A1Error::ContinuationExpired)?;
-        if at.elapsed() >= self.cfg.continuation_ttl {
-            return Err(A1Error::ContinuationExpired);
-        }
         let mut outcome = QueryOutcome {
             rows: Vec::new(),
             count: None,
@@ -916,12 +896,7 @@ impl A1Client {
     /// backend, which coordinates distributed execution.
     pub fn query(&self, tenant: &str, graph: &str, a1ql: &str) -> A1Result<QueryOutcome> {
         let backend = self.inner.pick_backend();
-        let req = Json::obj(vec![
-            ("t", Json::str("query")),
-            ("tenant", Json::str(tenant)),
-            ("graph", Json::str(graph)),
-            ("q", Json::str(a1ql)),
-        ]);
+        let req = wire::encode_query_request(tenant, graph, a1ql, self.inner.cfg.wire_format);
         self.rpc_outcome(backend.machine, req)
     }
 
@@ -934,15 +909,12 @@ impl A1Client {
         }
         let machine = MachineId(parts[1].parse().map_err(|_| A1Error::ContinuationExpired)?);
         let cid: u64 = parts[2].parse().map_err(|_| A1Error::ContinuationExpired)?;
-        let req = Json::obj(vec![
-            ("t", Json::str("page")),
-            ("cid", Json::Num(cid as f64)),
-        ]);
+        let req = wire::encode_page_request(cid, self.inner.cfg.wire_format);
         self.rpc_outcome(machine, req)
     }
 
-    fn rpc_outcome(&self, machine: MachineId, req: Json) -> A1Result<QueryOutcome> {
-        let payload = Bytes::from(req.to_string().into_bytes());
+    fn rpc_outcome(&self, machine: MachineId, req: Vec<u8>) -> A1Result<QueryOutcome> {
+        let payload = Bytes::from(req);
         // Client → frontend → backend enters through the fabric RPC path so
         // the request queues on the backend's worker pool like production.
         let reply = self
@@ -951,10 +923,7 @@ impl A1Client {
             .fabric()
             .rpc(machine, machine, payload)
             .map_err(|e| A1Error::Internal(format!("frontend rpc: {e}")))?;
-        let text =
-            std::str::from_utf8(&reply).map_err(|_| A1Error::Internal("reply not utf-8".into()))?;
-        let j = Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))?;
-        outcome_from_json(&j)
+        wire::decode_outcome(&reply)
     }
 }
 
@@ -1517,87 +1486,4 @@ fn vertex_pk_json(
         .map(crate::convert::value_to_json)
         .unwrap_or(Json::Null);
     Ok(Some((vp.def.name.clone(), pk)))
-}
-
-// ------------------------------------------------------------ outcome wire
-
-fn metrics_to_json(m: &QueryMetrics) -> Json {
-    Json::obj(vec![
-        ("ts", Json::Num(m.snapshot_ts as f64)),
-        ("hops", Json::Num(m.hops as f64)),
-        ("vr", Json::Num(m.vertices_read as f64)),
-        ("ev", Json::Num(m.edges_visited as f64)),
-        ("lr", Json::Num(m.local_reads as f64)),
-        ("rr", Json::Num(m.remote_reads as f64)),
-        ("rpcs", Json::Num(m.rpcs as f64)),
-    ])
-}
-
-fn metrics_from_json(j: Option<&Json>) -> QueryMetrics {
-    let Some(j) = j else {
-        return QueryMetrics::default();
-    };
-    let f = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
-    QueryMetrics {
-        snapshot_ts: f("ts"),
-        hops: f("hops") as u32,
-        vertices_read: f("vr"),
-        edges_visited: f("ev"),
-        local_reads: f("lr"),
-        remote_reads: f("rr"),
-        rpcs: f("rpcs"),
-    }
-}
-
-fn outcome_to_json(out: &A1Result<QueryOutcome>) -> Json {
-    match out {
-        Ok(o) => Json::obj(vec![
-            ("t", Json::str("ok")),
-            ("rows", Json::Arr(o.rows.clone())),
-            (
-                "count",
-                o.count.map(|c| Json::Num(c as f64)).unwrap_or(Json::Null),
-            ),
-            (
-                "cont",
-                o.continuation
-                    .as_ref()
-                    .map(|c| Json::str(c))
-                    .unwrap_or(Json::Null),
-            ),
-            ("metrics", metrics_to_json(&o.metrics)),
-        ]),
-        Err(e) => Json::obj(vec![
-            ("t", Json::str("err")),
-            ("msg", Json::Str(e.to_string())),
-        ]),
-    }
-}
-
-fn outcome_from_json(j: &Json) -> A1Result<QueryOutcome> {
-    if j.get("t").and_then(Json::as_str) != Some("ok") {
-        let msg = j
-            .get("msg")
-            .and_then(Json::as_str)
-            .unwrap_or("unknown error");
-        // Re-materialize the classified errors clients may branch on.
-        if msg.contains("fast-fail") {
-            return Err(A1Error::WorkingSetExceeded { limit: 0 });
-        }
-        if msg.contains("continuation") {
-            return Err(A1Error::ContinuationExpired);
-        }
-        return Err(A1Error::Query(msg.to_string()));
-    }
-    Ok(QueryOutcome {
-        rows: j
-            .get("rows")
-            .and_then(Json::as_arr)
-            .map(<[Json]>::to_vec)
-            .unwrap_or_default(),
-        count: j.get("count").and_then(Json::as_f64).map(|n| n as u64),
-        continuation: j.get("cont").and_then(Json::as_str).map(String::from),
-        metrics: metrics_from_json(j.get("metrics")),
-        per_hop: Vec::new(),
-    })
 }

@@ -1,0 +1,1808 @@
+//! Typed inter-machine message codecs (paper §3.1/§3.4).
+//!
+//! A1 runs on Bond-serialized messages end to end; this module is the single
+//! place where every inter-machine payload — work-op ships, query/page
+//! requests, their replies, and mutation/replication-log bodies — is encoded
+//! and decoded. Two formats share one vocabulary:
+//!
+//! * **Binary** (the default): an [`a1_bond::frame`] frame (magic + version +
+//!   tag) around a Bond compact-binary record. Nested structures are encoded
+//!   records in `Blob` fields; embedded JSON values (predicate literals,
+//!   result rows, mutation keys) use a compact tagged binary form
+//!   ([`encode_json`]) instead of JSON text.
+//! * **Json** ([`WireFormat::Json`]): the legacy text wire, kept as the
+//!   external client/debug format and for replaying replication logs written
+//!   by older builds.
+//!
+//! Every decoder auto-detects the format from the first byte (no JSON text
+//! starts with the frame magic `0xA1`), so mixed-era logs and mixed-fleet
+//! clusters interoperate without negotiation.
+//!
+//! Errors cross the wire as structured ⟨code, message⟩ pairs ([`ErrCode`]),
+//! so classified errors like [`A1Error::ContinuationExpired`] survive the
+//! trip instead of being re-derived from message substrings.
+
+use crate::edges::Dir;
+use crate::error::{A1Error, A1Result};
+use crate::model::TypeId;
+use crate::query::exec::{
+    CompiledMatch, CompiledStep, CompiledTraverse, QueryMetrics, QueryOutcome, WorkOp, WorkResult,
+};
+use crate::query::plan::{AttrPredicate, CmpOp, FieldSel, Select};
+use a1_bond::frame::{self, MsgTag};
+use a1_bond::wire::{read_varint, unzigzag, write_varint, zigzag, WireError};
+use a1_bond::{Record, Value};
+use a1_farm::Addr;
+use a1_json::Json;
+
+pub use a1_bond::frame::{is_binary, WireFormat};
+
+// ---------------------------------------------------------------- json binary
+
+const J_NULL: u8 = 0x00;
+const J_FALSE: u8 = 0x01;
+const J_TRUE: u8 = 0x02;
+const J_INT: u8 = 0x03;
+const J_DOUBLE: u8 = 0x04;
+const J_STR: u8 = 0x05;
+const J_ARR: u8 = 0x06;
+const J_OBJ: u8 = 0x07;
+/// Back-reference to an earlier string in the same encoded value (dictionary
+/// encoding): object keys and string values repeat heavily across result
+/// rows, so each top-level encode carries every distinct string once.
+const J_STRREF: u8 = 0x08;
+
+/// Largest magnitude at which every integer is exactly representable as f64;
+/// integral numbers in this range take the varint fast path.
+const J_INT_MAX: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// Append a compact tagged binary encoding of a JSON value. Integral numbers
+/// become zigzag varints (addresses, counts and timestamps dominate A1's
+/// payloads); repeated strings — object keys above all — become dictionary
+/// back-references; everything else is a tag plus the natural binary form.
+///
+/// One `encode_json` call is one dictionary scope: decode the result with a
+/// single [`decode_json`] call over the same bytes.
+pub fn encode_json(j: &Json, out: &mut Vec<u8>) {
+    let mut table: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    enc_json(j, out, &mut table);
+}
+
+fn enc_str(s: &str, out: &mut Vec<u8>, table: &mut std::collections::HashMap<String, u64>) {
+    if let Some(&idx) = table.get(s) {
+        out.push(J_STRREF);
+        write_varint(out, idx);
+        return;
+    }
+    out.push(J_STR);
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+    let idx = table.len() as u64;
+    table.insert(s.to_string(), idx);
+}
+
+fn enc_json(j: &Json, out: &mut Vec<u8>, table: &mut std::collections::HashMap<String, u64>) {
+    match j {
+        Json::Null => out.push(J_NULL),
+        Json::Bool(false) => out.push(J_FALSE),
+        Json::Bool(true) => out.push(J_TRUE),
+        Json::Num(n) => {
+            if n.is_finite() && n.fract() == 0.0 && n.abs() < J_INT_MAX {
+                out.push(J_INT);
+                write_varint(out, zigzag(*n as i64));
+            } else {
+                out.push(J_DOUBLE);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+        Json::Str(s) => enc_str(s, out, table),
+        Json::Arr(items) => {
+            out.push(J_ARR);
+            write_varint(out, items.len() as u64);
+            for item in items {
+                enc_json(item, out, table);
+            }
+        }
+        Json::Obj(pairs) => {
+            out.push(J_OBJ);
+            write_varint(out, pairs.len() as u64);
+            for (k, v) in pairs {
+                enc_str(k, out, table);
+                enc_json(v, out, table);
+            }
+        }
+    }
+}
+
+/// Decode one JSON value from `buf` at `pos` (the scope of one
+/// [`encode_json`] call).
+pub fn decode_json(buf: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    let mut table: Vec<String> = Vec::new();
+    dec_json(buf, pos, &mut table, 0)
+}
+
+fn dec_str(buf: &[u8], pos: &mut usize, table: &mut Vec<String>) -> Result<String, WireError> {
+    let tag = *buf.get(*pos).ok_or(WireError::Truncated)?;
+    *pos += 1;
+    match tag {
+        J_STR => read_str(buf, pos, table),
+        J_STRREF => {
+            let idx = read_varint(buf, pos)? as usize;
+            table
+                .get(idx)
+                .cloned()
+                .ok_or(WireError::InvalidTag(J_STRREF))
+        }
+        other => Err(WireError::InvalidTag(other)),
+    }
+}
+
+fn dec_json(
+    buf: &[u8],
+    pos: &mut usize,
+    table: &mut Vec<String>,
+    depth: u32,
+) -> Result<Json, WireError> {
+    // Same recursion bound as the JSON text parser: hostile nesting must
+    // error, never overflow the stack.
+    if depth > a1_bond::wire::MAX_DEPTH {
+        return Err(WireError::TooDeep);
+    }
+    let tag = *buf.get(*pos).ok_or(WireError::Truncated)?;
+    *pos += 1;
+    Ok(match tag {
+        J_NULL => Json::Null,
+        J_FALSE => Json::Bool(false),
+        J_TRUE => Json::Bool(true),
+        J_INT => Json::Num(unzigzag(read_varint(buf, pos)?) as f64),
+        J_DOUBLE => {
+            let end = pos.checked_add(8).ok_or(WireError::Truncated)?;
+            let bytes = buf.get(*pos..end).ok_or(WireError::Truncated)?;
+            *pos = end;
+            Json::Num(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        }
+        J_STR => Json::Str(read_str(buf, pos, table)?),
+        J_STRREF => {
+            let idx = read_varint(buf, pos)? as usize;
+            Json::Str(
+                table
+                    .get(idx)
+                    .cloned()
+                    .ok_or(WireError::InvalidTag(J_STRREF))?,
+            )
+        }
+        J_ARR => {
+            let n = read_varint(buf, pos)? as usize;
+            // Hostile-length guard: each element takes ≥1 byte.
+            if n > buf.len().saturating_sub(*pos) {
+                return Err(WireError::Truncated);
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(dec_json(buf, pos, table, depth + 1)?);
+            }
+            Json::Arr(items)
+        }
+        J_OBJ => {
+            let n = read_varint(buf, pos)? as usize;
+            // Each pair takes ≥2 bytes (key tag + value tag).
+            if n > buf.len().saturating_sub(*pos) / 2 {
+                return Err(WireError::Truncated);
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = dec_str(buf, pos, table)?;
+                let v = dec_json(buf, pos, table, depth + 1)?;
+                pairs.push((k, v));
+            }
+            Json::Obj(pairs)
+        }
+        other => return Err(WireError::InvalidTag(other)),
+    })
+}
+
+fn read_str(buf: &[u8], pos: &mut usize, table: &mut Vec<String>) -> Result<String, WireError> {
+    let len = read_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len).ok_or(WireError::Truncated)?;
+    let bytes = buf.get(*pos..end).ok_or(WireError::Truncated)?;
+    *pos = end;
+    let s = std::str::from_utf8(bytes)
+        .map_err(|_| WireError::InvalidUtf8)?
+        .to_string();
+    table.push(s.clone());
+    Ok(s)
+}
+
+fn json_blob(j: &Json) -> Value {
+    let mut out = Vec::new();
+    encode_json(j, &mut out);
+    Value::Blob(out)
+}
+
+/// Encode a row set as one JSON array *by reference* — byte-identical to
+/// `json_blob(&Json::Arr(rows.to_vec()))` but without cloning the rows, and
+/// with the dictionary table shared across all of them.
+fn json_rows_blob<'a>(rows: impl ExactSizeIterator<Item = &'a Json>) -> Value {
+    let mut out = Vec::new();
+    let mut table: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    out.push(J_ARR);
+    write_varint(&mut out, rows.len() as u64);
+    for row in rows {
+        enc_json(row, &mut out, &mut table);
+    }
+    Value::Blob(out)
+}
+
+fn json_from_blob(b: &[u8]) -> A1Result<Json> {
+    let mut pos = 0;
+    let j = decode_json(b, &mut pos).map_err(wire_err)?;
+    if pos != b.len() {
+        return Err(wire_err(WireError::TrailingBytes));
+    }
+    Ok(j)
+}
+
+fn wire_err(e: WireError) -> A1Error {
+    A1Error::Internal(format!("wire: {e}"))
+}
+
+fn bad(what: &str) -> A1Error {
+    A1Error::Internal(format!("bad wire message: {what}"))
+}
+
+// -------------------------------------------------------------- error codes
+
+/// Structured wire error codes. Classified errors clients (and the
+/// coordinator's ship path) branch on keep their identity across machines;
+/// everything else degrades to `Internal` with the message preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ErrCode {
+    Query = 1,
+    Internal = 2,
+    WorkingSetExceeded = 3,
+    ContinuationExpired = 4,
+    Schema = 5,
+}
+
+fn error_parts(e: &A1Error) -> (ErrCode, String, u64) {
+    match e {
+        A1Error::Query(m) => (ErrCode::Query, m.clone(), 0),
+        A1Error::Schema(m) => (ErrCode::Schema, m.clone(), 0),
+        A1Error::WorkingSetExceeded { limit } => {
+            (ErrCode::WorkingSetExceeded, e.to_string(), *limit as u64)
+        }
+        A1Error::ContinuationExpired => (ErrCode::ContinuationExpired, e.to_string(), 0),
+        A1Error::Internal(m) => (ErrCode::Internal, m.clone(), 0),
+        other => (ErrCode::Internal, other.to_string(), 0),
+    }
+}
+
+fn error_from_parts(code: u64, msg: String, limit: u64) -> A1Error {
+    match code {
+        c if c == ErrCode::Query as u64 => A1Error::Query(msg),
+        c if c == ErrCode::Schema as u64 => A1Error::Schema(msg),
+        c if c == ErrCode::WorkingSetExceeded as u64 => A1Error::WorkingSetExceeded {
+            limit: limit as usize,
+        },
+        c if c == ErrCode::ContinuationExpired as u64 => A1Error::ContinuationExpired,
+        _ => A1Error::Internal(msg),
+    }
+}
+
+const EF_CODE: u16 = 0;
+const EF_MSG: u16 = 1;
+const EF_LIMIT: u16 = 2;
+
+fn error_frame(e: &A1Error) -> Vec<u8> {
+    let (code, msg, limit) = error_parts(e);
+    let mut rec = Record::new()
+        .with(EF_CODE, Value::UInt64(code as u64))
+        .with(EF_MSG, Value::String(msg));
+    if limit != 0 {
+        rec.set(EF_LIMIT, Value::UInt64(limit));
+    }
+    frame::frame(MsgTag::Error, &rec)
+}
+
+fn error_from_record(rec: &Record) -> A1Error {
+    error_from_parts(
+        rec_u64(rec, EF_CODE).unwrap_or(ErrCode::Internal as u64),
+        rec_str(rec, EF_MSG).unwrap_or_else(|| "unknown error".into()),
+        rec_u64(rec, EF_LIMIT).unwrap_or(0),
+    )
+}
+
+fn error_to_json(e: &A1Error) -> Json {
+    let (code, msg, limit) = error_parts(e);
+    let mut fields = vec![
+        ("t".to_string(), Json::str("err")),
+        ("code".to_string(), Json::Num(code as u32 as f64)),
+        ("msg".to_string(), Json::Str(msg)),
+    ];
+    if limit != 0 {
+        fields.push(("limit".to_string(), Json::Num(limit as f64)));
+    }
+    Json::Obj(fields)
+}
+
+fn error_from_json(j: &Json) -> A1Error {
+    let msg = j
+        .get("msg")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown error")
+        .to_string();
+    match j.get("code").and_then(Json::as_f64) {
+        Some(code) => error_from_parts(
+            code as u64,
+            msg,
+            j.get("limit").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        ),
+        // Pre-binary builds sent bare `{"t":"err","msg":…}`: fall back to
+        // re-classifying from the message text.
+        None => {
+            if msg.contains("fast-fail") {
+                A1Error::WorkingSetExceeded { limit: 0 }
+            } else if msg.contains("continuation") {
+                A1Error::ContinuationExpired
+            } else {
+                A1Error::Query(msg)
+            }
+        }
+    }
+}
+
+/// Encode an error reply in the requested format (used when a request cannot
+/// even be decoded, e.g. the cluster is shutting down).
+pub fn encode_error(e: &A1Error, fmt: WireFormat) -> Vec<u8> {
+    match fmt {
+        WireFormat::Binary => error_frame(e),
+        WireFormat::Json => error_to_json(e).to_string().into_bytes(),
+    }
+}
+
+// ----------------------------------------------------------- record helpers
+
+fn rec_str(rec: &Record, id: u16) -> Option<String> {
+    match rec.get(id) {
+        Some(Value::String(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn rec_u64(rec: &Record, id: u16) -> Option<u64> {
+    match rec.get(id) {
+        Some(Value::UInt64(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn rec_bool(rec: &Record, id: u16) -> Option<bool> {
+    match rec.get(id) {
+        Some(Value::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+fn rec_blob(rec: &Record, id: u16) -> Option<&[u8]> {
+    match rec.get(id) {
+        Some(Value::Blob(b)) => Some(b),
+        _ => None,
+    }
+}
+
+fn rec_sub(rec: &Record, id: u16) -> A1Result<Option<Record>> {
+    match rec.get(id) {
+        Some(Value::Blob(b)) => Ok(Some(a1_bond::decode_record(b).map_err(wire_err)?)),
+        Some(_) => Err(bad("nested record")),
+        None => Ok(None),
+    }
+}
+
+fn sub_blob(rec: &Record) -> Value {
+    Value::Blob(a1_bond::encode_record(rec))
+}
+
+/// Addresses pack as concatenated varints in one blob: no per-element tag,
+/// and small region offsets stay small on the wire.
+fn addrs_to_value(addrs: &[Addr]) -> Value {
+    let mut out = Vec::with_capacity(addrs.len() * 4);
+    for a in addrs {
+        write_varint(&mut out, a.raw());
+    }
+    Value::Blob(out)
+}
+
+fn addrs_from_blob(b: &[u8]) -> A1Result<Vec<Addr>> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < b.len() {
+        out.push(Addr::from_raw(read_varint(b, &mut pos).map_err(wire_err)?));
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------- work op binary
+
+const WO_TENANT: u16 = 0;
+const WO_GRAPH: u16 = 1;
+const WO_TS: u16 = 2;
+const WO_VERTICES: u16 = 3;
+const WO_STEP: u16 = 4;
+const WO_EMIT_ROWS: u16 = 5;
+const WO_SELECT: u16 = 6;
+
+const ST_TYPE_FILTER: u16 = 0;
+const ST_ID_FILTER: u16 = 1;
+const ST_PREDS: u16 = 2;
+const ST_MATCHES: u16 = 3;
+const ST_TRAVERSE: u16 = 4;
+
+const PR_ATTR: u16 = 0;
+const PR_MAP_KEY: u16 = 1;
+const PR_OP: u16 = 2;
+const PR_VALUE: u16 = 3;
+
+const MA_DIR: u16 = 0;
+const MA_EDGE_TYPE: u16 = 1;
+const MA_TARGET: u16 = 2;
+const MA_TARGET_TYPE: u16 = 3;
+const MA_PREDS: u16 = 4;
+
+const TR_DIR: u16 = 0;
+const TR_EDGE_TYPE: u16 = 1;
+const TR_PREDS: u16 = 2;
+
+const SEL_KIND: u16 = 0;
+const SEL_FIELDS: u16 = 1;
+
+fn cmp_code(op: CmpOp) -> u64 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Gt => 2,
+        CmpOp::Ge => 3,
+        CmpOp::Lt => 4,
+        CmpOp::Le => 5,
+    }
+}
+
+fn cmp_from_code(c: u64) -> A1Result<CmpOp> {
+    Ok(match c {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Lt,
+        5 => CmpOp::Le,
+        _ => return Err(bad("cmp op")),
+    })
+}
+
+fn dir_code(d: Dir) -> u64 {
+    if d == Dir::In {
+        1
+    } else {
+        0
+    }
+}
+
+fn dir_from_code(c: u64) -> Dir {
+    if c == 1 {
+        Dir::In
+    } else {
+        Dir::Out
+    }
+}
+
+fn pred_to_record(p: &AttrPredicate) -> Record {
+    let mut rec = Record::new().with(PR_ATTR, Value::String(p.attr.clone()));
+    if let Some(k) = &p.map_key {
+        rec.set(PR_MAP_KEY, Value::String(k.clone()));
+    }
+    rec.set(PR_OP, Value::UInt64(cmp_code(p.op)));
+    rec.set(PR_VALUE, json_blob(&p.value));
+    rec
+}
+
+fn pred_from_record(rec: &Record) -> A1Result<AttrPredicate> {
+    Ok(AttrPredicate {
+        attr: rec_str(rec, PR_ATTR).ok_or_else(|| bad("pred attr"))?,
+        map_key: rec_str(rec, PR_MAP_KEY),
+        op: cmp_from_code(rec_u64(rec, PR_OP).ok_or_else(|| bad("pred op"))?)?,
+        value: json_from_blob(rec_blob(rec, PR_VALUE).ok_or_else(|| bad("pred value"))?)?,
+    })
+}
+
+fn preds_to_value(preds: &[AttrPredicate]) -> Value {
+    Value::List(preds.iter().map(|p| sub_blob(&pred_to_record(p))).collect())
+}
+
+fn preds_from_value(rec: &Record, id: u16) -> A1Result<Vec<AttrPredicate>> {
+    let Some(Value::List(items)) = rec.get(id) else {
+        return Ok(Vec::new());
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            Value::Blob(b) => pred_from_record(&a1_bond::decode_record(b).map_err(wire_err)?),
+            _ => Err(bad("pred list")),
+        })
+        .collect()
+}
+
+fn step_to_record(s: &CompiledStep) -> Record {
+    let mut rec = Record::new();
+    if let Some(t) = s.type_filter {
+        rec.set(ST_TYPE_FILTER, Value::UInt64(t.0 as u64));
+    }
+    if let Some(a) = s.id_filter {
+        rec.set(ST_ID_FILTER, Value::UInt64(a.raw()));
+    }
+    if !s.preds.is_empty() {
+        rec.set(ST_PREDS, preds_to_value(&s.preds));
+    }
+    if !s.matches.is_empty() {
+        rec.set(
+            ST_MATCHES,
+            Value::List(
+                s.matches
+                    .iter()
+                    .map(|m| {
+                        let mut mr = Record::new()
+                            .with(MA_DIR, Value::UInt64(dir_code(m.dir)))
+                            .with(MA_EDGE_TYPE, Value::UInt64(m.edge_type.0 as u64));
+                        if let Some(t) = m.target {
+                            mr.set(MA_TARGET, Value::UInt64(t.raw()));
+                        }
+                        if let Some(tt) = m.target_type {
+                            mr.set(MA_TARGET_TYPE, Value::UInt64(tt.0 as u64));
+                        }
+                        if !m.preds.is_empty() {
+                            mr.set(MA_PREDS, preds_to_value(&m.preds));
+                        }
+                        sub_blob(&mr)
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    if let Some(t) = &s.traverse {
+        let mut tr = Record::new()
+            .with(TR_DIR, Value::UInt64(dir_code(t.dir)))
+            .with(TR_EDGE_TYPE, Value::UInt64(t.edge_type.0 as u64));
+        if !t.edge_preds.is_empty() {
+            tr.set(TR_PREDS, preds_to_value(&t.edge_preds));
+        }
+        rec.set(ST_TRAVERSE, sub_blob(&tr));
+    }
+    rec
+}
+
+fn step_from_record(rec: &Record) -> A1Result<CompiledStep> {
+    let matches = match rec.get(ST_MATCHES) {
+        Some(Value::List(items)) => items
+            .iter()
+            .map(|item| {
+                let Value::Blob(b) = item else {
+                    return Err(bad("match list"));
+                };
+                let mr = a1_bond::decode_record(b).map_err(wire_err)?;
+                Ok(CompiledMatch {
+                    dir: dir_from_code(rec_u64(&mr, MA_DIR).unwrap_or(0)),
+                    edge_type: TypeId(rec_u64(&mr, MA_EDGE_TYPE).unwrap_or(0) as u32),
+                    target: rec_u64(&mr, MA_TARGET).map(Addr::from_raw),
+                    target_type: rec_u64(&mr, MA_TARGET_TYPE).map(|t| TypeId(t as u32)),
+                    preds: preds_from_value(&mr, MA_PREDS)?,
+                })
+            })
+            .collect::<A1Result<Vec<_>>>()?,
+        _ => Vec::new(),
+    };
+    let traverse = match rec_sub(rec, ST_TRAVERSE)? {
+        Some(tr) => Some(CompiledTraverse {
+            dir: dir_from_code(rec_u64(&tr, TR_DIR).unwrap_or(0)),
+            edge_type: TypeId(rec_u64(&tr, TR_EDGE_TYPE).unwrap_or(0) as u32),
+            edge_preds: preds_from_value(&tr, TR_PREDS)?,
+        }),
+        None => None,
+    };
+    Ok(CompiledStep {
+        type_filter: rec_u64(rec, ST_TYPE_FILTER).map(|t| TypeId(t as u32)),
+        id_filter: rec_u64(rec, ST_ID_FILTER).map(Addr::from_raw),
+        preds: preds_from_value(rec, ST_PREDS)?,
+        matches,
+        traverse,
+    })
+}
+
+fn select_to_record(s: &Select) -> Record {
+    match s {
+        Select::All => Record::new().with(SEL_KIND, Value::UInt64(0)),
+        Select::Count => Record::new().with(SEL_KIND, Value::UInt64(1)),
+        Select::Fields(fields) => Record::new().with(SEL_KIND, Value::UInt64(2)).with(
+            SEL_FIELDS,
+            Value::List(
+                fields
+                    .iter()
+                    .map(|f| Value::String(field_sel_str(f)))
+                    .collect(),
+            ),
+        ),
+    }
+}
+
+fn select_from_record(rec: &Record) -> Select {
+    match rec_u64(rec, SEL_KIND) {
+        Some(1) => Select::Count,
+        Some(2) => {
+            let fields = match rec.get(SEL_FIELDS) {
+                Some(Value::List(items)) => items
+                    .iter()
+                    .filter_map(|v| v.as_str())
+                    .map(parse_field_sel)
+                    .collect(),
+                _ => Vec::new(),
+            };
+            Select::Fields(fields)
+        }
+        _ => Select::All,
+    }
+}
+
+fn field_sel_str(f: &FieldSel) -> String {
+    match f.index {
+        Some(i) => format!("{}[{}]", f.attr, i),
+        None => f.attr.clone(),
+    }
+}
+
+fn parse_field_sel(s: &str) -> FieldSel {
+    match s.find('[') {
+        Some(open) if s.ends_with(']') => FieldSel {
+            attr: s[..open].to_string(),
+            index: s[open + 1..s.len() - 1].parse().ok(),
+        },
+        _ => FieldSel {
+            attr: s.to_string(),
+            index: None,
+        },
+    }
+}
+
+fn work_op_to_record(op: &WorkOp) -> Record {
+    Record::new()
+        .with(WO_TENANT, Value::String(op.tenant.clone()))
+        .with(WO_GRAPH, Value::String(op.graph.clone()))
+        .with(WO_TS, Value::UInt64(op.snapshot_ts))
+        .with(WO_VERTICES, addrs_to_value(&op.vertices))
+        .with(WO_STEP, sub_blob(&step_to_record(&op.step)))
+        .with(WO_EMIT_ROWS, Value::Bool(op.emit_rows))
+        .with(WO_SELECT, sub_blob(&select_to_record(&op.select)))
+}
+
+fn work_op_from_record(rec: &Record) -> A1Result<WorkOp> {
+    Ok(WorkOp {
+        tenant: rec_str(rec, WO_TENANT).ok_or_else(|| bad("work op tenant"))?,
+        graph: rec_str(rec, WO_GRAPH).ok_or_else(|| bad("work op graph"))?,
+        snapshot_ts: rec_u64(rec, WO_TS).ok_or_else(|| bad("work op ts"))?,
+        vertices: addrs_from_blob(
+            rec_blob(rec, WO_VERTICES).ok_or_else(|| bad("work op vertices"))?,
+        )?,
+        step: step_from_record(&rec_sub(rec, WO_STEP)?.ok_or_else(|| bad("work op step"))?)?,
+        emit_rows: rec_bool(rec, WO_EMIT_ROWS).unwrap_or(false),
+        select: rec_sub(rec, WO_SELECT)?
+            .map(|r| select_from_record(&r))
+            .unwrap_or(Select::All),
+    })
+}
+
+// ------------------------------------------------------- work result binary
+
+const WR_NEXT: u16 = 0;
+/// Row addresses, packed varints (parallel to [`WR_ROW_DATA`]).
+const WR_ROW_ADDRS: u16 = 1;
+/// Row payloads: ONE encoded JSON array, so the dictionary table is shared
+/// across every row (column names and repeated values encode once).
+const WR_ROW_DATA: u16 = 2;
+const WR_VR: u16 = 3;
+const WR_EV: u16 = 4;
+const WR_LR: u16 = 5;
+const WR_RR: u16 = 6;
+
+fn work_result_to_record(r: &WorkResult) -> Record {
+    let mut rec = Record::new().with(WR_NEXT, addrs_to_value(&r.next));
+    if !r.rows.is_empty() {
+        let addrs: Vec<Addr> = r.rows.iter().map(|(a, _)| *a).collect();
+        rec.set(WR_ROW_ADDRS, addrs_to_value(&addrs));
+        rec.set(
+            WR_ROW_DATA,
+            json_rows_blob(r.rows.iter().map(|(_, row)| row)),
+        );
+    }
+    rec.set(WR_VR, Value::UInt64(r.metrics.vertices_read));
+    rec.set(WR_EV, Value::UInt64(r.metrics.edges_visited));
+    rec.set(WR_LR, Value::UInt64(r.metrics.local_reads));
+    rec.set(WR_RR, Value::UInt64(r.metrics.remote_reads));
+    rec
+}
+
+fn work_result_from_record(rec: &Record) -> A1Result<WorkResult> {
+    let rows = match (rec_blob(rec, WR_ROW_ADDRS), rec_blob(rec, WR_ROW_DATA)) {
+        (Some(addrs), Some(data)) => {
+            let addrs = addrs_from_blob(addrs)?;
+            let Json::Arr(rows) = json_from_blob(data)? else {
+                return Err(bad("row data"));
+            };
+            if addrs.len() != rows.len() {
+                return Err(bad("row addr/data length mismatch"));
+            }
+            addrs.into_iter().zip(rows).collect()
+        }
+        (None, None) => Vec::new(),
+        _ => return Err(bad("row addr/data pairing")),
+    };
+    Ok(WorkResult {
+        next: addrs_from_blob(rec_blob(rec, WR_NEXT).unwrap_or(&[]))?,
+        rows,
+        metrics: QueryMetrics {
+            vertices_read: rec_u64(rec, WR_VR).unwrap_or(0),
+            edges_visited: rec_u64(rec, WR_EV).unwrap_or(0),
+            local_reads: rec_u64(rec, WR_LR).unwrap_or(0),
+            remote_reads: rec_u64(rec, WR_RR).unwrap_or(0),
+            ..QueryMetrics::default()
+        },
+    })
+}
+
+// ---------------------------------------------------------- outcome binary
+
+const OC_ROWS: u16 = 0;
+const OC_COUNT: u16 = 1;
+const OC_CONT: u16 = 2;
+const OC_METRICS: u16 = 3;
+
+const QM_TS: u16 = 0;
+const QM_HOPS: u16 = 1;
+const QM_VR: u16 = 2;
+const QM_EV: u16 = 3;
+const QM_LR: u16 = 4;
+const QM_RR: u16 = 5;
+const QM_RPCS: u16 = 6;
+const QM_REQ_BYTES: u16 = 7;
+const QM_REPLY_BYTES: u16 = 8;
+
+fn metrics_to_record(m: &QueryMetrics) -> Record {
+    Record::new()
+        .with(QM_TS, Value::UInt64(m.snapshot_ts))
+        .with(QM_HOPS, Value::UInt64(m.hops as u64))
+        .with(QM_VR, Value::UInt64(m.vertices_read))
+        .with(QM_EV, Value::UInt64(m.edges_visited))
+        .with(QM_LR, Value::UInt64(m.local_reads))
+        .with(QM_RR, Value::UInt64(m.remote_reads))
+        .with(QM_RPCS, Value::UInt64(m.rpcs))
+        .with(QM_REQ_BYTES, Value::UInt64(m.rpc_req_bytes))
+        .with(QM_REPLY_BYTES, Value::UInt64(m.rpc_reply_bytes))
+}
+
+fn metrics_from_record(rec: &Record) -> QueryMetrics {
+    QueryMetrics {
+        snapshot_ts: rec_u64(rec, QM_TS).unwrap_or(0),
+        hops: rec_u64(rec, QM_HOPS).unwrap_or(0) as u32,
+        vertices_read: rec_u64(rec, QM_VR).unwrap_or(0),
+        edges_visited: rec_u64(rec, QM_EV).unwrap_or(0),
+        local_reads: rec_u64(rec, QM_LR).unwrap_or(0),
+        remote_reads: rec_u64(rec, QM_RR).unwrap_or(0),
+        rpcs: rec_u64(rec, QM_RPCS).unwrap_or(0),
+        rpc_req_bytes: rec_u64(rec, QM_REQ_BYTES).unwrap_or(0),
+        rpc_reply_bytes: rec_u64(rec, QM_REPLY_BYTES).unwrap_or(0),
+    }
+}
+
+fn outcome_to_record(o: &QueryOutcome) -> Record {
+    let mut rec = Record::new();
+    if !o.rows.is_empty() {
+        // One encoded array: the dictionary table spans all rows.
+        rec.set(OC_ROWS, json_rows_blob(o.rows.iter()));
+    }
+    if let Some(c) = o.count {
+        rec.set(OC_COUNT, Value::UInt64(c));
+    }
+    if let Some(c) = &o.continuation {
+        rec.set(OC_CONT, Value::String(c.clone()));
+    }
+    rec.set(OC_METRICS, sub_blob(&metrics_to_record(&o.metrics)));
+    rec
+}
+
+fn outcome_from_record(rec: &Record) -> A1Result<QueryOutcome> {
+    let rows = match rec_blob(rec, OC_ROWS) {
+        Some(b) => {
+            let Json::Arr(rows) = json_from_blob(b)? else {
+                return Err(bad("outcome rows"));
+            };
+            rows
+        }
+        None => Vec::new(),
+    };
+    Ok(QueryOutcome {
+        rows,
+        count: rec_u64(rec, OC_COUNT),
+        continuation: rec_str(rec, OC_CONT),
+        metrics: rec_sub(rec, OC_METRICS)?
+            .map(|r| metrics_from_record(&r))
+            .unwrap_or_default(),
+        per_hop: Vec::new(),
+    })
+}
+
+// ---------------------------------------------------------- request binary
+
+const QR_TENANT: u16 = 0;
+const QR_GRAPH: u16 = 1;
+const QR_TEXT: u16 = 2;
+
+const PG_CID: u16 = 0;
+
+/// A decoded RPC request (the server dispatches on this).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Work(WorkOp),
+    Query {
+        tenant: String,
+        graph: String,
+        q: String,
+    },
+    Page {
+        cid: u64,
+    },
+}
+
+/// Which format a request (or reply) arrived in — replies mirror it.
+pub fn payload_format(payload: &[u8]) -> WireFormat {
+    if is_binary(payload) {
+        WireFormat::Binary
+    } else {
+        WireFormat::Json
+    }
+}
+
+/// Decode any RPC request, auto-detecting the format.
+pub fn decode_request(payload: &[u8]) -> A1Result<Request> {
+    if is_binary(payload) {
+        let (tag, rec) = frame::unframe(payload).map_err(wire_err)?;
+        return match tag {
+            MsgTag::WorkOp => Ok(Request::Work(work_op_from_record(&rec)?)),
+            MsgTag::Query => Ok(Request::Query {
+                tenant: rec_str(&rec, QR_TENANT).ok_or_else(|| bad("query tenant"))?,
+                graph: rec_str(&rec, QR_GRAPH).ok_or_else(|| bad("query graph"))?,
+                q: rec_str(&rec, QR_TEXT).ok_or_else(|| bad("query text"))?,
+            }),
+            MsgTag::Page => Ok(Request::Page {
+                cid: rec_u64(&rec, PG_CID).ok_or_else(|| bad("page cid"))?,
+            }),
+            other => Err(bad(&format!("unexpected request tag {other:?}"))),
+        };
+    }
+    let text =
+        std::str::from_utf8(payload).map_err(|_| A1Error::Internal("rpc not utf-8".into()))?;
+    let j = Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))?;
+    match j.get("t").and_then(Json::as_str) {
+        Some("work") => Ok(Request::Work(work_op_from_json(&j)?)),
+        Some("query") => {
+            let s = |k: &str| {
+                j.get(k)
+                    .and_then(Json::as_str)
+                    .map(String::from)
+                    .ok_or_else(|| A1Error::Query(format!("missing {k}")))
+            };
+            Ok(Request::Query {
+                tenant: s("tenant")?,
+                graph: s("graph")?,
+                q: s("q")?,
+            })
+        }
+        Some("page") => Ok(Request::Page {
+            cid: j
+                .get("cid")
+                .and_then(Json::as_f64)
+                .ok_or(A1Error::ContinuationExpired)? as u64,
+        }),
+        _ => Err(A1Error::Query("unknown rpc".into())),
+    }
+}
+
+/// Encode a work-op ship in the given format.
+pub fn encode_work_op(op: &WorkOp, fmt: WireFormat) -> Vec<u8> {
+    match fmt {
+        WireFormat::Binary => frame::frame(MsgTag::WorkOp, &work_op_to_record(op)),
+        WireFormat::Json => work_op_to_json(op).to_string().into_bytes(),
+    }
+}
+
+/// Encode a query request.
+pub fn encode_query_request(tenant: &str, graph: &str, q: &str, fmt: WireFormat) -> Vec<u8> {
+    match fmt {
+        WireFormat::Binary => frame::frame(
+            MsgTag::Query,
+            &Record::new()
+                .with(QR_TENANT, Value::String(tenant.into()))
+                .with(QR_GRAPH, Value::String(graph.into()))
+                .with(QR_TEXT, Value::String(q.into())),
+        ),
+        WireFormat::Json => Json::obj(vec![
+            ("t", Json::str("query")),
+            ("tenant", Json::str(tenant)),
+            ("graph", Json::str(graph)),
+            ("q", Json::str(q)),
+        ])
+        .to_string()
+        .into_bytes(),
+    }
+}
+
+/// Encode a continuation-page request.
+pub fn encode_page_request(cid: u64, fmt: WireFormat) -> Vec<u8> {
+    match fmt {
+        WireFormat::Binary => frame::frame(
+            MsgTag::Page,
+            &Record::new().with(PG_CID, Value::UInt64(cid)),
+        ),
+        WireFormat::Json => Json::obj(vec![
+            ("t", Json::str("page")),
+            ("cid", Json::Num(cid as f64)),
+        ])
+        .to_string()
+        .into_bytes(),
+    }
+}
+
+/// Encode a worker's reply.
+pub fn encode_work_result(r: &A1Result<WorkResult>, fmt: WireFormat) -> Vec<u8> {
+    match (r, fmt) {
+        (Ok(res), WireFormat::Binary) => {
+            frame::frame(MsgTag::WorkResult, &work_result_to_record(res))
+        }
+        (Err(e), WireFormat::Binary) => error_frame(e),
+        (_, WireFormat::Json) => work_result_to_json(r).to_string().into_bytes(),
+    }
+}
+
+/// Decode a worker's reply, auto-detecting the format.
+pub fn decode_work_result(payload: &[u8]) -> A1Result<WorkResult> {
+    if is_binary(payload) {
+        let (tag, rec) = frame::unframe(payload).map_err(wire_err)?;
+        return match tag {
+            MsgTag::WorkResult => work_result_from_record(&rec),
+            MsgTag::Error => Err(error_from_record(&rec)),
+            other => Err(bad(&format!("unexpected reply tag {other:?}"))),
+        };
+    }
+    let text =
+        std::str::from_utf8(payload).map_err(|_| A1Error::Internal("reply not utf-8".into()))?;
+    let j = Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))?;
+    work_result_from_json(&j)
+}
+
+/// Encode a query outcome (or error) reply.
+pub fn encode_outcome(out: &A1Result<QueryOutcome>, fmt: WireFormat) -> Vec<u8> {
+    match (out, fmt) {
+        (Ok(o), WireFormat::Binary) => frame::frame(MsgTag::Outcome, &outcome_to_record(o)),
+        (Err(e), WireFormat::Binary) => error_frame(e),
+        (_, WireFormat::Json) => outcome_to_json(out).to_string().into_bytes(),
+    }
+}
+
+/// Decode a query outcome reply, auto-detecting the format.
+pub fn decode_outcome(payload: &[u8]) -> A1Result<QueryOutcome> {
+    if is_binary(payload) {
+        let (tag, rec) = frame::unframe(payload).map_err(wire_err)?;
+        return match tag {
+            MsgTag::Outcome => outcome_from_record(&rec),
+            MsgTag::Error => Err(error_from_record(&rec)),
+            other => Err(bad(&format!("unexpected reply tag {other:?}"))),
+        };
+    }
+    let text =
+        std::str::from_utf8(payload).map_err(|_| A1Error::Internal("reply not utf-8".into()))?;
+    let j = Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))?;
+    outcome_from_json(&j)
+}
+
+// ------------------------------------------------------ mutation body codec
+
+// The shared mutation/replication-log body vocabulary. One field id per
+// known key, ordered so that decoding a record in field-id order reproduces
+// the canonical key order of the `replog::entry` constructors (and of
+// `Mutation::to_json` / `MutationRecord::to_json`), making binary⟷JSON
+// round-trips key-order-exact for every body A1 produces.
+const MF_OP: u16 = 0;
+const MF_TENANT: u16 = 1;
+const MF_GRAPH: u16 = 2;
+const MF_TYPE: u16 = 3;
+const MF_KEY: u16 = 4;
+const MF_SRC_TYPE: u16 = 5;
+const MF_SRC: u16 = 6;
+const MF_ETYPE: u16 = 7;
+const MF_DST_TYPE: u16 = 8;
+const MF_DST: u16 = 9;
+const MF_DATA: u16 = 10;
+const MF_SOURCE: u16 = 11;
+const MF_SEQ: u16 = 12;
+const MF_PKEY: u16 = 13;
+/// Catch-all for keys this build does not know (forward compatibility).
+const MF_EXTRA: u16 = 15;
+
+/// Known keys that carry plain strings vs. arbitrary JSON values.
+const MF_STRING_KEYS: [(&str, u16); 9] = [
+    ("op", MF_OP),
+    ("tenant", MF_TENANT),
+    ("graph", MF_GRAPH),
+    ("type", MF_TYPE),
+    ("src_type", MF_SRC_TYPE),
+    ("etype", MF_ETYPE),
+    ("dst_type", MF_DST_TYPE),
+    ("source", MF_SOURCE),
+    ("pkey", MF_PKEY),
+];
+const MF_JSON_KEYS: [(&str, u16); 4] = [
+    ("key", MF_KEY),
+    ("src", MF_SRC),
+    ("dst", MF_DST),
+    ("data", MF_DATA),
+];
+
+fn mf_name(id: u16) -> Option<&'static str> {
+    MF_STRING_KEYS
+        .iter()
+        .chain(MF_JSON_KEYS.iter())
+        .find(|(_, fid)| *fid == id)
+        .map(|(name, _)| *name)
+        .or(if id == MF_SEQ { Some("seq") } else { None })
+}
+
+/// Encode a mutation / replication-log entry body ([`crate::replog::entry`]
+/// shape, optionally with the ingest envelope fields) as a binary frame.
+pub fn mutation_body_to_binary(body: &Json) -> Vec<u8> {
+    frame::frame(MsgTag::Mutation, &mutation_body_record(body))
+}
+
+/// Encode an ingest stream record body (a mutation body extended with the
+/// `source`/`seq`/`pkey` envelope) as a binary frame. Same record layout as
+/// [`mutation_body_to_binary`], different message tag.
+pub fn mutation_record_to_binary(body: &Json) -> Vec<u8> {
+    frame::frame(MsgTag::MutationRecord, &mutation_body_record(body))
+}
+
+fn mutation_body_record(body: &Json) -> Record {
+    let Json::Obj(pairs) = body else {
+        // Non-object bodies (never produced by A1, but the codec must not
+        // lose them): carry the whole value in the catch-all field.
+        return Record::new().with(MF_EXTRA, json_blob(body));
+    };
+    let mut rec = Record::new();
+    let mut extra: Vec<(String, Json)> = Vec::new();
+    for (k, v) in pairs {
+        let field = MF_STRING_KEYS
+            .iter()
+            .find(|(name, _)| name == k)
+            .and_then(|(_, id)| match v {
+                Json::Str(s) => Some((*id, Value::String(s.clone()))),
+                _ => None,
+            })
+            .or_else(|| {
+                MF_JSON_KEYS
+                    .iter()
+                    .find(|(name, _)| name == k)
+                    .map(|(_, id)| (*id, json_blob(v)))
+            })
+            .or_else(|| match v {
+                Json::Num(n)
+                    if k == "seq"
+                        && n.is_finite()
+                        && n.fract() == 0.0
+                        && *n >= 0.0
+                        && *n < J_INT_MAX =>
+                {
+                    Some((MF_SEQ, Value::UInt64(*n as u64)))
+                }
+                _ => None,
+            });
+        match field {
+            Some((id, value)) if rec.get(id).is_none() => {
+                rec.set(id, value);
+            }
+            _ => extra.push((k.clone(), v.clone())),
+        }
+    }
+    if !extra.is_empty() {
+        rec.set(MF_EXTRA, json_blob(&Json::Obj(extra)));
+    }
+    rec
+}
+
+fn mutation_body_from_record(rec: &Record) -> A1Result<Json> {
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    let mut extra: Option<Json> = None;
+    for (id, v) in rec.fields() {
+        if *id == MF_EXTRA {
+            let Value::Blob(b) = v else {
+                return Err(bad("mutation extra"));
+            };
+            extra = Some(json_from_blob(b)?);
+            continue;
+        }
+        let name = mf_name(*id).ok_or_else(|| bad("mutation field"))?;
+        let value = match v {
+            Value::String(s) => Json::Str(s.clone()),
+            Value::UInt64(n) => Json::Num(*n as f64),
+            Value::Blob(b) => json_from_blob(b)?,
+            _ => return Err(bad("mutation value")),
+        };
+        pairs.push((name.to_string(), value));
+    }
+    match extra {
+        Some(Json::Obj(more)) => pairs.extend(more),
+        Some(other) if pairs.is_empty() => return Ok(other),
+        Some(other) => pairs.push(("extra".to_string(), other)),
+        None => {}
+    }
+    Ok(Json::Obj(pairs))
+}
+
+/// Decode a mutation body from either wire format: a binary [`MsgTag::Mutation`]
+/// (or [`MsgTag::MutationRecord`]) frame, or legacy JSON text — which is how
+/// replication-log entries written by pre-binary builds replay byte-for-byte.
+pub fn decode_mutation_body(bytes: &[u8]) -> A1Result<Json> {
+    if is_binary(bytes) {
+        let (tag, rec) = frame::unframe(bytes).map_err(wire_err)?;
+        if !matches!(tag, MsgTag::Mutation | MsgTag::MutationRecord) {
+            return Err(bad(&format!("unexpected mutation tag {tag:?}")));
+        }
+        return mutation_body_from_record(&rec);
+    }
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| A1Error::Internal("entry not utf-8".into()))?;
+    Json::parse(text).map_err(|e| A1Error::Internal(e.to_string()))
+}
+
+/// Encode a mutation body in the given format.
+pub fn encode_mutation_body(body: &Json, fmt: WireFormat) -> Vec<u8> {
+    match fmt {
+        WireFormat::Binary => mutation_body_to_binary(body),
+        WireFormat::Json => body.to_string().into_bytes(),
+    }
+}
+
+// ------------------------------------------------------------ legacy JSON
+
+/// Serialize a [`WorkOp`] as legacy JSON text (the [`WireFormat::Json`]
+/// fallback and debug form).
+pub fn work_op_to_json(op: &WorkOp) -> Json {
+    Json::obj(vec![
+        ("t", Json::str("work")),
+        ("tenant", Json::str(&op.tenant)),
+        ("graph", Json::str(&op.graph)),
+        ("ts", Json::Num(op.snapshot_ts as f64)),
+        (
+            "vertices",
+            Json::Arr(
+                op.vertices
+                    .iter()
+                    .map(|a| Json::Num(a.raw() as f64))
+                    .collect(),
+            ),
+        ),
+        ("step", step_to_json(&op.step)),
+        ("emit_rows", Json::Bool(op.emit_rows)),
+        ("select", select_to_json(&op.select)),
+    ])
+}
+
+pub fn work_op_from_json(j: &Json) -> A1Result<WorkOp> {
+    let err = |m: &str| A1Error::Internal(format!("bad work op: {m}"));
+    Ok(WorkOp {
+        tenant: j
+            .get("tenant")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("tenant"))?
+            .into(),
+        graph: j
+            .get("graph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("graph"))?
+            .into(),
+        snapshot_ts: j
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err("ts"))? as u64,
+        vertices: j
+            .get("vertices")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("vertices"))?
+            .iter()
+            .filter_map(|v| v.as_f64().map(|n| Addr::from_raw(n as u64)))
+            .collect(),
+        step: step_from_json(j.get("step").ok_or_else(|| err("step"))?)?,
+        emit_rows: j.get("emit_rows").and_then(Json::as_bool).unwrap_or(false),
+        select: select_from_json(j.get("select").unwrap_or(&Json::Null)),
+    })
+}
+
+fn dir_to_json(d: Dir) -> Json {
+    Json::str(if d == Dir::Out { "out" } else { "in" })
+}
+
+fn dir_from_json(j: Option<&Json>) -> Dir {
+    match j.and_then(Json::as_str) {
+        Some("in") => Dir::In,
+        _ => Dir::Out,
+    }
+}
+
+fn preds_to_json(preds: &[AttrPredicate]) -> Json {
+    Json::Arr(
+        preds
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("a", Json::str(&p.attr)),
+                    (
+                        "k",
+                        p.map_key
+                            .as_ref()
+                            .map(|k| Json::str(k))
+                            .unwrap_or(Json::Null),
+                    ),
+                    ("o", Json::str(p.op.as_str())),
+                    ("v", p.value.clone()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn preds_from_json(j: Option<&Json>) -> Vec<AttrPredicate> {
+    j.and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|p| {
+                    Some(AttrPredicate {
+                        attr: p.get("a")?.as_str()?.to_string(),
+                        map_key: p.get("k").and_then(Json::as_str).map(String::from),
+                        op: CmpOp::parse(p.get("o")?.as_str()?)?,
+                        value: p.get("v")?.clone(),
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn step_to_json(s: &CompiledStep) -> Json {
+    Json::obj(vec![
+        (
+            "tf",
+            s.type_filter
+                .map(|t| Json::Num(t.0 as f64))
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "idf",
+            s.id_filter
+                .map(|a| Json::Num(a.raw() as f64))
+                .unwrap_or(Json::Null),
+        ),
+        ("preds", preds_to_json(&s.preds)),
+        (
+            "matches",
+            Json::Arr(
+                s.matches
+                    .iter()
+                    .map(|m| {
+                        Json::obj(vec![
+                            ("d", dir_to_json(m.dir)),
+                            ("et", Json::Num(m.edge_type.0 as f64)),
+                            (
+                                "tgt",
+                                m.target
+                                    .map(|a| Json::Num(a.raw() as f64))
+                                    .unwrap_or(Json::Null),
+                            ),
+                            (
+                                "tt",
+                                m.target_type
+                                    .map(|t| Json::Num(t.0 as f64))
+                                    .unwrap_or(Json::Null),
+                            ),
+                            ("p", preds_to_json(&m.preds)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "traverse",
+            match &s.traverse {
+                Some(t) => Json::obj(vec![
+                    ("d", dir_to_json(t.dir)),
+                    ("et", Json::Num(t.edge_type.0 as f64)),
+                    ("p", preds_to_json(&t.edge_preds)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn step_from_json(j: &Json) -> A1Result<CompiledStep> {
+    Ok(CompiledStep {
+        type_filter: j.get("tf").and_then(Json::as_f64).map(|n| TypeId(n as u32)),
+        id_filter: j
+            .get("idf")
+            .and_then(Json::as_f64)
+            .map(|n| Addr::from_raw(n as u64)),
+        preds: preds_from_json(j.get("preds")),
+        matches: j
+            .get("matches")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .map(|m| CompiledMatch {
+                        dir: dir_from_json(m.get("d")),
+                        edge_type: TypeId(m.get("et").and_then(Json::as_f64).unwrap_or(0.0) as u32),
+                        target: m
+                            .get("tgt")
+                            .and_then(Json::as_f64)
+                            .map(|n| Addr::from_raw(n as u64)),
+                        target_type: m.get("tt").and_then(Json::as_f64).map(|n| TypeId(n as u32)),
+                        preds: preds_from_json(m.get("p")),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        traverse: match j.get("traverse") {
+            Some(t) if !t.is_null() => Some(CompiledTraverse {
+                dir: dir_from_json(t.get("d")),
+                edge_type: TypeId(t.get("et").and_then(Json::as_f64).unwrap_or(0.0) as u32),
+                edge_preds: preds_from_json(t.get("p")),
+            }),
+            _ => None,
+        },
+    })
+}
+
+fn select_to_json(s: &Select) -> Json {
+    match s {
+        Select::All => Json::str("all"),
+        Select::Count => Json::str("count"),
+        Select::Fields(fields) => {
+            Json::Arr(fields.iter().map(|f| Json::Str(field_sel_str(f))).collect())
+        }
+    }
+}
+
+fn select_from_json(j: &Json) -> Select {
+    match j {
+        Json::Str(s) if s == "count" => Select::Count,
+        Json::Arr(items) => Select::Fields(
+            items
+                .iter()
+                .filter_map(|v| v.as_str())
+                .map(parse_field_sel)
+                .collect(),
+        ),
+        _ => Select::All,
+    }
+}
+
+pub fn work_result_to_json(r: &A1Result<WorkResult>) -> Json {
+    match r {
+        Ok(r) => Json::obj(vec![
+            ("t", Json::str("ok")),
+            (
+                "next",
+                Json::Arr(r.next.iter().map(|a| Json::Num(a.raw() as f64)).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    r.rows
+                        .iter()
+                        .map(|(a, row)| Json::Arr(vec![Json::Num(a.raw() as f64), row.clone()]))
+                        .collect(),
+                ),
+            ),
+            ("vr", Json::Num(r.metrics.vertices_read as f64)),
+            ("ev", Json::Num(r.metrics.edges_visited as f64)),
+            ("lr", Json::Num(r.metrics.local_reads as f64)),
+            ("rr", Json::Num(r.metrics.remote_reads as f64)),
+        ]),
+        Err(e) => error_to_json(e),
+    }
+}
+
+pub fn work_result_from_json(j: &Json) -> A1Result<WorkResult> {
+    if j.get("t").and_then(Json::as_str) != Some("ok") {
+        return Err(error_from_json(j));
+    }
+    Ok(WorkResult {
+        next: j
+            .get("next")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_f64().map(|n| Addr::from_raw(n as u64)))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        rows: j
+            .get("rows")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|pair| {
+                        let addr = Addr::from_raw(pair.at(0)?.as_f64()? as u64);
+                        Some((addr, pair.at(1)?.clone()))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        metrics: QueryMetrics {
+            vertices_read: j.get("vr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            edges_visited: j.get("ev").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            local_reads: j.get("lr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            remote_reads: j.get("rr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            ..QueryMetrics::default()
+        },
+    })
+}
+
+fn metrics_to_json(m: &QueryMetrics) -> Json {
+    Json::obj(vec![
+        ("ts", Json::Num(m.snapshot_ts as f64)),
+        ("hops", Json::Num(m.hops as f64)),
+        ("vr", Json::Num(m.vertices_read as f64)),
+        ("ev", Json::Num(m.edges_visited as f64)),
+        ("lr", Json::Num(m.local_reads as f64)),
+        ("rr", Json::Num(m.remote_reads as f64)),
+        ("rpcs", Json::Num(m.rpcs as f64)),
+        ("reqb", Json::Num(m.rpc_req_bytes as f64)),
+        ("repb", Json::Num(m.rpc_reply_bytes as f64)),
+    ])
+}
+
+fn metrics_from_json(j: Option<&Json>) -> QueryMetrics {
+    let Some(j) = j else {
+        return QueryMetrics::default();
+    };
+    let f = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    QueryMetrics {
+        snapshot_ts: f("ts"),
+        hops: f("hops") as u32,
+        vertices_read: f("vr"),
+        edges_visited: f("ev"),
+        local_reads: f("lr"),
+        remote_reads: f("rr"),
+        rpcs: f("rpcs"),
+        rpc_req_bytes: f("reqb"),
+        rpc_reply_bytes: f("repb"),
+    }
+}
+
+pub fn outcome_to_json(out: &A1Result<QueryOutcome>) -> Json {
+    match out {
+        Ok(o) => Json::obj(vec![
+            ("t", Json::str("ok")),
+            ("rows", Json::Arr(o.rows.clone())),
+            (
+                "count",
+                o.count.map(|c| Json::Num(c as f64)).unwrap_or(Json::Null),
+            ),
+            (
+                "cont",
+                o.continuation
+                    .as_ref()
+                    .map(|c| Json::str(c))
+                    .unwrap_or(Json::Null),
+            ),
+            ("metrics", metrics_to_json(&o.metrics)),
+        ]),
+        Err(e) => error_to_json(e),
+    }
+}
+
+pub fn outcome_from_json(j: &Json) -> A1Result<QueryOutcome> {
+    if j.get("t").and_then(Json::as_str) != Some("ok") {
+        return Err(error_from_json(j));
+    }
+    Ok(QueryOutcome {
+        rows: j
+            .get("rows")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default(),
+        count: j.get("count").and_then(Json::as_f64).map(|n| n as u64),
+        continuation: j.get("cont").and_then(Json::as_str).map(String::from),
+        metrics: metrics_from_json(j.get("metrics")),
+        per_hop: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a1_farm::RegionId;
+
+    fn sample_work_op() -> WorkOp {
+        WorkOp {
+            tenant: "t".into(),
+            graph: "g".into(),
+            snapshot_ts: 42,
+            vertices: vec![Addr::new(RegionId(1), 64), Addr::new(RegionId(2), 128)],
+            step: CompiledStep {
+                type_filter: Some(TypeId(3)),
+                id_filter: Some(Addr::new(RegionId(1), 192)),
+                preds: vec![AttrPredicate {
+                    attr: "str_str_map".into(),
+                    map_key: Some("character".into()),
+                    op: CmpOp::Eq,
+                    value: Json::str("Bätman"),
+                }],
+                matches: vec![CompiledMatch {
+                    dir: Dir::Out,
+                    edge_type: TypeId(7),
+                    target: Some(Addr::new(RegionId(3), 256)),
+                    target_type: None,
+                    preds: vec![],
+                }],
+                traverse: Some(CompiledTraverse {
+                    dir: Dir::In,
+                    edge_type: TypeId(9),
+                    edge_preds: vec![AttrPredicate {
+                        attr: "w".into(),
+                        map_key: None,
+                        op: CmpOp::Ge,
+                        value: Json::Num(2.0),
+                    }],
+                }),
+            },
+            emit_rows: true,
+            select: Select::Fields(vec![FieldSel {
+                attr: "name".into(),
+                index: Some(0),
+            }]),
+        }
+    }
+
+    #[test]
+    fn work_op_roundtrips_in_both_formats() {
+        let op = sample_work_op();
+        for fmt in [WireFormat::Binary, WireFormat::Json] {
+            let wire = encode_work_op(&op, fmt);
+            let Request::Work(back) = decode_request(&wire).unwrap() else {
+                panic!("not a work request");
+            };
+            assert_eq!(back, op, "{fmt:?}");
+        }
+        // The binary ship is substantially smaller than the JSON one.
+        let bin = encode_work_op(&op, WireFormat::Binary).len();
+        let json = encode_work_op(&op, WireFormat::Json).len();
+        assert!(bin * 2 < json, "binary {bin} not < half of json {json}");
+    }
+
+    #[test]
+    fn work_result_roundtrips_in_both_formats() {
+        let r = WorkResult {
+            next: vec![Addr::new(RegionId(4), 64)],
+            rows: vec![(
+                Addr::new(RegionId(4), 64),
+                Json::obj(vec![("a", Json::Num(1.0)), ("né", Json::str("ü"))]),
+            )],
+            metrics: QueryMetrics {
+                vertices_read: 3,
+                edges_visited: 5,
+                local_reads: 7,
+                remote_reads: 1,
+                ..QueryMetrics::default()
+            },
+        };
+        for fmt in [WireFormat::Binary, WireFormat::Json] {
+            let wire = encode_work_result(&Ok(r.clone()), fmt);
+            let back = decode_work_result(&wire).unwrap();
+            assert_eq!(back, r, "{fmt:?}");
+        }
+    }
+
+    #[test]
+    fn errors_keep_their_classification() {
+        for e in [
+            A1Error::ContinuationExpired,
+            A1Error::WorkingSetExceeded { limit: 1000 },
+            A1Error::Query("boom".into()),
+            A1Error::Schema("bad field".into()),
+            A1Error::Internal("oops".into()),
+        ] {
+            for fmt in [WireFormat::Binary, WireFormat::Json] {
+                let wire = encode_outcome(&Err(e.clone()), fmt);
+                let back = decode_outcome(&wire).unwrap_err();
+                assert_eq!(back, e, "{fmt:?}");
+                let wire = encode_work_result(&Err(e.clone()), fmt);
+                let back = decode_work_result(&wire).unwrap_err();
+                assert_eq!(back, e, "{fmt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_stringly_errors_still_classify() {
+        // A pre-binary peer sends `{"t":"err","msg":…}` with no code.
+        let j = Json::obj(vec![
+            ("t", Json::str("err")),
+            ("msg", Json::str("continuation token expired")),
+        ]);
+        assert_eq!(
+            outcome_from_json(&j).unwrap_err(),
+            A1Error::ContinuationExpired
+        );
+    }
+
+    #[test]
+    fn outcome_roundtrips_in_both_formats() {
+        let o = QueryOutcome {
+            rows: vec![Json::obj(vec![("id", Json::str("v1"))]), Json::Null],
+            count: Some(7),
+            continuation: Some("c:2:9".into()),
+            metrics: QueryMetrics {
+                snapshot_ts: 10,
+                hops: 2,
+                vertices_read: 30,
+                rpcs: 4,
+                rpc_req_bytes: 1234,
+                rpc_reply_bytes: 5678,
+                ..QueryMetrics::default()
+            },
+            per_hop: Vec::new(),
+        };
+        for fmt in [WireFormat::Binary, WireFormat::Json] {
+            let wire = encode_outcome(&Ok(o.clone()), fmt);
+            let back = decode_outcome(&wire).unwrap();
+            assert_eq!(back.rows, o.rows, "{fmt:?}");
+            assert_eq!(back.count, o.count);
+            assert_eq!(back.continuation, o.continuation);
+            assert_eq!(back.metrics, o.metrics);
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for fmt in [WireFormat::Binary, WireFormat::Json] {
+            let wire = encode_query_request("tén", "g", "{\"id\":\"x\"}", fmt);
+            assert_eq!(
+                decode_request(&wire).unwrap(),
+                Request::Query {
+                    tenant: "tén".into(),
+                    graph: "g".into(),
+                    q: "{\"id\":\"x\"}".into()
+                }
+            );
+            let wire = encode_page_request(99, fmt);
+            assert_eq!(decode_request(&wire).unwrap(), Request::Page { cid: 99 });
+        }
+    }
+
+    #[test]
+    fn json_binary_codec() {
+        let cases = [
+            Json::Null,
+            Json::Bool(true),
+            Json::Num(0.0),
+            Json::Num(-123456789.0),
+            Json::Num(2.5),
+            Json::Num(1e300),
+            Json::str("héllo \u{1F600}"),
+            Json::Arr(vec![Json::Num(1.0), Json::Null]),
+            Json::Obj(vec![
+                ("k".into(), Json::str("v")),
+                (
+                    "nested".into(),
+                    Json::Obj(vec![("a".into(), Json::Num(1.0))]),
+                ),
+            ]),
+        ];
+        for j in cases {
+            let mut buf = Vec::new();
+            encode_json(&j, &mut buf);
+            assert_eq!(json_from_blob(&buf).unwrap(), j);
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // 100k nested single-element arrays: must error at the depth cap,
+        // not blow the decoder's stack (the JSON text parser caps at 128).
+        let mut buf = Vec::new();
+        for _ in 0..100_000 {
+            buf.push(J_ARR);
+            buf.push(1); // varint(1)
+        }
+        buf.push(J_NULL);
+        assert_eq!(
+            json_from_blob(&buf).unwrap_err(),
+            wire_err(WireError::TooDeep)
+        );
+    }
+
+    #[test]
+    fn json_binary_decoder_rejects_garbage() {
+        assert!(json_from_blob(&[]).is_err());
+        assert!(json_from_blob(&[0xFE]).is_err());
+        assert!(json_from_blob(&[J_STR, 200]).is_err());
+        // hostile array length
+        let mut buf = vec![J_ARR];
+        write_varint(&mut buf, u64::MAX);
+        assert!(json_from_blob(&buf).is_err());
+        // trailing bytes
+        assert!(json_from_blob(&[J_NULL, J_NULL]).is_err());
+    }
+
+    #[test]
+    fn mutation_bodies_roundtrip_key_order_exact() {
+        use crate::replog::entry;
+        let bodies = [
+            entry::vertex_upsert(
+                "tén",
+                "g",
+                "entity",
+                &Json::str("v1"),
+                &Json::obj(vec![("id", Json::str("v1")), ("rank", Json::Num(3.0))]),
+            ),
+            entry::vertex_delete("t", "g", "entity", &Json::Num(7.0)),
+            entry::edge_upsert(
+                "t",
+                "g",
+                "actor",
+                &Json::str("a"),
+                "acted_in",
+                "film",
+                &Json::str("f"),
+                &Json::obj(vec![("rôle", Json::str("héro"))]),
+            ),
+            entry::edge_delete(
+                "t",
+                "g",
+                "actor",
+                &Json::str("a"),
+                "x",
+                "film",
+                &Json::str("f"),
+            ),
+        ];
+        for body in bodies {
+            let bin = mutation_body_to_binary(&body);
+            assert!(is_binary(&bin));
+            // Key-order-exact: Json equality includes object key order.
+            assert_eq!(decode_mutation_body(&bin).unwrap(), body);
+            // Legacy JSON text decodes through the same entry point.
+            let text = body.to_string().into_bytes();
+            assert_eq!(decode_mutation_body(&text).unwrap(), body);
+            // And the binary body is no bigger (in practice much smaller).
+            assert!(bin.len() < text.len(), "{} !< {}", bin.len(), text.len());
+        }
+    }
+
+    #[test]
+    fn mutation_body_unknown_keys_survive() {
+        let body = Json::Obj(vec![
+            ("op".into(), Json::str("put_vertex")),
+            ("tenant".into(), Json::str("t")),
+            ("graph".into(), Json::str("g")),
+            ("type".into(), Json::str("e")),
+            ("data".into(), Json::obj(vec![("id", Json::str("v"))])),
+            ("future_field".into(), Json::Num(9.0)),
+        ]);
+        let decoded = decode_mutation_body(&mutation_body_to_binary(&body)).unwrap();
+        assert_eq!(decoded.get("future_field"), Some(&Json::Num(9.0)));
+        assert_eq!(decoded.get("op"), body.get("op"));
+    }
+}

@@ -1,0 +1,332 @@
+//! Property tests for the inter-machine wire protocol: the binary and JSON
+//! codecs must be *equivalent* — any message decodes to the same value from
+//! either format — and the binary decoder must never panic on garbage.
+
+use a1_core::edges::Dir;
+use a1_core::query::exec::{
+    CompiledMatch, CompiledStep, CompiledTraverse, QueryMetrics, QueryOutcome, WorkOp, WorkResult,
+};
+use a1_core::query::plan::{AttrPredicate, CmpOp, FieldSel, Select};
+use a1_core::replog::entry;
+use a1_core::wire::{self, Request, WireFormat};
+use a1_core::{Json, TypeId};
+use a1_farm::{Addr, RegionId};
+use proptest::prelude::*;
+
+/// `Option` strategy (the vendored proptest has no `prop::option` module).
+fn opt<S>(s: S) -> impl Strategy<Value = Option<S::Value>>
+where
+    S: Strategy + Send + Sync + 'static,
+    S::Value: std::fmt::Debug + Clone + Send + Sync + 'static,
+{
+    prop_oneof![Just(None), s.prop_map(Some)]
+}
+
+// ----------------------------------------------------------------- strategies
+
+/// Addresses whose raw form stays well under 2^53, so the legacy JSON wire
+/// (f64 numbers) is lossless and the two formats can be compared exactly.
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    (0u32..1024, any::<u32>()).prop_map(|(r, off)| Addr::new(RegionId(r), off))
+}
+
+/// JSON values whose text form round-trips exactly (integral or short
+/// dyadic-fraction numbers; arbitrary printable strings incl. non-ASCII).
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i32>().prop_map(|n| Json::Num(n as f64)),
+        (any::<i16>(), 0u32..4).prop_map(|(n, d)| Json::Num(n as f64 / (1u64 << d) as f64)),
+        "\\PC{0,12}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+            prop::collection::vec(("\\PC{0,8}", inner), 0..4)
+                .prop_map(|pairs| Json::Obj(pairs.into_iter().collect())),
+        ]
+    })
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+    ]
+}
+
+fn arb_dir() -> impl Strategy<Value = Dir> {
+    prop_oneof![Just(Dir::Out), Just(Dir::In)]
+}
+
+fn arb_pred() -> impl Strategy<Value = AttrPredicate> {
+    ("\\PC{1,10}", opt("\\PC{1,6}"), arb_cmp_op(), arb_json()).prop_map(
+        |(attr, map_key, op, value)| AttrPredicate {
+            attr,
+            map_key,
+            op,
+            value,
+        },
+    )
+}
+
+fn arb_match() -> impl Strategy<Value = CompiledMatch> {
+    (
+        arb_dir(),
+        any::<u32>(),
+        opt(arb_addr()),
+        opt(any::<u32>()),
+        prop::collection::vec(arb_pred(), 0..3),
+    )
+        .prop_map(|(dir, et, target, tt, preds)| CompiledMatch {
+            dir,
+            edge_type: TypeId(et),
+            target,
+            target_type: tt.map(TypeId),
+            preds,
+        })
+}
+
+fn arb_step() -> impl Strategy<Value = CompiledStep> {
+    (
+        opt(any::<u32>()),
+        opt(arb_addr()),
+        prop::collection::vec(arb_pred(), 0..3),
+        prop::collection::vec(arb_match(), 0..3),
+        opt((
+            arb_dir(),
+            any::<u32>(),
+            prop::collection::vec(arb_pred(), 0..2),
+        )),
+    )
+        .prop_map(|(tf, idf, preds, matches, traverse)| CompiledStep {
+            type_filter: tf.map(TypeId),
+            id_filter: idf,
+            preds,
+            matches,
+            traverse: traverse.map(|(dir, et, edge_preds)| CompiledTraverse {
+                dir,
+                edge_type: TypeId(et),
+                edge_preds,
+            }),
+        })
+}
+
+fn arb_select() -> impl Strategy<Value = Select> {
+    prop_oneof![
+        Just(Select::All),
+        Just(Select::Count),
+        // Bare identifiers: `a[1]`-style attrs would collide with the
+        // list-index selector syntax in both wire formats.
+        prop::collection::vec(("[a-z_]{1,8}", opt(0usize..16)), 0..4).prop_map(
+            |fs| Select::Fields(
+                fs.into_iter()
+                    .map(|(attr, index)| FieldSel { attr, index })
+                    .collect()
+            )
+        ),
+    ]
+}
+
+fn arb_work_op() -> impl Strategy<Value = WorkOp> {
+    (
+        ("\\PC{0,10}", "\\PC{0,10}", any::<u32>()),
+        prop::collection::vec(arb_addr(), 0..32), // includes empty batches
+        arb_step(),
+        any::<bool>(),
+        arb_select(),
+    )
+        .prop_map(
+            |((tenant, graph, ts), vertices, step, emit_rows, select)| WorkOp {
+                tenant,
+                graph,
+                snapshot_ts: ts as u64,
+                vertices,
+                step,
+                emit_rows,
+                select,
+            },
+        )
+}
+
+fn arb_work_result() -> impl Strategy<Value = WorkResult> {
+    (
+        prop::collection::vec(arb_addr(), 0..32),
+        prop::collection::vec((arb_addr(), arb_json()), 0..8),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+    )
+        .prop_map(|(next, rows, (vr, ev, lr, rr))| WorkResult {
+            next,
+            rows,
+            metrics: QueryMetrics {
+                vertices_read: vr as u64,
+                edges_visited: ev as u64,
+                local_reads: lr as u64,
+                remote_reads: rr as u64,
+                ..QueryMetrics::default()
+            },
+        })
+}
+
+/// Replication-log entry bodies as produced by the `replog::entry`
+/// constructors (the only shapes A1 writes).
+fn arb_entry_body() -> impl Strategy<Value = Json> {
+    let s = "\\PC{0,10}";
+    prop_oneof![
+        (s, s, s, arb_json(), arb_json())
+            .prop_map(|(t, g, ty, pk, data)| entry::vertex_upsert(&t, &g, &ty, &pk, &data)),
+        (s, s, s, arb_json()).prop_map(|(t, g, ty, pk)| entry::vertex_delete(&t, &g, &ty, &pk)),
+        ((s, s), (s, arb_json()), (s, s, arb_json()), arb_json()).prop_map(
+            |((t, g), (st, src), (et, dt, dst), data)| {
+                entry::edge_upsert(&t, &g, &st, &src, &et, &dt, &dst, &data)
+            }
+        ),
+        ((s, s), (s, arb_json()), (s, s, arb_json())).prop_map(
+            |((t, g), (st, src), (et, dt, dst))| {
+                entry::edge_delete(&t, &g, &st, &src, &et, &dt, &dst)
+            }
+        ),
+    ]
+}
+
+// ------------------------------------------------------------------ roundtrip
+
+proptest! {
+    /// Binary and JSON wires decode a shipped work op to the same value.
+    #[test]
+    fn work_op_codec_equivalence(op in arb_work_op()) {
+        for fmt in [WireFormat::Binary, WireFormat::Json] {
+            let encoded = wire::encode_work_op(&op, fmt);
+            let Request::Work(back) = wire::decode_request(&encoded).unwrap() else {
+                panic!("decoded to a non-work request");
+            };
+            prop_assert_eq!(&back, &op);
+        }
+    }
+
+    #[test]
+    fn work_result_codec_equivalence(r in arb_work_result()) {
+        for fmt in [WireFormat::Binary, WireFormat::Json] {
+            let encoded = wire::encode_work_result(&Ok(r.clone()), fmt);
+            let back = wire::decode_work_result(&encoded).unwrap();
+            prop_assert_eq!(&back, &r);
+        }
+    }
+
+    /// Outcomes (rows + metrics + continuation) survive both wires.
+    #[test]
+    fn outcome_codec_equivalence(
+        rows in prop::collection::vec(arb_json(), 0..8),
+        count in opt(any::<u32>()),
+        cont in opt("\\PC{1,12}"),
+    ) {
+        let o = QueryOutcome {
+            rows,
+            count: count.map(|c| c as u64),
+            continuation: cont,
+            metrics: QueryMetrics::default(),
+            per_hop: Vec::new(),
+        };
+        for fmt in [WireFormat::Binary, WireFormat::Json] {
+            let encoded = wire::encode_outcome(&Ok(o.clone()), fmt);
+            let back = wire::decode_outcome(&encoded).unwrap();
+            prop_assert_eq!(&back.rows, &o.rows);
+            prop_assert_eq!(back.count, o.count);
+            prop_assert_eq!(&back.continuation, &o.continuation);
+        }
+    }
+
+    /// Replication-log entry bodies round-trip key-order-exact through the
+    /// binary frame, and legacy JSON text decodes identically through the
+    /// same entry point (the DR replay path).
+    #[test]
+    fn replog_entry_codec_equivalence(body in arb_entry_body()) {
+        let bin = wire::mutation_body_to_binary(&body);
+        prop_assert_eq!(&wire::decode_mutation_body(&bin).unwrap(), &body);
+        let text = body.to_string().into_bytes();
+        prop_assert_eq!(&wire::decode_mutation_body(&text).unwrap(), &body);
+    }
+
+    /// The binary JSON-value codec round-trips arbitrary values (incl.
+    /// non-ASCII strings and deep nesting with repeated keys).
+    #[test]
+    fn json_value_codec_roundtrip(j in arb_json()) {
+        let mut buf = Vec::new();
+        wire::encode_json(&j, &mut buf);
+        let mut pos = 0;
+        let back = wire::decode_json(&buf, &mut pos).unwrap();
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(back, j);
+    }
+
+    /// No decoder panics on arbitrary garbage — malformed frames surface as
+    /// errors (the RPC layer replies with a structured error).
+    #[test]
+    fn decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let _ = wire::decode_request(&bytes);
+        let _ = wire::decode_work_result(&bytes);
+        let _ = wire::decode_outcome(&bytes);
+        let _ = wire::decode_mutation_body(&bytes);
+        let mut pos = 0;
+        let _ = wire::decode_json(&bytes, &mut pos);
+    }
+
+    /// Same, with a valid magic byte so the binary branch is exercised.
+    #[test]
+    fn framed_decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let mut framed = vec![0xA1, 0x01];
+        framed.extend(bytes);
+        let _ = wire::decode_request(&framed);
+        let _ = wire::decode_work_result(&framed);
+        let _ = wire::decode_outcome(&framed);
+        let _ = wire::decode_mutation_body(&framed);
+    }
+}
+
+/// Every `CmpOp` variant crosses both wires (deterministic complement to the
+/// proptest coverage above).
+#[test]
+fn all_cmp_ops_cross_both_wires() {
+    for op in [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Lt,
+        CmpOp::Le,
+    ] {
+        let work = WorkOp {
+            tenant: "t".into(),
+            graph: "g".into(),
+            snapshot_ts: 1,
+            vertices: vec![],
+            step: CompiledStep {
+                type_filter: None,
+                id_filter: None,
+                preds: vec![AttrPredicate {
+                    attr: "rank".into(),
+                    map_key: None,
+                    op,
+                    value: Json::Num(5.0),
+                }],
+                matches: vec![],
+                traverse: None,
+            },
+            emit_rows: false,
+            select: Select::Count,
+        };
+        for fmt in [WireFormat::Binary, WireFormat::Json] {
+            let Request::Work(back) =
+                wire::decode_request(&wire::encode_work_op(&work, fmt)).unwrap()
+            else {
+                panic!("not a work request");
+            };
+            assert_eq!(back.step.preds[0].op, op, "{fmt:?}");
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //! metadata (`source`, `seq`) and the entity key that routes it to a
 //! partition.
 
-use a1_core::{A1Error, A1Result, Json, Mutation};
+use a1_core::wire;
+use a1_core::{A1Error, A1Result, Json, Mutation, WireFormat};
 
 /// One record off the (simulated) pub/sub bus.
 ///
@@ -95,10 +96,26 @@ impl MutationRecord {
         })
     }
 
-    /// Parse a record from JSON text (the bus wire).
+    /// Parse a record from JSON text (the legacy bus wire).
     pub fn parse(text: &str) -> A1Result<MutationRecord> {
         let j = Json::parse(text).map_err(|e| A1Error::Schema(e.to_string()))?;
         MutationRecord::from_json(&j)
+    }
+
+    /// Serialize for the bus in the given wire format. Binary uses the same
+    /// frame + mutation-body encoding as replication-log entries, with the
+    /// stream-record message tag.
+    pub fn to_wire(&self, fmt: WireFormat) -> Vec<u8> {
+        match fmt {
+            WireFormat::Binary => wire::mutation_record_to_binary(&self.to_json()),
+            WireFormat::Json => self.to_json().to_string().into_bytes(),
+        }
+    }
+
+    /// Parse a record from either wire format (auto-detected), so a consumer
+    /// can drain a bus carrying a mix of binary-era and JSON-era records.
+    pub fn from_wire(bytes: &[u8]) -> A1Result<MutationRecord> {
+        MutationRecord::from_json(&wire::decode_mutation_body(bytes)?)
     }
 }
 

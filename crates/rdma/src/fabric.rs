@@ -257,6 +257,9 @@ impl Fabric {
             .clone()
             .ok_or(NetError::NoHandler(to))?;
         self.metrics.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .rpc_req_bytes
+            .fetch_add(request.len() as u64, Ordering::Relaxed);
         let same_rack = self.rack_of(from) == self.rack_of(to);
         self.charge(self.cfg.latency.rpc_ns(same_rack, request.len()));
         // A pool that shut down mid-call (cluster teardown race) or a
@@ -272,6 +275,9 @@ impl Fabric {
             })
             .and_then(Result::ok)
             .ok_or(NetError::RpcDropped)?;
+        self.metrics
+            .rpc_reply_bytes
+            .fetch_add(reply.len() as u64, Ordering::Relaxed);
         self.charge(self.cfg.latency.rpc_ns(same_rack, reply.len()));
         Ok(reply)
     }
@@ -396,7 +402,11 @@ mod tests {
             .rpc(MachineId(1), MachineId(2), Bytes::from_static(&[5]))
             .unwrap();
         assert_eq!(&reply[..], &[5, 1]);
-        assert_eq!(f.metrics().snapshot().rpcs, 1);
+        let snap = f.metrics().snapshot();
+        assert_eq!(snap.rpcs, 1);
+        assert_eq!(snap.rpc_req_bytes, 1);
+        assert_eq!(snap.rpc_reply_bytes, 2);
+        assert_eq!(snap.rpc_bytes(), 3);
     }
 
     #[test]

@@ -13,6 +13,10 @@ pub struct Metrics {
     pub remote_writes: AtomicU64,
     pub cas_ops: AtomicU64,
     pub rpcs: AtomicU64,
+    /// Total RPC request payload bytes put on the wire.
+    pub rpc_req_bytes: AtomicU64,
+    /// Total RPC reply payload bytes returned over the wire.
+    pub rpc_reply_bytes: AtomicU64,
     pub ud_sent: AtomicU64,
     pub ud_dropped: AtomicU64,
     pub bytes_read: AtomicU64,
@@ -30,6 +34,8 @@ pub struct MetricsSnapshot {
     pub remote_writes: u64,
     pub cas_ops: u64,
     pub rpcs: u64,
+    pub rpc_req_bytes: u64,
+    pub rpc_reply_bytes: u64,
     pub ud_sent: u64,
     pub ud_dropped: u64,
     pub bytes_read: u64,
@@ -50,6 +56,8 @@ impl Metrics {
             remote_writes: self.remote_writes.load(Ordering::Relaxed),
             cas_ops: self.cas_ops.load(Ordering::Relaxed),
             rpcs: self.rpcs.load(Ordering::Relaxed),
+            rpc_req_bytes: self.rpc_req_bytes.load(Ordering::Relaxed),
+            rpc_reply_bytes: self.rpc_reply_bytes.load(Ordering::Relaxed),
             ud_sent: self.ud_sent.load(Ordering::Relaxed),
             ud_dropped: self.ud_dropped.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
@@ -69,6 +77,8 @@ impl MetricsSnapshot {
             remote_writes: self.remote_writes - earlier.remote_writes,
             cas_ops: self.cas_ops - earlier.cas_ops,
             rpcs: self.rpcs - earlier.rpcs,
+            rpc_req_bytes: self.rpc_req_bytes - earlier.rpc_req_bytes,
+            rpc_reply_bytes: self.rpc_reply_bytes - earlier.rpc_reply_bytes,
             ud_sent: self.ud_sent - earlier.ud_sent,
             ud_dropped: self.ud_dropped - earlier.ud_dropped,
             bytes_read: self.bytes_read - earlier.bytes_read,
@@ -79,6 +89,12 @@ impl MetricsSnapshot {
 
     pub fn total_reads(&self) -> u64 {
         self.local_reads + self.remote_reads
+    }
+
+    /// Total RPC payload bytes (request + reply) — the bytes-on-wire figure
+    /// the wire-protocol benchmarks gate on.
+    pub fn rpc_bytes(&self) -> u64 {
+        self.rpc_req_bytes + self.rpc_reply_bytes
     }
 
     /// Fraction of reads that were local (paper §6 reports ≥95% for shipped

@@ -1,4 +1,12 @@
 //! The replication pipeline: replication log → ObjectStore (paper §4).
+//!
+//! Entry bodies arrive already decoded: `Replog::fetch_pending` reads each
+//! stored entry through `a1_core::wire::decode_mutation_body`, which
+//! auto-detects the binary mutation-body frame (the default since the wire
+//! protocol v1) vs. JSON-era text — so logs written by older builds, or
+//! logs mixing both eras, replay here unchanged. The replicator itself is
+//! format-agnostic: it sees the one shared mutation vocabulary
+//! (`put_vertex` / `del_vertex` / `put_edge` / `del_edge`).
 
 use crate::{catalog_table, edge_row_key, edge_table, vertex_row_key, vertex_table};
 use a1_core::error::{A1Error, A1Result};
