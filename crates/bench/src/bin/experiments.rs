@@ -9,20 +9,22 @@
 //!
 //! Figure targets: table2, fig10, fig11, fig12, fig13, fig14, q4, locality,
 //! baseline, ablation-mvcc, ablation-edges, fast-restart, fanout, ingest,
-//! wire, all.
+//! wire, morsel, all.
 //!
 //! Flags:
 //!
 //! * `--json` — run the perf-trajectory suites (real wall-clock latency of
 //!   Q1/Q4 under the serial and parallel coordinator, ingest throughput:
-//!   single-op vs group-commit vs partition-parallel, and the wire suite:
-//!   codec micro-bench + bytes-on-wire, binary vs JSON) and print one JSON
-//!   document (schema `a1-bench-v3`) to stdout. CI uploads this as an
-//!   artifact; `BENCH_<n>.json` snapshots are committed at the repo root.
+//!   single-op vs group-commit vs partition-parallel, the wire suite:
+//!   codec micro-bench + bytes-on-wire, binary vs JSON, and the intra
+//!   suite: serial vs morsel-parallel work ops on hub-skewed and uniform
+//!   frontiers) and print one JSON document (schema `a1-bench-v4`) to
+//!   stdout. CI uploads this as an artifact; `BENCH_<n>.json` snapshots are
+//!   committed at the repo root.
 //! * `--quick` — smaller workload + fewer iterations (CI-speed).
 //! * `--fig14-scale N` — divisor applied to the paper's Figure 14 dataset.
 
-use a1_bench::{figures, ingest, perf, wire};
+use a1_bench::{figures, ingest, morsel, perf, wire};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,13 +60,15 @@ fn main() {
         let results = perf::run_suite(quick);
         let ingest_results = ingest::run_ingest_suite(quick);
         let wire_results = wire::run_wire_suite(quick);
+        let morsel_results = morsel::run_morsel_suite(quick);
         // One document carrying all suites, so the perf-trajectory CI job
-        // tracks wire bytes and ingest throughput alongside Q1/Q4 latency.
+        // tracks wire bytes, ingest throughput and morsel speedup alongside
+        // Q1/Q4 latency.
         let mut doc = match perf::suite_to_json(&results, quick) {
             a1_core::Json::Obj(mut fields) => {
                 for (k, v) in fields.iter_mut() {
                     if k == "schema" {
-                        *v = a1_core::Json::str("a1-bench-v3");
+                        *v = a1_core::Json::str("a1-bench-v4");
                     }
                 }
                 fields
@@ -76,6 +80,10 @@ fn main() {
             ingest::ingest_suite_to_json(&ingest_results),
         ));
         doc.push(("wire".to_string(), wire::wire_suite_to_json(&wire_results)));
+        doc.push((
+            "intra".to_string(),
+            morsel::morsel_suite_to_json(&morsel_results),
+        ));
         println!("{}", a1_core::Json::Obj(doc).to_string_pretty());
         return;
     }
@@ -97,6 +105,7 @@ fn main() {
             "fanout" => Some(perf::fanout_report(quick)),
             "ingest" => Some(ingest::ingest_report(quick)),
             "wire" => Some(wire::wire_report(quick)),
+            "morsel" => Some(morsel::morsel_report(quick)),
             _ => None,
         }
     };
@@ -117,6 +126,7 @@ fn main() {
         "fanout",
         "ingest",
         "wire",
+        "morsel",
     ];
     if target == "all" {
         for name in all {

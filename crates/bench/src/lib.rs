@@ -9,6 +9,7 @@ pub mod costmodel;
 pub mod des;
 pub mod figures;
 pub mod ingest;
+pub mod morsel;
 pub mod perf;
 pub mod wire;
 pub mod workload;

@@ -1,0 +1,437 @@
+//! The morsel suite: intra-machine (morsel-driven) parallelism A/B,
+//! measured wall-clock on a latency-injected 8-machine cluster.
+//!
+//! PR 2's fan-out parallelized a hop *across* machines; this suite measures
+//! the level below — [`ExecConfig::intra_parallelism`] splitting one
+//! machine's work-op batch into morsels on its own worker pool. The workload
+//! is built to defeat cross-machine fan-out: a **hub-skewed** frontier where
+//! one machine owns ~90% of the hop's vertices, so the whole hop collapses
+//! onto a single shipped work op (the common shape in the paper's
+//! knowledge-graph workloads, where hub entities concentrate frontiers). A
+//! **uniform** frontier is measured alongside as the control: fan-out
+//! already covers it, so morsels help less there by design.
+//!
+//! Every configuration must answer the same count query identically — the
+//! suite doubles as a correctness gate across {serial, parallel fan-out} ×
+//! {1, N} morsel configs, like the fan-out suite in [`crate::perf`].
+//!
+//! [`ExecConfig::intra_parallelism`]: a1_core::query::exec::ExecConfig::intra_parallelism
+
+use crate::perf::{measured_latency, percentile};
+use a1_core::{A1Cluster, A1Config, Json, MachineId, Mutation};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+pub const TENANT: &str = "bing";
+pub const GRAPH: &str = "morsel";
+
+const SCHEMA: &str = r#"{
+    "name": "entity",
+    "fields": [
+        {"id": 0, "name": "id", "type": "string", "required": true},
+        {"id": 1, "name": "rank", "type": "int64"},
+        {"id": 2, "name": "payload", "type": "string"}
+    ]
+}"#;
+
+/// Frontier shape parameters.
+#[derive(Debug, Clone)]
+pub struct MorselGraphSpec {
+    /// Frontier vertices (hop-2 work-op batch size across the cluster).
+    pub srcs: usize,
+    /// Fraction of the frontier owned by machine 0 in the skewed variant.
+    pub skew: f64,
+    /// Match-target payload bytes (read during predicate evaluation).
+    pub payload_bytes: usize,
+}
+
+impl MorselGraphSpec {
+    pub fn quick() -> MorselGraphSpec {
+        MorselGraphSpec {
+            srcs: 64,
+            skew: 0.9,
+            payload_bytes: 64,
+        }
+    }
+
+    pub fn full() -> MorselGraphSpec {
+        MorselGraphSpec {
+            srcs: 160,
+            skew: 0.9,
+            payload_bytes: 220,
+        }
+    }
+}
+
+/// Build the two-hop match workload:
+///
+/// ```text
+/// root ──fan──▶ src_i ──hit──▶ tgt_i   (match: tgt.rank == 1)
+/// ```
+///
+/// `root` lives on machine 1 (the coordinator, so hop 1 is an inline run).
+/// In the skewed variant ~`skew` of the `src` vertices are pinned to
+/// machine 0 — hop 2 becomes one big shipped work op — and every `tgt_i` is
+/// a *distinct* vertex on machines 1…N−1, so each match evaluation is a
+/// remote header+record read from machine 0 that only morsels can overlap
+/// (the per-batch neighbor memo doesn't collapse distinct targets).
+pub fn build_graph(cfg: A1Config, spec: &MorselGraphSpec, skewed: bool) -> A1Cluster {
+    let machines = cfg.farm.fabric.machines;
+    assert!(machines >= 3, "need a hub machine plus remote targets");
+    let cluster = A1Cluster::start(cfg).expect("cluster");
+    let client = cluster.client();
+    client.create_tenant(TENANT).unwrap();
+    client.create_graph(TENANT, GRAPH).unwrap();
+    client
+        .create_vertex_type(TENANT, GRAPH, SCHEMA, "id", &[])
+        .unwrap();
+    for et in ["fan", "hit"] {
+        client
+            .create_edge_type(
+                TENANT,
+                GRAPH,
+                &format!(r#"{{"name": "{et}", "fields": []}}"#),
+            )
+            .unwrap();
+    }
+    let payload: String = (0..spec.payload_bytes)
+        .map(|i| ((i % 26) as u8 + b'a') as char)
+        .collect();
+    let vertex = |id: &str, rank: i64| Mutation::UpsertVertex {
+        tenant: TENANT.into(),
+        graph: GRAPH.into(),
+        ty: "entity".into(),
+        attrs: Json::obj(vec![
+            ("id", Json::str(id)),
+            ("rank", Json::Num(rank as f64)),
+            ("payload", Json::str(&payload)),
+        ]),
+    };
+    let edge = |src: &str, et: &str, dst: &str| Mutation::UpsertEdge {
+        tenant: TENANT.into(),
+        graph: GRAPH.into(),
+        src_type: "entity".into(),
+        src_id: Json::str(src),
+        edge_type: et.into(),
+        dst_type: "entity".into(),
+        dst_id: Json::str(dst),
+        data: None,
+    };
+
+    // Vertices allocate at the batch's pinned coordinator (Hint::Local), so
+    // `apply_batch_at` controls placement — that is what makes the skew.
+    client
+        .apply_batch_at(MachineId(1), &[vertex("root", 0)])
+        .unwrap();
+    let home = |i: usize| -> MachineId {
+        if skewed {
+            let hub = (spec.srcs as f64 * spec.skew).round() as usize;
+            if i < hub {
+                MachineId(0)
+            } else {
+                MachineId(1 + ((i - hub) as u32 % (machines - 1)))
+            }
+        } else {
+            MachineId(i as u32 % machines)
+        }
+    };
+    for i in 0..spec.srcs {
+        let sid = format!("src{i:05}");
+        let tid = format!("tgt{i:05}");
+        client.apply_batch_at(home(i), &[vertex(&sid, 0)]).unwrap();
+        // Targets never land on machine 0: from the hub machine every match
+        // read is a (simulated) remote read.
+        client
+            .apply_batch_at(
+                MachineId(1 + (i as u32 % (machines - 1))),
+                &[vertex(&tid, 1)],
+            )
+            .unwrap();
+        client
+            .apply_batch(&[edge("root", "fan", &sid), edge(&sid, "hit", &tid)])
+            .unwrap();
+    }
+    cluster
+}
+
+/// The measured query: count the frontier vertices whose `hit` target
+/// satisfies `rank == 1` (all of them — the answer is `srcs`).
+pub fn match_query() -> String {
+    r#"{ "id": "root",
+        "_out_edge": { "_type": "fan",
+        "_vertex": {
+        "_match": [{ "_out_edge": { "_type": "hit",
+        "_vertex": { "rank": 1 } } }],
+        "_select": ["_count(*)"] } } }"#
+        .to_string()
+}
+
+/// One measured morsel configuration.
+#[derive(Debug, Clone)]
+pub struct MorselBenchResult {
+    /// `skewed` (one machine owns ~90% of the frontier) or `uniform`.
+    pub workload: String,
+    pub machines: u32,
+    /// [`ExecConfig::intra_parallelism`]: 0 = auto/morsel-parallel,
+    /// 1 = legacy serial per-machine loop.
+    ///
+    /// [`ExecConfig::intra_parallelism`]: a1_core::query::exec::ExecConfig::intra_parallelism
+    pub intra_parallelism: usize,
+    pub iters: usize,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub avg_ns: u64,
+    pub throughput_qps: f64,
+    /// Hop-2 frontier size (the morsel-split batch, summed over machines).
+    pub frontier: u64,
+    /// Total morsels the hops were split into in one execution.
+    pub morsels: u64,
+    /// Peak concurrently executing morsels inside any single work op.
+    pub max_concurrent_morsels: u64,
+    /// The query's answer, cross-checked between every configuration.
+    pub result: u64,
+}
+
+/// A cluster configured for the suite: 8 machines × 8 simulated cores (the
+/// base worker threads `intra_parallelism = 0` resolves against).
+pub fn suite_config(fanout: usize, intra: usize) -> A1Config {
+    let mut cfg = A1Config::small(8)
+        .with_fanout(fanout)
+        .with_intra_parallelism(intra);
+    cfg.farm.fabric.threads_per_machine = 8;
+    cfg.farm.fabric.latency = measured_latency();
+    cfg
+}
+
+fn measure(cluster: &A1Cluster, workload: &str, intra: usize, iters: usize) -> MorselBenchResult {
+    let inner = cluster.inner();
+    let text = match_query();
+    // Coordinate from machine 1: machine 0's (hub) batch ships over RPC and
+    // morsel-splits inside `handle_work` at the data's home machine.
+    let run = || {
+        inner
+            .coordinate_query(MachineId(1), TENANT, GRAPH, &text)
+            .expect("query")
+    };
+    for _ in 0..2 {
+        run(); // warm proxy caches and the pool
+    }
+    let mut samples_ns = Vec::with_capacity(iters);
+    let mut last = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let outcome = run();
+        samples_ns.push(t0.elapsed().as_nanos() as u64);
+        last = Some(outcome);
+    }
+    let outcome = last.expect("at least one iteration");
+    samples_ns.sort_unstable();
+    let avg_ns = samples_ns.iter().sum::<u64>() / iters as u64;
+    MorselBenchResult {
+        workload: workload.to_string(),
+        machines: cluster.farm().fabric().num_machines(),
+        intra_parallelism: intra,
+        iters,
+        p50_ns: percentile(&samples_ns, 50),
+        p99_ns: percentile(&samples_ns, 99),
+        avg_ns,
+        throughput_qps: 1e9 / avg_ns as f64,
+        frontier: outcome
+            .per_hop
+            .iter()
+            .map(|h| h.frontier)
+            .max()
+            .unwrap_or(0),
+        morsels: outcome.per_hop.iter().map(|h| h.morsels).sum(),
+        max_concurrent_morsels: outcome
+            .per_hop
+            .iter()
+            .map(|h| h.max_concurrent_morsels)
+            .max()
+            .unwrap_or(0),
+        result: outcome.count.unwrap_or(outcome.rows.len() as u64),
+    }
+}
+
+/// Run the suite: the skewed and uniform workloads under the serial
+/// (`intra_parallelism = 1`) and morsel-parallel (auto) work-op loop, on
+/// identically seeded 8-machine clusters with injected latency. Additional
+/// unmeasured configurations — the serial fan-out coordinator and a fixed
+/// morsel cap — are cross-checked for identical answers, so the CI perf job
+/// doubles as a correctness gate across {serial, parallel} × {1, N} morsel
+/// configs.
+pub fn run_morsel_suite(quick: bool) -> Vec<MorselBenchResult> {
+    let spec = if quick {
+        MorselGraphSpec::quick()
+    } else {
+        MorselGraphSpec::full()
+    };
+    let iters = if quick { 5 } else { 12 };
+    let mut results = Vec::new();
+    for (workload, skewed) in [("skewed", true), ("uniform", false)] {
+        for intra in [1usize, 0] {
+            // Load fast (no injection), then measure with wall-clock
+            // injection — like the fan-out suite.
+            let cluster = build_graph(suite_config(0, intra), &spec, skewed);
+            cluster.farm().fabric().set_inject_latency(true);
+            results.push(measure(&cluster, workload, intra, iters));
+            cluster.farm().fabric().set_inject_latency(false);
+        }
+        // Correctness-only configurations: serial fan-out × {1, N} morsels.
+        // (No timing — answers must match the measured runs exactly.)
+        let expected = results.last().expect("measured above").result;
+        for (fanout, intra) in [(1usize, 1usize), (1, 0), (0, 4)] {
+            let cluster = build_graph(suite_config(fanout, intra), &spec, skewed);
+            let out = cluster
+                .inner()
+                .coordinate_query(MachineId(1), TENANT, GRAPH, &match_query())
+                .expect("query");
+            assert_eq!(
+                out.count.unwrap_or(0),
+                expected,
+                "{workload}: fanout={fanout} intra={intra} disagrees"
+            );
+        }
+    }
+    for r in &results {
+        let twin = results
+            .iter()
+            .find(|o| o.workload == r.workload && o.intra_parallelism != r.intra_parallelism)
+            .expect("both modes measured");
+        assert_eq!(
+            r.result, twin.result,
+            "serial and morsel-parallel work ops disagree on {}",
+            r.workload
+        );
+    }
+    results
+}
+
+/// Serialize suite results for the CI artifact / committed `BENCH_<n>.json`
+/// (the `intra` section of the `a1-bench-v4` schema).
+pub fn morsel_suite_to_json(results: &[MorselBenchResult]) -> Json {
+    Json::obj(vec![(
+        "results",
+        Json::Arr(
+            results
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("workload", Json::str(&r.workload)),
+                        ("machines", Json::Num(r.machines as f64)),
+                        ("intra_parallelism", Json::Num(r.intra_parallelism as f64)),
+                        ("iters", Json::Num(r.iters as f64)),
+                        ("p50_latency_ns", Json::Num(r.p50_ns as f64)),
+                        ("p99_latency_ns", Json::Num(r.p99_ns as f64)),
+                        ("avg_latency_ns", Json::Num(r.avg_ns as f64)),
+                        ("throughput_qps", Json::Num(r.throughput_qps)),
+                        ("frontier", Json::Num(r.frontier as f64)),
+                        ("morsels", Json::Num(r.morsels as f64)),
+                        (
+                            "max_concurrent_morsels",
+                            Json::Num(r.max_concurrent_morsels as f64),
+                        ),
+                        ("result", Json::Num(r.result as f64)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Human-readable serial-vs-morsel report (the `morsel` experiments
+/// target).
+pub fn morsel_report(quick: bool) -> String {
+    let results = run_morsel_suite(quick);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== intra-machine morsel parallelism vs serial work-op loop (8 machines × 8 cores, injected latency) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<8} {:<8} {:>10} {:>10} {:>10} {:>9} {:>8} {:>6}",
+        "frontier", "mode", "p50 µs", "p99 µs", "avg µs", "qps", "morsels", "peak"
+    )
+    .unwrap();
+    for r in &results {
+        let mode = if r.intra_parallelism == 1 {
+            "serial"
+        } else {
+            "morsel"
+        };
+        writeln!(
+            out,
+            "{:<8} {:<8} {:>10.1} {:>10.1} {:>10.1} {:>9.0} {:>8} {:>6}",
+            r.workload,
+            mode,
+            r.p50_ns as f64 / 1000.0,
+            r.p99_ns as f64 / 1000.0,
+            r.avg_ns as f64 / 1000.0,
+            r.throughput_qps,
+            r.morsels,
+            r.max_concurrent_morsels,
+        )
+        .unwrap();
+    }
+    for name in ["skewed", "uniform"] {
+        let by = |i: usize| {
+            results
+                .iter()
+                .find(|r| r.workload == name && r.intra_parallelism == i)
+                .unwrap()
+        };
+        writeln!(
+            out,
+            "{name} speedup (serial p50 / morsel p50): {:.2}x",
+            by(1).p50_ns as f64 / by(0).p50_ns as f64
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(a hub-skewed frontier collapses onto one machine's work op; only morsels can overlap its reads)"
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_morsel_suite_parallel_beats_serial() {
+        let results = run_morsel_suite(true);
+        assert_eq!(results.len(), 4);
+        let get = |workload: &str, intra: usize| {
+            results
+                .iter()
+                .find(|r| r.workload == workload && r.intra_parallelism == intra)
+                .unwrap()
+        };
+        // The acceptance gate: ≥2x wall-clock speedup on the hub-skewed
+        // workload, where cross-machine fan-out cannot help.
+        let serial = get("skewed", 1);
+        let morsel = get("skewed", 0);
+        assert!(
+            (morsel.p50_ns as f64) * 2.0 < serial.p50_ns as f64,
+            "morsel skewed p50 {} not ≥2x faster than serial p50 {}",
+            morsel.p50_ns,
+            serial.p50_ns
+        );
+        // Morsels genuinely overlapped inside a single work op.
+        assert!(
+            morsel.max_concurrent_morsels > 1,
+            "no overlapping morsels observed (peak {})",
+            morsel.max_concurrent_morsels
+        );
+        // The serial loop reports itself as one morsel per work op.
+        assert_eq!(serial.max_concurrent_morsels, 1);
+        // JSON round-trips through the vendored parser.
+        let j = morsel_suite_to_json(&results);
+        let parsed = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(parsed.get("results").unwrap().as_arr().unwrap().len(), 4);
+    }
+}

@@ -76,8 +76,9 @@ pub(crate) fn spec(quick: bool) -> KnowledgeGraphSpec {
 }
 
 /// Nearest-rank percentile (rank rounded up), so p99 over a small sample is
-/// the maximum rather than silently dropping the tail.
-fn percentile(sorted_ns: &[u64], pct: usize) -> u64 {
+/// the maximum rather than silently dropping the tail. Shared with the
+/// morsel suite.
+pub(crate) fn percentile(sorted_ns: &[u64], pct: usize) -> u64 {
     let rank = (sorted_ns.len() * pct).div_ceil(100);
     sorted_ns[rank.saturating_sub(1).min(sorted_ns.len() - 1)]
 }

@@ -130,6 +130,8 @@ fn sample_work_result() -> WorkResult {
             remote_reads: 2,
             ..QueryMetrics::default()
         },
+        morsels: 4,
+        max_concurrent_morsels: 2,
     }
 }
 

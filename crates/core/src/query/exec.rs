@@ -7,6 +7,15 @@
 //! the coordinator's snapshot timestamp so the whole distributed read is one
 //! consistent snapshot. Oversized working sets fast-fail; oversized results
 //! page out through continuation tokens.
+//!
+//! Execution is parallel at two nested levels: a hop's work ops dispatch
+//! concurrently across their target machines ([`ExecConfig::fanout_parallelism`],
+//! the Fig. 9 fan-out), and inside each machine the batch splits into
+//! morsels on that machine's own worker pool
+//! ([`ExecConfig::intra_parallelism`]) — the level that saves a hub-skewed
+//! frontier, where one machine owns most of the hop and fan-out collapses
+//! to a single ship. Both levels merge deterministically, so every
+//! configuration returns byte-identical results.
 
 use crate::catalog::GraphProxies;
 use crate::convert::json_to_value;
@@ -41,6 +50,13 @@ pub struct ExecConfig {
     /// coordinator, kept for A/B comparison; any other value caps the
     /// fan-out window.
     pub fanout_parallelism: usize,
+    /// How many morsels a machine splits one work op's vertex batch into for
+    /// execution on its own worker pool — the *intra*-machine level below
+    /// the cross-machine fan-out above. `0` means *auto*: one morsel per
+    /// simulated core (the machine's base worker-thread count). `1` is the
+    /// legacy serial per-machine loop, kept for A/B comparison; any other
+    /// value caps the number of concurrently executing morsels.
+    pub intra_parallelism: usize,
 }
 
 impl Default for ExecConfig {
@@ -50,6 +66,7 @@ impl Default for ExecConfig {
             max_working_set: 1_000_000,
             page_size: 1_000,
             fanout_parallelism: 0,
+            intra_parallelism: 0,
         }
     }
 }
@@ -120,6 +137,14 @@ pub struct HopStats {
     /// Peak number of shipped work ops simultaneously in flight — 1 under
     /// the serial coordinator, up to `machines` under parallel fan-out.
     pub max_concurrent_ships: u64,
+    /// Total morsels this hop's work ops were split into across all target
+    /// machines (equals the work-op count under the serial per-machine
+    /// loop).
+    pub morsels: u64,
+    /// Peak number of morsels simultaneously executing inside any single
+    /// work op — 1 under the serial per-machine loop, up to
+    /// [`ExecConfig::intra_parallelism`] under morsel execution.
+    pub max_concurrent_morsels: u64,
     /// RPC request bytes this hop's ships put on the wire.
     pub rpc_req_bytes: u64,
     /// RPC reply bytes shipped back to the coordinator this hop.
@@ -447,16 +472,122 @@ pub struct WorkResult {
     pub next: Vec<Addr>,
     pub rows: Vec<(Addr, Json)>,
     pub metrics: QueryMetrics,
+    /// How many morsels the batch was split into (1 = serial loop).
+    pub morsels: u64,
+    /// Peak number of those morsels executing simultaneously.
+    pub max_concurrent_morsels: u64,
 }
+
+/// Per-work-op memo of neighbor reads for match-pattern evaluation. A hub
+/// target vertex (the common case in the paper's knowledge-graph workloads)
+/// is referenced by many frontier vertices in the same batch; without the
+/// memo its header + record are re-read — with remote latency when the hub
+/// lives elsewhere — once per *source* vertex instead of once per batch.
+/// Shared across the batch's morsels; values are snapshot reads at the
+/// work op's `snapshot_ts`, so concurrent fills observe identical bytes.
+/// Two stages, mirroring the uncached evaluation order: headers fill on
+/// first touch (`None` = the vertex was *definitively* gone — deleted under
+/// us), records fill only for neighbors that pass the pattern's type filter
+/// (a type-mismatched hub never pays a payload read). Records are `Arc`'d
+/// so a memo hit is a pointer clone, not a deep copy of a hub's payload
+/// under the shared lock. Transient read errors are never cached — one
+/// conflicted read must not poison every later evaluation of that neighbor
+/// in the batch.
+#[derive(Default)]
+struct NeighborMemo {
+    headers: parking_lot::Mutex<HashMap<Addr, Option<crate::vertex::VertexHeader>>>,
+    records: parking_lot::Mutex<HashMap<Addr, Arc<a1_bond::Record>>>,
+}
+
+/// Smallest vertex batch worth its own morsel: below this, the per-morsel
+/// transaction + dispatch overhead outweighs any read overlap.
+const MIN_MORSEL: usize = 4;
 
 /// Execute a worker operator batch: predicate evaluation and edge
 /// enumeration at (ideally) the vertices' home machine (§3.4).
+///
+/// The batch is split into up to `intra_parallelism` morsels (0 = auto: one
+/// per simulated core) dispatched concurrently onto `pool` — the target
+/// machine's own worker pool. Each morsel runs in its own read-only
+/// transaction pinned at the shared `op.snapshot_ts` (snapshot reads are
+/// safe to run concurrently) and results merge in input order, so the
+/// outcome is byte-identical to the serial loop. Falls back to the serial
+/// loop when the batch is small, `pool` is absent, or the pool is already
+/// saturated (a fast path — progress under saturation is guaranteed
+/// structurally by `run_all`'s help-first join, which drains queued jobs
+/// onto the waiting caller).
 pub fn run_work_op(
     farm: &Arc<FarmCluster>,
     store: &GraphStore,
     proxies: &GraphProxies,
     machine: MachineId,
     op: &WorkOp,
+    pool: Option<&a1_farm::WorkerPool>,
+    intra_parallelism: usize,
+) -> A1Result<WorkResult> {
+    let memo = NeighborMemo::default();
+    let workers = match intra_parallelism {
+        0 => farm.config().fabric.threads_per_machine.max(1),
+        n => n,
+    };
+    let morsels = workers.min(op.vertices.len().div_ceil(MIN_MORSEL)).max(1);
+    let pool = pool.filter(|p| morsels > 1 && !p.is_saturated());
+    let Some(pool) = pool else {
+        let mut result = run_morsel(farm, store, proxies, machine, op, &op.vertices, &memo)?;
+        result.morsels = 1;
+        result.max_concurrent_morsels = 1;
+        return Ok(result);
+    };
+
+    let chunk = op.vertices.len().div_ceil(morsels);
+    let parts: Vec<&[Addr]> = op.vertices.chunks(chunk).collect();
+    let in_flight = AtomicU64::new(0);
+    let peak = AtomicU64::new(0);
+    let jobs: Vec<ScopedJob<'_, A1Result<WorkResult>>> = parts
+        .iter()
+        .map(|part| {
+            let part: &[Addr] = part;
+            let (memo, in_flight, peak) = (&memo, &in_flight, &peak);
+            Box::new(move || {
+                let cur = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(cur, Ordering::SeqCst);
+                let r = run_morsel(farm, store, proxies, machine, op, part, memo);
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                r
+            }) as ScopedJob<'_, A1Result<WorkResult>>
+        })
+        .collect();
+    let n_morsels = jobs.len() as u64;
+    let results = pool.run_all(jobs);
+
+    // Merge in input order: morsels are contiguous slices of `op.vertices`,
+    // so concatenating their outputs reproduces the serial loop's order
+    // exactly. Errors surface in input order too (deterministic).
+    let mut merged = WorkResult {
+        morsels: n_morsels,
+        max_concurrent_morsels: peak.load(Ordering::SeqCst),
+        ..WorkResult::default()
+    };
+    for result in results {
+        let result = result?;
+        merged.next.extend(result.next);
+        merged.rows.extend(result.rows);
+        merged.metrics.absorb(&result.metrics);
+    }
+    Ok(merged)
+}
+
+/// One morsel of a work op: the serial per-vertex loop over a contiguous
+/// slice of the batch, in its own read-only transaction joined to the
+/// op's snapshot.
+fn run_morsel(
+    farm: &Arc<FarmCluster>,
+    store: &GraphStore,
+    proxies: &GraphProxies,
+    machine: MachineId,
+    op: &WorkOp,
+    vertices: &[Addr],
+    memo: &NeighborMemo,
 ) -> A1Result<WorkResult> {
     let mut tx = farm.begin_read_only_at(machine, op.snapshot_ts);
     let mut result = WorkResult::default();
@@ -468,7 +599,7 @@ pub fn run_work_op(
         }
     };
 
-    'vertices: for &addr in &op.vertices {
+    'vertices: for &addr in vertices {
         if let Some(idf) = op.step.id_filter {
             if addr != idf {
                 continue;
@@ -528,12 +659,36 @@ pub fn run_work_op(
                     }
                     continue;
                 }
-                // Predicate-based target: read the neighbor.
-                let (_, ohdr) = match edges::read_header(&mut tx, he.other) {
-                    Ok(x) => x,
-                    Err(_) => continue,
+                // Predicate-based target: read the neighbor — through the
+                // per-batch memo, so a hub target shared by many frontier
+                // vertices costs one header+record read per batch. The lock
+                // is dropped across the (possibly remote) read so morsels
+                // filling different entries still overlap; a rare racing
+                // double-fill reads identical snapshot bytes.
+                let cached = memo.headers.lock().get(&he.other).copied();
+                let ohdr = match cached {
+                    Some(h) => h,
+                    None => {
+                        let h = match edges::read_header(&mut tx, he.other) {
+                            Ok((_, ohdr)) => {
+                                count_read(&mut result.metrics, he.other);
+                                Some(ohdr)
+                            }
+                            // Deleted under us: definitively absent at this
+                            // snapshot, safe to memoize for the batch.
+                            Err(A1Error::NoSuchVertex(_)) => None,
+                            // Transient failure (e.g. a lock-wait conflict):
+                            // skip this evaluation — as the pre-memo code
+                            // did — but do NOT cache it, or one flaky read
+                            // would fail the pattern for every later source
+                            // vertex sharing this neighbor.
+                            Err(_) => continue,
+                        };
+                        memo.headers.lock().insert(he.other, h);
+                        h
+                    }
                 };
-                count_read(&mut result.metrics, he.other);
+                let Some(ohdr) = ohdr else { continue };
                 if let Some(tt) = m.target_type {
                     if ohdr.type_id != tt {
                         continue;
@@ -542,10 +697,21 @@ pub fn run_work_op(
                 let Some(ovp) = proxies.vertex_type_by_id(ohdr.type_id) else {
                     continue;
                 };
-                let orec = store.read_vertex_data(&mut tx, &ohdr)?.unwrap_or_default();
+                // The record, read only past the type filter (like the
+                // uncached path) — its errors still abort the op.
+                let cached = memo.records.lock().get(&he.other).cloned();
+                let orec = match cached {
+                    Some(r) => r,
+                    None => {
+                        let r =
+                            Arc::new(store.read_vertex_data(&mut tx, &ohdr)?.unwrap_or_default());
+                        memo.records.lock().insert(he.other, r.clone());
+                        r
+                    }
+                };
                 if m.preds
                     .iter()
-                    .all(|p| eval_predicate(&ovp.def.schema, &orec, p))
+                    .all(|p| eval_predicate(&ovp.def.schema, orec.as_ref(), p))
                 {
                     ok = true;
                     break;
@@ -613,12 +779,12 @@ fn render_row(
     rec: Option<&a1_bond::Record>,
     select: &Select,
 ) -> Json {
-    let full = match rec {
-        Some(r) => crate::convert::record_to_json(schema, r),
-        None => Json::Obj(Vec::new()),
-    };
     match select {
         Select::All | Select::Count => {
+            let full = match rec {
+                Some(r) => crate::convert::record_to_json(schema, r),
+                None => Json::Obj(Vec::new()),
+            };
             let mut obj = vec![("_type".to_string(), Json::str(type_name))];
             if let Json::Obj(fields) = full {
                 obj.extend(fields);
@@ -626,9 +792,15 @@ fn render_row(
             Json::Obj(obj)
         }
         Select::Fields(fields) => {
+            // Project only the selected attributes: converting the full
+            // record to JSON and cloning per field would pay for every
+            // attribute (hub payloads are the big ones) on every row.
             let mut obj = Vec::with_capacity(fields.len());
             for f in fields {
-                let v = full.get(&f.attr).cloned().unwrap_or(Json::Null);
+                let v = rec
+                    .and_then(|r| schema.field_by_name(&f.attr).and_then(|fd| r.get(fd.id)))
+                    .map(crate::convert::value_to_json)
+                    .unwrap_or(Json::Null);
                 let v = match f.index {
                     Some(i) => v.at(i).cloned().unwrap_or(Json::Null),
                     None => v,
@@ -783,8 +955,19 @@ pub fn coordinate(
                 in_flight.fetch_sub(1, Ordering::SeqCst);
                 result
             } else {
-                // Few vertices: cheaper to read remotely than to RPC (§3.4).
-                run_work_op(farm, store, proxies, machine, op)
+                // Few vertices (or the coordinator's own batch): cheaper to
+                // read remotely than to RPC (§3.4). Still morsel-parallel on
+                // the coordinator's pool — under hub skew the coordinator
+                // machine can own most of the frontier itself.
+                run_work_op(
+                    farm,
+                    store,
+                    proxies,
+                    machine,
+                    op,
+                    Some(pool),
+                    cfg.intra_parallelism,
+                )
             }
         };
 
@@ -842,6 +1025,10 @@ pub fn coordinate(
                 hop.remote_reads += result.metrics.remote_reads;
                 hop.rpc_req_bytes += result.metrics.rpc_req_bytes;
                 hop.rpc_reply_bytes += result.metrics.rpc_reply_bytes;
+                hop.morsels += result.morsels;
+                hop.max_concurrent_morsels = hop
+                    .max_concurrent_morsels
+                    .max(result.max_concurrent_morsels);
                 hop.returned += (result.next.len() + result.rows.len()) as u64;
                 next.extend(result.next);
                 rows.extend(result.rows);

@@ -88,6 +88,14 @@ impl A1Config {
         self.wire_format = fmt;
         self
     }
+
+    /// Same cluster with a specific per-machine morsel parallelism
+    /// ([`ExecConfig::intra_parallelism`]): `0` = auto (one morsel per
+    /// simulated core), `1` = the legacy serial per-machine loop.
+    pub fn with_intra_parallelism(mut self, intra: usize) -> A1Config {
+        self.exec.intra_parallelism = intra;
+        self
+    }
 }
 
 /// Per-backend-machine coprocessor state.
@@ -251,7 +259,19 @@ impl A1Inner {
     fn handle_work(&self, machine: MachineId, op: &WorkOp) -> A1Result<WorkResult> {
         let backend = self.backend(machine);
         let proxies = self.proxies(backend, &op.tenant, &op.graph)?;
-        exec::run_work_op(&self.farm, &self.store, &proxies, machine, op)
+        // This machine's own pool: the shipped batch splits into morsels
+        // executing next to the data (intra-machine parallelism, the level
+        // below the coordinator's cross-machine fan-out).
+        let pool = self.farm.fabric().machine(machine).ok().map(|m| m.pool());
+        exec::run_work_op(
+            &self.farm,
+            &self.store,
+            &proxies,
+            machine,
+            op,
+            pool,
+            self.cfg.exec.intra_parallelism,
+        )
     }
 
     /// Coordinator-side query execution (§3.4, Fig. 9).

@@ -709,6 +709,8 @@ const WR_VR: u16 = 3;
 const WR_EV: u16 = 4;
 const WR_LR: u16 = 5;
 const WR_RR: u16 = 6;
+const WR_MORSELS: u16 = 7;
+const WR_PEAK_MORSELS: u16 = 8;
 
 fn work_result_to_record(r: &WorkResult) -> Record {
     let mut rec = Record::new().with(WR_NEXT, addrs_to_value(&r.next));
@@ -724,6 +726,8 @@ fn work_result_to_record(r: &WorkResult) -> Record {
     rec.set(WR_EV, Value::UInt64(r.metrics.edges_visited));
     rec.set(WR_LR, Value::UInt64(r.metrics.local_reads));
     rec.set(WR_RR, Value::UInt64(r.metrics.remote_reads));
+    rec.set(WR_MORSELS, Value::UInt64(r.morsels));
+    rec.set(WR_PEAK_MORSELS, Value::UInt64(r.max_concurrent_morsels));
     rec
 }
 
@@ -752,6 +756,8 @@ fn work_result_from_record(rec: &Record) -> A1Result<WorkResult> {
             remote_reads: rec_u64(rec, WR_RR).unwrap_or(0),
             ..QueryMetrics::default()
         },
+        morsels: rec_u64(rec, WR_MORSELS).unwrap_or(0),
+        max_concurrent_morsels: rec_u64(rec, WR_PEAK_MORSELS).unwrap_or(0),
     })
 }
 
@@ -1417,6 +1423,8 @@ pub fn work_result_to_json(r: &A1Result<WorkResult>) -> Json {
             ("ev", Json::Num(r.metrics.edges_visited as f64)),
             ("lr", Json::Num(r.metrics.local_reads as f64)),
             ("rr", Json::Num(r.metrics.remote_reads as f64)),
+            ("mo", Json::Num(r.morsels as f64)),
+            ("pm", Json::Num(r.max_concurrent_morsels as f64)),
         ]),
         Err(e) => error_to_json(e),
     }
@@ -1455,6 +1463,8 @@ pub fn work_result_from_json(j: &Json) -> A1Result<WorkResult> {
             remote_reads: j.get("rr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             ..QueryMetrics::default()
         },
+        morsels: j.get("mo").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        max_concurrent_morsels: j.get("pm").and_then(Json::as_f64).unwrap_or(0.0) as u64,
     })
 }
 
@@ -1606,6 +1616,8 @@ mod tests {
                 remote_reads: 1,
                 ..QueryMetrics::default()
             },
+            morsels: 4,
+            max_concurrent_morsels: 2,
         };
         for fmt in [WireFormat::Binary, WireFormat::Json] {
             let wire = encode_work_result(&Ok(r.clone()), fmt);

@@ -159,8 +159,9 @@ fn arb_work_result() -> impl Strategy<Value = WorkResult> {
         prop::collection::vec(arb_addr(), 0..32),
         prop::collection::vec((arb_addr(), arb_json()), 0..8),
         (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        (any::<u16>(), any::<u16>()),
     )
-        .prop_map(|(next, rows, (vr, ev, lr, rr))| WorkResult {
+        .prop_map(|(next, rows, (vr, ev, lr, rr), (mo, pm))| WorkResult {
             next,
             rows,
             metrics: QueryMetrics {
@@ -170,6 +171,8 @@ fn arb_work_result() -> impl Strategy<Value = WorkResult> {
                 remote_reads: rr as u64,
                 ..QueryMetrics::default()
             },
+            morsels: mo as u64,
+            max_concurrent_morsels: pm as u64,
         })
 }
 

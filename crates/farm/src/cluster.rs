@@ -335,8 +335,13 @@ impl FarmCluster {
         let off = ptr.addr.offset() as usize;
         let mut want = ptr.size as usize;
         let mut spins = 0u32;
+        // Resolve once up front: a CM lookup + pause check + liveness probe
+        // per lock-wait iteration would dominate the spin (hot objects are
+        // spun on by many readers at once). Re-resolve only when the fabric
+        // reports the primary unreachable, or every 64th spin so a
+        // reconfiguration during a long wait is still picked up.
+        let (_, mut primary) = self.resolve(rid)?;
         loop {
-            let (_, primary) = self.resolve(rid)?;
             let raw = match self
                 .fabric
                 .read(origin, primary, rid.0 as u64, off, HEADER + want)
@@ -344,14 +349,21 @@ impl FarmCluster {
                 Ok(raw) => raw,
                 Err(NetError::MachineUnreachable(_)) => {
                     self.detect_failures();
-                    let (_, primary) = self.resolve(rid)?;
+                    primary = self.resolve(rid)?.1;
                     self.fabric
                         .read(origin, primary, rid.0 as u64, off, HEADER + want)?
                 }
                 Err(e) => return Err(e.into()),
             };
             let h = ObjHeader::parse(&raw).ok_or(FarmError::Unavailable("short read".into()))?;
-            if h.is_locked() {
+            if h.is_locked() || (h.capacity != 0 && h.state != STATE_FREE && !h.is_committed()) {
+                // Locked by an in-flight commit, or reserved but not yet
+                // committed: either an in-flight commit whose apply phase
+                // hasn't stamped this object yet (a pointer to it can
+                // already be visible through an earlier-applied write of the
+                // same commit), or an allocation that is about to be rolled
+                // back (then the state flips to FREE). Both resolve promptly
+                // — spin-wait.
                 spins += 1;
                 if spins > self.cfg.lock_wait_spins {
                     return Err(FarmError::Conflict);
@@ -359,28 +371,12 @@ impl FarmCluster {
                 std::hint::spin_loop();
                 if spins.is_multiple_of(64) {
                     std::thread::yield_now();
+                    primary = self.resolve(rid)?.1;
                 }
                 continue;
             }
             if h.capacity == 0 || h.state == STATE_FREE {
                 return Err(FarmError::NotFound(ptr.addr));
-            }
-            if !h.is_committed() {
-                // Reserved but not yet committed: either an in-flight commit
-                // whose apply phase hasn't stamped this object yet (a pointer
-                // to it can already be visible through an earlier-applied
-                // write of the same commit), or an allocation that is about
-                // to be rolled back (then the state flips to FREE). Both
-                // resolve promptly — wait like we do for lock words.
-                spins += 1;
-                if spins > self.cfg.lock_wait_spins {
-                    return Err(FarmError::Conflict);
-                }
-                std::hint::spin_loop();
-                if spins.is_multiple_of(64) {
-                    std::thread::yield_now();
-                }
-                continue;
             }
             let len = h.len as usize;
             if len > want {

@@ -116,27 +116,44 @@ impl WorkerPool {
         &self,
         job: impl FnOnce() -> R + Send + 'static,
     ) -> Option<R> {
-        if self.shared.idle.load(Ordering::Relaxed) == 0
-            && self.shared.threads.load(Ordering::Relaxed) >= self.shared.max
-        {
+        if self.is_saturated() {
             return Some(job());
         }
         self.try_execute_wait(job)
     }
 
+    /// True when no worker is idle and the pool cannot grow. A caller about
+    /// to block on queued work (e.g. a scoped [`WorkerPool::run_all`] batch)
+    /// should degrade to inline execution instead: lending the calling
+    /// thread guarantees progress when every pool thread is itself blocked
+    /// waiting on queued jobs.
+    pub fn is_saturated(&self) -> bool {
+        self.shared.idle.load(Ordering::Relaxed) == 0
+            && self.shared.threads.load(Ordering::Relaxed) >= self.shared.max
+    }
+
     /// Scoped batch execution: run every job on the pool concurrently and
     /// return their results **in input order**. Blocks until all jobs have
     /// finished, which is what makes it sound for jobs that borrow from the
-    /// caller's stack (the classic scoped-pool pattern). The first job runs
-    /// inline on the calling thread — the caller would otherwise sit idle in
-    /// `recv`, and running real work here guarantees progress even when the
-    /// pool is saturated by blocked coordinators (the fiber stand-in).
+    /// caller's stack (the classic scoped-pool pattern).
+    ///
+    /// Each job lives in a *claimable slot*: whoever takes it out — a pool
+    /// worker running the enqueued wrapper, or the calling thread — runs it.
+    /// The caller behaves like an extra worker pinned to its own batch: it
+    /// claims and runs unstarted jobs inline (**self-help**) and only then
+    /// blocks for the executions workers claimed. That makes nested-join
+    /// progress structural: even when every pool thread is itself blocked in
+    /// another `run_all` join and the pool cannot grow, each blocked caller
+    /// completes its own batch on its own thread (the fiber stand-in: a
+    /// blocked thread lends itself out). The caller never executes foreign
+    /// queue entries, so a long-running unrelated job (e.g. a streaming
+    /// applier loop) can never be pulled onto a joining thread.
     ///
     /// If any job panics, the panic is re-raised on the caller *after* every
     /// other job has completed (so borrowed state is never unwound while
     /// still shared).
     // The one unsafe block in the workspace: lifetime erasure for scoped
-    // jobs, justified by the join-before-return invariant documented at the
+    // jobs, justified by the emptied-slot invariant documented at the
     // transmute.
     #[allow(unsafe_code)]
     pub fn run_all<'env, R: Send + 'env>(&self, jobs: Vec<ScopedJob<'env, R>>) -> Vec<R> {
@@ -150,54 +167,90 @@ impl WorkerPool {
             _ => {}
         }
         let (tx, rx) = crossbeam::channel::bounded::<(usize, std::thread::Result<R>)>(n);
-        // The join guard enforces the unsafe block's invariant even on an
-        // unexpected unwind between dispatch and join: its Drop blocks until
-        // every enqueued wrapper has reported, so no lifetime-erased job can
-        // outlive the caller's frame.
-        struct JoinGuard<'rx, R> {
-            rx: &'rx Receiver<(usize, std::thread::Result<R>)>,
-            outstanding: usize,
+        let job_slots: Vec<Arc<Mutex<Option<ScopedJob<'env, R>>>>> = jobs
+            .into_iter()
+            .map(|job| Arc::new(Mutex::new(Some(job))))
+            .collect();
+        // The join guard restores the emptied-slot invariant on an
+        // unexpected unwind between dispatch and join: it claims-and-drops
+        // every unstarted job (sound — the drop happens inside this frame)
+        // and waits out worker-claimed executions, so no lifetime-erased
+        // job can run after the caller's frame is gone. On the happy path
+        // every slot is already empty and it does nothing.
+        struct JoinGuard<'a, 'env, R> {
+            rx: &'a Receiver<(usize, std::thread::Result<R>)>,
+            job_slots: &'a [Arc<Mutex<Option<ScopedJob<'env, R>>>>],
+            /// Results received plus jobs run inline or discarded.
+            consumed: usize,
         }
-        impl<R> Drop for JoinGuard<'_, R> {
+        impl<R> Drop for JoinGuard<'_, '_, R> {
             fn drop(&mut self) {
-                for _ in 0..self.outstanding {
-                    let _ = self.rx.recv();
+                for slot in self.job_slots {
+                    if slot.lock().take().is_some() {
+                        self.consumed += 1; // never started; dropped here
+                    }
+                }
+                while self.consumed < self.job_slots.len() {
+                    match self.rx.recv() {
+                        Ok(_) => self.consumed += 1,
+                        Err(_) => break, // all senders gone: nothing pending
+                    }
                 }
             }
         }
         let mut guard = JoinGuard {
             rx: &rx,
-            outstanding: 0,
+            job_slots: &job_slots,
+            consumed: 0,
         };
-
-        let mut jobs = jobs.into_iter().enumerate();
-        let (inline_idx, inline_job) = jobs.next().expect("n >= 2");
-        for (idx, job) in jobs {
+        for (idx, slot) in job_slots.iter().enumerate() {
             let tx = tx.clone();
+            let slot = slot.clone();
             let wrapper: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                // Claim-or-skip: an emptied slot means the caller (or an
+                // earlier dequeue) already ran this job — the wrapper is
+                // then an inert no-op, safe to run or drop at any time.
+                let Some(job) = slot.lock().take() else {
+                    return;
+                };
                 let _ = tx.send((idx, std::panic::catch_unwind(AssertUnwindSafe(job))));
             });
-            // SAFETY: every enqueued wrapper is joined before this frame is
-            // torn down — the happy path receives one message per wrapper
-            // below, and `guard` drains the rest on unwind — so all borrows
-            // with lifetime 'env outlive the job's execution. Wrappers
-            // always send, even when the job panics (catch_unwind), and are
-            // never dropped unexecuted: the pool cannot shut down mid-batch
-            // because we hold `&self`.
+            // SAFETY: lifetime erasure is sound because no wrapper can
+            // observe 'env data after this frame returns. Every job is
+            // consumed *within* this call — claimed inline by the self-help
+            // loop below or by a worker-run wrapper (whose result we then
+            // block on) — so by the time run_all returns, every slot is
+            // empty and the result channel is drained. A wrapper that runs
+            // (or is dropped with the pool) later touches only the Arc'd
+            // empty slot and a disconnected Sender, never 'env borrows.
             let wrapper: Job = unsafe { std::mem::transmute(wrapper) };
-            guard.outstanding += 1;
             self.execute(wrapper);
         }
         drop(tx);
-        let inline_result = std::panic::catch_unwind(AssertUnwindSafe(inline_job));
 
         let mut slots: Vec<Option<std::thread::Result<R>>> = Vec::new();
         slots.resize_with(n, || None);
-        slots[inline_idx] = Some(inline_result);
-        while guard.outstanding > 0 {
-            let (idx, result) = guard.rx.recv().expect("wrapper always sends");
-            guard.outstanding -= 1;
+        // Self-help: claim and run this batch's unstarted jobs inline, like
+        // a worker dedicated to the batch (workers claim the rest
+        // concurrently). Drain ready results between jobs.
+        for (idx, slot) in job_slots.iter().enumerate() {
+            while let Ok((i, r)) = rx.try_recv() {
+                slots[i] = Some(r);
+                guard.consumed += 1;
+            }
+            let Some(job) = slot.lock().take() else {
+                continue; // a worker got there first
+            };
+            slots[idx] = Some(std::panic::catch_unwind(AssertUnwindSafe(job)));
+            guard.consumed += 1;
+        }
+        // Join: every remaining job was claimed by a live worker whose
+        // wrapper always sends (even on panic), so a plain blocking recv
+        // suffices — no polling, no foreign work.
+        while guard.consumed < n {
+            let (idx, result) = rx.recv().expect("claimed executions always send");
             slots[idx] = Some(result);
+            guard.consumed += 1;
         }
         slots
             .into_iter()
@@ -413,6 +466,23 @@ mod tests {
         assert!(caught.is_err());
         // All non-panicking jobs completed before the panic surfaced.
         assert_eq!(done.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn run_all_nested_when_pool_cannot_grow() {
+        // One thread, no growth: the lone worker runs a job that itself
+        // calls run_all. The batch's wrappers queue with no worker ever free
+        // to take them — only the help-first join (the caller draining the
+        // queue onto its own thread) can complete this.
+        let pool = Arc::new(WorkerPool::new("t", 1, 1));
+        let p = pool.clone();
+        let total = pool.execute_wait(move || {
+            let jobs: Vec<ScopedJob<u64>> = (0..4)
+                .map(|i| Box::new(move || i as u64) as ScopedJob<u64>)
+                .collect();
+            p.run_all(jobs).into_iter().sum::<u64>()
+        });
+        assert_eq!(total, 6);
     }
 
     #[test]

@@ -181,3 +181,270 @@ fn killed_machine_mid_stream_matches_serial_baseline() {
     // surviving backend.
     assert_eq!(expected, all_answers(&parallel));
 }
+
+// ---------------------------------------------------------------- morsels
+//
+// Intra-machine morsel execution: one machine's work-op batch splits onto
+// its own worker pool (`ExecConfig::intra_parallelism`), the level below
+// the cross-machine fan-out exercised above.
+
+use a1::core::query::exec::{self, CompiledStep, WorkOp};
+use a1::core::query::plan::Select;
+use a1::core::Mutation;
+use a1::farm::{Addr, RegionId};
+use a1_bench::morsel::{build_graph, match_query, MorselGraphSpec};
+
+fn skewed_spec(srcs: usize) -> MorselGraphSpec {
+    MorselGraphSpec {
+        srcs,
+        skew: 0.9,
+        payload_bytes: 16,
+    }
+}
+
+/// A 4-machine × 4-core cluster whose hop-2 frontier is ~90% owned by
+/// machine 0 (the hub-skew shape the morsel split exists for).
+fn skewed_cluster(intra: usize, srcs: usize) -> a1::core::A1Cluster {
+    let mut cfg = A1Config::small(4).with_intra_parallelism(intra);
+    cfg.farm.fabric.threads_per_machine = 4;
+    // Network waits land in the injector's sleep regime (like the fan-out
+    // test above) so morsel-overlap assertions hold on a 1-core runner.
+    cfg.farm.fabric.latency.rack_rtt_ns = 500_000;
+    cfg.farm.fabric.latency.cross_rack_rtt_ns = 1_000_000;
+    cfg.farm.fabric.latency.rpc_overhead_ns = 500_000;
+    build_graph(cfg, &skewed_spec(srcs), true)
+}
+
+#[test]
+fn morsel_parallel_matches_serial_on_hub_skewed_frontier() {
+    use a1_bench::morsel::{GRAPH as MGRAPH, TENANT as MTENANT};
+    let srcs = 24;
+    let serial = skewed_cluster(1, srcs);
+    let expected = serial
+        .client()
+        .query(MTENANT, MGRAPH, &match_query())
+        .unwrap()
+        .count
+        .unwrap();
+    assert_eq!(expected, srcs as u64, "every src's target matches");
+    // Auto (per-core) and capped morsel configs answer identically.
+    for intra in [0usize, 3] {
+        let parallel = skewed_cluster(intra, srcs);
+        let got = parallel
+            .client()
+            .query(MTENANT, MGRAPH, &match_query())
+            .unwrap()
+            .count
+            .unwrap();
+        assert_eq!(expected, got, "intra={intra} changed the answer");
+    }
+    // With injected latency the auto cluster genuinely overlaps morsels
+    // inside the hub machine's single shipped work op.
+    let parallel = skewed_cluster(0, srcs);
+    parallel.cluster_inject(true);
+    let out = parallel
+        .inner()
+        .coordinate_query(MachineId(1), MTENANT, MGRAPH, &match_query())
+        .unwrap();
+    parallel.cluster_inject(false);
+    assert_eq!(out.count.unwrap(), expected);
+    let hop = out
+        .per_hop
+        .iter()
+        .max_by_key(|h| h.frontier)
+        .expect("hops recorded");
+    // ~90% of the frontier mapped to one machine, yet morsels overlapped.
+    assert!(hop.frontier >= srcs as u64);
+    assert!(
+        hop.max_concurrent_morsels > 1,
+        "expected overlapping morsels, peak was {}",
+        hop.max_concurrent_morsels
+    );
+    assert!(hop.morsels > hop.machines, "hub batch split into morsels");
+}
+
+/// Helper: toggle latency injection (keeps the test bodies readable).
+trait Inject {
+    fn cluster_inject(&self, on: bool);
+}
+impl Inject for a1::core::A1Cluster {
+    fn cluster_inject(&self, on: bool) {
+        self.farm().fabric().set_inject_latency(on);
+    }
+}
+
+#[test]
+fn error_in_morsel_propagates_without_deadlock() {
+    let cluster = skewed_cluster(0, 16);
+    let inner = cluster.inner();
+    let machine = MachineId(0);
+    let proxies = inner
+        .proxies_at(machine, a1_bench::morsel::TENANT, a1_bench::morsel::GRAPH)
+        .unwrap();
+    let snapshot_ts = inner.farm.begin_read_only(machine).read_ts();
+    // A batch of addresses in a region that does not exist: every morsel's
+    // header read fails with `Unavailable` — which, unlike the tolerated
+    // NoSuchVertex, must propagate out of the morsel join.
+    let op = WorkOp {
+        tenant: a1_bench::morsel::TENANT.into(),
+        graph: a1_bench::morsel::GRAPH.into(),
+        snapshot_ts,
+        vertices: (0..32)
+            .map(|i| Addr::new(RegionId(40_000 + i), 64))
+            .collect(),
+        step: CompiledStep {
+            type_filter: None,
+            id_filter: None,
+            preds: vec![],
+            matches: vec![],
+            traverse: None,
+        },
+        emit_rows: false,
+        select: Select::Count,
+    };
+    let pool = inner.farm.fabric().machine(machine).unwrap().pool();
+    let err = exec::run_work_op(
+        &inner.farm,
+        &inner.store,
+        &proxies,
+        machine,
+        &op,
+        Some(pool),
+        4,
+    );
+    assert!(err.is_err(), "unplaced addresses must surface an error");
+    // The pool joined every morsel before surfacing the error: the machine
+    // still executes queries (no wedged workers, no deadlock).
+    let out = cluster
+        .client()
+        .query(
+            a1_bench::morsel::TENANT,
+            a1_bench::morsel::GRAPH,
+            &match_query(),
+        )
+        .unwrap();
+    assert_eq!(out.count.unwrap(), 16);
+}
+
+#[test]
+fn panic_in_morsel_job_propagates_and_pool_serves_queries() {
+    use a1::farm::ScopedJob;
+    let cluster = skewed_cluster(0, 16);
+    let pool = cluster
+        .farm()
+        .fabric()
+        .machine(MachineId(0))
+        .unwrap()
+        .pool();
+    // A morsel-shaped scoped batch where one job panics: the panic must
+    // resurface on the caller only after every sibling joined, and the
+    // machine's pool — shared with real query execution — must survive.
+    let jobs: Vec<ScopedJob<u64>> = (0..8)
+        .map(|i| {
+            Box::new(move || {
+                if i == 5 {
+                    panic!("morsel {i} failed");
+                }
+                i as u64
+            }) as ScopedJob<u64>
+        })
+        .collect();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run_all(jobs)));
+    assert!(caught.is_err(), "panic must propagate to the dispatcher");
+    let out = cluster
+        .client()
+        .query(
+            a1_bench::morsel::TENANT,
+            a1_bench::morsel::GRAPH,
+            &match_query(),
+        )
+        .unwrap();
+    assert_eq!(out.count.unwrap(), 16, "pool still serves queries");
+}
+
+#[test]
+fn morsel_snapshot_stable_under_concurrent_ingest() {
+    use a1_bench::morsel::{GRAPH as MGRAPH, TENANT as MTENANT};
+    let srcs = 16usize;
+    let cluster = skewed_cluster(0, srcs);
+    let expected = srcs as u64;
+
+    // Ingest writers churn the *queried* vertices: every round rewrites the
+    // match targets (same rank, new payload — the answer is invariant) and
+    // inserts unrelated vertices, so morsel snapshot reads race live
+    // version-chain updates on the very objects they evaluate.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writes = Arc::new(AtomicU64::new(0));
+    let mut writers = Vec::new();
+    for w in 0..2u64 {
+        let client = cluster.client();
+        let stop = stop.clone();
+        let writes = writes.clone();
+        writers.push(std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                round += 1;
+                for i in (w as usize..srcs).step_by(2) {
+                    let muts = vec![
+                        Mutation::UpsertVertex {
+                            tenant: MTENANT.into(),
+                            graph: MGRAPH.into(),
+                            ty: "entity".into(),
+                            attrs: a1::core::Json::obj(vec![
+                                ("id", a1::core::Json::Str(format!("tgt{i:05}"))),
+                                ("rank", a1::core::Json::Num(1.0)),
+                                ("payload", a1::core::Json::Str(format!("w{w}r{round}"))),
+                            ]),
+                        },
+                        Mutation::UpsertVertex {
+                            tenant: MTENANT.into(),
+                            graph: MGRAPH.into(),
+                            ty: "entity".into(),
+                            attrs: a1::core::Json::obj(vec![(
+                                "id",
+                                a1::core::Json::Str(format!("noise.w{w}.{round}.{i}")),
+                            )]),
+                        },
+                    ];
+                    if client.apply_batch(&muts).is_ok() {
+                        writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    // Readers: every morsel-parallel query must see a consistent snapshot —
+    // the count never wavers while targets are rewritten under it.
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let client = cluster.client();
+        readers.push(std::thread::spawn(move || {
+            for _ in 0..12 {
+                let out = client.query(MTENANT, MGRAPH, &match_query()).unwrap();
+                assert_eq!(
+                    out.count.unwrap(),
+                    expected,
+                    "snapshot read saw a torn frontier"
+                );
+            }
+        }));
+    }
+    for r in readers {
+        r.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert!(
+        writes.load(Ordering::Relaxed) > 0,
+        "writers never committed — the race was not exercised"
+    );
+    // Quiesced: the answer is still the baseline.
+    let out = cluster
+        .client()
+        .query(MTENANT, MGRAPH, &match_query())
+        .unwrap();
+    assert_eq!(out.count.unwrap(), expected);
+}
