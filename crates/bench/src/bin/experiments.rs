@@ -9,25 +9,54 @@
 //!
 //! Figure targets: table2, fig10, fig11, fig12, fig13, fig14, q4, locality,
 //! baseline, ablation-mvcc, ablation-edges, fast-restart, fanout, ingest,
-//! wire, morsel, all.
+//! wire, morsel, serve, all.
 //!
 //! Flags:
 //!
 //! * `--json` — run the perf-trajectory suites (real wall-clock latency of
 //!   Q1/Q4 under the serial and parallel coordinator, ingest throughput:
 //!   single-op vs group-commit vs partition-parallel, the wire suite:
-//!   codec micro-bench + bytes-on-wire, binary vs JSON, and the intra
+//!   codec micro-bench + bytes-on-wire, binary vs JSON, the intra
 //!   suite: serial vs morsel-parallel work ops on hub-skewed and uniform
-//!   frontiers) and print one JSON document (schema `a1-bench-v4`) to
-//!   stdout. CI uploads this as an artifact; `BENCH_<n>.json` snapshots are
-//!   committed at the repo root.
+//!   frontiers, and the serve suite: open-loop Poisson load against the
+//!   admission-controlled front door) and print one JSON document (schema
+//!   `a1-bench-v5`) to stdout. CI uploads this as an artifact;
+//!   `BENCH_<n>.json` snapshots are committed at the repo root.
+//! * `--validate <file>` — check a `--json` artifact against the
+//!   `a1-bench-v5` schema; exits 2 with a diagnostic on violation.
 //! * `--quick` — smaller workload + fewer iterations (CI-speed).
 //! * `--fig14-scale N` — divisor applied to the paper's Figure 14 dataset.
 
-use a1_bench::{figures, ingest, morsel, perf, wire};
+use a1_bench::{figures, ingest, loadgen, morsel, perf, validate, wire};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `--validate <file>`: schema-check an existing artifact and exit.
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--validate requires a file path");
+            std::process::exit(2);
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match validate::validate_text(&text) {
+            Ok(()) => {
+                println!("{path}: valid {}", validate::SCHEMA);
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let json = args.iter().any(|a| a == "--json");
     let quick = args.iter().any(|a| a == "--quick");
     let fig14_scale: usize = args
@@ -61,14 +90,15 @@ fn main() {
         let ingest_results = ingest::run_ingest_suite(quick);
         let wire_results = wire::run_wire_suite(quick);
         let morsel_results = morsel::run_morsel_suite(quick);
+        let serve_results = loadgen::run_serve_suite(quick);
         // One document carrying all suites, so the perf-trajectory CI job
-        // tracks wire bytes, ingest throughput and morsel speedup alongside
-        // Q1/Q4 latency.
+        // tracks wire bytes, ingest throughput, morsel speedup and serving
+        // headroom alongside Q1/Q4 latency.
         let mut doc = match perf::suite_to_json(&results, quick) {
             a1_core::Json::Obj(mut fields) => {
                 for (k, v) in fields.iter_mut() {
                     if k == "schema" {
-                        *v = a1_core::Json::str("a1-bench-v4");
+                        *v = a1_core::Json::str(validate::SCHEMA);
                     }
                 }
                 fields
@@ -84,7 +114,17 @@ fn main() {
             "intra".to_string(),
             morsel::morsel_suite_to_json(&morsel_results),
         ));
-        println!("{}", a1_core::Json::Obj(doc).to_string_pretty());
+        doc.push((
+            "serve".to_string(),
+            loadgen::serve_suite_to_json(&serve_results),
+        ));
+        let doc = a1_core::Json::Obj(doc);
+        // The emitter must always satisfy its own `--validate` contract.
+        if let Err(e) = validate::validate_doc(&doc) {
+            eprintln!("generated document violates its own schema: {e}");
+            std::process::exit(1);
+        }
+        println!("{}", doc.to_string_pretty());
         return;
     }
 
@@ -106,6 +146,7 @@ fn main() {
             "ingest" => Some(ingest::ingest_report(quick)),
             "wire" => Some(wire::wire_report(quick)),
             "morsel" => Some(morsel::morsel_report(quick)),
+            "serve" => Some(loadgen::serve_report(quick)),
             _ => None,
         }
     };
@@ -127,6 +168,7 @@ fn main() {
         "ingest",
         "wire",
         "morsel",
+        "serve",
     ];
     if target == "all" {
         for name in all {

@@ -9,14 +9,21 @@ pub mod costmodel;
 pub mod des;
 pub mod figures;
 pub mod ingest;
+pub mod loadgen;
 pub mod morsel;
 pub mod perf;
+pub mod validate;
 pub mod wire;
 pub mod workload;
 
 pub use costmodel::{CostModel, HopDemand, QueryProfile};
 pub use des::{DesConfig, DesResult};
 pub use ingest::{ingest_suite_to_json, run_ingest_suite, IngestBenchResult};
+pub use loadgen::{
+    run_serve_suite, serve_report, serve_suite_to_json, ServeRung, ServeSuite,
+    SERVE_QPS_FLOOR_QUICK,
+};
 pub use perf::{run_suite, suite_to_json, WorkloadResult};
+pub use validate::{validate_doc, validate_text};
 pub use wire::{run_wire_suite, wire_suite_to_json, WireQueryResult, WireSuite};
 pub use workload::{KnowledgeGraph, KnowledgeGraphSpec, UniformGraphSpec};

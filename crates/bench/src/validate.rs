@@ -1,0 +1,240 @@
+//! Schema validation for the `--json` perf document (`a1-bench-v5`).
+//!
+//! CI used to pipe the artifact through `python3 -m json.tool`, which only
+//! proved it parsed. `experiments --validate <file>` checks the actual
+//! contract the perf-trajectory tooling depends on: the schema tag, every
+//! required section, and the fields each section's consumers read. A
+//! malformed artifact fails the job instead of silently uploading garbage.
+
+use a1_core::Json;
+
+/// The schema tag the current `--json` output carries.
+pub const SCHEMA: &str = "a1-bench-v5";
+
+fn require<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
+    j.get(key)
+        .ok_or_else(|| format!("{ctx}: missing required field '{key}'"))
+}
+
+fn require_num(j: &Json, key: &str, ctx: &str) -> Result<(), String> {
+    match require(j, key, ctx)? {
+        Json::Num(_) => Ok(()),
+        other => Err(format!(
+            "{ctx}: field '{key}' must be a number, got {other}"
+        )),
+    }
+}
+
+fn require_arr<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a [Json], String> {
+    match require(j, key, ctx)? {
+        Json::Arr(items) => Ok(items),
+        other => Err(format!(
+            "{ctx}: field '{key}' must be an array, got {other}"
+        )),
+    }
+}
+
+fn each_has_nums(items: &[Json], fields: &[&str], ctx: &str) -> Result<(), String> {
+    for (i, item) in items.iter().enumerate() {
+        for f in fields {
+            require_num(item, f, &format!("{ctx}[{i}]"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validate one `--json` document against the `a1-bench-v5` contract.
+/// Returns a human-readable error naming the first violation.
+pub fn validate_doc(doc: &Json) -> Result<(), String> {
+    let schema = require(doc, "schema", "document")?
+        .as_str()
+        .ok_or("document: 'schema' must be a string")?;
+    if schema != SCHEMA {
+        return Err(format!(
+            "document: schema '{schema}' != expected '{SCHEMA}'"
+        ));
+    }
+    match require(doc, "quick", "document")? {
+        Json::Bool(_) => {}
+        other => return Err(format!("document: 'quick' must be a bool, got {other}")),
+    }
+
+    // Q1/Q4 latency results (the original perf suite).
+    let results = require_arr(doc, "results", "document")?;
+    if results.is_empty() {
+        return Err("document: 'results' must not be empty".into());
+    }
+    each_has_nums(
+        results,
+        &[
+            "machines",
+            "fanout_parallelism",
+            "iters",
+            "p50_latency_ns",
+            "p99_latency_ns",
+            "avg_latency_ns",
+            "throughput_qps",
+            "result",
+        ],
+        "results",
+    )?;
+
+    // Ingest suite: one entry per mode (single-op / group-commit / parallel).
+    let ingest = require_arr(doc, "ingest", "document")?;
+    if ingest.is_empty() {
+        return Err("document: 'ingest' must not be empty".into());
+    }
+    each_has_nums(
+        ingest,
+        &["records", "elapsed_ns", "records_per_sec", "check"],
+        "ingest",
+    )?;
+
+    // Wire suite: codec micro-bench + per-query bytes-on-wire.
+    let wire = require(doc, "wire", "document")?;
+    let codec = require_arr(wire, "codec", "wire")?;
+    each_has_nums(codec, &["bytes", "encode_ns", "decode_ns"], "wire.codec")?;
+    let queries = require_arr(wire, "queries", "wire")?;
+    each_has_nums(
+        queries,
+        &["rpcs", "req_bytes", "reply_bytes", "total_bytes"],
+        "wire.queries",
+    )?;
+    require(wire, "bytes_reduction", "wire")?;
+
+    // Intra-machine morsel suite.
+    let intra = require(doc, "intra", "document")?;
+    let cases = require_arr(intra, "results", "intra")?;
+    each_has_nums(
+        cases,
+        &["intra_parallelism", "p50_latency_ns", "morsels", "result"],
+        "intra.results",
+    )?;
+
+    // Open-loop serving suite.
+    let serve = require(doc, "serve", "document")?;
+    require_num(serve, "machines", "serve")?;
+    require_num(serve, "max_sustainable_qps", "serve")?;
+    match require(serve, "answers_match_closed_loop", "serve")? {
+        Json::Bool(true) => {}
+        Json::Bool(false) => {
+            return Err("serve: answers_match_closed_loop is false".into());
+        }
+        other => {
+            return Err(format!(
+                "serve: 'answers_match_closed_loop' must be a bool, got {other}"
+            ))
+        }
+    }
+    let rungs = require_arr(serve, "rungs", "serve")?;
+    if rungs.is_empty() {
+        return Err("serve: 'rungs' must not be empty".into());
+    }
+    each_has_nums(
+        rungs,
+        &[
+            "target_qps",
+            "achieved_qps",
+            "requests",
+            "rejected",
+            "errors",
+            "p50_latency_ns",
+            "p99_latency_ns",
+            "p999_latency_ns",
+        ],
+        "serve.rungs",
+    )?;
+    Ok(())
+}
+
+/// Validate a serialized document (the `--validate <file>` entry point).
+pub fn validate_text(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    validate_doc(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal well-formed a1-bench-v5 document.
+    fn sample() -> Json {
+        Json::parse(
+            r#"{
+              "schema": "a1-bench-v5",
+              "quick": true,
+              "results": [{
+                "workload": "q1", "machines": 8, "fanout_parallelism": 0,
+                "iters": 8, "p50_latency_ns": 1, "p99_latency_ns": 2,
+                "avg_latency_ns": 1, "throughput_qps": 10.0, "result": 5
+              }],
+              "ingest": [{
+                "workload": "ingest-group-commit", "machines": 4,
+                "partitions": 4, "batch_size": 64, "records": 10,
+                "elapsed_ns": 100, "records_per_sec": 5000.0, "batches": 2,
+                "batch_retries": 0, "batch_splits": 0, "dedup_hits": 0,
+                "check": 10
+              }],
+              "wire": {
+                "codec": [{"message": "query-request", "bytes": 10,
+                  "encode_ns": 5, "decode_ns": 5}],
+                "queries": [{"workload": "q1", "format": "binary",
+                  "fanout_parallelism": 0, "rpcs": 8, "req_bytes": 100,
+                  "reply_bytes": 200, "total_bytes": 300,
+                  "avg_latency_ns": 10, "result": 5}],
+                "bytes_reduction": {"q1": 0.5}
+              },
+              "intra": {"results": [{"workload": "hub", "machines": 8,
+                "intra_parallelism": 4, "iters": 8, "p50_latency_ns": 10,
+                "p99_latency_ns": 20, "avg_latency_ns": 12,
+                "throughput_qps": 100.0, "frontier": 64, "morsels": 4,
+                "max_concurrent_morsels": 4, "result": 5}]},
+              "serve": {
+                "machines": 8, "max_sustainable_qps": 100.0,
+                "answers_match_closed_loop": true,
+                "rungs": [{"target_qps": 50, "achieved_qps": 49,
+                  "requests": 20, "rejected": 0, "errors": 0,
+                  "p50_latency_ns": 1, "p99_latency_ns": 2,
+                  "p999_latency_ns": 3, "sustainable": true}]
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        validate_doc(&sample()).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(validate_text("not json").is_err());
+        assert!(validate_text("{}").is_err());
+
+        // Wrong schema tag.
+        let mut doc = sample();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema" {
+                    *v = Json::str("a1-bench-v4");
+                }
+            }
+        }
+        let err = validate_doc(&doc).unwrap_err();
+        assert!(err.contains("a1-bench-v4"), "{err}");
+
+        // Missing serve section.
+        let mut doc = sample();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "serve");
+        }
+        let err = validate_doc(&doc).unwrap_err();
+        assert!(err.contains("serve"), "{err}");
+
+        // A rung missing its tail percentile.
+        let text = sample().to_string().replace("\"p999_latency_ns\"", "\"x\"");
+        let err = validate_text(&text).unwrap_err();
+        assert!(err.contains("p999_latency_ns"), "{err}");
+    }
+}

@@ -29,6 +29,11 @@ pub enum A1Error {
     },
     /// Continuation token expired or unknown (client must restart, §3.4).
     ContinuationExpired,
+    /// The machine's front door rejected the request: too many queries in
+    /// flight. The client should back off for at least `retry_after_ms`.
+    Overloaded {
+        retry_after_ms: u64,
+    },
     /// Operation not valid in the object's current lifecycle state.
     InvalidState(String),
     Internal(String),
@@ -50,6 +55,9 @@ impl std::fmt::Display for A1Error {
                 write!(f, "query working set exceeded {limit} vertices (fast-fail)")
             }
             A1Error::ContinuationExpired => write!(f, "continuation token expired"),
+            A1Error::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms} ms")
+            }
             A1Error::InvalidState(m) => write!(f, "invalid state: {m}"),
             A1Error::Internal(m) => write!(f, "internal: {m}"),
         }
@@ -91,5 +99,8 @@ mod tests {
         assert!(A1Error::WorkingSetExceeded { limit: 10 }
             .to_string()
             .contains("fast-fail"));
+        let e = A1Error::Overloaded { retry_after_ms: 10 };
+        assert!(!e.is_retryable()); // retry is the *client's* job, after backoff
+        assert!(e.to_string().contains("retry after 10 ms"));
     }
 }

@@ -36,7 +36,7 @@ pub use batch::{Applied, BatchApplier, Mutation};
 pub use error::{A1Error, A1Result};
 pub use model::{EdgeTypeDef, GraphMeta, LifecycleState, TypeId, VertexTypeDef};
 pub use query::{QueryMetrics, QueryOutcome};
-pub use server::{A1Client, A1Cluster, A1Config};
+pub use server::{A1Client, A1Cluster, A1Config, AdmissionConfig, AdmissionPermit};
 pub use wire::WireFormat;
 
 pub use a1_bond::{BondType, FieldDef, Record, Schema, Value};

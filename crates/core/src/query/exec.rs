@@ -25,7 +25,7 @@ use crate::model::TypeId;
 use crate::query::plan::{AttrPredicate, CmpOp, PlanDir, Query, Select, VertexStep};
 use crate::store::GraphStore;
 use a1_bond::{Schema, Value};
-use a1_farm::{Addr, FarmCluster, MachineId, ScopedJob, Txn};
+use a1_farm::{Addr, FarmCluster, JobClass, MachineId, ScopedJob, Txn};
 use a1_json::Json;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -558,7 +558,7 @@ pub fn run_work_op(
         })
         .collect();
     let n_morsels = jobs.len() as u64;
-    let results = pool.run_all(jobs);
+    let results = pool.run_all_class(JobClass::Morsel, jobs);
 
     // Merge in input order: morsels are contiguous slices of `op.vertices`,
     // so concatenating their outputs reproduces the serial loop's order
@@ -1002,7 +1002,10 @@ pub fn coordinate(
                     .map(|(host, op, is_ship)| run_one(*host, op, *is_ship))
                     .collect()
             } else {
-                pool.run_all(
+                // Fan-out waves run in the Query lane: this work was already
+                // admitted at the front door and must stay ahead of ingest.
+                pool.run_all_class(
+                    JobClass::Query,
                     wave.iter()
                         .map(|(host, op, is_ship)| {
                             let run_one = &run_one;

@@ -21,7 +21,7 @@ use crate::store::{conflict_backoff, run_a1, GraphStore};
 use crate::tasks::{TaskQueue, TaskSpec};
 use crate::vertex::vertex_ptr;
 use crate::wire::{self, Request, WireFormat};
-use a1_farm::{Addr, BTree, BTreeConfig, FarmCluster, FarmConfig, Hint, MachineId, Txn};
+use a1_farm::{Addr, BTree, BTreeConfig, FarmCluster, FarmConfig, Hint, JobClass, MachineId, Txn};
 use a1_json::Json;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -48,6 +48,58 @@ pub struct A1Config {
     /// [`WireFormat::Json`] to force the legacy text wire for debugging.
     /// Decoders always auto-detect, so mixed-format clusters and logs work.
     pub wire_format: WireFormat,
+    /// Front-door admission control and worker-pool sharing knobs.
+    pub admission: AdmissionConfig,
+}
+
+/// Per-machine front-door knobs: how many queries a backend lets in at once,
+/// per-client fairness caps, and how each machine's worker pool is shared
+/// between the job classes that compete for it (query fan-out, morsels,
+/// ingest batch application).
+///
+/// The default is wide open — no admission limits — matching the pre-front-
+/// door behavior. Serving deployments (and the load-test bench) set limits.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Max queries/pages in flight per backend machine; `0` = unlimited.
+    /// Over-limit requests are rejected with [`A1Error::Overloaded`].
+    pub max_inflight_queries: usize,
+    /// Max queries/pages in flight per client id per backend; `0` =
+    /// unlimited. Anonymous requests (empty client id) share one bucket.
+    pub max_inflight_per_client: usize,
+    /// Max continuation-table entries a single client may hold per backend;
+    /// `0` = unlimited. Over quota, the client's *oldest* continuation is
+    /// evicted (that query must restart) — other clients are untouched.
+    pub max_continuations_per_client: usize,
+    /// Working-set cap applied to identified clients (empty client id is
+    /// exempt); `0` = inherit [`ExecConfig::max_working_set`]. The effective
+    /// cap is the smaller of the two.
+    pub client_max_working_set: usize,
+    /// Back-off hint stamped into `Overloaded` rejections.
+    pub retry_after: Duration,
+    /// In-flight quota for [`a1_farm::JobClass::Ingest`] jobs on each
+    /// machine's pool. `None` = auto: `threads_per_machine - 1` (min 1), so
+    /// ingest can never occupy every worker. `Some(0)` = unlimited.
+    pub ingest_quota: Option<usize>,
+    /// In-flight quota for [`a1_farm::JobClass::Morsel`] jobs; `0` =
+    /// unlimited. Morsel batches always complete even at quota zero
+    /// headroom (the submitting coordinator runs them inline), so this
+    /// bounds *pool occupancy*, not progress.
+    pub morsel_quota: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight_queries: 0,
+            max_inflight_per_client: 0,
+            max_continuations_per_client: 0,
+            client_max_working_set: 0,
+            retry_after: Duration::from_millis(10),
+            ingest_quota: None,
+            morsel_quota: 0,
+        }
+    }
 }
 
 impl Default for A1Config {
@@ -60,6 +112,7 @@ impl Default for A1Config {
             continuation_ttl: Duration::from_secs(60),
             dr_enabled: false,
             wire_format: WireFormat::Binary,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -96,14 +149,66 @@ impl A1Config {
         self.exec.intra_parallelism = intra;
         self
     }
+
+    /// Same cluster with specific front-door [`AdmissionConfig`] knobs.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> A1Config {
+        self.admission = admission;
+        self
+    }
+}
+
+/// A paged query's cached remainder, tagged with the client that owns it
+/// (for the front door's per-client continuation quota).
+struct Continuation {
+    at: Instant,
+    rows: Vec<Json>,
+    client: String,
+}
+
+/// Per-backend admission counters: total and per-client in-flight requests.
+struct AdmissionState {
+    inflight: AtomicUsize,
+    /// Per-client in-flight counts; entries are removed when they hit zero,
+    /// so the map only holds currently-active clients.
+    per_client: Mutex<HashMap<String, usize>>,
+}
+
+/// A held front-door admission slot. The request it admitted is in flight
+/// until this is dropped; dropping releases the machine's (and client's)
+/// slot. Obtainable directly via [`A1Cluster::hold_admission_slot`] to
+/// drive the front door deterministically in tests.
+pub struct AdmissionPermit {
+    backend: Arc<Backend>,
+    /// Set only when a per-client limit is active (the undo must mirror
+    /// exactly what was counted).
+    client: Option<String>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.backend
+            .admission
+            .inflight
+            .fetch_sub(1, Ordering::AcqRel);
+        if let Some(client) = self.client.take() {
+            let mut per_client = self.backend.admission.per_client.lock();
+            if let Some(n) = per_client.get_mut(&client) {
+                *n -= 1;
+                if *n == 0 {
+                    per_client.remove(&client);
+                }
+            }
+        }
+    }
 }
 
 /// Per-backend-machine coprocessor state.
 pub struct Backend {
     pub machine: MachineId,
     proxies: ProxyCache,
-    continuations: Mutex<HashMap<u64, (Instant, Vec<Json>)>>,
+    continuations: Mutex<HashMap<u64, Continuation>>,
     next_cont: AtomicU64,
+    admission: AdmissionState,
 }
 
 impl Backend {
@@ -113,6 +218,10 @@ impl Backend {
             proxies: ProxyCache::new(proxy_ttl),
             continuations: Mutex::new(HashMap::new()),
             next_cont: AtomicU64::new(1),
+            admission: AdmissionState {
+                inflight: AtomicUsize::new(0),
+                per_client: Mutex::new(HashMap::new()),
+            },
         })
     }
 }
@@ -178,6 +287,28 @@ impl A1Cluster {
                 }),
             );
         }
+        // Share each machine's worker pool between job classes: cap ingest
+        // batch application so applier work can never occupy every worker
+        // (queries would starve behind an ingest burst), and optionally cap
+        // morsels. Query-class jobs are never capped — they are what the
+        // front door already admitted.
+        for backend in &inner.backends {
+            if let Ok(m) = inner.farm.fabric().machine(backend.machine) {
+                let ingest_quota = match inner.cfg.admission.ingest_quota {
+                    None => inner
+                        .cfg
+                        .farm
+                        .fabric
+                        .threads_per_machine
+                        .saturating_sub(1)
+                        .max(1),
+                    Some(n) => n,
+                };
+                m.pool().set_class_quota(JobClass::Ingest, ingest_quota);
+                m.pool()
+                    .set_class_quota(JobClass::Morsel, inner.cfg.admission.morsel_quota);
+            }
+        }
         Ok(A1Cluster { inner })
     }
 
@@ -193,6 +324,7 @@ impl A1Cluster {
     pub fn client(&self) -> A1Client {
         A1Client {
             inner: self.inner.clone(),
+            client_id: String::new(),
         }
     }
 
@@ -200,6 +332,25 @@ impl A1Cluster {
     /// background workers; §3.3).
     pub fn run_pending_tasks(&self, max: usize) -> A1Result<usize> {
         self.inner.run_pending_tasks(max)
+    }
+
+    /// Live continuation-table entries cached on `machine` (ops/test hook:
+    /// the load-shed sweep and per-client quota are asserted through this).
+    pub fn continuation_count(&self, machine: MachineId) -> usize {
+        self.inner.backend(machine).continuations.lock().len()
+    }
+
+    /// Occupy one front-door admission slot on `machine` as `client`
+    /// without running a query, or fail with [`A1Error::Overloaded`] like
+    /// any other request would. The slot frees when the returned permit
+    /// drops. Test hook: drives the front door to its limit
+    /// deterministically, without depending on query timing.
+    pub fn hold_admission_slot(
+        &self,
+        machine: MachineId,
+        client: &str,
+    ) -> A1Result<AdmissionPermit> {
+        self.inner.admit(machine, client)
     }
 }
 
@@ -244,16 +395,74 @@ impl A1Inner {
 
     /// Decode and execute one RPC, replying in the format the request
     /// arrived in (binary frame tag dispatch; legacy JSON auto-detected).
+    ///
+    /// Query and page requests pass the front door first: over the machine's
+    /// (or the client's) in-flight limit they are rejected with a structured
+    /// [`A1Error::Overloaded`] carrying a retry-after hint, encoded in
+    /// whichever wire format the request arrived in. Work ops are internal —
+    /// their query was already admitted on its coordinator — and bypass
+    /// admission, as coordinator back-pressure already bounds them.
     fn dispatch_rpc(&self, machine: MachineId, payload: &[u8]) -> Vec<u8> {
         let fmt = wire::payload_format(payload);
         match wire::decode_request(payload) {
             Ok(Request::Work(op)) => wire::encode_work_result(&self.handle_work(machine, &op), fmt),
-            Ok(Request::Query { tenant, graph, q }) => {
-                wire::encode_outcome(&self.coordinate_query(machine, &tenant, &graph, &q), fmt)
+            Ok(Request::Query {
+                tenant,
+                graph,
+                q,
+                client,
+            }) => {
+                let outcome = self.admit(machine, &client).and_then(|_permit| {
+                    self.coordinate_query_for(machine, &tenant, &graph, &q, &client)
+                });
+                wire::encode_outcome(&outcome, fmt)
             }
-            Ok(Request::Page { cid }) => wire::encode_outcome(&self.handle_page(machine, cid), fmt),
+            Ok(Request::Page { cid, client }) => {
+                let outcome = match self.admit(machine, &client) {
+                    Ok(_permit) => self.handle_page(machine, cid),
+                    Err(e) => {
+                        // A rejected page still kills its continuation: the
+                        // cached rows are exactly the memory this rejection
+                        // is shedding, and waiting out the TTL would leak
+                        // them for the worst minute possible. The client
+                        // restarts the query once load drains.
+                        self.backend(machine).continuations.lock().remove(&cid);
+                        Err(e)
+                    }
+                };
+                wire::encode_outcome(&outcome, fmt)
+            }
             Err(e) => wire::encode_error(&e, fmt),
         }
+    }
+
+    /// Front-door admission: claim an in-flight slot on `machine` for
+    /// `client`, or reject with [`A1Error::Overloaded`].
+    fn admit(&self, machine: MachineId, client: &str) -> A1Result<AdmissionPermit> {
+        let adm = &self.cfg.admission;
+        let backend = self.backend(machine);
+        let overloaded = || A1Error::Overloaded {
+            retry_after_ms: (adm.retry_after.as_millis() as u64).max(1),
+        };
+        let total = backend.admission.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        if adm.max_inflight_queries != 0 && total > adm.max_inflight_queries {
+            backend.admission.inflight.fetch_sub(1, Ordering::AcqRel);
+            return Err(overloaded());
+        }
+        let mut permit = AdmissionPermit {
+            backend: backend.clone(),
+            client: None,
+        };
+        if adm.max_inflight_per_client != 0 {
+            let mut per_client = backend.admission.per_client.lock();
+            if per_client.get(client).copied().unwrap_or(0) >= adm.max_inflight_per_client {
+                drop(per_client);
+                return Err(overloaded()); // permit drop releases the total slot
+            }
+            *per_client.entry(client.to_string()).or_insert(0) += 1;
+            permit.client = Some(client.to_string());
+        }
+        Ok(permit)
     }
 
     fn handle_work(&self, machine: MachineId, op: &WorkOp) -> A1Result<WorkResult> {
@@ -274,13 +483,28 @@ impl A1Inner {
         )
     }
 
-    /// Coordinator-side query execution (§3.4, Fig. 9).
+    /// Coordinator-side query execution (§3.4, Fig. 9) for an anonymous
+    /// caller — the closed-loop entry point; bypasses the front door.
     pub fn coordinate_query(
         &self,
         machine: MachineId,
         tenant: &str,
         graph: &str,
         text: &str,
+    ) -> A1Result<QueryOutcome> {
+        self.coordinate_query_for(machine, tenant, graph, text, "")
+    }
+
+    /// Coordinator-side query execution on behalf of `client`: identified
+    /// clients get the per-client working-set cap and own the continuation
+    /// entries their paged results create.
+    fn coordinate_query_for(
+        &self,
+        machine: MachineId,
+        tenant: &str,
+        graph: &str,
+        text: &str,
+        client: &str,
     ) -> A1Result<QueryOutcome> {
         let backend = self.backend(machine);
         let proxies = self.proxies(backend, tenant, graph)?;
@@ -308,12 +532,20 @@ impl A1Inner {
             Ok(result)
         };
 
+        // Identified clients may carry a tighter working-set budget than the
+        // global fast-fail cap (per-client quota, front-door satellite of
+        // the paper's multi-tenancy story).
+        let mut exec_cfg = self.cfg.exec.clone();
+        let client_ws = self.cfg.admission.client_max_working_set;
+        if client_ws != 0 && !client.is_empty() {
+            exec_cfg.max_working_set = exec_cfg.max_working_set.min(client_ws);
+        }
         let coord = exec::Coordinator {
             farm: &self.farm,
             store: &self.store,
             proxies: &proxies,
             machine,
-            cfg: &self.cfg.exec,
+            cfg: &exec_cfg,
         };
         let mut outcome = exec::coordinate(
             &coord,
@@ -329,19 +561,41 @@ impl A1Inner {
         // Page oversized results through a continuation token (§3.4).
         if outcome.rows.len() > self.cfg.exec.page_size {
             let rest = outcome.rows.split_off(self.cfg.exec.page_size);
-            outcome.continuation = Some(self.stash_continuation(machine, rest));
+            outcome.continuation = Some(self.stash_continuation(machine, rest, client));
         }
         Ok(outcome)
     }
 
-    fn stash_continuation(&self, machine: MachineId, rest: Vec<Json>) -> String {
+    fn stash_continuation(&self, machine: MachineId, rest: Vec<Json>, client: &str) -> String {
         let backend = self.backend(machine);
         let id = backend.next_cont.fetch_add(1, Ordering::Relaxed);
         let mut conts = backend.continuations.lock();
         // Opportunistic expiry sweep.
         let ttl = self.cfg.continuation_ttl;
-        conts.retain(|_, (at, _)| at.elapsed() < ttl);
-        conts.insert(id, (Instant::now(), rest));
+        conts.retain(|_, c| c.at.elapsed() < ttl);
+        // Per-client continuation quota: evict the same client's oldest
+        // entries (that query restarts) rather than reject the new one —
+        // the newest result is the one the client is actively paging.
+        let quota = self.cfg.admission.max_continuations_per_client;
+        if quota != 0 {
+            while conts.values().filter(|c| c.client == client).count() >= quota {
+                let oldest = conts
+                    .iter()
+                    .filter(|(_, c)| c.client == client)
+                    .min_by_key(|(_, c)| c.at)
+                    .map(|(id, _)| *id)
+                    .expect("count >= quota >= 1 entries exist");
+                conts.remove(&oldest);
+            }
+        }
+        conts.insert(
+            id,
+            Continuation {
+                at: Instant::now(),
+                rows: rest,
+                client: client.to_string(),
+            },
+        );
         // The token encodes the coordinator's identity so frontends can
         // route the next request to the right machine (§3.4).
         format!("c:{}:{}", machine.0, id)
@@ -354,8 +608,12 @@ impl A1Inner {
         // but never stashes new ones must not retain dead pages forever
         // (stash-side sweeping alone leaks in that pattern).
         let ttl = self.cfg.continuation_ttl;
-        conts.retain(|_, (at, _)| at.elapsed() < ttl);
-        let (at, mut rows) = conts.remove(&cid).ok_or(A1Error::ContinuationExpired)?;
+        conts.retain(|_, c| c.at.elapsed() < ttl);
+        let Continuation {
+            at,
+            mut rows,
+            client,
+        } = conts.remove(&cid).ok_or(A1Error::ContinuationExpired)?;
         let mut outcome = QueryOutcome {
             rows: Vec::new(),
             count: None,
@@ -366,7 +624,14 @@ impl A1Inner {
         if rows.len() > self.cfg.exec.page_size {
             let rest = rows.split_off(self.cfg.exec.page_size);
             let id = backend.next_cont.fetch_add(1, Ordering::Relaxed);
-            conts.insert(id, (at, rest));
+            conts.insert(
+                id,
+                Continuation {
+                    at,
+                    rows: rest,
+                    client,
+                },
+            );
             outcome.continuation = Some(format!("c:{}:{}", machine.0, id));
         }
         outcome.rows = rows;
@@ -546,9 +811,20 @@ impl A1Inner {
 #[derive(Clone)]
 pub struct A1Client {
     inner: Arc<A1Inner>,
+    /// Identity stamped onto query/page requests for the front door's
+    /// per-client quotas. Empty = anonymous (the shared bucket).
+    client_id: String,
 }
 
 impl A1Client {
+    /// Same handle identifying as `id` to the front door: per-client
+    /// in-flight, continuation, and working-set quotas apply to `id`
+    /// instead of the shared anonymous bucket.
+    pub fn with_client_id(mut self, id: &str) -> A1Client {
+        self.client_id = id.to_string();
+        self
+    }
+
     // ------------------------------------------------------- control plane
 
     /// Create a tenant (the isolation container, §3).
@@ -916,7 +1192,13 @@ impl A1Client {
     /// backend, which coordinates distributed execution.
     pub fn query(&self, tenant: &str, graph: &str, a1ql: &str) -> A1Result<QueryOutcome> {
         let backend = self.inner.pick_backend();
-        let req = wire::encode_query_request(tenant, graph, a1ql, self.inner.cfg.wire_format);
+        let req = wire::encode_query_request(
+            tenant,
+            graph,
+            a1ql,
+            &self.client_id,
+            self.inner.cfg.wire_format,
+        );
         self.rpc_outcome(backend.machine, req)
     }
 
@@ -929,7 +1211,7 @@ impl A1Client {
         }
         let machine = MachineId(parts[1].parse().map_err(|_| A1Error::ContinuationExpired)?);
         let cid: u64 = parts[2].parse().map_err(|_| A1Error::ContinuationExpired)?;
-        let req = wire::encode_page_request(cid, self.inner.cfg.wire_format);
+        let req = wire::encode_page_request(cid, &self.client_id, self.inner.cfg.wire_format);
         self.rpc_outcome(machine, req)
     }
 

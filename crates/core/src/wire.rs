@@ -263,6 +263,7 @@ pub enum ErrCode {
     WorkingSetExceeded = 3,
     ContinuationExpired = 4,
     Schema = 5,
+    Overloaded = 6,
 }
 
 fn error_parts(e: &A1Error) -> (ErrCode, String, u64) {
@@ -273,6 +274,11 @@ fn error_parts(e: &A1Error) -> (ErrCode, String, u64) {
             (ErrCode::WorkingSetExceeded, e.to_string(), *limit as u64)
         }
         A1Error::ContinuationExpired => (ErrCode::ContinuationExpired, e.to_string(), 0),
+        // Reuses the numeric side channel (EF_LIMIT / "limit") for the
+        // retry-after hint, milliseconds.
+        A1Error::Overloaded { retry_after_ms } => {
+            (ErrCode::Overloaded, e.to_string(), *retry_after_ms)
+        }
         A1Error::Internal(m) => (ErrCode::Internal, m.clone(), 0),
         other => (ErrCode::Internal, other.to_string(), 0),
     }
@@ -286,6 +292,9 @@ fn error_from_parts(code: u64, msg: String, limit: u64) -> A1Error {
             limit: limit as usize,
         },
         c if c == ErrCode::ContinuationExpired as u64 => A1Error::ContinuationExpired,
+        c if c == ErrCode::Overloaded as u64 => A1Error::Overloaded {
+            retry_after_ms: limit,
+        },
         _ => A1Error::Internal(msg),
     }
 }
@@ -847,10 +856,16 @@ fn outcome_from_record(rec: &Record) -> A1Result<QueryOutcome> {
 const QR_TENANT: u16 = 0;
 const QR_GRAPH: u16 = 1;
 const QR_TEXT: u16 = 2;
+const QR_CLIENT: u16 = 3;
 
 const PG_CID: u16 = 0;
+const PG_CLIENT: u16 = 1;
 
 /// A decoded RPC request (the server dispatches on this).
+///
+/// `client` identifies the caller for the front door's per-client quotas;
+/// empty means anonymous (all anonymous callers share one bucket). Absent on
+/// the wire when empty, so pre-quota frames decode unchanged.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     Work(WorkOp),
@@ -858,9 +873,11 @@ pub enum Request {
         tenant: String,
         graph: String,
         q: String,
+        client: String,
     },
     Page {
         cid: u64,
+        client: String,
     },
 }
 
@@ -883,9 +900,11 @@ pub fn decode_request(payload: &[u8]) -> A1Result<Request> {
                 tenant: rec_str(&rec, QR_TENANT).ok_or_else(|| bad("query tenant"))?,
                 graph: rec_str(&rec, QR_GRAPH).ok_or_else(|| bad("query graph"))?,
                 q: rec_str(&rec, QR_TEXT).ok_or_else(|| bad("query text"))?,
+                client: rec_str(&rec, QR_CLIENT).unwrap_or_default(),
             }),
             MsgTag::Page => Ok(Request::Page {
                 cid: rec_u64(&rec, PG_CID).ok_or_else(|| bad("page cid"))?,
+                client: rec_str(&rec, PG_CLIENT).unwrap_or_default(),
             }),
             other => Err(bad(&format!("unexpected request tag {other:?}"))),
         };
@@ -906,6 +925,7 @@ pub fn decode_request(payload: &[u8]) -> A1Result<Request> {
                 tenant: s("tenant")?,
                 graph: s("graph")?,
                 q: s("q")?,
+                client: s("client").unwrap_or_default(),
             })
         }
         Some("page") => Ok(Request::Page {
@@ -913,6 +933,11 @@ pub fn decode_request(payload: &[u8]) -> A1Result<Request> {
                 .get("cid")
                 .and_then(Json::as_f64)
                 .ok_or(A1Error::ContinuationExpired)? as u64,
+            client: j
+                .get("client")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
         }),
         _ => Err(A1Error::Query("unknown rpc".into())),
     }
@@ -926,40 +951,58 @@ pub fn encode_work_op(op: &WorkOp, fmt: WireFormat) -> Vec<u8> {
     }
 }
 
-/// Encode a query request.
-pub fn encode_query_request(tenant: &str, graph: &str, q: &str, fmt: WireFormat) -> Vec<u8> {
+/// Encode a query request. `client` tags the caller for per-client quotas;
+/// empty (anonymous) is omitted from the wire.
+pub fn encode_query_request(
+    tenant: &str,
+    graph: &str,
+    q: &str,
+    client: &str,
+    fmt: WireFormat,
+) -> Vec<u8> {
     match fmt {
-        WireFormat::Binary => frame::frame(
-            MsgTag::Query,
-            &Record::new()
+        WireFormat::Binary => {
+            let mut rec = Record::new()
                 .with(QR_TENANT, Value::String(tenant.into()))
                 .with(QR_GRAPH, Value::String(graph.into()))
-                .with(QR_TEXT, Value::String(q.into())),
-        ),
-        WireFormat::Json => Json::obj(vec![
-            ("t", Json::str("query")),
-            ("tenant", Json::str(tenant)),
-            ("graph", Json::str(graph)),
-            ("q", Json::str(q)),
-        ])
-        .to_string()
-        .into_bytes(),
+                .with(QR_TEXT, Value::String(q.into()));
+            if !client.is_empty() {
+                rec.set(QR_CLIENT, Value::String(client.into()));
+            }
+            frame::frame(MsgTag::Query, &rec)
+        }
+        WireFormat::Json => {
+            let mut fields = vec![
+                ("t", Json::str("query")),
+                ("tenant", Json::str(tenant)),
+                ("graph", Json::str(graph)),
+                ("q", Json::str(q)),
+            ];
+            if !client.is_empty() {
+                fields.push(("client", Json::str(client)));
+            }
+            Json::obj(fields).to_string().into_bytes()
+        }
     }
 }
 
 /// Encode a continuation-page request.
-pub fn encode_page_request(cid: u64, fmt: WireFormat) -> Vec<u8> {
+pub fn encode_page_request(cid: u64, client: &str, fmt: WireFormat) -> Vec<u8> {
     match fmt {
-        WireFormat::Binary => frame::frame(
-            MsgTag::Page,
-            &Record::new().with(PG_CID, Value::UInt64(cid)),
-        ),
-        WireFormat::Json => Json::obj(vec![
-            ("t", Json::str("page")),
-            ("cid", Json::Num(cid as f64)),
-        ])
-        .to_string()
-        .into_bytes(),
+        WireFormat::Binary => {
+            let mut rec = Record::new().with(PG_CID, Value::UInt64(cid));
+            if !client.is_empty() {
+                rec.set(PG_CLIENT, Value::String(client.into()));
+            }
+            frame::frame(MsgTag::Page, &rec)
+        }
+        WireFormat::Json => {
+            let mut fields = vec![("t", Json::str("page")), ("cid", Json::Num(cid as f64))];
+            if !client.is_empty() {
+                fields.push(("client", Json::str(client)));
+            }
+            Json::obj(fields).to_string().into_bytes()
+        }
     }
 }
 
@@ -1634,6 +1677,7 @@ mod tests {
             A1Error::Query("boom".into()),
             A1Error::Schema("bad field".into()),
             A1Error::Internal("oops".into()),
+            A1Error::Overloaded { retry_after_ms: 25 },
         ] {
             for fmt in [WireFormat::Binary, WireFormat::Json] {
                 let wire = encode_outcome(&Err(e.clone()), fmt);
@@ -1689,17 +1733,37 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         for fmt in [WireFormat::Binary, WireFormat::Json] {
-            let wire = encode_query_request("tén", "g", "{\"id\":\"x\"}", fmt);
+            let wire = encode_query_request("tén", "g", "{\"id\":\"x\"}", "", fmt);
             assert_eq!(
                 decode_request(&wire).unwrap(),
                 Request::Query {
                     tenant: "tén".into(),
                     graph: "g".into(),
-                    q: "{\"id\":\"x\"}".into()
+                    q: "{\"id\":\"x\"}".into(),
+                    client: String::new(),
                 }
             );
-            let wire = encode_page_request(99, fmt);
-            assert_eq!(decode_request(&wire).unwrap(), Request::Page { cid: 99 });
+            let wire = encode_query_request("t", "g", "q", "edge-rank", fmt);
+            match decode_request(&wire).unwrap() {
+                Request::Query { client, .. } => assert_eq!(client, "edge-rank", "{fmt:?}"),
+                other => panic!("not a query: {other:?}"),
+            }
+            let wire = encode_page_request(99, "", fmt);
+            assert_eq!(
+                decode_request(&wire).unwrap(),
+                Request::Page {
+                    cid: 99,
+                    client: String::new(),
+                }
+            );
+            let wire = encode_page_request(7, "edge-rank", fmt);
+            assert_eq!(
+                decode_request(&wire).unwrap(),
+                Request::Page {
+                    cid: 7,
+                    client: "edge-rank".into(),
+                }
+            );
         }
     }
 

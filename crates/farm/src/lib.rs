@@ -42,4 +42,4 @@ pub use cluster::{FarmCluster, FarmConfig};
 pub use error::{FarmError, FarmResult};
 pub use txn::{Hint, ObjBuf, Txn, TxnMode};
 
-pub use a1_rdma::{FabricConfig, LatencyModel, MachineId, ScopedJob, WorkerPool};
+pub use a1_rdma::{FabricConfig, JobClass, LatencyModel, MachineId, ScopedJob, WorkerPool};

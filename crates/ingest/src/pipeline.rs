@@ -8,10 +8,11 @@
 //!   │ queue 0 │  │ queue 1 │  …  │ queue P │     one per partition
 //!   └────┬────┘  └────┬────┘     └────┬────┘
 //!        ▼            ▼               ▼
-//!    applier 0    applier 1       applier P       on each machine's WorkerPool
+//!    applier 0    applier 1       applier P       dedicated drain threads
 //!        │ batch ≤ batch_size or flush_interval
 //!        ▼
-//!    one FaRM txn: dedup check → apply mutations → replog entries →
+//!    one FaRM txn, run as an Ingest-class job on the machine's WorkerPool:
+//!    dedup check → apply mutations → replog entries →
 //!    advance ⟨source, partition⟩ watermarks → commit
 //! ```
 //!
@@ -26,7 +27,7 @@ use crate::watermark::WatermarkTable;
 use a1_core::server::A1Inner;
 use a1_core::store::conflict_backoff;
 use a1_core::{A1Cluster, A1Error, A1Result, BatchApplier};
-use a1_farm::{MachineId, Ptr, Txn};
+use a1_farm::{JobClass, MachineId, Ptr, Txn};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -152,16 +153,25 @@ impl IngestPipeline {
         for part in 0..partitions {
             let (tx, rx) = bounded(shared.cfg.queue_depth.max(1));
             let machine = MachineId((part % machines as usize) as u32);
-            let pool_machine = shared
+            // Validate the partition's machine up front (the applier thread
+            // resolves it again per batch).
+            shared
                 .inner
                 .farm
                 .fabric()
                 .machine(machine)
                 .map_err(|e| A1Error::Internal(format!("ingest partition machine: {e}")))?;
+            // The drain loop lives on its own dedicated thread, NOT on the
+            // machine's worker pool: a blocking recv loop parked on a pool
+            // thread would occupy a simulated core forever (and a pool-wide
+            // ingest quota would deadlock against it). Only the finite
+            // per-batch commits run on the pool, in the Ingest class, where
+            // the front door's quota and priority lane can bound them.
             let shared2 = shared.clone();
-            pool_machine
-                .pool()
-                .execute(move || applier_loop(shared2, part as u32, machine, rx));
+            std::thread::Builder::new()
+                .name(format!("ingest-p{part}"))
+                .spawn(move || applier_loop(shared2, part as u32, machine, rx))
+                .map_err(|e| A1Error::Internal(format!("spawn ingest applier: {e}")))?;
             senders.push(tx);
         }
         Ok(IngestPipeline {
@@ -274,7 +284,8 @@ fn partitioner_fingerprint(p: &Partitioner) -> u64 {
     }
 }
 
-/// One partition's applier: drain the queue into batches, group-commit each.
+/// One partition's applier: drain the queue into batches, group-commit each
+/// on the partition machine's worker pool.
 fn applier_loop(shared: Arc<Shared>, part: u32, machine: MachineId, rx: Receiver<MutationRecord>) {
     // Block for work — an idle applier costs nothing. The loop ends on
     // Disconnected: the queue is fully drained *and* the pipeline handle is
@@ -303,7 +314,28 @@ fn applier_loop(shared: Arc<Shared>, part: u32, machine: MachineId, rx: Receiver
                 Err(_) => break,
             }
         }
-        shared.run_chunk(machine, part, &batch);
+        // The batch commits on the machine's worker pool in the Ingest
+        // class, so it competes for simulated cores under the front door's
+        // per-class quota and never outranks query work (this drain thread
+        // itself stays off the pool — see `start`). If the pool is gone or
+        // drops the job (cluster teardown racing a live pipeline), commit
+        // inline on this thread so `pending` still reaches zero.
+        let batch = Arc::new(batch);
+        let ran_on_pool = match shared.inner.farm.fabric().machine(machine) {
+            Ok(m) => {
+                let shared2 = shared.clone();
+                let b = batch.clone();
+                m.pool()
+                    .try_execute_wait_class(JobClass::Ingest, move || {
+                        shared2.run_chunk(machine, part, &b)
+                    })
+                    .is_some()
+            }
+            Err(_) => false,
+        };
+        if !ran_on_pool {
+            shared.run_chunk(machine, part, &batch);
+        }
     }
     shared.live_appliers.fetch_sub(1, Ordering::SeqCst);
 }

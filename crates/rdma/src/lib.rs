@@ -32,7 +32,7 @@ pub use fabric::{Fabric, NetError};
 pub use latency::LatencyModel;
 pub use machine::{Machine, Segment};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use pool::{ScopedJob, WorkerPool};
+pub use pool::{JobClass, ScopedJob, WorkerPool};
 
 /// Identifies a machine in the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

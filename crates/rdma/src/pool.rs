@@ -6,9 +6,24 @@
 //! temporary threads are spawned (up to `max`) and retire after an idle
 //! period. The elasticity stands in for fibers: a fiber blocked on a remote
 //! operation yields its thread, which we model by letting another thread run.
+//!
+//! Jobs carry a [`JobClass`] so the pool can be shared fairly between the
+//! request classes that compete for a machine's "CPU": query-serving work
+//! (coordinator fan-out, RPC dispatch), intra-machine morsels, and ingest
+//! batch application. Two mechanisms combine:
+//!
+//! * **Priority lane** — when a worker frees up it dequeues `Query` jobs
+//!   before `Morsel` jobs before `Ingest` jobs, so a backlog of ingest
+//!   batches can never starve the serving path.
+//! * **Per-class in-flight quotas** — each class can be capped to a number
+//!   of concurrently *running* jobs ([`WorkerPool::set_class_quota`]).
+//!   Over-quota jobs wait in a per-class backlog and are promoted as their
+//!   class drains, bounding how many worker threads a greedy class (e.g.
+//!   ingest appliers under a bulk load) may occupy at once.
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -22,17 +37,119 @@ pub type ScopedJob<'env, R> = Box<dyn FnOnce() -> R + Send + 'env>;
 
 const TEMP_THREAD_IDLE: Duration = Duration::from_millis(200);
 
+/// Scheduling class of a pool job. Declaration order is dequeue priority:
+/// workers drain `Query` before `Morsel` before `Ingest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// Request-serving work: RPC dispatch, coordinator fan-out waves.
+    Query,
+    /// Intra-machine morsels of a work-op batch.
+    Morsel,
+    /// Ingest batch application (group commits).
+    Ingest,
+}
+
+const NUM_CLASSES: usize = 3;
+
+impl JobClass {
+    fn idx(self) -> usize {
+        match self {
+            JobClass::Query => 0,
+            JobClass::Morsel => 1,
+            JobClass::Ingest => 2,
+        }
+    }
+}
+
+/// Class-aware scheduler state: per-class ready queues (dequeued by
+/// priority), per-class backlogs (over-quota jobs awaiting promotion), and
+/// the in-flight accounting that gates promotion.
+struct Sched {
+    ready: [VecDeque<Job>; NUM_CLASSES],
+    backlog: [VecDeque<Job>; NUM_CLASSES],
+    /// Jobs of each class admitted (ready or running) right now.
+    in_flight: [usize; NUM_CLASSES],
+    /// Max in-flight per class; `0` = unlimited.
+    quota: [usize; NUM_CLASSES],
+}
+
+impl Sched {
+    fn can_admit(&self, c: usize) -> bool {
+        self.quota[c] == 0 || self.in_flight[c] < self.quota[c]
+    }
+}
+
 struct PoolShared {
-    rx: Receiver<Job>,
+    /// Wake tokens: one per ready job. Jobs themselves live in `sched` so
+    /// dequeue order is priority-aware, not FIFO-across-classes.
+    tx: Mutex<Option<Sender<()>>>,
+    rx: Receiver<()>,
+    sched: Mutex<Sched>,
     idle: AtomicUsize,
     threads: AtomicUsize,
     max: usize,
     name: String,
 }
 
-/// An elastic thread pool.
+impl PoolShared {
+    /// One job finished (or was dropped): release its quota slot and promote
+    /// backlog jobs that now fit. Lock order: `sched` is released before
+    /// `tx` is taken (the submit path nests them the other way around).
+    fn on_complete(&self, queued: &AtomicUsize, class: usize) {
+        let promoted = {
+            let mut s = self.sched.lock();
+            s.in_flight[class] -= 1;
+            let mut n = 0;
+            while s.can_admit(class) {
+                let Some(job) = s.backlog[class].pop_front() else {
+                    break;
+                };
+                s.in_flight[class] += 1;
+                s.ready[class].push_back(job);
+                n += 1;
+            }
+            n
+        };
+        if promoted > 0 {
+            queued.fetch_add(promoted, Ordering::Relaxed);
+            let guard = self.tx.lock();
+            if let Some(tx) = guard.as_ref() {
+                for _ in 0..promoted {
+                    let _ = tx.send(());
+                }
+            }
+        }
+    }
+
+    /// Dequeue the highest-priority ready job. Every wake token corresponds
+    /// to a pushed ready job, so this only returns `None` under teardown
+    /// races.
+    fn take_job(&self) -> Option<(Job, usize)> {
+        let mut s = self.sched.lock();
+        for c in 0..NUM_CLASSES {
+            if let Some(job) = s.ready[c].pop_front() {
+                return Some((job, c));
+            }
+        }
+        None
+    }
+}
+
+/// Releases a running job's quota slot even if the job panics.
+struct RunningGuard<'a> {
+    shared: &'a PoolShared,
+    queued: &'a AtomicUsize,
+    class: usize,
+}
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.on_complete(self.queued, self.class);
+    }
+}
+
+/// An elastic thread pool with class-aware scheduling.
 pub struct WorkerPool {
-    tx: Mutex<Option<Sender<Job>>>,
     shared: Arc<PoolShared>,
     queued: Arc<AtomicUsize>,
 }
@@ -41,16 +158,22 @@ impl WorkerPool {
     pub fn new(name: &str, base: usize, max: usize) -> WorkerPool {
         assert!(base >= 1, "pool needs at least one thread");
         assert!(max >= base);
-        let (tx, rx) = unbounded::<Job>();
+        let (tx, rx) = unbounded::<()>();
         let shared = Arc::new(PoolShared {
+            tx: Mutex::new(Some(tx)),
             rx,
+            sched: Mutex::new(Sched {
+                ready: std::array::from_fn(|_| VecDeque::new()),
+                backlog: std::array::from_fn(|_| VecDeque::new()),
+                in_flight: [0; NUM_CLASSES],
+                quota: [0; NUM_CLASSES],
+            }),
             idle: AtomicUsize::new(0),
             threads: AtomicUsize::new(0),
             max,
             name: name.to_string(),
         });
         let pool = WorkerPool {
-            tx: Mutex::new(Some(tx)),
             shared: shared.clone(),
             queued: Arc::new(AtomicUsize::new(0)),
         };
@@ -60,15 +183,32 @@ impl WorkerPool {
         pool
     }
 
-    /// Enqueue a job. Spawns a temporary worker when the pool is saturated.
+    /// Enqueue a job in the default [`JobClass::Query`] lane. Spawns a
+    /// temporary worker when the pool is saturated.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        let guard = self.tx.lock();
+        self.execute_class(JobClass::Query, job);
+    }
+
+    /// Enqueue a job in a specific class lane. Jobs over the class's
+    /// in-flight quota wait in the class backlog and are promoted as earlier
+    /// jobs of that class complete.
+    pub fn execute_class(&self, class: JobClass, job: impl FnOnce() + Send + 'static) {
+        let guard = self.shared.tx.lock();
         let Some(tx) = guard.as_ref() else {
             return; // pool shut down; drop the job
         };
+        let c = class.idx();
+        {
+            let mut s = self.shared.sched.lock();
+            if !s.can_admit(c) {
+                s.backlog[c].push_back(Box::new(job));
+                return;
+            }
+            s.in_flight[c] += 1;
+            s.ready[c].push_back(Box::new(job));
+        }
         let queued = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
-        tx.send(Box::new(job))
-            .expect("receiver held by shared state");
+        tx.send(()).expect("receiver held by shared state");
         // Grow when demand outruns the idle set, not only when it hits zero:
         // a burst of enqueues can land before any idle worker wakes up, and
         // jobs that block (the fiber stand-in) would then starve the queue.
@@ -78,6 +218,45 @@ impl WorkerPool {
                 spawn_worker(self.shared.clone(), self.queued.clone(), n, false);
             }
         }
+    }
+
+    /// Cap `class` to `quota` concurrently in-flight jobs (`0` = unlimited).
+    /// Raising the quota promotes waiting backlog jobs immediately.
+    pub fn set_class_quota(&self, class: JobClass, quota: usize) {
+        let c = class.idx();
+        let promoted = {
+            let mut s = self.shared.sched.lock();
+            s.quota[c] = quota;
+            let mut n = 0;
+            while s.can_admit(c) {
+                let Some(job) = s.backlog[c].pop_front() else {
+                    break;
+                };
+                s.in_flight[c] += 1;
+                s.ready[c].push_back(job);
+                n += 1;
+            }
+            n
+        };
+        if promoted > 0 {
+            self.queued.fetch_add(promoted, Ordering::Relaxed);
+            let guard = self.shared.tx.lock();
+            if let Some(tx) = guard.as_ref() {
+                for _ in 0..promoted {
+                    let _ = tx.send(());
+                }
+            }
+        }
+    }
+
+    /// Jobs of `class` currently admitted (ready or running).
+    pub fn class_in_flight(&self, class: JobClass) -> usize {
+        self.shared.sched.lock().in_flight[class.idx()]
+    }
+
+    /// Jobs of `class` waiting in the over-quota backlog.
+    pub fn class_backlog(&self, class: JobClass) -> usize {
+        self.shared.sched.lock().backlog[class.idx()].len()
     }
 
     /// Enqueue a job and block until it completes, returning its result.
@@ -95,8 +274,19 @@ impl WorkerPool {
         &self,
         job: impl FnOnce() -> R + Send + 'static,
     ) -> Option<R> {
+        self.try_execute_wait_class(JobClass::Query, job)
+    }
+
+    /// [`WorkerPool::try_execute_wait`] in a specific class lane — the
+    /// blocking submit for quota-bounded work (e.g. ingest batch
+    /// application).
+    pub fn try_execute_wait_class<R: Send + 'static>(
+        &self,
+        class: JobClass,
+        job: impl FnOnce() -> R + Send + 'static,
+    ) -> Option<R> {
         let (tx, rx) = crossbeam::channel::bounded(1);
-        self.execute(move || {
+        self.execute_class(class, move || {
             let _ = tx.send(std::panic::catch_unwind(AssertUnwindSafe(job)));
         });
         match rx.recv().ok()? {
@@ -132,6 +322,12 @@ impl WorkerPool {
             && self.shared.threads.load(Ordering::Relaxed) >= self.shared.max
     }
 
+    /// Scoped batch execution in the default [`JobClass::Query`] lane; see
+    /// [`WorkerPool::run_all_class`].
+    pub fn run_all<'env, R: Send + 'env>(&self, jobs: Vec<ScopedJob<'env, R>>) -> Vec<R> {
+        self.run_all_class(JobClass::Query, jobs)
+    }
+
     /// Scoped batch execution: run every job on the pool concurrently and
     /// return their results **in input order**. Blocks until all jobs have
     /// finished, which is what makes it sound for jobs that borrow from the
@@ -143,11 +339,13 @@ impl WorkerPool {
     /// claims and runs unstarted jobs inline (**self-help**) and only then
     /// blocks for the executions workers claimed. That makes nested-join
     /// progress structural: even when every pool thread is itself blocked in
-    /// another `run_all` join and the pool cannot grow, each blocked caller
-    /// completes its own batch on its own thread (the fiber stand-in: a
-    /// blocked thread lends itself out). The caller never executes foreign
-    /// queue entries, so a long-running unrelated job (e.g. a streaming
-    /// applier loop) can never be pulled onto a joining thread.
+    /// another `run_all` join and the pool cannot grow — or the batch's
+    /// class is quota-capped and its wrappers sit in the backlog — each
+    /// blocked caller completes its own batch on its own thread (the fiber
+    /// stand-in: a blocked thread lends itself out). The caller never
+    /// executes foreign queue entries, so a long-running unrelated job
+    /// (e.g. a streaming applier loop) can never be pulled onto a joining
+    /// thread.
     ///
     /// If any job panics, the panic is re-raised on the caller *after* every
     /// other job has completed (so borrowed state is never unwound while
@@ -156,7 +354,11 @@ impl WorkerPool {
     // jobs, justified by the emptied-slot invariant documented at the
     // transmute.
     #[allow(unsafe_code)]
-    pub fn run_all<'env, R: Send + 'env>(&self, jobs: Vec<ScopedJob<'env, R>>) -> Vec<R> {
+    pub fn run_all_class<'env, R: Send + 'env>(
+        &self,
+        class: JobClass,
+        jobs: Vec<ScopedJob<'env, R>>,
+    ) -> Vec<R> {
         let n = jobs.len();
         match n {
             0 => return Vec::new(),
@@ -224,7 +426,7 @@ impl WorkerPool {
             // (or is dropped with the pool) later touches only the Arc'd
             // empty slot and a disconnected Sender, never 'env borrows.
             let wrapper: Job = unsafe { std::mem::transmute(wrapper) };
-            self.execute(wrapper);
+            self.execute_class(class, wrapper);
         }
         drop(tx);
 
@@ -261,7 +463,7 @@ impl WorkerPool {
             .collect()
     }
 
-    /// Jobs queued and not yet started.
+    /// Jobs queued and not yet started (class backlogs not included).
     pub fn queue_depth(&self) -> usize {
         self.queued.load(Ordering::Relaxed)
     }
@@ -275,7 +477,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Closing the channel lets permanent workers observe disconnection.
-        *self.tx.lock() = None;
+        *self.shared.tx.lock() = None;
     }
 }
 
@@ -292,15 +494,25 @@ fn spawn_worker(shared: Arc<PoolShared>, queued: Arc<AtomicUsize>, idx: usize, p
         move || {
             loop {
                 shared.idle.fetch_add(1, Ordering::Relaxed);
-                let job = if permanent {
+                let token = if permanent {
                     shared.rx.recv().map_err(|_| RecvTimeoutError::Disconnected)
                 } else {
                     shared.rx.recv_timeout(TEMP_THREAD_IDLE)
                 };
                 shared.idle.fetch_sub(1, Ordering::Relaxed);
-                match job {
-                    Ok(job) => {
+                match token {
+                    Ok(()) => {
+                        let Some((job, class)) = shared.take_job() else {
+                            continue; // teardown race; token without a job
+                        };
                         queued.fetch_sub(1, Ordering::Relaxed);
+                        // The guard releases the quota slot (and promotes
+                        // backlog) even if the job panics.
+                        let _running = RunningGuard {
+                            shared: &shared,
+                            queued: &queued,
+                            class,
+                        };
                         job();
                     }
                     Err(_) => break, // disconnected, or temp thread idled out
@@ -405,6 +617,102 @@ mod tests {
     }
 
     #[test]
+    fn class_quota_bounds_in_flight() {
+        let pool = WorkerPool::new("t", 4, 16);
+        pool.set_class_quota(JobClass::Ingest, 1);
+        let (release_tx, release_rx) = crossbeam::channel::bounded::<()>(0);
+        let running = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        let (done_tx, done_rx) = crossbeam::channel::bounded(8);
+        for _ in 0..4 {
+            let (rx, running, peak, done) = (
+                release_rx.clone(),
+                running.clone(),
+                peak.clone(),
+                done_tx.clone(),
+            );
+            pool.execute_class(JobClass::Ingest, move || {
+                let cur = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(cur, Ordering::SeqCst);
+                rx.recv().unwrap();
+                running.fetch_sub(1, Ordering::SeqCst);
+                done.send(()).unwrap();
+            });
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        // Quota 1: exactly one job admitted, three in the backlog.
+        assert_eq!(pool.class_in_flight(JobClass::Ingest), 1);
+        assert_eq!(pool.class_backlog(JobClass::Ingest), 3);
+        for _ in 0..4 {
+            release_tx.send(()).unwrap();
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "quota exceeded");
+        assert_eq!(pool.class_in_flight(JobClass::Ingest), 0);
+    }
+
+    #[test]
+    fn raising_quota_promotes_backlog() {
+        let pool = WorkerPool::new("t", 4, 16);
+        pool.set_class_quota(JobClass::Ingest, 1);
+        let (release_tx, release_rx) = crossbeam::channel::bounded::<()>(0);
+        let (done_tx, done_rx) = crossbeam::channel::bounded(8);
+        for _ in 0..3 {
+            let (rx, done) = (release_rx.clone(), done_tx.clone());
+            pool.execute_class(JobClass::Ingest, move || {
+                rx.recv().unwrap();
+                done.send(()).unwrap();
+            });
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(pool.class_backlog(JobClass::Ingest), 2);
+        pool.set_class_quota(JobClass::Ingest, 0); // unlimited
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(pool.class_backlog(JobClass::Ingest), 0);
+        for _ in 0..3 {
+            release_tx.send(()).unwrap();
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+    }
+
+    #[test]
+    fn query_lane_preempts_ingest_backlog() {
+        // One worker, no growth. Occupy it, queue ingest jobs, then a query
+        // job: when the worker frees, the query must dequeue before any of
+        // the earlier-queued ingest jobs (priority lane, not FIFO).
+        let pool = WorkerPool::new("t", 1, 1);
+        let (release_tx, release_rx) = crossbeam::channel::bounded::<()>(0);
+        pool.execute_class(JobClass::Ingest, move || {
+            release_rx.recv().unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (done_tx, done_rx) = crossbeam::channel::bounded(8);
+        for i in 0..3 {
+            let (order, done) = (order.clone(), done_tx.clone());
+            pool.execute_class(JobClass::Ingest, move || {
+                order.lock().push(format!("ingest{i}"));
+                done.send(()).unwrap();
+            });
+        }
+        let (order2, done2) = (order.clone(), done_tx.clone());
+        pool.execute_class(JobClass::Query, move || {
+            order2.lock().push("query".into());
+            done2.send(()).unwrap();
+        });
+        release_tx.send(()).unwrap();
+        for _ in 0..4 {
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(
+            order.lock().first().map(String::as_str),
+            Some("query"),
+            "query job did not jump the ingest backlog: {:?}",
+            order.lock()
+        );
+    }
+
+    #[test]
     fn run_all_collects_in_order() {
         let pool = WorkerPool::new("t", 2, 16);
         let jobs: Vec<ScopedJob<usize>> = (0..32usize)
@@ -445,6 +753,26 @@ mod tests {
             })
             .collect();
         pool.run_all(jobs); // would hang if jobs ran one at a time
+    }
+
+    #[test]
+    fn run_all_completes_under_zero_headroom_quota() {
+        // Morsel quota 1 with the lone slot held by a blocked job: the
+        // batch's wrappers all land in the backlog and no worker will ever
+        // run them. Self-help must complete the batch on the caller.
+        let pool = WorkerPool::new("t", 2, 8);
+        pool.set_class_quota(JobClass::Morsel, 1);
+        let (release_tx, release_rx) = crossbeam::channel::bounded::<()>(0);
+        pool.execute_class(JobClass::Morsel, move || {
+            release_rx.recv().unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let jobs: Vec<ScopedJob<u64>> = (0..4)
+            .map(|i| Box::new(move || i as u64) as ScopedJob<u64>)
+            .collect();
+        let total: u64 = pool.run_all_class(JobClass::Morsel, jobs).into_iter().sum();
+        assert_eq!(total, 6);
+        release_tx.send(()).unwrap();
     }
 
     #[test]
