@@ -9,7 +9,7 @@
 //!
 //! Figure targets: table2, fig10, fig11, fig12, fig13, fig14, q4, locality,
 //! baseline, ablation-mvcc, ablation-edges, fast-restart, fanout, ingest,
-//! wire, morsel, serve, all.
+//! wire, morsel, serve, cache, all.
 //!
 //! Flags:
 //!
@@ -18,16 +18,18 @@
 //!   single-op vs group-commit vs partition-parallel, the wire suite:
 //!   codec micro-bench + bytes-on-wire, binary vs JSON, the intra
 //!   suite: serial vs morsel-parallel work ops on hub-skewed and uniform
-//!   frontiers, and the serve suite: open-loop Poisson load against the
-//!   admission-controlled front door) and print one JSON document (schema
-//!   `a1-bench-v5`) to stdout. CI uploads this as an artifact;
-//!   `BENCH_<n>.json` snapshots are committed at the repo root.
+//!   frontiers, the serve suite: open-loop Poisson load against the
+//!   admission-controlled front door, and the cache suite: hot-vertex read
+//!   cache vs bypass on a hub-skewed repeated-read workload under churn)
+//!   and print one JSON document (schema `a1-bench-v6`) to stdout. CI
+//!   uploads this as an artifact; `BENCH_<n>.json` snapshots are committed
+//!   at the repo root.
 //! * `--validate <file>` — check a `--json` artifact against the
-//!   `a1-bench-v5` schema; exits 2 with a diagnostic on violation.
+//!   `a1-bench-v6` schema; exits 2 with a diagnostic on violation.
 //! * `--quick` — smaller workload + fewer iterations (CI-speed).
 //! * `--fig14-scale N` — divisor applied to the paper's Figure 14 dataset.
 
-use a1_bench::{figures, ingest, loadgen, morsel, perf, validate, wire};
+use a1_bench::{cache, figures, ingest, loadgen, morsel, perf, validate, wire};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +93,7 @@ fn main() {
         let wire_results = wire::run_wire_suite(quick);
         let morsel_results = morsel::run_morsel_suite(quick);
         let serve_results = loadgen::run_serve_suite(quick);
+        let cache_results = cache::run_cache_suite(quick);
         // One document carrying all suites, so the perf-trajectory CI job
         // tracks wire bytes, ingest throughput, morsel speedup and serving
         // headroom alongside Q1/Q4 latency.
@@ -117,6 +120,10 @@ fn main() {
         doc.push((
             "serve".to_string(),
             loadgen::serve_suite_to_json(&serve_results),
+        ));
+        doc.push((
+            "cache".to_string(),
+            cache::cache_suite_to_json(&cache_results),
         ));
         let doc = a1_core::Json::Obj(doc);
         // The emitter must always satisfy its own `--validate` contract.
@@ -147,6 +154,7 @@ fn main() {
             "wire" => Some(wire::wire_report(quick)),
             "morsel" => Some(morsel::morsel_report(quick)),
             "serve" => Some(loadgen::serve_report(quick)),
+            "cache" => Some(cache::cache_report(quick)),
             _ => None,
         }
     };
@@ -169,6 +177,7 @@ fn main() {
         "wire",
         "morsel",
         "serve",
+        "cache",
     ];
     if target == "all" {
         for name in all {

@@ -1,0 +1,508 @@
+//! The cache suite: cross-query hot-vertex read cache A/B, measured
+//! wall-clock on a latency-injected cluster while ingest rewrites the hot
+//! set underneath.
+//!
+//! The workload is the cache's target shape from the paper's serving story
+//! (§2.2, §6): a small set of **hub** vertices that every query touches,
+//! homed on a machine *remote* from the coordinator, re-read by a stream of
+//! repeated Q1-style one-hop traversals whose predicate forces a record
+//! read. Uncached, every hub costs the coordinator a remote header read
+//! plus a remote payload read per query; cached, a single 32-byte HEADER
+//! probe revalidates the entry and the payload never crosses the wire
+//! again.
+//!
+//! The A/B runs against **one** cluster through two front-door clients: the
+//! `cached` client uses the backend caches, the `uncached` client is listed
+//! in [`CacheConfig::bypass_clients`]. Both therefore see the same
+//! committed state at every instant, so their answers must match
+//! byte-for-byte even while a churn thread rewrites hub payloads through
+//! `apply_batch_at` — the suite interleaves row-emitting queries from both
+//! clients and compares the rendered rows exactly. A stale cache entry that
+//! survived invalidation *and* revalidation would show up here as a
+//! byte-level divergence.
+//!
+//! [`CacheConfig::bypass_clients`]: a1_core::CacheConfig::bypass_clients
+
+use crate::perf::percentile;
+use a1_core::{A1Cluster, A1Config, CacheConfig, Json, MachineId, Mutation};
+use a1_farm::LatencyModel;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+pub const TENANT: &str = "bing";
+pub const GRAPH: &str = "hot";
+
+/// The client id the suite registers for cache bypass.
+pub const UNCACHED_CLIENT: &str = "uncached";
+
+/// The cached-side client id (any id not in `bypass_clients` would do).
+pub const CACHED_CLIENT: &str = "cached-reader";
+
+const SCHEMA: &str = r#"{
+    "name": "entity",
+    "fields": [
+        {"id": 0, "name": "id", "type": "string", "required": true},
+        {"id": 1, "name": "rank", "type": "int64"},
+        {"id": 2, "name": "payload", "type": "string"}
+    ]
+}"#;
+
+/// Hot-set shape parameters.
+#[derive(Debug, Clone)]
+pub struct CacheGraphSpec {
+    /// Hub vertices in the hot set (every query's hop-2 frontier). Kept
+    /// small enough that the root's edge list stays inline.
+    pub hubs: usize,
+    /// Hub record payload bytes — what the cache saves per re-read.
+    pub payload_bytes: usize,
+}
+
+impl CacheGraphSpec {
+    pub fn quick() -> CacheGraphSpec {
+        CacheGraphSpec {
+            hubs: 16,
+            payload_bytes: 8192,
+        }
+    }
+
+    pub fn full() -> CacheGraphSpec {
+        CacheGraphSpec {
+            hubs: 24,
+            payload_bytes: 12288,
+        }
+    }
+}
+
+/// The suite's latency model: the rack round trip dominates small reads and
+/// the bandwidth term is weighted so multi-KiB payload transfers are
+/// visible next to it (a congested 40 Gb/s fabric). Both of the cache's
+/// savings show up under it: a hit halves the round trips (one probe vs
+/// header + payload) *and* drops the payload bytes.
+fn cache_latency() -> LatencyModel {
+    LatencyModel {
+        local_read_ns: 100,
+        rack_rtt_ns: 1_000_000,
+        cross_rack_rtt_ns: 2_000_000,
+        per_kib_ns: 500_000,
+        rpc_overhead_ns: 1_000_000,
+    }
+}
+
+/// A cluster configured for the suite. Shipping is disabled
+/// (`ship_threshold = MAX`) so the coordinator executes every hop inline
+/// against remote memory — the read pattern the per-machine cache
+/// accelerates — and the `uncached` client id bypasses the cache for the
+/// A/B baseline.
+pub fn suite_config() -> A1Config {
+    let mut cfg = A1Config::small(4)
+        .with_cache(CacheConfig {
+            enabled: true,
+            capacity_bytes: 64 << 20,
+            bypass_clients: vec![UNCACHED_CLIENT.to_string()],
+        })
+        // Serial work-op loop: the suite isolates *per-read* cost (probe vs
+        // header+payload pair), and morsel splitting would bury it under
+        // per-morsel transaction setup — overlap has its own suite.
+        .with_intra_parallelism(1);
+    cfg.exec.ship_threshold = usize::MAX;
+    cfg.farm.fabric.threads_per_machine = 8;
+    cfg.farm.fabric.latency = cache_latency();
+    cfg
+}
+
+fn payload(bytes: usize, salt: u64) -> String {
+    (0..bytes)
+        .map(|i| (((i as u64 + salt) % 26) as u8 + b'a') as char)
+        .collect()
+}
+
+fn hub_upsert(i: usize, spec: &CacheGraphSpec, salt: u64) -> Mutation {
+    Mutation::UpsertVertex {
+        tenant: TENANT.into(),
+        graph: GRAPH.into(),
+        ty: "entity".into(),
+        attrs: Json::obj(vec![
+            ("id", Json::str(&format!("hub{i:04}"))),
+            ("rank", Json::Num(1.0)),
+            ("payload", Json::str(&payload(spec.payload_bytes, salt))),
+        ]),
+    }
+}
+
+/// Build the hot-set workload:
+///
+/// ```text
+/// root (machine 1, the coordinator) ──fan──▶ hub_i (machine 0, ×hubs)
+/// ```
+///
+/// Every hub lives on machine 0 and the coordinator is machine 1, so with
+/// shipping disabled each hub evaluation is a remote read pair — the cache's
+/// best case and the paper's hub-entity access pattern.
+pub fn build_graph(cfg: A1Config, spec: &CacheGraphSpec) -> A1Cluster {
+    let cluster = A1Cluster::start(cfg).expect("cluster");
+    let client = cluster.client();
+    client.create_tenant(TENANT).unwrap();
+    client.create_graph(TENANT, GRAPH).unwrap();
+    client
+        .create_vertex_type(TENANT, GRAPH, SCHEMA, "id", &[])
+        .unwrap();
+    client
+        .create_edge_type(TENANT, GRAPH, r#"{"name": "fan", "fields": []}"#)
+        .unwrap();
+    client
+        .apply_batch_at(
+            MachineId(1),
+            &[Mutation::UpsertVertex {
+                tenant: TENANT.into(),
+                graph: GRAPH.into(),
+                ty: "entity".into(),
+                attrs: Json::obj(vec![("id", Json::str("root")), ("rank", Json::Num(0.0))]),
+            }],
+        )
+        .unwrap();
+    for i in 0..spec.hubs {
+        client
+            .apply_batch_at(MachineId(0), &[hub_upsert(i, spec, 0)])
+            .unwrap();
+        client
+            .apply_batch(&[Mutation::UpsertEdge {
+                tenant: TENANT.into(),
+                graph: GRAPH.into(),
+                src_type: "entity".into(),
+                src_id: Json::str("root"),
+                edge_type: "fan".into(),
+                dst_type: "entity".into(),
+                dst_id: Json::str(&format!("hub{i:04}")),
+                data: None,
+            }])
+            .unwrap();
+    }
+    cluster
+}
+
+/// The measured query: count the hubs passing a record predicate (the
+/// answer is always `hubs` — churn rewrites payloads, never ranks).
+pub fn count_query() -> String {
+    r#"{ "id": "root",
+        "_out_edge": { "_type": "fan",
+        "_vertex": { "rank": 1, "_select": ["_count(*)"] } } }"#
+        .to_string()
+}
+
+/// The byte-identity query: emit the hubs' stable `id` attribute as rows.
+pub fn rows_query() -> String {
+    r#"{ "id": "root",
+        "_out_edge": { "_type": "fan",
+        "_vertex": { "rank": 1, "_select": ["id"] } } }"#
+        .to_string()
+}
+
+/// One measured client configuration.
+#[derive(Debug, Clone)]
+pub struct CacheBenchResult {
+    /// `cached` or `uncached` (the bypass-listed client).
+    pub mode: String,
+    pub machines: u32,
+    pub iters: usize,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub avg_ns: u64,
+    pub throughput_qps: f64,
+    /// Summed per-query cache counters reported through `QueryMetrics`.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// local_reads / (local_reads + remote_reads) over the measured runs —
+    /// cache hits count as local (the payload never crossed the wire).
+    pub local_read_fraction: f64,
+    /// The count answer, cross-checked between the two modes every iter.
+    pub result: u64,
+}
+
+/// The whole suite's outcome.
+#[derive(Debug, Clone)]
+pub struct CacheSuite {
+    pub results: Vec<CacheBenchResult>,
+    /// uncached p50 / cached p50.
+    pub speedup: f64,
+    /// Hit rate over the backend caches for the whole measured phase.
+    pub hit_rate: f64,
+    pub evictions: u64,
+    /// Rendered rows from interleaved cached/uncached queries matched
+    /// byte-for-byte on every iteration, churn running throughout.
+    pub answers_identical: bool,
+    /// Ingest batches the churn thread committed during measurement.
+    pub churn_batches: u64,
+}
+
+fn sorted_rows(rows: &[Json]) -> String {
+    let mut texts: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+    texts.sort();
+    texts.join(",")
+}
+
+/// Run the suite: interleaved cached/uncached queries against one cluster
+/// while a churn thread rewrites hub payloads through the batch-apply
+/// ingest path (exercising write-side invalidation + revalidation, not
+/// just a read-only cache).
+pub fn run_cache_suite(quick: bool) -> CacheSuite {
+    let spec = if quick {
+        CacheGraphSpec::quick()
+    } else {
+        CacheGraphSpec::full()
+    };
+    let iters = if quick { 6 } else { 12 };
+    let cluster = build_graph(suite_config(), &spec);
+    let inner = cluster.inner();
+    let count_q = count_query();
+    let rows_q = rows_query();
+    // Every measured query coordinates from machine 1 — remote from the
+    // hubs on machine 0 — with a pinned client identity. The front-door
+    // `A1Client::query` routes round-robin over the backends (right for
+    // serving, wrong for an A/B: each backend has its own cache, so which
+    // cache a query consults would depend on routing alignment).
+    let coord = |client: &str, q: &str| {
+        inner
+            .coordinate_query_for(MachineId(1), TENANT, GRAPH, q, client)
+            .expect("query")
+    };
+
+    // Warm (injection off): proxy caches, pools, and machine 1's vertex
+    // cache — count and rows queries read the same headers + records.
+    for q in [&count_q, &rows_q] {
+        for _ in 0..2 {
+            coord(CACHED_CLIENT, q);
+            coord(UNCACHED_CLIENT, q);
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let churn_batches = AtomicU64::new(0);
+    let stats_before = cluster.cache_stats();
+    cluster.farm().fabric().set_inject_latency(true);
+
+    let mut cached_ns = Vec::with_capacity(iters);
+    let mut uncached_ns = Vec::with_capacity(iters);
+    let mut cached_sum = (0u64, 0u64, 0u64, 0u64); // hits, misses, local, remote
+    let mut uncached_sum = (0u64, 0u64, 0u64, 0u64);
+    let mut count_answers: Vec<(u64, u64)> = Vec::with_capacity(iters);
+    let mut answers_identical = true;
+
+    std::thread::scope(|s| {
+        let churn_client = cluster.client();
+        let (stop_ref, batches_ref, spec_ref) = (&stop, &churn_batches, &spec);
+        s.spawn(move || {
+            let mut salt = 1u64;
+            while !stop_ref.load(Ordering::Relaxed) {
+                let i = (salt as usize) % spec_ref.hubs;
+                churn_client
+                    .apply_batch_at(MachineId(0), &[hub_upsert(i, spec_ref, salt)])
+                    .expect("churn upsert");
+                batches_ref.fetch_add(1, Ordering::Relaxed);
+                salt += 1;
+                // A steady rewrite trickle, not a saturating write storm:
+                // the suite measures read-path savings under live
+                // invalidation, and an unthrottled loop would spend the
+                // whole run holding hub header locks (both sides of the
+                // A/B just measure lock-wait spin then) and re-invalidate
+                // most of the hot set within every single query.
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+        });
+
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let c = coord(CACHED_CLIENT, &count_q);
+            cached_ns.push(t0.elapsed().as_nanos() as u64);
+            let t0 = Instant::now();
+            let u = coord(UNCACHED_CLIENT, &count_q);
+            uncached_ns.push(t0.elapsed().as_nanos() as u64);
+            for (sum, o) in [(&mut cached_sum, &c), (&mut uncached_sum, &u)] {
+                sum.0 += o.metrics.cache_hits;
+                sum.1 += o.metrics.cache_misses;
+                sum.2 += o.metrics.local_reads;
+                sum.3 += o.metrics.remote_reads;
+            }
+            count_answers.push((c.count.unwrap_or(0), u.count.unwrap_or(0)));
+
+            // Byte-identity under churn: same committed state, same rows.
+            let cr = coord(CACHED_CLIENT, &rows_q);
+            let ur = coord(UNCACHED_CLIENT, &rows_q);
+            if sorted_rows(&cr.rows) != sorted_rows(&ur.rows) {
+                answers_identical = false;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    cluster.farm().fabric().set_inject_latency(false);
+    let stats = cluster.cache_stats();
+    let expected = spec.hubs as u64;
+    for (c, u) in &count_answers {
+        assert_eq!(*c, expected, "cached count drifted");
+        assert_eq!(*u, expected, "uncached count drifted");
+    }
+
+    cached_ns.sort_unstable();
+    uncached_ns.sort_unstable();
+    let mk = |mode: &str, ns: &[u64], sums: (u64, u64, u64, u64)| {
+        let avg = ns.iter().sum::<u64>() / ns.len() as u64;
+        CacheBenchResult {
+            mode: mode.to_string(),
+            machines: cluster.farm().fabric().num_machines(),
+            iters,
+            p50_ns: percentile(ns, 50),
+            p99_ns: percentile(ns, 99),
+            avg_ns: avg,
+            throughput_qps: 1e9 / avg as f64,
+            cache_hits: sums.0,
+            cache_misses: sums.1,
+            local_read_fraction: sums.2 as f64 / (sums.2 + sums.3).max(1) as f64,
+            result: expected,
+        }
+    };
+    let results = vec![
+        mk("cached", &cached_ns, cached_sum),
+        mk("uncached", &uncached_ns, uncached_sum),
+    ];
+    let measured_hits = stats.hits - stats_before.hits;
+    let measured_misses = stats.misses - stats_before.misses;
+    CacheSuite {
+        speedup: results[1].p50_ns as f64 / results[0].p50_ns as f64,
+        hit_rate: measured_hits as f64 / (measured_hits + measured_misses).max(1) as f64,
+        evictions: stats.evictions,
+        answers_identical,
+        churn_batches: churn_batches.load(Ordering::Relaxed),
+        results,
+    }
+}
+
+/// Serialize for the CI artifact / committed `BENCH_<n>.json` (the `cache`
+/// section of the `a1-bench-v6` schema).
+pub fn cache_suite_to_json(suite: &CacheSuite) -> Json {
+    Json::obj(vec![
+        ("speedup", Json::Num(suite.speedup)),
+        ("hit_rate", Json::Num(suite.hit_rate)),
+        ("evictions", Json::Num(suite.evictions as f64)),
+        ("answers_identical", Json::Bool(suite.answers_identical)),
+        ("churn_batches", Json::Num(suite.churn_batches as f64)),
+        (
+            "results",
+            Json::Arr(
+                suite
+                    .results
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("mode", Json::str(&r.mode)),
+                            ("machines", Json::Num(r.machines as f64)),
+                            ("iters", Json::Num(r.iters as f64)),
+                            ("p50_latency_ns", Json::Num(r.p50_ns as f64)),
+                            ("p99_latency_ns", Json::Num(r.p99_ns as f64)),
+                            ("avg_latency_ns", Json::Num(r.avg_ns as f64)),
+                            ("throughput_qps", Json::Num(r.throughput_qps)),
+                            ("cache_hits", Json::Num(r.cache_hits as f64)),
+                            ("cache_misses", Json::Num(r.cache_misses as f64)),
+                            ("local_read_fraction", Json::Num(r.local_read_fraction)),
+                            ("result", Json::Num(r.result as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Human-readable report (the `cache` experiments target).
+pub fn cache_report(quick: bool) -> String {
+    let suite = run_cache_suite(quick);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== hot-vertex read cache vs bypass (one cluster, two clients, churn running) =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>10} {:>10} {:>10} {:>9} {:>8} {:>8} {:>7}",
+        "mode", "p50 ms", "p99 ms", "avg ms", "qps", "hits", "misses", "local"
+    )
+    .unwrap();
+    for r in &suite.results {
+        writeln!(
+            out,
+            "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>9.1} {:>8} {:>8} {:>6.0}%",
+            r.mode,
+            r.p50_ns as f64 / 1e6,
+            r.p99_ns as f64 / 1e6,
+            r.avg_ns as f64 / 1e6,
+            r.throughput_qps,
+            r.cache_hits,
+            r.cache_misses,
+            r.local_read_fraction * 100.0,
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "speedup (uncached p50 / cached p50): {:.2}x  hit rate {:.0}%  churn batches {}  answers identical: {}",
+        suite.speedup,
+        suite.hit_rate * 100.0,
+        suite.churn_batches,
+        suite.answers_identical,
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "(every hit replaces a remote header+payload read pair with one 32-byte version probe)"
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cache_suite_clears_gates() {
+        let suite = run_cache_suite(true);
+        // The acceptance gates the CI cache-effectiveness job re-checks:
+        // ≥2x p50 speedup on the hub-skewed repeated-read workload…
+        assert!(
+            suite.speedup >= 2.0,
+            "speedup {:.2}x below the 2x floor",
+            suite.speedup
+        );
+        // …a real hit rate despite churn invalidating entries…
+        assert!(
+            suite.hit_rate >= 0.5,
+            "hit rate {:.2} below 0.5",
+            suite.hit_rate
+        );
+        // …and byte-identical answers between the cached and bypass
+        // clients while ingest rewrote the hot set throughout.
+        assert!(suite.answers_identical, "cached answers diverged");
+        assert!(suite.churn_batches > 0, "churn thread never committed");
+        // The cached client really was served from the cache and reported
+        // it through per-query metrics.
+        let cached = &suite.results[0];
+        let uncached = &suite.results[1];
+        assert!(cached.cache_hits > 0, "no hits recorded");
+        assert_eq!(
+            uncached.cache_hits + uncached.cache_misses,
+            0,
+            "bypass client touched the cache"
+        );
+        assert!(
+            cached.local_read_fraction > uncached.local_read_fraction,
+            "hits did not raise the local-read fraction ({} vs {})",
+            cached.local_read_fraction,
+            uncached.local_read_fraction
+        );
+        // JSON round-trips through the vendored parser.
+        let j = cache_suite_to_json(&suite);
+        let parsed = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(parsed.get("results").unwrap().as_arr().unwrap().len(), 2);
+    }
+}

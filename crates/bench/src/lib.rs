@@ -5,6 +5,7 @@
 //! See DESIGN.md §3 for the experiment ↔ module map and EXPERIMENTS.md for
 //! recorded paper-vs-measured results.
 
+pub mod cache;
 pub mod costmodel;
 pub mod des;
 pub mod figures;
@@ -16,6 +17,7 @@ pub mod validate;
 pub mod wire;
 pub mod workload;
 
+pub use cache::{cache_report, cache_suite_to_json, run_cache_suite, CacheBenchResult, CacheSuite};
 pub use costmodel::{CostModel, HopDemand, QueryProfile};
 pub use des::{DesConfig, DesResult};
 pub use ingest::{ingest_suite_to_json, run_ingest_suite, IngestBenchResult};

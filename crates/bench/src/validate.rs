@@ -1,4 +1,4 @@
-//! Schema validation for the `--json` perf document (`a1-bench-v5`).
+//! Schema validation for the `--json` perf document (`a1-bench-v6`).
 //!
 //! CI used to pipe the artifact through `python3 -m json.tool`, which only
 //! proved it parsed. `experiments --validate <file>` checks the actual
@@ -9,7 +9,7 @@
 use a1_core::Json;
 
 /// The schema tag the current `--json` output carries.
-pub const SCHEMA: &str = "a1-bench-v5";
+pub const SCHEMA: &str = "a1-bench-v6";
 
 fn require<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
     j.get(key)
@@ -43,7 +43,7 @@ fn each_has_nums(items: &[Json], fields: &[&str], ctx: &str) -> Result<(), Strin
     Ok(())
 }
 
-/// Validate one `--json` document against the `a1-bench-v5` contract.
+/// Validate one `--json` document against the `a1-bench-v6` contract.
 /// Returns a human-readable error naming the first violation.
 pub fn validate_doc(doc: &Json) -> Result<(), String> {
     let schema = require(doc, "schema", "document")?
@@ -144,6 +144,50 @@ pub fn validate_doc(doc: &Json) -> Result<(), String> {
         ],
         "serve.rungs",
     )?;
+
+    // Hot-vertex read-cache suite: cached vs bypass A/B under churn. The
+    // CI cache-effectiveness job reads `speedup`, `hit_rate` and
+    // `answers_identical` to enforce its floors, so a document that lacks
+    // them (or shipped with divergent answers) is rejected outright.
+    let cache = require(doc, "cache", "document")?;
+    require_num(cache, "speedup", "cache")?;
+    require_num(cache, "hit_rate", "cache")?;
+    require_num(cache, "evictions", "cache")?;
+    require_num(cache, "churn_batches", "cache")?;
+    match require(cache, "answers_identical", "cache")? {
+        Json::Bool(true) => {}
+        Json::Bool(false) => {
+            return Err("cache: answers_identical is false".into());
+        }
+        other => {
+            return Err(format!(
+                "cache: 'answers_identical' must be a bool, got {other}"
+            ))
+        }
+    }
+    let modes = require_arr(cache, "results", "cache")?;
+    if modes.len() != 2 {
+        return Err(format!(
+            "cache: 'results' must hold the cached/uncached pair, got {}",
+            modes.len()
+        ));
+    }
+    each_has_nums(
+        modes,
+        &[
+            "machines",
+            "iters",
+            "p50_latency_ns",
+            "p99_latency_ns",
+            "avg_latency_ns",
+            "throughput_qps",
+            "cache_hits",
+            "cache_misses",
+            "local_read_fraction",
+            "result",
+        ],
+        "cache.results",
+    )?;
     Ok(())
 }
 
@@ -157,11 +201,11 @@ pub fn validate_text(text: &str) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    /// Minimal well-formed a1-bench-v5 document.
+    /// Minimal well-formed a1-bench-v6 document.
     fn sample() -> Json {
         Json::parse(
             r#"{
-              "schema": "a1-bench-v5",
+              "schema": "a1-bench-v6",
               "quick": true,
               "results": [{
                 "workload": "q1", "machines": 8, "fanout_parallelism": 0,
@@ -196,6 +240,22 @@ mod tests {
                   "requests": 20, "rejected": 0, "errors": 0,
                   "p50_latency_ns": 1, "p99_latency_ns": 2,
                   "p999_latency_ns": 3, "sustainable": true}]
+              },
+              "cache": {
+                "speedup": 2.5, "hit_rate": 0.9, "evictions": 0,
+                "answers_identical": true, "churn_batches": 12,
+                "results": [
+                  {"mode": "cached", "machines": 4, "iters": 6,
+                   "p50_latency_ns": 10, "p99_latency_ns": 20,
+                   "avg_latency_ns": 12, "throughput_qps": 100.0,
+                   "cache_hits": 50, "cache_misses": 5,
+                   "local_read_fraction": 0.8, "result": 32},
+                  {"mode": "uncached", "machines": 4, "iters": 6,
+                   "p50_latency_ns": 25, "p99_latency_ns": 40,
+                   "avg_latency_ns": 30, "throughput_qps": 40.0,
+                   "cache_hits": 0, "cache_misses": 0,
+                   "local_read_fraction": 0.1, "result": 32}
+                ]
               }
             }"#,
         )
@@ -236,5 +296,32 @@ mod tests {
         let text = sample().to_string().replace("\"p999_latency_ns\"", "\"x\"");
         let err = validate_text(&text).unwrap_err();
         assert!(err.contains("p999_latency_ns"), "{err}");
+
+        // Missing cache section.
+        let mut doc = sample();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "cache");
+        }
+        let err = validate_doc(&doc).unwrap_err();
+        assert!(err.contains("cache"), "{err}");
+
+        // Cached and bypass answers diverged — never a valid artifact.
+        let mut doc = sample();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k != "cache" {
+                    continue;
+                }
+                if let Json::Obj(cache_fields) = v {
+                    for (ck, cv) in cache_fields.iter_mut() {
+                        if ck == "answers_identical" {
+                            *cv = Json::Bool(false);
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_doc(&doc).unwrap_err();
+        assert!(err.contains("answers_identical"), "{err}");
     }
 }

@@ -101,6 +101,7 @@ fn sample_work_op() -> WorkOp {
         },
         emit_rows: false,
         select: Select::All,
+        cache_bypass: false,
     }
 }
 

@@ -16,7 +16,7 @@ use crate::convert::{record_from_json, value_to_json};
 use crate::error::{A1Error, A1Result};
 use crate::replog::entry as log_entry;
 use crate::server::{check_active, collect_edge_deletes, pk_value, resolve_edge, A1Inner};
-use a1_farm::{MachineId, Txn};
+use a1_farm::{Addr, MachineId, Txn};
 use a1_json::Json;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -238,6 +238,15 @@ pub struct BatchApplier<'a> {
     inner: &'a A1Inner,
     machine: MachineId,
     graphs: HashMap<(String, String), Arc<GraphProxies>>,
+    /// Vertex addresses this applier mutated (updated, deleted, or touched
+    /// as an edge endpoint). The batch write path is the choke point for
+    /// read-cache invalidation: after the enclosing transaction commits, the
+    /// caller drains this list into
+    /// [`A1Inner::invalidate_cached_vertices`]. Correctness never depends on
+    /// the list being complete — every cache hit is revalidated against live
+    /// FaRM versions — it only bounds how long a stale entry occupies cache
+    /// capacity.
+    touched: Vec<Addr>,
 }
 
 impl<'a> BatchApplier<'a> {
@@ -246,7 +255,14 @@ impl<'a> BatchApplier<'a> {
             inner,
             machine,
             graphs: HashMap::new(),
+            touched: Vec::new(),
         }
+    }
+
+    /// Drain the vertex addresses mutated so far (see `touched`). Call after
+    /// the transaction containing the applies has committed.
+    pub fn take_touched(&mut self) -> Vec<Addr> {
+        std::mem::take(&mut self.touched)
     }
 
     fn graph(&mut self, tenant: &str, graph: &str) -> A1Result<Arc<GraphProxies>> {
@@ -288,6 +304,7 @@ impl<'a> BatchApplier<'a> {
                 let applied = match inner.store.vertex_by_pk(tx, &vp, &pk)? {
                     Some(ptr) => {
                         inner.store.update_vertex(tx, &vp, ptr.addr, rec)?;
+                        self.touched.push(ptr.addr);
                         Applied::Updated
                     }
                     None => {
@@ -327,6 +344,7 @@ impl<'a> BatchApplier<'a> {
                 inner
                     .store
                     .delete_vertex(tx, &proxies.graph, &vp, ptr.addr)?;
+                self.touched.push(ptr.addr);
                 Ok(Applied::Deleted)
             }
             Mutation::UpsertEdge {
@@ -361,6 +379,10 @@ impl<'a> BatchApplier<'a> {
                 inner
                     .store
                     .create_edge(tx, &proxies.graph, et, src, dst, rec)?;
+                // Edge writes mutate both endpoint headers (adjacency
+                // counts/lists), so cached copies of either must be dropped.
+                self.touched.push(src);
+                self.touched.push(dst);
                 if let Some(log) = &inner.replog {
                     log.append(
                         tx,
@@ -401,6 +423,8 @@ impl<'a> BatchApplier<'a> {
                 if !existed {
                     return Ok(Applied::NoOp);
                 }
+                self.touched.push(src);
+                self.touched.push(dst);
                 if let Some(log) = &inner.replog {
                     log.append(
                         tx,

@@ -19,6 +19,7 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod catalog;
 pub mod convert;
 pub mod edges;
@@ -33,6 +34,7 @@ pub mod vertex;
 pub mod wire;
 
 pub use batch::{Applied, BatchApplier, Mutation};
+pub use cache::{CacheConfig, CacheStats, VertexCache};
 pub use error::{A1Error, A1Result};
 pub use model::{EdgeTypeDef, GraphMeta, LifecycleState, TypeId, VertexTypeDef};
 pub use query::{QueryMetrics, QueryOutcome};

@@ -17,6 +17,7 @@
 //! to a single ship. Both levels merge deterministically, so every
 //! configuration returns byte-identical results.
 
+use crate::cache::{CachedVertex, VertexCache};
 use crate::catalog::GraphProxies;
 use crate::convert::json_to_value;
 use crate::edges::{self, Dir};
@@ -88,11 +89,27 @@ pub struct QueryMetrics {
     pub rpc_req_bytes: u64,
     /// Bytes of RPC reply payload shipped back to the coordinator.
     pub rpc_reply_bytes: u64,
+    /// Frontier reads served from the machine-local hot-vertex cache after
+    /// version revalidation (a header-sized probe instead of a payload
+    /// transfer).
+    pub cache_hits: u64,
+    /// Frontier reads that consulted the cache and fell through to FaRM.
+    pub cache_misses: u64,
 }
 
 impl QueryMetrics {
     pub fn objects_read(&self) -> u64 {
         self.local_reads + self.remote_reads
+    }
+
+    /// Hit rate of the hot-vertex cache for this query; `0.0` when the
+    /// cache was never consulted.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
     }
 
     /// The §6 statistic: ≥95% with query shipping.
@@ -112,6 +129,8 @@ impl QueryMetrics {
         self.rpcs += other.rpcs;
         self.rpc_req_bytes += other.rpc_req_bytes;
         self.rpc_reply_bytes += other.rpc_reply_bytes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 }
 
@@ -149,6 +168,10 @@ pub struct HopStats {
     pub rpc_req_bytes: u64,
     /// RPC reply bytes shipped back to the coordinator this hop.
     pub rpc_reply_bytes: u64,
+    /// Hot-vertex cache hits across this hop's work ops.
+    pub cache_hits: u64,
+    /// Hot-vertex cache misses across this hop's work ops.
+    pub cache_misses: u64,
 }
 
 /// A query's outcome: rows (or a count) plus metrics and an optional
@@ -464,6 +487,9 @@ pub struct WorkOp {
     /// Emit surviving addresses (traversal result) or full rows (final hop).
     pub emit_rows: bool,
     pub select: Select,
+    /// Skip the hot-vertex cache for this op (per-client bypass). Stamped by
+    /// the coordinator so shipped ops bypass at the remote machine too.
+    pub cache_bypass: bool,
 }
 
 /// What a worker sends back.
@@ -516,15 +542,18 @@ const MIN_MORSEL: usize = 4;
 /// saturated (a fast path — progress under saturation is guaranteed
 /// structurally by `run_all`'s help-first join, which drains queued jobs
 /// onto the waiting caller).
+#[allow(clippy::too_many_arguments)]
 pub fn run_work_op(
     farm: &Arc<FarmCluster>,
     store: &GraphStore,
     proxies: &GraphProxies,
     machine: MachineId,
     op: &WorkOp,
+    cache: Option<&VertexCache>,
     pool: Option<&a1_farm::WorkerPool>,
     intra_parallelism: usize,
 ) -> A1Result<WorkResult> {
+    let cache = cache.filter(|_| !op.cache_bypass);
     let memo = NeighborMemo::default();
     let workers = match intra_parallelism {
         0 => farm.config().fabric.threads_per_machine.max(1),
@@ -533,7 +562,16 @@ pub fn run_work_op(
     let morsels = workers.min(op.vertices.len().div_ceil(MIN_MORSEL)).max(1);
     let pool = pool.filter(|p| morsels > 1 && !p.is_saturated());
     let Some(pool) = pool else {
-        let mut result = run_morsel(farm, store, proxies, machine, op, &op.vertices, &memo)?;
+        let mut result = run_morsel(
+            farm,
+            store,
+            proxies,
+            machine,
+            op,
+            &op.vertices,
+            &memo,
+            cache,
+        )?;
         result.morsels = 1;
         result.max_concurrent_morsels = 1;
         return Ok(result);
@@ -551,7 +589,7 @@ pub fn run_work_op(
             Box::new(move || {
                 let cur = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                 peak.fetch_max(cur, Ordering::SeqCst);
-                let r = run_morsel(farm, store, proxies, machine, op, part, memo);
+                let r = run_morsel(farm, store, proxies, machine, op, part, memo, cache);
                 in_flight.fetch_sub(1, Ordering::SeqCst);
                 r
             }) as ScopedJob<'_, A1Result<WorkResult>>
@@ -577,9 +615,44 @@ pub fn run_work_op(
     Ok(merged)
 }
 
+/// Revalidate a cache entry against the live FaRM version word: serve it
+/// only if a HEADER-only probe of the vertex's header object returns
+/// *exactly* the version the entry was filled at. One probe covers the
+/// whole entry because every vertex mutation — record update (in place or
+/// reallocated), edge insert/remove, delete — rewrites the header object
+/// and therefore moves its version ([`GraphStore::update_vertex`] rewrites
+/// it even for fitting in-place data updates to keep this invariant). An
+/// unchanged header version means the cached header *and* record are the
+/// current committed state; since the entry's versions are ≤ the reader's
+/// snapshot (`lookup` filtered), they are exactly what a snapshot read
+/// would return. Any probe failure is a miss: a freed or
+/// migrated-and-reused block probes as `NotFound` or a different version
+/// and therefore can never fabricate a read.
+///
+/// [`GraphStore::update_vertex`]: crate::store::GraphStore::update_vertex
+fn revalidate_hit(
+    tx: &mut Txn,
+    addr: Addr,
+    entry: &CachedVertex,
+    need_record: bool,
+) -> Option<(crate::vertex::VertexHeader, Option<Arc<a1_bond::Record>>)> {
+    let h = tx.probe_version(addr).ok()?;
+    if h.version != entry.hdr_version {
+        return None;
+    }
+    if !need_record || entry.hdr.data.is_null() {
+        return Some((entry.hdr, None));
+    }
+    // Header-only entry but the record is needed: treat as a miss so the
+    // normal read path refills the entry with its record.
+    let rec = entry.record.clone()?;
+    Some((entry.hdr, Some(rec)))
+}
+
 /// One morsel of a work op: the serial per-vertex loop over a contiguous
 /// slice of the batch, in its own read-only transaction joined to the
 /// op's snapshot.
+#[allow(clippy::too_many_arguments)]
 fn run_morsel(
     farm: &Arc<FarmCluster>,
     store: &GraphStore,
@@ -588,9 +661,11 @@ fn run_morsel(
     op: &WorkOp,
     vertices: &[Addr],
     memo: &NeighborMemo,
+    cache: Option<&VertexCache>,
 ) -> A1Result<WorkResult> {
     let mut tx = farm.begin_read_only_at(machine, op.snapshot_ts);
     let mut result = WorkResult::default();
+    let mut evictions = 0u64;
     let count_read = |metrics: &mut QueryMetrics, addr: Addr| {
         if farm.primary_of(addr) == Some(machine) {
             metrics.local_reads += 1;
@@ -598,6 +673,7 @@ fn run_morsel(
             metrics.remote_reads += 1;
         }
     };
+    let need_rec = !op.step.preds.is_empty() || op.emit_rows;
 
     'vertices: for &addr in vertices {
         if let Some(idf) = op.step.id_filter {
@@ -605,13 +681,68 @@ fn run_morsel(
                 continue;
             }
         }
-        let (_, hdr) = match edges::read_header(&mut tx, addr) {
-            Ok(x) => x,
-            Err(A1Error::NoSuchVertex(_)) => continue, // deleted under us
-            Err(e) => return Err(e),
+
+        // Cross-query cache first: a revalidated hit replaces the header (and
+        // payload) transfer with header-sized version probes.
+        let mut served: Option<(crate::vertex::VertexHeader, Option<Arc<a1_bond::Record>>)> = None;
+        if let Some(c) = cache {
+            if let Some(entry) = c.lookup(addr, op.snapshot_ts) {
+                served = revalidate_hit(&mut tx, addr, &entry, need_rec);
+                if served.is_none() {
+                    // The entry no longer matches live memory (or can't
+                    // serve this shape of read): drop it so it stops costing
+                    // probes.
+                    c.invalidate(addr);
+                }
+            }
+        }
+
+        // `hdr_version` is non-zero only on the miss path (cache fills must
+        // know the version word the header was read at).
+        let mut hdr_version = 0u64;
+        let (hdr, served_rec) = match served {
+            Some((h, r)) => {
+                result.metrics.cache_hits += 1;
+                result.metrics.vertices_read += 1;
+                // The payload came from machine-local cache memory; only
+                // header-sized probes touched the fabric.
+                result.metrics.local_reads += 1;
+                if let Some(c) = cache {
+                    c.note_hit();
+                }
+                (h, r)
+            }
+            None => {
+                if let Some(c) = cache {
+                    result.metrics.cache_misses += 1;
+                    c.note_miss();
+                }
+                let (buf, hdr) = match edges::read_header(&mut tx, addr) {
+                    Ok(x) => x,
+                    Err(A1Error::NoSuchVertex(_)) => continue, // deleted under us
+                    Err(e) => return Err(e),
+                };
+                hdr_version = buf.version;
+                result.metrics.vertices_read += 1;
+                count_read(&mut result.metrics, addr);
+                (hdr, None)
+            }
         };
-        result.metrics.vertices_read += 1;
-        count_read(&mut result.metrics, addr);
+        // Fill the header before any filter can `continue` past it — a hot
+        // vertex that fails this op's type filter is still hot for others.
+        if let Some(c) = cache {
+            if hdr_version != 0 {
+                evictions += c.insert(
+                    addr,
+                    CachedVertex {
+                        hdr,
+                        hdr_version,
+                        data_version: 0,
+                        record: None,
+                    },
+                );
+            }
+        }
         if let Some(tf) = op.step.type_filter {
             if hdr.type_id != tf {
                 continue;
@@ -620,15 +751,35 @@ fn run_morsel(
         let vp = proxies.vertex_type_by_id(hdr.type_id);
 
         // Vertex attribute predicates.
-        let mut rec = None;
-        if !op.step.preds.is_empty() || op.emit_rows {
+        let mut rec: Option<Arc<a1_bond::Record>> = served_rec;
+        if need_rec {
             let Some(vp) = vp else { continue };
-            rec = store.read_vertex_data(&mut tx, &hdr)?;
-            if !hdr.data.is_null() {
-                count_read(&mut result.metrics, hdr.data.addr);
+            if rec.is_none() && !hdr.data.is_null() {
+                if let Some((data_version, r)) = store.read_vertex_data_versioned(&mut tx, &hdr)? {
+                    count_read(&mut result.metrics, hdr.data.addr);
+                    let r = Arc::new(r);
+                    rec = Some(r.clone());
+                    // Upgrade the entry with the record. Filling from a
+                    // read the old-version store served is safe but inert:
+                    // live memory has moved past the entry's version words,
+                    // so it can never revalidate and simply ages out.
+                    if let Some(c) = cache {
+                        if hdr_version != 0 {
+                            evictions += c.insert(
+                                addr,
+                                CachedVertex {
+                                    hdr,
+                                    hdr_version,
+                                    data_version,
+                                    record: Some(r),
+                                },
+                            );
+                        }
+                    }
+                }
             }
             let empty = a1_bond::Record::new();
-            let r = rec.as_ref().unwrap_or(&empty);
+            let r = rec.as_deref().unwrap_or(&empty);
             for pred in &op.step.preds {
                 if !eval_predicate(&vp.def.schema, r, pred) {
                     continue 'vertices;
@@ -763,12 +914,18 @@ fn run_morsel(
         // Row emission at the final hop.
         if op.emit_rows {
             let Some(vp) = vp else { continue };
-            let row = render_row(&vp.def.schema, &vp.def.name, rec.as_ref(), &op.select);
+            let row = render_row(&vp.def.schema, &vp.def.name, rec.as_deref(), &op.select);
             result.rows.push((addr, row));
         } else if op.step.traverse.is_none() {
             // Terminal filter step (e.g. a count): emit the survivors.
             result.next.push(addr);
         }
+    }
+    if cache.is_some() {
+        let fm = farm.fabric().metrics();
+        fm.add(&fm.cache_hits, result.metrics.cache_hits);
+        fm.add(&fm.cache_misses, result.metrics.cache_misses);
+        fm.add(&fm.cache_evictions, evictions);
     }
     Ok(result)
 }
@@ -832,6 +989,12 @@ pub struct Coordinator<'a> {
     pub proxies: &'a GraphProxies,
     pub machine: MachineId,
     pub cfg: &'a ExecConfig,
+    /// The coordinator machine's hot-vertex cache, used by inline (unshipped)
+    /// work ops; shipped ops use the target machine's own cache.
+    pub cache: Option<&'a VertexCache>,
+    /// Per-client cache bypass: stamped onto every [`WorkOp`] so shipped ops
+    /// bypass at remote machines too.
+    pub cache_bypass: bool,
 }
 
 /// Coordinate a compiled query (paper Fig. 9). Each hop's batches — remote
@@ -854,6 +1017,8 @@ pub fn coordinate(
         proxies,
         machine,
         cfg,
+        cache,
+        cache_bypass,
     } = *coord;
     let mut metrics = QueryMetrics {
         snapshot_ts,
@@ -965,6 +1130,7 @@ pub fn coordinate(
                     proxies,
                     machine,
                     op,
+                    cache,
                     Some(pool),
                     cfg.intra_parallelism,
                 )
@@ -991,6 +1157,7 @@ pub fn coordinate(
                     step: step.clone(),
                     emit_rows,
                     select: compiled.select.clone(),
+                    cache_bypass,
                 };
                 wave.push((host, op, is_ship));
             }
@@ -1028,6 +1195,8 @@ pub fn coordinate(
                 hop.remote_reads += result.metrics.remote_reads;
                 hop.rpc_req_bytes += result.metrics.rpc_req_bytes;
                 hop.rpc_reply_bytes += result.metrics.rpc_reply_bytes;
+                hop.cache_hits += result.metrics.cache_hits;
+                hop.cache_misses += result.metrics.cache_misses;
                 hop.morsels += result.morsels;
                 hop.max_concurrent_morsels = hop
                     .max_concurrent_morsels

@@ -9,6 +9,7 @@
 //! worker pool over the fabric RPC path — so backend queueing is real.
 
 use crate::batch::{BatchApplier, Mutation};
+use crate::cache::{CacheConfig, CacheStats, VertexCache};
 use crate::catalog::{Catalog, GraphProxies, ProxyCache, VertexProxy};
 use crate::convert::{json_to_value, record_from_json, record_to_json};
 use crate::edges::Dir;
@@ -50,6 +51,9 @@ pub struct A1Config {
     pub wire_format: WireFormat,
     /// Front-door admission control and worker-pool sharing knobs.
     pub admission: AdmissionConfig,
+    /// Per-machine cross-query hot-vertex read cache knobs (see
+    /// [`crate::cache`]).
+    pub cache: CacheConfig,
 }
 
 /// Per-machine front-door knobs: how many queries a backend lets in at once,
@@ -113,6 +117,7 @@ impl Default for A1Config {
             dr_enabled: false,
             wire_format: WireFormat::Binary,
             admission: AdmissionConfig::default(),
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -153,6 +158,13 @@ impl A1Config {
     /// Same cluster with specific front-door [`AdmissionConfig`] knobs.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> A1Config {
         self.admission = admission;
+        self
+    }
+
+    /// Same cluster with specific hot-vertex read-cache knobs
+    /// ([`CacheConfig`]); `enabled: false` is the A/B baseline.
+    pub fn with_cache(mut self, cache: CacheConfig) -> A1Config {
+        self.cache = cache;
         self
     }
 }
@@ -209,10 +221,13 @@ pub struct Backend {
     continuations: Mutex<HashMap<u64, Continuation>>,
     next_cont: AtomicU64,
     admission: AdmissionState,
+    /// This machine's cross-query hot-vertex read cache (always allocated;
+    /// the read path only consults it when [`CacheConfig::enabled`]).
+    cache: VertexCache,
 }
 
 impl Backend {
-    fn new(machine: MachineId, proxy_ttl: Duration) -> Arc<Backend> {
+    fn new(machine: MachineId, proxy_ttl: Duration, cache_cfg: &CacheConfig) -> Arc<Backend> {
         Arc::new(Backend {
             machine,
             proxies: ProxyCache::new(proxy_ttl),
@@ -222,6 +237,7 @@ impl Backend {
                 inflight: AtomicUsize::new(0),
                 per_client: Mutex::new(HashMap::new()),
             },
+            cache: VertexCache::new(cache_cfg),
         })
     }
 }
@@ -257,7 +273,7 @@ impl A1Cluster {
             None
         };
         let backends: Vec<Arc<Backend>> = (0..cfg.farm.fabric.machines)
-            .map(|i| Backend::new(MachineId(i), cfg.proxy_ttl))
+            .map(|i| Backend::new(MachineId(i), cfg.proxy_ttl, &cfg.cache))
             .collect();
         let store = GraphStore::with_inline_threshold(cfg.inline_edge_threshold);
         let inner = Arc::new(A1Inner {
@@ -338,6 +354,28 @@ impl A1Cluster {
     /// the load-shed sweep and per-client quota are asserted through this).
     pub fn continuation_count(&self, machine: MachineId) -> usize {
         self.inner.backend(machine).continuations.lock().len()
+    }
+
+    /// Aggregate hot-vertex cache counters across all backend machines.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for b in &self.inner.backends {
+            let s = b.cache.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+            total.bytes += s.bytes;
+        }
+        total
+    }
+
+    /// Drop every machine's cached vertices (bench A/B resets; counters are
+    /// kept).
+    pub fn clear_caches(&self) {
+        for b in &self.inner.backends {
+            b.cache.clear();
+        }
     }
 
     /// Occupy one front-door admission slot on `machine` as `client`
@@ -472,15 +510,35 @@ impl A1Inner {
         // executing next to the data (intra-machine parallelism, the level
         // below the coordinator's cross-machine fan-out).
         let pool = self.farm.fabric().machine(machine).ok().map(|m| m.pool());
+        // The executing machine's own cache — shipped ops consult the cache
+        // next to the data they read. Per-client bypass arrives stamped on
+        // the op itself.
+        let cache = self.cfg.cache.enabled.then(|| &backend.cache);
         exec::run_work_op(
             &self.farm,
             &self.store,
             &proxies,
             machine,
             op,
+            cache,
             pool,
             self.cfg.exec.intra_parallelism,
         )
+    }
+
+    /// Evict `addrs` from every machine's hot-vertex cache — the post-commit
+    /// invalidation choke point for the batch applier, interactive
+    /// transactions, and background delete tasks. (Correctness never depends
+    /// on this: a missed eviction is caught by version revalidation at the
+    /// next lookup. This keeps dead entries from occupying capacity and
+    /// paying fruitless probes.)
+    pub fn invalidate_cached_vertices(&self, addrs: &[Addr]) {
+        if addrs.is_empty() || !self.cfg.cache.enabled {
+            return;
+        }
+        for b in &self.backends {
+            b.cache.invalidate_many(addrs);
+        }
     }
 
     /// Coordinator-side query execution (§3.4, Fig. 9) for an anonymous
@@ -496,9 +554,14 @@ impl A1Inner {
     }
 
     /// Coordinator-side query execution on behalf of `client`: identified
-    /// clients get the per-client working-set cap and own the continuation
-    /// entries their paged results create.
-    fn coordinate_query_for(
+    /// clients get the per-client working-set cap, own the continuation
+    /// entries their paged results create, and honor
+    /// [`CacheConfig::bypass_clients`](crate::CacheConfig::bypass_clients).
+    /// Public so benches/tests can pin the coordinator machine *and* carry
+    /// a client identity (the front-door `A1Client::query` picks a backend
+    /// round-robin, which is the right behavior for serving but makes
+    /// per-backend cache measurements non-deterministic).
+    pub fn coordinate_query_for(
         &self,
         machine: MachineId,
         tenant: &str,
@@ -540,12 +603,19 @@ impl A1Inner {
         if client_ws != 0 && !client.is_empty() {
             exec_cfg.max_working_set = exec_cfg.max_working_set.min(client_ws);
         }
+        // Per-client cache bypass is stamped onto every work op so shipped
+        // ops bypass at remote machines too; inline ops use the coordinator
+        // machine's own cache.
+        let cache_bypass =
+            !client.is_empty() && self.cfg.cache.bypass_clients.iter().any(|c| c == client);
         let coord = exec::Coordinator {
             farm: &self.farm,
             store: &self.store,
             proxies: &proxies,
             machine,
             cfg: &exec_cfg,
+            cache: (self.cfg.cache.enabled && !cache_bypass).then(|| &backend.cache),
+            cache_bypass,
         };
         let mut outcome = exec::coordinate(
             &coord,
@@ -791,6 +861,7 @@ impl A1Inner {
                     Err(e) => Err(e),
                 }
             })?;
+            self.invalidate_cached_vertices(&[ptr.addr]);
         }
         // More to do: reschedule.
         let spec = TaskSpec::DeleteType {
@@ -1165,13 +1236,21 @@ impl A1Client {
     /// (ingest appliers pin batches to the partition's machine so new
     /// vertices allocate locally, §2.2).
     pub fn apply_batch_at(&self, machine: MachineId, muts: &[Mutation]) -> A1Result<()> {
+        // The closure may run several times under the retry loop; the last
+        // (successful) attempt's touched set wins, and invalidation happens
+        // only after the commit is durable.
+        let touched = std::sync::Mutex::new(Vec::new());
         run_a1(&self.inner.farm, machine, |tx| {
             let mut applier = BatchApplier::new(&self.inner, machine);
             for m in muts {
                 applier.apply(tx, m)?;
             }
+            *touched.lock().unwrap() = applier.take_touched();
             Ok(())
-        })
+        })?;
+        self.inner
+            .invalidate_cached_vertices(&touched.into_inner().unwrap());
+        Ok(())
     }
 
     /// Begin an explicit transaction grouping data-plane operations (§3).
@@ -1183,6 +1262,7 @@ impl A1Client {
             backend,
             tx: Some(tx),
             ops: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
@@ -1289,6 +1369,11 @@ pub struct A1Txn {
     backend: Arc<Backend>,
     tx: Option<Txn>,
     ops: Vec<TxOp>,
+    /// Vertex addresses mutated by buffered ops — drained into the read
+    /// cache's invalidation path after a successful commit, and rebuilt from
+    /// scratch on every conflict replay (addresses can change across
+    /// snapshots, e.g. a delete+recreate).
+    touched: Vec<Addr>,
 }
 
 impl A1Txn {
@@ -1485,6 +1570,7 @@ impl A1Txn {
                         &log_entry::vertex_upsert(tenant, graph, ty, &pkj, attrs),
                     )?;
                 }
+                self.touched.push(ptr.addr);
                 Ok(true)
             }
             TxOp::DeleteVertex {
@@ -1516,6 +1602,7 @@ impl A1Txn {
                 inner
                     .store
                     .delete_vertex(tx, &proxies.graph, &vp, ptr.addr)?;
+                self.touched.push(ptr.addr);
                 Ok(true)
             }
             TxOp::CreateEdge {
@@ -1564,6 +1651,8 @@ impl A1Txn {
                         ),
                     )?;
                 }
+                self.touched.push(src);
+                self.touched.push(dst);
                 Ok(true)
             }
             TxOp::DeleteEdge {
@@ -1597,6 +1686,8 @@ impl A1Txn {
                             ),
                         )?;
                     }
+                    self.touched.push(src);
+                    self.touched.push(dst);
                 }
                 Ok(existed)
             }
@@ -1607,7 +1698,9 @@ impl A1Txn {
     /// [`A1Txn::commit_with_retry`] for the canonical loop.
     pub fn commit(mut self) -> A1Result<()> {
         let tx = self.tx.take().expect("transaction already finished");
-        tx.commit().map(|_| ()).map_err(Into::into)
+        tx.commit()?;
+        self.inner.invalidate_cached_vertices(&self.touched);
+        Ok(())
     }
 
     /// Commit with the Fig. 3 retry loop: on conflict, replay every buffered
@@ -1620,11 +1713,16 @@ impl A1Txn {
         let mut tx = self.tx.take().expect("transaction already finished");
         for attempt in 0..=max {
             match tx.commit() {
-                Ok(_) => return Ok(()),
+                Ok(_) => {
+                    self.inner.invalidate_cached_vertices(&self.touched);
+                    return Ok(());
+                }
                 Err(e) if e.is_retryable() && attempt < max => {
                     conflict_backoff(attempt, 300);
-                    // Replay the ops against a fresh snapshot.
+                    // Replay the ops against a fresh snapshot; the touched
+                    // set is rebuilt by the replay (addresses may differ).
                     self.tx = Some(self.inner.farm.begin(self.backend.machine));
+                    self.touched.clear();
                     let ops = self.ops.clone();
                     let mut failed = false;
                     for op in &ops {

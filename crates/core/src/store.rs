@@ -187,13 +187,24 @@ impl GraphStore {
     }
 
     pub fn read_vertex_data(&self, tx: &mut Txn, hdr: &VertexHeader) -> A1Result<Option<Record>> {
+        Ok(self.read_vertex_data_versioned(tx, hdr)?.map(|(_, r)| r))
+    }
+
+    /// Like [`read_vertex_data`](Self::read_vertex_data) but also returns
+    /// the data object's FaRM version word, which the read cache needs to
+    /// key its revalidation (an in-place attribute update bumps only the
+    /// data object's version — the header object does not move).
+    pub fn read_vertex_data_versioned(
+        &self,
+        tx: &mut Txn,
+        hdr: &VertexHeader,
+    ) -> A1Result<Option<(u64, Record)>> {
         if hdr.data.is_null() {
             return Ok(None);
         }
         let buf = tx.read(hdr.data)?;
-        Ok(Some(
-            decode_record(buf.data()).map_err(|e| A1Error::Internal(e.to_string()))?,
-        ))
+        let rec = decode_record(buf.data()).map_err(|e| A1Error::Internal(e.to_string()))?;
+        Ok(Some((buf.version, rec)))
     }
 
     /// Replace a vertex's attributes. The primary key is immutable. Grows
@@ -223,6 +234,11 @@ impl GraphStore {
             let data_buf = tx.read(hdr.data)?;
             if data_bytes.len() <= data_buf.capacity as usize {
                 tx.update(&data_buf, data_bytes)?;
+                // Rewrite the header too (same bytes) so its version word
+                // moves on *every* vertex mutation — the invariant that lets
+                // the read cache validate a whole cached vertex (header +
+                // record) with one header probe.
+                tx.update(&hdr_buf, hdr.encode())?;
             } else {
                 let new_ptr = tx.alloc(data_bytes.len(), Hint::Near(hdr.data.addr), &data_bytes)?;
                 tx.free(&data_buf)?;

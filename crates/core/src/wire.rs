@@ -440,6 +440,9 @@ const WO_VERTICES: u16 = 3;
 const WO_STEP: u16 = 4;
 const WO_EMIT_ROWS: u16 = 5;
 const WO_SELECT: u16 = 6;
+/// Read-cache bypass flag, encoded only when set (absent ⇒ false, so old
+/// peers decode new frames and vice versa).
+const WO_CACHE_BYPASS: u16 = 7;
 
 const ST_TYPE_FILTER: u16 = 0;
 const ST_ID_FILTER: u16 = 1;
@@ -680,14 +683,18 @@ fn parse_field_sel(s: &str) -> FieldSel {
 }
 
 fn work_op_to_record(op: &WorkOp) -> Record {
-    Record::new()
+    let mut rec = Record::new()
         .with(WO_TENANT, Value::String(op.tenant.clone()))
         .with(WO_GRAPH, Value::String(op.graph.clone()))
         .with(WO_TS, Value::UInt64(op.snapshot_ts))
         .with(WO_VERTICES, addrs_to_value(&op.vertices))
         .with(WO_STEP, sub_blob(&step_to_record(&op.step)))
         .with(WO_EMIT_ROWS, Value::Bool(op.emit_rows))
-        .with(WO_SELECT, sub_blob(&select_to_record(&op.select)))
+        .with(WO_SELECT, sub_blob(&select_to_record(&op.select)));
+    if op.cache_bypass {
+        rec.set(WO_CACHE_BYPASS, Value::Bool(true));
+    }
+    rec
 }
 
 fn work_op_from_record(rec: &Record) -> A1Result<WorkOp> {
@@ -703,6 +710,7 @@ fn work_op_from_record(rec: &Record) -> A1Result<WorkOp> {
         select: rec_sub(rec, WO_SELECT)?
             .map(|r| select_from_record(&r))
             .unwrap_or(Select::All),
+        cache_bypass: rec_bool(rec, WO_CACHE_BYPASS).unwrap_or(false),
     })
 }
 
@@ -720,6 +728,8 @@ const WR_LR: u16 = 5;
 const WR_RR: u16 = 6;
 const WR_MORSELS: u16 = 7;
 const WR_PEAK_MORSELS: u16 = 8;
+const WR_CACHE_HITS: u16 = 9;
+const WR_CACHE_MISSES: u16 = 10;
 
 fn work_result_to_record(r: &WorkResult) -> Record {
     let mut rec = Record::new().with(WR_NEXT, addrs_to_value(&r.next));
@@ -737,6 +747,12 @@ fn work_result_to_record(r: &WorkResult) -> Record {
     rec.set(WR_RR, Value::UInt64(r.metrics.remote_reads));
     rec.set(WR_MORSELS, Value::UInt64(r.morsels));
     rec.set(WR_PEAK_MORSELS, Value::UInt64(r.max_concurrent_morsels));
+    if r.metrics.cache_hits != 0 {
+        rec.set(WR_CACHE_HITS, Value::UInt64(r.metrics.cache_hits));
+    }
+    if r.metrics.cache_misses != 0 {
+        rec.set(WR_CACHE_MISSES, Value::UInt64(r.metrics.cache_misses));
+    }
     rec
 }
 
@@ -763,6 +779,8 @@ fn work_result_from_record(rec: &Record) -> A1Result<WorkResult> {
             edges_visited: rec_u64(rec, WR_EV).unwrap_or(0),
             local_reads: rec_u64(rec, WR_LR).unwrap_or(0),
             remote_reads: rec_u64(rec, WR_RR).unwrap_or(0),
+            cache_hits: rec_u64(rec, WR_CACHE_HITS).unwrap_or(0),
+            cache_misses: rec_u64(rec, WR_CACHE_MISSES).unwrap_or(0),
             ..QueryMetrics::default()
         },
         morsels: rec_u64(rec, WR_MORSELS).unwrap_or(0),
@@ -786,6 +804,8 @@ const QM_RR: u16 = 5;
 const QM_RPCS: u16 = 6;
 const QM_REQ_BYTES: u16 = 7;
 const QM_REPLY_BYTES: u16 = 8;
+const QM_CACHE_HITS: u16 = 9;
+const QM_CACHE_MISSES: u16 = 10;
 
 fn metrics_to_record(m: &QueryMetrics) -> Record {
     Record::new()
@@ -798,6 +818,8 @@ fn metrics_to_record(m: &QueryMetrics) -> Record {
         .with(QM_RPCS, Value::UInt64(m.rpcs))
         .with(QM_REQ_BYTES, Value::UInt64(m.rpc_req_bytes))
         .with(QM_REPLY_BYTES, Value::UInt64(m.rpc_reply_bytes))
+        .with(QM_CACHE_HITS, Value::UInt64(m.cache_hits))
+        .with(QM_CACHE_MISSES, Value::UInt64(m.cache_misses))
 }
 
 fn metrics_from_record(rec: &Record) -> QueryMetrics {
@@ -811,6 +833,8 @@ fn metrics_from_record(rec: &Record) -> QueryMetrics {
         rpcs: rec_u64(rec, QM_RPCS).unwrap_or(0),
         rpc_req_bytes: rec_u64(rec, QM_REQ_BYTES).unwrap_or(0),
         rpc_reply_bytes: rec_u64(rec, QM_REPLY_BYTES).unwrap_or(0),
+        cache_hits: rec_u64(rec, QM_CACHE_HITS).unwrap_or(0),
+        cache_misses: rec_u64(rec, QM_CACHE_MISSES).unwrap_or(0),
     }
 }
 
@@ -1245,6 +1269,7 @@ pub fn work_op_to_json(op: &WorkOp) -> Json {
         ("step", step_to_json(&op.step)),
         ("emit_rows", Json::Bool(op.emit_rows)),
         ("select", select_to_json(&op.select)),
+        ("cache_bypass", Json::Bool(op.cache_bypass)),
     ])
 }
 
@@ -1275,6 +1300,10 @@ pub fn work_op_from_json(j: &Json) -> A1Result<WorkOp> {
         step: step_from_json(j.get("step").ok_or_else(|| err("step"))?)?,
         emit_rows: j.get("emit_rows").and_then(Json::as_bool).unwrap_or(false),
         select: select_from_json(j.get("select").unwrap_or(&Json::Null)),
+        cache_bypass: j
+            .get("cache_bypass")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
     })
 }
 
@@ -1468,6 +1497,8 @@ pub fn work_result_to_json(r: &A1Result<WorkResult>) -> Json {
             ("rr", Json::Num(r.metrics.remote_reads as f64)),
             ("mo", Json::Num(r.morsels as f64)),
             ("pm", Json::Num(r.max_concurrent_morsels as f64)),
+            ("ch", Json::Num(r.metrics.cache_hits as f64)),
+            ("cm", Json::Num(r.metrics.cache_misses as f64)),
         ]),
         Err(e) => error_to_json(e),
     }
@@ -1504,6 +1535,8 @@ pub fn work_result_from_json(j: &Json) -> A1Result<WorkResult> {
             edges_visited: j.get("ev").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             local_reads: j.get("lr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             remote_reads: j.get("rr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            cache_hits: j.get("ch").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            cache_misses: j.get("cm").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             ..QueryMetrics::default()
         },
         morsels: j.get("mo").and_then(Json::as_f64).unwrap_or(0.0) as u64,
@@ -1522,6 +1555,8 @@ fn metrics_to_json(m: &QueryMetrics) -> Json {
         ("rpcs", Json::Num(m.rpcs as f64)),
         ("reqb", Json::Num(m.rpc_req_bytes as f64)),
         ("repb", Json::Num(m.rpc_reply_bytes as f64)),
+        ("ch", Json::Num(m.cache_hits as f64)),
+        ("cm", Json::Num(m.cache_misses as f64)),
     ])
 }
 
@@ -1540,6 +1575,8 @@ fn metrics_from_json(j: Option<&Json>) -> QueryMetrics {
         rpcs: f("rpcs"),
         rpc_req_bytes: f("reqb"),
         rpc_reply_bytes: f("repb"),
+        cache_hits: f("ch"),
+        cache_misses: f("cm"),
     }
 }
 
@@ -1625,6 +1662,7 @@ mod tests {
                 attr: "name".into(),
                 index: Some(0),
             }]),
+            cache_bypass: true,
         }
     }
 
@@ -1657,6 +1695,8 @@ mod tests {
                 edges_visited: 5,
                 local_reads: 7,
                 remote_reads: 1,
+                cache_hits: 6,
+                cache_misses: 2,
                 ..QueryMetrics::default()
             },
             morsels: 4,
@@ -1716,6 +1756,8 @@ mod tests {
                 rpcs: 4,
                 rpc_req_bytes: 1234,
                 rpc_reply_bytes: 5678,
+                cache_hits: 21,
+                cache_misses: 9,
                 ..QueryMetrics::default()
             },
             per_hop: Vec::new(),

@@ -150,6 +150,7 @@ fn arb_work_op() -> impl Strategy<Value = WorkOp> {
                 step,
                 emit_rows,
                 select,
+                cache_bypass: emit_rows, // exercised without widening the tuple
             },
         )
 }
@@ -159,21 +160,25 @@ fn arb_work_result() -> impl Strategy<Value = WorkResult> {
         prop::collection::vec(arb_addr(), 0..32),
         prop::collection::vec((arb_addr(), arb_json()), 0..8),
         (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
-        (any::<u16>(), any::<u16>()),
+        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>()),
     )
-        .prop_map(|(next, rows, (vr, ev, lr, rr), (mo, pm))| WorkResult {
-            next,
-            rows,
-            metrics: QueryMetrics {
-                vertices_read: vr as u64,
-                edges_visited: ev as u64,
-                local_reads: lr as u64,
-                remote_reads: rr as u64,
-                ..QueryMetrics::default()
+        .prop_map(
+            |(next, rows, (vr, ev, lr, rr), (mo, pm, ch, cm))| WorkResult {
+                next,
+                rows,
+                metrics: QueryMetrics {
+                    vertices_read: vr as u64,
+                    edges_visited: ev as u64,
+                    local_reads: lr as u64,
+                    remote_reads: rr as u64,
+                    cache_hits: ch as u64,
+                    cache_misses: cm as u64,
+                    ..QueryMetrics::default()
+                },
+                morsels: mo as u64,
+                max_concurrent_morsels: pm as u64,
             },
-            morsels: mo as u64,
-            max_concurrent_morsels: pm as u64,
-        })
+        )
 }
 
 /// Replication-log entry bodies as produced by the `replog::entry`
@@ -322,6 +327,7 @@ fn all_cmp_ops_cross_both_wires() {
             },
             emit_rows: false,
             select: Select::Count,
+            cache_bypass: false,
         };
         for fmt in [WireFormat::Binary, WireFormat::Json] {
             let Request::Work(back) =

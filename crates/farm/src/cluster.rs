@@ -388,6 +388,53 @@ impl FarmCluster {
         }
     }
 
+    /// One-sided read of an object's **header only** — the version-probe
+    /// primitive behind the a1-core read cache. Follows the same
+    /// resolve/lock-spin/re-resolve protocol as [`read_raw`](Self::read_raw)
+    /// but fetches `HEADER` bytes instead of header + payload, so a
+    /// revalidation probe of a cached multi-KB record costs a header-sized
+    /// transfer. Freed or never-allocated blocks return `NotFound` — a
+    /// cached entry whose block was freed (or whose region migrated and was
+    /// reused) can therefore never revalidate successfully.
+    pub(crate) fn probe_header(&self, origin: MachineId, addr: Addr) -> FarmResult<ObjHeader> {
+        let rid = addr.region();
+        let off = addr.offset() as usize;
+        let mut spins = 0u32;
+        let (_, mut primary) = self.resolve(rid)?;
+        loop {
+            let raw = match self.fabric.read(origin, primary, rid.0 as u64, off, HEADER) {
+                Ok(raw) => raw,
+                Err(NetError::MachineUnreachable(_)) => {
+                    self.detect_failures();
+                    primary = self.resolve(rid)?.1;
+                    self.fabric
+                        .read(origin, primary, rid.0 as u64, off, HEADER)?
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let h = ObjHeader::parse(&raw).ok_or(FarmError::Unavailable("short read".into()))?;
+            if h.is_locked() || (h.capacity != 0 && h.state != STATE_FREE && !h.is_committed()) {
+                // Same transient states as `read_raw`: an in-flight commit
+                // holds the lock (or hasn't stamped the version yet) — wait
+                // it out rather than reporting a spurious mismatch.
+                spins += 1;
+                if spins > self.cfg.lock_wait_spins {
+                    return Err(FarmError::Conflict);
+                }
+                std::hint::spin_loop();
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                    primary = self.resolve(rid)?.1;
+                }
+                continue;
+            }
+            if h.capacity == 0 || h.state == STATE_FREE {
+                return Err(FarmError::NotFound(addr));
+            }
+            return Ok(h);
+        }
+    }
+
     /// Serve a read-only snapshot read from the primary's old-version store.
     pub(crate) fn read_old_version(
         &self,

@@ -40,6 +40,7 @@ pub use btree::{BTree, BTreeConfig};
 pub use clock::{GlobalClock, TsGuard, TsRegistry};
 pub use cluster::{FarmCluster, FarmConfig};
 pub use error::{FarmError, FarmResult};
+pub use layout::ObjHeader;
 pub use txn::{Hint, ObjBuf, Txn, TxnMode};
 
 pub use a1_rdma::{FabricConfig, JobClass, LatencyModel, MachineId, ScopedJob, WorkerPool};

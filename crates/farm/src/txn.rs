@@ -218,6 +218,30 @@ impl Txn {
         })
     }
 
+    /// HEADER-only probe of an object's *current* version word, for cache
+    /// revalidation: a header-sized transfer instead of header + payload.
+    /// Like [`read_for_routing`](Self::read_for_routing), the probe is never
+    /// recorded in the read set and never snapshotted — the caller owns the
+    /// consistency argument (the a1-core read cache compares the probed
+    /// version against the version its entry was filled at, and only serves
+    /// the entry on an exact match). Tombstoned and freed objects return
+    /// `NotFound`, so a cached entry for a deleted or reused block can never
+    /// revalidate.
+    pub fn probe_version(&mut self, addr: Addr) -> FarmResult<ObjHeader> {
+        self.check_open()?;
+        if self.writes.contains_key(&addr) {
+            // A pending write in this transaction supersedes any cached
+            // copy; report a conflict so the caller falls back to `read`
+            // (which serves read-your-writes).
+            return Err(FarmError::Conflict);
+        }
+        let h = self.cluster.probe_header(self.origin, addr)?;
+        if h.state != STATE_LIVE {
+            return Err(FarmError::NotFound(addr));
+        }
+        Ok(h)
+    }
+
     fn read_versioned(&mut self, ptr: Ptr) -> FarmResult<ObjBuf> {
         let (h, payload) = self.cluster.read_raw(self.origin, ptr)?;
         if !h.is_committed() {

@@ -27,7 +27,7 @@ use crate::watermark::WatermarkTable;
 use a1_core::server::A1Inner;
 use a1_core::store::conflict_backoff;
 use a1_core::{A1Cluster, A1Error, A1Result, BatchApplier};
-use a1_farm::{JobClass, MachineId, Ptr, Txn};
+use a1_farm::{Addr, JobClass, MachineId, Ptr, Txn};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -399,9 +399,13 @@ impl Shared {
     ) -> A1Result<(u64, u64)> {
         let mut tx = self.inner.farm.begin(machine);
         match self.try_commit_in(&mut tx, machine, part, recs) {
-            Ok((applied, deduped)) => {
+            Ok((applied, deduped, touched)) => {
                 if applied > 0 {
                     tx.commit().map_err(A1Error::from)?;
+                    // Drop read-cache entries for rewritten vertices only
+                    // once the batch is durable (stale entries are caught by
+                    // revalidation either way; this frees the capacity).
+                    self.inner.invalidate_cached_vertices(&touched);
                 } else {
                     tx.abort(); // everything was a redelivery: nothing to write
                 }
@@ -420,7 +424,7 @@ impl Shared {
         machine: MachineId,
         part: u32,
         recs: &[MutationRecord],
-    ) -> A1Result<(u64, u64)> {
+    ) -> A1Result<(u64, u64, Vec<Addr>)> {
         let mut applier = BatchApplier::new(&self.inner, machine);
         // Committed watermark per source (read once per batch) and the
         // batch's own running max, for intra-batch duplicates.
@@ -450,6 +454,6 @@ impl Shared {
         for (source, seq) in &planned {
             self.wm.set(tx, source, part, *seq)?;
         }
-        Ok((applied, deduped))
+        Ok((applied, deduped, applier.take_touched()))
     }
 }

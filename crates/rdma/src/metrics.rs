@@ -23,6 +23,12 @@ pub struct Metrics {
     pub bytes_written: AtomicU64,
     /// Total simulated network nanoseconds charged.
     pub sim_ns: AtomicU64,
+    /// Read-cache hits served by the a1-core hot-vertex cache.
+    pub cache_hits: AtomicU64,
+    /// Read-cache lookups that fell through to a FaRM read.
+    pub cache_misses: AtomicU64,
+    /// Read-cache entries evicted under capacity pressure.
+    pub cache_evictions: AtomicU64,
 }
 
 /// A point-in-time copy of [`Metrics`].
@@ -41,6 +47,9 @@ pub struct MetricsSnapshot {
     pub bytes_read: u64,
     pub bytes_written: u64,
     pub sim_ns: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
 }
 
 impl Metrics {
@@ -63,6 +72,9 @@ impl Metrics {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             sim_ns: self.sim_ns.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -84,6 +96,9 @@ impl MetricsSnapshot {
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             sim_ns: self.sim_ns - earlier.sim_ns,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
         }
     }
 
@@ -95,6 +110,16 @@ impl MetricsSnapshot {
     /// the wire-protocol benchmarks gate on.
     pub fn rpc_bytes(&self) -> u64 {
         self.rpc_req_bytes + self.rpc_reply_bytes
+    }
+
+    /// Read-cache hit rate (hits / lookups). `0.0` when the cache saw no
+    /// traffic — a quiet cache must not satisfy a minimum-hit-rate gate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
     }
 
     /// Fraction of reads that were local (paper §6 reports ≥95% for shipped

@@ -41,6 +41,7 @@ fn main() {
         },
         emit_rows: true,
         select: Select::All,
+        cache_bypass: false,
     };
     let binary = wire::encode_work_op(&op, WireFormat::Binary);
     let json = wire::encode_work_op(&op, WireFormat::Json);

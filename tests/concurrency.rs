@@ -301,6 +301,7 @@ fn error_in_morsel_propagates_without_deadlock() {
         },
         emit_rows: false,
         select: Select::Count,
+        cache_bypass: false,
     };
     let pool = inner.farm.fabric().machine(machine).unwrap().pool();
     let err = exec::run_work_op(
@@ -309,6 +310,7 @@ fn error_in_morsel_propagates_without_deadlock() {
         &proxies,
         machine,
         &op,
+        None,
         Some(pool),
         4,
     );
