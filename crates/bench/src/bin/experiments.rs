@@ -9,7 +9,15 @@
 //!
 //! Figure targets: table2, fig10, fig11, fig12, fig13, fig14, q4, locality,
 //! baseline, ablation-mvcc, ablation-edges, fast-restart, fanout, ingest,
-//! wire, morsel, serve, cache, all.
+//! wire, morsel, serve, cache, sim, all.
+//!
+//! Simulation targets (deterministic fault injection, crates/sim):
+//!
+//! * `sim` — fixed-seed scenario block, every run twice to prove replay.
+//! * `sim --scenario <name> --seed <n>` — replay one run (every failure
+//!   prints this exact command).
+//! * `sim --sweep <n> [--seed0 <s>]` — randomized n-seed sweep over the
+//!   whole catalog; failures print repro commands.
 //!
 //! Flags:
 //!
@@ -20,19 +28,42 @@
 //!   suite: serial vs morsel-parallel work ops on hub-skewed and uniform
 //!   frontiers, the serve suite: open-loop Poisson load against the
 //!   admission-controlled front door, and the cache suite: hot-vertex read
-//!   cache vs bypass on a hub-skewed repeated-read workload under churn)
-//!   and print one JSON document (schema `a1-bench-v6`) to stdout. CI
-//!   uploads this as an artifact; `BENCH_<n>.json` snapshots are committed
-//!   at the repo root.
+//!   cache vs bypass on a hub-skewed repeated-read workload under churn,
+//!   and the sim suite: the deterministic fault-scenario catalog with its
+//!   replayability check) and print one JSON document (schema
+//!   `a1-bench-v7`) to stdout. CI uploads this as an artifact;
+//!   `BENCH_<n>.json` snapshots are committed at the repo root.
 //! * `--validate <file>` — check a `--json` artifact against the
-//!   `a1-bench-v6` schema; exits 2 with a diagnostic on violation.
+//!   `a1-bench-v7` schema; exits 2 with a diagnostic on violation.
 //! * `--quick` — smaller workload + fewer iterations (CI-speed).
 //! * `--fig14-scale N` — divisor applied to the paper's Figure 14 dataset.
 
-use a1_bench::{cache, figures, ingest, loadgen, morsel, perf, validate, wire};
+use a1_bench::{cache, figures, ingest, loadgen, morsel, perf, sim, validate, wire};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Deterministic-simulation entry points. `sim --scenario X --seed N`
+    // replays one run (the repro command failures print); `sim --sweep N`
+    // runs the randomized seed sweep; bare `sim` falls through to the
+    // fixed-seed report below.
+    if args.first().map(String::as_str) == Some("sim") {
+        let flag_val = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+        };
+        let seed: u64 = flag_val("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+        if let Some(name) = flag_val("--scenario") {
+            std::process::exit(if sim::run_one(name, seed) { 0 } else { 1 });
+        }
+        if let Some(n) = flag_val("--sweep").and_then(|v| v.parse::<u64>().ok()) {
+            let seed0: u64 = flag_val("--seed0")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            std::process::exit(if sim::run_sweep(seed0, n) { 0 } else { 1 });
+        }
+    }
 
     // `--validate <file>`: schema-check an existing artifact and exit.
     if let Some(i) = args.iter().position(|a| a == "--validate") {
@@ -94,6 +125,7 @@ fn main() {
         let morsel_results = morsel::run_morsel_suite(quick);
         let serve_results = loadgen::run_serve_suite(quick);
         let cache_results = cache::run_cache_suite(quick);
+        let sim_results = sim::run_sim_suite(quick);
         // One document carrying all suites, so the perf-trajectory CI job
         // tracks wire bytes, ingest throughput, morsel speedup and serving
         // headroom alongside Q1/Q4 latency.
@@ -125,6 +157,7 @@ fn main() {
             "cache".to_string(),
             cache::cache_suite_to_json(&cache_results),
         ));
+        doc.push(("sim".to_string(), sim::sim_suite_to_json(&sim_results)));
         let doc = a1_core::Json::Obj(doc);
         // The emitter must always satisfy its own `--validate` contract.
         if let Err(e) = validate::validate_doc(&doc) {
@@ -155,6 +188,7 @@ fn main() {
             "morsel" => Some(morsel::morsel_report(quick)),
             "serve" => Some(loadgen::serve_report(quick)),
             "cache" => Some(cache::cache_report(quick)),
+            "sim" => Some(sim::sim_report(quick)),
             _ => None,
         }
     };
@@ -178,6 +212,7 @@ fn main() {
         "morsel",
         "serve",
         "cache",
+        "sim",
     ];
     if target == "all" {
         for name in all {

@@ -13,6 +13,7 @@ pub mod ingest;
 pub mod loadgen;
 pub mod morsel;
 pub mod perf;
+pub mod sim;
 pub mod validate;
 pub mod wire;
 pub mod workload;

@@ -1,0 +1,235 @@
+//! Deterministic-simulation suite: runs the a1-sim scenario catalog from
+//! the experiments binary, for CI and the `--json` artifact.
+//!
+//! Three entry points:
+//!
+//! * [`run_sim_suite`] — the fixed-seed block CI runs on every push: every
+//!   catalog scenario at a small set of pinned seeds, each run **twice** to
+//!   prove byte-identical replay (the harness's core promise).
+//! * [`run_one`] — replay a single `(scenario, seed)`; this is the target
+//!   of the repro command every failure prints.
+//! * [`run_sweep`] — the randomized N-seed sweep (a scheduled CI job runs
+//!   1000+); failures print their exact reproduction commands.
+
+use a1_core::Json;
+use a1_sim::{by_name, catalog, run_scenario, sweep, SimVerdict};
+
+/// Fixed seeds for the per-push CI block: small, stable, and spread enough
+/// that seeded fault choices (victim machine, jump step) vary.
+pub const FIXED_SEEDS: [u64; 3] = [1, 42, 20_260_808];
+
+pub struct SimScenarioResult {
+    pub scenario: String,
+    pub seeds: usize,
+    pub failures: usize,
+    /// Per-seed trace hashes (first run). Stable across hosts and runs.
+    pub trace_hashes: Vec<u64>,
+    /// Every seed's second run produced a byte-identical trace and verdict.
+    pub replay_identical: bool,
+}
+
+pub struct SimSuiteResults {
+    pub results: Vec<SimScenarioResult>,
+    pub failures: Vec<SimVerdict>,
+}
+
+impl SimSuiteResults {
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    pub fn replay_identical(&self) -> bool {
+        self.results.iter().all(|r| r.replay_identical)
+    }
+}
+
+/// The fixed-seed scenario block plus the replayability double-run.
+pub fn run_sim_suite(quick: bool) -> SimSuiteResults {
+    let seeds: &[u64] = if quick {
+        &FIXED_SEEDS[..2]
+    } else {
+        &FIXED_SEEDS
+    };
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for scenario in catalog() {
+        let mut hashes = Vec::new();
+        let mut replay_identical = true;
+        let mut scenario_failures = 0;
+        for &seed in seeds {
+            let first = run_scenario(scenario.as_ref(), seed);
+            let second = run_scenario(scenario.as_ref(), seed);
+            if first.trace_hash != second.trace_hash || first.oracles != second.oracles {
+                replay_identical = false;
+            }
+            hashes.push(first.trace_hash);
+            if !first.passed {
+                scenario_failures += 1;
+                failures.push(first);
+            }
+        }
+        results.push(SimScenarioResult {
+            scenario: scenario.name().to_string(),
+            seeds: seeds.len(),
+            failures: scenario_failures,
+            trace_hashes: hashes,
+            replay_identical,
+        });
+    }
+    SimSuiteResults { results, failures }
+}
+
+/// Replay one `(scenario, seed)` and print the full oracle report + trace
+/// fingerprint. Returns false for unknown scenarios or failed oracles.
+pub fn run_one(name: &str, seed: u64) -> bool {
+    let Some(scenario) = by_name(name) else {
+        eprintln!(
+            "unknown scenario '{name}'. Catalog: {}",
+            catalog()
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return false;
+    };
+    let verdict = run_scenario(scenario.as_ref(), seed);
+    println!(
+        "{} seed={} {} trace_hash={:016x} events={}",
+        verdict.scenario,
+        verdict.seed,
+        if verdict.passed { "PASS" } else { "FAIL" },
+        verdict.trace_hash,
+        verdict.events
+    );
+    for o in &verdict.oracles {
+        println!(
+            "  [{}] {}: {}",
+            if o.ok { "ok" } else { "FAIL" },
+            o.name,
+            o.detail
+        );
+    }
+    if !verdict.passed {
+        println!("repro: {}", verdict.repro_command());
+    }
+    verdict.passed
+}
+
+/// Randomized sweep: every scenario over `seeds` seeds starting at `seed0`.
+/// Prints progress and, for every failure, the exact repro command.
+pub fn run_sweep(seed0: u64, seeds: u64) -> bool {
+    let per_scenario = catalog().len() as u64;
+    let total = per_scenario * seeds;
+    let mut done = 0u64;
+    let report = sweep(seed0, seeds, |v| {
+        done += 1;
+        if !v.passed {
+            println!("FAIL {} seed={}", v.scenario, v.seed);
+            for o in v.oracles.iter().filter(|o| !o.ok) {
+                println!("  {}: {}", o.name, o.detail);
+            }
+            println!("  repro: {}", v.repro_command());
+        } else if done.is_multiple_of(500) {
+            println!("... {done}/{total} runs green");
+        }
+    });
+    println!(
+        "sim sweep: {} runs over seeds {}..{} — {} failures",
+        report.runs,
+        seed0,
+        seed0 + seeds,
+        report.failures.len()
+    );
+    report.passed()
+}
+
+/// Human-readable fixed-seed report (the `sim` target without flags).
+pub fn sim_report(quick: bool) -> String {
+    let suite = run_sim_suite(quick);
+    let mut out = String::from(
+        "Deterministic simulation (fixed-seed block, every run twice for replay)\n\
+         scenario                          seeds  failures  replay  trace hashes\n",
+    );
+    for r in &suite.results {
+        out.push_str(&format!(
+            "{:<33} {:>5} {:>9}  {:>6}  {}\n",
+            r.scenario,
+            r.seeds,
+            r.failures,
+            if r.replay_identical {
+                "exact"
+            } else {
+                "DIVERGED"
+            },
+            r.trace_hashes
+                .iter()
+                .map(|h| format!("{h:016x}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+    }
+    for f in &suite.failures {
+        out.push_str(&format!("repro: {}\n", f.repro_command()));
+    }
+    out.push_str(&format!(
+        "verdict: {}\n",
+        if suite.all_passed() && suite.replay_identical() {
+            "all scenarios green, replay byte-identical"
+        } else {
+            "FAILURES above"
+        }
+    ));
+    out
+}
+
+/// The `sim` section of the `--json` artifact (`a1-bench-v7`).
+pub fn sim_suite_to_json(suite: &SimSuiteResults) -> Json {
+    Json::Obj(vec![
+        ("all_passed".to_string(), Json::Bool(suite.all_passed())),
+        (
+            "replay_identical".to_string(),
+            Json::Bool(suite.replay_identical()),
+        ),
+        (
+            "results".to_string(),
+            Json::Arr(
+                suite
+                    .results
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("scenario".to_string(), Json::str(&r.scenario)),
+                            ("seeds".to_string(), Json::Num(r.seeds as f64)),
+                            ("failures".to_string(), Json::Num(r.failures as f64)),
+                            (
+                                "trace_hashes".to_string(),
+                                Json::Arr(
+                                    r.trace_hashes
+                                        .iter()
+                                        .map(|h| Json::str(&format!("{h:016x}")))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_is_green_and_replayable() {
+        let suite = run_sim_suite(true);
+        assert!(suite.all_passed(), "failures: {:?}", suite.failures.len());
+        assert!(suite.replay_identical());
+        assert!(suite.results.len() >= 6);
+        let json = sim_suite_to_json(&suite);
+        assert_eq!(json.get("all_passed"), Some(&Json::Bool(true)));
+    }
+}

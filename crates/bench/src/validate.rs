@@ -1,4 +1,4 @@
-//! Schema validation for the `--json` perf document (`a1-bench-v6`).
+//! Schema validation for the `--json` perf document (`a1-bench-v7`).
 //!
 //! CI used to pipe the artifact through `python3 -m json.tool`, which only
 //! proved it parsed. `experiments --validate <file>` checks the actual
@@ -9,7 +9,7 @@
 use a1_core::Json;
 
 /// The schema tag the current `--json` output carries.
-pub const SCHEMA: &str = "a1-bench-v6";
+pub const SCHEMA: &str = "a1-bench-v7";
 
 fn require<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
     j.get(key)
@@ -43,7 +43,7 @@ fn each_has_nums(items: &[Json], fields: &[&str], ctx: &str) -> Result<(), Strin
     Ok(())
 }
 
-/// Validate one `--json` document against the `a1-bench-v6` contract.
+/// Validate one `--json` document against the `a1-bench-v7` contract.
 /// Returns a human-readable error naming the first violation.
 pub fn validate_doc(doc: &Json) -> Result<(), String> {
     let schema = require(doc, "schema", "document")?
@@ -188,6 +188,36 @@ pub fn validate_doc(doc: &Json) -> Result<(), String> {
         ],
         "cache.results",
     )?;
+
+    // Deterministic-simulation suite: the scenario catalog at fixed seeds.
+    // A document is only valid if every scenario passed AND every run
+    // replayed byte-identically — a sim regression must fail the job, not
+    // upload quietly.
+    let sim = require(doc, "sim", "document")?;
+    match require(sim, "all_passed", "sim")? {
+        Json::Bool(true) => {}
+        Json::Bool(false) => return Err("sim: all_passed is false".into()),
+        other => return Err(format!("sim: 'all_passed' must be a bool, got {other}")),
+    }
+    match require(sim, "replay_identical", "sim")? {
+        Json::Bool(true) => {}
+        Json::Bool(false) => {
+            return Err("sim: replay_identical is false — same (scenario, seed) diverged".into())
+        }
+        other => {
+            return Err(format!(
+                "sim: 'replay_identical' must be a bool, got {other}"
+            ))
+        }
+    }
+    let scenarios = require_arr(sim, "results", "sim")?;
+    if scenarios.len() < 6 {
+        return Err(format!(
+            "sim: 'results' must cover the >=6-scenario catalog, got {}",
+            scenarios.len()
+        ));
+    }
+    each_has_nums(scenarios, &["seeds", "failures"], "sim.results")?;
     Ok(())
 }
 
@@ -201,11 +231,11 @@ pub fn validate_text(text: &str) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    /// Minimal well-formed a1-bench-v6 document.
+    /// Minimal well-formed a1-bench-v7 document.
     fn sample() -> Json {
         Json::parse(
             r#"{
-              "schema": "a1-bench-v6",
+              "schema": "a1-bench-v7",
               "quick": true,
               "results": [{
                 "workload": "q1", "machines": 8, "fanout_parallelism": 0,
@@ -256,6 +286,25 @@ mod tests {
                    "cache_hits": 0, "cache_misses": 0,
                    "local_read_fraction": 0.1, "result": 32}
                 ]
+              },
+              "sim": {
+                "all_passed": true, "replay_identical": true,
+                "results": [
+                  {"scenario": "partition-during-ingest", "seeds": 2,
+                   "failures": 0, "trace_hashes": ["aa", "bb"]},
+                  {"scenario": "coordinator-death-mid-fanout", "seeds": 2,
+                   "failures": 0, "trace_hashes": ["aa", "bb"]},
+                  {"scenario": "message-loss-storm", "seeds": 2,
+                   "failures": 0, "trace_hashes": ["aa", "bb"]},
+                  {"scenario": "clock-skew-past-lease-bound", "seeds": 2,
+                   "failures": 0, "trace_hashes": ["aa", "bb"]},
+                  {"scenario": "backward-clock-jump", "seeds": 2,
+                   "failures": 0, "trace_hashes": ["aa", "bb"]},
+                  {"scenario": "replog-replay-race", "seeds": 2,
+                   "failures": 0, "trace_hashes": ["aa", "bb"]},
+                  {"scenario": "cache-invalidation-vs-crash", "seeds": 2,
+                   "failures": 0, "trace_hashes": ["aa", "bb"]}
+                ]
               }
             }"#,
         )
@@ -304,6 +353,33 @@ mod tests {
         }
         let err = validate_doc(&doc).unwrap_err();
         assert!(err.contains("cache"), "{err}");
+
+        // Missing sim section.
+        let mut doc = sample();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "sim");
+        }
+        let err = validate_doc(&doc).unwrap_err();
+        assert!(err.contains("sim"), "{err}");
+
+        // A replay divergence is never a valid artifact.
+        let mut doc = sample();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k != "sim" {
+                    continue;
+                }
+                if let Json::Obj(sim_fields) = v {
+                    for (sk, sv) in sim_fields.iter_mut() {
+                        if sk == "replay_identical" {
+                            *sv = Json::Bool(false);
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_doc(&doc).unwrap_err();
+        assert!(err.contains("replay_identical"), "{err}");
 
         // Cached and bypass answers diverged — never a valid artifact.
         let mut doc = sample();

@@ -16,7 +16,7 @@ use a1_json::Json;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const ROOT_MAGIC: u32 = 0xA1A1_0001;
 
@@ -267,10 +267,11 @@ impl GraphProxies {
     }
 }
 
-/// Per-backend proxy cache with TTL (§3.1).
+/// Per-backend proxy cache with TTL (§3.1). Entry timestamps come from the
+/// cluster clock so expiry runs on virtual time under simulation.
 pub struct ProxyCache {
     ttl: Duration,
-    graphs: Mutex<HashMap<String, (Instant, Arc<GraphProxies>)>>,
+    graphs: Mutex<HashMap<String, (u64, Arc<GraphProxies>)>>,
 }
 
 impl ProxyCache {
@@ -291,15 +292,16 @@ impl ProxyCache {
         graph: &str,
     ) -> A1Result<Arc<GraphProxies>> {
         let cache_key = format!("{tenant}/{graph}");
-        if let Some((at, proxies)) = self.graphs.lock().get(&cache_key) {
-            if at.elapsed() < self.ttl {
+        let now_ns = farm.fabric().clock().now_ns();
+        if let Some((at_ns, proxies)) = self.graphs.lock().get(&cache_key) {
+            if now_ns.saturating_sub(*at_ns) < self.ttl.as_nanos() as u64 {
                 return Ok(proxies.clone());
             }
         }
         let proxies = Arc::new(Self::materialize(farm, catalog, origin, tenant, graph)?);
         self.graphs
             .lock()
-            .insert(cache_key, (Instant::now(), proxies.clone()));
+            .insert(cache_key, (now_ns, proxies.clone()));
         Ok(proxies)
     }
 

@@ -29,7 +29,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Cluster-level configuration.
 #[derive(Debug, Clone)]
@@ -170,9 +170,11 @@ impl A1Config {
 }
 
 /// A paged query's cached remainder, tagged with the client that owns it
-/// (for the front door's per-client continuation quota).
+/// (for the front door's per-client continuation quota). Timestamps come
+/// from the cluster clock so continuation TTLs run on virtual time under
+/// the simulation harness.
 struct Continuation {
-    at: Instant,
+    at_ns: u64,
     rows: Vec<Json>,
     client: String,
 }
@@ -641,18 +643,21 @@ impl A1Inner {
         let id = backend.next_cont.fetch_add(1, Ordering::Relaxed);
         let mut conts = backend.continuations.lock();
         // Opportunistic expiry sweep.
-        let ttl = self.cfg.continuation_ttl;
-        conts.retain(|_, c| c.at.elapsed() < ttl);
+        let now_ns = self.farm.fabric().clock().now_ns();
+        let ttl_ns = self.cfg.continuation_ttl.as_nanos() as u64;
+        conts.retain(|_, c| now_ns.saturating_sub(c.at_ns) < ttl_ns);
         // Per-client continuation quota: evict the same client's oldest
         // entries (that query restarts) rather than reject the new one —
         // the newest result is the one the client is actively paging.
         let quota = self.cfg.admission.max_continuations_per_client;
         if quota != 0 {
             while conts.values().filter(|c| c.client == client).count() >= quota {
+                // Tie-break equal timestamps (common under a coarse virtual
+                // clock) by id so eviction order is deterministic.
                 let oldest = conts
                     .iter()
                     .filter(|(_, c)| c.client == client)
-                    .min_by_key(|(_, c)| c.at)
+                    .min_by_key(|(id, c)| (c.at_ns, **id))
                     .map(|(id, _)| *id)
                     .expect("count >= quota >= 1 entries exist");
                 conts.remove(&oldest);
@@ -661,7 +666,7 @@ impl A1Inner {
         conts.insert(
             id,
             Continuation {
-                at: Instant::now(),
+                at_ns: now_ns,
                 rows: rest,
                 client: client.to_string(),
             },
@@ -677,10 +682,11 @@ impl A1Inner {
         // Sweep expired continuations here too — a backend that serves pages
         // but never stashes new ones must not retain dead pages forever
         // (stash-side sweeping alone leaks in that pattern).
-        let ttl = self.cfg.continuation_ttl;
-        conts.retain(|_, c| c.at.elapsed() < ttl);
+        let now_ns = self.farm.fabric().clock().now_ns();
+        let ttl_ns = self.cfg.continuation_ttl.as_nanos() as u64;
+        conts.retain(|_, c| now_ns.saturating_sub(c.at_ns) < ttl_ns);
         let Continuation {
-            at,
+            at_ns,
             mut rows,
             client,
         } = conts.remove(&cid).ok_or(A1Error::ContinuationExpired)?;
@@ -697,7 +703,7 @@ impl A1Inner {
             conts.insert(
                 id,
                 Continuation {
-                    at,
+                    at_ns,
                     rows: rest,
                     client,
                 },
@@ -1718,7 +1724,7 @@ impl A1Txn {
                     return Ok(());
                 }
                 Err(e) if e.is_retryable() && attempt < max => {
-                    conflict_backoff(attempt, 300);
+                    conflict_backoff(&self.inner.farm, attempt, 300);
                     // Replay the ops against a fresh snapshot; the touched
                     // set is rebuilt by the replay (addresses may differ).
                     self.tx = Some(self.inner.farm.begin(self.backend.machine));

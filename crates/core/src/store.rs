@@ -20,20 +20,16 @@ use std::sync::Arc;
 
 /// Bounded jittered exponential backoff between optimistic-conflict retries
 /// (paper Fig. 3). Sleeps `min(2·2^attempt + jitter, cap_us)` microseconds,
-/// with the jitter derived from the calling thread's id so contending
-/// retriers desynchronize instead of re-colliding in lockstep. Shared by
+/// with the jitter drawn from the cluster's seeded RNG so contending
+/// retriers desynchronize instead of re-colliding in lockstep, and the sleep
+/// routed through the cluster clock (virtual under simulation). Shared by
 /// [`run_a1`], `A1Txn::commit_with_retry`, `A1Client::apply_batch`, and the
 /// `a1-ingest` applier loop.
-pub fn conflict_backoff(attempt: usize, cap_us: u64) {
-    let jitter_seed = {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        std::thread::current().id().hash(&mut h);
-        h.finish()
-    };
+pub fn conflict_backoff(farm: &FarmCluster, attempt: usize, cap_us: u64) {
+    let fabric = farm.fabric();
     let backoff_us = 2u64 << attempt.min(20);
-    let jitter = 1 + (jitter_seed.wrapping_mul(attempt as u64 + 1) % 7);
-    std::thread::sleep(std::time::Duration::from_micros(
+    let jitter = 1 + fabric.rng().gen_range(7);
+    fabric.clock().sleep(std::time::Duration::from_micros(
         (backoff_us + jitter).min(cap_us.max(1)),
     ));
 }
@@ -61,7 +57,7 @@ pub fn run_a1<T>(
                 return Err(e);
             }
         }
-        conflict_backoff(attempt, 300);
+        conflict_backoff(farm, attempt, 300);
     }
     Err(FarmError::Conflict.into())
 }

@@ -14,7 +14,6 @@ use crate::error::{A1Error, A1Result};
 use a1_farm::{BTree, BTreeConfig, FarmCluster, Hint, MachineId, Ptr, Txn};
 use a1_json::Json;
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Default lease: a worker must finish (or re-enqueue) within this window.
 pub const LEASE_MS: u64 = 30_000;
@@ -76,11 +75,10 @@ impl TaskSpec {
     }
 }
 
-fn now_ms() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
+/// Lease timestamps come from the cluster clock, not wall time, so task
+/// leases expire on virtual time under the simulation harness.
+fn now_ms(farm: &FarmCluster) -> u64 {
+    farm.fabric().clock().now_ns() / 1_000_000
 }
 
 /// The global task queue: pending tree keyed `[priority][seq]`, running tree
@@ -149,6 +147,7 @@ impl TaskQueue {
         self.reclaim_expired(farm, origin)?;
         let pending = self.pending.clone();
         let running = self.running.clone();
+        let lease_start_ms = now_ms(farm);
         crate::store::run_a1(farm, origin, move |tx| {
             let front = pending.scan(tx, &[], &[], 1)?;
             let Some((key, value)) = front.into_iter().next() else {
@@ -161,7 +160,7 @@ impl TaskQueue {
             let spec = TaskSpec::from_json(&spec_json)?;
             let lease = Json::obj(vec![
                 ("spec", spec_json.clone()),
-                ("lease_ms", Json::Num(now_ms() as f64)),
+                ("lease_ms", Json::Num(lease_start_ms as f64)),
             ]);
             running.insert(tx, &key, lease.to_string().as_bytes())?;
             Ok(Some(ClaimedTask { key, spec }))
@@ -183,8 +182,8 @@ impl TaskQueue {
     pub fn reclaim_expired(&self, farm: &Arc<FarmCluster>, origin: MachineId) -> A1Result<usize> {
         let running = self.running.clone();
         let pending = self.pending.clone();
+        let now = now_ms(farm);
         crate::store::run_a1(farm, origin, move |tx| {
-            let now = now_ms();
             let mut reclaimed = 0;
             for (key, value) in running.scan(tx, &[], &[], 64)? {
                 let body = std::str::from_utf8(&value)

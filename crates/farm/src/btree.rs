@@ -25,7 +25,7 @@ use crate::txn::{Hint, ObjBuf, Txn};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tree shape parameters, fixed at creation and stored in the header object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -263,23 +263,26 @@ impl TreeHeader {
 }
 
 /// Per-proxy cache of internal nodes (and the routing header).
+///
+/// Entry timestamps come from the cluster clock (`Txn::clock_ns`), so TTL
+/// expiry is driven by virtual time under the simulation harness.
 #[derive(Default)]
 struct NodeCache {
-    map: Mutex<HashMap<Addr, (Instant, Arc<Node>)>>,
+    map: Mutex<HashMap<Addr, (u64, Arc<Node>)>>,
 }
 
 impl NodeCache {
-    fn get(&self, addr: Addr) -> Option<Arc<Node>> {
+    fn get(&self, addr: Addr, now_ns: u64) -> Option<Arc<Node>> {
         let map = self.map.lock();
-        let (at, node) = map.get(&addr)?;
-        if at.elapsed() > CACHE_TTL {
+        let (at_ns, node) = map.get(&addr)?;
+        if now_ns.saturating_sub(*at_ns) > CACHE_TTL.as_nanos() as u64 {
             return None;
         }
         Some(node.clone())
     }
 
-    fn put(&self, addr: Addr, node: Arc<Node>) {
-        self.map.lock().insert(addr, (Instant::now(), node));
+    fn put(&self, addr: Addr, node: Arc<Node>, now_ns: u64) {
+        self.map.lock().insert(addr, (now_ns, node));
     }
 
     fn purge(&self, addrs: impl IntoIterator<Item = Addr>) {
@@ -397,7 +400,7 @@ impl BTree {
             loop {
                 // Internal nodes: routing reads (cache / unvalidated).
                 let cached = if use_cache {
-                    self.cache.get(ptr.addr)
+                    self.cache.get(ptr.addr, tx.clock_ns())
                 } else {
                     None
                 };
@@ -418,7 +421,8 @@ impl BTree {
                         };
                         if let Node::Internal { .. } = node {
                             if use_cache {
-                                self.cache.put(ptr.addr, Arc::new(node.clone()));
+                                self.cache
+                                    .put(ptr.addr, Arc::new(node.clone()), tx.clock_ns());
                             }
                         }
                         (buf, node, false)

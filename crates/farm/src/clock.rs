@@ -1,4 +1,5 @@
-//! The global transaction clock and the active-snapshot registry.
+//! Clocks: the global transaction clock, the active-snapshot registry, and
+//! physical per-machine clocks with skew, uncertainty, and leases.
 //!
 //! FaRMv2 introduces a global clock that issues read and write timestamps,
 //! giving every transaction a position in a single serialization order
@@ -10,10 +11,23 @@
 //! garbage collection: the paper notes that snapshot versions used by a
 //! running distributed query "are not garbage collected until the query runs
 //! to completion" (§2.2).
+//!
+//! The rest of the module models the *physical* clocks that FaRM's
+//! lease-based membership actually rests on (§2.1, §5.1): each machine has a
+//! [`MachineClock`] — an injectable [`ClockSource`] reading plus a skew
+//! offset and an uncertainty bound — that can drift, jump, and be
+//! re-synchronized with [`MachineClock::sync`], a Marzullo-style
+//! interval-intersection step ([`marzullo`]). [`Lease`] encodes the
+//! fail-safe validity rules: a holder only trusts its lease when its clock
+//! is not suspect and `now + uncertainty` is still inside the lease; a
+//! grantor only reclaims once `now - uncertainty` is past it. The `a1-sim`
+//! harness drives these through seeded skew/jump scenarios and checks the
+//! lease-safety oracle over them.
 
+use a1_rdma::{ClockSource, MachineId};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Strictly monotonic timestamp oracle.
@@ -109,6 +123,268 @@ impl Drop for TsGuard {
     }
 }
 
+// ---------------------------------------------------------------- physical
+
+/// One clock sample exchanged during synchronization: the estimated offset
+/// of a peer's clock relative to ours, as an interval `[low, high]` in ns
+/// (the width comes from the measurement's round-trip uncertainty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockSample {
+    pub peer: MachineId,
+    pub offset_low_ns: i64,
+    pub offset_high_ns: i64,
+}
+
+/// Marzullo's interval-intersection: the smallest interval contained in the
+/// largest number of sample intervals, provided that number reaches
+/// `quorum`. Tolerates faulty clocks — a sample that disagrees with the
+/// quorum simply doesn't contain the returned interval.
+///
+/// Returns `None` when fewer than `quorum` intervals mutually overlap
+/// anywhere (no agreement), or when `samples`/`quorum` is degenerate.
+pub fn marzullo(samples: &[(i64, i64)], quorum: usize) -> Option<(i64, i64)> {
+    if quorum == 0 || samples.len() < quorum {
+        return None;
+    }
+    // Edge tuples: (value, type). Starts sort before ends at the same value
+    // so touching intervals count as overlapping.
+    let mut edges: Vec<(i64, i8)> = Vec::with_capacity(samples.len() * 2);
+    for &(lo, hi) in samples {
+        if lo > hi {
+            continue; // malformed sample: ignore rather than poison the sweep
+        }
+        edges.push((lo, 0)); // start
+        edges.push((hi, 1)); // end
+    }
+    edges.sort_unstable();
+    let mut depth = 0usize;
+    let mut best: Option<(i64, i64)> = None;
+    let mut best_depth = 0usize;
+    let mut open_at = 0i64;
+    for &(v, kind) in &edges {
+        if kind == 0 {
+            depth += 1;
+            if depth > best_depth {
+                // A strictly deeper overlap invalidates any shallower pick.
+                best_depth = depth;
+                open_at = v;
+                best = None;
+            }
+        } else {
+            if depth == best_depth && best.is_none() {
+                // First end edge at maximal depth closes the smallest
+                // deepest interval (ties at equal depth: earliest wins —
+                // deterministic).
+                best = Some((open_at, v));
+            }
+            depth -= 1;
+        }
+    }
+    if best_depth >= quorum {
+        best
+    } else {
+        None
+    }
+}
+
+/// Outcome of a [`MachineClock::sync`] step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// Correction applied to the skew offset, in ns (signed).
+    pub correction_ns: i64,
+    /// New uncertainty bound after the sync.
+    pub uncertainty_ns: u64,
+    /// True when the correction exceeded the drift bound the caller passed —
+    /// the clock had jumped or drifted beyond spec and was clamped back.
+    pub was_out_of_bounds: bool,
+}
+
+/// A machine's physical clock: an injectable base [`ClockSource`] plus a
+/// skew offset (drift/jump injection), an uncertainty bound, and a
+/// backward-jump detector. Readings are clamped monotonic; observing a raw
+/// regression marks the clock *suspect*, which fail-safes every lease
+/// validity check until the next successful [`MachineClock::sync`].
+#[derive(Debug)]
+pub struct MachineClock {
+    source: Arc<dyn ClockSource>,
+    skew_ns: AtomicI64,
+    uncertainty_ns: AtomicU64,
+    last_read_ns: AtomicU64,
+    suspect: AtomicBool,
+}
+
+impl MachineClock {
+    pub fn new(source: Arc<dyn ClockSource>, uncertainty_ns: u64) -> Arc<MachineClock> {
+        Arc::new(MachineClock {
+            source,
+            skew_ns: AtomicI64::new(0),
+            uncertainty_ns: AtomicU64::new(uncertainty_ns),
+            last_read_ns: AtomicU64::new(0),
+            suspect: AtomicBool::new(false),
+        })
+    }
+
+    /// The raw skewed reading (no monotonic clamp). Sim oracles use this to
+    /// compare against true time.
+    pub fn raw_ns(&self) -> u64 {
+        self.source
+            .now_ns()
+            .saturating_add_signed(self.skew_ns.load(Ordering::SeqCst))
+    }
+
+    /// Monotonic local time. A raw reading behind the previous one (a
+    /// backward jump) returns the previous reading and marks the clock
+    /// suspect instead of going backward.
+    pub fn now_ns(&self) -> u64 {
+        let raw = self.raw_ns();
+        let mut prev = self.last_read_ns.load(Ordering::SeqCst);
+        loop {
+            if raw < prev {
+                self.suspect.store(true, Ordering::SeqCst);
+                return prev;
+            }
+            match self.last_read_ns.compare_exchange_weak(
+                prev,
+                raw,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return raw,
+                Err(now) => prev = now,
+            }
+        }
+    }
+
+    /// Inject a skew jump (sim fault): positive = clock runs ahead of true
+    /// time. A backward jump is detected at the next read.
+    pub fn jump_ns(&self, delta: i64) {
+        self.skew_ns.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    pub fn skew_ns(&self) -> i64 {
+        self.skew_ns.load(Ordering::SeqCst)
+    }
+
+    pub fn uncertainty_ns(&self) -> u64 {
+        self.uncertainty_ns.load(Ordering::SeqCst)
+    }
+
+    pub fn is_suspect(&self) -> bool {
+        self.suspect.load(Ordering::SeqCst)
+    }
+
+    /// Synchronize against peer clock samples (offset intervals relative to
+    /// this clock) with a Marzullo intersection over `quorum` sources.
+    /// Applies the midpoint of the agreement interval as a correction,
+    /// shrinks uncertainty to the interval's half-width plus `floor_ns`, and
+    /// clears the suspect flag. Corrections larger than `drift_bound_ns`
+    /// report `was_out_of_bounds` — this clock had wandered outside spec and
+    /// the quorum pulled it back.
+    ///
+    /// Returns `None` (clock unchanged, still suspect if it was) when no
+    /// quorum agreement exists.
+    pub fn sync(
+        &self,
+        samples: &[ClockSample],
+        quorum: usize,
+        drift_bound_ns: u64,
+        floor_ns: u64,
+    ) -> Option<SyncOutcome> {
+        let intervals: Vec<(i64, i64)> = samples
+            .iter()
+            .map(|s| (s.offset_low_ns, s.offset_high_ns))
+            .collect();
+        let (lo, hi) = marzullo(&intervals, quorum)?;
+        let correction = lo.midpoint(hi);
+        let half_width = ((hi - lo) / 2).unsigned_abs();
+        self.skew_ns.fetch_add(correction, Ordering::SeqCst);
+        self.uncertainty_ns
+            .store(half_width + floor_ns, Ordering::SeqCst);
+        // A correction can move raw time backward; the monotonic clamp in
+        // `now_ns` absorbs it, and the fresh sync clears the suspicion.
+        self.suspect.store(false, Ordering::SeqCst);
+        self.last_read_ns.fetch_max(self.raw_ns(), Ordering::SeqCst);
+        Some(SyncOutcome {
+            correction_ns: correction,
+            uncertainty_ns: half_width + floor_ns,
+            was_out_of_bounds: correction.unsigned_abs() > drift_bound_ns,
+        })
+    }
+}
+
+/// A membership/object lease (§2.1): `holder` may act as owner until
+/// `expires_at_ns` on the granting clock. Both sides check with their own
+/// skewed clocks, so validity is asymmetric by design — the uncertainty
+/// margins make the overlap fail-safe as long as skews stay within bounds,
+/// and the suspect flag fail-safes the holder when they don't.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    pub holder: MachineId,
+    pub expires_at_ns: u64,
+}
+
+impl Lease {
+    /// Holder side: conservatively valid only while the holder's clock is
+    /// trustworthy and even a maximally-fast local clock is inside the
+    /// lease.
+    pub fn holder_valid(&self, clock: &MachineClock) -> bool {
+        // Read first: a backward jump is only *detected* by a read, so the
+        // suspect check must come after it or the first check after a jump
+        // would trust a clock that just went backward.
+        let now = clock.now_ns();
+        !clock.is_suspect() && now.saturating_add(clock.uncertainty_ns()) < self.expires_at_ns
+    }
+
+    /// Grantor side: conservatively expired only once even a maximally-slow
+    /// grantor clock is past the lease.
+    pub fn grantor_expired(&self, clock: &MachineClock) -> bool {
+        clock.now_ns().saturating_sub(clock.uncertainty_ns()) > self.expires_at_ns
+    }
+}
+
+/// Grants and renews leases against a grantor clock.
+#[derive(Debug)]
+pub struct LeaseManager {
+    clock: Arc<MachineClock>,
+    duration_ns: u64,
+}
+
+impl LeaseManager {
+    pub fn new(clock: Arc<MachineClock>, duration_ns: u64) -> LeaseManager {
+        LeaseManager { clock, duration_ns }
+    }
+
+    pub fn duration_ns(&self) -> u64 {
+        self.duration_ns
+    }
+
+    pub fn grant(&self, holder: MachineId) -> Lease {
+        Lease {
+            holder,
+            expires_at_ns: self.clock.now_ns() + self.duration_ns,
+        }
+    }
+
+    /// Renew iff the lease is still valid from the grantor's view (a holder
+    /// whose lease already expired must re-acquire, not renew).
+    pub fn renew(&self, lease: &Lease) -> Option<Lease> {
+        if lease.grantor_expired(&self.clock) {
+            None
+        } else {
+            Some(Lease {
+                holder: lease.holder,
+                expires_at_ns: self.clock.now_ns() + self.duration_ns,
+            })
+        }
+    }
+
+    /// The grantor may reclaim (re-grant to someone else) only when its
+    /// conservative expiry check passes.
+    pub fn reclaimable(&self, lease: &Lease) -> bool {
+        lease.grantor_expired(&self.clock)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +418,108 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), n, "timestamps must be unique");
+    }
+
+    #[test]
+    fn marzullo_basic_intersection() {
+        // Three agreeing sources: intersection is [8, 10].
+        let got = marzullo(&[(0, 10), (8, 20), (5, 12)], 3);
+        assert_eq!(got, Some((8, 10)));
+        // Quorum 2 of the same set: deepest overlap still wins.
+        assert_eq!(marzullo(&[(0, 10), (8, 20), (5, 12)], 2), Some((8, 10)));
+    }
+
+    #[test]
+    fn marzullo_tolerates_outlier() {
+        // One liar far away; quorum of 2 honest sources agree on [4, 6].
+        let got = marzullo(&[(4, 8), (2, 6), (1000, 1010)], 2);
+        assert_eq!(got, Some((4, 6)));
+    }
+
+    #[test]
+    fn marzullo_no_quorum() {
+        assert_eq!(marzullo(&[(0, 1), (10, 11), (20, 21)], 2), None);
+        assert_eq!(marzullo(&[(0, 1)], 2), None);
+        assert_eq!(marzullo(&[], 1), None);
+        assert_eq!(marzullo(&[(0, 1)], 0), None);
+    }
+
+    #[test]
+    fn marzullo_touching_intervals_count() {
+        assert_eq!(marzullo(&[(0, 5), (5, 10)], 2), Some((5, 5)));
+    }
+
+    #[test]
+    fn machine_clock_skew_and_backward_jump() {
+        let base = a1_rdma::VirtualClock::new();
+        base.advance(1_000);
+        let mc = MachineClock::new(base.clone(), 10);
+        assert_eq!(mc.now_ns(), 1_000);
+        mc.jump_ns(500);
+        assert_eq!(mc.now_ns(), 1_500);
+        assert!(!mc.is_suspect());
+        // Backward jump: reading clamps to the previous value and the clock
+        // turns suspect.
+        mc.jump_ns(-900);
+        assert_eq!(mc.now_ns(), 1_500, "monotonic clamp");
+        assert!(mc.is_suspect());
+        // Sync against honest peers (offset ≈ -(-400) relative error)
+        // clears suspicion and corrects skew.
+        let skew = mc.skew_ns(); // -400
+        let samples = [
+            ClockSample {
+                peer: MachineId(1),
+                offset_low_ns: -skew - 5,
+                offset_high_ns: -skew + 5,
+            },
+            ClockSample {
+                peer: MachineId(2),
+                offset_low_ns: -skew - 7,
+                offset_high_ns: -skew + 7,
+            },
+        ];
+        let out = mc.sync(&samples, 2, 100, 2).expect("quorum");
+        assert!(out.was_out_of_bounds, "400ns correction > 100ns bound");
+        assert!(!mc.is_suspect());
+        assert_eq!(mc.skew_ns(), 0, "skew corrected to the agreement midpoint");
+    }
+
+    #[test]
+    fn lease_margins_are_fail_safe() {
+        let base = a1_rdma::VirtualClock::new();
+        base.advance(1_000_000);
+        let grantor = MachineClock::new(base.clone(), 1_000);
+        let holder = MachineClock::new(base.clone(), 1_000);
+        let mgr = LeaseManager::new(grantor.clone(), 100_000);
+        let lease = mgr.grant(MachineId(1));
+        assert!(lease.holder_valid(&holder));
+        assert!(!mgr.reclaimable(&lease));
+        // Just before expiry the holder's uncertainty margin already
+        // invalidates it, while the grantor does not yet reclaim.
+        base.advance(99_500);
+        assert!(!lease.holder_valid(&holder), "holder margin kicked in");
+        assert!(!mgr.reclaimable(&lease), "grantor margin still holding");
+        // Well past expiry both sides agree.
+        base.advance(2_000);
+        assert!(!lease.holder_valid(&holder));
+        assert!(mgr.reclaimable(&lease));
+        assert!(mgr.renew(&lease).is_none(), "expired leases re-acquire");
+    }
+
+    #[test]
+    fn suspect_clock_invalidates_lease() {
+        let base = a1_rdma::VirtualClock::new();
+        base.advance(1_000_000);
+        let holder = MachineClock::new(base.clone(), 100);
+        let lease = Lease {
+            holder: MachineId(1),
+            expires_at_ns: u64::MAX,
+        };
+        assert!(lease.holder_valid(&holder));
+        holder.jump_ns(-5_000);
+        let _ = holder.now_ns(); // observe the regression
+        assert!(holder.is_suspect());
+        assert!(!lease.holder_valid(&holder), "suspect clock fail-safes");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The FaRM cluster: machines + CM + clock + commit protocol execution.
 
 use crate::addr::{Addr, Ptr, RegionId};
-use crate::clock::{GlobalClock, TsRegistry};
+use crate::clock::{GlobalClock, MachineClock, TsRegistry};
 use crate::cm::{ConfigManager, Placement, ReconfigAction};
 use crate::error::{FarmError, FarmResult};
 use crate::layout::{ObjHeader, HEADER, STATE_FREE, STATE_LIVE, STATE_TOMBSTONE};
@@ -33,6 +33,8 @@ pub struct FarmConfig {
     pub lock_wait_spins: u32,
     /// Automatically run failure detection when a kill is injected.
     pub auto_detect_failures: bool,
+    /// Initial per-machine clock uncertainty bound (lease margins, §5.1).
+    pub clock_uncertainty_ns: u64,
 }
 
 impl Default for FarmConfig {
@@ -45,6 +47,7 @@ impl Default for FarmConfig {
             max_txn_retries: 256,
             lock_wait_spins: 1_000_000,
             auto_detect_failures: true,
+            clock_uncertainty_ns: 10_000,
         }
     }
 }
@@ -82,6 +85,9 @@ pub struct FarmCluster {
     cfg: FarmConfig,
     fabric: Arc<Fabric>,
     clock: GlobalClock,
+    /// Per-machine physical clocks over the fabric's injectable time source
+    /// (skew/uncertainty live here; lease checks read them).
+    machine_clocks: Vec<Arc<MachineClock>>,
     registry: Arc<TsRegistry>,
     machines: Vec<Arc<FarmMachine>>,
     cm: ConfigManager,
@@ -107,9 +113,13 @@ impl FarmCluster {
             .map(|i| fabric.rack_of(MachineId(i)))
             .collect();
         let cm = ConfigManager::new(racks, cfg.replicas);
+        let machine_clocks = (0..cfg.fabric.machines)
+            .map(|_| MachineClock::new(fabric.clock().clone(), cfg.clock_uncertainty_ns))
+            .collect();
         let cluster = Arc::new(FarmCluster {
             fabric,
             clock: GlobalClock::new(),
+            machine_clocks,
             registry: TsRegistry::new(),
             machines,
             cm,
@@ -152,6 +162,12 @@ impl FarmCluster {
 
     pub fn fabric(&self) -> &Arc<Fabric> {
         &self.fabric
+    }
+
+    /// Machine `m`'s physical clock (skew injection, lease margins). Panics
+    /// on an unknown machine id.
+    pub fn machine_clock(&self, m: MachineId) -> &Arc<MachineClock> {
+        &self.machine_clocks[m.0 as usize]
     }
 
     pub fn clock(&self) -> &GlobalClock {
@@ -232,15 +248,10 @@ impl FarmCluster {
         mut f: impl FnMut(&mut Txn) -> FarmResult<T>,
     ) -> FarmResult<T> {
         // The canonical Fig. 3 loop retries until commit; the (large) retry
-        // budget only bounds pathological livelock. Backoff is jittered per
-        // thread so contending retriers desynchronize.
+        // budget only bounds pathological livelock. Backoff is jittered from
+        // the cluster RNG so contending retriers desynchronize — and so a
+        // seeded simulation run replays the same jitter sequence.
         let mut backoff_us = 2u64;
-        let jitter_seed = {
-            use std::hash::{Hash, Hasher};
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            std::thread::current().id().hash(&mut h);
-            h.finish()
-        };
         for attempt in 0..=self.cfg.max_txn_retries {
             self.check_paused()?;
             let mut tx = self.begin(origin);
@@ -258,8 +269,8 @@ impl FarmCluster {
                     return Err(e);
                 }
             }
-            let jitter = 1 + (jitter_seed.wrapping_mul(attempt as u64 + 1) % 7);
-            std::thread::sleep(std::time::Duration::from_micros(
+            let jitter = 1 + self.fabric.rng().gen_range(7);
+            self.fabric.clock().sleep(std::time::Duration::from_micros(
                 (backoff_us + jitter).min(300),
             ));
             backoff_us = backoff_us.saturating_mul(2);

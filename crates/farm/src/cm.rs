@@ -192,7 +192,11 @@ impl ConfigManager {
         s.load[dead.0 as usize] = 0;
 
         let mut actions = Vec::new();
-        let region_ids: Vec<u32> = s.placements.keys().copied().collect();
+        // Sorted iteration: the placements map is a HashMap, and the order
+        // reconfiguration actions are emitted in must be a deterministic
+        // function of cluster state for seeded simulation replay.
+        let mut region_ids: Vec<u32> = s.placements.keys().copied().collect();
+        region_ids.sort_unstable();
         for rid in region_ids {
             let placement = s.placements.get(&rid).expect("key just listed").clone();
             if !placement.contains(dead) {

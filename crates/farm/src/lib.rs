@@ -37,10 +37,16 @@ pub mod txn;
 
 pub use addr::{Addr, Ptr, RegionId};
 pub use btree::{BTree, BTreeConfig};
-pub use clock::{GlobalClock, TsGuard, TsRegistry};
+pub use clock::{
+    marzullo, ClockSample, GlobalClock, Lease, LeaseManager, MachineClock, SyncOutcome, TsGuard,
+    TsRegistry,
+};
 pub use cluster::{FarmCluster, FarmConfig};
 pub use error::{FarmError, FarmResult};
 pub use layout::ObjHeader;
 pub use txn::{Hint, ObjBuf, Txn, TxnMode};
 
-pub use a1_rdma::{FabricConfig, JobClass, LatencyModel, MachineId, ScopedJob, WorkerPool};
+pub use a1_rdma::{
+    ClockSource, ClusterRng, FabricConfig, FaultDecision, FaultInjector, JobClass, LatencyModel,
+    MachineId, NetOp, RealClock, ScopedJob, VirtualClock, WorkerPool,
+};

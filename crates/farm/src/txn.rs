@@ -158,6 +158,11 @@ impl Txn {
         self.read_only
     }
 
+    /// Cluster-clock reading for cache TTLs — virtual under simulation.
+    pub(crate) fn clock_ns(&self) -> u64 {
+        self.cluster.fabric().clock().now_ns()
+    }
+
     /// Read an object. In `V2Mvcc`, the result is the object's state at this
     /// transaction's snapshot; read-write transactions whose snapshot is
     /// already stale abort immediately with `Conflict` (they could never

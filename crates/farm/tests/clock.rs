@@ -1,0 +1,171 @@
+//! Property tests for the physical-clock layer (`farm/src/clock.rs`):
+//! Marzullo interval intersection and lease safety under skew, uncertainty,
+//! and backward clock jumps. All time here is virtual — the tests drive a
+//! `VirtualClock` explicitly, so they are deterministic and instant.
+
+use a1_farm::{
+    marzullo, ClockSample, ClockSource, Lease, LeaseManager, MachineClock, MachineId, VirtualClock,
+};
+use proptest::prelude::*;
+
+/// Number of intervals (ignoring malformed lo > hi ones) containing `x`.
+fn depth_at(samples: &[(i64, i64)], x: i64) -> usize {
+    samples
+        .iter()
+        .filter(|&&(lo, hi)| lo <= hi && lo <= x && x <= hi)
+        .count()
+}
+
+/// Brute-force maximum overlap depth: the depth is maximized at some
+/// interval endpoint, so scanning edges is exhaustive.
+fn brute_max_depth(samples: &[(i64, i64)]) -> usize {
+    samples
+        .iter()
+        .filter(|&&(lo, hi)| lo <= hi)
+        .flat_map(|&(lo, hi)| [lo, hi])
+        .map(|e| depth_at(samples, e))
+        .max()
+        .unwrap_or(0)
+}
+
+fn arb_interval() -> impl Strategy<Value = (i64, i64)> {
+    // Mostly well-formed intervals, some malformed (lo > hi) to exercise the
+    // skip path.
+    (-1_000i64..1_000, 0i64..400).prop_map(|(lo, w)| (lo, lo + w - 50))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// Agreement-interval correctness against a brute-force reference:
+    /// `marzullo` returns an interval exactly when some point is covered by
+    /// at least `quorum` sources, and the returned interval sits at the
+    /// maximal overlap depth (every endpoint covered by `max_depth` sources).
+    #[test]
+    fn marzullo_matches_brute_force(
+        samples in prop::collection::vec(arb_interval(), 0..12),
+        quorum in 1usize..8,
+    ) {
+        let max_depth = brute_max_depth(&samples);
+        match marzullo(&samples, quorum) {
+            Some((lo, hi)) => {
+                prop_assert!(max_depth >= quorum);
+                prop_assert!(lo <= hi);
+                prop_assert_eq!(depth_at(&samples, lo), max_depth);
+                prop_assert_eq!(depth_at(&samples, hi), max_depth);
+            }
+            None => prop_assert!(max_depth < quorum),
+        }
+    }
+
+    /// Fault tolerance: with `n` good sources whose intervals all contain
+    /// the true offset `t` (half-width ≤ W) and `f < n` arbitrary faulty
+    /// sources, a quorum of `n` guarantees the agreement interval is
+    /// contained in at least `n - f ≥ 1` good intervals — so every point of
+    /// it lies within W of the truth, no matter what the faulty clocks say.
+    #[test]
+    fn marzullo_tolerates_f_faulty_clocks(
+        t in -500i64..500,
+        good_widths in prop::collection::vec((0i64..100, 0i64..100), 3..7),
+        faulty in prop::collection::vec((-10_000i64..10_000, 0i64..20_000), 0..3),
+    ) {
+        let n = good_widths.len();
+        let mut samples: Vec<(i64, i64)> =
+            good_widths.iter().map(|&(w_lo, w_hi)| (t - w_lo, t + w_hi)).collect();
+        // Keep f < n so at least one good interval contains the result.
+        samples.extend(faulty.iter().take(n - 1).map(|&(lo, w)| (lo, lo + w)));
+        let (lo, hi) = marzullo(&samples, n).expect("n good sources agree at t");
+        prop_assert!((lo - t).abs() <= 100, "lo {} strays from truth {}", lo, t);
+        prop_assert!((hi - t).abs() <= 100, "hi {} strays from truth {}", hi, t);
+    }
+
+    /// Lease safety: as long as the holder/grantor skew difference stays
+    /// within the combined uncertainty margin (2U), there is no instant at
+    /// which the holder still considers its lease valid while the grantor
+    /// already considers it reclaimable.
+    #[test]
+    fn lease_never_valid_and_reclaimable_under_bounded_skew(
+        uncertainty in 1u64..50_000,
+        holder_skew in -40_000i64..40_000,
+        skew_delta in -2i64..3,           // scaled by U below
+        lease_us in 1u64..500,
+        steps in prop::collection::vec(1u64..200_000, 1..20),
+    ) {
+        let base = VirtualClock::starting_at(1 << 30);
+        let holder_clock = MachineClock::new(base.clone(), uncertainty);
+        let grantor_clock = MachineClock::new(base.clone(), uncertainty);
+        holder_clock.jump_ns(holder_skew);
+        grantor_clock.jump_ns(holder_skew + skew_delta * uncertainty as i64);
+
+        let mgr = LeaseManager::new(grantor_clock.clone(), lease_us * 1_000);
+        let lease = mgr.grant(MachineId(1));
+        for step in steps {
+            base.advance(step);
+            let valid = lease.holder_valid(&holder_clock);
+            let reclaimable = mgr.reclaimable(&lease);
+            prop_assert!(
+                !(valid && reclaimable),
+                "split-brain window: lease both held and reclaimable"
+            );
+        }
+    }
+
+    /// A backward clock jump on the holder fail-safes the lease: the next
+    /// read marks the clock suspect and the holder stops trusting its lease
+    /// immediately, regardless of how much lease time notionally remains.
+    #[test]
+    fn backward_jump_invalidates_lease_until_sync(
+        jump in 1i64..1_000_000,
+        uncertainty in 1u64..10_000,
+    ) {
+        let base = VirtualClock::starting_at(1 << 30);
+        let clock = MachineClock::new(base.clone(), uncertainty);
+        let mgr = LeaseManager::new(clock.clone(), 10_000_000); // 10ms lease
+        let lease = mgr.grant(MachineId(2));
+        prop_assert!(lease.holder_valid(&clock));
+
+        clock.jump_ns(-jump);
+        prop_assert!(!lease.holder_valid(&clock), "suspect clock must fail-safe");
+        prop_assert!(clock.is_suspect());
+
+        // A quorum sync that agrees our clock is `jump` behind restores
+        // trust (and corrects the skew back to zero).
+        let samples: Vec<ClockSample> = (0..3)
+            .map(|i| ClockSample {
+                peer: MachineId(10 + i),
+                offset_low_ns: jump - 1,
+                offset_high_ns: jump + 1,
+            })
+            .collect();
+        let out = clock.sync(&samples, 3, 1 << 40, 0).expect("quorum agrees");
+        prop_assert_eq!(out.correction_ns, jump);
+        prop_assert!(!clock.is_suspect());
+        prop_assert_eq!(clock.skew_ns(), 0);
+        prop_assert!(lease.holder_valid(&clock));
+    }
+}
+
+/// Exact expiry boundaries: the holder gives up an uncertainty margin
+/// *early* and the grantor waits an uncertainty margin *late*, so their
+/// views never overlap the wrong way around the expiry instant.
+#[test]
+fn lease_expiry_boundaries_are_strict() {
+    let base = VirtualClock::starting_at(1_000_000);
+    let clock = MachineClock::new(base.clone(), 1_000);
+    let lease = Lease {
+        holder: MachineId(0),
+        expires_at_ns: base.now_ns() + 100_000,
+    };
+
+    // Holder margin: invalid as soon as now + U reaches expiry.
+    base.advance(100_000 - 1_000 - 1); // now + U == expires - 1
+    assert!(lease.holder_valid(&clock));
+    base.advance(1); // now + U == expires
+    assert!(!lease.holder_valid(&clock));
+
+    // Grantor margin: reclaimable only once now - U passes expiry.
+    base.advance(1_000 + 1_000); // now == expires + U
+    assert!(!lease.grantor_expired(&clock));
+    base.advance(1); // now - U == expires + 1
+    assert!(lease.grantor_expired(&clock));
+}

@@ -33,7 +33,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How records map to partitions.
 #[derive(Debug, Clone)]
@@ -203,6 +203,33 @@ impl IngestPipeline {
         self.submit(MutationRecord::parse(text)?)
     }
 
+    /// Synchronously group-commit a batch on the calling thread: the same
+    /// dedup → apply → watermark-advance → commit transaction the applier
+    /// threads run, minus the queueing. One attempt, no retry/bisect — the
+    /// caller owns the retry policy. The simulation harness drives ingest
+    /// through this so batch boundaries and commit order are deterministic;
+    /// records passed here must not also be `submit`ted.
+    pub fn commit_batch(
+        &self,
+        machine: MachineId,
+        part: u32,
+        recs: &[MutationRecord],
+    ) -> A1Result<(u64, u64)> {
+        let (applied, deduped) = self.shared.try_commit(machine, part, recs)?;
+        self.shared
+            .metrics
+            .applied
+            .fetch_add(applied, Ordering::Relaxed);
+        self.shared
+            .metrics
+            .deduped
+            .fetch_add(deduped, Ordering::Relaxed);
+        if applied > 0 {
+            self.shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((applied, deduped))
+    }
+
     /// Which partition a routing key maps to.
     pub fn partition_of(&self, key: &str) -> usize {
         match &self.shared.cfg.partitioner {
@@ -222,6 +249,10 @@ impl IngestPipeline {
                     "ingest appliers exited with records pending".into(),
                 ));
             }
+            // Wall-clock on purpose: this polls *real* applier threads, so
+            // a virtual-clock sleep (which returns instantly and advances
+            // sim time) would spin. Simulation drives commits via
+            // `commit_batch_in` on its own thread instead of flush().
             std::thread::sleep(Duration::from_micros(100));
         }
         Ok(())
@@ -295,7 +326,11 @@ fn applier_loop(shared: Arc<Shared>, part: u32, machine: MachineId, rx: Receiver
         batch.push(first);
         // Group commit: gather up to batch_size records, waiting at most
         // flush_interval past the first so a trickle still commits promptly.
-        let deadline = Instant::now() + shared.cfg.flush_interval;
+        // The deadline comes from the cluster clock; under a virtual clock
+        // an empty queue commits the partial batch immediately instead of
+        // blocking on wall time, so batch boundaries are deterministic.
+        let clock = shared.inner.farm.fabric().clock().clone();
+        let deadline_ns = clock.now_ns() + shared.cfg.flush_interval.as_nanos() as u64;
         while batch.len() < shared.cfg.batch_size {
             match rx.try_recv() {
                 Ok(r) => {
@@ -305,11 +340,11 @@ fn applier_loop(shared: Arc<Shared>, part: u32, machine: MachineId, rx: Receiver
                 Err(TryRecvError::Disconnected) => break,
                 Err(TryRecvError::Empty) => {}
             }
-            let now = Instant::now();
-            if now >= deadline {
+            let now_ns = clock.now_ns();
+            if now_ns >= deadline_ns || clock.is_virtual() {
                 break;
             }
-            match rx.recv_timeout(deadline - now) {
+            match rx.recv_timeout(Duration::from_nanos(deadline_ns - now_ns)) {
                 Ok(r) => batch.push(r),
                 Err(_) => break,
             }
@@ -367,7 +402,7 @@ impl Shared {
                 Err(e) if e.is_retryable() && attempt < max_retries => {
                     attempt += 1;
                     self.metrics.batch_retries.fetch_add(1, Ordering::Relaxed);
-                    conflict_backoff(attempt, 10_000);
+                    conflict_backoff(&self.inner.farm, attempt, 10_000);
                 }
                 Err(e) => {
                     if recs.len() > 1 {
@@ -429,7 +464,9 @@ impl Shared {
         // Committed watermark per source (read once per batch) and the
         // batch's own running max, for intra-batch duplicates.
         let mut committed: HashMap<&str, Option<u64>> = HashMap::new();
-        let mut planned: HashMap<&str, u64> = HashMap::new();
+        // BTreeMap: the watermark writes below iterate this map, and their
+        // order must be stable for deterministic replay under simulation.
+        let mut planned: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
         let (mut applied, mut deduped) = (0u64, 0u64);
         for r in recs {
             if self.cfg.dedup {

@@ -1,0 +1,170 @@
+//! Injectable time: the one place the stack reads a clock or sleeps.
+//!
+//! Every timer in the system — latency injection, conflict backoff,
+//! continuation TTLs, ingest flush intervals, lease expiry — goes through a
+//! [`ClockSource`] so that the deterministic simulation harness (`a1-sim`)
+//! can substitute a [`VirtualClock`] and own the passage of time. Real
+//! deployments use [`RealClock`], whose behavior is byte-identical to the
+//! direct `Instant::now()` / `thread::sleep` calls it replaced.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time and (possibly virtual) sleeps.
+///
+/// `now_ns` is nanoseconds since an arbitrary per-clock epoch (the clock's
+/// creation), **not** wall-clock time — callers may only compare readings
+/// from the same clock. `sleep` blocks the caller under a real clock and
+/// merely advances time under a virtual one.
+pub trait ClockSource: Send + Sync + std::fmt::Debug {
+    /// Monotonic nanoseconds since this clock's epoch.
+    fn now_ns(&self) -> u64;
+
+    /// Wait for `d` to pass. Real clocks block the calling thread; virtual
+    /// clocks advance `now_ns` by `d` and return immediately.
+    fn sleep(&self, d: Duration);
+
+    /// True when sleeps cost no wall-clock time (simulation).
+    fn is_virtual(&self) -> bool {
+        false
+    }
+}
+
+/// The default clock: monotonic `Instant` readings, real sleeps.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    pub fn new() -> RealClock {
+        RealClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A fresh shared handle (each clock has its own epoch).
+    pub fn shared() -> Arc<RealClock> {
+        Arc::new(RealClock::new())
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClockSource for RealClock {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn sleep(&self, d: Duration) {
+        spin_for(d);
+    }
+}
+
+/// Simulated time: an atomic nanosecond counter that only moves when someone
+/// advances it. `sleep` advances the counter, so code that "waits" under a
+/// virtual clock costs no wall-clock time — the basis for both deterministic
+/// scenario replay and running latency-injected perf suites instantly.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: AtomicU64,
+}
+
+impl VirtualClock {
+    pub fn new() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::default())
+    }
+
+    pub fn starting_at(ns: u64) -> Arc<VirtualClock> {
+        Arc::new(VirtualClock {
+            now: AtomicU64::new(ns),
+        })
+    }
+
+    /// Advance time by `ns` and return the new now.
+    pub fn advance(&self, ns: u64) -> u64 {
+        self.now.fetch_add(ns, Ordering::SeqCst) + ns
+    }
+
+    /// Advance time to at least `ns` (no-op if already past).
+    pub fn advance_to(&self, ns: u64) {
+        self.now.fetch_max(ns, Ordering::SeqCst);
+    }
+}
+
+impl ClockSource for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d.as_nanos() as u64);
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+/// Busy-wait for very short durations; sleep for long ones. Spinning keeps
+/// microsecond injections accurate (OS sleep granularity is ~50 µs+).
+pub(crate) fn spin_for(d: Duration) {
+    if d >= Duration::from_micros(200) {
+        std::thread::sleep(d);
+        return;
+    }
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_monotonic() {
+        let c = RealClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+        assert!(!c.is_virtual());
+    }
+
+    #[test]
+    fn real_clock_sleep_passes_time() {
+        let c = RealClock::new();
+        let t0 = c.now_ns();
+        c.sleep(Duration::from_micros(300));
+        assert!(c.now_ns() - t0 >= 250_000);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_advanced() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(c.now_ns(), 0, "wall time must not leak in");
+        assert_eq!(c.advance(50), 50);
+        c.advance_to(40); // no-op backwards
+        assert_eq!(c.now_ns(), 50);
+        c.advance_to(70);
+        assert_eq!(c.now_ns(), 70);
+        assert!(c.is_virtual());
+    }
+
+    #[test]
+    fn virtual_sleep_advances_instantly() {
+        let c = VirtualClock::new();
+        let t0 = Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert!(t0.elapsed() < Duration::from_millis(100));
+        assert_eq!(c.now_ns(), 3_600_000_000_000);
+    }
+}

@@ -1,15 +1,18 @@
 //! The fabric: one-sided verbs, RPC and datagrams between machines.
 
+use crate::clock::ClockSource;
+use crate::fault::{FaultDecision, FaultInjector, NetOp};
 #[cfg(test)]
 use crate::machine::Segment;
 use crate::machine::{Machine, RpcHandler, UdHandler};
 use crate::metrics::Metrics;
+use crate::rng::ClusterRng;
 use crate::{FabricConfig, MachineId};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Network-level failures. These model NIC/communication errors; the storage
 /// layers above translate them into retries or reconfiguration.
@@ -49,7 +52,9 @@ pub struct Fabric {
     cfg: FabricConfig,
     machines: Vec<Arc<Machine>>,
     metrics: Metrics,
-    rng: Mutex<u64>,
+    clock: Arc<dyn ClockSource>,
+    rng: ClusterRng,
+    fault: RwLock<Option<Arc<dyn FaultInjector>>>,
     inject: std::sync::atomic::AtomicBool,
 }
 
@@ -70,16 +75,60 @@ impl Fabric {
         Arc::new(Fabric {
             machines,
             metrics: Metrics::default(),
-            rng: Mutex::new(cfg.seed | 1),
+            clock: cfg.clock.clone(),
+            rng: ClusterRng::new(cfg.seed),
+            fault: RwLock::new(None),
             inject: std::sync::atomic::AtomicBool::new(cfg.inject_latency),
             cfg,
         })
     }
 
     /// Toggle wall-clock latency injection at runtime. Benchmarks bulk-load
-    /// with injection off, then flip it on for the measured phase.
+    /// with injection off, then flip it on for the measured phase. Under a
+    /// virtual [`ClockSource`] the injected "sleeps" advance simulated time
+    /// instead of spinning, so injection costs no wall clock.
     pub fn set_inject_latency(&self, on: bool) {
         self.inject.store(on, Ordering::Relaxed);
+    }
+
+    /// The fabric's time source (the cluster-wide injectable clock).
+    pub fn clock(&self) -> &Arc<dyn ClockSource> {
+        &self.clock
+    }
+
+    /// The cluster's seedable RNG handle (jitter, drop decisions).
+    pub fn rng(&self) -> &ClusterRng {
+        &self.rng
+    }
+
+    /// Install (or clear) the fault injector consulted on every operation.
+    pub fn set_fault_injector(&self, injector: Option<Arc<dyn FaultInjector>>) {
+        *self.fault.write() = injector;
+    }
+
+    /// Consult the fault injector. Returns extra delay ns, or the error a
+    /// dropped op must surface (`None` in `Err` means "silently vanish",
+    /// used for datagrams).
+    fn fault_gate(
+        &self,
+        op: NetOp,
+        from: MachineId,
+        to: MachineId,
+        len: usize,
+    ) -> Result<u64, Option<NetError>> {
+        let guard = self.fault.read();
+        let Some(inj) = guard.as_ref() else {
+            return Ok(0);
+        };
+        match inj.decide(op, from, to, len) {
+            FaultDecision::Deliver => Ok(0),
+            FaultDecision::Delay(ns) => Ok(ns),
+            FaultDecision::Drop => Err(match op {
+                NetOp::Ud => None,
+                NetOp::RpcReply => Some(NetError::RpcDropped),
+                _ => Some(NetError::MachineUnreachable(to)),
+            }),
+        }
     }
 
     pub fn config(&self) -> &FabricConfig {
@@ -137,7 +186,9 @@ impl Fabric {
     fn charge(&self, ns: u64) {
         self.metrics.sim_ns.fetch_add(ns, Ordering::Relaxed);
         if self.inject.load(Ordering::Relaxed) {
-            spin_for(Duration::from_nanos(ns));
+            // RealClock spins/sleeps for wall-clock fidelity; VirtualClock
+            // advances simulated time instantly.
+            self.clock.sleep(Duration::from_nanos(ns));
         }
     }
 
@@ -158,6 +209,9 @@ impl Fabric {
         off: usize,
         len: usize,
     ) -> Result<Bytes, NetError> {
+        let delay = self
+            .fault_gate(NetOp::Read, from, to, len)
+            .map_err(|e| e.expect("one-sided drops carry an error"))?;
         let target = self.target(to)?;
         let seg = target
             .segment(seg_id)
@@ -171,11 +225,13 @@ impl Fabric {
         self.metrics
             .bytes_read
             .fetch_add(len as u64, Ordering::Relaxed);
-        self.charge(self.cfg.latency.one_sided_ns(
-            local,
-            self.rack_of(from) == self.rack_of(to),
-            len,
-        ));
+        self.charge(
+            delay
+                + self
+                    .cfg
+                    .latency
+                    .one_sided_ns(local, self.rack_of(from) == self.rack_of(to), len),
+        );
         seg.read(off, len).ok_or(NetError::OutOfBounds)
     }
 
@@ -188,6 +244,9 @@ impl Fabric {
         off: usize,
         data: &[u8],
     ) -> Result<(), NetError> {
+        let delay = self
+            .fault_gate(NetOp::Write, from, to, data.len())
+            .map_err(|e| e.expect("one-sided drops carry an error"))?;
         let target = self.target(to)?;
         let seg = target
             .segment(seg_id)
@@ -201,11 +260,14 @@ impl Fabric {
         self.metrics
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.charge(self.cfg.latency.one_sided_ns(
-            local,
-            self.rack_of(from) == self.rack_of(to),
-            data.len(),
-        ));
+        self.charge(
+            delay
+                + self.cfg.latency.one_sided_ns(
+                    local,
+                    self.rack_of(from) == self.rack_of(to),
+                    data.len(),
+                ),
+        );
         seg.write(off, data).ok_or(NetError::OutOfBounds)
     }
 
@@ -220,16 +282,22 @@ impl Fabric {
         expect: u64,
         new: u64,
     ) -> Result<u64, NetError> {
+        let delay = self
+            .fault_gate(NetOp::Cas, from, to, 8)
+            .map_err(|e| e.expect("one-sided drops carry an error"))?;
         let target = self.target(to)?;
         let seg = target
             .segment(seg_id)
             .ok_or(NetError::NoSuchSegment(seg_id))?;
         self.metrics.cas_ops.fetch_add(1, Ordering::Relaxed);
-        self.charge(self.cfg.latency.one_sided_ns(
-            from == to,
-            self.rack_of(from) == self.rack_of(to),
-            8,
-        ));
+        self.charge(
+            delay
+                + self.cfg.latency.one_sided_ns(
+                    from == to,
+                    self.rack_of(from) == self.rack_of(to),
+                    8,
+                ),
+        );
         seg.cas64(off, expect, new).ok_or(NetError::OutOfBounds)
     }
 
@@ -250,6 +318,9 @@ impl Fabric {
     /// reply. This is the slow path A1 uses for query shipping; latency is
     /// charged in both directions.
     pub fn rpc(&self, from: MachineId, to: MachineId, request: Bytes) -> Result<Bytes, NetError> {
+        let delay = self
+            .fault_gate(NetOp::Rpc, from, to, request.len())
+            .map_err(|e| e.expect("rpc drops carry an error"))?;
         let target = self.target(to)?;
         let handler = target
             .rpc_handler
@@ -261,7 +332,7 @@ impl Fabric {
             .rpc_req_bytes
             .fetch_add(request.len() as u64, Ordering::Relaxed);
         let same_rack = self.rack_of(from) == self.rack_of(to);
-        self.charge(self.cfg.latency.rpc_ns(same_rack, request.len()));
+        self.charge(delay + self.cfg.latency.rpc_ns(same_rack, request.len()));
         // A pool that shut down mid-call (cluster teardown race) or a
         // panicking handler both surface as a lost reply, like a machine
         // dying after accepting the request. The or-inline variant runs the
@@ -275,10 +346,15 @@ impl Fabric {
             })
             .and_then(Result::ok)
             .ok_or(NetError::RpcDropped)?;
+        // The reply crosses the wire separately: dropping it here models a
+        // request whose side effects landed but whose ack was lost.
+        let reply_delay = self
+            .fault_gate(NetOp::RpcReply, to, from, reply.len())
+            .map_err(|e| e.expect("rpc-reply drops carry an error"))?;
         self.metrics
             .rpc_reply_bytes
             .fetch_add(reply.len() as u64, Ordering::Relaxed);
-        self.charge(self.cfg.latency.rpc_ns(same_rack, reply.len()));
+        self.charge(reply_delay + self.cfg.latency.rpc_ns(same_rack, reply.len()));
         Ok(reply)
     }
 
@@ -286,19 +362,16 @@ impl Fabric {
     /// May be silently dropped per `ud_drop_rate`.
     pub fn send_ud(&self, from: MachineId, to: MachineId, payload: Bytes) {
         self.metrics.ud_sent.fetch_add(1, Ordering::Relaxed);
-        if self.cfg.ud_drop_rate > 0.0 {
-            let r = {
-                let mut s = self.rng.lock();
-                // xorshift64*: cheap deterministic uniform bits.
-                *s ^= *s << 13;
-                *s ^= *s >> 7;
-                *s ^= *s << 17;
-                (*s >> 11) as f64 / (1u64 << 53) as f64
-            };
-            if r < self.cfg.ud_drop_rate {
+        let delay = match self.fault_gate(NetOp::Ud, from, to, payload.len()) {
+            Ok(d) => d,
+            Err(_) => {
                 self.metrics.ud_dropped.fetch_add(1, Ordering::Relaxed);
                 return;
             }
+        };
+        if self.cfg.ud_drop_rate > 0.0 && self.rng.next_f64() < self.cfg.ud_drop_rate {
+            self.metrics.ud_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
         }
         let Ok(target) = self.target(to) else {
             self.metrics.ud_dropped.fetch_add(1, Ordering::Relaxed);
@@ -309,27 +382,16 @@ impl Fabric {
             return;
         };
         let same_rack = self.rack_of(from) == self.rack_of(to);
-        self.charge(self.cfg.latency.rpc_ns(same_rack, payload.len()) / 2);
+        self.charge(delay + self.cfg.latency.rpc_ns(same_rack, payload.len()) / 2);
         target.pool.execute(move || handler(from, payload));
-    }
-}
-
-/// Busy-wait for very short durations; sleep for long ones. Spinning keeps
-/// microsecond injections accurate (OS sleep granularity is ~50 µs+).
-fn spin_for(d: Duration) {
-    if d >= Duration::from_micros(200) {
-        std::thread::sleep(d);
-        return;
-    }
-    let end = Instant::now() + d;
-    while Instant::now() < end {
-        std::hint::spin_loop();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::VirtualClock;
+    use std::time::Instant;
 
     fn fabric() -> Arc<Fabric> {
         Fabric::new(FabricConfig::default())
@@ -462,6 +524,95 @@ mod tests {
         assert_eq!(f.rack_of(MachineId(1)), 1);
         assert_eq!(f.rack_of(MachineId(2)), 2);
         assert_eq!(f.rack_of(MachineId(3)), 0);
+    }
+
+    #[test]
+    fn injected_latency_is_virtual_under_sim_clock() {
+        let clock = VirtualClock::new();
+        let cfg = FabricConfig {
+            inject_latency: true,
+            clock: clock.clone(),
+            ..Default::default()
+        };
+        let f = Fabric::new(cfg);
+        let seg = Segment::new(64);
+        f.machine(MachineId(1)).unwrap().register_segment(1, seg);
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            f.read(MachineId(0), MachineId(1), 1, 0, 8).unwrap();
+        }
+        // The modeled ~50 µs land on the virtual clock, not the wall clock.
+        assert!(clock.now_ns() >= 40_000, "virtual time advanced");
+        assert!(t0.elapsed() < Duration::from_millis(50));
+        assert_eq!(f.metrics().snapshot().sim_ns, clock.now_ns());
+    }
+
+    /// A drop-everything injector partitions the fabric; clearing it heals.
+    struct DropAll;
+    impl FaultInjector for DropAll {
+        fn decide(&self, _: NetOp, from: MachineId, to: MachineId, _: usize) -> FaultDecision {
+            if from == to {
+                FaultDecision::Deliver
+            } else {
+                FaultDecision::Drop
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injector_drops_and_heals() {
+        let f = fabric();
+        let seg = Segment::new(64);
+        f.machine(MachineId(1)).unwrap().register_segment(1, seg);
+        f.machine(MachineId(0))
+            .unwrap()
+            .register_segment(2, Segment::new(64));
+        f.set_fault_injector(Some(Arc::new(DropAll)));
+        assert_eq!(
+            f.read(MachineId(0), MachineId(1), 1, 0, 8),
+            Err(NetError::MachineUnreachable(MachineId(1)))
+        );
+        assert_eq!(
+            f.rpc(MachineId(0), MachineId(1), Bytes::new()),
+            Err(NetError::MachineUnreachable(MachineId(1)))
+        );
+        // Local ops are untouched.
+        assert!(f.read(MachineId(0), MachineId(0), 2, 0, 8).is_ok());
+        f.set_fault_injector(None);
+        assert!(f.read(MachineId(0), MachineId(1), 1, 0, 8).is_ok());
+    }
+
+    /// Reply-drop: the handler runs (side effects land) but the caller sees
+    /// a lost reply — the classic commit-ambiguity fault.
+    struct DropReplies;
+    impl FaultInjector for DropReplies {
+        fn decide(&self, op: NetOp, _: MachineId, _: MachineId, _: usize) -> FaultDecision {
+            if op == NetOp::RpcReply {
+                FaultDecision::Drop
+            } else {
+                FaultDecision::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injector_reply_drop_after_side_effects() {
+        let f = fabric();
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        f.set_rpc_handler(
+            MachineId(2),
+            Arc::new(move |_, req: Bytes| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                req
+            }),
+        );
+        f.set_fault_injector(Some(Arc::new(DropReplies)));
+        assert_eq!(
+            f.rpc(MachineId(1), MachineId(2), Bytes::from_static(&[1])),
+            Err(NetError::RpcDropped)
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "handler ran before drop");
     }
 
     #[test]

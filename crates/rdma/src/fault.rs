@@ -1,0 +1,61 @@
+//! Fault injection hooks: per-operation delivery decisions.
+//!
+//! A [`FaultInjector`] installed on the fabric sees every network-level
+//! operation before (and, for RPC replies, after) it executes and rules on
+//! its fate. The production fabric carries no injector and pays one relaxed
+//! atomic load per op. The `a1-sim` harness installs one whose decisions are
+//! a pure function of `(seed, scenario, op sequence)`, which is what makes
+//! partitions, message loss, and delay spikes replayable.
+
+use crate::MachineId;
+
+/// Which network-level operation is being decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetOp {
+    /// One-sided RDMA read.
+    Read,
+    /// One-sided RDMA write.
+    Write,
+    /// One-sided atomic compare-and-swap.
+    Cas,
+    /// RPC request delivery (decided before the handler runs).
+    Rpc,
+    /// RPC reply delivery (decided *after* the handler ran — dropping it
+    /// models the classic "request applied, ack lost" ambiguity).
+    RpcReply,
+    /// Unreliable datagram.
+    Ud,
+}
+
+impl NetOp {
+    /// Stable short name, used in simulation traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetOp::Read => "read",
+            NetOp::Write => "write",
+            NetOp::Cas => "cas",
+            NetOp::Rpc => "rpc",
+            NetOp::RpcReply => "rpc-reply",
+            NetOp::Ud => "ud",
+        }
+    }
+}
+
+/// The injector's ruling on one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Let the operation through unchanged.
+    Deliver,
+    /// Lose it: one-sided ops and RPC requests fail like a NIC timeout
+    /// (`MachineUnreachable`), RPC replies like a lost ack (`RpcDropped`),
+    /// datagrams vanish silently.
+    Drop,
+    /// Deliver after charging `ns` extra simulated latency.
+    Delay(u64),
+}
+
+/// Rules on the fate of each network operation. Implementations must be
+/// cheap: this runs on every simulated verb.
+pub trait FaultInjector: Send + Sync {
+    fn decide(&self, op: NetOp, from: MachineId, to: MachineId, len: usize) -> FaultDecision;
+}

@@ -22,17 +22,23 @@
 //! Machines are assigned round-robin to `racks` fault domains; rack
 //! membership feeds both the latency model and FaRM's replica placement.
 
+mod clock;
 mod fabric;
+mod fault;
 mod latency;
 mod machine;
 mod metrics;
 mod pool;
+mod rng;
 
+pub use clock::{ClockSource, RealClock, VirtualClock};
 pub use fabric::{Fabric, NetError};
+pub use fault::{FaultDecision, FaultInjector, NetOp};
 pub use latency::LatencyModel;
 pub use machine::{Machine, Segment};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pool::{JobClass, ScopedJob, WorkerPool};
+pub use rng::ClusterRng;
 
 /// Identifies a machine in the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,8 +71,13 @@ pub struct FabricConfig {
     pub inject_latency: bool,
     /// Probability in `[0,1]` that an unreliable datagram is dropped.
     pub ud_drop_rate: f64,
-    /// Seed for the fabric's internal RNG (datagram drops).
+    /// Seed for the cluster's [`ClusterRng`] (datagram drops, backoff
+    /// jitter). Fixing it makes every random decision replayable.
     pub seed: u64,
+    /// The time source every timer in the stack reads and sleeps on.
+    /// [`RealClock`] (the default) reproduces pre-existing behavior; the
+    /// simulation harness injects a [`VirtualClock`] here.
+    pub clock: std::sync::Arc<dyn ClockSource>,
 }
 
 impl Default for FabricConfig {
@@ -80,6 +91,7 @@ impl Default for FabricConfig {
             inject_latency: false,
             ud_drop_rate: 0.0,
             seed: 0xA1,
+            clock: RealClock::shared(),
         }
     }
 }

@@ -1,0 +1,155 @@
+//! The cluster's one seedable randomness handle.
+//!
+//! Before this module, randomness was scattered: the fabric kept a private
+//! xorshift for datagram drops, conflict backoff derived jitter from thread
+//! ids, ingest retries hashed whatever was handy. None of that is
+//! replayable. [`ClusterRng`] centralizes every random decision behind one
+//! seed: real runs behave exactly as before (the jitter is still uniform),
+//! but a simulation run that fixes the seed gets the identical decision
+//! sequence every time — provided calls happen in a deterministic order,
+//! which the `a1-sim` harness guarantees by driving the cluster from a
+//! single logical thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Seedable splittable RNG (xorshift64* core, splitmix64 seeding).
+///
+/// Thread-safe and lock-free; under concurrent use the *set* of outputs is
+/// still a deterministic function of the seed but their assignment to
+/// threads is not — determinism of observable behavior therefore requires
+/// serial use, which is exactly what the simulation harness enforces.
+#[derive(Debug)]
+pub struct ClusterRng {
+    seed: u64,
+    state: AtomicU64,
+}
+
+/// splitmix64: turns any seed (including 0) into a well-mixed nonzero state.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ClusterRng {
+    pub fn new(seed: u64) -> ClusterRng {
+        ClusterRng {
+            seed,
+            state: AtomicU64::new(splitmix64(seed) | 1),
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent stream, e.g. one per machine or per subsystem,
+    /// so interleaved consumers don't perturb each other's sequences.
+    pub fn fork(&self, tag: u64) -> ClusterRng {
+        ClusterRng::new(splitmix64(
+            self.seed ^ tag.wrapping_mul(0xa1a1_a1a1_a1a1_a1a1),
+        ))
+    }
+
+    /// Next 64 uniform bits (xorshift64*).
+    pub fn next_u64(&self) -> u64 {
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            let mut x = cur;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match self
+                .state
+                .compare_exchange_weak(cur, x, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return x.wrapping_mul(0x2545_f491_4f6c_dd1d),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`; `n = 0` returns 0.
+    pub fn gen_range(&self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            // Multiply-shift: unbiased enough for jitter/fault decisions.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+}
+
+impl Clone for ClusterRng {
+    /// Clones restart the stream from the seed (a clone is a replay handle,
+    /// not a fork — use [`ClusterRng::fork`] for an independent stream).
+    fn clone(&self) -> Self {
+        ClusterRng::new(self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a = ClusterRng::new(42);
+        let b = ClusterRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = ClusterRng::new(1);
+        let b = ClusterRng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let root = ClusterRng::new(7);
+        let f1 = root.fork(1);
+        let f2 = root.fork(2);
+        let f1b = ClusterRng::new(7).fork(1);
+        assert_eq!(f1.next_u64(), f1b.next_u64());
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn ranges_and_floats_in_bounds() {
+        let r = ClusterRng::new(3);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(r.gen_range(10) < 10);
+        }
+        assert_eq!(r.gen_range(0), 0);
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let r = ClusterRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn clone_replays_from_seed() {
+        let r = ClusterRng::new(9);
+        let first = r.next_u64();
+        let c = r.clone();
+        assert_eq!(c.next_u64(), first);
+    }
+}

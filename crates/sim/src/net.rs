@@ -1,0 +1,146 @@
+//! The simulated network: a [`FaultInjector`] whose every ruling is a pure
+//! function of the scenario's explicit state (partitions, reply-drop sets)
+//! plus a seeded RNG stream (random loss/delay) — so a run's network
+//! behavior is exactly replayable from `(seed, scenario)`.
+
+use a1_rdma::{ClockSource, ClusterRng, FaultDecision, FaultInjector, MachineId, NetOp};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::trace::Trace;
+
+/// Deterministic fault network. Install on the fabric with
+/// [`a1_rdma::Fabric::set_fault_injector`]; drive it from scenario code via
+/// the partition/drop/loss controls. Every non-`Deliver` ruling is recorded
+/// in the run's [`Trace`].
+pub struct SimNet {
+    /// Directional blocked pairs `(from, to)`: ops between them Drop.
+    blocked: Mutex<HashSet<(u32, u32)>>,
+    /// Machines whose outgoing RPC *replies* are lost — the "request
+    /// applied, ack never arrived" ambiguity.
+    reply_loss: Mutex<HashSet<u32>>,
+    /// Probability any op is dropped, seeded stream `rng`.
+    loss_rate: Mutex<f64>,
+    /// Extra delivery delay in ns applied to every delivered op; under the
+    /// virtual clock this advances simulated time, never wall time.
+    delay_ns: AtomicU64,
+    rng: ClusterRng,
+    trace: Arc<Trace>,
+    clock: Arc<dyn ClockSource>,
+}
+
+impl SimNet {
+    pub fn new(rng: ClusterRng, trace: Arc<Trace>, clock: Arc<dyn ClockSource>) -> Arc<SimNet> {
+        Arc::new(SimNet {
+            blocked: Mutex::new(HashSet::new()),
+            reply_loss: Mutex::new(HashSet::new()),
+            loss_rate: Mutex::new(0.0),
+            delay_ns: AtomicU64::new(0),
+            rng,
+            trace,
+            clock,
+        })
+    }
+
+    /// Sever both directions between `a` and `b`.
+    pub fn partition(&self, a: MachineId, b: MachineId) {
+        let mut blocked = self.blocked.lock();
+        blocked.insert((a.0, b.0));
+        blocked.insert((b.0, a.0));
+        self.trace.record(
+            self.clock.now_ns(),
+            "net.partition",
+            format!("{} <-x-> {}", a.0, b.0),
+        );
+    }
+
+    /// Sever `m` from every other machine in a `machines`-wide cluster.
+    pub fn isolate(&self, m: MachineId, machines: u32) {
+        for other in 0..machines {
+            if other != m.0 {
+                let mut blocked = self.blocked.lock();
+                blocked.insert((m.0, other));
+                blocked.insert((other, m.0));
+            }
+        }
+        self.trace.record(
+            self.clock.now_ns(),
+            "net.isolate",
+            format!("machine {}", m.0),
+        );
+    }
+
+    /// Remove every partition and reply-loss rule.
+    pub fn heal(&self) {
+        self.blocked.lock().clear();
+        self.reply_loss.lock().clear();
+        self.trace
+            .record(self.clock.now_ns(), "net.heal", "all links restored");
+    }
+
+    /// Start losing RPC replies sent *by* `m` (its handlers still run).
+    pub fn lose_replies_from(&self, m: MachineId) {
+        self.reply_loss.lock().insert(m.0);
+        self.trace.record(
+            self.clock.now_ns(),
+            "net.reply-loss",
+            format!("machine {}", m.0),
+        );
+    }
+
+    /// Random messaging loss: each RPC/reply/UD datagram is dropped with
+    /// probability `rate`, decided by the seeded RNG stream (replayable).
+    /// One-sided READ/WRITE/CAS are exempt — RDMA reliable connections
+    /// retransmit those, so their failure mode is machine death or
+    /// partition, never silent loss (§2).
+    pub fn set_loss_rate(&self, rate: f64) {
+        *self.loss_rate.lock() = rate;
+        self.trace
+            .record(self.clock.now_ns(), "net.loss-rate", format!("{rate}"));
+    }
+
+    /// Fixed extra delivery delay for every delivered op.
+    pub fn set_delay_ns(&self, ns: u64) {
+        self.delay_ns.store(ns, Ordering::SeqCst);
+        self.trace
+            .record(self.clock.now_ns(), "net.delay", format!("{ns}ns"));
+    }
+}
+
+impl FaultInjector for SimNet {
+    fn decide(&self, op: NetOp, from: MachineId, to: MachineId, _len: usize) -> FaultDecision {
+        if self.blocked.lock().contains(&(from.0, to.0)) {
+            self.trace.record(
+                self.clock.now_ns(),
+                "fault.drop",
+                format!("{} {}->{} partitioned", op.name(), from.0, to.0),
+            );
+            return FaultDecision::Drop;
+        }
+        if op == NetOp::RpcReply && self.reply_loss.lock().contains(&from.0) {
+            self.trace.record(
+                self.clock.now_ns(),
+                "fault.drop",
+                format!("rpc-reply {}->{} lost", from.0, to.0),
+            );
+            return FaultDecision::Drop;
+        }
+        let messaging = matches!(op, NetOp::Rpc | NetOp::RpcReply | NetOp::Ud);
+        let rate = *self.loss_rate.lock();
+        if messaging && rate > 0.0 && self.rng.next_f64() < rate {
+            self.trace.record(
+                self.clock.now_ns(),
+                "fault.drop",
+                format!("{} {}->{} random", op.name(), from.0, to.0),
+            );
+            return FaultDecision::Drop;
+        }
+        let delay = self.delay_ns.load(Ordering::SeqCst);
+        if delay > 0 {
+            return FaultDecision::Delay(delay);
+        }
+        FaultDecision::Deliver
+    }
+}

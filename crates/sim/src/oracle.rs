@@ -1,0 +1,121 @@
+//! Invariant oracles: the judgments a scenario's verdict is built from.
+//!
+//! Each oracle is a named check with a deterministic detail string; failed
+//! oracles carry enough context to debug from the printed report alone.
+//! Scenarios collect [`OracleReport`]s and the runner folds them into a
+//! pass/fail verdict plus the trace fingerprint.
+
+use a1_farm::{Lease, LeaseManager, MachineClock};
+
+/// One invariant check's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Stable oracle name, e.g. `answers-match-reference`.
+    pub name: String,
+    pub ok: bool,
+    /// Deterministic explanation (expected/actual on failure).
+    pub detail: String,
+}
+
+impl OracleReport {
+    pub fn pass(name: &str, detail: impl Into<String>) -> OracleReport {
+        OracleReport {
+            name: name.to_string(),
+            ok: true,
+            detail: detail.into(),
+        }
+    }
+
+    pub fn fail(name: &str, detail: impl Into<String>) -> OracleReport {
+        OracleReport {
+            name: name.to_string(),
+            ok: false,
+            detail: detail.into(),
+        }
+    }
+
+    /// Equality oracle: `ok` iff `expected == actual`.
+    pub fn check_eq<T: PartialEq + std::fmt::Debug>(
+        name: &str,
+        expected: &T,
+        actual: &T,
+    ) -> OracleReport {
+        if expected == actual {
+            OracleReport::pass(name, format!("{actual:?}"))
+        } else {
+            OracleReport::fail(name, format!("expected {expected:?}, got {actual:?}"))
+        }
+    }
+
+    /// Predicate oracle.
+    pub fn check(name: &str, ok: bool, detail: impl Into<String>) -> OracleReport {
+        if ok {
+            OracleReport::pass(name, detail)
+        } else {
+            OracleReport::fail(name, detail)
+        }
+    }
+}
+
+/// The lease-safety invariant (§5.1): at no sampled instant may a lease be
+/// simultaneously *valid* from the holder's clock and *reclaimable* from
+/// the grantor's. Sample it after every fault/advance step.
+pub fn lease_safety_sample(
+    lease: &Lease,
+    holder_clock: &MachineClock,
+    mgr: &LeaseManager,
+) -> Option<String> {
+    let valid = lease.holder_valid(holder_clock);
+    let reclaimable = mgr.reclaimable(lease);
+    if valid && reclaimable {
+        Some(format!(
+            "lease for machine {} valid at holder yet reclaimable at grantor",
+            lease.holder.0
+        ))
+    } else {
+        None
+    }
+}
+
+/// Watermark monotonicity: a sequence of observed per-source watermarks
+/// must never decrease. Feed observations in order; returns the first
+/// violation.
+pub fn watermark_monotonic(observed: &[(String, u64)]) -> Option<String> {
+    let mut last: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for (source, seq) in observed {
+        if let Some(prev) = last.get(source.as_str()) {
+            if seq < prev {
+                return Some(format!(
+                    "watermark for source '{source}' went backward: {prev} -> {seq}"
+                ));
+            }
+        }
+        last.insert(source, *seq);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_oracle_reports_both_sides() {
+        let r = OracleReport::check_eq("x", &1, &2);
+        assert!(!r.ok);
+        assert!(r.detail.contains("expected 1"));
+        assert!(OracleReport::check_eq("x", &1, &1).ok);
+    }
+
+    #[test]
+    fn watermark_monotonicity_catches_regression() {
+        let ok = [
+            ("s".to_string(), 1),
+            ("s".to_string(), 5),
+            ("t".to_string(), 2),
+        ];
+        assert!(watermark_monotonic(&ok).is_none());
+        let bad = [("s".to_string(), 5), ("s".to_string(), 3)];
+        assert!(watermark_monotonic(&bad).unwrap().contains("went backward"));
+    }
+}

@@ -1,0 +1,69 @@
+//! The scenario catalog: each scenario is a deterministic fault/clock story
+//! driven against a [`crate::SimEnv`], judged by invariant oracles.
+//!
+//! A scenario owns its environment construction so it can customize the
+//! configuration (DR on, cache on, small pages) while keeping the harness
+//! invariants: one seed in, every decision derived from it.
+
+use std::sync::Arc;
+
+use crate::oracle::OracleReport;
+use crate::trace::Trace;
+
+/// What a scenario run produced: its oracle verdicts plus the primary
+/// environment's event trace (the replayability artifact).
+pub struct ScenarioOutcome {
+    pub oracles: Vec<OracleReport>,
+    pub trace: Arc<Trace>,
+}
+
+impl ScenarioOutcome {
+    pub fn passed(&self) -> bool {
+        self.oracles.iter().all(|o| o.ok)
+    }
+}
+
+/// A deterministic fault-injection story. `run` must be a pure function of
+/// `seed`: same seed, same trace, same verdict — byte for byte.
+pub trait Scenario: Send + Sync {
+    /// Stable kebab-case name (CLI `--scenario` key).
+    fn name(&self) -> &'static str;
+    /// One-line description for reports.
+    fn description(&self) -> &'static str;
+    fn run(&self, seed: u64) -> ScenarioOutcome;
+}
+
+/// Every scenario in the catalog, in stable order.
+pub fn catalog() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(crate::scenarios::ingest::PartitionDuringIngest),
+        Box::new(crate::scenarios::query::CoordinatorDeathMidFanout),
+        Box::new(crate::scenarios::query::MessageLossStorm),
+        Box::new(crate::scenarios::clockfault::ClockSkewPastLeaseBound),
+        Box::new(crate::scenarios::clockfault::BackwardClockJump),
+        Box::new(crate::scenarios::recovery::ReplogReplayRace),
+        Box::new(crate::scenarios::recovery::CacheInvalidationVsCrash),
+    ]
+}
+
+/// Look up a catalog scenario by its stable name.
+pub fn by_name(name: &str) -> Option<Box<dyn Scenario>> {
+    catalog().into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_stable() {
+        let names: Vec<&str> = catalog().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+        assert!(names.len() >= 6, "catalog must cover >= 6 scenarios");
+        assert!(by_name("partition-during-ingest").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,6 @@
+//! Scenario implementations, grouped by the subsystem under attack.
+
+pub mod clockfault;
+pub mod ingest;
+pub mod query;
+pub mod recovery;

@@ -1,0 +1,212 @@
+//! Recovery scenarios: replication-log replay races around process crashes,
+//! and cache invalidation interleaved with crash/restart.
+
+use std::time::Duration;
+
+use a1_objectstore::{ObjectStore, StoreConfig};
+use a1_rdma::{MachineId, VirtualClock};
+use a1_recovery::{recover_consistent, Replicator};
+
+use crate::oracle::OracleReport;
+use crate::scenario::{Scenario, ScenarioOutcome};
+use crate::workload::{self, GRAPH, TENANT};
+use crate::SimEnv;
+
+const MACHINES: u32 = 3;
+
+/// Replication-log sweep interrupted by a process crash, then the replayed
+/// entries delivered twice (the at-least-once bus): consistent recovery
+/// from the object store must still equal the origin graph exactly.
+pub struct ReplogReplayRace;
+
+impl Scenario for ReplogReplayRace {
+    fn name(&self) -> &'static str {
+        "replog-replay-race"
+    }
+
+    fn description(&self) -> &'static str {
+        "process crash mid-sweep plus duplicate log replay; consistent recovery must equal the origin graph"
+    }
+
+    fn run(&self, seed: u64) -> ScenarioOutcome {
+        let clock = VirtualClock::starting_at(1 << 30);
+        let mut cfg = SimEnv::base_config(seed, MACHINES, &clock);
+        cfg.dr_enabled = true;
+        let env = SimEnv::with_config(seed, MACHINES, clock, cfg);
+        let client = env.client();
+        workload::setup_schema(&client);
+        let spokes = workload::seeded_nodes(&env.rng, 6);
+        workload::build_hub(&client, "hub", &spokes);
+
+        let store = ObjectStore::new(StoreConfig::default());
+        let repl = Replicator::new(env.cluster.clone(), store).expect("replicator");
+        repl.replicate_catalog().expect("catalog");
+
+        // Partial sweep, then a process crash/restart in the middle of
+        // replication (PyCo memory survives, so the log does too).
+        let swept = repl.sweep(3).expect("partial sweep");
+        env.event("dr.sweep", format!("partial swept={swept}"));
+        let victim = MachineId(1 + env.rng.gen_range((MACHINES - 1) as u64) as u32);
+        env.crash_process(victim);
+        env.advance(Duration::from_micros(100));
+        env.restart_process(victim);
+
+        // The bus redelivers: every still-pending entry lands twice.
+        {
+            let inner = env.cluster.inner();
+            let log = inner.replog.as_ref().expect("dr enabled");
+            let entries = log
+                .fetch_pending(&inner.farm, MachineId(0), 64)
+                .expect("fetch pending");
+            env.event("dr.replay", format!("{} entries twice", entries.len()));
+            for e in &entries {
+                repl.apply_entry(e).expect("first delivery");
+                repl.apply_entry(e).expect("duplicate delivery");
+            }
+        }
+        repl.sweep_all().expect("drain");
+        repl.update_watermark().expect("watermark");
+
+        // Consistent recovery into a fresh deterministic cluster.
+        let rcfg = SimEnv::base_config(seed ^ 0x9e37_79b9, 2, &env.clock);
+        let (recovered, report) =
+            recover_consistent(repl.store(), rcfg, TENANT, GRAPH).expect("recover");
+        let rc = recovered.client();
+
+        let mut ids: Vec<String> = spokes.iter().map(|(id, _)| id.clone()).collect();
+        ids.push("hub".to_string());
+        let origin = workload::canonical_state(&client, &ids);
+        let restored = workload::canonical_state(&rc, &ids);
+        let edge_count = rc
+            .query(TENANT, GRAPH, &workload::hub_count_query("hub"))
+            .expect("recovered query")
+            .count;
+
+        ScenarioOutcome {
+            oracles: vec![
+                OracleReport::check_eq(
+                    "no-committed-write-loss",
+                    &(spokes.len() + 1),
+                    &report.vertices,
+                ),
+                OracleReport::check_eq("edges-recovered", &spokes.len(), &report.edges),
+                OracleReport::check_eq("recovered-matches-origin", &origin, &restored),
+                OracleReport::check_eq("recovered-fanout", &Some(spokes.len() as u64), &edge_count),
+            ],
+            trace: env.trace.clone(),
+        }
+    }
+}
+
+/// Hot-vertex cache warmed, a cached vertex rewritten, and the process
+/// crash/restart interleaved with the re-read: the cache must never serve
+/// the stale pre-write value.
+pub struct CacheInvalidationVsCrash;
+
+impl Scenario for CacheInvalidationVsCrash {
+    fn name(&self) -> &'static str {
+        "cache-invalidation-vs-crash"
+    }
+
+    fn description(&self) -> &'static str {
+        "write to a cached vertex races a process crash/restart; reads must see the new value, never the stale cache entry"
+    }
+
+    fn run(&self, seed: u64) -> ScenarioOutcome {
+        let env = SimEnv::new(seed, MACHINES); // cache enabled by default
+        let client = env.client();
+        workload::setup_schema(&client);
+        let spokes = workload::seeded_nodes(&env.rng, 8);
+        workload::build_hub(&client, "hub", &spokes);
+        let q = workload::hub_rows_query("hub");
+
+        // Warm the hot-vertex cache with repeated scans.
+        for _ in 0..4 {
+            client.query(TENANT, GRAPH, &q).expect("warm scan");
+        }
+        let warm_stats = env.cluster.cache_stats();
+        let warmed = OracleReport::check(
+            "cache-warmed",
+            warm_stats.hits > 0,
+            format!("hits={} misses={}", warm_stats.hits, warm_stats.misses),
+        );
+
+        // Rewrite one cached spoke; new ranks land in 1000..1999, disjoint
+        // from every seeded rank, so staleness is detectable by value.
+        let (id, rank) = spokes[env.rng.gen_range(spokes.len() as u64) as usize].clone();
+        let new_rank = rank + 1000;
+        client
+            .update_vertex(
+                TENANT,
+                GRAPH,
+                workload::NODE_TYPE,
+                &workload::node_attrs(&id, new_rank),
+            )
+            .expect("rewrite");
+        env.event("cache.rewrite", format!("{id} rank {rank}->{new_rank}"));
+
+        // Fault-free reference performing the identical write.
+        let ref_env = SimEnv::new(seed, MACHINES);
+        let ref_client = ref_env.client();
+        workload::setup_schema(&ref_client);
+        let ref_spokes = workload::seeded_nodes(&ref_env.rng, 8);
+        workload::build_hub(&ref_client, "hub", &ref_spokes);
+        for _ in 0..4 {
+            ref_client.query(TENANT, GRAPH, &q).expect("reference warm");
+        }
+        let (rid, rrank) =
+            ref_spokes[ref_env.rng.gen_range(ref_spokes.len() as u64) as usize].clone();
+        ref_client
+            .update_vertex(
+                TENANT,
+                GRAPH,
+                workload::NODE_TYPE,
+                &workload::node_attrs(&rid, rrank + 1000),
+            )
+            .expect("reference rewrite");
+        let reference = workload::render_rows(
+            &ref_client
+                .query(TENANT, GRAPH, &q)
+                .expect("reference scan")
+                .rows,
+        );
+
+        // Crash a process; a read in the window must fail cleanly or match
+        // the post-write truth — never the stale cached value.
+        let victim = MachineId(1 + env.rng.gen_range((MACHINES - 1) as u64) as u32);
+        env.crash_process(victim);
+        let during = client.query(TENANT, GRAPH, &q);
+        let during_ok = match during {
+            Ok(out) => OracleReport::check_eq(
+                "mid-crash-read-if-any",
+                &reference,
+                &workload::render_rows(&out.rows),
+            ),
+            Err(e) => OracleReport::pass("mid-crash-read-if-any", format!("clean error: {e}")),
+        };
+        env.advance(Duration::from_micros(100));
+        env.restart_process(victim);
+
+        let after = workload::render_rows(
+            &client
+                .query(TENANT, GRAPH, &q)
+                .expect("post-restart scan")
+                .rows,
+        );
+        let fresh = OracleReport::check(
+            "read-sees-new-value",
+            after.iter().any(|r| r.contains(&format!("{new_rank}"))),
+            format!("updated rank {new_rank} visible after restart"),
+        );
+
+        ScenarioOutcome {
+            oracles: vec![
+                warmed,
+                during_ok,
+                fresh,
+                OracleReport::check_eq("answers-match-reference", &reference, &after),
+            ],
+            trace: env.trace.clone(),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Event trace: the replayability contract's unit of comparison.
+//!
+//! Every nondeterminism-relevant decision a simulation makes — fault
+//! verdicts, clock jumps, crash/restart steps, oracle samples — is recorded
+//! here with its virtual timestamp. Two runs of the same `(seed, scenario)`
+//! must produce **byte-identical** rendered traces; the fixed-point hash
+//! gives CI a cheap equality check and failure reports a stable fingerprint.
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time the event was recorded at, in ns.
+    pub t_ns: u64,
+    /// Short stable category, e.g. `fault.drop`, `crash`, `oracle`.
+    pub kind: String,
+    /// Human-readable detail. Must be deterministic — no addresses, no wall
+    /// times, no thread ids.
+    pub detail: String,
+}
+
+/// An append-only, thread-safe event log scoped to one simulation run.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    pub fn new() -> Arc<Trace> {
+        Arc::new(Trace::default())
+    }
+
+    pub fn record(&self, t_ns: u64, kind: &str, detail: impl Into<String>) {
+        self.events.lock().push(TraceEvent {
+            t_ns,
+            kind: kind.to_string(),
+            detail: detail.into(),
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Stable textual rendering: one `t_ns kind detail` line per event, in
+    /// record order. This string — not a summary of it — is what the
+    /// replayability test compares across runs.
+    pub fn render(&self) -> String {
+        let events = self.events.lock();
+        let mut out = String::with_capacity(events.len() * 48);
+        for e in events.iter() {
+            let _ = writeln!(out, "{:>12} {} {}", e.t_ns, e.kind, e.detail);
+        }
+        out
+    }
+
+    /// FNV-1a over the rendered trace: a stable 64-bit fingerprint.
+    pub fn hash(&self) -> u64 {
+        fnv1a(self.render().as_bytes())
+    }
+}
+
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_hash_are_stable() {
+        let t = Trace::new();
+        t.record(10, "fault.drop", "rpc 0->1");
+        t.record(20, "crash", "machine 1");
+        let t2 = Trace::new();
+        t2.record(10, "fault.drop", "rpc 0->1");
+        t2.record(20, "crash", "machine 1");
+        assert_eq!(t.render(), t2.render());
+        assert_eq!(t.hash(), t2.hash());
+        t2.record(30, "restart", "machine 1");
+        assert_ne!(t.hash(), t2.hash());
+    }
+
+    #[test]
+    fn render_orders_by_record_order() {
+        let t = Trace::new();
+        t.record(20, "b", "second recorded");
+        t.record(10, "a", "first by time, second by order");
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].contains("second recorded"));
+        assert_eq!(t.len(), 2);
+    }
+}
