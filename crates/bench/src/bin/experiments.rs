@@ -9,7 +9,7 @@
 //!
 //! Figure targets: table2, fig10, fig11, fig12, fig13, fig14, q4, locality,
 //! baseline, ablation-mvcc, ablation-edges, fast-restart, fanout, ingest,
-//! wire, morsel, serve, cache, sim, all.
+//! wire, morsel, serve, cache, fetch, sim, all.
 //!
 //! Simulation targets (deterministic fault injection, crates/sim):
 //!
@@ -29,16 +29,17 @@
 //!   frontiers, the serve suite: open-loop Poisson load against the
 //!   admission-controlled front door, and the cache suite: hot-vertex read
 //!   cache vs bypass on a hub-skewed repeated-read workload under churn,
-//!   and the sim suite: the deterministic fault-scenario catalog with its
-//!   replayability check) and print one JSON document (schema
-//!   `a1-bench-v7`) to stdout. CI uploads this as an artifact;
-//!   `BENCH_<n>.json` snapshots are committed at the repo root.
+//!   the fetch suite: scalar vs doorbell-batched one-sided reads on the
+//!   inline-fetch path under churn, and the sim suite: the deterministic
+//!   fault-scenario catalog with its replayability check) and print one
+//!   JSON document (schema `a1-bench-v8`) to stdout. CI uploads this as an
+//!   artifact; `BENCH_<n>.json` snapshots are committed at the repo root.
 //! * `--validate <file>` — check a `--json` artifact against the
-//!   `a1-bench-v7` schema; exits 2 with a diagnostic on violation.
+//!   `a1-bench-v8` schema; exits 2 with a diagnostic on violation.
 //! * `--quick` — smaller workload + fewer iterations (CI-speed).
 //! * `--fig14-scale N` — divisor applied to the paper's Figure 14 dataset.
 
-use a1_bench::{cache, figures, ingest, loadgen, morsel, perf, sim, validate, wire};
+use a1_bench::{cache, fetch, figures, ingest, loadgen, morsel, perf, sim, validate, wire};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -125,6 +126,7 @@ fn main() {
         let morsel_results = morsel::run_morsel_suite(quick);
         let serve_results = loadgen::run_serve_suite(quick);
         let cache_results = cache::run_cache_suite(quick);
+        let fetch_results = fetch::run_fetch_suite(quick);
         let sim_results = sim::run_sim_suite(quick);
         // One document carrying all suites, so the perf-trajectory CI job
         // tracks wire bytes, ingest throughput, morsel speedup and serving
@@ -157,6 +159,10 @@ fn main() {
             "cache".to_string(),
             cache::cache_suite_to_json(&cache_results),
         ));
+        doc.push((
+            "fetch".to_string(),
+            fetch::fetch_suite_to_json(&fetch_results),
+        ));
         doc.push(("sim".to_string(), sim::sim_suite_to_json(&sim_results)));
         let doc = a1_core::Json::Obj(doc);
         // The emitter must always satisfy its own `--validate` contract.
@@ -188,6 +194,7 @@ fn main() {
             "morsel" => Some(morsel::morsel_report(quick)),
             "serve" => Some(loadgen::serve_report(quick)),
             "cache" => Some(cache::cache_report(quick)),
+            "fetch" => Some(fetch::fetch_report(quick)),
             "sim" => Some(sim::sim_report(quick)),
             _ => None,
         }
@@ -212,6 +219,7 @@ fn main() {
         "morsel",
         "serve",
         "cache",
+        "fetch",
         "sim",
     ];
     if target == "all" {

@@ -90,7 +90,7 @@ fn cache_latency() -> LatencyModel {
 }
 
 /// A cluster configured for the suite. Shipping is disabled
-/// (`ship_threshold = MAX`) so the coordinator executes every hop inline
+/// (`ShipPolicy::Fixed(MAX)`) so the coordinator executes every hop inline
 /// against remote memory — the read pattern the per-machine cache
 /// accelerates — and the `uncached` client id bypasses the cache for the
 /// A/B baseline.
@@ -105,7 +105,7 @@ pub fn suite_config() -> A1Config {
         // header+payload pair), and morsel splitting would bury it under
         // per-morsel transaction setup — overlap has its own suite.
         .with_intra_parallelism(1);
-    cfg.exec.ship_threshold = usize::MAX;
+    cfg.exec.ship_policy = a1_core::query::ShipPolicy::Fixed(usize::MAX);
     cfg.farm.fabric.threads_per_machine = 8;
     cfg.farm.fabric.latency = cache_latency();
     cfg

@@ -8,6 +8,7 @@
 pub mod cache;
 pub mod costmodel;
 pub mod des;
+pub mod fetch;
 pub mod figures;
 pub mod ingest;
 pub mod loadgen;
@@ -21,6 +22,7 @@ pub mod workload;
 pub use cache::{cache_report, cache_suite_to_json, run_cache_suite, CacheBenchResult, CacheSuite};
 pub use costmodel::{CostModel, HopDemand, QueryProfile};
 pub use des::{DesConfig, DesResult};
+pub use fetch::{fetch_report, fetch_suite_to_json, run_fetch_suite, FetchBenchResult, FetchSuite};
 pub use ingest::{ingest_suite_to_json, run_ingest_suite, IngestBenchResult};
 pub use loadgen::{
     run_serve_suite, serve_report, serve_suite_to_json, ServeRung, ServeSuite,

@@ -1,4 +1,4 @@
-//! Schema validation for the `--json` perf document (`a1-bench-v7`).
+//! Schema validation for the `--json` perf document (`a1-bench-v8`).
 //!
 //! CI used to pipe the artifact through `python3 -m json.tool`, which only
 //! proved it parsed. `experiments --validate <file>` checks the actual
@@ -9,7 +9,7 @@
 use a1_core::Json;
 
 /// The schema tag the current `--json` output carries.
-pub const SCHEMA: &str = "a1-bench-v7";
+pub const SCHEMA: &str = "a1-bench-v8";
 
 fn require<'a>(j: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
     j.get(key)
@@ -43,7 +43,7 @@ fn each_has_nums(items: &[Json], fields: &[&str], ctx: &str) -> Result<(), Strin
     Ok(())
 }
 
-/// Validate one `--json` document against the `a1-bench-v7` contract.
+/// Validate one `--json` document against the `a1-bench-v8` contract.
 /// Returns a human-readable error naming the first violation.
 pub fn validate_doc(doc: &Json) -> Result<(), String> {
     let schema = require(doc, "schema", "document")?
@@ -189,6 +189,48 @@ pub fn validate_doc(doc: &Json) -> Result<(), String> {
         "cache.results",
     )?;
 
+    // Doorbell-batched fetch suite: scalar vs batched one-sided read path
+    // over the same graph under churn. The CI fetch job reads `speedup`,
+    // `verb_reduction` and `answers_identical` to enforce its floors, so a
+    // document that lacks them (or shipped with divergent answers between
+    // the scalar and batched paths) is rejected outright.
+    let fetch = require(doc, "fetch", "document")?;
+    require_num(fetch, "speedup", "fetch")?;
+    require_num(fetch, "verb_reduction", "fetch")?;
+    require_num(fetch, "churn_batches", "fetch")?;
+    match require(fetch, "answers_identical", "fetch")? {
+        Json::Bool(true) => {}
+        Json::Bool(false) => {
+            return Err("fetch: answers_identical is false".into());
+        }
+        other => {
+            return Err(format!(
+                "fetch: 'answers_identical' must be a bool, got {other}"
+            ))
+        }
+    }
+    let fetch_modes = require_arr(fetch, "results", "fetch")?;
+    if fetch_modes.len() != 2 {
+        return Err(format!(
+            "fetch: 'results' must hold the scalar/batched pair, got {}",
+            fetch_modes.len()
+        ));
+    }
+    each_has_nums(
+        fetch_modes,
+        &[
+            "machines",
+            "iters",
+            "p50_latency_ns",
+            "p99_latency_ns",
+            "avg_latency_ns",
+            "throughput_qps",
+            "fetch_verbs",
+            "result",
+        ],
+        "fetch.results",
+    )?;
+
     // Deterministic-simulation suite: the scenario catalog at fixed seeds.
     // A document is only valid if every scenario passed AND every run
     // replayed byte-identically — a sim regression must fail the job, not
@@ -231,11 +273,11 @@ pub fn validate_text(text: &str) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    /// Minimal well-formed a1-bench-v7 document.
+    /// Minimal well-formed a1-bench-v8 document.
     fn sample() -> Json {
         Json::parse(
             r#"{
-              "schema": "a1-bench-v7",
+              "schema": "a1-bench-v8",
               "quick": true,
               "results": [{
                 "workload": "q1", "machines": 8, "fanout_parallelism": 0,
@@ -285,6 +327,20 @@ mod tests {
                    "avg_latency_ns": 30, "throughput_qps": 40.0,
                    "cache_hits": 0, "cache_misses": 0,
                    "local_read_fraction": 0.1, "result": 32}
+                ]
+              },
+              "fetch": {
+                "speedup": 8.0, "verb_reduction": 6.0,
+                "answers_identical": true, "churn_batches": 10,
+                "results": [
+                  {"mode": "scalar", "machines": 4, "iters": 6,
+                   "p50_latency_ns": 80, "p99_latency_ns": 90,
+                   "avg_latency_ns": 82, "throughput_qps": 12.0,
+                   "fetch_verbs": 200, "result": 16},
+                  {"mode": "batched", "machines": 4, "iters": 6,
+                   "p50_latency_ns": 10, "p99_latency_ns": 12,
+                   "avg_latency_ns": 11, "throughput_qps": 90.0,
+                   "fetch_verbs": 30, "result": 16}
                 ]
               },
               "sim": {
@@ -361,6 +417,33 @@ mod tests {
         }
         let err = validate_doc(&doc).unwrap_err();
         assert!(err.contains("sim"), "{err}");
+
+        // Missing fetch section.
+        let mut doc = sample();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "fetch");
+        }
+        let err = validate_doc(&doc).unwrap_err();
+        assert!(err.contains("fetch"), "{err}");
+
+        // Scalar and batched answers diverged — never a valid artifact.
+        let mut doc = sample();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k != "fetch" {
+                    continue;
+                }
+                if let Json::Obj(fetch_fields) = v {
+                    for (fk, fv) in fetch_fields.iter_mut() {
+                        if fk == "answers_identical" {
+                            *fv = Json::Bool(false);
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_doc(&doc).unwrap_err();
+        assert!(err.contains("fetch: answers_identical"), "{err}");
 
         // A replay divergence is never a valid artifact.
         let mut doc = sample();

@@ -33,12 +33,115 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// When does a per-machine batch justify shipping an RPC work op instead of
+/// being read remotely from the coordinator (§3.4)?
+///
+/// The choice only moves *where* the snapshot reads happen — both paths
+/// evaluate identical operators at the same snapshot timestamp, so every
+/// policy returns byte-identical answers; only latency and verb counts
+/// differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipPolicy {
+    /// Ship batches of at least `n` vertices (the legacy static threshold;
+    /// `Fixed(usize::MAX)` disables shipping entirely).
+    Fixed(usize),
+    /// Compare a modeled fetch cost (doorbell-batched one-sided reads from
+    /// the coordinator) against a modeled ship cost (RPC round trip +
+    /// machine-local reads at the owner) per batch, using only
+    /// deterministic inputs: the fabric's [`LatencyModel`] constants, the
+    /// batch size, the step's shape (edge enumerations are pointer-chasing
+    /// and cannot be doorbell-batched), and a static record-width estimate
+    /// derived from the catalog's vertex schemas. No runtime counters feed
+    /// the decision, so a simulation replay makes the identical choice.
+    ///
+    /// [`LatencyModel`]: a1_farm::LatencyModel
+    Cost,
+}
+
+/// Fixed remote-side dispatch overhead a shipped work op pays beyond the
+/// wire RPC cost (deserialization, pool queueing). Seeded from the bench
+/// cost model's calibration (`a1-bench`'s `costmodel.rs`: ~1.5 µs/vertex
+/// CPU, 15 µs one-way RPC on the paper's hardware); per-vertex operator CPU
+/// is spent wherever evaluation runs and cancels out of the comparison.
+const SHIP_DISPATCH_NS: u64 = 3_000;
+
+/// Wire-size guesses for the ship cost model: per-address request bytes,
+/// per-row reply bytes, request framing, and the header-object bytes a
+/// fetch transfers per vertex (FaRM object header + vertex header).
+const SHIP_REQ_BYTES_PER_ADDR: usize = 16;
+const SHIP_REPLY_BYTES_PER_ROW: usize = 32;
+const SHIP_REQ_BASE_BYTES: usize = 40;
+const FETCH_HDR_BYTES: usize = 96;
+
+impl ShipPolicy {
+    /// Decide for a batch of `n` vertices against `step` on a remote host
+    /// (`same_rack` relative to the coordinator). `est_record_bytes` is the
+    /// catalog-derived record-width estimate.
+    fn should_ship(
+        &self,
+        n: usize,
+        lat: &a1_farm::LatencyModel,
+        same_rack: bool,
+        step: &CompiledStep,
+        emit_rows: bool,
+        est_record_bytes: usize,
+    ) -> bool {
+        match *self {
+            ShipPolicy::Fixed(t) => n >= t,
+            ShipPolicy::Cost => {
+                let need_rec = !step.preds.is_empty() || emit_rows;
+                // Edge enumerations (matches + traverse) descend B-tree/list
+                // blocks — pointer chasing the fetch path pays as ~2 scalar
+                // round trips per vertex per enumeration, while the ship
+                // path serves them from machine-local memory.
+                let enum_ops = step.matches.len() + step.traverse.is_some() as usize;
+                let fetch = lat.one_sided_batch_ns(false, same_rack, n, n * FETCH_HDR_BYTES)
+                    + if need_rec {
+                        lat.one_sided_batch_ns(false, same_rack, n, n * est_record_bytes)
+                    } else {
+                        0
+                    }
+                    + (n * enum_ops) as u64 * 2 * lat.one_sided_ns(false, same_rack, 256);
+                let local_per_vertex =
+                    (1 + need_rec as usize + 2 * enum_ops) as u64 * lat.local_read_ns;
+                let ship = lat.rpc_ns(same_rack, SHIP_REQ_BASE_BYTES + SHIP_REQ_BYTES_PER_ADDR * n)
+                    + lat.rpc_ns(same_rack, SHIP_REPLY_BYTES_PER_ROW * n)
+                    + SHIP_DISPATCH_NS
+                    + n as u64 * local_per_vertex;
+                ship < fetch
+            }
+        }
+    }
+}
+
+/// Static record-width estimate from the catalog's vertex schemas (mean
+/// field count, ~16 B per encoded field plus framing) — a pure function of
+/// the catalog so the [`ShipPolicy::Cost`] decision is replay-deterministic.
+fn est_record_bytes(proxies: &GraphProxies) -> usize {
+    let fields: usize = proxies
+        .vertex_types
+        .iter()
+        .map(|vp| vp.def.schema.fields().len())
+        .sum();
+    let types = proxies.vertex_types.len();
+    if types == 0 {
+        return 64;
+    }
+    32 + 16 * (fields / types)
+}
+
 /// Execution knobs (paper defaults in parentheses).
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
-    /// Minimum per-machine batch size to justify an RPC; smaller batches are
-    /// executed at the coordinator with one-sided reads (§3.4).
-    pub ship_threshold: usize,
+    /// When to ship a per-machine batch as an RPC work op instead of
+    /// fetching it with one-sided reads from the coordinator (§3.4).
+    pub ship_policy: ShipPolicy,
+    /// Coalesce a morsel's header reads, cache-revalidation probes, and
+    /// record reads into doorbell-batched one-sided posts (one per target
+    /// machine per round) instead of one verb per object. Answers are
+    /// byte-identical either way; `false` keeps the scalar read-per-object
+    /// loop for A/B comparison.
+    pub batched_fetch: bool,
     /// Fast-fail bound on the frontier size (§3.4).
     pub max_working_set: usize,
     /// Rows per page before continuation tokens kick in (§3.4).
@@ -63,7 +166,8 @@ pub struct ExecConfig {
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
-            ship_threshold: 4,
+            ship_policy: ShipPolicy::Fixed(4),
+            batched_fetch: true,
             max_working_set: 1_000_000,
             page_size: 1_000,
             fanout_parallelism: 0,
@@ -95,6 +199,12 @@ pub struct QueryMetrics {
     pub cache_hits: u64,
     /// Frontier reads that consulted the cache and fell through to FaRM.
     pub cache_misses: u64,
+    /// One-sided fetch posts (doorbell rings) this query's work ops issued:
+    /// a scalar read or probe counts 1, a doorbell-coalesced batch counts 1
+    /// per target machine regardless of how many objects it carried. The
+    /// verb-reduction ratio of batching is `fetch_verbs(scalar)` /
+    /// `fetch_verbs(batched)` for the same query.
+    pub fetch_verbs: u64,
 }
 
 impl QueryMetrics {
@@ -131,6 +241,7 @@ impl QueryMetrics {
         self.rpc_reply_bytes += other.rpc_reply_bytes;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.fetch_verbs += other.fetch_verbs;
     }
 }
 
@@ -172,6 +283,9 @@ pub struct HopStats {
     pub cache_hits: u64,
     /// Hot-vertex cache misses across this hop's work ops.
     pub cache_misses: u64,
+    /// One-sided fetch posts this hop's work ops issued (see
+    /// [`QueryMetrics::fetch_verbs`]).
+    pub fetch_verbs: u64,
 }
 
 /// A query's outcome: rows (or a count) plus metrics and an optional
@@ -551,11 +665,12 @@ pub fn run_work_op(
     op: &WorkOp,
     cache: Option<&VertexCache>,
     pool: Option<&a1_farm::WorkerPool>,
-    intra_parallelism: usize,
+    cfg: &ExecConfig,
 ) -> A1Result<WorkResult> {
     let cache = cache.filter(|_| !op.cache_bypass);
+    let batched = cfg.batched_fetch;
     let memo = NeighborMemo::default();
-    let workers = match intra_parallelism {
+    let workers = match cfg.intra_parallelism {
         0 => farm.config().fabric.threads_per_machine.max(1),
         n => n,
     };
@@ -571,6 +686,7 @@ pub fn run_work_op(
             &op.vertices,
             &memo,
             cache,
+            batched,
         )?;
         result.morsels = 1;
         result.max_concurrent_morsels = 1;
@@ -589,7 +705,9 @@ pub fn run_work_op(
             Box::new(move || {
                 let cur = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                 peak.fetch_max(cur, Ordering::SeqCst);
-                let r = run_morsel(farm, store, proxies, machine, op, part, memo, cache);
+                let r = run_morsel(
+                    farm, store, proxies, machine, op, part, memo, cache, batched,
+                );
                 in_flight.fetch_sub(1, Ordering::SeqCst);
                 r
             }) as ScopedJob<'_, A1Result<WorkResult>>
@@ -649,9 +767,47 @@ fn revalidate_hit(
     Some((entry.hdr, Some(rec)))
 }
 
-/// One morsel of a work op: the serial per-vertex loop over a contiguous
-/// slice of the batch, in its own read-only transaction joined to the
-/// op's snapshot.
+/// [`revalidate_hit`] against a doorbell-batched prefetch slot instead of a
+/// fresh scalar probe. Both response shapes carry the header object's FaRM
+/// version word — a [`FetchResp::Hdr`] directly, a [`FetchResp::Obj`] via
+/// `ObjBuf::version` (the prefetch phase requests a full header read when it
+/// already knows the entry cannot serve, e.g. a header-only entry when the
+/// record is needed) — so the validity rule is identical to the scalar
+/// probe's. Any error slot is a miss, like a failed scalar probe.
+fn revalidate_prefetched(
+    resp: &a1_farm::FarmResult<a1_farm::FetchResp>,
+    entry: &CachedVertex,
+    need_record: bool,
+) -> Option<(crate::vertex::VertexHeader, Option<Arc<a1_bond::Record>>)> {
+    let version = match resp {
+        Ok(a1_farm::FetchResp::Hdr(h)) => h.version,
+        Ok(a1_farm::FetchResp::Obj(b)) => b.version,
+        Err(_) => return None,
+    };
+    if version != entry.hdr_version {
+        return None;
+    }
+    if !need_record || entry.hdr.data.is_null() {
+        return Some((entry.hdr, None));
+    }
+    let rec = entry.record.clone()?;
+    Some((entry.hdr, Some(rec)))
+}
+
+/// One morsel of a work op: the per-vertex loop over a contiguous slice of
+/// the batch, in its own read-only transaction joined to the op's snapshot.
+///
+/// With `batched` set, the morsel front-loads its fetches into
+/// doorbell-coalesced posts (one per target machine per round) instead of
+/// one verb per object: round one carries every vertex's header read or
+/// cache-revalidation probe, round two the surviving vertices' record
+/// reads. The per-vertex loop then consumes the prefetched slots, falling
+/// back to the scalar read for any address the prefetch could not serve
+/// (probe invalidated by churn, concurrent cache fill), so answers are
+/// byte-identical to the scalar loop. Edge enumeration and match-pattern
+/// neighbor reads stay scalar: they are pointer-chasing (B-tree descent,
+/// per-edge data blocks) whose addresses are unknown until the header is in
+/// hand, and under query shipping they are machine-local anyway.
 #[allow(clippy::too_many_arguments)]
 fn run_morsel(
     farm: &Arc<FarmCluster>,
@@ -662,7 +818,10 @@ fn run_morsel(
     vertices: &[Addr],
     memo: &NeighborMemo,
     cache: Option<&VertexCache>,
+    batched: bool,
 ) -> A1Result<WorkResult> {
+    use a1_farm::{FetchReq, FetchResp};
+
     let mut tx = farm.begin_read_only_at(machine, op.snapshot_ts);
     let mut result = WorkResult::default();
     let mut evictions = 0u64;
@@ -674,6 +833,74 @@ fn run_morsel(
         }
     };
     let need_rec = !op.step.preds.is_empty() || op.emit_rows;
+    let batched = batched && vertices.len() > 1;
+
+    // Prefetch round one: one batched post per target machine covering every
+    // vertex's header — a full read on a cache miss, a header-sized
+    // revalidation probe on a hit (or a full read when the entry cannot
+    // serve this shape of read, saving the probe-then-read double verb the
+    // scalar path pays).
+    let mut pre: HashMap<Addr, a1_farm::FarmResult<FetchResp>> = HashMap::new();
+    if batched {
+        let mut reqs = Vec::with_capacity(vertices.len());
+        let mut order = Vec::with_capacity(vertices.len());
+        for &addr in vertices {
+            if matches!(op.step.id_filter, Some(idf) if addr != idf) {
+                continue;
+            }
+            if order.contains(&addr) {
+                continue; // rare dup in a hand-built op: first slot serves it
+            }
+            match cache.and_then(|c| c.lookup(addr, op.snapshot_ts)) {
+                Some(e) if !(need_rec && e.record.is_none() && !e.hdr.data.is_null()) => {
+                    reqs.push(FetchReq::Probe(addr));
+                }
+                _ => reqs.push(FetchReq::Read(crate::vertex::vertex_ptr(addr))),
+            }
+            order.push(addr);
+        }
+        for (addr, res) in order.into_iter().zip(tx.fetch_many(&reqs)) {
+            pre.insert(addr, res);
+        }
+    }
+
+    // Prefetch round two: data records for vertices whose prefetched header
+    // survives this op's type filter and needs a payload. Conditions mirror
+    // the consuming loop exactly; a wrong guess (concurrent cache churn)
+    // only costs a fallback scalar read, never a wrong answer.
+    let mut pre_rec: HashMap<Addr, a1_farm::FarmResult<a1_farm::ObjBuf>> = HashMap::new();
+    if batched && need_rec {
+        let mut rec_ptrs: Vec<a1_farm::Ptr> = Vec::new();
+        for &addr in vertices {
+            let Some(res) = pre.get(&addr) else { continue };
+            let (hdr, have_rec) = match res {
+                Ok(FetchResp::Obj(buf)) => match crate::vertex::VertexHeader::decode(buf.data()) {
+                    Ok(h) => (h, false),
+                    Err(_) => continue,
+                },
+                Ok(FetchResp::Hdr(h)) => match cache.and_then(|c| c.lookup(addr, op.snapshot_ts)) {
+                    Some(e) if e.hdr_version == h.version => (e.hdr, e.record.is_some()),
+                    _ => continue,
+                },
+                Err(_) => continue,
+            };
+            if have_rec || hdr.data.is_null() {
+                continue;
+            }
+            if matches!(op.step.type_filter, Some(tf) if hdr.type_id != tf) {
+                continue;
+            }
+            if proxies.vertex_type_by_id(hdr.type_id).is_none() {
+                continue;
+            }
+            rec_ptrs.push(hdr.data);
+        }
+        if !rec_ptrs.is_empty() {
+            for (p, res) in rec_ptrs.iter().zip(tx.read_many(&rec_ptrs)) {
+                pre_rec.insert(p.addr, res);
+            }
+        }
+    }
 
     'vertices: for &addr in vertices {
         if let Some(idf) = op.step.id_filter {
@@ -687,7 +914,10 @@ fn run_morsel(
         let mut served: Option<(crate::vertex::VertexHeader, Option<Arc<a1_bond::Record>>)> = None;
         if let Some(c) = cache {
             if let Some(entry) = c.lookup(addr, op.snapshot_ts) {
-                served = revalidate_hit(&mut tx, addr, &entry, need_rec);
+                served = match pre.get(&addr) {
+                    Some(resp) => revalidate_prefetched(resp, &entry, need_rec),
+                    None => revalidate_hit(&mut tx, addr, &entry, need_rec),
+                };
                 if served.is_none() {
                     // The entry no longer matches live memory (or can't
                     // serve this shape of read): drop it so it stops costing
@@ -717,12 +947,27 @@ fn run_morsel(
                     result.metrics.cache_misses += 1;
                     c.note_miss();
                 }
-                let (buf, hdr) = match edges::read_header(&mut tx, addr) {
-                    Ok(x) => x,
-                    Err(A1Error::NoSuchVertex(_)) => continue, // deleted under us
-                    Err(e) => return Err(e),
+                // Consume the prefetched header; error mapping mirrors
+                // `edges::read_header`. A `Hdr` slot (the prefetch probed a
+                // cache entry that has since been invalidated) cannot serve
+                // a full header, so it falls back to the scalar read — same
+                // as the scalar path's probe-then-read sequence.
+                let (version, hdr) = match pre.remove(&addr) {
+                    Some(Ok(FetchResp::Obj(buf))) => {
+                        let hdr = crate::vertex::VertexHeader::decode(buf.data())?;
+                        (buf.version, hdr)
+                    }
+                    Some(Err(a1_farm::FarmError::NotFound(_))) => continue, // deleted under us
+                    Some(Err(e)) => return Err(e.into()),
+                    Some(Ok(FetchResp::Hdr(_))) | None => {
+                        match edges::read_header(&mut tx, addr) {
+                            Ok((buf, hdr)) => (buf.version, hdr),
+                            Err(A1Error::NoSuchVertex(_)) => continue, // deleted under us
+                            Err(e) => return Err(e),
+                        }
+                    }
                 };
-                hdr_version = buf.version;
+                hdr_version = version;
                 result.metrics.vertices_read += 1;
                 count_read(&mut result.metrics, addr);
                 (hdr, None)
@@ -755,7 +1000,19 @@ fn run_morsel(
         if need_rec {
             let Some(vp) = vp else { continue };
             if rec.is_none() && !hdr.data.is_null() {
-                if let Some((data_version, r)) = store.read_vertex_data_versioned(&mut tx, &hdr)? {
+                // Prefetched record slot first (round two); scalar read for
+                // anything the prefetch could not anticipate. Decoding and
+                // error propagation mirror `read_vertex_data_versioned`.
+                let fetched = match pre_rec.remove(&hdr.data.addr) {
+                    Some(Ok(buf)) => {
+                        let r = a1_bond::decode_record(buf.data())
+                            .map_err(|e| A1Error::Internal(e.to_string()))?;
+                        Some((buf.version, r))
+                    }
+                    Some(Err(e)) => return Err(e.into()),
+                    None => store.read_vertex_data_versioned(&mut tx, &hdr)?,
+                };
+                if let Some((data_version, r)) = fetched {
                     count_read(&mut result.metrics, hdr.data.addr);
                     let r = Arc::new(r);
                     rec = Some(r.clone());
@@ -921,6 +1178,7 @@ fn run_morsel(
             result.next.push(addr);
         }
     }
+    result.metrics.fetch_verbs = tx.fetch_verbs();
     if cache.is_some() {
         let fm = farm.fabric().metrics();
         fm.add(&fm.cache_hits, result.metrics.cache_hits);
@@ -1074,6 +1332,18 @@ pub fn coordinate(
         // materialized.
         let row_limit = if emit_rows { compiled.limit } else { None };
         let chunk_size = row_limit.map(|l| l.max(1));
+        // The ship-vs-fetch decision (§3.4): a pure function of the batch
+        // size, the step's shape, the latency model, and static catalog
+        // stats — see [`ShipPolicy`]. Evaluated against the whole batch and
+        // re-checked against each (possibly LIMIT-sliced) part, like the
+        // legacy fixed threshold.
+        let latency = farm.config().fabric.latency.clone();
+        let est_rec = est_record_bytes(proxies);
+        let decide_ship = |host: MachineId, n: usize| -> bool {
+            let same_rack = farm.fabric().rack_of(machine) == farm.fabric().rack_of(host);
+            cfg.ship_policy
+                .should_ship(n, &latency, same_rack, step, emit_rows, est_rec)
+        };
         let mut batch_idx = 0usize;
         let mut batch_off = 0usize;
         let mut next_part = || -> Option<(MachineId, Vec<Addr>, bool)> {
@@ -1087,7 +1357,7 @@ pub fn coordinate(
                     continue;
                 }
                 let end = chunk_size.map_or(len, |c| (batch_off + c).min(len));
-                let ship_batch = host != machine && len >= cfg.ship_threshold;
+                let ship_batch = host != machine && decide_ship(host, len);
                 // A whole-batch chunk (the common, no-LIMIT case) moves the
                 // Vec instead of copying it.
                 let part = if batch_off == 0 && end == len {
@@ -1095,7 +1365,7 @@ pub fn coordinate(
                 } else {
                     vertices[batch_off..end].to_vec()
                 };
-                let is_ship = ship_batch && part.len() >= cfg.ship_threshold;
+                let is_ship = ship_batch && decide_ship(host, part.len());
                 batch_off = end;
                 return Some((host, part, is_ship));
             }
@@ -1124,16 +1394,7 @@ pub fn coordinate(
                 // read remotely than to RPC (§3.4). Still morsel-parallel on
                 // the coordinator's pool — under hub skew the coordinator
                 // machine can own most of the frontier itself.
-                run_work_op(
-                    farm,
-                    store,
-                    proxies,
-                    machine,
-                    op,
-                    cache,
-                    Some(pool),
-                    cfg.intra_parallelism,
-                )
+                run_work_op(farm, store, proxies, machine, op, cache, Some(pool), cfg)
             }
         };
 
@@ -1197,6 +1458,7 @@ pub fn coordinate(
                 hop.rpc_reply_bytes += result.metrics.rpc_reply_bytes;
                 hop.cache_hits += result.metrics.cache_hits;
                 hop.cache_misses += result.metrics.cache_misses;
+                hop.fetch_verbs += result.metrics.fetch_verbs;
                 hop.morsels += result.morsels;
                 hop.max_concurrent_morsels = hop
                     .max_concurrent_morsels

@@ -524,7 +524,7 @@ impl A1Inner {
             op,
             cache,
             pool,
-            self.cfg.exec.intra_parallelism,
+            &self.cfg.exec,
         )
     }
 

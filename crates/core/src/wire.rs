@@ -730,6 +730,7 @@ const WR_MORSELS: u16 = 7;
 const WR_PEAK_MORSELS: u16 = 8;
 const WR_CACHE_HITS: u16 = 9;
 const WR_CACHE_MISSES: u16 = 10;
+const WR_FETCH_VERBS: u16 = 11;
 
 fn work_result_to_record(r: &WorkResult) -> Record {
     let mut rec = Record::new().with(WR_NEXT, addrs_to_value(&r.next));
@@ -752,6 +753,9 @@ fn work_result_to_record(r: &WorkResult) -> Record {
     }
     if r.metrics.cache_misses != 0 {
         rec.set(WR_CACHE_MISSES, Value::UInt64(r.metrics.cache_misses));
+    }
+    if r.metrics.fetch_verbs != 0 {
+        rec.set(WR_FETCH_VERBS, Value::UInt64(r.metrics.fetch_verbs));
     }
     rec
 }
@@ -781,6 +785,7 @@ fn work_result_from_record(rec: &Record) -> A1Result<WorkResult> {
             remote_reads: rec_u64(rec, WR_RR).unwrap_or(0),
             cache_hits: rec_u64(rec, WR_CACHE_HITS).unwrap_or(0),
             cache_misses: rec_u64(rec, WR_CACHE_MISSES).unwrap_or(0),
+            fetch_verbs: rec_u64(rec, WR_FETCH_VERBS).unwrap_or(0),
             ..QueryMetrics::default()
         },
         morsels: rec_u64(rec, WR_MORSELS).unwrap_or(0),
@@ -806,6 +811,7 @@ const QM_REQ_BYTES: u16 = 7;
 const QM_REPLY_BYTES: u16 = 8;
 const QM_CACHE_HITS: u16 = 9;
 const QM_CACHE_MISSES: u16 = 10;
+const QM_FETCH_VERBS: u16 = 11;
 
 fn metrics_to_record(m: &QueryMetrics) -> Record {
     Record::new()
@@ -820,6 +826,7 @@ fn metrics_to_record(m: &QueryMetrics) -> Record {
         .with(QM_REPLY_BYTES, Value::UInt64(m.rpc_reply_bytes))
         .with(QM_CACHE_HITS, Value::UInt64(m.cache_hits))
         .with(QM_CACHE_MISSES, Value::UInt64(m.cache_misses))
+        .with(QM_FETCH_VERBS, Value::UInt64(m.fetch_verbs))
 }
 
 fn metrics_from_record(rec: &Record) -> QueryMetrics {
@@ -835,6 +842,7 @@ fn metrics_from_record(rec: &Record) -> QueryMetrics {
         rpc_reply_bytes: rec_u64(rec, QM_REPLY_BYTES).unwrap_or(0),
         cache_hits: rec_u64(rec, QM_CACHE_HITS).unwrap_or(0),
         cache_misses: rec_u64(rec, QM_CACHE_MISSES).unwrap_or(0),
+        fetch_verbs: rec_u64(rec, QM_FETCH_VERBS).unwrap_or(0),
     }
 }
 
@@ -1499,6 +1507,7 @@ pub fn work_result_to_json(r: &A1Result<WorkResult>) -> Json {
             ("pm", Json::Num(r.max_concurrent_morsels as f64)),
             ("ch", Json::Num(r.metrics.cache_hits as f64)),
             ("cm", Json::Num(r.metrics.cache_misses as f64)),
+            ("fv", Json::Num(r.metrics.fetch_verbs as f64)),
         ]),
         Err(e) => error_to_json(e),
     }
@@ -1537,6 +1546,7 @@ pub fn work_result_from_json(j: &Json) -> A1Result<WorkResult> {
             remote_reads: j.get("rr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             cache_hits: j.get("ch").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             cache_misses: j.get("cm").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            fetch_verbs: j.get("fv").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             ..QueryMetrics::default()
         },
         morsels: j.get("mo").and_then(Json::as_f64).unwrap_or(0.0) as u64,
@@ -1557,6 +1567,7 @@ fn metrics_to_json(m: &QueryMetrics) -> Json {
         ("repb", Json::Num(m.rpc_reply_bytes as f64)),
         ("ch", Json::Num(m.cache_hits as f64)),
         ("cm", Json::Num(m.cache_misses as f64)),
+        ("fv", Json::Num(m.fetch_verbs as f64)),
     ])
 }
 
@@ -1577,6 +1588,7 @@ fn metrics_from_json(j: Option<&Json>) -> QueryMetrics {
         rpc_reply_bytes: f("repb"),
         cache_hits: f("ch"),
         cache_misses: f("cm"),
+        fetch_verbs: f("fv"),
     }
 }
 
@@ -1697,6 +1709,7 @@ mod tests {
                 remote_reads: 1,
                 cache_hits: 6,
                 cache_misses: 2,
+                fetch_verbs: 9,
                 ..QueryMetrics::default()
             },
             morsels: 4,
@@ -1758,6 +1771,7 @@ mod tests {
                 rpc_reply_bytes: 5678,
                 cache_hits: 21,
                 cache_misses: 9,
+                fetch_verbs: 13,
                 ..QueryMetrics::default()
             },
             per_hop: Vec::new(),

@@ -446,6 +446,129 @@ impl FarmCluster {
         }
     }
 
+    /// Doorbell-batched combination of [`read_raw`](Self::read_raw) and
+    /// [`probe_header`](Self::probe_header): every spec `(addr, want)` with
+    /// `want > 0` is a header+payload read of a `want`-byte object, and
+    /// `want == 0` is a header-only version probe — so a morsel's cache
+    /// revalidation probes ride in the **same** post as its header reads.
+    ///
+    /// Specs are grouped by resolved primary (one region resolve per
+    /// distinct region, per the PR 5 resolve-once convention) and each group
+    /// is posted with a single [`Fabric::read_many`] doorbell. Entries that
+    /// come back locked, uncommitted, or with a stale size hint fall back to
+    /// the scalar path, which owns the lock-wait spin protocol; a batch-level
+    /// network failure falls back to the scalar path for the whole group so
+    /// per-entry errors and re-resolution behave exactly as scalar reads do.
+    ///
+    /// Returns per-entry results in input order plus the number of one-sided
+    /// read posts issued (doorbells + scalar fallback reads) for the
+    /// caller's verb accounting.
+    ///
+    /// [`Fabric::read_many`]: a1_rdma::Fabric::read_many
+    pub(crate) fn read_raw_many(
+        &self,
+        origin: MachineId,
+        specs: &[(Addr, u32)],
+    ) -> (Vec<FarmResult<(ObjHeader, Bytes)>>, u64) {
+        let mut out: Vec<Option<FarmResult<(ObjHeader, Bytes)>>> = vec![None; specs.len()];
+        let mut verbs = 0u64;
+        // Resolve each distinct region once, then group spec indices by
+        // primary so same-destination reads share a doorbell.
+        let mut resolved: HashMap<RegionId, FarmResult<MachineId>> = HashMap::new();
+        let mut groups: HashMap<MachineId, Vec<usize>> = HashMap::new();
+        for (i, &(addr, _)) in specs.iter().enumerate() {
+            let rid = addr.region();
+            let primary = resolved
+                .entry(rid)
+                .or_insert_with(|| self.resolve(rid).map(|(_, p)| p));
+            match primary {
+                Ok(p) => groups.entry(*p).or_default().push(i),
+                Err(e) => out[i] = Some(Err(e.clone())),
+            }
+        }
+        let scalar = |i: usize, verbs: &mut u64| {
+            let (addr, want) = specs[i];
+            *verbs += 1;
+            if want == 0 {
+                self.probe_header(origin, addr).map(|h| (h, Bytes::new()))
+            } else {
+                self.read_raw(origin, Ptr::new(addr, want))
+            }
+        };
+        for (primary, idxs) in groups {
+            let batch: Vec<(u64, usize, usize)> = idxs
+                .iter()
+                .map(|&i| {
+                    let (addr, want) = specs[i];
+                    (
+                        addr.region().0 as u64,
+                        addr.offset() as usize,
+                        HEADER + want as usize,
+                    )
+                })
+                .collect();
+            match self.fabric.read_many(origin, primary, &batch) {
+                Ok(results) => {
+                    verbs += 1;
+                    for (&i, res) in idxs.iter().zip(results) {
+                        let (addr, want) = specs[i];
+                        out[i] = Some(match res {
+                            Ok(raw) => {
+                                match ObjHeader::parse(&raw) {
+                                    None => Err(FarmError::Unavailable("short read".into())),
+                                    Some(h)
+                                        if h.is_locked()
+                                            || (h.capacity != 0
+                                                && h.state != STATE_FREE
+                                                && !h.is_committed()) =>
+                                    {
+                                        // Locked by an in-flight commit: the
+                                        // scalar path owns the spin protocol.
+                                        scalar(i, &mut verbs)
+                                    }
+                                    Some(h) if h.capacity == 0 || h.state == STATE_FREE => {
+                                        Err(FarmError::NotFound(addr))
+                                    }
+                                    Some(h) if want > 0 && h.len > want => {
+                                        // Stale size hint: re-read scalar
+                                        // with the real length.
+                                        scalar(i, &mut verbs)
+                                    }
+                                    Some(h) => {
+                                        let len = if want == 0 { 0 } else { h.len as usize };
+                                        Ok((h, raw.slice(HEADER..HEADER + len)))
+                                    }
+                                }
+                            }
+                            // Per-entry segment errors surface like scalar
+                            // reads of a bad address.
+                            Err(e) => Err(e.into()),
+                        });
+                    }
+                }
+                Err(NetError::MachineUnreachable(_)) => {
+                    // The whole post failed (dead primary or partition):
+                    // the scalar path re-detects and re-resolves per entry.
+                    self.detect_failures();
+                    for &i in &idxs {
+                        out[i] = Some(scalar(i, &mut verbs));
+                    }
+                }
+                Err(e) => {
+                    for &i in &idxs {
+                        out[i] = Some(Err(e.clone().into()));
+                    }
+                }
+            }
+        }
+        (
+            out.into_iter()
+                .map(|r| r.expect("every spec slot filled"))
+                .collect(),
+            verbs,
+        )
+    }
+
     /// Serve a read-only snapshot read from the primary's old-version store.
     pub(crate) fn read_old_version(
         &self,
@@ -472,6 +595,92 @@ impl FarmCluster {
                     None if read_ts < meta.history_floor => None, // too old
                     None => Some((0, STATE_FREE, Bytes::new())),  // didn't exist yet
                 }
+            })
+            .ok_or_else(|| FarmError::Unavailable("old-version read hit a backup".into()))?;
+        match found {
+            None => Err(FarmError::SnapshotTooOld),
+            Some((0, _, _)) => Err(FarmError::NotFound(ptr.addr)),
+            Some((_, STATE_TOMBSTONE, _)) => Err(FarmError::NotFound(ptr.addr)),
+            Some((version, _, payload)) => Ok(ObjBuf {
+                ptr,
+                version,
+                capacity: payload.len().max(ptr.size as usize) as u32,
+                data: payload,
+            }),
+        }
+    }
+
+    /// Batched [`read_old_version`](Self::read_old_version): old-version
+    /// fetches grouped per destination primary, each group charged **one**
+    /// batched round trip instead of one per object — so a work op that
+    /// trips over several concurrently-updated objects pays a single extra
+    /// doorbell per machine for its snapshot reads, not one per vertex.
+    /// Returns per-entry results in input order plus the number of posts
+    /// charged (remote groups only; local lookups are memory reads).
+    pub(crate) fn read_old_versions(
+        &self,
+        origin: MachineId,
+        ptrs: &[Ptr],
+        read_ts: u64,
+    ) -> (Vec<FarmResult<ObjBuf>>, u64) {
+        let mut out: Vec<Option<FarmResult<ObjBuf>>> = vec![None; ptrs.len()];
+        let mut verbs = 0u64;
+        let mut groups: HashMap<MachineId, Vec<usize>> = HashMap::new();
+        let mut regions: HashMap<RegionId, FarmResult<(Arc<Region>, MachineId)>> = HashMap::new();
+        for (i, ptr) in ptrs.iter().enumerate() {
+            let rid = ptr.addr.region();
+            match regions
+                .entry(rid)
+                .or_insert_with(|| self.resolve(rid))
+                .as_ref()
+            {
+                Ok((_, p)) => groups.entry(*p).or_default().push(i),
+                Err(e) => out[i] = Some(Err(e.clone())),
+            }
+        }
+        for (primary, idxs) in groups {
+            if primary != origin {
+                verbs += 1;
+                let total: usize = idxs.iter().map(|&i| ptrs[i].size as usize).sum();
+                self.fabric
+                    .charge_ns(self.cfg.fabric.latency.one_sided_batch_ns(
+                        false,
+                        self.fabric.rack_of(origin) == self.fabric.rack_of(primary),
+                        idxs.len(),
+                        total,
+                    ));
+            }
+            for &i in &idxs {
+                out[i] = Some(self.lookup_old_version(&regions, ptrs[i], read_ts));
+            }
+        }
+        (
+            out.into_iter()
+                .map(|r| r.expect("every ptr slot filled"))
+                .collect(),
+            verbs,
+        )
+    }
+
+    /// The store-side half of an old-version read: meta lookup only, no
+    /// latency charge (shared by the scalar and batched paths).
+    fn lookup_old_version(
+        &self,
+        regions: &HashMap<RegionId, FarmResult<(Arc<Region>, MachineId)>>,
+        ptr: Ptr,
+        read_ts: u64,
+    ) -> FarmResult<ObjBuf> {
+        let region = match regions.get(&ptr.addr.region()) {
+            Some(Ok((region, _))) => region,
+            Some(Err(e)) => return Err(e.clone()),
+            None => return Err(FarmError::Unavailable("unresolved region".into())),
+        };
+        let off = ptr.addr.offset();
+        let found = region
+            .with_meta(|meta| match meta.snapshot_lookup(off, read_ts) {
+                Some(old) => Some((old.version, old.state, Bytes::copy_from_slice(&old.payload))),
+                None if read_ts < meta.history_floor => None,
+                None => Some((0, STATE_FREE, Bytes::new())),
             })
             .ok_or_else(|| FarmError::Unavailable("old-version read hit a backup".into()))?;
         match found {

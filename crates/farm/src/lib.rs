@@ -44,7 +44,7 @@ pub use clock::{
 pub use cluster::{FarmCluster, FarmConfig};
 pub use error::{FarmError, FarmResult};
 pub use layout::ObjHeader;
-pub use txn::{Hint, ObjBuf, Txn, TxnMode};
+pub use txn::{FetchReq, FetchResp, Hint, ObjBuf, Txn, TxnMode};
 
 pub use a1_rdma::{
     ClockSource, ClusterRng, FabricConfig, FaultDecision, FaultInjector, JobClass, LatencyModel,

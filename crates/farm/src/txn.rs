@@ -107,6 +107,27 @@ pub(crate) enum WriteOp {
     },
 }
 
+/// One request in a batched fetch ([`Txn::fetch_many`]): either a full
+/// snapshot read of an object or a header-only version probe. Mixing both in
+/// one call lets a morsel's cache revalidation probes share a doorbell with
+/// its cold header reads.
+#[derive(Debug, Clone, Copy)]
+pub enum FetchReq {
+    /// Snapshot read, same semantics as [`Txn::read`].
+    Read(Ptr),
+    /// Header-only version probe, same semantics as [`Txn::probe_version`].
+    Probe(Addr),
+}
+
+/// The in-slot answer to one [`FetchReq`].
+#[derive(Debug, Clone)]
+pub enum FetchResp {
+    /// Answer to a [`FetchReq::Read`].
+    Obj(ObjBuf),
+    /// Answer to a [`FetchReq::Probe`].
+    Hdr(ObjHeader),
+}
+
 /// A FaRM transaction. Obtain via [`FarmCluster::begin`],
 /// [`FarmCluster::begin_read_only`], or [`FarmCluster::run`].
 pub struct Txn {
@@ -120,6 +141,11 @@ pub struct Txn {
     read_set: HashMap<Addr, u64>,
     pub(crate) writes: BTreeMap<Addr, WriteOp>,
     finished: bool,
+    /// One-sided read posts this transaction has issued: +1 per scalar
+    /// read/probe, +actual doorbells (including scalar fallbacks) per
+    /// batched fetch. The query engine reports this per hop as
+    /// `fetch_verbs`.
+    fetch_verbs: u64,
 }
 
 impl Txn {
@@ -143,7 +169,15 @@ impl Txn {
             read_set: HashMap::new(),
             writes: BTreeMap::new(),
             finished: false,
+            fetch_verbs: 0,
         }
+    }
+
+    /// One-sided read posts issued so far (scalar reads/probes count one
+    /// each; a batched fetch counts its actual doorbells). The coalescing
+    /// win is `requests / fetch_verbs`.
+    pub fn fetch_verbs(&self) -> u64 {
+        self.fetch_verbs
     }
 
     pub fn read_ts(&self) -> u64 {
@@ -211,6 +245,7 @@ impl Txn {
         if self.writes.contains_key(&ptr.addr) {
             return self.read(ptr);
         }
+        self.fetch_verbs += 1;
         let (h, payload) = self.cluster.read_raw(self.origin, ptr)?;
         if !h.is_committed() || h.state != STATE_LIVE {
             return Err(FarmError::NotFound(ptr.addr));
@@ -240,6 +275,7 @@ impl Txn {
             // (which serves read-your-writes).
             return Err(FarmError::Conflict);
         }
+        self.fetch_verbs += 1;
         let h = self.cluster.probe_header(self.origin, addr)?;
         if h.state != STATE_LIVE {
             return Err(FarmError::NotFound(addr));
@@ -247,7 +283,141 @@ impl Txn {
         Ok(h)
     }
 
+    /// Batched fetch: every [`FetchReq::Read`] behaves exactly like
+    /// [`read`](Self::read) and every [`FetchReq::Probe`] exactly like
+    /// [`probe_version`](Self::probe_version), but requests against the same
+    /// primary share one doorbell ([`FarmCluster`]'s `read_raw_many`), and
+    /// read-only snapshot reads that need the old-version store are folded
+    /// into one batched round trip per primary instead of one each. Results
+    /// come back in request order; answers are byte-identical to issuing
+    /// the scalar calls one at a time.
+    pub fn fetch_many(&mut self, reqs: &[FetchReq]) -> Vec<FarmResult<FetchResp>> {
+        if let Err(e) = self.check_open() {
+            return reqs.iter().map(|_| Err(e.clone())).collect();
+        }
+        let mut out: Vec<Option<FarmResult<FetchResp>>> = vec![None; reqs.len()];
+        // Requests answerable without the network (read-your-writes,
+        // pending-write probes) are served in place; the rest form the
+        // batch.
+        let mut specs: Vec<(Addr, u32)> = Vec::with_capacity(reqs.len());
+        let mut spec_idx: Vec<usize> = Vec::with_capacity(reqs.len());
+        for (i, req) in reqs.iter().enumerate() {
+            match *req {
+                FetchReq::Read(ptr) => {
+                    if self.writes.contains_key(&ptr.addr) {
+                        out[i] = Some(self.read(ptr).map(FetchResp::Obj));
+                    } else {
+                        specs.push((ptr.addr, ptr.size));
+                        spec_idx.push(i);
+                    }
+                }
+                FetchReq::Probe(addr) => {
+                    if self.writes.contains_key(&addr) {
+                        // Pending write supersedes any cached copy — same
+                        // ruling as scalar `probe_version`.
+                        out[i] = Some(Err(FarmError::Conflict));
+                    } else {
+                        specs.push((addr, 0));
+                        spec_idx.push(i);
+                    }
+                }
+            }
+        }
+        let (results, verbs) = self.cluster.read_raw_many(self.origin, &specs);
+        self.fetch_verbs += verbs;
+        // Reads whose committed version is newer than our snapshot collect
+        // into a second (old-version) batch instead of a round trip each.
+        let mut old_idx: Vec<usize> = Vec::new();
+        let mut old_ptrs: Vec<Ptr> = Vec::new();
+        for (&i, res) in spec_idx.iter().zip(results) {
+            out[i] = Some(match (&reqs[i], res) {
+                (FetchReq::Probe(addr), Ok((h, _))) => {
+                    if h.state != STATE_LIVE {
+                        Err(FarmError::NotFound(*addr))
+                    } else {
+                        Ok(FetchResp::Hdr(h))
+                    }
+                }
+                (FetchReq::Read(ptr), Ok((h, payload))) => {
+                    if !h.is_committed() {
+                        Err(FarmError::NotFound(ptr.addr))
+                    } else if h.version <= self.read_ts || self.mode == TxnMode::V1Occ {
+                        if self.mode == TxnMode::V1Occ && h.version > self.read_ts {
+                            self.cluster.note_opacity_risk();
+                        }
+                        if h.state == STATE_TOMBSTONE {
+                            Err(FarmError::NotFound(ptr.addr))
+                        } else {
+                            Ok(FetchResp::Obj(ObjBuf {
+                                ptr: *ptr,
+                                version: h.version,
+                                capacity: h.capacity,
+                                data: payload,
+                            }))
+                        }
+                    } else if !self.read_only {
+                        Err(FarmError::Conflict)
+                    } else {
+                        old_idx.push(i);
+                        old_ptrs.push(*ptr);
+                        continue;
+                    }
+                }
+                (_, Err(e)) => Err(e),
+            });
+        }
+        if !old_ptrs.is_empty() {
+            let (olds, verbs) =
+                self.cluster
+                    .read_old_versions(self.origin, &old_ptrs, self.read_ts);
+            self.fetch_verbs += verbs;
+            for (i, r) in old_idx.into_iter().zip(olds) {
+                out[i] = Some(r.map(FetchResp::Obj));
+            }
+        }
+        if !self.read_only || self.mode == TxnMode::V1Occ {
+            for (req, slot) in reqs.iter().zip(out.iter()) {
+                if let (FetchReq::Read(ptr), Some(Ok(FetchResp::Obj(buf)))) = (req, slot) {
+                    self.read_set.insert(ptr.addr, buf.version);
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request slot filled"))
+            .collect()
+    }
+
+    /// Batched [`read`](Self::read): snapshot reads coalesced per primary.
+    pub fn read_many(&mut self, ptrs: &[Ptr]) -> Vec<FarmResult<ObjBuf>> {
+        let reqs: Vec<FetchReq> = ptrs.iter().map(|&p| FetchReq::Read(p)).collect();
+        self.fetch_many(&reqs)
+            .into_iter()
+            .map(|r| {
+                r.map(|resp| match resp {
+                    FetchResp::Obj(buf) => buf,
+                    FetchResp::Hdr(_) => unreachable!("read requests return objects"),
+                })
+            })
+            .collect()
+    }
+
+    /// Batched [`probe_version`](Self::probe_version): version probes
+    /// coalesced per primary.
+    pub fn probe_version_many(&mut self, addrs: &[Addr]) -> Vec<FarmResult<ObjHeader>> {
+        let reqs: Vec<FetchReq> = addrs.iter().map(|&a| FetchReq::Probe(a)).collect();
+        self.fetch_many(&reqs)
+            .into_iter()
+            .map(|r| {
+                r.map(|resp| match resp {
+                    FetchResp::Hdr(h) => h,
+                    FetchResp::Obj(_) => unreachable!("probe requests return headers"),
+                })
+            })
+            .collect()
+    }
+
     fn read_versioned(&mut self, ptr: Ptr) -> FarmResult<ObjBuf> {
+        self.fetch_verbs += 1;
         let (h, payload) = self.cluster.read_raw(self.origin, ptr)?;
         if !h.is_committed() {
             return Err(FarmError::NotFound(ptr.addr));
@@ -275,6 +445,7 @@ impl Txn {
             return Err(FarmError::Conflict);
         }
         // Read-only: serve from the old-version store at the primary.
+        self.fetch_verbs += 1;
         self.cluster
             .read_old_version(self.origin, ptr, self.read_ts)
     }

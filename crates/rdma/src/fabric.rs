@@ -225,6 +225,7 @@ impl Fabric {
         self.metrics
             .bytes_read
             .fetch_add(len as u64, Ordering::Relaxed);
+        self.metrics.doorbells.fetch_add(1, Ordering::Relaxed);
         self.charge(
             delay
                 + self
@@ -233,6 +234,67 @@ impl Fabric {
                     .one_sided_ns(local, self.rack_of(from) == self.rack_of(to), len),
         );
         seg.read(off, len).ok_or(NetError::OutOfBounds)
+    }
+
+    /// Doorbell-batched one-sided reads: post every `(seg_id, off, len)` in
+    /// `reads` against the same destination with a **single** doorbell ring,
+    /// so the batch pays one round-trip base plus per-byte costs (§3.4).
+    ///
+    /// Fault semantics match a single one-sided verb: the injector rules
+    /// once on the whole post (a partition drops the entire batch, and —
+    /// like scalar reads — random message loss never applies to one-sided
+    /// ops, so batching consumes no fault RNG and replay determinism is
+    /// preserved). Per-entry failures (bad segment, out of bounds) are
+    /// returned in-slot so one bad address does not poison its batchmates.
+    pub fn read_many(
+        &self,
+        from: MachineId,
+        to: MachineId,
+        reads: &[(u64, usize, usize)],
+    ) -> Result<Vec<Result<Bytes, NetError>>, NetError> {
+        if reads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let total: usize = reads.iter().map(|&(_, _, len)| len).sum();
+        let delay = self
+            .fault_gate(NetOp::Read, from, to, total)
+            .map_err(|e| e.expect("one-sided drops carry an error"))?;
+        let target = self.target(to)?;
+        let local = from == to;
+        if local {
+            self.metrics
+                .local_reads
+                .fetch_add(reads.len() as u64, Ordering::Relaxed);
+        } else {
+            self.metrics
+                .remote_reads
+                .fetch_add(reads.len() as u64, Ordering::Relaxed);
+        }
+        self.metrics
+            .bytes_read
+            .fetch_add(total as u64, Ordering::Relaxed);
+        self.metrics.doorbells.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .reads_batched
+            .fetch_add(reads.len() as u64, Ordering::Relaxed);
+        self.charge(
+            delay
+                + self.cfg.latency.one_sided_batch_ns(
+                    local,
+                    self.rack_of(from) == self.rack_of(to),
+                    reads.len(),
+                    total,
+                ),
+        );
+        Ok(reads
+            .iter()
+            .map(|&(seg_id, off, len)| {
+                let seg = target
+                    .segment(seg_id)
+                    .ok_or(NetError::NoSuchSegment(seg_id))?;
+                seg.read(off, len).ok_or(NetError::OutOfBounds)
+            })
+            .collect())
     }
 
     /// One-sided RDMA write.
@@ -447,6 +509,101 @@ mod tests {
         );
         f.revive(MachineId(1));
         assert!(f.read(MachineId(0), MachineId(1), 1, 0, 4).is_ok());
+    }
+
+    #[test]
+    fn read_many_batches_one_doorbell() {
+        let f = fabric();
+        let seg = Segment::new(256);
+        f.machine(MachineId(1)).unwrap().register_segment(7, seg);
+        for i in 0..8 {
+            f.write(MachineId(1), MachineId(1), 7, i * 8, &[i as u8; 8])
+                .unwrap();
+        }
+        let before = f.metrics().snapshot();
+        let specs: Vec<(u64, usize, usize)> = (0..8).map(|i| (7u64, i * 8, 8)).collect();
+        let got = f.read_many(MachineId(0), MachineId(1), &specs).unwrap();
+        assert_eq!(got.len(), 8);
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(&r.as_ref().unwrap()[..], &[i as u8; 8]);
+        }
+        let d = f.metrics().snapshot().delta_since(&before);
+        assert_eq!(d.remote_reads, 8, "object-level read count is preserved");
+        assert_eq!(d.doorbells, 1, "one post for the whole batch");
+        assert_eq!(d.reads_batched, 8);
+        assert_eq!(d.bytes_read, 64);
+    }
+
+    #[test]
+    fn read_many_charges_one_round_trip() {
+        let clock = VirtualClock::new();
+        let cfg = FabricConfig {
+            inject_latency: true,
+            clock: clock.clone(),
+            ..Default::default()
+        };
+        let f = Fabric::new(cfg);
+        f.machine(MachineId(1))
+            .unwrap()
+            .register_segment(1, Segment::new(1024));
+        let t0 = clock.now_ns();
+        let specs: Vec<(u64, usize, usize)> = (0..8).map(|i| (1u64, i * 64, 64)).collect();
+        f.read_many(MachineId(0), MachineId(1), &specs).unwrap();
+        let batched_ns = clock.now_ns() - t0;
+        let t1 = clock.now_ns();
+        for &(s, o, l) in &specs {
+            f.read(MachineId(0), MachineId(1), s, o, l).unwrap();
+        }
+        let scalar_ns = clock.now_ns() - t1;
+        assert!(
+            batched_ns * 4 < scalar_ns,
+            "batched {batched_ns}ns vs scalar {scalar_ns}ns"
+        );
+    }
+
+    #[test]
+    fn read_many_per_entry_errors() {
+        let f = fabric();
+        f.machine(MachineId(1))
+            .unwrap()
+            .register_segment(1, Segment::new(64));
+        let got = f
+            .read_many(
+                MachineId(0),
+                MachineId(1),
+                &[(1, 0, 8), (9, 0, 8), (1, 60, 8)],
+            )
+            .unwrap();
+        assert!(got[0].is_ok());
+        assert_eq!(got[1], Err(NetError::NoSuchSegment(9)));
+        assert_eq!(got[2], Err(NetError::OutOfBounds));
+        // Batch-level failures: dead machine, empty batch.
+        f.kill(MachineId(1));
+        assert_eq!(
+            f.read_many(MachineId(0), MachineId(1), &[(1, 0, 8)]),
+            Err(NetError::MachineUnreachable(MachineId(1)))
+        );
+        assert_eq!(f.read_many(MachineId(0), MachineId(2), &[]), Ok(vec![]));
+    }
+
+    #[test]
+    fn read_many_respects_fault_injector() {
+        let f = fabric();
+        f.machine(MachineId(1))
+            .unwrap()
+            .register_segment(1, Segment::new(64));
+        f.machine(MachineId(0))
+            .unwrap()
+            .register_segment(2, Segment::new(64));
+        f.set_fault_injector(Some(Arc::new(DropAll)));
+        assert_eq!(
+            f.read_many(MachineId(0), MachineId(1), &[(1, 0, 8)]),
+            Err(NetError::MachineUnreachable(MachineId(1))),
+            "the injector rules once on the whole doorbell"
+        );
+        assert!(f
+            .read_many(MachineId(0), MachineId(0), &[(2, 0, 8)])
+            .is_ok());
     }
 
     #[test]

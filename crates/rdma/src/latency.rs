@@ -44,6 +44,32 @@ impl LatencyModel {
         base + self.size_ns(bytes)
     }
 
+    /// Cost of a doorbell-batched post of `count` one-sided reads totalling
+    /// `total_bytes`. The NIC rings one doorbell for the whole batch, so a
+    /// remote batch pays **one** round-trip base plus the per-byte term for
+    /// every read in it — this is exactly why coalescing same-destination
+    /// reads wins (§3.4). A local batch is just `count` memory accesses.
+    pub fn one_sided_batch_ns(
+        &self,
+        local: bool,
+        same_rack: bool,
+        count: usize,
+        total_bytes: usize,
+    ) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        if local {
+            return self.local_read_ns * count as u64 + self.size_ns(total_bytes) / 4;
+        }
+        let base = if same_rack {
+            self.rack_rtt_ns
+        } else {
+            self.cross_rack_rtt_ns
+        };
+        base + self.size_ns(total_bytes)
+    }
+
     /// Cost of one direction of an RPC carrying `bytes` bytes.
     pub fn rpc_ns(&self, same_rack: bool, bytes: usize) -> u64 {
         let base = if same_rack {
@@ -80,6 +106,26 @@ mod tests {
         let small = m.one_sided_ns(false, true, 64);
         let big = m.one_sided_ns(false, true, 1 << 20);
         assert!(big > small + 100_000); // 1 MiB at ~200ns/KiB ≈ 200 µs
+    }
+
+    #[test]
+    fn batch_amortizes_round_trip() {
+        let m = LatencyModel::default();
+        let scalar = 8 * m.one_sided_ns(false, true, 256);
+        let batched = m.one_sided_batch_ns(false, true, 8, 8 * 256);
+        // One RTT instead of eight; only the per-byte term survives.
+        assert!(batched * 4 < scalar, "batched {batched} scalar {scalar}");
+        // A batch of one costs the same as a scalar read.
+        assert_eq!(
+            m.one_sided_batch_ns(false, false, 1, 256),
+            m.one_sided_ns(false, false, 256)
+        );
+        assert_eq!(m.one_sided_batch_ns(false, true, 0, 0), 0);
+        // Local batches are N memory accesses, not one.
+        assert_eq!(
+            m.one_sided_batch_ns(true, true, 4, 1024),
+            4 * m.local_read_ns + (1024 * m.per_kib_ns / 1024) / 4
+        );
     }
 
     #[test]

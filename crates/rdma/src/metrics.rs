@@ -21,6 +21,12 @@ pub struct Metrics {
     pub ud_dropped: AtomicU64,
     pub bytes_read: AtomicU64,
     pub bytes_written: AtomicU64,
+    /// One-sided read *posts*: every scalar read rings one doorbell; a
+    /// batched [`read_many`](crate::Fabric::read_many) rings one for the
+    /// whole batch. `total_reads / doorbells` is the coalescing factor.
+    pub doorbells: AtomicU64,
+    /// Reads that travelled inside a batched `read_many` post.
+    pub reads_batched: AtomicU64,
     /// Total simulated network nanoseconds charged.
     pub sim_ns: AtomicU64,
     /// Read-cache hits served by the a1-core hot-vertex cache.
@@ -46,6 +52,8 @@ pub struct MetricsSnapshot {
     pub ud_dropped: u64,
     pub bytes_read: u64,
     pub bytes_written: u64,
+    pub doorbells: u64,
+    pub reads_batched: u64,
     pub sim_ns: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
@@ -71,6 +79,8 @@ impl Metrics {
             ud_dropped: self.ud_dropped.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            doorbells: self.doorbells.load(Ordering::Relaxed),
+            reads_batched: self.reads_batched.load(Ordering::Relaxed),
             sim_ns: self.sim_ns.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
@@ -95,6 +105,8 @@ impl MetricsSnapshot {
             ud_dropped: self.ud_dropped - earlier.ud_dropped,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            doorbells: self.doorbells - earlier.doorbells,
+            reads_batched: self.reads_batched - earlier.reads_batched,
             sim_ns: self.sim_ns - earlier.sim_ns,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,

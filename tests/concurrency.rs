@@ -54,7 +54,7 @@ fn parallel_results_match_serial_baseline() {
     // (instant RPCs can finish before the next pool worker starts).
     let mk = |fanout: usize| {
         let mut cfg = A1Config::small(6).with_fanout(fanout);
-        cfg.exec.ship_threshold = 1;
+        cfg.exec.ship_policy = a1::core::query::ShipPolicy::Fixed(1);
         cfg.farm.fabric.latency.rack_rtt_ns = 500_000;
         cfg.farm.fabric.latency.cross_rack_rtt_ns = 1_000_000;
         cfg.farm.fabric.latency.rpc_overhead_ns = 500_000;
@@ -304,6 +304,10 @@ fn error_in_morsel_propagates_without_deadlock() {
         cache_bypass: false,
     };
     let pool = inner.farm.fabric().machine(machine).unwrap().pool();
+    let exec_cfg = a1::core::query::exec::ExecConfig {
+        intra_parallelism: 4,
+        ..Default::default()
+    };
     let err = exec::run_work_op(
         &inner.farm,
         &inner.store,
@@ -312,7 +316,7 @@ fn error_in_morsel_propagates_without_deadlock() {
         &op,
         None,
         Some(pool),
-        4,
+        &exec_cfg,
     );
     assert!(err.is_err(), "unplaced addresses must surface an error");
     // The pool joined every morsel before surfacing the error: the machine
